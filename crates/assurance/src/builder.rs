@@ -1,0 +1,213 @@
+//! Automatic SAC construction from risk-assessment output — the
+//! knowledge transfer of the asset-driven CASCADE approach the paper
+//! proposes for forestry.
+
+use crate::case::AssuranceCase;
+use crate::evidence::Evidence;
+use crate::gsn::NodeKind;
+use silvasec_risk::tara::TaraReport;
+
+/// Builds the worksite security assurance case from a TARA report.
+///
+/// Structure:
+///
+/// ```text
+/// G.root: the <scope> is acceptably secure for operation
+/// ├── S.risks: argue over every identified risk and its treatment
+/// │   ├── G.<threat>: threat scenario <id> is adequately treated
+/// │   │   └── Sn.<threat>: control verification evidence   (Reduce)
+/// │   │   (Retain/Share risks: goal carries the decision rationale)
+/// └── S.interplay: argue the safety–security interplay is controlled
+///     └── G.int.<threat>.<hazard> per finding
+/// ```
+///
+/// Evidence items are generated per requirement, tagged with their
+/// candidate control tags so runtime incidents can invalidate exactly
+/// the affected evidence class.
+#[must_use]
+pub fn build_security_case(report: &TaraReport, scope: &str) -> AssuranceCase {
+    let mut case = AssuranceCase::new(format!("security assurance case: {scope}"));
+    let root = case.add_node(
+        NodeKind::Goal,
+        "G.root",
+        format!("the {scope} is acceptably secure for operation"),
+    );
+    let ctx = case.add_node(
+        NodeKind::Context,
+        "C.scope",
+        "partially autonomous worksite: autonomous forwarder, manned harvester, observation drone",
+    );
+    case.in_context_of(&root, &ctx);
+
+    let s_risks = case.add_node(
+        NodeKind::Strategy,
+        "S.risks",
+        "argument over every identified threat scenario and its risk treatment",
+    );
+    case.supported_by(&root, &s_risks);
+    let j = case.add_node(
+        NodeKind::Justification,
+        "J.tara",
+        "risk identification follows the forestry-adapted ISO/SAE 21434 TARA",
+    );
+    case.in_context_of(&s_risks, &j);
+
+    let requirements: Vec<_> = report.requirements().collect();
+    for risk in &report.risks {
+        let goal = case.add_node(
+            NodeKind::Goal,
+            format!("G.{}", risk.threat_id),
+            format!(
+                "threat scenario {} (risk {}) is adequately treated ({:?})",
+                risk.threat_id, risk.risk.0, risk.treatment
+            ),
+        );
+        case.supported_by(&s_risks, &goal);
+
+        if let Some(req) = requirements.iter().find(|r| r.threat_id == risk.threat_id) {
+            let solution = case.add_node(
+                NodeKind::Solution,
+                format!("Sn.{}", risk.threat_id),
+                format!("verification evidence for {}", req.id),
+            );
+            case.supported_by(&goal, &solution);
+            for control in &req.candidate_controls {
+                let ev_id = format!("ev.{}.{}", risk.threat_id, control);
+                case.register_evidence(
+                    Evidence::new(
+                        ev_id.clone(),
+                        format!("control '{control}' verified against {}", risk.threat_id),
+                        "simulation campaign",
+                    )
+                    .with_tags(&[control.as_str()]),
+                );
+                case.cite_evidence(&solution, &ev_id);
+            }
+        } else {
+            // Retained or shared risks: the decision itself is the
+            // support, recorded as a solution citing the assessment.
+            let solution = case.add_node(
+                NodeKind::Solution,
+                format!("Sn.{}", risk.threat_id),
+                format!("risk acceptance record for {} ({:?})", risk.threat_id, risk.treatment),
+            );
+            case.supported_by(&goal, &solution);
+            let ev_id = format!("ev.{}.acceptance", risk.threat_id);
+            case.register_evidence(
+                Evidence::new(
+                    ev_id.clone(),
+                    format!("documented {:?} decision", risk.treatment),
+                    "risk assessment",
+                )
+                .with_tags(&["acceptance"]),
+            );
+            case.cite_evidence(&solution, &ev_id);
+        }
+    }
+
+    if !report.interplay_findings.is_empty() {
+        build_interplay_case(&mut case, report);
+    }
+    case
+}
+
+/// Adds the safety–security interplay argument branch to `case`.
+///
+/// Exposed separately so scenario code can attach interplay arguments to
+/// existing (e.g. safety) cases.
+pub fn build_interplay_case(case: &mut AssuranceCase, report: &TaraReport) {
+    let root = crate::gsn::NodeId::new("G.root");
+    let s = case.add_node(
+        NodeKind::Strategy,
+        "S.interplay",
+        "argument that security compromises cannot silently defeat safety functions",
+    );
+    case.supported_by(&root, &s);
+
+    for finding in &report.interplay_findings {
+        let goal = case.add_node(
+            NodeKind::Goal,
+            format!("G.int.{}.{}", finding.threat_id, finding.hazard_id),
+            format!(
+                "hazard {} remains controlled when threat {} is active (required {} → {})",
+                finding.hazard_id, finding.threat_id, finding.baseline_pl, finding.compromised_pl
+            ),
+        );
+        case.supported_by(&s, &goal);
+        let solution = case.add_node(
+            NodeKind::Solution,
+            format!("Sn.int.{}.{}", finding.threat_id, finding.hazard_id),
+            "attack-injection simulation: safety response verified under active attack",
+        );
+        case.supported_by(&goal, &solution);
+        let ev_id = format!("ev.int.{}.{}", finding.threat_id, finding.hazard_id);
+        case.register_evidence(
+            Evidence::new(
+                ev_id.clone(),
+                "attack campaign run with safety supervisor engaged",
+                "simulation campaign",
+            )
+            .with_tags(&["interplay", "safe-stop"]),
+        );
+        case.cite_evidence(&solution, &ev_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_risk::{catalog, Tara};
+
+    fn case() -> AssuranceCase {
+        build_security_case(&Tara::assess(&catalog::worksite_model()), "test worksite")
+    }
+
+    #[test]
+    fn generated_case_is_well_formed() {
+        let c = case();
+        assert!(c.check().is_empty(), "{:?}", c.check());
+    }
+
+    #[test]
+    fn one_goal_per_risk() {
+        let report = Tara::assess(&catalog::worksite_model());
+        let c = case();
+        let risk_goals = c
+            .nodes()
+            .iter()
+            .filter(|n| n.id.0.starts_with("G.ts."))
+            .count();
+        assert_eq!(risk_goals, report.risks.len());
+    }
+
+    #[test]
+    fn interplay_branch_present() {
+        let c = case();
+        assert!(c.nodes().iter().any(|n| n.id.0 == "S.interplay"));
+        assert!(c.nodes().iter().any(|n| n.id.0.starts_with("G.int.")));
+    }
+
+    #[test]
+    fn full_coverage_when_fresh() {
+        let c = case();
+        assert_eq!(c.goal_coverage(), 1.0);
+        assert_eq!(c.evidence_coverage(0), 1.0);
+    }
+
+    #[test]
+    fn control_tag_invalidation_flags_goals() {
+        let mut c = case();
+        let hit = c.invalidate_evidence_tagged("ids");
+        assert!(hit > 0);
+        let doubted = c.goals_in_doubt(0);
+        assert!(!doubted.is_empty());
+        assert!(doubted.iter().any(|g| g.0 == "G.root"), "root must be in doubt");
+    }
+
+    #[test]
+    fn rendering_is_nonempty() {
+        let c = case();
+        assert!(c.render_text().lines().count() > 10);
+        assert!(c.render_dot().contains("digraph"));
+    }
+}

@@ -1,0 +1,559 @@
+//! The assurance case: construction, checking, metrics and rendering.
+
+use crate::evidence::{Evidence, EvidenceStatus};
+use crate::gsn::{Edge, EdgeKind, Node, NodeId, NodeKind};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
+
+/// A structural defect found by [`AssuranceCase::check`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Defect {
+    /// An edge references a node that does not exist.
+    DanglingEdge {
+        /// The missing node.
+        missing: NodeId,
+    },
+    /// A `SupportedBy` cycle exists through this node.
+    Cycle {
+        /// A node on the cycle.
+        on: NodeId,
+    },
+    /// A goal has no support and is not marked undeveloped.
+    UnsupportedGoal {
+        /// The offending goal.
+        goal: NodeId,
+    },
+    /// A strategy has no supporting children.
+    EmptyStrategy {
+        /// The offending strategy.
+        strategy: NodeId,
+    },
+    /// A `SupportedBy` edge points at a contextual node, or from a
+    /// terminal node.
+    IllTypedEdge {
+        /// Source of the edge.
+        from: NodeId,
+        /// Target of the edge.
+        to: NodeId,
+    },
+    /// A solution references an unregistered evidence item.
+    UnknownEvidence {
+        /// The solution node.
+        solution: NodeId,
+        /// The missing evidence id.
+        evidence_id: String,
+    },
+    /// Duplicate node id.
+    DuplicateNode {
+        /// The duplicated id.
+        id: NodeId,
+    },
+}
+
+/// An assurance case: an argument graph plus an evidence registry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AssuranceCase {
+    /// Case title.
+    pub title: String,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    evidence: Vec<Evidence>,
+}
+
+impl AssuranceCase {
+    /// Creates an empty case.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Self {
+        AssuranceCase { title: title.into(), ..AssuranceCase::default() }
+    }
+
+    /// Adds a node; returns its id for chaining.
+    pub fn add_node(&mut self, kind: NodeKind, id: impl Into<String>, statement: impl Into<String>) -> NodeId {
+        let id = NodeId::new(id);
+        self.nodes.push(Node {
+            id: id.clone(),
+            kind,
+            statement: statement.into(),
+            evidence_refs: Vec::new(),
+            undeveloped: false,
+        });
+        id
+    }
+
+    /// Marks a goal as deliberately undeveloped.
+    pub fn mark_undeveloped(&mut self, id: &NodeId) {
+        if let Some(n) = self.nodes.iter_mut().find(|n| &n.id == id) {
+            n.undeveloped = true;
+        }
+    }
+
+    /// Connects `from` `SupportedBy` `to`.
+    pub fn supported_by(&mut self, from: &NodeId, to: &NodeId) {
+        self.edges.push(Edge { from: from.clone(), to: to.clone(), kind: EdgeKind::SupportedBy });
+    }
+
+    /// Connects `from` `InContextOf` `to`.
+    pub fn in_context_of(&mut self, from: &NodeId, to: &NodeId) {
+        self.edges.push(Edge { from: from.clone(), to: to.clone(), kind: EdgeKind::InContextOf });
+    }
+
+    /// Registers an evidence item.
+    pub fn register_evidence(&mut self, evidence: Evidence) {
+        self.evidence.push(evidence);
+    }
+
+    /// Links a solution node to an evidence item id.
+    pub fn cite_evidence(&mut self, solution: &NodeId, evidence_id: &str) {
+        if let Some(n) = self.nodes.iter_mut().find(|n| &n.id == solution) {
+            n.evidence_refs.push(evidence_id.to_owned());
+        }
+    }
+
+    /// All nodes.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The evidence registry.
+    #[must_use]
+    pub fn evidence(&self) -> &[Evidence] {
+        &self.evidence
+    }
+
+    fn node(&self, id: &NodeId) -> Option<&Node> {
+        self.nodes.iter().find(|n| &n.id == id)
+    }
+
+    /// Checks well-formedness; empty = sound structure.
+    #[must_use]
+    pub fn check(&self) -> Vec<Defect> {
+        let mut defects = Vec::new();
+
+        // Duplicate ids.
+        let mut seen = HashSet::new();
+        for n in &self.nodes {
+            if !seen.insert(&n.id) {
+                defects.push(Defect::DuplicateNode { id: n.id.clone() });
+            }
+        }
+
+        // Edge typing and dangling references.
+        for e in &self.edges {
+            let (Some(from), Some(to)) = (self.node(&e.from), self.node(&e.to)) else {
+                let missing = if self.node(&e.from).is_none() { e.from.clone() } else { e.to.clone() };
+                defects.push(Defect::DanglingEdge { missing });
+                continue;
+            };
+            match e.kind {
+                EdgeKind::SupportedBy => {
+                    if !from.kind.can_be_supported() || to.kind.is_contextual() {
+                        defects.push(Defect::IllTypedEdge { from: e.from.clone(), to: e.to.clone() });
+                    }
+                }
+                EdgeKind::InContextOf => {
+                    if !to.kind.is_contextual() {
+                        defects.push(Defect::IllTypedEdge { from: e.from.clone(), to: e.to.clone() });
+                    }
+                }
+            }
+        }
+
+        // Support coverage.
+        let mut support_count: HashMap<&NodeId, usize> = HashMap::new();
+        for e in &self.edges {
+            if e.kind == EdgeKind::SupportedBy {
+                *support_count.entry(&e.from).or_default() += 1;
+            }
+        }
+        for n in &self.nodes {
+            let supports = support_count.get(&n.id).copied().unwrap_or(0);
+            match n.kind {
+                NodeKind::Goal if supports == 0 && !n.undeveloped => {
+                    defects.push(Defect::UnsupportedGoal { goal: n.id.clone() });
+                }
+                NodeKind::Strategy if supports == 0 => {
+                    defects.push(Defect::EmptyStrategy { strategy: n.id.clone() });
+                }
+                _ => {}
+            }
+        }
+
+        // Evidence references.
+        let known: HashSet<&str> = self.evidence.iter().map(|e| e.id.as_str()).collect();
+        for n in &self.nodes {
+            for ev in &n.evidence_refs {
+                if !known.contains(ev.as_str()) {
+                    defects.push(Defect::UnknownEvidence {
+                        solution: n.id.clone(),
+                        evidence_id: ev.clone(),
+                    });
+                }
+            }
+        }
+
+        // Cycles in SupportedBy (iterative DFS, three-colour).
+        let mut color: HashMap<&NodeId, u8> = HashMap::new();
+        let adjacency: HashMap<&NodeId, Vec<&NodeId>> = {
+            let mut adj: HashMap<&NodeId, Vec<&NodeId>> = HashMap::new();
+            for e in &self.edges {
+                if e.kind == EdgeKind::SupportedBy {
+                    adj.entry(&e.from).or_default().push(&e.to);
+                }
+            }
+            adj
+        };
+        for start in self.nodes.iter().map(|n| &n.id) {
+            if color.get(start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            // Stack of (node, next child index).
+            let mut stack: Vec<(&NodeId, usize)> = vec![(start, 0)];
+            color.insert(start, 1);
+            while let Some((node, child_idx)) = stack.pop() {
+                let children = adjacency.get(node).map(Vec::as_slice).unwrap_or(&[]);
+                if child_idx < children.len() {
+                    stack.push((node, child_idx + 1));
+                    let child = children[child_idx];
+                    match color.get(child).copied().unwrap_or(0) {
+                        0 => {
+                            color.insert(child, 1);
+                            stack.push((child, 0));
+                        }
+                        1 => {
+                            defects.push(Defect::Cycle { on: child.clone() });
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color.insert(node, 2);
+                }
+            }
+        }
+
+        defects
+    }
+
+    /// Fraction of goals that are supported or explicitly undeveloped=false
+    /// — i.e. developed goals / all goals.
+    #[must_use]
+    pub fn goal_coverage(&self) -> f64 {
+        let goals: Vec<&Node> = self.nodes.iter().filter(|n| n.kind == NodeKind::Goal).collect();
+        if goals.is_empty() {
+            return 1.0;
+        }
+        let supported: HashSet<&NodeId> = self
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::SupportedBy)
+            .map(|e| &e.from)
+            .collect();
+        let developed = goals.iter().filter(|g| supported.contains(&g.id)).count();
+        developed as f64 / goals.len() as f64
+    }
+
+    /// Fraction of solutions whose every cited evidence item is valid at
+    /// `now_ms` (solutions citing nothing count as unbacked).
+    #[must_use]
+    pub fn evidence_coverage(&self, now_ms: u64) -> f64 {
+        let solutions: Vec<&Node> =
+            self.nodes.iter().filter(|n| n.kind == NodeKind::Solution).collect();
+        if solutions.is_empty() {
+            return 1.0;
+        }
+        let by_id: HashMap<&str, &Evidence> =
+            self.evidence.iter().map(|e| (e.id.as_str(), e)).collect();
+        let backed = solutions
+            .iter()
+            .filter(|s| {
+                !s.evidence_refs.is_empty()
+                    && s.evidence_refs.iter().all(|id| {
+                        by_id
+                            .get(id.as_str())
+                            .is_some_and(|e| e.status(now_ms) == EvidenceStatus::Valid)
+                    })
+            })
+            .count();
+        backed as f64 / solutions.len() as f64
+    }
+
+    /// Invalidates all evidence carrying `tag`; returns how many items
+    /// were hit (continuous assurance: an incident voids an evidence
+    /// class).
+    pub fn invalidate_evidence_tagged(&mut self, tag: &str) -> usize {
+        let mut hit = 0;
+        for e in &mut self.evidence {
+            if e.has_tag(tag) && !e.invalidated {
+                e.invalidated = true;
+                hit += 1;
+            }
+        }
+        hit
+    }
+
+    /// Goals whose argument subtree cites at least one non-valid
+    /// evidence item at `now_ms` — the claims currently in doubt.
+    #[must_use]
+    pub fn goals_in_doubt(&self, now_ms: u64) -> Vec<NodeId> {
+        let by_id: HashMap<&str, &Evidence> =
+            self.evidence.iter().map(|e| (e.id.as_str(), e)).collect();
+        let bad_solutions: HashSet<&NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| {
+                n.kind == NodeKind::Solution
+                    && (n.evidence_refs.is_empty()
+                        || n.evidence_refs.iter().any(|id| {
+                            by_id
+                                .get(id.as_str())
+                                .is_none_or(|e| e.status(now_ms) != EvidenceStatus::Valid)
+                        }))
+            })
+            .map(|n| &n.id)
+            .collect();
+
+        // Reverse reachability over SupportedBy.
+        let mut parents: HashMap<&NodeId, Vec<&NodeId>> = HashMap::new();
+        for e in &self.edges {
+            if e.kind == EdgeKind::SupportedBy {
+                parents.entry(&e.to).or_default().push(&e.from);
+            }
+        }
+        let mut in_doubt: HashSet<&NodeId> = HashSet::new();
+        let mut frontier: Vec<&NodeId> = bad_solutions.into_iter().collect();
+        while let Some(node) = frontier.pop() {
+            for parent in parents.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+                if in_doubt.insert(parent) {
+                    frontier.push(parent);
+                }
+            }
+        }
+        let mut out: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Goal && in_doubt.contains(&n.id))
+            .map(|n| n.id.clone())
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Renders the case as an indented text outline (GSN notation).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!("Assurance case: {}\n", self.title);
+        let children: HashMap<&NodeId, Vec<&Edge>> = {
+            let mut m: HashMap<&NodeId, Vec<&Edge>> = HashMap::new();
+            for e in &self.edges {
+                m.entry(&e.from).or_default().push(e);
+            }
+            m
+        };
+        let targets: HashSet<&NodeId> = self
+            .edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::SupportedBy)
+            .map(|e| &e.to)
+            .collect();
+        let roots: Vec<&Node> = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Goal && !targets.contains(&n.id))
+            .collect();
+        let mut visited = HashSet::new();
+        for root in roots {
+            self.render_node(&mut out, root, 0, &children, &mut visited);
+        }
+        out
+    }
+
+    fn render_node<'a>(
+        &'a self,
+        out: &mut String,
+        node: &'a Node,
+        depth: usize,
+        children: &HashMap<&NodeId, Vec<&'a Edge>>,
+        visited: &mut HashSet<&'a NodeId>,
+    ) {
+        let _ = writeln!(
+            out,
+            "{}[{:?}] {}: {}{}",
+            "  ".repeat(depth),
+            node.kind,
+            node.id,
+            node.statement,
+            if node.undeveloped { " (undeveloped)" } else { "" }
+        );
+        if !visited.insert(&node.id) {
+            return;
+        }
+        if let Some(edges) = children.get(&node.id) {
+            for e in edges {
+                if let Some(child) = self.node(&e.to) {
+                    self.render_node(out, child, depth + 1, children, visited);
+                }
+            }
+        }
+    }
+
+    /// Renders the case in Graphviz DOT format.
+    #[must_use]
+    pub fn render_dot(&self) -> String {
+        let mut out = String::from("digraph assurance_case {\n  rankdir=TB;\n");
+        for n in &self.nodes {
+            let shape = match n.kind {
+                NodeKind::Goal => "box",
+                NodeKind::Strategy => "parallelogram",
+                NodeKind::Solution => "circle",
+                NodeKind::Context => "box, style=rounded",
+                NodeKind::Assumption | NodeKind::Justification => "ellipse",
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" [shape={shape}, label=\"{}\\n{}\"];",
+                n.id,
+                n.id,
+                n.statement.replace('"', "'")
+            );
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::SupportedBy => "solid",
+                EdgeKind::InContextOf => "dashed",
+            };
+            let _ = writeln!(out, "  \"{}\" -> \"{}\" [style={style}];", e.from, e.to);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// goal → strategy → (goal→solution, solution)
+    fn small_case() -> AssuranceCase {
+        let mut c = AssuranceCase::new("test case");
+        let g1 = c.add_node(NodeKind::Goal, "G1", "the system is secure");
+        let s1 = c.add_node(NodeKind::Strategy, "S1", "argue over threats");
+        let g2 = c.add_node(NodeKind::Goal, "G2", "jamming is mitigated");
+        let sn1 = c.add_node(NodeKind::Solution, "Sn1", "IDS test report");
+        let sn2 = c.add_node(NodeKind::Solution, "Sn2", "channel test report");
+        let ctx = c.add_node(NodeKind::Context, "C1", "worksite per Figure 1");
+        c.supported_by(&g1, &s1);
+        c.supported_by(&s1, &g2);
+        c.supported_by(&s1, &sn2);
+        c.supported_by(&g2, &sn1);
+        c.in_context_of(&g1, &ctx);
+        c.register_evidence(Evidence::new("ev.ids", "IDS detects jamming", "sim").with_tags(&["comms"]));
+        c.register_evidence(Evidence::new("ev.chan", "handshake verified", "test"));
+        c.cite_evidence(&sn1, "ev.ids");
+        c.cite_evidence(&sn2, "ev.chan");
+        c
+    }
+
+    #[test]
+    fn well_formed_case_passes() {
+        assert!(small_case().check().is_empty());
+        assert_eq!(small_case().goal_coverage(), 1.0);
+        assert_eq!(small_case().evidence_coverage(0), 1.0);
+    }
+
+    #[test]
+    fn unsupported_goal_detected() {
+        let mut c = small_case();
+        c.add_node(NodeKind::Goal, "G3", "orphan goal");
+        let defects = c.check();
+        assert!(defects.iter().any(|d| matches!(d, Defect::UnsupportedGoal { goal } if goal.0 == "G3")));
+        // Marked undeveloped, it becomes acceptable.
+        c.mark_undeveloped(&NodeId::new("G3"));
+        assert!(c.check().is_empty());
+        assert!(c.goal_coverage() < 1.0);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut c = small_case();
+        // G2 supported by G1 closes a loop.
+        c.supported_by(&NodeId::new("G2"), &NodeId::new("G1"));
+        assert!(c.check().iter().any(|d| matches!(d, Defect::Cycle { .. })));
+    }
+
+    #[test]
+    fn ill_typed_edges_detected() {
+        let mut c = small_case();
+        // Solution cannot support.
+        c.supported_by(&NodeId::new("Sn1"), &NodeId::new("G2"));
+        assert!(c.check().iter().any(|d| matches!(d, Defect::IllTypedEdge { .. })));
+
+        let mut c2 = small_case();
+        // SupportedBy onto a context is ill-typed.
+        c2.supported_by(&NodeId::new("G1"), &NodeId::new("C1"));
+        assert!(c2.check().iter().any(|d| matches!(d, Defect::IllTypedEdge { .. })));
+    }
+
+    #[test]
+    fn dangling_edge_detected() {
+        let mut c = small_case();
+        c.supported_by(&NodeId::new("G1"), &NodeId::new("nope"));
+        assert!(c.check().iter().any(|d| matches!(d, Defect::DanglingEdge { .. })));
+    }
+
+    #[test]
+    fn unknown_evidence_detected() {
+        let mut c = small_case();
+        c.cite_evidence(&NodeId::new("Sn1"), "ev.ghost");
+        assert!(c
+            .check()
+            .iter()
+            .any(|d| matches!(d, Defect::UnknownEvidence { evidence_id, .. } if evidence_id == "ev.ghost")));
+    }
+
+    #[test]
+    fn duplicate_node_detected() {
+        let mut c = small_case();
+        c.add_node(NodeKind::Goal, "G1", "duplicate");
+        assert!(c.check().iter().any(|d| matches!(d, Defect::DuplicateNode { .. })));
+    }
+
+    #[test]
+    fn invalidation_propagates_to_goals() {
+        let mut c = small_case();
+        assert!(c.goals_in_doubt(0).is_empty());
+        let hit = c.invalidate_evidence_tagged("comms");
+        assert_eq!(hit, 1);
+        let doubted = c.goals_in_doubt(0);
+        // Sn1 backs G2 which supports S1 which supports G1: both goals.
+        assert_eq!(doubted, vec![NodeId::new("G1"), NodeId::new("G2")]);
+        assert!(c.evidence_coverage(0) < 1.0);
+    }
+
+    #[test]
+    fn rendering_contains_structure() {
+        let c = small_case();
+        let text = c.render_text();
+        assert!(text.contains("G1"));
+        assert!(text.contains("  [Strategy] S1"));
+        let dot = c.render_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("\"G1\" -> \"S1\""));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn empty_case_is_vacuously_complete() {
+        let c = AssuranceCase::new("empty");
+        assert!(c.check().is_empty());
+        assert_eq!(c.goal_coverage(), 1.0);
+        assert_eq!(c.evidence_coverage(0), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Evidence items with freshness and invalidation.
+//!
+//! Continuous incremental assurance (Assurance 2.0, which the paper
+//! cites) treats evidence as perishable: test reports age out, and
+//! runtime incidents can invalidate evidence classes outright (an
+//! observed jamming incident invalidates "the channel is available"
+//! evidence until re-established).
+
+use serde::{Deserialize, Serialize};
+
+/// The state of an evidence item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EvidenceStatus {
+    /// Current and trusted.
+    Valid,
+    /// Past its freshness window; needs regeneration.
+    Stale,
+    /// Explicitly invalidated by an event.
+    Invalidated,
+}
+
+/// One evidence item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Stable id, e.g. `"ev.channel-tests"`.
+    pub id: String,
+    /// What the evidence shows.
+    pub description: String,
+    /// Where it came from (test run, analysis, review).
+    pub source: String,
+    /// Classification tags for bulk invalidation, e.g. `"comms"`.
+    pub tags: Vec<String>,
+    /// When it was produced (worksite ms).
+    pub produced_at_ms: u64,
+    /// How long it stays fresh (ms); `None` = does not expire.
+    pub freshness_ms: Option<u64>,
+    /// Explicit invalidation flag.
+    pub invalidated: bool,
+}
+
+impl Evidence {
+    /// Creates a non-expiring, valid evidence item.
+    pub fn new(id: impl Into<String>, description: impl Into<String>, source: impl Into<String>) -> Self {
+        Evidence {
+            id: id.into(),
+            description: description.into(),
+            source: source.into(),
+            tags: Vec::new(),
+            produced_at_ms: 0,
+            freshness_ms: None,
+            invalidated: false,
+        }
+    }
+
+    /// Adds classification tags (builder style).
+    #[must_use]
+    pub fn with_tags(mut self, tags: &[&str]) -> Self {
+        self.tags = tags.iter().map(|s| (*s).to_owned()).collect();
+        self
+    }
+
+    /// Sets production time and freshness window (builder style).
+    #[must_use]
+    pub fn with_freshness(mut self, produced_at_ms: u64, freshness_ms: u64) -> Self {
+        self.produced_at_ms = produced_at_ms;
+        self.freshness_ms = Some(freshness_ms);
+        self
+    }
+
+    /// The item's status at `now_ms`.
+    #[must_use]
+    pub fn status(&self, now_ms: u64) -> EvidenceStatus {
+        if self.invalidated {
+            return EvidenceStatus::Invalidated;
+        }
+        match self.freshness_ms {
+            Some(window) if now_ms.saturating_sub(self.produced_at_ms) > window => {
+                EvidenceStatus::Stale
+            }
+            _ => EvidenceStatus::Valid,
+        }
+    }
+
+    /// Whether the item carries `tag`.
+    #[must_use]
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.iter().any(|t| t == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_by_default() {
+        let e = Evidence::new("ev.1", "tests pass", "ci");
+        assert_eq!(e.status(u64::MAX), EvidenceStatus::Valid);
+    }
+
+    #[test]
+    fn staleness() {
+        let e = Evidence::new("ev.1", "field test", "trial").with_freshness(1000, 500);
+        assert_eq!(e.status(1200), EvidenceStatus::Valid);
+        assert_eq!(e.status(1500), EvidenceStatus::Valid);
+        assert_eq!(e.status(1501), EvidenceStatus::Stale);
+        // Clock before production: still valid (no negative age).
+        assert_eq!(e.status(0), EvidenceStatus::Valid);
+    }
+
+    #[test]
+    fn invalidation_beats_freshness() {
+        let mut e = Evidence::new("ev.1", "x", "y");
+        e.invalidated = true;
+        assert_eq!(e.status(0), EvidenceStatus::Invalidated);
+    }
+
+    #[test]
+    fn tags() {
+        let e = Evidence::new("ev.1", "x", "y").with_tags(&["comms", "availability"]);
+        assert!(e.has_tag("comms"));
+        assert!(!e.has_tag("nav"));
+    }
+}

@@ -1,0 +1,137 @@
+//! The typed argument graph underlying GSN and CAE.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node identifier within one assurance case.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub String);
+
+impl NodeId {
+    /// Creates an id.
+    pub fn new(id: impl Into<String>) -> Self {
+        NodeId(id.into())
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// GSN node kinds (CAE's Claim/Argument/Evidence map to
+/// Goal/Strategy/Solution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A claim to be supported (GSN goal / CAE claim).
+    Goal,
+    /// An argument decomposing a claim (GSN strategy / CAE argument).
+    Strategy,
+    /// An evidence reference terminating an argument branch (GSN
+    /// solution / CAE evidence).
+    Solution,
+    /// Contextual statement scoping a claim.
+    Context,
+    /// An assumption the argument rests on.
+    Assumption,
+    /// A justification for an argument step.
+    Justification,
+}
+
+impl NodeKind {
+    /// Whether this kind can carry `SupportedBy` children.
+    #[must_use]
+    pub fn can_be_supported(self) -> bool {
+        matches!(self, NodeKind::Goal | NodeKind::Strategy)
+    }
+
+    /// Whether this kind terminates an argument branch.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, NodeKind::Solution)
+    }
+
+    /// Whether this kind attaches via `InContextOf`.
+    #[must_use]
+    pub fn is_contextual(self) -> bool {
+        matches!(self, NodeKind::Context | NodeKind::Assumption | NodeKind::Justification)
+    }
+
+    /// The CAE name of this kind.
+    #[must_use]
+    pub fn cae_name(self) -> &'static str {
+        match self {
+            NodeKind::Goal => "Claim",
+            NodeKind::Strategy => "Argument",
+            NodeKind::Solution => "Evidence",
+            NodeKind::Context => "Context",
+            NodeKind::Assumption => "Assumption",
+            NodeKind::Justification => "Justification",
+        }
+    }
+}
+
+/// A node of the argument graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's id.
+    pub id: NodeId,
+    /// Its kind.
+    pub kind: NodeKind,
+    /// The statement text.
+    pub statement: String,
+    /// Evidence item ids backing this node (solutions only).
+    pub evidence_refs: Vec<String>,
+    /// Marked deliberately undeveloped (GSN diamond).
+    pub undeveloped: bool,
+}
+
+/// Edge kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Argument support (goal → strategy/goal/solution,
+    /// strategy → goal/solution).
+    SupportedBy,
+    /// Contextual attachment (→ context/assumption/justification).
+    InContextOf,
+}
+
+/// A directed edge of the argument graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Edge kind.
+    pub kind: EdgeKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Goal.can_be_supported());
+        assert!(NodeKind::Strategy.can_be_supported());
+        assert!(!NodeKind::Solution.can_be_supported());
+        assert!(NodeKind::Solution.is_terminal());
+        assert!(NodeKind::Context.is_contextual());
+        assert!(NodeKind::Assumption.is_contextual());
+        assert!(!NodeKind::Goal.is_contextual());
+    }
+
+    #[test]
+    fn cae_mapping() {
+        assert_eq!(NodeKind::Goal.cae_name(), "Claim");
+        assert_eq!(NodeKind::Strategy.cae_name(), "Argument");
+        assert_eq!(NodeKind::Solution.cae_name(), "Evidence");
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::new("G1").to_string(), "G1");
+    }
+}

@@ -1,0 +1,56 @@
+//! Security assurance cases (SACs) for the forestry worksite.
+//!
+//! The paper's Sec. V argues that compliance with Regulation (EU)
+//! 2023/1230 will flow through *assurance cases*: structured arguments —
+//! GSN (Goal Structuring Notation) or CAE (Claim-Argument-Evidence) —
+//! linking claims about the system to evidence. For a system of systems
+//! it proposes **modular** cases composed per constituent, and **continuous
+//! incremental assurance** where runtime events invalidate evidence and
+//! flag the affected arguments.
+//!
+//! * [`gsn`] — the typed argument graph (GSN node kinds; CAE maps onto
+//!   the same structure).
+//! * [`evidence`] — evidence items with freshness and invalidation.
+//! * [`case`] — the assurance case: construction, well-formedness
+//!   checking, coverage metrics, text/DOT rendering.
+//! * [`modular`] — per-constituent modules with public claims and
+//!   away-references, composed with contract checking.
+//! * [`builder`] — automatic SAC construction from a TARA report (the
+//!   knowledge transfer of the CASCADE approach the paper proposes).
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_assurance::prelude::*;
+//! use silvasec_risk::{catalog, Tara};
+//!
+//! let report = Tara::assess(&catalog::worksite_model());
+//! let case = build_security_case(&report, "forestry worksite");
+//! let defects = case.check();
+//! // The generated case is well-formed by construction.
+//! assert!(defects.is_empty(), "{defects:?}");
+//! assert!(case.goal_coverage() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod case;
+pub mod evidence;
+pub mod gsn;
+pub mod modular;
+
+pub use builder::build_security_case;
+pub use case::{AssuranceCase, Defect};
+pub use evidence::{Evidence, EvidenceStatus};
+pub use gsn::{EdgeKind, NodeId, NodeKind};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::builder::{build_security_case, build_interplay_case};
+    pub use crate::case::{AssuranceCase, Defect};
+    pub use crate::evidence::{Evidence, EvidenceStatus};
+    pub use crate::gsn::{EdgeKind, NodeId, NodeKind};
+    pub use crate::modular::{Composition, Module};
+}

@@ -1,0 +1,292 @@
+//! Modular assurance for systems of systems.
+//!
+//! Each constituent (forwarder, drone, base station…) maintains its own
+//! case and *exports* some goals as public claims. Other modules make
+//! **away-references** to those claims. Composition checks that every
+//! away-reference resolves to an exported claim in a well-formed module —
+//! so when one constituent changes, only its module (plus the reference
+//! check) needs re-validation, not the whole SoS argument. Experiment E4
+//! measures exactly that cost difference.
+
+use crate::case::{AssuranceCase, Defect};
+use crate::gsn::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A reference from one module's argument to another module's public
+/// claim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AwayReference {
+    /// The local goal relying on the remote claim.
+    pub local_goal: NodeId,
+    /// The providing module's name.
+    pub remote_module: String,
+    /// The remote public claim's node id.
+    pub remote_claim: NodeId,
+}
+
+/// One constituent's assurance module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (constituent id).
+    pub name: String,
+    /// The module's own case.
+    pub case: AssuranceCase,
+    /// Goals exported as public claims.
+    pub public_claims: Vec<NodeId>,
+    /// Claims this module relies on from other modules.
+    pub away_references: Vec<AwayReference>,
+}
+
+/// A composition problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum CompositionDefect {
+    /// An away-reference names a module that is not in the composition.
+    UnknownModule {
+        /// Referencing module.
+        from: String,
+        /// The missing module name.
+        missing: String,
+    },
+    /// An away-reference targets a claim the remote module does not
+    /// export.
+    UnexportedClaim {
+        /// Referencing module.
+        from: String,
+        /// Providing module.
+        remote: String,
+        /// The claim that is not exported.
+        claim: NodeId,
+    },
+    /// A module exports a claim that does not exist in its own case.
+    PhantomExport {
+        /// The module.
+        module: String,
+        /// The missing node.
+        claim: NodeId,
+    },
+    /// A module's own case has structural defects.
+    ModuleDefects {
+        /// The module.
+        module: String,
+        /// Its defects.
+        defects: Vec<Defect>,
+    },
+}
+
+/// A composed system-of-systems assurance case.
+#[derive(Debug, Clone, Default)]
+pub struct Composition {
+    modules: Vec<Module>,
+}
+
+impl Composition {
+    /// Creates an empty composition.
+    #[must_use]
+    pub fn new() -> Self {
+        Composition::default()
+    }
+
+    /// Adds a module.
+    pub fn add_module(&mut self, module: Module) {
+        self.modules.push(module);
+    }
+
+    /// The modules.
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Replaces a module by name; returns `false` if absent.
+    pub fn replace_module(&mut self, module: Module) -> bool {
+        if let Some(slot) = self.modules.iter_mut().find(|m| m.name == module.name) {
+            *slot = module;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checks only the inter-module contracts (away-references and
+    /// exports), not module internals.
+    #[must_use]
+    pub fn check_contracts(&self) -> Vec<CompositionDefect> {
+        let mut defects = Vec::new();
+        let by_name: HashMap<&str, &Module> =
+            self.modules.iter().map(|m| (m.name.as_str(), m)).collect();
+
+        for module in &self.modules {
+            for claim in &module.public_claims {
+                if !module.case.nodes().iter().any(|n| &n.id == claim) {
+                    defects.push(CompositionDefect::PhantomExport {
+                        module: module.name.clone(),
+                        claim: claim.clone(),
+                    });
+                }
+            }
+            for away in &module.away_references {
+                match by_name.get(away.remote_module.as_str()) {
+                    None => defects.push(CompositionDefect::UnknownModule {
+                        from: module.name.clone(),
+                        missing: away.remote_module.clone(),
+                    }),
+                    Some(remote) => {
+                        if !remote.public_claims.contains(&away.remote_claim) {
+                            defects.push(CompositionDefect::UnexportedClaim {
+                                from: module.name.clone(),
+                                remote: away.remote_module.clone(),
+                                claim: away.remote_claim.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        defects
+    }
+
+    /// Full monolithic check: every module's internals plus contracts.
+    #[must_use]
+    pub fn check_all(&self) -> Vec<CompositionDefect> {
+        let mut defects = self.check_contracts();
+        for module in &self.modules {
+            let inner = module.case.check();
+            if !inner.is_empty() {
+                defects.push(CompositionDefect::ModuleDefects {
+                    module: module.name.clone(),
+                    defects: inner,
+                });
+            }
+        }
+        defects
+    }
+
+    /// Incremental check after `changed_module` was replaced: that
+    /// module's internals plus the contracts. This is the modular
+    /// re-validation whose cost E4 compares against [`Composition::check_all`].
+    #[must_use]
+    pub fn check_incremental(&self, changed_module: &str) -> Vec<CompositionDefect> {
+        let mut defects = self.check_contracts();
+        if let Some(module) = self.modules.iter().find(|m| m.name == changed_module) {
+            let inner = module.case.check();
+            if !inner.is_empty() {
+                defects.push(CompositionDefect::ModuleDefects {
+                    module: module.name.clone(),
+                    defects: inner,
+                });
+            }
+        }
+        defects
+    }
+
+    /// Total node count across all modules (model-size metric).
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.modules.iter().map(|m| m.case.nodes().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gsn::NodeKind;
+
+    fn module(name: &str, export: &str, away: Option<(&str, &str)>) -> Module {
+        let mut case = AssuranceCase::new(name);
+        let g = case.add_node(NodeKind::Goal, export, format!("{name} is secure"));
+        let sn = case.add_node(NodeKind::Solution, format!("{name}.sn"), "evidence");
+        case.supported_by(&g, &sn);
+        Module {
+            name: name.into(),
+            case,
+            public_claims: vec![NodeId::new(export)],
+            away_references: away
+                .map(|(remote, claim)| {
+                    vec![AwayReference {
+                        local_goal: NodeId::new(export),
+                        remote_module: remote.into(),
+                        remote_claim: NodeId::new(claim),
+                    }]
+                })
+                .unwrap_or_default(),
+        }
+    }
+
+    #[test]
+    fn sound_composition_passes() {
+        let mut comp = Composition::new();
+        comp.add_module(module("forwarder", "G.fw", Some(("drone", "G.drone"))));
+        comp.add_module(module("drone", "G.drone", None));
+        assert!(comp.check_contracts().is_empty());
+        assert!(comp.check_all().is_empty());
+        assert_eq!(comp.total_nodes(), 4);
+    }
+
+    #[test]
+    fn unknown_module_detected() {
+        let mut comp = Composition::new();
+        comp.add_module(module("forwarder", "G.fw", Some(("ghost", "G.x"))));
+        assert!(matches!(
+            comp.check_contracts()[0],
+            CompositionDefect::UnknownModule { .. }
+        ));
+    }
+
+    #[test]
+    fn unexported_claim_detected() {
+        let mut comp = Composition::new();
+        comp.add_module(module("forwarder", "G.fw", Some(("drone", "G.secret"))));
+        comp.add_module(module("drone", "G.drone", None));
+        assert!(matches!(
+            comp.check_contracts()[0],
+            CompositionDefect::UnexportedClaim { .. }
+        ));
+    }
+
+    #[test]
+    fn phantom_export_detected() {
+        let mut m = module("drone", "G.drone", None);
+        m.public_claims.push(NodeId::new("G.phantom"));
+        let mut comp = Composition::new();
+        comp.add_module(m);
+        assert!(matches!(
+            comp.check_contracts()[0],
+            CompositionDefect::PhantomExport { .. }
+        ));
+    }
+
+    #[test]
+    fn broken_module_found_by_full_and_incremental() {
+        let mut comp = Composition::new();
+        comp.add_module(module("forwarder", "G.fw", None));
+        let mut bad = module("drone", "G.drone", None);
+        bad.case.add_node(NodeKind::Goal, "G.orphan", "unsupported");
+        comp.add_module(bad);
+
+        assert!(comp
+            .check_all()
+            .iter()
+            .any(|d| matches!(d, CompositionDefect::ModuleDefects { module, .. } if module == "drone")));
+        assert!(comp
+            .check_incremental("drone")
+            .iter()
+            .any(|d| matches!(d, CompositionDefect::ModuleDefects { .. })));
+        // Incremental check of the *other* module does not flag drone.
+        assert!(!comp
+            .check_incremental("forwarder")
+            .iter()
+            .any(|d| matches!(d, CompositionDefect::ModuleDefects { .. })));
+    }
+
+    #[test]
+    fn replace_module_swaps_in_place() {
+        let mut comp = Composition::new();
+        comp.add_module(module("drone", "G.drone", None));
+        let replaced = comp.replace_module(module("drone", "G.drone", None));
+        assert!(replaced);
+        assert!(!comp.replace_module(module("ghost", "G.g", None)));
+        assert_eq!(comp.modules().len(), 1);
+    }
+}

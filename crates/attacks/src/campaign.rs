@@ -1,0 +1,143 @@
+//! Attack campaign descriptions.
+
+use serde::{Deserialize, Serialize};
+use silvasec_comms::NodeId;
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// The attack class (the paper's Sec. IV-C catalog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackKind {
+    /// Broadband RF interference on the worksite channel.
+    RfJamming,
+    /// Forged de-authentication frames against an associated station.
+    DeauthFlood,
+    /// GNSS position-drag spoofing over a region.
+    GnssSpoofing,
+    /// GNSS denial over a region.
+    GnssJamming,
+    /// Optical blinding of a people-detection sensor.
+    CameraBlinding,
+    /// Capture-and-replay of previously observed frames.
+    Replay,
+    /// A rogue radio attempting to join the worksite network.
+    RogueNode,
+    /// Tampering with a machine's firmware update.
+    FirmwareTampering,
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackKind::RfJamming => "rf-jamming",
+            AttackKind::DeauthFlood => "deauth-flood",
+            AttackKind::GnssSpoofing => "gnss-spoofing",
+            AttackKind::GnssJamming => "gnss-jamming",
+            AttackKind::CameraBlinding => "camera-blinding",
+            AttackKind::Replay => "replay",
+            AttackKind::RogueNode => "rogue-node",
+            AttackKind::FirmwareTampering => "firmware-tampering",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What an attack campaign is aimed at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackTarget {
+    /// A geographic region (jamming, GNSS attacks).
+    Area {
+        /// Region centre.
+        center: Vec2,
+        /// Region radius, metres.
+        radius_m: f64,
+    },
+    /// A directed link: de-auth frames claim to come from `spoof_as` and
+    /// are sent to `victim`.
+    Link {
+        /// The identity the forged frames claim (typically the base
+        /// station).
+        spoof_as: NodeId,
+        /// The station being knocked off the network.
+        victim: NodeId,
+    },
+    /// A machine identified by its worksite label (sensor/firmware
+    /// attacks).
+    Machine {
+        /// The machine's label, e.g. `"forwarder-01"`.
+        label: String,
+    },
+    /// The whole worksite network (replay, rogue node).
+    Network,
+}
+
+/// A scheduled attack campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackCampaign {
+    /// The attack class.
+    pub kind: AttackKind,
+    /// What it targets.
+    pub target: AttackTarget,
+    /// When it begins.
+    pub start: SimTime,
+    /// How long it runs.
+    pub duration: SimDuration,
+    /// Attack strength in `[0, 1]` (jammer power, flood rate, blinding
+    /// depth, spoof drag rate).
+    pub intensity: f64,
+}
+
+impl AttackCampaign {
+    /// Whether the campaign is active at `now`.
+    #[must_use]
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.start + self.duration
+    }
+
+    /// The campaign's end time.
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn campaign() -> AttackCampaign {
+        AttackCampaign {
+            kind: AttackKind::RfJamming,
+            target: AttackTarget::Network,
+            start: SimTime::from_secs(10),
+            duration: SimDuration::from_secs(30),
+            intensity: 0.8,
+        }
+    }
+
+    #[test]
+    fn activity_window() {
+        let c = campaign();
+        assert!(!c.active_at(SimTime::from_secs(9)));
+        assert!(c.active_at(SimTime::from_secs(10)));
+        assert!(c.active_at(SimTime::from_secs(39)));
+        assert!(!c.active_at(SimTime::from_secs(40)));
+        assert_eq!(c.end(), SimTime::from_secs(40));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AttackKind::GnssSpoofing.to_string(), "gnss-spoofing");
+        assert_eq!(AttackKind::CameraBlinding.to_string(), "camera-blinding");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = campaign();
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<AttackCampaign>(&json).unwrap(), c);
+    }
+}

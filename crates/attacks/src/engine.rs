@@ -1,0 +1,490 @@
+//! The attack engine: drives campaigns against the simulated worksite.
+
+use crate::campaign::{AttackCampaign, AttackKind, AttackTarget};
+use serde::{Deserialize, Serialize};
+use silvasec_comms::medium::InterfererId;
+use silvasec_comms::{Frame, Medium, NodeId};
+use silvasec_machines::gnss::{GnssJammer, Spoofer};
+use silvasec_machines::GnssField;
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::SimTime;
+
+/// Campaign life-cycle phases, logged as ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackPhase {
+    /// The campaign switched on.
+    Started,
+    /// The campaign switched off.
+    Ended,
+}
+
+/// A ground-truth attack event (for measuring detection latency).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackEvent {
+    /// Index of the campaign in the engine.
+    pub campaign: usize,
+    /// The attack class.
+    pub kind: AttackKind,
+    /// Start or end.
+    pub phase: AttackPhase,
+    /// When it happened.
+    pub at: SimTime,
+}
+
+/// Commands whose physical carrier lives outside the radio medium; the
+/// orchestrator applies them to the targeted component.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SideEffect {
+    /// Degrade a machine's people-detection sensor (optical blinding).
+    BlindSensor {
+        /// Target machine label.
+        machine_label: String,
+        /// New sensor health in `[0, 1]`.
+        health: f64,
+    },
+    /// Restore a previously blinded sensor.
+    RestoreSensor {
+        /// Target machine label.
+        machine_label: String,
+    },
+    /// Corrupt the pending firmware update of a machine.
+    TamperFirmware {
+        /// Target machine label.
+        machine_label: String,
+    },
+}
+
+#[derive(Debug)]
+struct CampaignState {
+    campaign: AttackCampaign,
+    active: bool,
+    interferer: Option<InterfererId>,
+    gnss_handle: Option<u64>,
+    frames_sent: u64,
+}
+
+/// Drives attack campaigns against the medium, GNSS field and sensors.
+#[derive(Debug, Default)]
+pub struct AttackEngine {
+    campaigns: Vec<CampaignState>,
+    attacker_node: Option<NodeId>,
+    captured: Vec<Frame>,
+    events: Vec<AttackEvent>,
+    seq: u64,
+}
+
+impl AttackEngine {
+    /// Creates an idle engine.
+    #[must_use]
+    pub fn new() -> Self {
+        AttackEngine::default()
+    }
+
+    /// Schedules a campaign; returns its index.
+    pub fn add_campaign(&mut self, campaign: AttackCampaign) -> usize {
+        self.campaigns.push(CampaignState {
+            campaign,
+            active: false,
+            interferer: None,
+            gnss_handle: None,
+            frames_sent: 0,
+        });
+        self.campaigns.len() - 1
+    }
+
+    /// Registers the attacker's own radio (required for frame-injection
+    /// attacks: de-auth, replay, rogue node).
+    pub fn set_attacker_node(&mut self, node: NodeId) {
+        self.attacker_node = Some(node);
+    }
+
+    /// Feeds a sniffed frame into the replay buffer (the attacker
+    /// passively records traffic it can hear).
+    pub fn capture(&mut self, frame: Frame) {
+        if self.captured.len() < 4096 {
+            self.captured.push(frame);
+        }
+    }
+
+    /// Whether any campaign of `kind` is currently active.
+    #[must_use]
+    pub fn is_active(&self, kind: AttackKind) -> bool {
+        self.campaigns.iter().any(|c| c.active && c.campaign.kind == kind)
+    }
+
+    /// Ground-truth event log.
+    #[must_use]
+    pub fn events(&self) -> &[AttackEvent] {
+        &self.events
+    }
+
+    /// Total frames the engine has injected.
+    #[must_use]
+    pub fn frames_injected(&self) -> u64 {
+        self.campaigns.iter().map(|c| c.frames_sent).sum()
+    }
+
+    /// Advances all campaigns to `now`, applying radio and GNSS effects
+    /// directly and returning side-effect commands for the orchestrator.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        medium: &mut Medium,
+        gnss: &mut GnssField,
+    ) -> Vec<SideEffect> {
+        let mut effects = Vec::new();
+        let attacker = self.attacker_node;
+        let captured = std::mem::take(&mut self.captured);
+
+        for (idx, state) in self.campaigns.iter_mut().enumerate() {
+            let should_be_active = state.campaign.active_at(now);
+            if should_be_active && !state.active {
+                state.active = true;
+                self.events.push(AttackEvent {
+                    campaign: idx,
+                    kind: state.campaign.kind,
+                    phase: AttackPhase::Started,
+                    at: now,
+                });
+                Self::activate(state, medium, gnss, now, &mut effects);
+            } else if !should_be_active && state.active {
+                state.active = false;
+                self.events.push(AttackEvent {
+                    campaign: idx,
+                    kind: state.campaign.kind,
+                    phase: AttackPhase::Ended,
+                    at: now,
+                });
+                Self::deactivate(state, medium, gnss, &mut effects);
+            }
+
+            if state.active {
+                Self::per_tick(state, attacker, &captured, medium, now, &mut self.seq);
+            }
+        }
+        self.captured = captured;
+        effects
+    }
+
+    fn area_of(target: &AttackTarget) -> Option<(Vec2, f64)> {
+        match target {
+            AttackTarget::Area { center, radius_m } => Some((*center, *radius_m)),
+            _ => None,
+        }
+    }
+
+    fn activate(
+        state: &mut CampaignState,
+        medium: &mut Medium,
+        gnss: &mut GnssField,
+        now: SimTime,
+        effects: &mut Vec<SideEffect>,
+    ) {
+        let intensity = state.campaign.intensity.clamp(0.0, 1.0);
+        match state.campaign.kind {
+            AttackKind::RfJamming => {
+                if let Some((center, _)) = Self::area_of(&state.campaign.target) {
+                    // 10..40 dBm with intensity.
+                    let power = 10.0 + 30.0 * intensity;
+                    state.interferer = Some(medium.add_interferer(center.with_z(2.0), power));
+                }
+            }
+            AttackKind::GnssSpoofing => {
+                if let Some((center, radius_m)) = Self::area_of(&state.campaign.target) {
+                    let handle = gnss.add_spoofer(Spoofer {
+                        center,
+                        radius_m,
+                        drag_mps: Vec2::new(0.2 + 1.8 * intensity, 0.0),
+                        since: now,
+                    });
+                    state.gnss_handle = Some(handle);
+                }
+            }
+            AttackKind::GnssJamming => {
+                if let Some((center, radius_m)) = Self::area_of(&state.campaign.target) {
+                    state.gnss_handle = Some(gnss.add_jammer(GnssJammer { center, radius_m }));
+                }
+            }
+            AttackKind::CameraBlinding => {
+                if let AttackTarget::Machine { label } = &state.campaign.target {
+                    effects.push(SideEffect::BlindSensor {
+                        machine_label: label.clone(),
+                        health: 1.0 - intensity,
+                    });
+                }
+            }
+            AttackKind::FirmwareTampering => {
+                if let AttackTarget::Machine { label } = &state.campaign.target {
+                    effects.push(SideEffect::TamperFirmware { machine_label: label.clone() });
+                }
+            }
+            AttackKind::DeauthFlood | AttackKind::Replay | AttackKind::RogueNode => {
+                // Frame-injection attacks act per tick, not on activation.
+            }
+        }
+    }
+
+    fn deactivate(
+        state: &mut CampaignState,
+        medium: &mut Medium,
+        gnss: &mut GnssField,
+        effects: &mut Vec<SideEffect>,
+    ) {
+        if let Some(id) = state.interferer.take() {
+            medium.remove_interferer(id);
+        }
+        if let Some(handle) = state.gnss_handle.take() {
+            match state.campaign.kind {
+                AttackKind::GnssSpoofing => {
+                    gnss.remove_spoofer(handle);
+                }
+                AttackKind::GnssJamming => {
+                    gnss.remove_jammer(handle);
+                }
+                _ => {}
+            }
+        }
+        if state.campaign.kind == AttackKind::CameraBlinding {
+            if let AttackTarget::Machine { label } = &state.campaign.target {
+                effects.push(SideEffect::RestoreSensor { machine_label: label.clone() });
+            }
+        }
+    }
+
+    fn per_tick(
+        state: &mut CampaignState,
+        attacker: Option<NodeId>,
+        captured: &[Frame],
+        medium: &mut Medium,
+        now: SimTime,
+        seq: &mut u64,
+    ) {
+        let Some(attacker) = attacker else {
+            return; // frame injection needs a radio
+        };
+        let intensity = state.campaign.intensity.clamp(0.0, 1.0);
+        match state.campaign.kind {
+            AttackKind::DeauthFlood => {
+                if let AttackTarget::Link { spoof_as, victim } = state.campaign.target.clone() {
+                    let burst = 1 + (intensity * 4.0) as u32;
+                    for _ in 0..burst {
+                        *seq += 1;
+                        let frame = Frame::deauth(spoof_as, victim).with_seq(*seq);
+                        let _ = medium.transmit(attacker, frame, now);
+                        state.frames_sent += 1;
+                    }
+                }
+            }
+            AttackKind::Replay => {
+                // Re-inject up to `burst` previously captured frames.
+                let burst = (1 + (intensity * 2.0) as usize).min(captured.len());
+                for frame in captured.iter().rev().take(burst) {
+                    let _ = medium.transmit(attacker, frame.clone(), now);
+                    state.frames_sent += 1;
+                }
+            }
+            AttackKind::RogueNode => {
+                if let AttackTarget::Link { spoof_as: _, victim } = state.campaign.target.clone() {
+                    *seq += 1;
+                    let frame = Frame::assoc_request(attacker, victim).with_seq(*seq);
+                    let _ = medium.transmit(attacker, frame, now);
+                    state.frames_sent += 1;
+                } else {
+                    *seq += 1;
+                    let frame = Frame::broadcast(attacker, b"rogue-hello".to_vec()).with_seq(*seq);
+                    let _ = medium.transmit(attacker, frame, now);
+                    state.frames_sent += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_comms::MediumConfig;
+    use silvasec_sim::geom::Vec3;
+    use silvasec_sim::rng::SimRng;
+    use silvasec_sim::time::SimDuration;
+
+    struct Fixture {
+        medium: Medium,
+        gnss: GnssField,
+        engine: AttackEngine,
+        bs: NodeId,
+        victim: NodeId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut medium = Medium::new(MediumConfig::default(), SimRng::from_seed(1));
+        let bs = medium.add_node(Vec3::new(0.0, 0.0, 5.0));
+        let victim = medium.add_node(Vec3::new(50.0, 0.0, 2.0));
+        let attacker = medium.add_node(Vec3::new(80.0, 0.0, 2.0));
+        medium.associate(bs);
+        medium.associate(victim);
+        let mut engine = AttackEngine::new();
+        engine.set_attacker_node(attacker);
+        Fixture { medium, gnss: GnssField::new(), engine, bs, victim }
+    }
+
+    fn jam_campaign(start_s: u64, dur_s: u64) -> AttackCampaign {
+        AttackCampaign {
+            kind: AttackKind::RfJamming,
+            target: AttackTarget::Area { center: Vec2::new(50.0, 0.0), radius_m: 100.0 },
+            start: SimTime::from_secs(start_s),
+            duration: SimDuration::from_secs(dur_s),
+            intensity: 1.0,
+        }
+    }
+
+    #[test]
+    fn lifecycle_events_logged() {
+        let mut f = fixture();
+        f.engine.add_campaign(jam_campaign(10, 20));
+        f.engine.step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
+        assert!(f.engine.events().is_empty());
+        f.engine.step(SimTime::from_secs(10), &mut f.medium, &mut f.gnss);
+        assert_eq!(f.engine.events().len(), 1);
+        assert_eq!(f.engine.events()[0].phase, AttackPhase::Started);
+        f.engine.step(SimTime::from_secs(30), &mut f.medium, &mut f.gnss);
+        assert_eq!(f.engine.events().len(), 2);
+        assert_eq!(f.engine.events()[1].phase, AttackPhase::Ended);
+        assert!(!f.engine.is_active(AttackKind::RfJamming));
+    }
+
+    #[test]
+    fn jamming_adds_and_removes_interference() {
+        let mut f = fixture();
+        f.engine.add_campaign(jam_campaign(0, 10));
+        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        let during = f.medium.interference_at(Vec3::new(50.0, 0.0, 2.0));
+        assert!(during.is_some());
+        f.engine.step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
+        let after = f.medium.interference_at(Vec3::new(50.0, 0.0, 2.0));
+        assert!(after.is_none());
+    }
+
+    #[test]
+    fn deauth_flood_disassociates_victim() {
+        let mut f = fixture();
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::DeauthFlood,
+            target: AttackTarget::Link { spoof_as: f.bs, victim: f.victim },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(60),
+            intensity: 1.0,
+        });
+        for t in 0..10 {
+            f.engine.step(SimTime::from_secs(t), &mut f.medium, &mut f.gnss);
+        }
+        assert!(f.engine.frames_injected() >= 10);
+        assert!(!f.medium.is_associated(f.victim, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn gnss_attacks_manage_field() {
+        let mut f = fixture();
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::GnssSpoofing,
+            target: AttackTarget::Area { center: Vec2::new(50.0, 0.0), radius_m: 200.0 },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(10),
+            intensity: 0.5,
+        });
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::GnssJamming,
+            target: AttackTarget::Area { center: Vec2::new(400.0, 0.0), radius_m: 50.0 },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(10),
+            intensity: 1.0,
+        });
+        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        assert_eq!(f.gnss.counts(), (1, 1));
+        assert!(f.gnss.is_jammed(Vec2::new(400.0, 0.0)));
+        f.engine.step(SimTime::from_secs(15), &mut f.medium, &mut f.gnss);
+        assert_eq!(f.gnss.counts(), (0, 0));
+    }
+
+    #[test]
+    fn blinding_produces_side_effects() {
+        let mut f = fixture();
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::CameraBlinding,
+            target: AttackTarget::Machine { label: "forwarder-01".into() },
+            start: SimTime::from_secs(5),
+            duration: SimDuration::from_secs(10),
+            intensity: 0.9,
+        });
+        let effects = f.engine.step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
+        assert_eq!(effects.len(), 1);
+        match &effects[0] {
+            SideEffect::BlindSensor { machine_label, health } => {
+                assert_eq!(machine_label, "forwarder-01");
+                assert!((health - 0.1).abs() < 1e-9);
+            }
+            other => panic!("unexpected effect {other:?}"),
+        }
+        let effects = f.engine.step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
+        assert!(matches!(&effects[0], SideEffect::RestoreSensor { machine_label } if machine_label == "forwarder-01"));
+    }
+
+    #[test]
+    fn replay_reinjects_captured_frames() {
+        let mut f = fixture();
+        // Capture a legitimate frame.
+        let legit = Frame::data(f.victim, f.bs, b"waypoint".to_vec()).with_seq(42);
+        f.engine.capture(legit.clone());
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::Replay,
+            target: AttackTarget::Network,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(5),
+            intensity: 1.0,
+        });
+        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        let rx = f.medium.drain_inbox(f.bs);
+        assert!(
+            rx.iter().any(|r| r.frame == legit),
+            "replayed frame did not arrive"
+        );
+    }
+
+    #[test]
+    fn frame_attacks_without_attacker_node_are_inert() {
+        let mut medium = Medium::new(MediumConfig::default(), SimRng::from_seed(2));
+        let bs = medium.add_node(Vec3::new(0.0, 0.0, 5.0));
+        let victim = medium.add_node(Vec3::new(10.0, 0.0, 2.0));
+        medium.associate(victim);
+        let mut gnss = GnssField::new();
+        let mut engine = AttackEngine::new();
+        engine.add_campaign(AttackCampaign {
+            kind: AttackKind::DeauthFlood,
+            target: AttackTarget::Link { spoof_as: bs, victim },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(10),
+            intensity: 1.0,
+        });
+        engine.step(SimTime::from_secs(1), &mut medium, &mut gnss);
+        assert_eq!(engine.frames_injected(), 0);
+        assert!(medium.is_associated(victim, SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn firmware_tamper_is_one_shot() {
+        let mut f = fixture();
+        f.engine.add_campaign(AttackCampaign {
+            kind: AttackKind::FirmwareTampering,
+            target: AttackTarget::Machine { label: "drone-01".into() },
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(1),
+            intensity: 1.0,
+        });
+        let e1 = f.engine.step(SimTime::ZERO, &mut f.medium, &mut f.gnss);
+        assert_eq!(e1.len(), 1);
+        let e2 = f.engine.step(SimTime::from_millis(500), &mut f.medium, &mut f.gnss);
+        assert!(e2.is_empty(), "tamper must fire once");
+    }
+}

@@ -1,0 +1,64 @@
+//! Attack injection for the forestry worksite.
+//!
+//! Implements the attack classes the paper's survey (Sec. IV-C) collects
+//! from the mining and automotive literature: RF jamming, Wi-Fi
+//! de-authentication floods, GNSS spoofing and jamming, camera blinding,
+//! frame replay, rogue nodes and firmware tampering.
+//!
+//! **Security-boundary realism**: every attack here operates through the
+//! simulated physics — forged frames on the [`silvasec_comms::Medium`],
+//! interference power, the regional [`silvasec_machines::GnssField`], or
+//! optical interference with a sensor. Attacks never reach into victim
+//! state. Camera blinding and firmware tampering are returned as
+//! [`SideEffect`] commands because their physical carriers (a laser
+//! pointed at a lens; a compromised update server) live outside the radio
+//! medium; the orchestrator applies them to the targeted component only.
+//!
+//! * [`campaign`] — attack campaign descriptions and scheduling.
+//! * [`engine`] — the [`engine::AttackEngine`] driving active campaigns
+//!   each tick and logging ground-truth [`engine::AttackEvent`]s (used by
+//!   the evaluation to measure detection latency).
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_attacks::prelude::*;
+//! use silvasec_comms::prelude::*;
+//! use silvasec_machines::GnssField;
+//! use silvasec_sim::prelude::*;
+//!
+//! let mut medium = Medium::new(MediumConfig::default(), SimRng::from_seed(1));
+//! let _bs = medium.add_node(Vec3::new(0.0, 0.0, 5.0));
+//! let mut gnss = GnssField::new();
+//!
+//! let mut engine = AttackEngine::new();
+//! engine.add_campaign(AttackCampaign {
+//!     kind: AttackKind::RfJamming,
+//!     target: AttackTarget::Area { center: Vec2::new(100.0, 100.0), radius_m: 150.0 },
+//!     start: SimTime::from_secs(10),
+//!     duration: SimDuration::from_secs(60),
+//!     intensity: 1.0,
+//! });
+//!
+//! // Before start: nothing active.
+//! engine.step(SimTime::from_secs(5), &mut medium, &mut gnss);
+//! assert!(!engine.is_active(AttackKind::RfJamming));
+//! // During the window: the jammer is on the medium.
+//! engine.step(SimTime::from_secs(20), &mut medium, &mut gnss);
+//! assert!(engine.is_active(AttackKind::RfJamming));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod engine;
+
+pub use campaign::{AttackCampaign, AttackKind, AttackTarget};
+pub use engine::{AttackEngine, AttackEvent, AttackPhase, SideEffect};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::campaign::{AttackCampaign, AttackKind, AttackTarget};
+    pub use crate::engine::{AttackEngine, AttackEvent, AttackPhase, SideEffect};
+}

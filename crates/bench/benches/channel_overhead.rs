@@ -1,0 +1,51 @@
+//! E6 (part 2): secure-channel cost on safety traffic — handshake
+//! latency and per-record seal/open across message sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use silvasec_bench::session_pair;
+use std::hint::black_box;
+
+fn bench_handshake(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handshake");
+    group.sample_size(10);
+    group.bench_function("full-mutual-handshake", |b| {
+        b.iter(|| session_pair(black_box(1)));
+    });
+    group.finish();
+}
+
+fn bench_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("records");
+    for size in [32usize, 256, 1024, 8192] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &size, |b, &s| {
+            let (mut a, _) = session_pair(2);
+            let msg = vec![0u8; s];
+            b.iter(|| a.seal(black_box(&msg)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("seal-open", size), &size, |b, &s| {
+            let (mut a, mut bb) = session_pair(3);
+            let msg = vec![0u8; s];
+            b.iter(|| {
+                let rec = a.seal(black_box(&msg)).unwrap();
+                bb.open(&rec).unwrap()
+            });
+        });
+        // The plaintext baseline: a memcpy-equivalent.
+        group.bench_with_input(BenchmarkId::new("plaintext-copy", size), &size, |b, &s| {
+            let msg = vec![0u8; s];
+            b.iter(|| black_box(msg.clone()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rekey(c: &mut Criterion) {
+    c.bench_function("rekey", |b| {
+        let (mut a, _) = session_pair(4);
+        b.iter(|| a.rekey());
+    });
+}
+
+criterion_group!(benches, bench_handshake, bench_records, bench_rekey);
+criterion_main!(benches);

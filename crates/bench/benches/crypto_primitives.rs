@@ -1,0 +1,70 @@
+//! E6 (part 1): throughput of the from-scratch crypto primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use silvasec_crypto::aead::ChaCha20Poly1305;
+use silvasec_crypto::chacha20::ChaCha20;
+use silvasec_crypto::hmac::HmacSha256;
+use silvasec_crypto::schnorr::SigningKey;
+use silvasec_crypto::{sha256, x25519};
+use std::hint::black_box;
+
+fn bench_hash_and_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash-mac");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256::digest(black_box(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("hmac-sha256", size), &data, |b, d| {
+            b.iter(|| HmacSha256::mac(b"key", black_box(d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cipher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher");
+    let cipher = ChaCha20::new(&[7u8; 32]);
+    let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+    for size in [64usize, 1024, 16 * 1024] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("chacha20", size), &size, |b, &s| {
+            let mut data = vec![0u8; s];
+            b.iter(|| cipher.apply_keystream(&[0u8; 12], 1, black_box(&mut data)));
+        });
+        group.bench_with_input(BenchmarkId::new("chacha20poly1305-seal", size), &size, |b, &s| {
+            let data = vec![0u8; s];
+            b.iter(|| aead.seal(&[0u8; 12], b"", black_box(&data)));
+        });
+        group.bench_with_input(BenchmarkId::new("chacha20poly1305-open", size), &size, |b, &s| {
+            let sealed = aead.seal(&[0u8; 12], b"", &vec![0u8; s]);
+            b.iter(|| aead.open(&[0u8; 12], b"", black_box(&sealed)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_public_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("public-key");
+    group.sample_size(20);
+    group.bench_function("x25519-dh", |b| {
+        let (private, _) = x25519::keypair(&[1u8; 32]);
+        let (_, peer) = x25519::keypair(&[2u8; 32]);
+        b.iter(|| x25519::diffie_hellman(black_box(&private), black_box(&peer)));
+    });
+    let sk = SigningKey::from_seed(&[3u8; 32]);
+    let msg = [0u8; 128];
+    group.bench_function("schnorr-sign", |b| {
+        b.iter(|| sk.sign(black_box(&msg)));
+    });
+    let sig = sk.sign(&msg);
+    let vk = sk.verifying_key();
+    group.bench_function("schnorr-verify", |b| {
+        b.iter(|| vk.verify(black_box(&msg), black_box(&sig)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash_and_mac, bench_cipher, bench_public_key);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E1 (bench form): IDS observation throughput — the cost of running the
+//! detectors at worksite tick rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use silvasec_ids::prelude::*;
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::SimTime;
+use std::hint::black_box;
+
+fn bench_detectors(c: &mut Criterion) {
+    c.bench_function("ids-radio-observe", |b| {
+        let mut ids = WorksiteIds::new(IdsConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            ids.observe_radio(black_box(&RadioObservation {
+                node_label: "fw".into(),
+                at: SimTime::from_millis(t * 500),
+                noise_dbm: Some(-94.0 + (t % 7) as f64),
+                delivery_ratio: 0.97,
+                deauth_frames: 0,
+                auth_failures: 0,
+                unknown_assoc_requests: 0,
+            }))
+        });
+    });
+
+    c.bench_function("ids-nav-observe", |b| {
+        let mut ids = WorksiteIds::new(IdsConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            ids.observe_nav(black_box(&NavObservation {
+                machine_label: "fw".into(),
+                at: SimTime::from_millis(t * 500),
+                gnss_fix: Some(Vec2::new(t as f64, 0.0)),
+                dead_reckoned: Vec2::new(t as f64, 0.5),
+                moving: true,
+            }))
+        });
+    });
+
+    c.bench_function("ids-sensor-observe", |b| {
+        let mut ids = WorksiteIds::new(IdsConfig::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            ids.observe_sensor(black_box(&SensorObservation {
+                sensor_label: "fw/cam".into(),
+                at: SimTime::from_millis(t * 500),
+                feature_count: 15 + (t % 5) as u32,
+            }))
+        });
+    });
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

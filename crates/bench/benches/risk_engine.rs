@@ -1,0 +1,79 @@
+//! E3 (tara_scaling): risk-engine cost versus model size, plus the
+//! built-in worksite model assessment and the assurance-case build.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silvasec_risk::assets::{Asset, AssetCategory, SecurityProperty};
+use silvasec_risk::catalog;
+use silvasec_risk::feasibility::AttackPotential;
+use silvasec_risk::impact::{ImpactCategory, ImpactLevel, ImpactRating};
+use silvasec_risk::tara::Tara;
+use silvasec_risk::threat::{AttackStep, DamageScenario, ThreatScenario, WorksiteModel};
+use std::hint::black_box;
+
+/// Builds a synthetic model with `n` assets and ~2n threats.
+fn synthetic_model(n: usize) -> WorksiteModel {
+    let mut model = WorksiteModel::default();
+    for i in 0..n {
+        model.assets.push(Asset::new(
+            format!("asset-{i}"),
+            format!("asset {i}"),
+            AssetCategory::Sensor,
+            vec![SecurityProperty::Integrity, SecurityProperty::Availability],
+        ));
+        model.damage_scenarios.push(DamageScenario {
+            id: format!("ds-{i}"),
+            asset_id: format!("asset-{i}"),
+            violated_property: SecurityProperty::Integrity,
+            description: "damage".into(),
+            impact: ImpactRating::new().with(
+                ImpactCategory::Operational,
+                if i % 3 == 0 { ImpactLevel::Severe } else { ImpactLevel::Major },
+            ),
+        });
+        for j in 0..2 {
+            model.threats.push(ThreatScenario {
+                id: format!("ts-{i}-{j}"),
+                damage_scenario_id: format!("ds-{i}"),
+                attack_class: None,
+                threat_agent: "agent".into(),
+                attack_paths: vec![vec![AttackStep {
+                    action: "attack".into(),
+                    potential: AttackPotential::new((i % 20) as u8, (j * 3) as u8, 0, 0, 0),
+                }]],
+            });
+        }
+    }
+    model
+}
+
+fn bench_tara_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tara-scaling");
+    for n in [10usize, 50, 200, 800] {
+        let model = synthetic_model(n);
+        group.bench_with_input(BenchmarkId::new("assess", n), &model, |b, m| {
+            b.iter(|| Tara::assess(black_box(m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_worksite_pipeline(c: &mut Criterion) {
+    let model = catalog::worksite_model();
+    c.bench_function("worksite-tara", |b| {
+        b.iter(|| Tara::assess(black_box(&model)));
+    });
+    let report = Tara::assess(&model);
+    c.bench_function("worksite-assurance-build", |b| {
+        b.iter(|| silvasec_assurance::builder::build_security_case(black_box(&report), "w"));
+    });
+    let case = silvasec_assurance::builder::build_security_case(&report, "w");
+    c.bench_function("worksite-assurance-check", |b| {
+        b.iter(|| {
+            let defects = case.check();
+            assert!(defects.is_empty());
+        });
+    });
+}
+
+criterion_group!(benches, bench_tara_scaling, bench_worksite_pipeline);
+criterion_main!(benches);

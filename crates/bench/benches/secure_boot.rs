@@ -1,0 +1,56 @@
+//! E7: verified-boot overhead versus firmware image size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use silvasec_crypto::schnorr::SigningKey;
+use silvasec_secure_boot::prelude::*;
+use std::hint::black_box;
+
+fn bench_boot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verified-boot");
+    group.sample_size(20);
+    let signer = SigningKey::from_seed(&[1u8; 32]);
+    for size_kib in [16usize, 128, 1024] {
+        let payload = vec![0x5au8; size_kib * 1024];
+        let chain = vec![
+            FirmwareImage::new("dev", FirmwareStage::Bootloader, 1, vec![0u8; 8 * 1024])
+                .sign(&signer),
+            FirmwareImage::new("dev", FirmwareStage::Application, 1, payload).sign(&signer),
+        ];
+        group.throughput(Throughput::Bytes((size_kib * 1024) as u64));
+        group.bench_with_input(BenchmarkId::new("boot", size_kib), &chain, |b, chain| {
+            b.iter(|| {
+                let mut device = Device::new("dev", signer.verifying_key());
+                let report = device.boot(black_box(chain));
+                assert!(report.success);
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_attestation(c: &mut Criterion) {
+    let signer = SigningKey::from_seed(&[1u8; 32]);
+    let device_key = SigningKey::from_seed(&[2u8; 32]);
+    let chain = vec![
+        FirmwareImage::new("dev", FirmwareStage::Bootloader, 1, vec![0u8; 4096]).sign(&signer),
+        FirmwareImage::new("dev", FirmwareStage::Application, 1, vec![0u8; 4096]).sign(&signer),
+    ];
+    let mut device = Device::new("dev", signer.verifying_key());
+    let report = device.boot(&chain);
+    let verifier = QuoteVerifier::new(&report.pcrs);
+    let nonce = [9u8; 32];
+
+    c.bench_function("attestation-quote", |b| {
+        b.iter(|| Quote::generate(black_box(&report.pcrs), &nonce, &device_key));
+    });
+    let quote = Quote::generate(&report.pcrs, &nonce, &device_key);
+    c.bench_function("attestation-verify", |b| {
+        b.iter(|| {
+            assert!(verifier.verify(black_box(&quote), &nonce, &device_key.verifying_key()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_boot, bench_attestation);
+criterion_main!(benches);

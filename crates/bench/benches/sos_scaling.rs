@@ -1,0 +1,45 @@
+//! E4: modular vs monolithic SoS assurance re-validation cost as the
+//! number of constituent systems grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use silvasec::experiments::build_sos_composition;
+use std::hint::black_box;
+
+fn bench_composition_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sos-assurance");
+    for n in [2usize, 8, 32, 64] {
+        let composition = build_sos_composition(n, 10);
+        group.bench_with_input(BenchmarkId::new("monolithic-check", n), &composition, |b, comp| {
+            b.iter(|| {
+                let defects = comp.check_all();
+                assert!(defects.is_empty());
+                black_box(defects)
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("modular-recheck-one", n),
+            &composition,
+            |b, comp| {
+                b.iter(|| {
+                    let defects = comp.check_incremental("constituent-0");
+                    assert!(defects.is_empty());
+                    black_box(defects)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_composition_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sos-build");
+    for n in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |b, &n| {
+            b.iter(|| build_sos_composition(black_box(n), 10));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_composition_checks, bench_composition_build);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **E1** — the attack × defense matrix: detection rate, time-to-detect
+//! and mission impact for every runtime attack class, with the IDS on
+//! and off.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin exp1_attack_matrix`
+
+use silvasec::experiments::attack_matrix;
+use silvasec::prelude::*;
+use silvasec_sim::time::SimDuration;
+
+fn print_matrix(label: &str, posture: SecurityPosture) {
+    println!("--- {label} ---");
+    println!(
+        "{:<18} {:>9} {:>9} {:>13} {:>10} {:>8} {:>8}",
+        "attack", "detected", "ttd (s)", "productivity", "delivery", "incid.", "forged"
+    );
+    let rows = attack_matrix(posture, 3, SimDuration::from_secs(300));
+    for r in rows {
+        println!(
+            "{:<18} {:>9} {:>9} {:>12.0}% {:>9.1}% {:>8} {:>8}",
+            r.attack,
+            if r.detected { "yes" } else { "no" },
+            r.time_to_detect_s.map_or("-".into(), |t| format!("{t:.1}")),
+            r.productivity_ratio * 100.0,
+            r.delivery_ratio * 100.0,
+            r.safety_incidents,
+            r.forged_accepted
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("E1 — attack × defense matrix (300 s runs, attack t=60 s for 150 s)\n");
+    print_matrix("full security posture (secure channel + MFP + IDS)", SecurityPosture::secure());
+    print_matrix(
+        "no IDS (channels still secured)",
+        SecurityPosture { ids: false, ..SecurityPosture::secure() },
+    );
+    print_matrix("undefended baseline", SecurityPosture::insecure());
+    println!("shape to verify: with the IDS on, every attack class is detected with");
+    println!("bounded delay; without it, nothing is detected; undefended runs accept");
+    println!("forged traffic and suffer larger availability loss.");
+    println!();
+    println!("reading notes: 'productivity' is distance driven relative to the clean");
+    println!("baseline — under GNSS spoofing without a response it can exceed 100%");
+    println!("because the dragged machine drives *further yet off-course*; the secure");
+    println!("posture's lower value there is the protective stop doing its job.");
+}

@@ -1,0 +1,37 @@
+//! **E5** — continuous vs static risk assessment: the latency from
+//! attack onset through IDS detection to risk escalation and
+//! assurance-case invalidation.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin exp5_continuous`
+
+use silvasec::experiments::continuous_latency;
+use silvasec::prelude::*;
+
+fn main() {
+    println!("E5 — continuous assessment reaction chain (attack onset at t=60 s)\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>12} {:>14}",
+        "attack", "onset (s)", "alert (s)", "risk before", "risk after", "goals in doubt"
+    );
+    for kind in [
+        AttackKind::RfJamming,
+        AttackKind::DeauthFlood,
+        AttackKind::GnssSpoofing,
+        AttackKind::GnssJamming,
+        AttackKind::CameraBlinding,
+    ] {
+        let row = continuous_latency(kind, 11);
+        println!(
+            "{:<18} {:>10.0} {:>12} {:>12} {:>12} {:>14}",
+            row.attack,
+            row.onset_s,
+            row.alert_s.map_or("undetected".into(), |t| format!("{t:.1}")),
+            row.risk_before,
+            row.risk_after,
+            row.goals_in_doubt
+        );
+    }
+    println!("\nthe static assessment would keep the pre-attack risk values forever;");
+    println!("the continuous layer escalates within one detection latency of onset and");
+    println!("immediately marks the affected assurance claims as in doubt.");
+}

@@ -1,0 +1,50 @@
+//! **E9** — the SOTIF evidence loop (ISO 21448, the paper's Sec. III-C):
+//! collect approach-episode evidence for the people-detection function
+//! per weather condition and reclassify each triggering condition into
+//! the known/unknown × safe/unsafe areas.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin exp9_sotif`
+
+use silvasec::experiments::sotif_evidence;
+use silvasec::risk::sotif::Evidence;
+use silvasec::sim::time::SimDuration;
+use silvasec::sim::weather::Weather;
+
+fn main() {
+    println!("E9 — SOTIF evidence for the collaborative people-detection function");
+    println!("(unsafe episode = worker reaches 15 m still undetected; acceptance");
+    println!(" threshold: unsafe-rate upper bound ≤ 0.05; 3 seeds × 40 min each)\n");
+    println!(
+        "{:<12} {:>9} {:>8} {:>12} {:>13} {:>14}",
+        "weather", "episodes", "unsafe", "rate", "upper bound", "classification"
+    );
+    for weather in [
+        Weather::Clear,
+        Weather::Overcast,
+        Weather::Rain,
+        Weather::HeavyRain,
+        Weather::Fog,
+        Weather::Snow,
+    ] {
+        let mut total = Evidence::default();
+        for seed in [7u64, 19, 31] {
+            let e = sotif_evidence(weather, seed, SimDuration::from_secs(2400));
+            total.exposures += e.exposures;
+            total.unsafe_outcomes += e.unsafe_outcomes;
+        }
+        println!(
+            "{:<12} {:>9} {:>8} {:>11.1}% {:>12.1}% {:>14}",
+            format!("{weather:?}"),
+            total.exposures,
+            total.unsafe_outcomes,
+            total.unsafe_rate() * 100.0,
+            total.unsafe_rate_upper_bound() * 100.0,
+            format!("{:?}", total.classify(0.05))
+        );
+    }
+    println!("\nshape to verify: all conditions except fog classify KnownSafe — the");
+    println!("drone redundancy absorbs rain and snow degradation — while fog stays");
+    println!("KnownUnsafe with a large margin. The pre-declared triggering condition");
+    println!("(tc.fog) gets quantitative evidence, and the operational limit (no");
+    println!("autonomous operation in fog) follows directly.");
+}

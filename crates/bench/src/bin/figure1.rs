@@ -1,0 +1,65 @@
+//! Regenerates **Figure 1** as a quantitative scenario: the full
+//! partially-autonomous worksite (autonomous forwarder, manned harvester,
+//! observation drone) over a simulated shift, with and without the
+//! security controls, under a combined attack campaign.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin figure1`
+
+use silvasec::experiments::{campaign_for, standard_config};
+use silvasec::prelude::*;
+
+fn run(posture: SecurityPosture, attacks: bool, seed: u64) -> silvasec::sos::metrics::WorksiteMetrics {
+    let mut site = Worksite::new(&standard_config(posture), seed);
+    if attacks {
+        for (kind, start) in [
+            (AttackKind::DeauthFlood, 300),
+            (AttackKind::RfJamming, 700),
+            (AttackKind::CameraBlinding, 1100),
+            (AttackKind::GnssSpoofing, 1500),
+            (AttackKind::Replay, 1900),
+        ] {
+            site.attack_engine_mut().add_campaign(campaign_for(
+                kind,
+                SimTime::from_secs(start),
+                SimDuration::from_secs(180),
+            ));
+        }
+    }
+    site.run(SimDuration::from_secs(2400));
+    site.metrics().clone()
+}
+
+fn print_row(label: &str, m: &silvasec::sos::metrics::WorksiteMetrics) {
+    println!(
+        "{:<30} {:>6} {:>10.0} {:>10.1} {:>9.1} {:>9} {:>8} {:>7}",
+        label,
+        m.loads_delivered,
+        m.distance_m,
+        m.delivery_ratio() * 100.0,
+        m.drone_feed_ratio() * 100.0,
+        m.safety_incidents.len(),
+        m.forged_accepted,
+        m.alerts.values().sum::<u64>()
+    );
+}
+
+fn main() {
+    println!("FIGURE 1 — the partially-autonomous worksite, 40 simulated minutes");
+    println!("(five-phase attack campaign in the attacked runs)\n");
+    println!(
+        "{:<30} {:>6} {:>10} {:>10} {:>9} {:>9} {:>8} {:>7}",
+        "scenario", "loads", "dist (m)", "deliv %", "drone %", "incid.", "forged", "alerts"
+    );
+    for seed in [11u64, 12, 13] {
+        print_row(&format!("secure, no attacks (s{seed})"), &run(SecurityPosture::secure(), false, seed));
+    }
+    for seed in [11u64, 12, 13] {
+        print_row(&format!("secure, attacked   (s{seed})"), &run(SecurityPosture::secure(), true, seed));
+    }
+    for seed in [11u64, 12, 13] {
+        print_row(&format!("insecure, attacked (s{seed})"), &run(SecurityPosture::insecure(), true, seed));
+    }
+    println!("\nshape to verify: the hardened worksite under attack keeps forged=0 and");
+    println!("raises alerts; the undefended one silently accepts forged traffic and");
+    println!("loses more telemetry and drone-feed availability.");
+}

@@ -1,0 +1,69 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The table/figure regeneration binaries live in `src/bin/`; the
+//! Criterion micro/mesobenchmarks in `benches/`. Each binary prints the
+//! rows of one table or the series of one figure from `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use silvasec_channel::{HandshakePolicy, Identity, Initiator, Responder, Session};
+use silvasec_crypto::schnorr::SigningKey;
+use silvasec_pki::prelude::*;
+
+/// Builds a two-party PKI and an established session pair, for channel
+/// benchmarks and binaries.
+#[must_use]
+pub fn session_pair(seed: u8) -> (Session, Session) {
+    let mut root =
+        CertificateAuthority::new_root("root", &[seed; 32], Validity::new(0, 1_000_000));
+    let store = TrustStore::with_roots([root.certificate().clone()]);
+    let make = |id: &str, role, s: u8, root: &mut CertificateAuthority| {
+        let key = SigningKey::from_seed(&[s; 32]);
+        let cert = root.issue_mut(
+            &Subject::new(id, role),
+            &key.verifying_key(),
+            KeyUsage::AUTHENTICATION,
+            Validity::new(0, 500_000),
+        );
+        Identity::new(vec![cert], key)
+    };
+    let a = make("a", ComponentRole::Forwarder, seed.wrapping_add(1), &mut root);
+    let b = make("b", ComponentRole::BaseStation, seed.wrapping_add(2), &mut root);
+    let policy = HandshakePolicy::new(store, 100);
+    let (init, hello) = Initiator::start(a, [seed.wrapping_add(3); 32], [seed.wrapping_add(4); 32]);
+    let (resp, reply) = Responder::respond(
+        b,
+        &policy,
+        &hello,
+        [seed.wrapping_add(5); 32],
+        [seed.wrapping_add(6); 32],
+    )
+    .expect("handshake");
+    let (sa, finished) = init.finish(&policy, &reply).expect("finish");
+    let sb = resp.complete(&finished).expect("complete");
+    (sa, sb)
+}
+
+/// Formats a fraction as a percentage string.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_pair_works() {
+        let (mut a, mut b) = session_pair(1);
+        let rec = a.seal(b"x").unwrap();
+        assert_eq!(b.open(&rec).unwrap(), b"x");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the secure channel.
+
+use silvasec_crypto::CryptoError;
+use silvasec_pki::PkiError;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by handshake or record-layer processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// Peer certificate chain failed validation.
+    Pki(PkiError),
+    /// A signature, tag or key operation failed.
+    Crypto(CryptoError),
+    /// A handshake or record message could not be decoded.
+    Decode,
+    /// The peer's ephemeral key produced an all-zero shared secret
+    /// (small-order point injection).
+    SmallOrderKey,
+    /// A record's sequence number was already seen or too old.
+    Replay,
+    /// The record layer exhausted its sequence space; rekey required.
+    SequenceExhausted,
+    /// The handshake transcript signature did not match.
+    BadTranscript,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::Pki(e) => write!(f, "peer certificate rejected: {e}"),
+            ChannelError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            ChannelError::Decode => write!(f, "malformed channel message"),
+            ChannelError::SmallOrderKey => write!(f, "peer supplied a small-order key"),
+            ChannelError::Replay => write!(f, "replayed or stale record"),
+            ChannelError::SequenceExhausted => write!(f, "record sequence space exhausted"),
+            ChannelError::BadTranscript => write!(f, "handshake transcript signature mismatch"),
+        }
+    }
+}
+
+impl Error for ChannelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChannelError::Pki(e) => Some(e),
+            ChannelError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PkiError> for ChannelError {
+    fn from(e: PkiError) -> Self {
+        ChannelError::Pki(e)
+    }
+}
+
+impl From<CryptoError> for ChannelError {
+    fn from(e: CryptoError) -> Self {
+        ChannelError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ChannelError::Pki(PkiError::EmptyChain);
+        assert!(e.to_string().contains("certificate"));
+        assert!(e.source().is_some());
+        assert!(ChannelError::Replay.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let _: ChannelError = PkiError::EmptyChain.into();
+        let _: ChannelError = CryptoError::VerificationFailed.into();
+    }
+}

@@ -1,0 +1,77 @@
+//! A TLS-like mutually-authenticated secure channel for worksite links.
+//!
+//! The paper (via IEC TS 63074 and Chattopadhyay & Lam) prescribes
+//! identification & authentication, integrity and confidentiality for the
+//! communication of safety-related machinery. This crate implements the
+//! concrete mechanism: a SIGMA-style handshake — X25519 ephemeral key
+//! agreement authenticated by certificate signatures — keying a
+//! ChaCha20-Poly1305 record layer with replay protection and rekeying.
+//!
+//! * [`messages`] — compact wire encodings of the handshake messages.
+//! * [`handshake`] — the initiator/responder handshake state machines.
+//! * [`session`] — the AEAD record layer ([`session::Session`]).
+//! * [`replay`] — the sliding-window replay filter.
+//!
+//! # Handshake shape
+//!
+//! ```text
+//! I → R:  Hello    { eph_pub_i, nonce_i, cert_chain_i }
+//! R → I:  Reply    { eph_pub_r, nonce_r, cert_chain_r, sig_r(transcript) }
+//! I → R:  Finished { sig_i(transcript) }
+//! ```
+//!
+//! Both sides derive directional AEAD keys with HKDF over the X25519
+//! shared secret bound to both nonces and both certificates.
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_channel::prelude::*;
+//! use silvasec_pki::prelude::*;
+//! use silvasec_crypto::schnorr::SigningKey;
+//!
+//! // Worksite PKI.
+//! let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
+//! let store = TrustStore::with_roots([root.certificate().clone()]);
+//! let make_identity = |id: &str, role, seed: [u8; 32], root: &mut CertificateAuthority| {
+//!     let key = SigningKey::from_seed(&seed);
+//!     let cert = root.issue_mut(&Subject::new(id, role), &key.verifying_key(),
+//!         KeyUsage::AUTHENTICATION, Validity::new(0, 500_000));
+//!     Identity::new(vec![cert], key)
+//! };
+//! let fw = make_identity("forwarder-01", ComponentRole::Forwarder, [2u8; 32], &mut root);
+//! let bs = make_identity("base-01", ComponentRole::BaseStation, [3u8; 32], &mut root);
+//!
+//! // Handshake.
+//! let policy = HandshakePolicy::new(store, 100);
+//! let (mut init, hello) = Initiator::start(fw, [4u8; 32], [5u8; 32]);
+//! let (mut resp, reply) = Responder::respond(bs, &policy, &hello, [6u8; 32], [7u8; 32]).unwrap();
+//! let (mut session_i, finished) = init.finish(&policy, &reply).unwrap();
+//! let mut session_r = resp.complete(&finished).unwrap();
+//!
+//! // Authenticated traffic.
+//! let record = session_i.seal(b"emergency stop").unwrap();
+//! assert_eq!(session_r.open(&record).unwrap(), b"emergency stop");
+//! assert_eq!(session_r.peer_id(), "forwarder-01");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod handshake;
+pub mod messages;
+pub mod replay;
+pub mod session;
+
+pub use error::ChannelError;
+pub use handshake::{HandshakePolicy, Identity, Initiator, Responder};
+pub use session::Session;
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::error::ChannelError;
+    pub use crate::handshake::{HandshakePolicy, Identity, Initiator, Responder};
+    pub use crate::replay::ReplayWindow;
+    pub use crate::session::Session;
+}

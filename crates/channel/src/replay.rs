@@ -1,0 +1,131 @@
+//! Sliding-window replay protection for the record layer.
+
+use crate::error::ChannelError;
+
+/// Size of the acceptance window in sequence numbers.
+pub const WINDOW_SIZE: u64 = 64;
+
+/// A sliding-window replay filter (RFC 4303-style).
+///
+/// Accepts each sequence number at most once; numbers older than the
+/// window are rejected outright.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayWindow {
+    /// Highest sequence number accepted so far (+1), 0 = none yet.
+    top: u64,
+    /// Bitmap of the `WINDOW_SIZE` numbers below `top`.
+    bitmap: u64,
+}
+
+impl ReplayWindow {
+    /// Creates an empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        ReplayWindow::default()
+    }
+
+    /// Checks and registers `seq`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::Replay`] when `seq` was already accepted
+    /// or has fallen out of the window.
+    pub fn accept(&mut self, seq: u64) -> Result<(), ChannelError> {
+        if self.top == 0 || seq >= self.top {
+            // Advancing the window.
+            let advance = if self.top == 0 { seq + 1 } else { seq + 1 - self.top };
+            if advance >= WINDOW_SIZE {
+                self.bitmap = 1; // only the new top is marked
+            } else {
+                self.bitmap = (self.bitmap << advance) | 1;
+            }
+            self.top = seq + 1;
+            Ok(())
+        } else {
+            let age = self.top - 1 - seq;
+            if age >= WINDOW_SIZE {
+                return Err(ChannelError::Replay);
+            }
+            let bit = 1u64 << age;
+            if self.bitmap & bit != 0 {
+                return Err(ChannelError::Replay);
+            }
+            self.bitmap |= bit;
+            Ok(())
+        }
+    }
+
+    /// Highest accepted sequence number, if any.
+    #[must_use]
+    pub fn highest(&self) -> Option<u64> {
+        self.top.checked_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_sequence_accepted() {
+        let mut w = ReplayWindow::new();
+        for seq in 0..200 {
+            assert!(w.accept(seq).is_ok(), "seq {seq}");
+        }
+        assert_eq!(w.highest(), Some(199));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut w = ReplayWindow::new();
+        w.accept(5).unwrap();
+        assert_eq!(w.accept(5), Err(ChannelError::Replay));
+        w.accept(6).unwrap();
+        assert_eq!(w.accept(5), Err(ChannelError::Replay));
+        assert_eq!(w.accept(6), Err(ChannelError::Replay));
+    }
+
+    #[test]
+    fn out_of_order_within_window_accepted_once() {
+        let mut w = ReplayWindow::new();
+        w.accept(10).unwrap();
+        w.accept(7).unwrap();
+        w.accept(9).unwrap();
+        assert_eq!(w.accept(7), Err(ChannelError::Replay));
+        assert!(w.accept(8).is_ok());
+    }
+
+    #[test]
+    fn too_old_rejected() {
+        let mut w = ReplayWindow::new();
+        w.accept(100).unwrap();
+        assert_eq!(w.accept(100 - WINDOW_SIZE), Err(ChannelError::Replay));
+        assert!(w.accept(100 - WINDOW_SIZE + 1).is_ok());
+    }
+
+    #[test]
+    fn big_jump_clears_bitmap() {
+        let mut w = ReplayWindow::new();
+        w.accept(1).unwrap();
+        w.accept(1000).unwrap();
+        // 1 is way out of window now.
+        assert_eq!(w.accept(1), Err(ChannelError::Replay));
+        // 999 is in the window and unseen.
+        assert!(w.accept(999).is_ok());
+        assert_eq!(w.accept(1000), Err(ChannelError::Replay));
+    }
+
+    #[test]
+    fn starts_empty() {
+        let w = ReplayWindow::new();
+        assert_eq!(w.highest(), None);
+    }
+
+    #[test]
+    fn zero_sequence_handled() {
+        let mut w = ReplayWindow::new();
+        assert!(w.accept(0).is_ok());
+        assert_eq!(w.accept(0), Err(ChannelError::Replay));
+        assert!(w.accept(1).is_ok());
+    }
+}

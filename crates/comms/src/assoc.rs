@@ -1,0 +1,174 @@
+//! Association state and management-frame protection.
+//!
+//! Worksite machines associate with the base station (the access point of
+//! the internal network — forestry sites have no external infrastructure,
+//! per Table I's "remote and isolated locations"). Legacy management
+//! frames are unauthenticated, so a forged de-auth disassociates a victim;
+//! enabling management-frame protection (MFP) makes receivers drop forged
+//! de-auths. Re-association after a de-auth costs a configurable delay,
+//! which is what the attack converts into denial of service.
+
+use crate::frame::NodeId;
+use std::collections::HashMap;
+
+/// Association state of one station to the access point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssocState {
+    /// Associated and able to exchange data frames.
+    Associated,
+    /// Disassociated; re-association completes at the stored time (ms).
+    Reassociating {
+        /// Sim time (ms) when re-association completes.
+        until_ms: u64,
+    },
+}
+
+/// Association table kept by the access point / each station.
+#[derive(Debug, Clone)]
+pub struct AssociationTable {
+    states: HashMap<NodeId, AssocState>,
+    /// Whether management-frame protection is enabled network-wide.
+    mfp_enabled: bool,
+    /// Time to complete a re-association, ms.
+    reassoc_delay_ms: u64,
+}
+
+impl AssociationTable {
+    /// Creates a table; `mfp_enabled` controls de-auth forgery resistance.
+    #[must_use]
+    pub fn new(mfp_enabled: bool, reassoc_delay_ms: u64) -> Self {
+        AssociationTable { states: HashMap::new(), mfp_enabled, reassoc_delay_ms }
+    }
+
+    /// Registers `node` as associated.
+    pub fn associate(&mut self, node: NodeId) {
+        self.states.insert(node, AssocState::Associated);
+    }
+
+    /// Whether `node` can currently exchange data frames.
+    #[must_use]
+    pub fn is_associated(&self, node: NodeId, now_ms: u64) -> bool {
+        match self.states.get(&node) {
+            Some(AssocState::Associated) => true,
+            Some(AssocState::Reassociating { until_ms }) => now_ms >= *until_ms,
+            None => false,
+        }
+    }
+
+    /// Handles a received de-auth targeting `victim`, with `authentic`
+    /// indicating whether the de-auth was genuinely sent by the network
+    /// (the medium knows the true transmitter).
+    ///
+    /// Returns `true` when the de-auth took effect.
+    pub fn handle_deauth(&mut self, victim: NodeId, authentic: bool, now_ms: u64) -> bool {
+        if self.mfp_enabled && !authentic {
+            return false; // protected management frames: forgery dropped
+        }
+        if self.states.contains_key(&victim) {
+            self.states.insert(
+                victim,
+                AssocState::Reassociating { until_ms: now_ms + self.reassoc_delay_ms },
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Promotes any node whose re-association delay has elapsed.
+    pub fn tick(&mut self, now_ms: u64) {
+        for state in self.states.values_mut() {
+            if let AssocState::Reassociating { until_ms } = state {
+                if now_ms >= *until_ms {
+                    *state = AssocState::Associated;
+                }
+            }
+        }
+    }
+
+    /// Whether management-frame protection is on.
+    #[must_use]
+    pub fn mfp_enabled(&self) -> bool {
+        self.mfp_enabled
+    }
+
+    /// Number of currently registered stations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no stations are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn associate_and_query() {
+        let mut t = AssociationTable::new(false, 1000);
+        assert!(!t.is_associated(NodeId(1), 0));
+        t.associate(NodeId(1));
+        assert!(t.is_associated(NodeId(1), 0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn forged_deauth_works_without_mfp() {
+        let mut t = AssociationTable::new(false, 1000);
+        t.associate(NodeId(1));
+        assert!(t.handle_deauth(NodeId(1), false, 100));
+        assert!(!t.is_associated(NodeId(1), 500));
+        // Recovers after the delay.
+        assert!(t.is_associated(NodeId(1), 1100));
+    }
+
+    #[test]
+    fn forged_deauth_dropped_with_mfp() {
+        let mut t = AssociationTable::new(true, 1000);
+        t.associate(NodeId(1));
+        assert!(!t.handle_deauth(NodeId(1), false, 100));
+        assert!(t.is_associated(NodeId(1), 100));
+    }
+
+    #[test]
+    fn authentic_deauth_works_even_with_mfp() {
+        let mut t = AssociationTable::new(true, 1000);
+        t.associate(NodeId(1));
+        assert!(t.handle_deauth(NodeId(1), true, 100));
+        assert!(!t.is_associated(NodeId(1), 100));
+    }
+
+    #[test]
+    fn deauth_on_unknown_node_is_noop() {
+        let mut t = AssociationTable::new(false, 1000);
+        assert!(!t.handle_deauth(NodeId(9), false, 0));
+    }
+
+    #[test]
+    fn tick_promotes_recovered_nodes() {
+        let mut t = AssociationTable::new(false, 1000);
+        t.associate(NodeId(1));
+        t.handle_deauth(NodeId(1), false, 0);
+        t.tick(500);
+        assert!(!t.is_associated(NodeId(1), 500));
+        t.tick(1000);
+        assert!(t.is_associated(NodeId(1), 1000));
+    }
+
+    #[test]
+    fn repeated_deauth_extends_outage() {
+        let mut t = AssociationTable::new(false, 1000);
+        t.associate(NodeId(1));
+        t.handle_deauth(NodeId(1), false, 0);
+        // Attacker re-sends just before recovery.
+        t.handle_deauth(NodeId(1), false, 900);
+        assert!(!t.is_associated(NodeId(1), 1100));
+        assert!(t.is_associated(NodeId(1), 1900));
+    }
+}

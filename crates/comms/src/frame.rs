@@ -1,0 +1,165 @@
+//! Radio frames: data and (unprotected or protected) management frames.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a radio node on the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// The kind of a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum FrameKind {
+    /// Application data.
+    Data,
+    /// Association request (joining the network).
+    AssocRequest,
+    /// Association response.
+    AssocResponse,
+    /// De-authentication / disassociation notice. In legacy Wi-Fi this is
+    /// unauthenticated — the de-auth attack forges it.
+    Deauth,
+    /// Beacon (periodic presence announcement).
+    Beacon,
+}
+
+/// A frame on the medium.
+///
+/// The `claimed_src` field is what the frame *says* its source is; the
+/// medium records the true transmitter separately. Spoofing = setting
+/// `claimed_src` ≠ the transmitting node. Receivers only ever see
+/// `claimed_src` — exactly the asymmetry the de-auth attack exploits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    /// The source address written into the frame (spoofable).
+    pub claimed_src: NodeId,
+    /// Destination address; `None` = broadcast.
+    pub dst: Option<NodeId>,
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// Payload bytes (ciphertext for protected links).
+    pub payload: Vec<u8>,
+    /// Sequence number stamped by the sender.
+    pub seq: u64,
+}
+
+impl Frame {
+    /// Creates a data frame.
+    #[must_use]
+    pub fn data(src: NodeId, dst: NodeId, payload: Vec<u8>) -> Self {
+        Frame { claimed_src: src, dst: Some(dst), kind: FrameKind::Data, payload, seq: 0 }
+    }
+
+    /// Creates a broadcast data frame.
+    #[must_use]
+    pub fn broadcast(src: NodeId, payload: Vec<u8>) -> Self {
+        Frame { claimed_src: src, dst: None, kind: FrameKind::Data, payload, seq: 0 }
+    }
+
+    /// Creates a de-auth frame claiming to come from `claimed_src`.
+    #[must_use]
+    pub fn deauth(claimed_src: NodeId, dst: NodeId) -> Self {
+        Frame {
+            claimed_src,
+            dst: Some(dst),
+            kind: FrameKind::Deauth,
+            payload: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an association request.
+    #[must_use]
+    pub fn assoc_request(src: NodeId, dst: NodeId) -> Self {
+        Frame {
+            claimed_src: src,
+            dst: Some(dst),
+            kind: FrameKind::AssocRequest,
+            payload: Vec::new(),
+            seq: 0,
+        }
+    }
+
+    /// Sets the sequence number (builder style).
+    #[must_use]
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// On-air size in bytes (header + payload).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        34 + self.payload.len()
+    }
+
+    /// Whether this frame is addressed to `node` (directly or broadcast).
+    #[must_use]
+    pub fn addressed_to(&self, node: NodeId) -> bool {
+        match self.dst {
+            Some(d) => d == node,
+            None => self.claimed_src != node,
+        }
+    }
+}
+
+/// A frame as received: the frame plus reception metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReceivedFrame {
+    /// The frame contents.
+    pub frame: Frame,
+    /// Received signal strength in dBm.
+    pub rssi_dbm: f64,
+    /// Signal-to-interference-plus-noise ratio in dB.
+    pub sinr_db: f64,
+    /// Reception time in milliseconds of sim time.
+    pub at_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(Frame::data(NodeId(1), NodeId(2), vec![]).kind, FrameKind::Data);
+        assert_eq!(Frame::deauth(NodeId(1), NodeId(2)).kind, FrameKind::Deauth);
+        assert_eq!(Frame::assoc_request(NodeId(1), NodeId(2)).kind, FrameKind::AssocRequest);
+        assert_eq!(Frame::broadcast(NodeId(1), vec![]).dst, None);
+    }
+
+    #[test]
+    fn wire_len_includes_header() {
+        assert_eq!(Frame::data(NodeId(1), NodeId(2), vec![0; 100]).wire_len(), 134);
+        assert_eq!(Frame::deauth(NodeId(1), NodeId(2)).wire_len(), 34);
+    }
+
+    #[test]
+    fn addressing() {
+        let f = Frame::data(NodeId(1), NodeId(2), vec![]);
+        assert!(f.addressed_to(NodeId(2)));
+        assert!(!f.addressed_to(NodeId(3)));
+        let b = Frame::broadcast(NodeId(1), vec![]);
+        assert!(b.addressed_to(NodeId(2)));
+        assert!(b.addressed_to(NodeId(3)));
+        assert!(!b.addressed_to(NodeId(1)), "broadcast does not loop back to sender");
+    }
+
+    #[test]
+    fn seq_builder() {
+        let f = Frame::data(NodeId(1), NodeId(2), vec![]).with_seq(42);
+        assert_eq!(f.seq, 42);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node-7");
+    }
+}

@@ -1,0 +1,50 @@
+//! Simulated wireless medium for the forestry worksite.
+//!
+//! The mining-AHS survey the paper leans on (Gaber et al.) locates the
+//! dominant cybersecurity issues of autonomous haulage in the *wireless
+//! communication layer*: interference, channel utilization, jamming,
+//! Wi-Fi de-authentication and GNSS attacks. This crate models that layer
+//! at the abstraction those attacks are defined at:
+//!
+//! * [`propagation`] — log-distance path loss with shadowing, foliage and
+//!   weather attenuation; SINR and packet-error computation.
+//! * [`frame`] — data and management frames (including de-auth).
+//! * [`medium`] — the shared radio medium: nodes, interferers (jammers),
+//!   transmission, delivery and per-node inboxes.
+//! * [`assoc`] — association state and management-frame protection
+//!   (the defence against forged de-auth).
+//! * [`stats`] — per-link and per-node telemetry the IDS consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_comms::prelude::*;
+//! use silvasec_sim::prelude::*;
+//!
+//! let mut medium = Medium::new(MediumConfig::default(), SimRng::from_seed(1));
+//! let a = medium.add_node(Vec3::new(0.0, 0.0, 2.0));
+//! let b = medium.add_node(Vec3::new(50.0, 0.0, 2.0));
+//! let outcome = medium.transmit(a, Frame::data(a, b, vec![1, 2, 3]), SimTime::ZERO);
+//! assert!(outcome.delivered);
+//! assert_eq!(medium.drain_inbox(b).len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assoc;
+pub mod frame;
+pub mod medium;
+pub mod propagation;
+pub mod stats;
+
+pub use frame::{Frame, FrameKind, NodeId};
+pub use medium::{Medium, MediumConfig, TransmitOutcome};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::assoc::AssociationTable;
+    pub use crate::frame::{Frame, FrameKind, NodeId};
+    pub use crate::medium::{Medium, MediumConfig, TransmitOutcome};
+    pub use crate::stats::{LinkStats, NodeStats};
+}

@@ -1,0 +1,180 @@
+//! Link and node telemetry — the raw signal the intrusion detection
+//! system observes.
+
+use crate::frame::FrameKind;
+use serde::{Deserialize, Serialize};
+
+/// Exponentially weighted moving average with a fixed smoothing factor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ewma {
+    value: Option<f64>,
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in `(0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { value: None, alpha }
+    }
+
+    /// Feeds a sample.
+    pub fn update(&mut self, sample: f64) {
+        self.value = Some(match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        });
+    }
+
+    /// Current smoothed value, if any samples have arrived.
+    #[must_use]
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Per-receiving-node telemetry counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Frames this node transmitted.
+    pub tx_frames: u64,
+    /// Frames addressed to this node that were delivered.
+    pub rx_delivered: u64,
+    /// Frames addressed to this node lost to channel errors.
+    pub rx_lost: u64,
+    /// De-auth frames received.
+    pub deauth_rx: u64,
+    /// Association requests received.
+    pub assoc_rx: u64,
+    /// Smoothed SINR of delivered frames, dB.
+    pub sinr_ewma: Ewma,
+    /// Smoothed RSSI of delivered frames, dBm.
+    pub rssi_ewma: Ewma,
+    /// Smoothed noise+interference floor observed, dBm.
+    pub noise_ewma: Ewma,
+}
+
+impl Default for NodeStats {
+    fn default() -> Self {
+        NodeStats {
+            tx_frames: 0,
+            rx_delivered: 0,
+            rx_lost: 0,
+            deauth_rx: 0,
+            assoc_rx: 0,
+            sinr_ewma: Ewma::new(0.2),
+            rssi_ewma: Ewma::new(0.2),
+            noise_ewma: Ewma::new(0.2),
+        }
+    }
+}
+
+impl NodeStats {
+    /// Records a delivered frame of the given kind.
+    pub fn record_delivery(&mut self, kind: FrameKind, rssi_dbm: f64, sinr_db: f64) {
+        self.rx_delivered += 1;
+        self.sinr_ewma.update(sinr_db);
+        self.rssi_ewma.update(rssi_dbm);
+        match kind {
+            FrameKind::Deauth => self.deauth_rx += 1,
+            FrameKind::AssocRequest => self.assoc_rx += 1,
+            _ => {}
+        }
+    }
+
+    /// Records a frame lost to channel errors.
+    pub fn record_loss(&mut self) {
+        self.rx_lost += 1;
+    }
+
+    /// Records the observed noise+interference floor.
+    pub fn record_noise(&mut self, noise_dbm: f64) {
+        self.noise_ewma.update(noise_dbm);
+    }
+
+    /// Delivery ratio over everything addressed to this node.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        let total = self.rx_delivered + self.rx_lost;
+        if total == 0 {
+            1.0
+        } else {
+            self.rx_delivered as f64 / total as f64
+        }
+    }
+}
+
+/// Per-directed-link counters (src → dst).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Frames attempted on this link.
+    pub attempted: u64,
+    /// Frames delivered on this link.
+    pub delivered: u64,
+}
+
+impl LinkStats {
+    /// Delivery ratio for this link.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.get(), None);
+        e.update(10.0);
+        assert_eq!(e.get(), Some(10.0));
+        for _ in 0..50 {
+            e.update(20.0);
+        }
+        assert!((e.get().unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn node_stats_counters() {
+        let mut s = NodeStats::default();
+        s.record_delivery(FrameKind::Data, -70.0, 20.0);
+        s.record_delivery(FrameKind::Deauth, -70.0, 20.0);
+        s.record_delivery(FrameKind::AssocRequest, -70.0, 20.0);
+        s.record_loss();
+        assert_eq!(s.rx_delivered, 3);
+        assert_eq!(s.rx_lost, 1);
+        assert_eq!(s.deauth_rx, 1);
+        assert_eq!(s.assoc_rx, 1);
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_delivery_ratio_is_one() {
+        assert_eq!(NodeStats::default().delivery_ratio(), 1.0);
+        assert_eq!(LinkStats::default().delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn link_stats_ratio() {
+        let l = LinkStats { attempted: 10, delivered: 7 };
+        assert!((l.delivery_ratio() - 0.7).abs() < 1e-9);
+    }
+}

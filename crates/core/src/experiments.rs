@@ -1,0 +1,697 @@
+//! The scenario library behind every table and figure of the evaluation.
+//!
+//! Each public function here is one experiment from `EXPERIMENTS.md`; the
+//! binaries in `silvasec-bench` call these and print the rows. Keeping
+//! the logic in the library makes the experiments unit-testable and
+//! reusable from the Criterion benches.
+
+use serde::{Deserialize, Serialize};
+use silvasec_assurance::case::AssuranceCase;
+use silvasec_assurance::gsn::NodeKind;
+use silvasec_assurance::modular::{AwayReference, Composition, Module};
+use silvasec_attacks::prelude::*;
+use silvasec_ids::AlertKind;
+use silvasec_machines::drone::{Drone, DroneConfig};
+use silvasec_machines::prelude::*;
+use silvasec_risk::catalog;
+use silvasec_risk::continuous::{ContinuousAssessment, IncidentReport};
+use silvasec_risk::tara::Tara;
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::prelude::*;
+use silvasec_sim::terrain::TerrainConfig;
+use silvasec_sim::vegetation::StandConfig;
+use silvasec_sos::prelude::*;
+use silvasec_sos::metrics::WorksiteMetrics;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Figure 2: occlusion study
+// ---------------------------------------------------------------------
+
+/// One row of the Figure 2 occlusion sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OcclusionRow {
+    /// Stand density, trees per hectare.
+    pub density: f64,
+    /// Terrain relief, metres.
+    pub relief_m: f64,
+    /// Coverage with forwarder sensors only (fraction of in-range
+    /// human-ticks detected).
+    pub forwarder_coverage: f64,
+    /// Coverage with the drone's point of view fused in.
+    pub combined_coverage: f64,
+    /// Mean time to first detection after a worker enters range,
+    /// forwarder only (seconds; worst-case capped at the episode length).
+    pub forwarder_ttd_s: f64,
+    /// Mean time to first detection, combined (seconds).
+    pub combined_ttd_s: f64,
+}
+
+/// Runs the Figure 2 occlusion experiment for one parameter point.
+///
+/// A stationary forwarder works at the stand centre with an escort drone
+/// overhead; workers move with a strong work-area bias. Coverage is the
+/// fraction of (human, tick) samples within detection range that were
+/// detected; time-to-detect is measured per approach episode.
+#[must_use]
+pub fn occlusion_point(density: f64, relief_m: f64, seed: u64, duration: SimDuration) -> OcclusionRow {
+    let eval_radius = 40.0;
+    let config = WorldConfig {
+        terrain: TerrainConfig { size_m: 300.0, relief_m, ..TerrainConfig::default() },
+        stand: StandConfig { trees_per_hectare: density, ..StandConfig::default() },
+        human_count: 4,
+        human: silvasec_sim::humans::HumanConfig {
+            work_area_bias: 0.7,
+            ..silvasec_sim::humans::HumanConfig::default()
+        },
+        // Workers cluster around the felling front ~25 m from the
+        // machine, so their approaches cross terrain features and tree
+        // cover on the way in — the Figure 2 geometry.
+        work_area: Vec2::new(175.0, 150.0),
+        landing_area: Vec2::new(40.0, 40.0),
+        ..WorldConfig::default()
+    };
+    let mut world = World::generate(&config, SimRng::from_seed(seed));
+    let mut rng = SimRng::from_seed(seed ^ 0x5eed);
+
+    let machine_pos = Vec2::new(150.0, 150.0);
+    let camera = PeopleSensor::new(SensorKind::Camera, 2.8);
+    let lidar = PeopleSensor::new(SensorKind::Lidar, 3.2);
+    let mut drone = Drone::new(machine_pos, DroneConfig::default(), &world);
+
+    let tick = SimDuration::from_millis(500);
+    let ticks = duration.as_millis() / tick.as_millis();
+
+    // Per-human, per-mode episode state.
+    #[derive(Default, Clone)]
+    struct Episode {
+        in_range: bool,
+        ticks_waiting_fw: u64,
+        ticks_waiting_comb: u64,
+        detected_fw: bool,
+        detected_comb: bool,
+    }
+    let mut episodes: HashMap<u32, Episode> = HashMap::new();
+    let mut ttd_fw: Vec<f64> = Vec::new();
+    let mut ttd_comb: Vec<f64> = Vec::new();
+    let (mut in_range_ticks, mut fw_hits, mut comb_hits) = (0u64, 0u64, 0u64);
+
+    // The machine sweeps its heading like a working forwarder.
+    let mut heading = 0.0f64;
+
+    for t in 0..ticks {
+        world.step(tick);
+        drone.step(&world, machine_pos, tick);
+        heading = (heading + 0.2) % std::f64::consts::TAU;
+
+        let cam = camera.detect(&world, machine_pos, heading, &mut rng);
+        let lid = lidar.detect(&world, machine_pos, heading, &mut rng);
+        let air = drone.detect(&world, &mut rng);
+        let fw_set: Vec<u32> =
+            cam.iter().chain(lid.iter()).map(|d| d.human_id.0).collect();
+        let comb_set: Vec<u32> =
+            fw_set.iter().copied().chain(air.iter().map(|d| d.human_id.0)).collect();
+
+        for human in world.humans() {
+            let dist = human.position.distance(machine_pos);
+            let ep = episodes.entry(human.id.0).or_default();
+            if dist <= eval_radius {
+                in_range_ticks += 1;
+                let fw_detected = fw_set.contains(&human.id.0);
+                let comb_detected = comb_set.contains(&human.id.0);
+                if fw_detected {
+                    fw_hits += 1;
+                }
+                if comb_detected {
+                    comb_hits += 1;
+                }
+                if !ep.in_range {
+                    // New approach episode.
+                    *ep = Episode { in_range: true, ..Episode::default() };
+                }
+                if !ep.detected_fw {
+                    if fw_detected {
+                        ep.detected_fw = true;
+                        ttd_fw.push(ep.ticks_waiting_fw as f64 * tick.as_secs_f64());
+                    } else {
+                        ep.ticks_waiting_fw += 1;
+                    }
+                }
+                if !ep.detected_comb {
+                    if comb_detected {
+                        ep.detected_comb = true;
+                        ttd_comb.push(ep.ticks_waiting_comb as f64 * tick.as_secs_f64());
+                    } else {
+                        ep.ticks_waiting_comb += 1;
+                    }
+                }
+            } else if ep.in_range {
+                // Episode ends; undetected episodes contribute the cap.
+                if !ep.detected_fw {
+                    ttd_fw.push(ep.ticks_waiting_fw as f64 * tick.as_secs_f64());
+                }
+                if !ep.detected_comb {
+                    ttd_comb.push(ep.ticks_waiting_comb as f64 * tick.as_secs_f64());
+                }
+                *ep = Episode::default();
+            }
+        }
+        let _ = t;
+    }
+
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    OcclusionRow {
+        density,
+        relief_m,
+        forwarder_coverage: if in_range_ticks == 0 { 1.0 } else { fw_hits as f64 / in_range_ticks as f64 },
+        combined_coverage: if in_range_ticks == 0 { 1.0 } else { comb_hits as f64 / in_range_ticks as f64 },
+        forwarder_ttd_s: mean(&ttd_fw),
+        combined_ttd_s: mean(&ttd_comb),
+    }
+}
+
+/// Runs the full Figure 2 sweep over stand densities.
+#[must_use]
+pub fn occlusion_sweep(
+    densities: &[f64],
+    relief_m: f64,
+    seeds: &[u64],
+    duration: SimDuration,
+) -> Vec<OcclusionRow> {
+    densities
+        .iter()
+        .map(|&density| {
+            let rows: Vec<OcclusionRow> = seeds
+                .iter()
+                .map(|&s| occlusion_point(density, relief_m, s, duration))
+                .collect();
+            let n = rows.len() as f64;
+            OcclusionRow {
+                density,
+                relief_m,
+                forwarder_coverage: rows.iter().map(|r| r.forwarder_coverage).sum::<f64>() / n,
+                combined_coverage: rows.iter().map(|r| r.combined_coverage).sum::<f64>() / n,
+                forwarder_ttd_s: rows.iter().map(|r| r.forwarder_ttd_s).sum::<f64>() / n,
+                combined_ttd_s: rows.iter().map(|r| r.combined_ttd_s).sum::<f64>() / n,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Worksite scenario wrapper (Figure 1, E1, E2)
+// ---------------------------------------------------------------------
+
+/// The standard small worksite used by the attack experiments.
+#[must_use]
+pub fn standard_config(posture: SecurityPosture) -> WorksiteConfig {
+    WorksiteConfig {
+        world: WorldConfig {
+            terrain: TerrainConfig { size_m: 300.0, relief_m: 8.0, ..TerrainConfig::default() },
+            stand: StandConfig { trees_per_hectare: 400.0, ..StandConfig::default() },
+            human_count: 3,
+            work_area: Vec2::new(240.0, 240.0),
+            landing_area: Vec2::new(60.0, 60.0),
+            ..WorldConfig::default()
+        },
+        security: posture,
+        ..WorksiteConfig::default()
+    }
+}
+
+/// Builds the attack campaign for one attack class against the standard
+/// worksite (starting at `start`, for `duration`).
+#[must_use]
+pub fn campaign_for(kind: AttackKind, start: SimTime, duration: SimDuration) -> AttackCampaign {
+    let target = match kind {
+        AttackKind::RfJamming | AttackKind::GnssSpoofing | AttackKind::GnssJamming => {
+            AttackTarget::Area { center: Vec2::new(150.0, 150.0), radius_m: 400.0 }
+        }
+        AttackKind::DeauthFlood => {
+            // Node ids in Worksite: 0 = base station, 1 = forwarder.
+            AttackTarget::Link {
+                spoof_as: silvasec_comms::NodeId(0),
+                victim: silvasec_comms::NodeId(1),
+            }
+        }
+        AttackKind::CameraBlinding | AttackKind::FirmwareTampering => {
+            AttackTarget::Machine { label: "forwarder-01".into() }
+        }
+        AttackKind::Replay => AttackTarget::Network,
+        AttackKind::RogueNode => AttackTarget::Link {
+            spoof_as: silvasec_comms::NodeId(0),
+            victim: silvasec_comms::NodeId(0),
+        },
+        _ => AttackTarget::Network,
+    };
+    AttackCampaign { kind, target, start, duration, intensity: 1.0 }
+}
+
+/// Runs the standard worksite with an optional attack; returns metrics.
+#[must_use]
+pub fn run_worksite(
+    posture: SecurityPosture,
+    attack: Option<AttackKind>,
+    seed: u64,
+    total: SimDuration,
+) -> WorksiteMetrics {
+    let mut site = Worksite::new(&standard_config(posture), seed);
+    if let Some(kind) = attack {
+        let start = SimTime::from_secs(60);
+        let dur = SimDuration::from_secs(total.as_secs_f64() as u64 / 2);
+        site.attack_engine_mut().add_campaign(campaign_for(kind, start, dur));
+    }
+    site.run(total);
+    site.metrics().clone()
+}
+
+/// The alert kind the IDS is expected to raise for an attack class.
+#[must_use]
+pub fn expected_alert(kind: AttackKind) -> Option<AlertKind> {
+    match kind {
+        AttackKind::RfJamming => Some(AlertKind::Jamming),
+        AttackKind::DeauthFlood => Some(AlertKind::DeauthFlood),
+        AttackKind::GnssSpoofing => Some(AlertKind::GnssSpoofing),
+        AttackKind::GnssJamming => Some(AlertKind::GnssJamming),
+        AttackKind::CameraBlinding => Some(AlertKind::SensorBlinding),
+        AttackKind::Replay => Some(AlertKind::AuthFailureStorm),
+        AttackKind::RogueNode => Some(AlertKind::RogueAssociation),
+        AttackKind::FirmwareTampering => None,
+        _ => None,
+    }
+}
+
+/// One row of the E1 attack × defense matrix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttackMatrixRow {
+    /// The attack class.
+    pub attack: String,
+    /// Whether the expected alert fired.
+    pub detected: bool,
+    /// Seconds from attack onset to first expected alert (if detected).
+    pub time_to_detect_s: Option<f64>,
+    /// Mission productivity relative to the clean baseline
+    /// (distance-driven ratio — robust for runs shorter than one full
+    /// haul cycle).
+    pub productivity_ratio: f64,
+    /// Telemetry delivery ratio under attack.
+    pub delivery_ratio: f64,
+    /// Safety incidents during the run.
+    pub safety_incidents: usize,
+    /// Forged/replayed application messages accepted.
+    pub forged_accepted: u64,
+}
+
+/// Runs the E1 matrix for the runtime attack classes.
+#[must_use]
+pub fn attack_matrix(posture: SecurityPosture, seed: u64, total: SimDuration) -> Vec<AttackMatrixRow> {
+    let baseline = run_worksite(posture, None, seed, total);
+    let baseline_distance = baseline.distance_m.max(1.0);
+    let attacks = [
+        AttackKind::RfJamming,
+        AttackKind::DeauthFlood,
+        AttackKind::GnssSpoofing,
+        AttackKind::GnssJamming,
+        AttackKind::CameraBlinding,
+        AttackKind::Replay,
+        AttackKind::RogueNode,
+    ];
+    attacks
+        .iter()
+        .map(|&kind| {
+            let m = run_worksite(posture, Some(kind), seed, total);
+            let onset = SimTime::from_secs(60);
+            let (detected, ttd) = match expected_alert(kind) {
+                Some(alert) => match m.first_alert_at.get(&alert.to_string()) {
+                    Some(at) if *at >= onset => {
+                        (true, Some(at.since(onset).as_secs_f64()))
+                    }
+                    Some(_) => (true, Some(0.0)),
+                    None => (false, None),
+                },
+                None => (false, None),
+            };
+            AttackMatrixRow {
+                attack: kind.to_string(),
+                detected,
+                time_to_detect_s: ttd,
+                productivity_ratio: m.distance_m / baseline_distance,
+                delivery_ratio: m.delivery_ratio(),
+                safety_incidents: m.safety_incidents.len(),
+                forged_accepted: m.forged_accepted,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: methodology pipeline
+// ---------------------------------------------------------------------
+
+/// Artifact counts per phase of the methodology pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineCounts {
+    /// Identified assets.
+    pub assets: usize,
+    /// Damage scenarios.
+    pub damage_scenarios: usize,
+    /// Threat scenarios.
+    pub threats: usize,
+    /// Assessed risks.
+    pub risks: usize,
+    /// Risks at level ≥ 4.
+    pub high_risks: usize,
+    /// Derived requirements.
+    pub requirements: usize,
+    /// Safety–security interplay findings.
+    pub interplay_findings: usize,
+    /// Machinery hazards considered.
+    pub hazards: usize,
+    /// SOTIF triggering conditions.
+    pub triggering_conditions: usize,
+    /// Assurance-case nodes generated.
+    pub assurance_nodes: usize,
+    /// Assurance evidence items generated.
+    pub evidence_items: usize,
+}
+
+/// Runs the pipeline over the built-in model and counts artifacts.
+#[must_use]
+pub fn methodology_pipeline() -> PipelineCounts {
+    let model = catalog::worksite_model();
+    let tara = Tara::assess(&model);
+    let case = silvasec_assurance::builder::build_security_case(&tara, "worksite");
+    PipelineCounts {
+        assets: model.assets.len(),
+        damage_scenarios: model.damage_scenarios.len(),
+        threats: model.threats.len(),
+        risks: tara.risks.len(),
+        high_risks: tara.risks_at_or_above(silvasec_risk::RiskLevel(4)).len(),
+        requirements: tara.requirements().count(),
+        interplay_findings: tara.interplay_findings.len(),
+        hazards: model.hazards.len(),
+        triggering_conditions: model.triggering_conditions.len(),
+        assurance_nodes: case.nodes().len(),
+        evidence_items: case.evidence().len(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// E4: SoS scaling
+// ---------------------------------------------------------------------
+
+/// Builds a synthetic SoS assurance composition of `n` constituent
+/// modules, each with `goals_per_module` argument goals, chained by
+/// away-references.
+#[must_use]
+pub fn build_sos_composition(n: usize, goals_per_module: usize) -> Composition {
+    let mut composition = Composition::new();
+    for i in 0..n {
+        let name = format!("constituent-{i}");
+        let mut case = AssuranceCase::new(&name);
+        let root = case.add_node(NodeKind::Goal, format!("{name}.G0"), "constituent is secure");
+        let strategy =
+            case.add_node(NodeKind::Strategy, format!("{name}.S0"), "argue over functions");
+        case.supported_by(&root, &strategy);
+        for g in 0..goals_per_module {
+            let goal = case.add_node(
+                NodeKind::Goal,
+                format!("{name}.G{}", g + 1),
+                format!("function {g} is protected"),
+            );
+            case.supported_by(&strategy, &goal);
+            let solution =
+                case.add_node(NodeKind::Solution, format!("{name}.Sn{g}"), "verification run");
+            case.supported_by(&goal, &solution);
+            let ev = format!("{name}.ev{g}");
+            case.register_evidence(silvasec_assurance::evidence::Evidence::new(
+                ev.clone(),
+                "verification evidence",
+                "simulation",
+            ));
+            case.cite_evidence(&solution, &ev);
+        }
+        let away = (i > 0).then(|| {
+            vec![AwayReference {
+                local_goal: silvasec_assurance::gsn::NodeId::new(format!("{name}.G0")),
+                remote_module: format!("constituent-{}", i - 1),
+                remote_claim: silvasec_assurance::gsn::NodeId::new(format!(
+                    "constituent-{}.G0",
+                    i - 1
+                )),
+            }]
+        });
+        composition.add_module(Module {
+            name: name.clone(),
+            case,
+            public_claims: vec![silvasec_assurance::gsn::NodeId::new(format!("{name}.G0"))],
+            away_references: away.unwrap_or_default(),
+        });
+    }
+    composition
+}
+
+// ---------------------------------------------------------------------
+// E9: SOTIF evidence from simulation
+// ---------------------------------------------------------------------
+
+/// Runs approach episodes under a fixed weather condition and collects
+/// SOTIF evidence for the people-detection function: an episode is
+/// *unsafe* when a worker reaches the critical distance while still
+/// undetected (the function — as designed, no malfunction — failed to
+/// see them in time). This is the ISO 21448 evidence loop of the paper's
+/// Sec. III-C, executed.
+#[must_use]
+pub fn sotif_evidence(
+    weather: silvasec_sim::weather::Weather,
+    seed: u64,
+    duration: SimDuration,
+) -> silvasec_risk::sotif::Evidence {
+    let critical_distance = 15.0;
+    let config = WorldConfig {
+        terrain: TerrainConfig { size_m: 300.0, relief_m: 10.0, ..TerrainConfig::default() },
+        stand: StandConfig { trees_per_hectare: 400.0, ..StandConfig::default() },
+        human_count: 5,
+        human: silvasec_sim::humans::HumanConfig {
+            work_area_bias: 0.8,
+            ..silvasec_sim::humans::HumanConfig::default()
+        },
+        work_area: Vec2::new(170.0, 150.0),
+        landing_area: Vec2::new(40.0, 40.0),
+        initial_weather: weather,
+        weather_change_prob: 0.0,
+    };
+    let mut world = World::generate(&config, SimRng::from_seed(seed));
+    let mut rng = SimRng::from_seed(seed ^ 0x50f1f);
+
+    let machine_pos = Vec2::new(150.0, 150.0);
+    let camera = PeopleSensor::new(SensorKind::Camera, 2.8);
+    let lidar = PeopleSensor::new(SensorKind::Lidar, 3.2);
+    let mut drone = Drone::new(machine_pos, DroneConfig::default(), &world);
+
+    let tick = SimDuration::from_millis(500);
+    let ticks = duration.as_millis() / tick.as_millis();
+    let mut heading = 0.0f64;
+
+    // Episode state per human: whether the worker has been detected yet
+    // in the current approach.
+    let mut in_episode: HashMap<u32, bool> = HashMap::new();
+    let mut evidence = silvasec_risk::sotif::Evidence::default();
+    let mut episode_unsafe: HashMap<u32, bool> = HashMap::new();
+
+    for _ in 0..ticks {
+        world.step(tick);
+        drone.step(&world, machine_pos, tick);
+        heading = (heading + 0.2) % std::f64::consts::TAU;
+        let detected: Vec<u32> = camera
+            .detect(&world, machine_pos, heading, &mut rng)
+            .into_iter()
+            .chain(lidar.detect(&world, machine_pos, heading, &mut rng))
+            .chain(drone.detect(&world, &mut rng))
+            .map(|d| d.human_id.0)
+            .collect();
+
+        for human in world.humans() {
+            let dist = human.position.distance(machine_pos);
+            let id = human.id.0;
+            if dist <= 40.0 {
+                let seen = detected.contains(&id);
+                let entry = in_episode.entry(id).or_insert(false);
+                *entry = *entry || seen;
+                if dist <= critical_distance && !*entry {
+                    episode_unsafe.insert(id, true);
+                }
+            } else if in_episode.remove(&id).is_some() {
+                evidence.record(episode_unsafe.remove(&id).unwrap_or(false));
+            }
+        }
+    }
+    // Close any episodes still open at the end.
+    for (id, _) in in_episode.drain() {
+        evidence.record(episode_unsafe.remove(&id).unwrap_or(false));
+    }
+    evidence
+}
+
+// ---------------------------------------------------------------------
+// E5: continuous assessment latency
+// ---------------------------------------------------------------------
+
+/// Timings from attack onset through detection to risk update.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContinuousLatencyRow {
+    /// The attack class exercised.
+    pub attack: String,
+    /// Attack onset, seconds.
+    pub onset_s: f64,
+    /// First matching alert, seconds (if detected).
+    pub alert_s: Option<f64>,
+    /// Risk level before the incident.
+    pub risk_before: u8,
+    /// Risk level after ingesting the incident.
+    pub risk_after: u8,
+    /// Goals thrown into doubt when the matching evidence class is
+    /// invalidated.
+    pub goals_in_doubt: usize,
+}
+
+/// Runs E5: attack → IDS alert → continuous risk escalation → assurance
+/// invalidation, reporting each hop's outcome.
+#[must_use]
+pub fn continuous_latency(kind: AttackKind, seed: u64) -> ContinuousLatencyRow {
+    let total = SimDuration::from_secs(300);
+    let metrics = run_worksite(SecurityPosture::secure(), Some(kind), seed, total);
+    let onset = SimTime::from_secs(60);
+
+    let alert_s = expected_alert(kind)
+        .and_then(|a| metrics.first_alert_at.get(&a.to_string()).copied())
+        .map(|t| t.as_secs_f64());
+
+    // Static assessment, then the incident.
+    let model = catalog::worksite_model();
+    let mut continuous = ContinuousAssessment::new(model);
+    let class = kind.to_string();
+    let threat_risk = |ca: &ContinuousAssessment| {
+        ca.report()
+            .risks
+            .iter()
+            .find(|r| {
+                catalog::worksite_model()
+                    .threats
+                    .iter()
+                    .any(|t| t.id == r.threat_id && t.attack_class.as_deref() == Some(&class))
+            })
+            .map(|r| r.risk.0)
+            .unwrap_or(0)
+    };
+    let before = threat_risk(&continuous);
+    if alert_s.is_some() {
+        let _ = continuous.ingest(&IncidentReport {
+            attack_class: class.clone(),
+            at_ms: (alert_s.unwrap_or(0.0) * 1000.0) as u64,
+        });
+    }
+    let after = threat_risk(&continuous);
+
+    // Assurance invalidation: the control tag tied to this attack class.
+    let tara = Tara::assess(&catalog::worksite_model());
+    let mut case = silvasec_assurance::builder::build_security_case(&tara, "worksite");
+    let tag = Tara::candidate_controls(Some(&class)).into_iter().next().unwrap_or_default();
+    let _ = case.invalidate_evidence_tagged(&tag);
+    let doubt = case.goals_in_doubt(0).len();
+
+    ContinuousLatencyRow {
+        attack: class,
+        onset_s: onset.as_secs_f64(),
+        alert_s,
+        risk_before: before,
+        risk_after: after,
+        goals_in_doubt: doubt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occlusion_drone_helps_in_dense_stands() {
+        let dense = occlusion_point(1200.0, 12.0, 5, SimDuration::from_secs(400));
+        assert!(
+            dense.combined_coverage > dense.forwarder_coverage,
+            "drone must add coverage in dense stands: fw {} vs comb {}",
+            dense.forwarder_coverage,
+            dense.combined_coverage
+        );
+        assert!(dense.combined_ttd_s <= dense.forwarder_ttd_s + 1e-9);
+    }
+
+    #[test]
+    fn occlusion_gap_grows_with_terrain_relief() {
+        // The paper's Figure 2 claim: the drone's additional point of view
+        // eliminates occlusions caused by *terrain obstacles*. The
+        // forwarder-vs-combined coverage gap should widen on rough ground.
+        let flat = occlusion_point(300.0, 0.5, 5, SimDuration::from_secs(400));
+        let rough = occlusion_point(300.0, 25.0, 5, SimDuration::from_secs(400));
+        let gap_flat = flat.combined_coverage - flat.forwarder_coverage;
+        let gap_rough = rough.combined_coverage - rough.forwarder_coverage;
+        assert!(
+            gap_rough > gap_flat,
+            "gap flat {gap_flat:.3} vs rough {gap_rough:.3}"
+        );
+        assert!(rough.forwarder_coverage < flat.forwarder_coverage);
+    }
+
+    #[test]
+    fn pipeline_counts_consistent() {
+        let p = methodology_pipeline();
+        assert_eq!(p.risks, p.threats);
+        assert!(p.requirements <= p.risks);
+        assert!(p.high_risks <= p.risks);
+        assert!(p.assurance_nodes > p.risks);
+        assert!(p.evidence_items > 0);
+    }
+
+    #[test]
+    fn sos_composition_scales_and_checks() {
+        let comp = build_sos_composition(8, 5);
+        assert_eq!(comp.modules().len(), 8);
+        assert!(comp.check_all().is_empty());
+        assert!(comp.check_incremental("constituent-3").is_empty());
+        assert_eq!(comp.total_nodes(), 8 * (2 + 2 * 5));
+    }
+
+    #[test]
+    fn sotif_evidence_separates_fog_from_clear() {
+        let clear = sotif_evidence(
+            silvasec_sim::weather::Weather::Clear,
+            7,
+            SimDuration::from_secs(1200),
+        );
+        let fog = sotif_evidence(
+            silvasec_sim::weather::Weather::Fog,
+            7,
+            SimDuration::from_secs(1200),
+        );
+        assert!(clear.exposures >= 10, "too few episodes: {}", clear.exposures);
+        assert!(
+            fog.unsafe_rate() > clear.unsafe_rate(),
+            "fog {:.2} vs clear {:.2}",
+            fog.unsafe_rate(),
+            clear.unsafe_rate()
+        );
+    }
+
+    #[test]
+    fn continuous_latency_escalates_risk() {
+        let row = continuous_latency(AttackKind::GnssSpoofing, 11);
+        assert!(row.risk_after >= row.risk_before);
+        assert!(row.goals_in_doubt > 0);
+    }
+}

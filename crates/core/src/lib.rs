@@ -1,0 +1,81 @@
+//! SilvaSec: cybersecurity and safety toolkit for autonomous forestry
+//! worksites.
+//!
+//! This is the facade crate of the SilvaSec workspace, the executable
+//! reproduction of *"Cybersecurity Pathways Towards CE-Certified
+//! Autonomous Forestry Machines"* (DSN 2024). It re-exports the substrate
+//! crates and adds two things of its own:
+//!
+//! * [`certify`] — the CE-certification pipeline: risk assessment →
+//!   derived requirements → control verification → assurance case →
+//!   conformity verdict;
+//! * [`experiments`] — the scenario library behind every table and
+//!   figure of the evaluation (see `EXPERIMENTS.md`).
+//!
+//! # Crate map
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | Crypto primitives | [`silvasec_crypto`] |
+//! | PKI | [`silvasec_pki`] |
+//! | Verified boot | [`silvasec_secure_boot`] |
+//! | World simulation | [`silvasec_sim`] |
+//! | Machines & sensors | [`silvasec_machines`] |
+//! | Radio medium | [`silvasec_comms`] |
+//! | Secure channel | [`silvasec_channel`] |
+//! | Intrusion detection | [`silvasec_ids`] |
+//! | Attack injection | [`silvasec_attacks`] |
+//! | Risk methodology | [`silvasec_risk`] |
+//! | Assurance cases | [`silvasec_assurance`] |
+//! | Worksite orchestration | [`silvasec_sos`] |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use silvasec::prelude::*;
+//! use silvasec::certify::certify_worksite;
+//!
+//! // Assess, harden and certify the paper's Figure 1/2 worksite.
+//! let report = certify_worksite(true);
+//! assert!(report.verdict != Verdict::Fail);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod experiments;
+
+pub use silvasec_assurance as assurance;
+pub use silvasec_attacks as attacks;
+pub use silvasec_channel as channel;
+pub use silvasec_comms as comms;
+pub use silvasec_crypto as crypto;
+pub use silvasec_ids as ids;
+pub use silvasec_machines as machines;
+pub use silvasec_pki as pki;
+pub use silvasec_risk as risk;
+pub use silvasec_secure_boot as secure_boot;
+pub use silvasec_sim as sim;
+pub use silvasec_sos as sos;
+
+/// Convenient glob import across the whole toolkit.
+pub mod prelude {
+    pub use crate::certify::{certify_worksite, CertificationReport, Verdict};
+    // `NodeId` exists in both the assurance (GSN) and comms (radio)
+    // preludes; import those preludes directly when you need both names.
+    pub use silvasec_assurance::prelude::{
+        build_interplay_case, build_security_case, AssuranceCase, Composition, Defect, EdgeKind,
+        Evidence, EvidenceStatus, Module, NodeKind,
+    };
+    pub use silvasec_attacks::prelude::*;
+    pub use silvasec_channel::prelude::*;
+    pub use silvasec_comms::prelude::*;
+    pub use silvasec_ids::prelude::*;
+    pub use silvasec_machines::prelude::*;
+    pub use silvasec_pki::prelude::*;
+    pub use silvasec_risk::prelude::*;
+    pub use silvasec_secure_boot::prelude::*;
+    pub use silvasec_sim::prelude::*;
+    pub use silvasec_sos::prelude::*;
+}

@@ -1,0 +1,178 @@
+//! The ChaCha20-Poly1305 AEAD construction (RFC 7539 section 2.8).
+
+use crate::chacha20::{ChaCha20, KEY_LEN, NONCE_LEN};
+use crate::ct;
+use crate::error::CryptoError;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// An authenticated cipher bound to one 256-bit key.
+///
+/// Each (key, nonce) pair must be used at most once for sealing; the secure
+/// channel layer guarantees this with strictly increasing sequence numbers.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::aead::ChaCha20Poly1305;
+///
+/// let aead = ChaCha20Poly1305::new(&[9u8; 32]);
+/// let ct = aead.seal(&[0; 12], b"frame header", b"emergency stop");
+/// assert_eq!(aead.open(&[0; 12], b"frame header", &ct).unwrap(), b"emergency stop");
+/// assert!(aead.open(&[1; 12], b"frame header", &ct).is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20Poly1305 {
+    cipher: ChaCha20,
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates an AEAD instance from a 32-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { cipher: ChaCha20::new(key) }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        // One-time Poly1305 key = first 32 bytes of keystream block 0.
+        let block0 = self.cipher.block(nonce, 0);
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block0[..32]);
+
+        let mut mac = Poly1305::new(&otk);
+        mac.update(aad);
+        mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+        mac.update(ciphertext);
+        mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+        mac.update(&(aad.len() as u64).to_le_bytes());
+        mac.update(&(ciphertext.len() as u64).to_le_bytes());
+        mac.finalize()
+    }
+
+    /// Encrypts `plaintext` bound to `aad`, returning ciphertext || tag.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        self.cipher.apply_keystream(nonce, 1, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts and verifies `sealed` (ciphertext || tag) bound to `aad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::VerificationFailed`] if the tag does not
+    /// verify, and [`CryptoError::InvalidLength`] if `sealed` is shorter
+    /// than a tag.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::InvalidLength { expected: TAG_LEN, actual: sealed.len() });
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let expected = self.tag(nonce, aad, ciphertext);
+        if !ct::eq(&expected, tag) {
+            return Err(CryptoError::VerificationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        self.cipher.apply_keystream(nonce, 1, &mut out);
+        Ok(out)
+    }
+
+    /// The number of bytes `seal` adds to a plaintext.
+    #[must_use]
+    pub const fn overhead() -> usize {
+        TAG_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 7539 section 2.8.2 AEAD test vector.
+    #[test]
+    fn rfc7539_aead_vector() {
+        let key: [u8; 32] = unhex(
+            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
+        )
+        .try_into()
+        .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+
+        let sealed = ChaCha20Poly1305::new(&key).seal(&nonce, &aad, plaintext);
+        let (ct, tag) = sealed.split_at(sealed.len() - 16);
+        assert_eq!(
+            hex(&ct[..16]),
+            "d31a8d34648e60db7b86afbc53ef7ec2"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+
+        let opened = ChaCha20Poly1305::new(&key).open(&nonce, &aad, &sealed).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn tampering_detected_everywhere() {
+        let aead = ChaCha20Poly1305::new(&[5u8; 32]);
+        let sealed = aead.seal(&[0; 12], b"aad", b"payload");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert!(aead.open(&[0; 12], b"aad", &bad).is_err(), "byte {i} tamper missed");
+        }
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let aead = ChaCha20Poly1305::new(&[5u8; 32]);
+        let sealed = aead.seal(&[0; 12], b"header-a", b"payload");
+        assert!(aead.open(&[0; 12], b"header-b", &sealed).is_err());
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let aead = ChaCha20Poly1305::new(&[5u8; 32]);
+        let sealed = aead.seal(&[2; 12], b"", b"");
+        assert_eq!(sealed.len(), ChaCha20Poly1305::overhead());
+        assert_eq!(aead.open(&[2; 12], b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn short_input_is_invalid_length() {
+        let aead = ChaCha20Poly1305::new(&[5u8; 32]);
+        assert_eq!(
+            aead.open(&[0; 12], b"", &[0u8; 15]),
+            Err(CryptoError::InvalidLength { expected: 16, actual: 15 })
+        );
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let aead = ChaCha20Poly1305::new(&[8u8; 32]);
+        for len in [0usize, 1, 15, 16, 17, 64, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let sealed = aead.seal(&[3; 12], b"a", &pt);
+            assert_eq!(aead.open(&[3; 12], b"a", &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+}

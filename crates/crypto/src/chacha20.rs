@@ -1,0 +1,170 @@
+//! The ChaCha20 stream cipher (RFC 7539).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha20 stream cipher keyed with a 256-bit key.
+///
+/// Encryption and decryption are the same operation (XOR with the
+/// keystream).
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::chacha20::ChaCha20;
+///
+/// let cipher = ChaCha20::new(&[0x42; 32]);
+/// let mut data = *b"drone waypoint update";
+/// cipher.apply_keystream(&[0; 12], 1, &mut data);
+/// cipher.apply_keystream(&[0; 12], 1, &mut data);
+/// assert_eq!(&data, b"drone waypoint update");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key_words: [u32; 8],
+}
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Creates a cipher instance from a 32-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        let mut key_words = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            key_words[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha20 { key_words }
+    }
+
+    /// Produces the 64-byte keystream block for (`nonce`, `counter`).
+    #[must_use]
+    pub fn block(&self, nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_LEN] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key_words);
+        state[12] = counter;
+        state[13] = u32::from_le_bytes([nonce[0], nonce[1], nonce[2], nonce[3]]);
+        state[14] = u32::from_le_bytes([nonce[4], nonce[5], nonce[6], nonce[7]]);
+        state[15] = u32::from_le_bytes([nonce[8], nonce[9], nonce[10], nonce[11]]);
+
+        let mut working = state;
+        for _ in 0..10 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; BLOCK_LEN];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream starting at block `initial_counter` into `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block counter would wrap past `u32::MAX` (more than
+    /// ~256 GiB under one nonce — a misuse in this codebase).
+    pub fn apply_keystream(&self, nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+        let mut counter = initial_counter;
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let ks = self.block(nonce, counter);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            counter = counter
+                .checked_add(1)
+                .expect("chacha20 block counter overflow");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7539 section 2.3.2 block function test vector.
+    #[test]
+    fn rfc7539_block() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let block = ChaCha20::new(&key).block(&nonce, 1);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 7539 section 2.4.2 encryption test vector.
+    #[test]
+    fn rfc7539_encrypt() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; 12] = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        ChaCha20::new(&key).apply_keystream(&nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(hex(&data[96..]), "5af90bbf74a35be6b40b8eedf2785e42874d");
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let cipher = ChaCha20::new(&[7u8; 32]);
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 31 % 256) as u8).collect();
+            let mut data = original.clone();
+            cipher.apply_keystream(&[1; 12], 0, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len} unchanged by cipher");
+            }
+            cipher.apply_keystream(&[1; 12], 0, &mut data);
+            assert_eq!(data, original, "len {len} roundtrip");
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let cipher = ChaCha20::new(&[7u8; 32]);
+        assert_ne!(cipher.block(&[0; 12], 0), cipher.block(&[1; 12], 0));
+        assert_ne!(cipher.block(&[0; 12], 0), cipher.block(&[0; 12], 1));
+    }
+}

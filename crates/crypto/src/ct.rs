@@ -1,0 +1,55 @@
+//! Constant-time comparison helpers.
+
+/// Compares two byte slices in time independent of their contents.
+///
+/// Returns `false` immediately (and unavoidably, observably) when the
+/// lengths differ; length is considered public information.
+///
+/// # Example
+///
+/// ```
+/// assert!(silvasec_crypto::ct::eq(b"tag", b"tag"));
+/// assert!(!silvasec_crypto::ct::eq(b"tag", b"tab"));
+/// ```
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    // Collapse to 0/1 without a data-dependent branch.
+    (diff as u16).wrapping_sub(1) >> 15 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_slices() {
+        assert!(eq(&[], &[]));
+        assert!(eq(&[0u8; 64], &[0u8; 64]));
+        assert!(eq(b"abc", b"abc"));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(&[0u8], &[]));
+        assert!(!eq(&[0x80], &[0x00]));
+    }
+
+    #[test]
+    fn differs_in_every_position() {
+        let a = [0u8; 16];
+        for i in 0..16 {
+            let mut b = [0u8; 16];
+            b[i] = 1;
+            assert!(!eq(&a, &b), "difference at byte {i} not detected");
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! A deterministic random bit generator built on ChaCha20.
+//!
+//! The whole SilvaSec simulation is seeded and reproducible; this DRBG is
+//! the only source of "randomness" the security substrates use (key
+//! generation, nonces, attack schedules). It is *deterministic by design* —
+//! a production system would seed it from hardware entropy.
+
+use crate::chacha20::{ChaCha20, BLOCK_LEN};
+use crate::sha256;
+
+/// A ChaCha20-based deterministic random bit generator.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::drbg::ChaChaDrbg;
+///
+/// let mut rng = ChaChaDrbg::from_seed(b"worksite-7");
+/// let a = rng.next_u64();
+/// let mut rng2 = ChaChaDrbg::from_seed(b"worksite-7");
+/// assert_eq!(a, rng2.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaChaDrbg {
+    cipher: ChaCha20,
+    counter: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_pos: usize,
+}
+
+impl ChaChaDrbg {
+    /// Creates a DRBG from arbitrary seed material (hashed to a key).
+    #[must_use]
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let key = sha256::digest(seed);
+        ChaChaDrbg {
+            cipher: ChaCha20::new(&key),
+            counter: 0,
+            buf: [0; BLOCK_LEN],
+            buf_pos: BLOCK_LEN,
+        }
+    }
+
+    /// Derives an independent child generator labelled by `label`.
+    ///
+    /// Children with different labels produce independent streams; the
+    /// parent's state is unaffected.
+    #[must_use]
+    pub fn fork(&self, label: &[u8]) -> Self {
+        let mut seed = Vec::with_capacity(16 + label.len());
+        seed.extend_from_slice(&self.counter.to_le_bytes());
+        seed.extend_from_slice(b"/fork/");
+        seed.extend_from_slice(label);
+        // Mix in a block of our keystream so forks of forks differ.
+        let nonce = self.nonce_for(self.counter);
+        seed.extend_from_slice(&self.cipher.block(&nonce, u32::MAX));
+        ChaChaDrbg::from_seed(&seed)
+    }
+
+    fn nonce_for(&self, counter: u64) -> [u8; 12] {
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&counter.to_le_bytes());
+        nonce
+    }
+
+    fn refill(&mut self) {
+        let nonce = self.nonce_for(self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.buf = self.cipher.block(&nonce, 0);
+        self.buf_pos = 0;
+    }
+
+    /// Fills `out` with pseudorandom bytes.
+    pub fn fill_bytes(&mut self, out: &mut [u8]) {
+        for byte in out.iter_mut() {
+            if self.buf_pos == BLOCK_LEN {
+                self.refill();
+            }
+            *byte = self.buf[self.buf_pos];
+            self.buf_pos += 1;
+        }
+    }
+
+    /// Returns the next pseudorandom `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.fill_bytes(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Returns a pseudorandom value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Rejection sampling to avoid modulo bias.
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Returns a pseudorandom `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Returns a fresh 32-byte key/seed.
+    pub fn next_seed(&mut self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        self.fill_bytes(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = ChaChaDrbg::from_seed(b"seed");
+        let mut b = ChaChaDrbg::from_seed(b"seed");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaChaDrbg::from_seed(b"seed-a");
+        let mut b = ChaChaDrbg::from_seed(b"seed-b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn forks_are_independent_and_deterministic() {
+        let parent = ChaChaDrbg::from_seed(b"root");
+        let mut c1 = parent.fork(b"comms");
+        let mut c2 = parent.fork(b"attack");
+        let mut c1_again = parent.fork(b"comms");
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        assert_eq!(c1_again.next_u64(), {
+            let mut c = parent.fork(b"comms");
+            c.next_u64()
+        });
+    }
+
+    #[test]
+    fn bounded_stays_in_range() {
+        let mut rng = ChaChaDrbg::from_seed(b"range");
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2 + 1] {
+            for _ in 0..200 {
+                assert!(rng.next_bounded(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = ChaChaDrbg::from_seed(b"f");
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        // Mean should be near 0.5 for a uniform stream.
+        let mean = sum / 1000.0;
+        assert!((0.45..0.55).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        ChaChaDrbg::from_seed(b"x").next_bounded(0);
+    }
+
+    #[test]
+    fn fill_bytes_across_block_boundaries() {
+        let mut a = ChaChaDrbg::from_seed(b"blocks");
+        let mut big = [0u8; 200];
+        a.fill_bytes(&mut big);
+
+        let mut b = ChaChaDrbg::from_seed(b"blocks");
+        let mut parts = [0u8; 200];
+        let (p1, rest) = parts.split_at_mut(63);
+        let (p2, p3) = rest.split_at_mut(65);
+        b.fill_bytes(p1);
+        b.fill_bytes(p2);
+        b.fill_bytes(p3);
+        assert_eq!(big.to_vec(), parts.to_vec());
+    }
+}

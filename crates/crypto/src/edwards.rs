@@ -1,0 +1,324 @@
+//! The edwards25519 group: −x² + y² = 1 + d·x²·y² over GF(2^255 − 19).
+//!
+//! Points use extended twisted Edwards coordinates (X : Y : Z : T) with
+//! x = X/Z, y = Y/Z, T = XY/Z. The wire encoding here is **uncompressed**
+//! (x ‖ y, 64 bytes): unlike Ed25519 we never need a field square root,
+//! which keeps the implementation small. This is a documented deviation
+//! from the Ed25519 wire format (see DESIGN.md).
+
+use crate::error::CryptoError;
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+
+/// Length of an encoded (uncompressed) point.
+pub const POINT_LEN: usize = 64;
+
+/// The curve constant d = −121665/121666.
+const D_BYTES: [u8; 32] = [
+    0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
+    0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
+    0x03, 0x52,
+];
+/// 2·d, used by the addition formula.
+const D2_BYTES: [u8; 32] = [
+    0x59, 0xf1, 0xb2, 0x26, 0x94, 0x9b, 0xd6, 0xeb, 0x56, 0xb1, 0x83, 0x82, 0x9a, 0x14, 0xe0,
+    0x00, 0x30, 0xd1, 0xf3, 0xee, 0xf2, 0x80, 0x8e, 0x19, 0xe7, 0xfc, 0xdf, 0x56, 0xdc, 0xd9,
+    0x06, 0x24,
+];
+/// x-coordinate of the standard base point.
+const BX_BYTES: [u8; 32] = [
+    0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c,
+    0x69, 0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36,
+    0x69, 0x21,
+];
+/// y-coordinate of the standard base point (4/5).
+const BY_BYTES: [u8; 32] = [
+    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66,
+];
+
+fn d() -> FieldElement {
+    FieldElement::from_bytes(&D_BYTES)
+}
+
+fn d2() -> FieldElement {
+    FieldElement::from_bytes(&D2_BYTES)
+}
+
+/// A point on edwards25519 in extended coordinates.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::{edwards::EdwardsPoint, scalar::Scalar};
+///
+/// let b = EdwardsPoint::basepoint();
+/// let two_b = b.add(&b);
+/// assert_eq!(b.scalar_mul(&Scalar::from_u64(2)), two_b);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EdwardsPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+    t: FieldElement,
+}
+
+impl EdwardsPoint {
+    /// The identity (neutral) element.
+    #[must_use]
+    pub fn identity() -> Self {
+        EdwardsPoint {
+            x: FieldElement::ZERO,
+            y: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t: FieldElement::ZERO,
+        }
+    }
+
+    /// The standard base point B (order ℓ).
+    #[must_use]
+    pub fn basepoint() -> Self {
+        let x = FieldElement::from_bytes(&BX_BYTES);
+        let y = FieldElement::from_bytes(&BY_BYTES);
+        EdwardsPoint { x, y, z: FieldElement::ONE, t: x.mul(&y) }
+    }
+
+    /// Constructs a point from affine coordinates, checking the curve
+    /// equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidEncoding`] if (x, y) is not on the
+    /// curve.
+    pub fn from_affine(x: FieldElement, y: FieldElement) -> Result<Self, CryptoError> {
+        // −x² + y² = 1 + d·x²·y²
+        let xx = x.square();
+        let yy = y.square();
+        let lhs = yy.sub(&xx);
+        let rhs = FieldElement::ONE.add(&d().mul(&xx).mul(&yy));
+        if lhs != rhs {
+            return Err(CryptoError::InvalidEncoding);
+        }
+        Ok(EdwardsPoint { x, y, z: FieldElement::ONE, t: x.mul(&y) })
+    }
+
+    /// Returns the affine coordinates (x, y).
+    #[must_use]
+    pub fn to_affine(&self) -> (FieldElement, FieldElement) {
+        let z_inv = self.z.invert();
+        (self.x.mul(&z_inv), self.y.mul(&z_inv))
+    }
+
+    /// Encodes the point as 64 bytes: x ‖ y, each 32 bytes little-endian.
+    #[must_use]
+    pub fn encode(&self) -> [u8; POINT_LEN] {
+        let (x, y) = self.to_affine();
+        let mut out = [0u8; POINT_LEN];
+        out[..32].copy_from_slice(&x.to_bytes());
+        out[32..].copy_from_slice(&y.to_bytes());
+        out
+    }
+
+    /// Decodes a 64-byte uncompressed point, validating the curve equation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidEncoding`] if the coordinates are not
+    /// a point on the curve.
+    pub fn decode(bytes: &[u8; POINT_LEN]) -> Result<Self, CryptoError> {
+        let mut xb = [0u8; 32];
+        let mut yb = [0u8; 32];
+        xb.copy_from_slice(&bytes[..32]);
+        yb.copy_from_slice(&bytes[32..]);
+        // Reject non-canonical field encodings: bit 255 must be clear and
+        // the value below p.
+        let x = FieldElement::from_bytes(&xb);
+        let y = FieldElement::from_bytes(&yb);
+        if x.to_bytes() != xb || y.to_bytes() != yb {
+            return Err(CryptoError::InvalidEncoding);
+        }
+        Self::from_affine(x, y)
+    }
+
+    /// Point addition (add-2008-hwcd-3 formulas for a = −1).
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
+        let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
+        let c = self.t.mul(&d2()).mul(&rhs.t);
+        let dd = self.z.mul(&rhs.z).add(&self.z.mul(&rhs.z));
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Point doubling (dbl-2008-hwcd formulas for a = −1).
+    #[must_use]
+    pub fn double(&self) -> Self {
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = self.z.square().add(&self.z.square());
+        let d = a.neg(); // a·X² with a = −1
+        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
+        let g = d.add(&b);
+        let f = g.sub(&c);
+        let h = d.sub(&b);
+        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+    }
+
+    /// Negation: (x, y) → (−x, y).
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+    }
+
+    /// Scalar multiplication by double-and-add (MSB first).
+    #[must_use]
+    pub fn scalar_mul(&self, scalar: &Scalar) -> Self {
+        let mut acc = EdwardsPoint::identity();
+        for bit in scalar.bits_msb_first() {
+            acc = acc.double();
+            if bit {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Computes `a·self + b·other` (the verification equation shape).
+    #[must_use]
+    pub fn double_scalar_mul(&self, a: &Scalar, other: &Self, b: &Scalar) -> Self {
+        self.scalar_mul(a).add(&other.scalar_mul(b))
+    }
+
+    /// Whether this is the identity element.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        // x = 0 and y = z.
+        self.x.is_zero() && self.y == self.z
+    }
+}
+
+impl PartialEq for EdwardsPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // (X1/Z1, Y1/Z1) == (X2/Z2, Y2/Z2) ⇔ cross products match.
+        self.x.mul(&other.z) == other.x.mul(&self.z)
+            && self.y.mul(&other.z) == other.y.mul(&self.z)
+    }
+}
+
+impl Eq for EdwardsPoint {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basepoint_is_on_curve() {
+        let b = EdwardsPoint::basepoint();
+        let (x, y) = b.to_affine();
+        assert!(EdwardsPoint::from_affine(x, y).is_ok());
+    }
+
+    #[test]
+    fn identity_laws() {
+        let b = EdwardsPoint::basepoint();
+        let id = EdwardsPoint::identity();
+        assert_eq!(b.add(&id), b);
+        assert_eq!(id.add(&b), b);
+        assert!(id.is_identity());
+        assert!(!b.is_identity());
+    }
+
+    #[test]
+    fn double_matches_add() {
+        let b = EdwardsPoint::basepoint();
+        assert_eq!(b.double(), b.add(&b));
+        let four = b.double().double();
+        assert_eq!(four, b.add(&b).add(&b).add(&b));
+    }
+
+    #[test]
+    fn neg_is_inverse() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.add(&b.neg()).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_small() {
+        let b = EdwardsPoint::basepoint();
+        assert!(b.scalar_mul(&Scalar::ZERO).is_identity());
+        assert_eq!(b.scalar_mul(&Scalar::ONE), b);
+        assert_eq!(b.scalar_mul(&Scalar::from_u64(2)), b.double());
+        assert_eq!(b.scalar_mul(&Scalar::from_u64(5)), b.double().double().add(&b));
+    }
+
+    #[test]
+    fn order_annihilates_basepoint() {
+        // ℓ·B = identity.
+        let b = EdwardsPoint::basepoint();
+        // ℓ = L limbs; build ℓ−1 then add B once more.
+        let l_minus_1 = Scalar::from_u64(1).neg();
+        let almost = b.scalar_mul(&l_minus_1);
+        assert!(almost.add(&b).is_identity());
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let b = EdwardsPoint::basepoint();
+        let a = Scalar::from_u64(123);
+        let c = Scalar::from_u64(456);
+        assert_eq!(
+            b.scalar_mul(&a.add(&c)),
+            b.scalar_mul(&a).add(&b.scalar_mul(&c))
+        );
+        assert_eq!(
+            b.scalar_mul(&a.mul(&c)),
+            b.scalar_mul(&a).scalar_mul(&c)
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = EdwardsPoint::basepoint().scalar_mul(&Scalar::from_u64(777));
+        let enc = p.encode();
+        let q = EdwardsPoint::decode(&enc).unwrap();
+        assert_eq!(p, q);
+        assert_eq!(q.encode(), enc);
+    }
+
+    #[test]
+    fn decode_rejects_off_curve() {
+        let mut enc = EdwardsPoint::basepoint().encode();
+        enc[0] ^= 1; // perturb x
+        assert_eq!(EdwardsPoint::decode(&enc), Err(CryptoError::InvalidEncoding));
+    }
+
+    #[test]
+    fn decode_rejects_noncanonical() {
+        // Encode y = p (non-canonical zero) with x of the identity.
+        let mut enc = [0u8; 64];
+        enc[32] = 0xed;
+        for b in enc[33..63].iter_mut() {
+            *b = 0xff;
+        }
+        enc[63] = 0x7f;
+        assert!(EdwardsPoint::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn double_scalar_mul_matches() {
+        let b = EdwardsPoint::basepoint();
+        let p = b.scalar_mul(&Scalar::from_u64(31337));
+        let a = Scalar::from_u64(17);
+        let c = Scalar::from_u64(99);
+        assert_eq!(
+            b.double_scalar_mul(&a, &p, &c),
+            b.scalar_mul(&a).add(&p.scalar_mul(&c))
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type shared by all primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by a cryptographic operation.
+///
+/// Deliberately coarse: distinguishing *why* verification failed would leak
+/// information to an attacker, so all authenticity failures collapse into
+/// [`CryptoError::VerificationFailed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A MAC, AEAD tag or signature did not verify.
+    VerificationFailed,
+    /// An encoded group element or key had an invalid encoding.
+    InvalidEncoding,
+    /// An input had the wrong length for the primitive.
+    InvalidLength {
+        /// The length the primitive expected.
+        expected: usize,
+        /// The length that was provided.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::VerificationFailed => write!(f, "verification failed"),
+            CryptoError::InvalidEncoding => write!(f, "invalid encoding"),
+            CryptoError::InvalidLength { expected, actual } => {
+                write!(f, "invalid length: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            CryptoError::VerificationFailed.to_string(),
+            CryptoError::InvalidEncoding.to_string(),
+            CryptoError::InvalidLength { expected: 32, actual: 31 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

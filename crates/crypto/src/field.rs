@@ -1,0 +1,337 @@
+//! Arithmetic in GF(2^255 − 19), the field underlying Curve25519.
+//!
+//! Elements are represented with five 51-bit limbs. All public operations
+//! maintain the invariant that limbs stay below 2^52, which keeps every
+//! intermediate product inside `u128`.
+
+const MASK51: u64 = (1 << 51) - 1;
+/// 2·p in 51-bit limb form, added before subtraction to avoid underflow.
+const TWO_P: [u64; 5] = [
+    0x000f_ffff_ffff_ffda,
+    0x000f_ffff_ffff_fffe,
+    0x000f_ffff_ffff_fffe,
+    0x000f_ffff_ffff_fffe,
+    0x000f_ffff_ffff_fffe,
+];
+
+/// An element of GF(2^255 − 19).
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::field::FieldElement;
+///
+/// let two = FieldElement::from_u64(2);
+/// let four = two.mul(&two);
+/// assert_eq!(four, FieldElement::from_u64(4));
+/// assert_eq!(four.mul(&four.invert()), FieldElement::ONE);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl FieldElement {
+    /// The additive identity.
+    pub const ZERO: FieldElement = FieldElement([0; 5]);
+    /// The multiplicative identity.
+    pub const ONE: FieldElement = FieldElement([1, 0, 0, 0, 0]);
+
+    /// Creates a field element from a small integer.
+    #[must_use]
+    pub fn from_u64(x: u64) -> Self {
+        let mut fe = FieldElement([0; 5]);
+        fe.0[0] = x & MASK51;
+        fe.0[1] = x >> 51;
+        fe
+    }
+
+    /// Decodes 32 little-endian bytes, ignoring the top bit (bit 255).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load = |range: std::ops::Range<usize>| -> u64 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[range]);
+            u64::from_le_bytes(buf)
+        };
+        FieldElement([
+            load(0..8) & MASK51,
+            (load(6..14) >> 3) & MASK51,
+            (load(12..20) >> 6) & MASK51,
+            (load(19..27) >> 1) & MASK51,
+            (load(24..32) >> 12) & MASK51,
+        ])
+    }
+
+    /// Encodes the canonical (fully reduced) representative as 32 bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut limbs = self.carry().carry().0;
+        // Compute q = floor((h + 19) / 2^255): 1 when h >= p, else 0.
+        let mut q = (limbs[0] + 19) >> 51;
+        q = (limbs[1] + q) >> 51;
+        q = (limbs[2] + q) >> 51;
+        q = (limbs[3] + q) >> 51;
+        q = (limbs[4] + q) >> 51;
+        // h + 19q mod 2^255 is the canonical representative.
+        limbs[0] += 19 * q;
+        for i in 0..4 {
+            limbs[i + 1] += limbs[i] >> 51;
+            limbs[i] &= MASK51;
+        }
+        limbs[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let mut bit = 0usize;
+        for limb in limbs {
+            for k in 0..51 {
+                if (limb >> k) & 1 == 1 {
+                    out[(bit + k) / 8] |= 1 << ((bit + k) % 8);
+                }
+            }
+            bit += 51;
+        }
+        out
+    }
+
+    fn carry(self) -> Self {
+        let mut l = self.0;
+        for i in 0..4 {
+            l[i + 1] += l[i] >> 51;
+            l[i] &= MASK51;
+        }
+        l[0] += 19 * (l[4] >> 51);
+        l[4] &= MASK51;
+        FieldElement(l)
+    }
+
+    /// Addition in the field.
+    #[must_use]
+    pub fn add(&self, rhs: &Self) -> Self {
+        let mut l = [0u64; 5];
+        for (out, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *out = a + b;
+        }
+        FieldElement(l).carry()
+    }
+
+    /// Subtraction in the field.
+    #[must_use]
+    pub fn sub(&self, rhs: &Self) -> Self {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        FieldElement(l).carry()
+    }
+
+    /// Negation in the field.
+    #[must_use]
+    pub fn neg(&self) -> Self {
+        Self::ZERO.sub(self)
+    }
+
+    /// Multiplication in the field.
+    #[must_use]
+    pub fn mul(&self, rhs: &Self) -> Self {
+        let a = self.0.map(u128::from);
+        let b = rhs.0.map(u128::from);
+
+        let c0 = a[0] * b[0] + 19 * (a[1] * b[4] + a[2] * b[3] + a[3] * b[2] + a[4] * b[1]);
+        let c1 = a[0] * b[1] + a[1] * b[0] + 19 * (a[2] * b[4] + a[3] * b[3] + a[4] * b[2]);
+        let c2 = a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + 19 * (a[3] * b[4] + a[4] * b[3]);
+        let c3 = a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + 19 * (a[4] * b[4]);
+        let c4 = a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0];
+
+        Self::reduce_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Squaring in the field.
+    #[must_use]
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    fn reduce_wide(mut c: [u128; 5]) -> Self {
+        let mut out = [0u64; 5];
+        for i in 0..4 {
+            c[i + 1] += c[i] >> 51;
+            out[i] = (c[i] as u64) & MASK51;
+        }
+        let carry = (c[4] >> 51) as u64;
+        out[4] = (c[4] as u64) & MASK51;
+        out[0] += 19 * carry;
+        FieldElement(out).carry()
+    }
+
+    /// Raises `self` to the power 2^k by repeated squaring.
+    #[must_use]
+    pub fn pow2k(&self, k: u32) -> Self {
+        let mut out = *self;
+        for _ in 0..k {
+            out = out.square();
+        }
+        out
+    }
+
+    /// Computes the multiplicative inverse (x^(p−2)).
+    ///
+    /// Returns zero for the zero element (which has no inverse).
+    #[must_use]
+    pub fn invert(&self) -> Self {
+        // p − 2 = 2^255 − 21: all bits set from 254 down to 5,
+        // then bits 4..0 = 01011.
+        let mut acc = Self::ONE;
+        let mut first = true;
+        for bit in (0..255).rev() {
+            if !first {
+                acc = acc.square();
+            }
+            let bit_set = if bit >= 5 {
+                true
+            } else {
+                // low bits of (2^255 - 21): ...01011
+                matches!(bit, 0 | 1 | 3)
+            };
+            if bit_set {
+                if first {
+                    acc = *self;
+                    first = false;
+                } else {
+                    acc = acc.mul(self);
+                }
+            }
+        }
+        acc
+    }
+
+    /// Whether this element is zero (canonically).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Swaps `a` and `b` when `swap` is 1, using arithmetic masking.
+    pub fn conditional_swap(a: &mut Self, b: &mut Self, swap: u64) {
+        debug_assert!(swap <= 1);
+        let mask = swap.wrapping_neg();
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(x: u64) -> FieldElement {
+        FieldElement::from_u64(x)
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = fe(123456789);
+        let b = fe(987654321);
+        assert_eq!(a.add(&b).sub(&b), a);
+        assert_eq!(a.sub(&b).add(&b), a);
+    }
+
+    #[test]
+    fn sub_wraps_mod_p() {
+        // 0 - 1 = p - 1
+        let minus_one = FieldElement::ZERO.sub(&FieldElement::ONE);
+        let bytes = minus_one.to_bytes();
+        // p - 1 = 2^255 - 20 → low byte 0xec, top byte 0x7f.
+        assert_eq!(bytes[0], 0xec);
+        assert_eq!(bytes[31], 0x7f);
+        assert_eq!(minus_one.add(&FieldElement::ONE), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_repeated_add() {
+        let a = fe(7);
+        let mut sum = FieldElement::ZERO;
+        for _ in 0..13 {
+            sum = sum.add(&a);
+        }
+        assert_eq!(a.mul(&fe(13)), sum);
+    }
+
+    #[test]
+    fn invert_small_values() {
+        for x in 1..50u64 {
+            let a = fe(x);
+            assert_eq!(a.mul(&a.invert()), FieldElement::ONE, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn invert_zero_is_zero() {
+        assert!(FieldElement::ZERO.invert().is_zero());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = (i * 17 + 3) as u8;
+        }
+        bytes[31] &= 0x7f; // keep below 2^255
+        let a = FieldElement::from_bytes(&bytes);
+        // Not all 255-bit strings are canonical; roundtrip through the
+        // canonical form instead.
+        let canon = a.to_bytes();
+        assert_eq!(FieldElement::from_bytes(&canon).to_bytes(), canon);
+    }
+
+    #[test]
+    fn noncanonical_p_encodes_as_zero() {
+        // p itself = 2^255 - 19 must reduce to zero.
+        let mut p_bytes = [0xffu8; 32];
+        p_bytes[0] = 0xed;
+        p_bytes[31] = 0x7f;
+        assert!(FieldElement::from_bytes(&p_bytes).is_zero());
+    }
+
+    #[test]
+    fn conditional_swap_works() {
+        let mut a = fe(1);
+        let mut b = fe(2);
+        FieldElement::conditional_swap(&mut a, &mut b, 0);
+        assert_eq!((a, b), (fe(1), fe(2)));
+        FieldElement::conditional_swap(&mut a, &mut b, 1);
+        assert_eq!((a, b), (fe(2), fe(1)));
+    }
+
+    #[test]
+    fn distributive_law() {
+        let a = fe(0xdead_beef);
+        let b = fe(0x1234_5678);
+        let c = fe(0x0bad_f00d);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut x = fe(3);
+        for _ in 0..20 {
+            assert_eq!(x.square(), x.mul(&x));
+            x = x.mul(&fe(0x9e37_79b9)).add(&FieldElement::ONE);
+        }
+    }
+
+    #[test]
+    fn pow2k_matches_squares() {
+        let x = fe(5);
+        assert_eq!(x.pow2k(3), x.square().square().square());
+    }
+}

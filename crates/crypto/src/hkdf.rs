@@ -1,0 +1,141 @@
+//! HKDF-SHA256 (RFC 5869) extract-and-expand key derivation.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// Maximum output length of [`expand`] (255 blocks, per RFC 5869).
+pub const MAX_OUTPUT_LEN: usize = 255 * DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+///
+/// # Example
+///
+/// ```
+/// let prk = silvasec_crypto::hkdf::extract(b"salt", b"input keying material");
+/// assert_eq!(prk.len(), 32);
+/// ```
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands a pseudorandom key to `out.len()` bytes of output
+/// keying material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `out.len()` exceeds [`MAX_OUTPUT_LEN`].
+pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= MAX_OUTPUT_LEN, "hkdf output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0usize;
+    while written < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - written).min(DIGEST_LEN);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot extract-then-expand.
+///
+/// # Panics
+///
+/// Panics if `out.len()` exceeds [`MAX_OUTPUT_LEN`].
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let prk = extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_matches_extract_expand() {
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        derive(b"salt", b"ikm", b"info", &mut a);
+        let prk = extract(b"salt", b"ikm");
+        expand(&prk, b"info", &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_info_different_output() {
+        let prk = extract(b"s", b"k");
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        expand(&prk, b"client", &mut a);
+        expand(&prk, b"server", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn non_block_multiple_lengths() {
+        let prk = extract(b"s", b"k");
+        let mut long = [0u8; 100];
+        expand(&prk, b"i", &mut long);
+        let mut short = [0u8; 33];
+        expand(&prk, b"i", &mut short);
+        assert_eq!(&long[..33], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hkdf output too long")]
+    fn too_long_output_panics() {
+        let prk = extract(b"s", b"k");
+        let mut out = vec![0u8; MAX_OUTPUT_LEN + 1];
+        expand(&prk, b"i", &mut out);
+    }
+}

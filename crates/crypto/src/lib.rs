@@ -1,0 +1,79 @@
+//! From-scratch cryptographic primitives for the SilvaSec toolkit.
+//!
+//! This crate implements every primitive the secure substrates of the
+//! forestry worksite need, with no external dependencies:
+//!
+//! * [`sha256`] — SHA-256 (FIPS 180-4), validated against NIST vectors.
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104), validated against RFC 4231 vectors.
+//! * [`hkdf`] — HKDF-SHA256 (RFC 5869) extract-and-expand key derivation.
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 7539).
+//! * [`poly1305`] — the Poly1305 one-time authenticator (RFC 7539).
+//! * [`aead`] — the ChaCha20-Poly1305 AEAD construction (RFC 7539).
+//! * [`field`] — arithmetic in GF(2^255 − 19) using 51-bit limbs.
+//! * [`x25519`] — the X25519 Diffie–Hellman function (RFC 7748).
+//! * [`edwards`] — the edwards25519 group (extended coordinates).
+//! * [`scalar`] — arithmetic modulo the edwards25519 group order ℓ.
+//! * [`schnorr`] — Schnorr signatures over edwards25519 (uncompressed
+//!   point encoding; see the module docs for how this differs from Ed25519).
+//! * [`drbg`] — a deterministic ChaCha20-based random bit generator.
+//! * [`ct`] — constant-time byte comparison.
+//!
+//! # Why from scratch?
+//!
+//! The reproduced paper prescribes authenticated communication, a PKI and
+//! signed firmware for autonomous forestry machines, but its project had not
+//! yet built them. Implementing the primitives here (rather than binding a
+//! production library) keeps the whole system self-contained and lets the
+//! benchmark harness measure primitive costs on equal footing with the rest
+//! of the simulation.
+//!
+//! **These implementations favour clarity over side-channel hardening; do not
+//! reuse them outside the simulation context.**
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_crypto::{schnorr::SigningKey, aead::ChaCha20Poly1305, x25519};
+//!
+//! # fn main() {
+//! // Sign and verify.
+//! let sk = SigningKey::from_seed(&[7u8; 32]);
+//! let sig = sk.sign(b"forwarder telemetry frame");
+//! assert!(sk.verifying_key().verify(b"forwarder telemetry frame", &sig).is_ok());
+//!
+//! // Agree on a shared secret and encrypt.
+//! let (a_priv, a_pub) = x25519::keypair(&[1u8; 32]);
+//! let (b_priv, b_pub) = x25519::keypair(&[2u8; 32]);
+//! let shared_a = x25519::diffie_hellman(&a_priv, &b_pub);
+//! let shared_b = x25519::diffie_hellman(&b_priv, &a_pub);
+//! assert_eq!(shared_a, shared_b);
+//!
+//! let aead = ChaCha20Poly1305::new(&shared_a);
+//! let ct = aead.seal(&[0u8; 12], b"header", b"stop command");
+//! let pt = aead.open(&[0u8; 12], b"header", &ct).unwrap();
+//! assert_eq!(pt, b"stop command");
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod drbg;
+pub mod edwards;
+pub mod error;
+pub mod field;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod scalar;
+pub mod schnorr;
+pub mod sha256;
+pub mod x25519;
+
+pub use aead::ChaCha20Poly1305;
+pub use drbg::ChaChaDrbg;
+pub use error::CryptoError;
+pub use schnorr::{Signature, SigningKey, VerifyingKey};

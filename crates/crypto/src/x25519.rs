@@ -1,0 +1,176 @@
+//! The X25519 Diffie–Hellman function (RFC 7748).
+
+use crate::field::FieldElement;
+
+/// Length of X25519 private keys, public keys and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+/// The u-coordinate of the X25519 base point (9).
+pub const BASEPOINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+fn clamp(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 scalar multiplication function.
+///
+/// Computes the u-coordinate of `scalar * (point with u-coordinate u)`,
+/// clamping `scalar` per RFC 7748.
+#[must_use]
+pub fn scalar_mul(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(*scalar);
+    let x1 = FieldElement::from_bytes(u);
+
+    let mut x2 = FieldElement::ONE;
+    let mut z2 = FieldElement::ZERO;
+    let mut x3 = x1;
+    let mut z3 = FieldElement::ONE;
+    let a24 = FieldElement::from_u64(121_665);
+
+    let mut swap = 0u64;
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        FieldElement::conditional_swap(&mut x2, &mut x3, swap);
+        FieldElement::conditional_swap(&mut z2, &mut z3, swap);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&a24.mul(&e)));
+    }
+    FieldElement::conditional_swap(&mut x2, &mut x3, swap);
+    FieldElement::conditional_swap(&mut z2, &mut z3, swap);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// Derives the public key for a private key.
+#[must_use]
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    scalar_mul(private, &BASEPOINT)
+}
+
+/// Builds an (private, public) key pair from 32 bytes of seed material.
+#[must_use]
+pub fn keypair(seed: &[u8; 32]) -> ([u8; 32], [u8; 32]) {
+    (*seed, public_key(seed))
+}
+
+/// Computes the Diffie–Hellman shared secret.
+///
+/// The result is all zeros when the peer's public key is a small-order
+/// point; callers (the handshake layer) must reject that case.
+#[must_use]
+pub fn diffie_hellman(private: &[u8; 32], peer_public: &[u8; 32]) -> [u8; 32] {
+    scalar_mul(private, peer_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 section 5.2, vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let k = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&scalar_mul(&k, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 section 5.2, vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let k = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&scalar_mul(&k, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 section 5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let k = BASEPOINT;
+        let u = BASEPOINT;
+        assert_eq!(
+            hex(&scalar_mul(&k, &u)),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    // RFC 7748 section 6.1 Diffie-Hellman test.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_priv =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_priv =
+            unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_pub = public_key(&alice_priv);
+        let bob_pub = public_key(&bob_priv);
+        assert_eq!(
+            hex(&alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let shared = diffie_hellman(&alice_priv, &bob_pub);
+        assert_eq!(
+            hex(&shared),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+        assert_eq!(shared, diffie_hellman(&bob_priv, &alice_pub));
+    }
+
+    #[test]
+    fn zero_point_gives_zero_secret() {
+        let priv_key = [0x42u8; 32];
+        assert_eq!(diffie_hellman(&priv_key, &[0u8; 32]), [0u8; 32]);
+    }
+
+    #[test]
+    fn different_keys_different_secrets() {
+        let (a_priv, a_pub) = keypair(&[1u8; 32]);
+        let (_, b_pub) = keypair(&[2u8; 32]);
+        assert_ne!(a_pub, b_pub);
+        assert_ne!(
+            diffie_hellman(&a_priv, &b_pub),
+            diffie_hellman(&a_priv, &a_pub)
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Alert and severity types.
+
+use serde::{Deserialize, Serialize};
+use silvasec_sim::time::SimTime;
+use std::fmt;
+
+/// What the IDS believes is happening.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AlertKind {
+    /// A burst of de-authentication frames (Wi-Fi DoS).
+    DeauthFlood,
+    /// Noise-floor rise with delivery collapse (RF jamming).
+    Jamming,
+    /// GNSS position diverging from dead reckoning (spoofing).
+    GnssSpoofing,
+    /// Loss of GNSS fixes while motion continues (GNSS jamming).
+    GnssJamming,
+    /// People-detection rate collapse (camera blinding / tampering).
+    SensorBlinding,
+    /// Repeated cryptographic authentication failures (active tampering
+    /// or an impersonation attempt).
+    AuthFailureStorm,
+    /// Association attempts from radios outside the commissioned roster
+    /// (a rogue node trying to join the worksite network).
+    RogueAssociation,
+}
+
+impl fmt::Display for AlertKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlertKind::DeauthFlood => "deauth-flood",
+            AlertKind::Jamming => "jamming",
+            AlertKind::GnssSpoofing => "gnss-spoofing",
+            AlertKind::GnssJamming => "gnss-jamming",
+            AlertKind::SensorBlinding => "sensor-blinding",
+            AlertKind::AuthFailureStorm => "auth-failure-storm",
+            AlertKind::RogueAssociation => "rogue-association",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AlertKind {
+    /// The default severity of this alert kind, reflecting how directly
+    /// it can compromise a safety function.
+    #[must_use]
+    pub fn default_severity(self) -> Severity {
+        match self {
+            AlertKind::SensorBlinding | AlertKind::GnssSpoofing => Severity::Critical,
+            AlertKind::Jamming | AlertKind::DeauthFlood => Severity::High,
+            AlertKind::GnssJamming => Severity::High,
+            AlertKind::AuthFailureStorm | AlertKind::RogueAssociation => Severity::Medium,
+        }
+    }
+}
+
+/// Alert severity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Severity {
+    /// Informational; log only.
+    Low,
+    /// Needs operator attention.
+    Medium,
+    /// Mission-impacting; degraded mode advised.
+    High,
+    /// Safety-impacting; protective action required.
+    Critical,
+}
+
+/// One alert raised by a detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// What is suspected.
+    pub kind: AlertKind,
+    /// How severe.
+    pub severity: Severity,
+    /// The entity the alert concerns (node, machine or sensor label).
+    pub subject: String,
+    /// When it was raised.
+    pub at: SimTime,
+    /// Human-readable evidence summary.
+    pub detail: String,
+}
+
+impl Alert {
+    /// Creates an alert with the kind's default severity.
+    pub fn new(kind: AlertKind, subject: impl Into<String>, at: SimTime, detail: String) -> Self {
+        Alert { kind, severity: kind.default_severity(), subject: subject.into(), at, detail }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Low < Severity::Medium);
+        assert!(Severity::Medium < Severity::High);
+        assert!(Severity::High < Severity::Critical);
+    }
+
+    #[test]
+    fn safety_relevant_kinds_are_critical() {
+        assert_eq!(AlertKind::SensorBlinding.default_severity(), Severity::Critical);
+        assert_eq!(AlertKind::GnssSpoofing.default_severity(), Severity::Critical);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AlertKind::DeauthFlood.to_string(), "deauth-flood");
+        assert_eq!(AlertKind::Jamming.to_string(), "jamming");
+    }
+
+    #[test]
+    fn constructor_applies_default_severity() {
+        let a = Alert::new(AlertKind::Jamming, "fw-01", SimTime::ZERO, "noise +20 dB".into());
+        assert_eq!(a.severity, Severity::High);
+        assert_eq!(a.subject, "fw-01");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Alert::new(AlertKind::GnssSpoofing, "fw-01", SimTime::from_secs(5), "drift".into());
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<Alert>(&json).unwrap(), a);
+    }
+}

@@ -1,0 +1,179 @@
+//! Alert correlation: deduplication and incident formation.
+//!
+//! A single attack raises alerts from multiple detectors on multiple
+//! machines (a jammer trips the jamming detector on every node in range).
+//! The correlator groups alerts of the same kind within a time window
+//! into one **incident**, which is the unit operators and the continuous
+//! risk assessment consume.
+
+use crate::alert::{Alert, AlertKind, Severity};
+use serde::{Deserialize, Serialize};
+use silvasec_sim::time::{SimDuration, SimTime};
+
+/// A correlated group of alerts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Incident {
+    /// Incident id (monotonic).
+    pub id: u64,
+    /// The shared alert kind.
+    pub kind: AlertKind,
+    /// Maximum severity across grouped alerts.
+    pub severity: Severity,
+    /// First alert time.
+    pub opened_at: SimTime,
+    /// Most recent alert time.
+    pub last_alert_at: SimTime,
+    /// Distinct subjects involved.
+    pub subjects: Vec<String>,
+    /// Number of alerts grouped.
+    pub alert_count: u64,
+}
+
+/// Groups alerts into incidents.
+#[derive(Debug, Default)]
+pub struct AlertCorrelator {
+    window: SimDuration,
+    open: Vec<Incident>,
+    closed: Vec<Incident>,
+    next_id: u64,
+}
+
+impl AlertCorrelator {
+    /// Creates a correlator; alerts of the same kind within `window` of
+    /// an incident's last alert join that incident.
+    #[must_use]
+    pub fn new(window: SimDuration) -> Self {
+        AlertCorrelator { window, ..AlertCorrelator::default() }
+    }
+
+    /// Feeds an alert; returns the id of the incident it joined, and
+    /// whether that incident is new.
+    pub fn ingest(&mut self, alert: &Alert) -> (u64, bool) {
+        self.expire(alert.at);
+        if let Some(incident) = self
+            .open
+            .iter_mut()
+            .find(|i| i.kind == alert.kind && alert.at.since(i.last_alert_at) <= self.window)
+        {
+            incident.last_alert_at = alert.at;
+            incident.alert_count += 1;
+            incident.severity = incident.severity.max(alert.severity);
+            if !incident.subjects.contains(&alert.subject) {
+                incident.subjects.push(alert.subject.clone());
+            }
+            (incident.id, false)
+        } else {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.open.push(Incident {
+                id,
+                kind: alert.kind,
+                severity: alert.severity,
+                opened_at: alert.at,
+                last_alert_at: alert.at,
+                subjects: vec![alert.subject.clone()],
+                alert_count: 1,
+            });
+            (id, true)
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let window = self.window;
+        let (still_open, expired): (Vec<Incident>, Vec<Incident>) = self
+            .open
+            .drain(..)
+            .partition(|i| now.since(i.last_alert_at) <= window);
+        self.open = still_open;
+        self.closed.extend(expired);
+    }
+
+    /// Incidents currently open as of their last ingest.
+    #[must_use]
+    pub fn open_incidents(&self) -> &[Incident] {
+        &self.open
+    }
+
+    /// Incidents that have gone quiet.
+    #[must_use]
+    pub fn closed_incidents(&self) -> &[Incident] {
+        &self.closed
+    }
+
+    /// All incidents, open and closed.
+    #[must_use]
+    pub fn all_incidents(&self) -> Vec<&Incident> {
+        self.closed.iter().chain(self.open.iter()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(kind: AlertKind, subject: &str, at_s: u64) -> Alert {
+        Alert::new(kind, subject, SimTime::from_secs(at_s), "test".into())
+    }
+
+    #[test]
+    fn same_kind_within_window_groups() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(60));
+        let (id1, new1) = c.ingest(&alert(AlertKind::Jamming, "fw-01", 10));
+        let (id2, new2) = c.ingest(&alert(AlertKind::Jamming, "drone-01", 30));
+        assert!(new1);
+        assert!(!new2);
+        assert_eq!(id1, id2);
+        let inc = &c.open_incidents()[0];
+        assert_eq!(inc.alert_count, 2);
+        assert_eq!(inc.subjects.len(), 2);
+    }
+
+    #[test]
+    fn different_kinds_separate_incidents() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(60));
+        let (a, _) = c.ingest(&alert(AlertKind::Jamming, "fw-01", 10));
+        let (b, _) = c.ingest(&alert(AlertKind::DeauthFlood, "fw-01", 11));
+        assert_ne!(a, b);
+        assert_eq!(c.open_incidents().len(), 2);
+    }
+
+    #[test]
+    fn gap_beyond_window_opens_new_incident() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(60));
+        let (a, _) = c.ingest(&alert(AlertKind::Jamming, "fw-01", 10));
+        let (b, is_new) = c.ingest(&alert(AlertKind::Jamming, "fw-01", 100));
+        assert_ne!(a, b);
+        assert!(is_new);
+        assert_eq!(c.closed_incidents().len(), 1);
+        assert_eq!(c.open_incidents().len(), 1);
+    }
+
+    #[test]
+    fn severity_escalates_to_max() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(60));
+        let mut low = alert(AlertKind::Jamming, "fw-01", 10);
+        low.severity = Severity::Low;
+        c.ingest(&low);
+        c.ingest(&alert(AlertKind::Jamming, "fw-01", 20)); // default High
+        assert_eq!(c.open_incidents()[0].severity, Severity::High);
+    }
+
+    #[test]
+    fn duplicate_subjects_not_repeated() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(60));
+        for t in 10..15 {
+            c.ingest(&alert(AlertKind::DeauthFlood, "fw-01", t));
+        }
+        let inc = &c.open_incidents()[0];
+        assert_eq!(inc.subjects, vec!["fw-01".to_string()]);
+        assert_eq!(inc.alert_count, 5);
+    }
+
+    #[test]
+    fn all_incidents_combines() {
+        let mut c = AlertCorrelator::new(SimDuration::from_secs(10));
+        c.ingest(&alert(AlertKind::Jamming, "a", 0));
+        c.ingest(&alert(AlertKind::Jamming, "a", 100));
+        assert_eq!(c.all_incidents().len(), 2);
+    }
+}

@@ -1,0 +1,239 @@
+//! GNSS/odometry consistency monitoring.
+//!
+//! The defence Ren et al. recommend against GNSS spoofing is cross-sensor
+//! consistency: dead reckoning (wheel odometry + IMU) drifts slowly but
+//! cannot be spoofed remotely, so a growing divergence between the GNSS
+//! fix and the dead-reckoned position is the spoofing signature. Fix loss
+//! while the machine believes it is moving flags jamming instead.
+
+use crate::alert::{Alert, AlertKind};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::{SimDuration, SimTime};
+
+/// One navigation cross-check sample for one machine.
+#[derive(Debug, Clone)]
+pub struct NavObservation {
+    /// The machine's label.
+    pub machine_label: String,
+    /// Sample time.
+    pub at: SimTime,
+    /// The GNSS fix, if the receiver produced one.
+    pub gnss_fix: Option<Vec2>,
+    /// The dead-reckoned position (odometry integrated from the last
+    /// trusted fix).
+    pub dead_reckoned: Vec2,
+    /// Whether the machine is currently commanded to move.
+    pub moving: bool,
+}
+
+/// Navigation-monitor tuning.
+#[derive(Debug, Clone)]
+pub struct NavConfig {
+    /// Base divergence tolerance, metres (GNSS noise + map errors).
+    pub base_tolerance_m: f64,
+    /// Extra tolerance per second since the monitor last resynced,
+    /// metres/second (odometry drift allowance).
+    pub drift_allowance_mps: f64,
+    /// Consecutive divergent samples required before alerting.
+    pub required_consecutive: u32,
+    /// Consecutive missing fixes (while moving) that flag jamming.
+    pub missing_fix_threshold: u32,
+    /// Cool-down between repeated alerts of the same kind.
+    pub cooldown: SimDuration,
+}
+
+impl Default for NavConfig {
+    fn default() -> Self {
+        NavConfig {
+            base_tolerance_m: 8.0,
+            drift_allowance_mps: 0.05,
+            required_consecutive: 3,
+            missing_fix_threshold: 5,
+            cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// The per-machine consistency monitor.
+#[derive(Debug)]
+pub struct NavConsistencyMonitor {
+    config: NavConfig,
+    divergent_streak: u32,
+    missing_streak: u32,
+    synced_at: Option<SimTime>,
+    last_alert: std::collections::HashMap<AlertKind, SimTime>,
+}
+
+impl NavConsistencyMonitor {
+    /// Creates a monitor with the given tuning.
+    #[must_use]
+    pub fn new(config: NavConfig) -> Self {
+        NavConsistencyMonitor {
+            config,
+            divergent_streak: 0,
+            missing_streak: 0,
+            synced_at: None,
+            last_alert: std::collections::HashMap::new(),
+        }
+    }
+
+    fn raise(&mut self, kind: AlertKind, obs: &NavObservation, detail: String) -> Option<Alert> {
+        if self
+            .last_alert
+            .get(&kind)
+            .is_some_and(|t| obs.at.since(*t) < self.config.cooldown)
+        {
+            return None;
+        }
+        self.last_alert.insert(kind, obs.at);
+        Some(Alert::new(kind, obs.machine_label.clone(), obs.at, detail))
+    }
+
+    /// Feeds a sample; returns any new alerts.
+    pub fn observe(&mut self, obs: &NavObservation) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        match obs.gnss_fix {
+            None => {
+                if obs.moving {
+                    self.missing_streak += 1;
+                    if self.missing_streak >= self.config.missing_fix_threshold {
+                        if let Some(a) = self.raise(
+                            AlertKind::GnssJamming,
+                            obs,
+                            format!("{} consecutive missing fixes while moving", self.missing_streak),
+                        ) {
+                            alerts.push(a);
+                        }
+                    }
+                }
+            }
+            Some(fix) => {
+                self.missing_streak = 0;
+                let synced = *self.synced_at.get_or_insert(obs.at);
+                let age_s = obs.at.since(synced).as_secs_f64();
+                let tolerance =
+                    self.config.base_tolerance_m + self.config.drift_allowance_mps * age_s;
+                let divergence = fix.distance(obs.dead_reckoned);
+                if divergence > tolerance {
+                    self.divergent_streak += 1;
+                    if self.divergent_streak >= self.config.required_consecutive {
+                        if let Some(a) = self.raise(
+                            AlertKind::GnssSpoofing,
+                            obs,
+                            format!(
+                                "gnss/odometry divergence {divergence:.1} m > tolerance {tolerance:.1} m"
+                            ),
+                        ) {
+                            alerts.push(a);
+                        }
+                    }
+                } else {
+                    self.divergent_streak = 0;
+                    // Consistent fix: treat as a resync point.
+                    self.synced_at = Some(obs.at);
+                }
+            }
+        }
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(at_s: u64, fix: Option<Vec2>, dr: Vec2) -> NavObservation {
+        NavObservation {
+            machine_label: "fw".into(),
+            at: SimTime::from_secs(at_s),
+            gnss_fix: fix,
+            dead_reckoned: dr,
+            moving: true,
+        }
+    }
+
+    #[test]
+    fn consistent_fixes_no_alert() {
+        let mut m = NavConsistencyMonitor::new(NavConfig::default());
+        for t in 0..100 {
+            let p = Vec2::new(t as f64, 0.0);
+            let noisy = p + Vec2::new(1.5, -0.8);
+            assert!(m.observe(&obs(t, Some(noisy), p)).is_empty());
+        }
+    }
+
+    #[test]
+    fn spoofing_drag_detected() {
+        let mut m = NavConsistencyMonitor::new(NavConfig::default());
+        let mut alerts = Vec::new();
+        for t in 0..120 {
+            let truth = Vec2::new(t as f64, 0.0);
+            // Spoof drags the fix away at 0.5 m/s after t = 20.
+            let drag = if t > 20 { 0.5 * (t - 20) as f64 } else { 0.0 };
+            let fix = truth + Vec2::new(0.0, drag);
+            alerts.extend(m.observe(&obs(t, Some(fix), truth)));
+        }
+        assert!(!alerts.is_empty(), "spoof never detected");
+        assert_eq!(alerts[0].kind, AlertKind::GnssSpoofing);
+        // Detection latency: divergence crosses ~8 m at t ≈ 36, plus the
+        // 3-sample confirmation.
+        assert!(alerts[0].at <= SimTime::from_secs(45), "late: {}", alerts[0].at);
+    }
+
+    #[test]
+    fn single_glitch_not_flagged() {
+        let mut m = NavConsistencyMonitor::new(NavConfig::default());
+        for t in 0..10 {
+            let p = Vec2::new(t as f64, 0.0);
+            assert!(m.observe(&obs(t, Some(p), p)).is_empty());
+        }
+        // One wild fix (multipath glitch).
+        let p = Vec2::new(10.0, 0.0);
+        assert!(m.observe(&obs(10, Some(p + Vec2::new(50.0, 0.0)), p)).is_empty());
+        // Back to normal.
+        for t in 11..20 {
+            let p = Vec2::new(t as f64, 0.0);
+            assert!(m.observe(&obs(t, Some(p), p)).is_empty());
+        }
+    }
+
+    #[test]
+    fn fix_loss_while_moving_is_jamming() {
+        let mut m = NavConsistencyMonitor::new(NavConfig::default());
+        let mut alerts = Vec::new();
+        for t in 0..10 {
+            alerts.extend(m.observe(&obs(t, None, Vec2::new(t as f64, 0.0))));
+        }
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].kind, AlertKind::GnssJamming);
+    }
+
+    #[test]
+    fn fix_loss_while_parked_is_fine() {
+        let mut m = NavConsistencyMonitor::new(NavConfig::default());
+        for t in 0..50 {
+            let mut o = obs(t, None, Vec2::ZERO);
+            o.moving = false;
+            assert!(m.observe(&o).is_empty());
+        }
+    }
+
+    #[test]
+    fn base_tolerance_controls_sensitivity() {
+        // A constant 12 m offset: flagged under the default 8 m base
+        // tolerance, tolerated under a 20 m one.
+        let run = |base: f64| {
+            let config = NavConfig { base_tolerance_m: base, ..NavConfig::default() };
+            let mut m = NavConsistencyMonitor::new(config);
+            let mut alerts = Vec::new();
+            for t in 0..60 {
+                let truth = Vec2::new(t as f64, 0.0);
+                let fix = truth + Vec2::new(0.0, 12.0);
+                alerts.extend(m.observe(&obs(t, Some(fix), truth)));
+            }
+            alerts.len()
+        };
+        assert!(run(8.0) >= 1, "default tolerance should flag a 12 m offset");
+        assert_eq!(run(20.0), 0, "large tolerance should accept a 12 m offset");
+    }
+}

@@ -1,0 +1,346 @@
+//! Radio-layer detectors: de-auth flood, jamming, auth-failure storm.
+
+use crate::alert::{Alert, AlertKind};
+use silvasec_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One radio telemetry sample for one node.
+#[derive(Debug, Clone)]
+pub struct RadioObservation {
+    /// The observed node's label.
+    pub node_label: String,
+    /// Sample time.
+    pub at: SimTime,
+    /// Observed noise+interference floor, dBm (None = no measurement).
+    pub noise_dbm: Option<f64>,
+    /// Delivery ratio over the sample interval, `[0, 1]`.
+    pub delivery_ratio: f64,
+    /// De-auth frames received in the sample interval.
+    pub deauth_frames: u64,
+    /// Cryptographic authentication failures in the sample interval
+    /// (AEAD tag failures, handshake rejections).
+    pub auth_failures: u64,
+    /// Association requests received from radios outside the
+    /// commissioned roster in the sample interval.
+    pub unknown_assoc_requests: u64,
+}
+
+/// Radio-detector tuning.
+#[derive(Debug, Clone)]
+pub struct RadioConfig {
+    /// Sliding window length.
+    pub window: SimDuration,
+    /// De-auth frames per window that trip [`AlertKind::DeauthFlood`].
+    pub deauth_threshold: u64,
+    /// Noise rise above the learned baseline (dB) that, combined with
+    /// delivery collapse, trips [`AlertKind::Jamming`].
+    pub jamming_noise_rise_db: f64,
+    /// Delivery ratio below which jamming is plausible.
+    pub jamming_delivery_max: f64,
+    /// Auth failures per window that trip [`AlertKind::AuthFailureStorm`].
+    pub auth_failure_threshold: u64,
+    /// Unknown association requests per window that trip
+    /// [`AlertKind::RogueAssociation`].
+    pub rogue_assoc_threshold: u64,
+    /// Cool-down between repeated alerts of the same kind.
+    pub cooldown: SimDuration,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            window: SimDuration::from_secs(10),
+            deauth_threshold: 5,
+            jamming_noise_rise_db: 10.0,
+            jamming_delivery_max: 0.5,
+            auth_failure_threshold: 5,
+            rogue_assoc_threshold: 3,
+            cooldown: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Per-node radio detectors with learned noise baseline.
+#[derive(Debug)]
+pub struct RadioDetectors {
+    config: RadioConfig,
+    deauth_events: VecDeque<(SimTime, u64)>,
+    auth_fail_events: VecDeque<(SimTime, u64)>,
+    rogue_assoc_events: VecDeque<(SimTime, u64)>,
+    /// Slowly learned clean-channel noise floor.
+    noise_baseline: Option<f64>,
+    last_alert: std::collections::HashMap<AlertKind, SimTime>,
+}
+
+impl RadioDetectors {
+    /// Creates detectors with the given tuning.
+    #[must_use]
+    pub fn new(config: RadioConfig) -> Self {
+        RadioDetectors {
+            config,
+            deauth_events: VecDeque::new(),
+            auth_fail_events: VecDeque::new(),
+            rogue_assoc_events: VecDeque::new(),
+            noise_baseline: None,
+            last_alert: std::collections::HashMap::new(),
+        }
+    }
+
+    fn in_cooldown(&self, kind: AlertKind, now: SimTime) -> bool {
+        self.last_alert
+            .get(&kind)
+            .is_some_and(|t| now.since(*t) < self.config.cooldown)
+    }
+
+    fn raise(&mut self, kind: AlertKind, obs: &RadioObservation, detail: String) -> Option<Alert> {
+        if self.in_cooldown(kind, obs.at) {
+            return None;
+        }
+        self.last_alert.insert(kind, obs.at);
+        Some(Alert::new(kind, obs.node_label.clone(), obs.at, detail))
+    }
+
+    /// Feeds a sample; returns any new alerts.
+    pub fn observe(&mut self, obs: &RadioObservation) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+
+        // --- de-auth flood ---
+        if obs.deauth_frames > 0 {
+            self.deauth_events.push_back((obs.at, obs.deauth_frames));
+        }
+        while let Some((t, _)) = self.deauth_events.front() {
+            if obs.at.since(*t) > self.config.window {
+                self.deauth_events.pop_front();
+            } else {
+                break;
+            }
+        }
+        let deauth_count: u64 = self.deauth_events.iter().map(|(_, n)| n).sum();
+        if deauth_count >= self.config.deauth_threshold {
+            if let Some(a) = self.raise(
+                AlertKind::DeauthFlood,
+                obs,
+                format!("{deauth_count} de-auth frames in window"),
+            ) {
+                alerts.push(a);
+            }
+        }
+
+        // --- auth-failure storm ---
+        if obs.auth_failures > 0 {
+            self.auth_fail_events.push_back((obs.at, obs.auth_failures));
+        }
+        while let Some((t, _)) = self.auth_fail_events.front() {
+            if obs.at.since(*t) > self.config.window {
+                self.auth_fail_events.pop_front();
+            } else {
+                break;
+            }
+        }
+        let fail_count: u64 = self.auth_fail_events.iter().map(|(_, n)| n).sum();
+        if fail_count >= self.config.auth_failure_threshold {
+            if let Some(a) = self.raise(
+                AlertKind::AuthFailureStorm,
+                obs,
+                format!("{fail_count} authentication failures in window"),
+            ) {
+                alerts.push(a);
+            }
+        }
+
+        // --- rogue association attempts ---
+        if obs.unknown_assoc_requests > 0 {
+            self.rogue_assoc_events.push_back((obs.at, obs.unknown_assoc_requests));
+        }
+        while let Some((t, _)) = self.rogue_assoc_events.front() {
+            if obs.at.since(*t) > self.config.window {
+                self.rogue_assoc_events.pop_front();
+            } else {
+                break;
+            }
+        }
+        let rogue_count: u64 = self.rogue_assoc_events.iter().map(|(_, n)| n).sum();
+        if rogue_count >= self.config.rogue_assoc_threshold {
+            if let Some(a) = self.raise(
+                AlertKind::RogueAssociation,
+                obs,
+                format!("{rogue_count} association requests from unknown radios in window"),
+            ) {
+                alerts.push(a);
+            }
+        }
+
+        // --- jamming: noise rise + delivery collapse ---
+        if let Some(noise) = obs.noise_dbm {
+            match self.noise_baseline {
+                None => self.noise_baseline = Some(noise),
+                Some(baseline) => {
+                    let rise = noise - baseline;
+                    if rise >= self.config.jamming_noise_rise_db
+                        && obs.delivery_ratio <= self.config.jamming_delivery_max
+                    {
+                        if let Some(a) = self.raise(
+                            AlertKind::Jamming,
+                            obs,
+                            format!(
+                                "noise +{rise:.1} dB over baseline, delivery {:.0}%",
+                                obs.delivery_ratio * 100.0
+                            ),
+                        ) {
+                            alerts.push(a);
+                        }
+                    } else if rise < self.config.jamming_noise_rise_db / 2.0 {
+                        // Learn slowly, and only from plausibly clean samples
+                        // so a long attack cannot poison the baseline.
+                        self.noise_baseline = Some(baseline + 0.05 * (noise - baseline));
+                    }
+                }
+            }
+        }
+
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(at_s: u64) -> RadioObservation {
+        RadioObservation {
+            node_label: "n".into(),
+            at: SimTime::from_secs(at_s),
+            noise_dbm: Some(-94.0),
+            delivery_ratio: 0.98,
+            deauth_frames: 0,
+            auth_failures: 0,
+            unknown_assoc_requests: 0,
+        }
+    }
+
+    #[test]
+    fn quiet_channel_no_alerts() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        for t in 0..100 {
+            assert!(d.observe(&obs(t)).is_empty());
+        }
+    }
+
+    #[test]
+    fn deauth_flood_detected() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        let mut alerts = Vec::new();
+        for t in 0..5 {
+            let mut o = obs(t);
+            o.deauth_frames = 2;
+            alerts.extend(d.observe(&o));
+        }
+        assert_eq!(alerts.len(), 1, "one alert, then cooldown");
+        assert_eq!(alerts[0].kind, AlertKind::DeauthFlood);
+    }
+
+    #[test]
+    fn sparse_deauths_not_flagged() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        // One de-auth every 20 s never accumulates 5 in a 10 s window.
+        for t in (0..200).step_by(20) {
+            let mut o = obs(t);
+            o.deauth_frames = 1;
+            assert!(d.observe(&o).is_empty(), "false positive at t={t}");
+        }
+    }
+
+    #[test]
+    fn jamming_needs_noise_and_delivery_collapse() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        // Learn baseline.
+        for t in 0..20 {
+            let _ = d.observe(&obs(t));
+        }
+        // Noise rise alone (delivery fine): no alert.
+        let mut o = obs(21);
+        o.noise_dbm = Some(-70.0);
+        assert!(d.observe(&o).is_empty());
+        // Delivery collapse alone (noise fine): no alert.
+        let mut o = obs(22);
+        o.delivery_ratio = 0.1;
+        assert!(d.observe(&o).is_empty());
+        // Both: alert.
+        let mut o = obs(23);
+        o.noise_dbm = Some(-70.0);
+        o.delivery_ratio = 0.1;
+        let alerts = d.observe(&o);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Jamming);
+    }
+
+    #[test]
+    fn baseline_not_poisoned_by_attack() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        for t in 0..10 {
+            let _ = d.observe(&obs(t));
+        }
+        // Long jamming period: baseline must not absorb the attack noise.
+        for t in 10..100 {
+            let mut o = obs(t);
+            o.noise_dbm = Some(-70.0);
+            o.delivery_ratio = 0.1;
+            let _ = d.observe(&o);
+        }
+        assert!(
+            d.noise_baseline.unwrap() < -90.0,
+            "baseline drifted to {:?}",
+            d.noise_baseline
+        );
+    }
+
+    #[test]
+    fn cooldown_suppresses_repeats_then_realerts() {
+        let config = RadioConfig { cooldown: SimDuration::from_secs(30), ..RadioConfig::default() };
+        let mut d = RadioDetectors::new(config);
+        let mut count = 0;
+        for t in 0..120 {
+            let mut o = obs(t);
+            o.deauth_frames = 10;
+            count += d.observe(&o).len();
+        }
+        // 120 s of sustained attack with 30 s cooldown → ~4 alerts.
+        assert!((3..=5).contains(&count), "{count} alerts");
+    }
+
+    #[test]
+    fn auth_failure_storm_detected() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        let mut o = obs(1);
+        o.auth_failures = 10;
+        let alerts = d.observe(&o);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::AuthFailureStorm);
+    }
+
+    #[test]
+    fn rogue_association_detected() {
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        let mut alerts = Vec::new();
+        for t in 0..4 {
+            let mut o = obs(t);
+            o.unknown_assoc_requests = 1;
+            alerts.extend(d.observe(&o));
+        }
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::RogueAssociation);
+    }
+
+    #[test]
+    fn single_rejoin_not_flagged() {
+        // One association request (a machine legitimately rejoining after
+        // a power cycle) stays under the threshold.
+        let mut d = RadioDetectors::new(RadioConfig::default());
+        let mut o = obs(1);
+        o.unknown_assoc_requests = 1;
+        assert!(d.observe(&o).is_empty());
+        for t in 2..50 {
+            assert!(d.observe(&obs(t)).is_empty());
+        }
+    }
+}

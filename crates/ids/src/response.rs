@@ -1,0 +1,101 @@
+//! Response policy: mapping alerts to protective actions.
+//!
+//! Forestry's limited connectivity (Table I) rules out "call the SOC":
+//! the response policy must be executable locally and err towards safe
+//! states. The default policy embodies the paper's safety–security
+//! interplay principle: attacks that can defeat a safety function demand
+//! a protective (safe-stop) response, not just logging.
+
+use crate::alert::{Alert, AlertKind, Severity};
+use serde::{Deserialize, Serialize};
+
+/// A protective action the worksite can execute autonomously.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ResponseAction {
+    /// Log and continue.
+    LogOnly,
+    /// Continue the mission at reduced speed with increased sensor
+    /// cross-checking.
+    DegradedMode,
+    /// Re-key all channels and force re-authentication of peers.
+    RekeyAndReauth,
+    /// Controlled stop of the affected machine until cleared.
+    SafeStop,
+}
+
+/// A configurable alert → action policy.
+#[derive(Debug, Clone)]
+pub struct ResponsePolicy {
+    /// Severity at or above which the policy escalates to [`ResponseAction::SafeStop`]
+    /// regardless of kind.
+    pub safe_stop_severity: Severity,
+}
+
+impl Default for ResponsePolicy {
+    fn default() -> Self {
+        ResponsePolicy { safe_stop_severity: Severity::Critical }
+    }
+}
+
+impl ResponsePolicy {
+    /// Decides the action for an alert.
+    #[must_use]
+    pub fn decide(&self, alert: &Alert) -> ResponseAction {
+        if alert.severity >= self.safe_stop_severity {
+            return ResponseAction::SafeStop;
+        }
+        match alert.kind {
+            AlertKind::SensorBlinding | AlertKind::GnssSpoofing => ResponseAction::SafeStop,
+            AlertKind::Jamming | AlertKind::GnssJamming => ResponseAction::DegradedMode,
+            AlertKind::DeauthFlood => ResponseAction::DegradedMode,
+            AlertKind::AuthFailureStorm | AlertKind::RogueAssociation => {
+                ResponseAction::RekeyAndReauth
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::time::SimTime;
+
+    fn alert(kind: AlertKind) -> Alert {
+        Alert::new(kind, "fw-01", SimTime::ZERO, "t".into())
+    }
+
+    #[test]
+    fn safety_defeating_attacks_stop_the_machine() {
+        let p = ResponsePolicy::default();
+        assert_eq!(p.decide(&alert(AlertKind::SensorBlinding)), ResponseAction::SafeStop);
+        assert_eq!(p.decide(&alert(AlertKind::GnssSpoofing)), ResponseAction::SafeStop);
+    }
+
+    #[test]
+    fn availability_attacks_degrade() {
+        let p = ResponsePolicy::default();
+        assert_eq!(p.decide(&alert(AlertKind::Jamming)), ResponseAction::DegradedMode);
+        assert_eq!(p.decide(&alert(AlertKind::DeauthFlood)), ResponseAction::DegradedMode);
+        assert_eq!(p.decide(&alert(AlertKind::GnssJamming)), ResponseAction::DegradedMode);
+    }
+
+    #[test]
+    fn auth_failures_trigger_rekey() {
+        let p = ResponsePolicy::default();
+        assert_eq!(p.decide(&alert(AlertKind::AuthFailureStorm)), ResponseAction::RekeyAndReauth);
+    }
+
+    #[test]
+    fn severity_override_escalates() {
+        let p = ResponsePolicy { safe_stop_severity: Severity::High };
+        // Jamming is High by default → escalated to SafeStop.
+        assert_eq!(p.decide(&alert(AlertKind::Jamming)), ResponseAction::SafeStop);
+    }
+
+    #[test]
+    fn action_ordering_reflects_escalation() {
+        assert!(ResponseAction::LogOnly < ResponseAction::DegradedMode);
+        assert!(ResponseAction::DegradedMode < ResponseAction::RekeyAndReauth);
+        assert!(ResponseAction::RekeyAndReauth < ResponseAction::SafeStop);
+    }
+}

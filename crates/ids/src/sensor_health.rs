@@ -1,0 +1,203 @@
+//! Sensor-health monitoring: detecting camera blinding and tampering.
+//!
+//! A blinded people-detection sensor is the most safety-critical attack
+//! in the catalog: the machine keeps driving but can no longer see
+//! workers. The monitor learns the sensor's background *feature rate*
+//! (detections + environmental features like trunks per sample — any
+//! healthy optical sensor in a forest sees *something*) and alerts when
+//! the rate collapses far below the baseline.
+
+use crate::alert::{Alert, AlertKind};
+use silvasec_sim::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// One sensor-health sample.
+#[derive(Debug, Clone)]
+pub struct SensorObservation {
+    /// The sensor's label (e.g. `"forwarder-01/camera"`).
+    pub sensor_label: String,
+    /// Sample time.
+    pub at: SimTime,
+    /// Features (detections, trunks, landmarks) the sensor reported in
+    /// this sample.
+    pub feature_count: u32,
+}
+
+/// Sensor-health tuning.
+#[derive(Debug, Clone)]
+pub struct SensorHealthConfig {
+    /// Samples used to learn the baseline before monitoring starts.
+    pub learning_samples: usize,
+    /// Alert when the recent mean rate falls below this fraction of the
+    /// learned baseline.
+    pub collapse_fraction: f64,
+    /// Recent window length in samples.
+    pub recent_samples: usize,
+    /// Cool-down between alerts.
+    pub cooldown: SimDuration,
+}
+
+impl Default for SensorHealthConfig {
+    fn default() -> Self {
+        SensorHealthConfig {
+            learning_samples: 30,
+            collapse_fraction: 0.25,
+            recent_samples: 10,
+            cooldown: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// The per-sensor health monitor.
+#[derive(Debug)]
+pub struct SensorHealthMonitor {
+    config: SensorHealthConfig,
+    baseline_sum: f64,
+    baseline_count: usize,
+    recent: VecDeque<u32>,
+    last_alert: Option<SimTime>,
+}
+
+impl SensorHealthMonitor {
+    /// Creates a monitor with the given tuning.
+    #[must_use]
+    pub fn new(config: SensorHealthConfig) -> Self {
+        SensorHealthMonitor {
+            config,
+            baseline_sum: 0.0,
+            baseline_count: 0,
+            recent: VecDeque::new(),
+            last_alert: None,
+        }
+    }
+
+    /// The learned baseline feature rate, once learning completes.
+    #[must_use]
+    pub fn baseline(&self) -> Option<f64> {
+        if self.baseline_count >= self.config.learning_samples {
+            Some(self.baseline_sum / self.baseline_count as f64)
+        } else {
+            None
+        }
+    }
+
+    /// Feeds a sample; returns any new alerts.
+    pub fn observe(&mut self, obs: &SensorObservation) -> Vec<Alert> {
+        if self.baseline_count < self.config.learning_samples {
+            self.baseline_sum += f64::from(obs.feature_count);
+            self.baseline_count += 1;
+            return Vec::new();
+        }
+        self.recent.push_back(obs.feature_count);
+        while self.recent.len() > self.config.recent_samples {
+            self.recent.pop_front();
+        }
+        if self.recent.len() < self.config.recent_samples {
+            return Vec::new();
+        }
+        let baseline = self.baseline().expect("learning complete");
+        if baseline <= 0.0 {
+            return Vec::new(); // nothing to compare against
+        }
+        let recent_mean =
+            self.recent.iter().map(|&c| f64::from(c)).sum::<f64>() / self.recent.len() as f64;
+        if recent_mean < baseline * self.config.collapse_fraction {
+            let in_cooldown = self
+                .last_alert
+                .is_some_and(|t| obs.at.since(t) < self.config.cooldown);
+            if !in_cooldown {
+                self.last_alert = Some(obs.at);
+                return vec![Alert::new(
+                    AlertKind::SensorBlinding,
+                    obs.sensor_label.clone(),
+                    obs.at,
+                    format!(
+                        "feature rate {recent_mean:.1} collapsed below {:.0}% of baseline {baseline:.1}",
+                        self.config.collapse_fraction * 100.0
+                    ),
+                )];
+            }
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(at_s: u64, features: u32) -> SensorObservation {
+        SensorObservation {
+            sensor_label: "fw/cam".into(),
+            at: SimTime::from_secs(at_s),
+            feature_count: features,
+        }
+    }
+
+    fn trained_monitor() -> SensorHealthMonitor {
+        let mut m = SensorHealthMonitor::new(SensorHealthConfig::default());
+        for t in 0..30 {
+            let _ = m.observe(&obs(t, 20));
+        }
+        assert_eq!(m.baseline(), Some(20.0));
+        m
+    }
+
+    #[test]
+    fn healthy_sensor_quiet() {
+        let mut m = trained_monitor();
+        for t in 30..100 {
+            assert!(m.observe(&obs(t, 18 + (t % 5) as u32)).is_empty());
+        }
+    }
+
+    #[test]
+    fn blinding_detected() {
+        let mut m = trained_monitor();
+        let mut alerts = Vec::new();
+        for t in 30..60 {
+            alerts.extend(m.observe(&obs(t, 0)));
+        }
+        assert!(!alerts.is_empty());
+        assert_eq!(alerts[0].kind, AlertKind::SensorBlinding);
+        // Needs the 10-sample recent window to fill first.
+        assert!(alerts[0].at >= SimTime::from_secs(39));
+    }
+
+    #[test]
+    fn partial_degradation_above_threshold_tolerated() {
+        let mut m = trained_monitor();
+        // 40% of baseline stays above the 25% collapse threshold.
+        for t in 30..100 {
+            assert!(m.observe(&obs(t, 8)).is_empty());
+        }
+    }
+
+    #[test]
+    fn no_alert_during_learning() {
+        let mut m = SensorHealthMonitor::new(SensorHealthConfig::default());
+        for t in 0..29 {
+            assert!(m.observe(&obs(t, 0)).is_empty());
+            assert_eq!(m.baseline(), None);
+        }
+    }
+
+    #[test]
+    fn zero_baseline_never_alerts() {
+        let mut m = SensorHealthMonitor::new(SensorHealthConfig::default());
+        for t in 0..100 {
+            assert!(m.observe(&obs(t, 0)).is_empty());
+        }
+    }
+
+    #[test]
+    fn cooldown_limits_alert_rate() {
+        let mut m = trained_monitor();
+        let mut count = 0;
+        for t in 30..160 {
+            count += m.observe(&obs(t, 0)).len();
+        }
+        // 120+ seconds of blinding with a 60 s cooldown → ~2-3 alerts.
+        assert!((2..=3).contains(&count), "{count} alerts");
+    }
+}

@@ -1,0 +1,262 @@
+//! The autonomous forwarder's work cycle.
+//!
+//! Loop: drive to the work area, load logs, drive to the landing area,
+//! unload, repeat. Navigation uses the slope-aware planner; driving speed
+//! is capped by the safety supervisor's commanded limit. Productivity
+//! (logs delivered) is the headline mission metric attacks degrade.
+
+use crate::kinematics::GroundVehicle;
+use crate::planner::{plan_path, PlannerConfig};
+use crate::safety::SpeedLimit;
+use serde::{Deserialize, Serialize};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::SimDuration;
+use silvasec_sim::world::World;
+
+/// The forwarder's work-cycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ForwarderPhase {
+    /// Driving to the work (loading) area.
+    ToLoading,
+    /// Loading logs at the work area.
+    Loading {
+        /// Sim time (ms) when loading completes.
+        until_ms: u64,
+    },
+    /// Driving to the landing (unloading) area.
+    ToUnloading,
+    /// Unloading at the landing area.
+    Unloading {
+        /// Sim time (ms) when unloading completes.
+        until_ms: u64,
+    },
+    /// No path could be planned; operator intervention required.
+    Stranded,
+}
+
+/// Forwarder parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ForwarderConfig {
+    /// Maximum driving speed, m/s.
+    pub max_speed: f64,
+    /// Time to load a full grapple of logs.
+    pub load_time: SimDuration,
+    /// Time to unload at the landing.
+    pub unload_time: SimDuration,
+    /// Planner parameters.
+    pub planner: PlannerConfig,
+}
+
+impl Default for ForwarderConfig {
+    fn default() -> Self {
+        ForwarderConfig {
+            max_speed: 4.0,
+            load_time: SimDuration::from_secs(90),
+            unload_time: SimDuration::from_secs(60),
+            planner: PlannerConfig::default(),
+        }
+    }
+}
+
+/// The autonomous forwarder.
+#[derive(Debug, Clone)]
+pub struct Forwarder {
+    /// The drive platform.
+    pub vehicle: GroundVehicle,
+    config: ForwarderConfig,
+    phase: ForwarderPhase,
+    loads_delivered: u64,
+    distance_travelled: f64,
+    stopped_time: SimDuration,
+}
+
+impl Forwarder {
+    /// Creates a forwarder at `position`, heading out to load.
+    #[must_use]
+    pub fn new(position: Vec2, config: ForwarderConfig) -> Self {
+        Forwarder {
+            vehicle: GroundVehicle::new(position, config.max_speed),
+            config,
+            phase: ForwarderPhase::ToLoading,
+            loads_delivered: 0,
+            distance_travelled: 0.0,
+            stopped_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Current phase.
+    #[must_use]
+    pub fn phase(&self) -> ForwarderPhase {
+        self.phase
+    }
+
+    /// Completed haul cycles (loads delivered to the landing).
+    #[must_use]
+    pub fn loads_delivered(&self) -> u64 {
+        self.loads_delivered
+    }
+
+    /// Total distance driven, metres.
+    #[must_use]
+    pub fn distance_travelled(&self) -> f64 {
+        self.distance_travelled
+    }
+
+    /// Accumulated time spent commanded to standstill.
+    #[must_use]
+    pub fn stopped_time(&self) -> SimDuration {
+        self.stopped_time
+    }
+
+    /// Current position.
+    #[must_use]
+    pub fn position(&self) -> Vec2 {
+        self.vehicle.position
+    }
+
+    /// Advances the work cycle by `dt` under the commanded speed `limit`.
+    pub fn step(&mut self, world: &World, limit: SpeedLimit, dt: SimDuration) {
+        self.vehicle.speed_cap = limit.cap_mps(self.config.max_speed);
+        if limit == SpeedLimit::Stop {
+            self.stopped_time = self.stopped_time + dt;
+        }
+        let now = world.now();
+        let work = world.config().work_area;
+        let landing = world.config().landing_area;
+
+        match self.phase {
+            ForwarderPhase::ToLoading => {
+                self.drive_towards(world, work, dt);
+                if self.vehicle.position.distance(work) < 15.0 {
+                    self.phase = ForwarderPhase::Loading {
+                        until_ms: (now + self.config.load_time).as_millis(),
+                    };
+                }
+            }
+            ForwarderPhase::Loading { until_ms } => {
+                if now.as_millis() >= until_ms {
+                    self.vehicle.set_path(Vec::new());
+                    self.phase = ForwarderPhase::ToUnloading;
+                }
+            }
+            ForwarderPhase::ToUnloading => {
+                self.drive_towards(world, landing, dt);
+                if self.vehicle.position.distance(landing) < 15.0 {
+                    self.phase = ForwarderPhase::Unloading {
+                        until_ms: (now + self.config.unload_time).as_millis(),
+                    };
+                }
+            }
+            ForwarderPhase::Unloading { until_ms } => {
+                if now.as_millis() >= until_ms {
+                    self.loads_delivered += 1;
+                    self.vehicle.set_path(Vec::new());
+                    self.phase = ForwarderPhase::ToLoading;
+                }
+            }
+            ForwarderPhase::Stranded => {}
+        }
+    }
+
+    fn drive_towards(&mut self, world: &World, goal: Vec2, dt: SimDuration) {
+        if self.vehicle.path_complete() && self.vehicle.position.distance(goal) >= 15.0 {
+            match plan_path(world.terrain(), &self.config.planner, self.vehicle.position, goal) {
+                Some(path) => self.vehicle.set_path(path),
+                None => {
+                    self.phase = ForwarderPhase::Stranded;
+                    return;
+                }
+            }
+        }
+        self.distance_travelled += self.vehicle.step(world.terrain(), dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::prelude::*;
+    use silvasec_sim::terrain::TerrainConfig;
+    use silvasec_sim::vegetation::StandConfig;
+
+    fn world() -> World {
+        let config = WorldConfig {
+            terrain: TerrainConfig { size_m: 300.0, relief_m: 5.0, ..TerrainConfig::default() },
+            stand: StandConfig { trees_per_hectare: 0.0, ..StandConfig::default() },
+            human_count: 0,
+            work_area: Vec2::new(250.0, 250.0),
+            landing_area: Vec2::new(50.0, 50.0),
+            ..WorldConfig::default()
+        };
+        World::generate(&config, SimRng::from_seed(1))
+    }
+
+    fn fast_config() -> ForwarderConfig {
+        ForwarderConfig {
+            max_speed: 8.0,
+            load_time: SimDuration::from_secs(5),
+            unload_time: SimDuration::from_secs(5),
+            ..ForwarderConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_haul_cycles() {
+        let mut w = world();
+        let mut f = Forwarder::new(Vec2::new(50.0, 50.0), fast_config());
+        for _ in 0..2400 {
+            w.step(SimDuration::from_millis(500));
+            f.step(&w, SpeedLimit::Full, SimDuration::from_millis(500));
+        }
+        assert!(f.loads_delivered() >= 2, "only {} loads in 20 min", f.loads_delivered());
+        assert!(f.distance_travelled() > 400.0);
+    }
+
+    #[test]
+    fn stop_command_halts_progress() {
+        let mut w = world();
+        let mut f = Forwarder::new(Vec2::new(50.0, 50.0), fast_config());
+        for _ in 0..600 {
+            w.step(SimDuration::from_millis(500));
+            f.step(&w, SpeedLimit::Stop, SimDuration::from_millis(500));
+        }
+        assert_eq!(f.loads_delivered(), 0);
+        assert!(f.position().distance(Vec2::new(50.0, 50.0)) < 1.0);
+        assert_eq!(f.stopped_time(), SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn slow_command_reduces_throughput() {
+        let run = |limit: SpeedLimit| {
+            let mut w = world();
+            let mut f = Forwarder::new(Vec2::new(50.0, 50.0), fast_config());
+            for _ in 0..2400 {
+                w.step(SimDuration::from_millis(500));
+                f.step(&w, limit, SimDuration::from_millis(500));
+            }
+            f.distance_travelled()
+        };
+        let full = run(SpeedLimit::Full);
+        let slow = run(SpeedLimit::Slow);
+        assert!(slow < full / 2.0, "slow {slow} vs full {full}");
+    }
+
+    #[test]
+    fn phase_progression() {
+        let mut w = world();
+        let mut f = Forwarder::new(Vec2::new(50.0, 50.0), fast_config());
+        assert_eq!(f.phase(), ForwarderPhase::ToLoading);
+        let mut seen_loading = false;
+        let mut seen_unloading = false;
+        for _ in 0..2400 {
+            w.step(SimDuration::from_millis(500));
+            f.step(&w, SpeedLimit::Full, SimDuration::from_millis(500));
+            match f.phase() {
+                ForwarderPhase::Loading { .. } => seen_loading = true,
+                ForwarderPhase::Unloading { .. } => seen_unloading = true,
+                _ => {}
+            }
+        }
+        assert!(seen_loading && seen_unloading);
+    }
+}

@@ -1,0 +1,75 @@
+//! Multi-source detection fusion.
+//!
+//! The collaborative safety function of the paper's Figure 2 fuses the
+//! forwarder's own detections with the drone's: per worker, keep the
+//! highest-confidence report (the sources are independent views of the
+//! same ground truth, so the best view wins).
+
+use crate::sensors::Detection;
+use silvasec_sim::humans::HumanId;
+use std::collections::HashMap;
+
+/// Fuses detection lists from multiple sources.
+///
+/// Output is sorted by worker id for determinism.
+#[must_use]
+pub fn fuse_detections(sources: &[Vec<Detection>]) -> Vec<Detection> {
+    let mut best: HashMap<HumanId, Detection> = HashMap::new();
+    for source in sources {
+        for d in source {
+            best.entry(d.human_id)
+                .and_modify(|cur| {
+                    if d.confidence > cur.confidence {
+                        *cur = *d;
+                    }
+                })
+                .or_insert(*d);
+        }
+    }
+    let mut out: Vec<Detection> = best.into_values().collect();
+    out.sort_by_key(|d| d.human_id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::geom::Vec2;
+
+    fn det(id: u32, confidence: f64) -> Detection {
+        Detection {
+            human_id: HumanId(id),
+            position: Vec2::new(id as f64, 0.0),
+            confidence,
+            distance_m: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_sources_fuse_to_empty() {
+        assert!(fuse_detections(&[]).is_empty());
+        assert!(fuse_detections(&[vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn union_of_distinct_workers() {
+        let fused = fuse_detections(&[vec![det(1, 0.5)], vec![det(2, 0.6)]]);
+        assert_eq!(fused.len(), 2);
+        assert_eq!(fused[0].human_id, HumanId(1));
+        assert_eq!(fused[1].human_id, HumanId(2));
+    }
+
+    #[test]
+    fn highest_confidence_wins() {
+        let fused = fuse_detections(&[vec![det(1, 0.5)], vec![det(1, 0.9)], vec![det(1, 0.2)]]);
+        assert_eq!(fused.len(), 1);
+        assert!((fused[0].confidence - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = fuse_detections(&[vec![det(3, 0.1), det(1, 0.2)], vec![det(2, 0.3)]]);
+        let ids: Vec<u32> = a.iter().map(|d| d.human_id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,265 @@
+//! GNSS receivers and the spoofing/jamming field.
+//!
+//! GNSS attacks are among the top threats identified for autonomous
+//! haulage (Gaber et al.): spoofing drags a victim's position estimate
+//! away from truth; jamming denies fixes entirely. Attacks act through a
+//! shared [`GnssField`] — regional RF effects, not per-victim tampering —
+//! which is the physically faithful boundary.
+
+use serde::{Deserialize, Serialize};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::rng::SimRng;
+use silvasec_sim::time::SimTime;
+
+/// A regional spoofing transmitter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Spoofer {
+    /// Centre of the affected region.
+    pub center: Vec2,
+    /// Radius of the affected region, metres.
+    pub radius_m: f64,
+    /// Position-offset drag rate, metres per second. The induced offset
+    /// grows linearly from the spoof onset (a "carry-off" attack).
+    pub drag_mps: Vec2,
+    /// When the spoofer switched on.
+    pub since: SimTime,
+}
+
+/// A regional GNSS jammer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GnssJammer {
+    /// Centre of the affected region.
+    pub center: Vec2,
+    /// Radius of the affected region, metres.
+    pub radius_m: f64,
+}
+
+/// The shared GNSS RF environment.
+#[derive(Debug, Clone, Default)]
+pub struct GnssField {
+    spoofers: Vec<(u64, Spoofer)>,
+    jammers: Vec<(u64, GnssJammer)>,
+    next_id: u64,
+}
+
+impl GnssField {
+    /// Creates a clean field.
+    #[must_use]
+    pub fn new() -> Self {
+        GnssField::default()
+    }
+
+    /// Adds a spoofer; returns its handle for later removal.
+    pub fn add_spoofer(&mut self, spoofer: Spoofer) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.spoofers.push((id, spoofer));
+        id
+    }
+
+    /// Adds a jammer; returns its handle for later removal.
+    pub fn add_jammer(&mut self, jammer: GnssJammer) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.jammers.push((id, jammer));
+        id
+    }
+
+    /// Removes a spoofer by handle; `true` if it existed.
+    pub fn remove_spoofer(&mut self, id: u64) -> bool {
+        let before = self.spoofers.len();
+        self.spoofers.retain(|(i, _)| *i != id);
+        self.spoofers.len() != before
+    }
+
+    /// Removes a jammer by handle; `true` if it existed.
+    pub fn remove_jammer(&mut self, id: u64) -> bool {
+        let before = self.jammers.len();
+        self.jammers.retain(|(i, _)| *i != id);
+        self.jammers.len() != before
+    }
+
+    /// Removes all spoofers and jammers.
+    pub fn clear(&mut self) {
+        self.spoofers.clear();
+        self.jammers.clear();
+    }
+
+    /// Whether `position` is inside any jammer region.
+    #[must_use]
+    pub fn is_jammed(&self, position: Vec2) -> bool {
+        self.jammers.iter().any(|(_, j)| j.center.distance(position) <= j.radius_m)
+    }
+
+    /// Aggregate spoofing offset at `position` and `now`.
+    #[must_use]
+    pub fn spoof_offset(&self, position: Vec2, now: SimTime) -> Vec2 {
+        let mut offset = Vec2::ZERO;
+        for (_, s) in &self.spoofers {
+            if s.center.distance(position) <= s.radius_m {
+                let dt = now.since(s.since).as_secs_f64();
+                offset = offset + s.drag_mps * dt;
+            }
+        }
+        offset
+    }
+
+    /// Numbers of active spoofers and jammers.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize) {
+        (self.spoofers.len(), self.jammers.len())
+    }
+}
+
+/// A position fix produced by a receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GnssFix {
+    /// Estimated position.
+    pub position: Vec2,
+    /// Reported horizontal accuracy (1σ), metres.
+    pub accuracy_m: f64,
+    /// Fix time.
+    pub at: SimTime,
+}
+
+/// A GNSS receiver attached to one machine.
+#[derive(Debug, Clone)]
+pub struct GnssReceiver {
+    /// Nominal fix noise (1σ), metres.
+    pub noise_m: f64,
+}
+
+impl Default for GnssReceiver {
+    fn default() -> Self {
+        GnssReceiver { noise_m: 1.5 }
+    }
+}
+
+impl GnssReceiver {
+    /// Samples a fix for a machine truly located at `true_position`.
+    ///
+    /// Returns `None` when jammed (no fix available). A spoofed fix has
+    /// *nominal* reported accuracy — the receiver does not know it is
+    /// being lied to; detecting that is the IDS's job (cross-sensor
+    /// consistency).
+    #[must_use]
+    pub fn sample(
+        &self,
+        field: &GnssField,
+        true_position: Vec2,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> Option<GnssFix> {
+        if field.is_jammed(true_position) {
+            return None;
+        }
+        let offset = field.spoof_offset(true_position, now);
+        let position = Vec2::new(
+            true_position.x + offset.x + rng.normal(0.0, self.noise_m),
+            true_position.y + offset.y + rng.normal(0.0, self.noise_m),
+        );
+        Some(GnssFix { position, accuracy_m: self.noise_m, at: now })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::time::SimDuration;
+
+    #[test]
+    fn clean_field_gives_noisy_truth() {
+        let field = GnssField::new();
+        let rx = GnssReceiver::default();
+        let mut rng = SimRng::from_seed(1);
+        let truth = Vec2::new(100.0, 100.0);
+        let mut err_sum = 0.0;
+        for _ in 0..500 {
+            let fix = rx.sample(&field, truth, SimTime::ZERO, &mut rng).unwrap();
+            err_sum += fix.position.distance(truth);
+        }
+        let mean_err = err_sum / 500.0;
+        // Mean radial error of 2-D Gaussian with σ=1.5 ≈ 1.88 m.
+        assert!((1.0..3.0).contains(&mean_err), "mean error {mean_err}");
+    }
+
+    #[test]
+    fn jammer_denies_fix_inside_region_only() {
+        let mut field = GnssField::new();
+        field.add_jammer(GnssJammer { center: Vec2::new(0.0, 0.0), radius_m: 50.0 });
+        let rx = GnssReceiver::default();
+        let mut rng = SimRng::from_seed(2);
+        assert!(rx.sample(&field, Vec2::new(10.0, 0.0), SimTime::ZERO, &mut rng).is_none());
+        assert!(rx.sample(&field, Vec2::new(100.0, 0.0), SimTime::ZERO, &mut rng).is_some());
+    }
+
+    #[test]
+    fn spoofer_drags_position_over_time() {
+        let mut field = GnssField::new();
+        field.add_spoofer(Spoofer {
+            center: Vec2::new(0.0, 0.0),
+            radius_m: 500.0,
+            drag_mps: Vec2::new(0.5, 0.0),
+            since: SimTime::ZERO,
+        });
+        let rx = GnssReceiver { noise_m: 0.01 };
+        let mut rng = SimRng::from_seed(3);
+        let truth = Vec2::new(10.0, 10.0);
+        let early = rx
+            .sample(&field, truth, SimTime::from_secs(10), &mut rng)
+            .unwrap();
+        let late = rx
+            .sample(&field, truth, SimTime::from_secs(100), &mut rng)
+            .unwrap();
+        assert!((early.position.x - truth.x - 5.0).abs() < 0.5);
+        assert!((late.position.x - truth.x - 50.0).abs() < 0.5);
+        // Spoofed fixes still claim nominal accuracy.
+        assert_eq!(late.accuracy_m, 0.01);
+    }
+
+    #[test]
+    fn spoofer_outside_region_no_effect() {
+        let mut field = GnssField::new();
+        field.add_spoofer(Spoofer {
+            center: Vec2::new(0.0, 0.0),
+            radius_m: 20.0,
+            drag_mps: Vec2::new(10.0, 0.0),
+            since: SimTime::ZERO,
+        });
+        assert_eq!(
+            field.spoof_offset(Vec2::new(100.0, 0.0), SimTime::from_secs(100)),
+            Vec2::ZERO
+        );
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut field = GnssField::new();
+        field.add_spoofer(Spoofer {
+            center: Vec2::ZERO,
+            radius_m: 100.0,
+            drag_mps: Vec2::new(1.0, 0.0),
+            since: SimTime::ZERO,
+        });
+        field.add_jammer(GnssJammer { center: Vec2::ZERO, radius_m: 100.0 });
+        assert_eq!(field.counts(), (1, 1));
+        field.clear();
+        assert_eq!(field.counts(), (0, 0));
+        assert!(!field.is_jammed(Vec2::ZERO));
+    }
+
+    #[test]
+    fn overlapping_spoofers_sum() {
+        let mut field = GnssField::new();
+        for _ in 0..2 {
+            field.add_spoofer(Spoofer {
+                center: Vec2::ZERO,
+                radius_m: 100.0,
+                drag_mps: Vec2::new(1.0, 0.0),
+                since: SimTime::ZERO,
+            });
+        }
+        let off = field.spoof_offset(Vec2::ZERO, SimTime::from_secs(10) + SimDuration::ZERO);
+        assert!((off.x - 20.0).abs() < 1e-9);
+    }
+}

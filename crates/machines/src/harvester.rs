@@ -1,0 +1,73 @@
+//! The manned harvester: fells trees and produces log piles at the work
+//! area for the forwarder to haul.
+
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::SimDuration;
+use silvasec_sim::time::SimTime;
+
+/// The manned harvester.
+///
+/// Harvesting itself is manually operated in the paper's scenario
+/// (Sec. III); the model is accordingly simple: a position near the work
+/// area and a steady production rate of log bunches.
+#[derive(Debug, Clone)]
+pub struct Harvester {
+    /// Current position.
+    pub position: Vec2,
+    production_interval: SimDuration,
+    last_production: SimTime,
+    logs_produced: u64,
+}
+
+impl Harvester {
+    /// Creates a harvester at `position` producing a bunch every
+    /// `production_interval`.
+    #[must_use]
+    pub fn new(position: Vec2, production_interval: SimDuration) -> Self {
+        Harvester {
+            position,
+            production_interval,
+            last_production: SimTime::ZERO,
+            logs_produced: 0,
+        }
+    }
+
+    /// Log bunches produced so far.
+    #[must_use]
+    pub fn logs_produced(&self) -> u64 {
+        self.logs_produced
+    }
+
+    /// Advances production to `now`; returns how many new bunches were
+    /// finished in this step.
+    pub fn step(&mut self, now: SimTime) -> u64 {
+        let mut produced = 0;
+        while now.since(self.last_production) >= self.production_interval {
+            self.last_production += self.production_interval;
+            self.logs_produced += 1;
+            produced += 1;
+        }
+        produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_at_interval() {
+        let mut h = Harvester::new(Vec2::ZERO, SimDuration::from_secs(60));
+        assert_eq!(h.step(SimTime::from_secs(59)), 0);
+        assert_eq!(h.step(SimTime::from_secs(60)), 1);
+        assert_eq!(h.step(SimTime::from_secs(300)), 4);
+        assert_eq!(h.logs_produced(), 5);
+    }
+
+    #[test]
+    fn catch_up_is_exact() {
+        let mut h = Harvester::new(Vec2::ZERO, SimDuration::from_secs(10));
+        assert_eq!(h.step(SimTime::from_secs(100)), 10);
+        assert_eq!(h.step(SimTime::from_secs(100)), 0, "no double counting");
+    }
+}

@@ -1,0 +1,257 @@
+//! Ground-vehicle and drone motion models.
+
+use silvasec_sim::geom::{Vec2, Vec3};
+use silvasec_sim::terrain::Terrain;
+use silvasec_sim::time::SimDuration;
+
+/// A ground vehicle following a waypoint path.
+///
+/// Speed is limited by a commanded cap (set by the safety supervisor),
+/// the machine's own maximum, and terrain slope (steeper ground slows the
+/// machine down).
+#[derive(Debug, Clone)]
+pub struct GroundVehicle {
+    /// Current position (2-D; altitude follows terrain).
+    pub position: Vec2,
+    /// Heading in radians.
+    pub heading: f64,
+    /// Maximum speed on flat ground, m/s.
+    pub max_speed: f64,
+    /// Commanded speed cap, m/s (safety supervisor output).
+    pub speed_cap: f64,
+    path: Vec<Vec2>,
+    path_index: usize,
+}
+
+impl GroundVehicle {
+    /// Creates a stationary vehicle.
+    #[must_use]
+    pub fn new(position: Vec2, max_speed: f64) -> Self {
+        GroundVehicle {
+            position,
+            heading: 0.0,
+            max_speed,
+            speed_cap: max_speed,
+            path: Vec::new(),
+            path_index: 0,
+        }
+    }
+
+    /// Replaces the current waypoint path.
+    pub fn set_path(&mut self, path: Vec<Vec2>) {
+        self.path = path;
+        self.path_index = 0;
+    }
+
+    /// Whether all waypoints have been reached.
+    #[must_use]
+    pub fn path_complete(&self) -> bool {
+        self.path_index >= self.path.len()
+    }
+
+    /// The remaining path (current target first).
+    #[must_use]
+    pub fn remaining_path(&self) -> &[Vec2] {
+        &self.path[self.path_index.min(self.path.len())..]
+    }
+
+    /// Effective speed right now given slope and the commanded cap.
+    #[must_use]
+    pub fn effective_speed(&self, terrain: &Terrain) -> f64 {
+        let slope = terrain.slope_at(self.position);
+        // 10% grade costs ~20% speed; clamp to a crawl floor.
+        let slope_factor = (1.0 - 2.0 * slope).clamp(0.25, 1.0);
+        self.max_speed.min(self.speed_cap).max(0.0) * slope_factor
+    }
+
+    /// Advances along the path for `dt`. Returns the distance travelled.
+    pub fn step(&mut self, terrain: &Terrain, dt: SimDuration) -> f64 {
+        let mut budget = self.effective_speed(terrain) * dt.as_secs_f64();
+        let mut travelled = 0.0;
+        while budget > 1e-9 && !self.path_complete() {
+            let target = self.path[self.path_index];
+            let to_target = target - self.position;
+            let dist = to_target.length();
+            if dist <= budget {
+                self.position = target;
+                travelled += dist;
+                budget -= dist;
+                self.path_index += 1;
+            } else {
+                let dir = to_target.normalized();
+                self.position = self.position + dir * budget;
+                self.heading = dir.heading();
+                travelled += budget;
+                budget = 0.0;
+            }
+        }
+        travelled
+    }
+}
+
+/// A drone with simple fly-to-target kinematics at a held altitude
+/// above ground level (AGL).
+#[derive(Debug, Clone)]
+pub struct DroneBody {
+    /// Current position (absolute altitude).
+    pub position: Vec3,
+    /// Cruise speed, m/s.
+    pub cruise_speed: f64,
+    /// Held altitude above ground, m.
+    pub altitude_agl: f64,
+    target: Option<Vec2>,
+}
+
+impl DroneBody {
+    /// Creates a drone hovering at `position_2d` at `altitude_agl`.
+    #[must_use]
+    pub fn new(position_2d: Vec2, altitude_agl: f64, cruise_speed: f64, terrain: &Terrain) -> Self {
+        let z = terrain.height_at(position_2d) + altitude_agl;
+        DroneBody {
+            position: position_2d.with_z(z),
+            cruise_speed,
+            altitude_agl,
+            target: None,
+        }
+    }
+
+    /// Commands the drone to fly towards a 2-D target.
+    pub fn set_target(&mut self, target: Vec2) {
+        self.target = Some(target);
+    }
+
+    /// Whether the drone has (approximately) reached its target.
+    #[must_use]
+    pub fn at_target(&self) -> bool {
+        match self.target {
+            Some(t) => self.position.xy().distance(t) < 1.0,
+            None => true,
+        }
+    }
+
+    /// Advances the drone for `dt`, tracking terrain to hold AGL.
+    pub fn step(&mut self, terrain: &Terrain, dt: SimDuration) {
+        if let Some(target) = self.target {
+            let to_target = target - self.position.xy();
+            let dist = to_target.length();
+            let step_len = self.cruise_speed * dt.as_secs_f64();
+            let new_2d = if dist <= step_len {
+                target
+            } else {
+                self.position.xy() + to_target.normalized() * step_len
+            };
+            self.position = new_2d.with_z(terrain.height_at(new_2d) + self.altitude_agl);
+        } else {
+            // Hold position but track terrain (e.g. config changes).
+            let p2 = self.position.xy();
+            self.position = p2.with_z(terrain.height_at(p2) + self.altitude_agl);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::rng::SimRng;
+    use silvasec_sim::terrain::{Terrain, TerrainConfig};
+
+    fn flat() -> Terrain {
+        Terrain::flat(500.0, 5.0)
+    }
+
+    #[test]
+    fn vehicle_follows_path() {
+        let mut v = GroundVehicle::new(Vec2::new(0.0, 0.0), 5.0);
+        v.set_path(vec![Vec2::new(10.0, 0.0), Vec2::new(10.0, 10.0)]);
+        let terrain = flat();
+        let mut steps = 0;
+        while !v.path_complete() && steps < 100 {
+            v.step(&terrain, SimDuration::from_millis(500));
+            steps += 1;
+        }
+        assert!(v.path_complete());
+        assert!(v.position.distance(Vec2::new(10.0, 10.0)) < 1e-9);
+        // 20 m at 5 m/s = 4 s = 8 steps.
+        assert!((8..=10).contains(&steps), "took {steps} steps");
+    }
+
+    #[test]
+    fn speed_cap_slows_vehicle() {
+        let terrain = flat();
+        let mut v = GroundVehicle::new(Vec2::ZERO, 5.0);
+        v.speed_cap = 1.0;
+        v.set_path(vec![Vec2::new(100.0, 0.0)]);
+        let d = v.step(&terrain, SimDuration::from_secs(1));
+        assert!((d - 1.0).abs() < 1e-9);
+        v.speed_cap = 0.0;
+        let d = v.step(&terrain, SimDuration::from_secs(1));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn slope_slows_vehicle() {
+        let rough = Terrain::generate(
+            &TerrainConfig { relief_m: 60.0, ..TerrainConfig::default() },
+            &mut SimRng::from_seed(3),
+        );
+        let flat_t = flat();
+        let v = GroundVehicle::new(Vec2::new(250.0, 250.0), 5.0);
+        // Find a sloped spot.
+        let mut sloped = v.clone();
+        let mut max_slope = 0.0;
+        for i in 0..100 {
+            let p = Vec2::new((i * 37 % 480) as f64 + 10.0, (i * 53 % 480) as f64 + 10.0);
+            let s = rough.slope_at(p);
+            if s > max_slope {
+                max_slope = s;
+                sloped.position = p;
+            }
+        }
+        assert!(max_slope > 0.05, "no slope found");
+        assert!(sloped.effective_speed(&rough) < v.effective_speed(&flat_t));
+    }
+
+    #[test]
+    fn partial_step_sets_heading() {
+        let terrain = flat();
+        let mut v = GroundVehicle::new(Vec2::ZERO, 2.0);
+        v.set_path(vec![Vec2::new(0.0, 100.0)]);
+        v.step(&terrain, SimDuration::from_secs(1));
+        assert!((v.heading - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_complete() {
+        let v = GroundVehicle::new(Vec2::ZERO, 2.0);
+        assert!(v.path_complete());
+        assert!(v.remaining_path().is_empty());
+    }
+
+    #[test]
+    fn drone_flies_to_target_and_holds_agl() {
+        let terrain = Terrain::generate(
+            &TerrainConfig { relief_m: 30.0, ..TerrainConfig::default() },
+            &mut SimRng::from_seed(4),
+        );
+        let mut d = DroneBody::new(Vec2::new(50.0, 50.0), 60.0, 12.0, &terrain);
+        d.set_target(Vec2::new(300.0, 300.0));
+        let mut steps = 0;
+        while !d.at_target() && steps < 200 {
+            d.step(&terrain, SimDuration::from_millis(500));
+            steps += 1;
+            let agl = d.position.z - terrain.height_at(d.position.xy());
+            assert!((agl - 60.0).abs() < 0.5, "AGL drifted to {agl}");
+        }
+        assert!(d.at_target(), "drone never arrived");
+    }
+
+    #[test]
+    fn drone_without_target_hovers() {
+        let terrain = flat();
+        let mut d = DroneBody::new(Vec2::new(10.0, 10.0), 40.0, 12.0, &terrain);
+        let before = d.position;
+        d.step(&terrain, SimDuration::from_secs(5));
+        assert_eq!(d.position, before);
+        assert!(d.at_target());
+    }
+}

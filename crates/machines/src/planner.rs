@@ -1,0 +1,282 @@
+//! A* path planning over terrain with slope costs.
+//!
+//! The planner works on a coarse grid over the terrain. Cells whose slope
+//! exceeds the machine's capability are impassable; otherwise cost grows
+//! with slope. The returned path is a sparse waypoint list suitable for
+//! [`crate::kinematics::GroundVehicle::set_path`].
+
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::terrain::Terrain;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Planner parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Planning grid resolution, metres.
+    pub grid_m: f64,
+    /// Maximum traversable slope (rise/run).
+    pub max_slope: f64,
+    /// Cost multiplier per unit slope.
+    pub slope_cost: f64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { grid_m: 10.0, max_slope: 0.45, slope_cost: 6.0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OpenEntry {
+    f: f64,
+    cell: (i32, i32),
+}
+
+impl Eq for OpenEntry {}
+
+impl Ord for OpenEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f; tie-break on cell for determinism.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.cell.cmp(&self.cell))
+    }
+}
+
+impl PartialOrd for OpenEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Plans a path from `start` to `goal`. Returns waypoints including the
+/// goal, or `None` when the goal is unreachable under the slope limit.
+#[must_use]
+pub fn plan_path(
+    terrain: &Terrain,
+    config: &PlannerConfig,
+    start: Vec2,
+    goal: Vec2,
+) -> Option<Vec<Vec2>> {
+    let cells = (terrain.size_m() / config.grid_m).floor() as i32 + 1;
+    let to_cell = |p: Vec2| -> (i32, i32) {
+        (
+            ((p.x / config.grid_m).round() as i32).clamp(0, cells - 1),
+            ((p.y / config.grid_m).round() as i32).clamp(0, cells - 1),
+        )
+    };
+    let to_point = |c: (i32, i32)| -> Vec2 {
+        Vec2::new(c.0 as f64 * config.grid_m, c.1 as f64 * config.grid_m)
+    };
+    let passable = |c: (i32, i32)| -> bool { terrain.slope_at(to_point(c)) <= config.max_slope };
+
+    let start_cell = to_cell(start);
+    let goal_cell = to_cell(goal);
+    if !passable(goal_cell) || !passable(start_cell) {
+        return None;
+    }
+    if start_cell == goal_cell {
+        return Some(vec![goal]);
+    }
+
+    let idx = |c: (i32, i32)| (c.1 * cells + c.0) as usize;
+    let mut g_score = vec![f64::INFINITY; (cells * cells) as usize];
+    let mut came_from: Vec<Option<(i32, i32)>> = vec![None; (cells * cells) as usize];
+    let mut open = BinaryHeap::new();
+    g_score[idx(start_cell)] = 0.0;
+    open.push(OpenEntry { f: 0.0, cell: start_cell });
+
+    let heuristic = |c: (i32, i32)| {
+        let dx = (c.0 - goal_cell.0) as f64;
+        let dy = (c.1 - goal_cell.1) as f64;
+        dx.hypot(dy) * config.grid_m
+    };
+
+    const DIRS: [(i32, i32); 8] =
+        [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)];
+
+    while let Some(OpenEntry { cell, .. }) = open.pop() {
+        if cell == goal_cell {
+            // Reconstruct.
+            let mut path = vec![goal];
+            let mut cur = cell;
+            while let Some(prev) = came_from[idx(cur)] {
+                path.push(to_point(cur));
+                cur = prev;
+            }
+            path.reverse();
+            // `path` currently ends with goal duplicated after reverse?
+            // After reverse: [first-after-start … goal-cell-point, goal].
+            return Some(simplify(path));
+        }
+        let g_here = g_score[idx(cell)];
+        for (dx, dy) in DIRS {
+            let next = (cell.0 + dx, cell.1 + dy);
+            if next.0 < 0 || next.1 < 0 || next.0 >= cells || next.1 >= cells {
+                continue;
+            }
+            if !passable(next) {
+                continue;
+            }
+            let step = ((dx * dx + dy * dy) as f64).sqrt() * config.grid_m;
+            let slope = terrain.slope_at(to_point(next));
+            let cost = step * (1.0 + config.slope_cost * slope);
+            let tentative = g_here + cost;
+            if tentative < g_score[idx(next)] {
+                g_score[idx(next)] = tentative;
+                came_from[idx(next)] = Some(cell);
+                open.push(OpenEntry { f: tentative + heuristic(next), cell: next });
+            }
+        }
+    }
+    None
+}
+
+/// Removes collinear intermediate waypoints.
+fn simplify(path: Vec<Vec2>) -> Vec<Vec2> {
+    if path.len() <= 2 {
+        return path;
+    }
+    let mut out = vec![path[0]];
+    for i in 1..path.len() - 1 {
+        let a = *out.last().expect("non-empty");
+        let b = path[i];
+        let c = path[i + 1];
+        let ab = (b - a).normalized();
+        let bc = (c - b).normalized();
+        if ab.dot(bc) < 0.9999 {
+            out.push(b);
+        }
+    }
+    out.push(*path.last().expect("non-empty"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::rng::SimRng;
+    use silvasec_sim::terrain::{Terrain, TerrainConfig};
+
+    #[test]
+    fn straight_line_on_flat_ground() {
+        let terrain = Terrain::flat(200.0, 5.0);
+        let path = plan_path(
+            &terrain,
+            &PlannerConfig::default(),
+            Vec2::new(10.0, 10.0),
+            Vec2::new(150.0, 10.0),
+        )
+        .unwrap();
+        assert_eq!(*path.last().unwrap(), Vec2::new(150.0, 10.0));
+        // Should be nearly straight: total length close to 140.
+        let len: f64 = std::iter::once(Vec2::new(10.0, 10.0))
+            .chain(path.iter().copied())
+            .collect::<Vec<_>>()
+            .windows(2)
+            .map(|w| w[0].distance(w[1]))
+            .sum();
+        assert!(len < 160.0, "path length {len}");
+    }
+
+    #[test]
+    fn same_cell_returns_goal() {
+        let terrain = Terrain::flat(100.0, 5.0);
+        let path = plan_path(
+            &terrain,
+            &PlannerConfig::default(),
+            Vec2::new(10.0, 10.0),
+            Vec2::new(11.0, 11.0),
+        )
+        .unwrap();
+        assert_eq!(path, vec![Vec2::new(11.0, 11.0)]);
+    }
+
+    #[test]
+    fn finds_path_on_rough_terrain() {
+        let terrain = Terrain::generate(
+            &TerrainConfig { relief_m: 25.0, ..TerrainConfig::default() },
+            &mut SimRng::from_seed(1),
+        );
+        let path = plan_path(
+            &terrain,
+            &PlannerConfig::default(),
+            Vec2::new(20.0, 20.0),
+            Vec2::new(450.0, 450.0),
+        );
+        assert!(path.is_some(), "no path on moderate terrain");
+        let path = path.unwrap();
+        // Every waypoint passable.
+        for p in &path {
+            assert!(terrain.slope_at(*p) <= PlannerConfig::default().max_slope + 1e-9);
+        }
+    }
+
+    #[test]
+    fn impassable_goal_returns_none() {
+        let terrain = Terrain::generate(
+            &TerrainConfig { relief_m: 25.0, ..TerrainConfig::default() },
+            &mut SimRng::from_seed(2),
+        );
+        // A max_slope of 0 makes any non-flat cell impassable.
+        let config = PlannerConfig { max_slope: 0.0, ..PlannerConfig::default() };
+        let path =
+            plan_path(&terrain, &config, Vec2::new(20.0, 20.0), Vec2::new(450.0, 450.0));
+        assert!(path.is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let terrain = Terrain::generate(&TerrainConfig::default(), &mut SimRng::from_seed(3));
+        let run = || {
+            plan_path(
+                &terrain,
+                &PlannerConfig::default(),
+                Vec2::new(30.0, 40.0),
+                Vec2::new(400.0, 380.0),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn simplify_collapses_collinear() {
+        let path = vec![
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 0.0),
+            Vec2::new(2.0, 0.0),
+            Vec2::new(3.0, 1.0),
+        ];
+        let s = simplify(path);
+        assert_eq!(s, vec![Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(3.0, 1.0)]);
+    }
+
+    #[test]
+    fn slope_cost_prefers_flat_detour() {
+        // Synthetic terrain: a steep ridge along x = 100 except it is
+        // flat near the top edge → planner should detour up and around
+        // when slope costs dominate. We approximate by checking the path
+        // avoids the highest-slope cells it can.
+        let terrain = Terrain::generate(
+            &TerrainConfig { relief_m: 20.0, ..TerrainConfig::default() },
+            &mut SimRng::from_seed(4),
+        );
+        let flat_cfg = PlannerConfig { slope_cost: 0.0, ..PlannerConfig::default() };
+        let steep_cfg = PlannerConfig { slope_cost: 30.0, ..PlannerConfig::default() };
+        let a = Vec2::new(30.0, 250.0);
+        let b = Vec2::new(470.0, 250.0);
+        assert!(terrain.slope_at(a) <= flat_cfg.max_slope && terrain.slope_at(b) <= flat_cfg.max_slope);
+        let direct = plan_path(&terrain, &flat_cfg, a, b).unwrap();
+        let cautious = plan_path(&terrain, &steep_cfg, a, b).unwrap();
+        let mean_slope = |p: &[Vec2]| -> f64 {
+            p.iter().map(|w| terrain.slope_at(*w)).sum::<f64>() / p.len() as f64
+        };
+        assert!(
+            mean_slope(&cautious) <= mean_slope(&direct) + 1e-9,
+            "slope-aware path should not be steeper on average"
+        );
+    }
+}

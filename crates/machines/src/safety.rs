@@ -1,0 +1,226 @@
+//! The stop/slow-zone safety supervisor.
+//!
+//! This is the ISO 13849-style safety function of the forwarder: fuse the
+//! people detections, compare against protective zones, and command a
+//! speed limit. It latches: once stopped, the machine stays stopped until
+//! the zone has been clear for a configurable delay (preventing rapid
+//! stop/start oscillation around the detection threshold).
+
+use crate::sensors::Detection;
+use serde::{Deserialize, Serialize};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::time::{SimDuration, SimTime};
+
+/// The commanded speed limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeedLimit {
+    /// Full operating speed.
+    Full,
+    /// Reduced speed (person in the slow zone).
+    Slow,
+    /// Standstill (person in the stop zone).
+    Stop,
+}
+
+impl SpeedLimit {
+    /// The speed cap in m/s this limit imposes, given the machine's
+    /// nominal maximum.
+    #[must_use]
+    pub fn cap_mps(self, max_speed: f64) -> f64 {
+        match self {
+            SpeedLimit::Full => max_speed,
+            SpeedLimit::Slow => (max_speed * 0.3).min(1.0),
+            SpeedLimit::Stop => 0.0,
+        }
+    }
+}
+
+/// Supervisor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SafetyConfig {
+    /// Radius of the standstill zone, metres.
+    pub stop_radius_m: f64,
+    /// Radius of the reduced-speed zone, metres.
+    pub slow_radius_m: f64,
+    /// Zone must be clear this long before releasing a stop.
+    pub clear_delay: SimDuration,
+    /// Minimum detection confidence to act on.
+    pub min_confidence: f64,
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        SafetyConfig {
+            stop_radius_m: 10.0,
+            slow_radius_m: 25.0,
+            clear_delay: SimDuration::from_secs(3),
+            min_confidence: 0.05,
+        }
+    }
+}
+
+/// The latching safety supervisor.
+#[derive(Debug, Clone)]
+pub struct SafetySupervisor {
+    config: SafetyConfig,
+    current: SpeedLimit,
+    last_stop_trigger: Option<SimTime>,
+    stop_events: u64,
+}
+
+impl SafetySupervisor {
+    /// Creates a supervisor in the `Full` state.
+    #[must_use]
+    pub fn new(config: SafetyConfig) -> Self {
+        SafetySupervisor {
+            config,
+            current: SpeedLimit::Full,
+            last_stop_trigger: None,
+            stop_events: 0,
+        }
+    }
+
+    /// The current commanded limit.
+    #[must_use]
+    pub fn current(&self) -> SpeedLimit {
+        self.current
+    }
+
+    /// How many distinct stop events the supervisor has commanded.
+    #[must_use]
+    pub fn stop_events(&self) -> u64 {
+        self.stop_events
+    }
+
+    /// Feeds the fused detections for this cycle; returns the commanded
+    /// limit. `machine_position` is the reference for zone distances.
+    pub fn update(
+        &mut self,
+        now: SimTime,
+        machine_position: Vec2,
+        detections: &[Detection],
+    ) -> SpeedLimit {
+        let mut nearest = f64::INFINITY;
+        for d in detections {
+            if d.confidence < self.config.min_confidence {
+                continue;
+            }
+            nearest = nearest.min(d.position.distance(machine_position));
+        }
+
+        if nearest <= self.config.stop_radius_m {
+            if self.current != SpeedLimit::Stop {
+                self.stop_events += 1;
+            }
+            self.current = SpeedLimit::Stop;
+            self.last_stop_trigger = Some(now);
+        } else if self.current == SpeedLimit::Stop {
+            // Latched: release only after the clear delay.
+            let clear_since = self.last_stop_trigger.expect("stop implies trigger time");
+            if now.since(clear_since) >= self.config.clear_delay {
+                self.current = if nearest <= self.config.slow_radius_m {
+                    SpeedLimit::Slow
+                } else {
+                    SpeedLimit::Full
+                };
+            }
+        } else if nearest <= self.config.slow_radius_m {
+            self.current = SpeedLimit::Slow;
+        } else {
+            self.current = SpeedLimit::Full;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::humans::HumanId;
+
+    fn det(pos: Vec2, confidence: f64) -> Detection {
+        Detection { human_id: HumanId(0), position: pos, confidence, distance_m: 0.0 }
+    }
+
+    fn supervisor() -> SafetySupervisor {
+        SafetySupervisor::new(SafetyConfig::default())
+    }
+
+    #[test]
+    fn zones_map_to_limits() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(50.0, 0.0), 0.9)]), SpeedLimit::Full);
+        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(20.0, 0.0), 0.9)]), SpeedLimit::Slow);
+        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(5.0, 0.0), 0.9)]), SpeedLimit::Stop);
+    }
+
+    #[test]
+    fn stop_latches_until_clear_delay() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        s.update(SimTime::from_secs(0), m, &[det(Vec2::new(5.0, 0.0), 0.9)]);
+        assert_eq!(s.current(), SpeedLimit::Stop);
+        // Zone clear, but delay not elapsed.
+        assert_eq!(s.update(SimTime::from_secs(1), m, &[]), SpeedLimit::Stop);
+        assert_eq!(s.update(SimTime::from_secs(2), m, &[]), SpeedLimit::Stop);
+        // Delay elapsed → release.
+        assert_eq!(s.update(SimTime::from_secs(3), m, &[]), SpeedLimit::Full);
+    }
+
+    #[test]
+    fn retrigger_extends_latch() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        s.update(SimTime::from_secs(0), m, &[det(Vec2::new(5.0, 0.0), 0.9)]);
+        s.update(SimTime::from_secs(2), m, &[det(Vec2::new(6.0, 0.0), 0.9)]);
+        // 3 s after the *second* trigger.
+        assert_eq!(s.update(SimTime::from_secs(4), m, &[]), SpeedLimit::Stop);
+        assert_eq!(s.update(SimTime::from_secs(5), m, &[]), SpeedLimit::Full);
+    }
+
+    #[test]
+    fn stop_events_counted_once_per_event() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        for t in 0..5 {
+            s.update(SimTime::from_secs(t), m, &[det(Vec2::new(5.0, 0.0), 0.9)]);
+        }
+        assert_eq!(s.stop_events(), 1);
+        // Release, then a new event.
+        for t in 5..9 {
+            s.update(SimTime::from_secs(t), m, &[]);
+        }
+        s.update(SimTime::from_secs(9), m, &[det(Vec2::new(5.0, 0.0), 0.9)]);
+        assert_eq!(s.stop_events(), 2);
+    }
+
+    #[test]
+    fn low_confidence_ignored() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        assert_eq!(
+            s.update(SimTime::ZERO, m, &[det(Vec2::new(5.0, 0.0), 0.01)]),
+            SpeedLimit::Full
+        );
+    }
+
+    #[test]
+    fn release_into_slow_when_person_in_slow_zone() {
+        let mut s = supervisor();
+        let m = Vec2::ZERO;
+        s.update(SimTime::from_secs(0), m, &[det(Vec2::new(5.0, 0.0), 0.9)]);
+        // Person retreats to the slow zone and stays there past the delay.
+        s.update(SimTime::from_secs(1), m, &[det(Vec2::new(20.0, 0.0), 0.9)]);
+        s.update(SimTime::from_secs(2), m, &[det(Vec2::new(20.0, 0.0), 0.9)]);
+        let limit = s.update(SimTime::from_secs(3), m, &[det(Vec2::new(20.0, 0.0), 0.9)]);
+        assert_eq!(limit, SpeedLimit::Slow);
+    }
+
+    #[test]
+    fn speed_caps() {
+        assert_eq!(SpeedLimit::Full.cap_mps(5.0), 5.0);
+        assert_eq!(SpeedLimit::Slow.cap_mps(5.0), 1.0);
+        assert_eq!(SpeedLimit::Stop.cap_mps(5.0), 0.0);
+    }
+}

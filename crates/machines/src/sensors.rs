@@ -1,0 +1,351 @@
+//! People-detection sensors with occlusion, range, field-of-view and
+//! weather effects.
+//!
+//! These model the safety-critical perception path of the paper's use
+//! case. A sensor sample either detects a worker (with a noisy position
+//! estimate and a confidence) or it does not; detection probability
+//! combines geometry (range falloff, field of view), the world's
+//! line-of-sight factor (terrain/trunk/canopy occlusion), weather, and
+//! the sensor's health (camera blinding attacks reduce it).
+
+use serde::{Deserialize, Serialize};
+use silvasec_sim::geom::{Vec2, Vec3};
+use silvasec_sim::humans::HumanId;
+use silvasec_sim::rng::SimRng;
+use silvasec_sim::world::World;
+
+/// The sensor technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SensorKind {
+    /// Optical camera with a forward cone field of view.
+    Camera,
+    /// 360° LiDAR.
+    Lidar,
+    /// Short-range ultrasonic ring.
+    Ultrasonic,
+}
+
+impl SensorKind {
+    /// Base detection range in clear weather, metres.
+    #[must_use]
+    pub fn base_range_m(self) -> f64 {
+        match self {
+            SensorKind::Camera => 60.0,
+            SensorKind::Lidar => 45.0,
+            SensorKind::Ultrasonic => 8.0,
+        }
+    }
+
+    /// Horizontal field of view, radians.
+    #[must_use]
+    pub fn fov_rad(self) -> f64 {
+        match self {
+            SensorKind::Camera => 2.1, // ~120°
+            SensorKind::Lidar | SensorKind::Ultrasonic => std::f64::consts::TAU,
+        }
+    }
+
+    /// Per-sample detection probability for an unoccluded target at
+    /// close range in clear weather.
+    #[must_use]
+    pub fn base_detection_prob(self) -> f64 {
+        match self {
+            SensorKind::Camera => 0.92,
+            SensorKind::Lidar => 0.85,
+            SensorKind::Ultrasonic => 0.95,
+        }
+    }
+
+    /// Whether weather attenuates this sensor (optical sensors only).
+    #[must_use]
+    pub fn weather_sensitive(self) -> bool {
+        matches!(self, SensorKind::Camera | SensorKind::Lidar)
+    }
+}
+
+/// A detection of one worker in one sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Which worker was detected.
+    pub human_id: HumanId,
+    /// Noisy position estimate.
+    pub position: Vec2,
+    /// Confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// True distance from the sensor at sample time, metres.
+    pub distance_m: f64,
+}
+
+/// A people-detection sensor instance.
+///
+/// `health` is the sensor's attack surface: camera-blinding reduces it
+/// towards zero; the IDS watches for exactly that collapse.
+#[derive(Debug, Clone)]
+pub struct PeopleSensor {
+    /// Sensor technology.
+    pub kind: SensorKind,
+    /// Mount height above ground (ground machines) — aerial use supplies
+    /// full 3-D poses instead.
+    pub mount_height_m: f64,
+    /// Health factor in `[0, 1]`; 1 = nominal, 0 = fully blinded.
+    pub health: f64,
+}
+
+impl PeopleSensor {
+    /// Creates a nominal sensor.
+    #[must_use]
+    pub fn new(kind: SensorKind, mount_height_m: f64) -> Self {
+        PeopleSensor { kind, mount_height_m, health: 1.0 }
+    }
+
+    /// Applies degradation (e.g. a blinding attack); clamps to `[0, 1]`.
+    pub fn degrade(&mut self, health: f64) {
+        self.health = health.clamp(0.0, 1.0);
+    }
+
+    /// Samples detections from a ground pose (`position`, `heading`).
+    #[must_use]
+    pub fn detect(
+        &self,
+        world: &World,
+        position: Vec2,
+        heading: f64,
+        rng: &mut SimRng,
+    ) -> Vec<Detection> {
+        let sensor_pos = position.with_z(world.ground_at(position) + self.mount_height_m);
+        self.detect_from(world, sensor_pos, Some(heading), rng)
+    }
+
+    /// Samples detections from an arbitrary 3-D pose (aerial use). A
+    /// `heading` of `None` means omnidirectional (gimballed camera).
+    #[must_use]
+    pub fn detect_from(
+        &self,
+        world: &World,
+        sensor_pos: Vec3,
+        heading: Option<f64>,
+        rng: &mut SimRng,
+    ) -> Vec<Detection> {
+        let weather = world.weather();
+        let range = self.kind.base_range_m()
+            * if self.kind.weather_sensitive() {
+                weather.optical_range_factor()
+            } else {
+                1.0
+            };
+
+        let mut out = Vec::new();
+        for human in world.humans() {
+            let target = world.human_target_point(human);
+            let dist = sensor_pos.distance(target);
+            if dist > range {
+                continue;
+            }
+            // Field-of-view check against the 2-D bearing.
+            if let Some(h) = heading {
+                let bearing = (human.position - sensor_pos.xy()).heading();
+                let mut diff = (bearing - h).abs() % std::f64::consts::TAU;
+                if diff > std::f64::consts::PI {
+                    diff = std::f64::consts::TAU - diff;
+                }
+                if diff > self.kind.fov_rad() / 2.0 {
+                    continue;
+                }
+            }
+            let visibility = world.visibility(sensor_pos, target);
+            if visibility.is_blocked() {
+                continue;
+            }
+            let weather_conf = if self.kind.weather_sensitive() {
+                weather.detection_confidence_factor()
+            } else {
+                1.0
+            };
+            let range_falloff = 1.0 - 0.3 * (dist / range);
+            let p = self.kind.base_detection_prob()
+                * visibility.factor
+                * weather_conf
+                * range_falloff
+                * self.health;
+            if rng.chance(p) {
+                let sigma = 0.2 + 0.02 * dist;
+                let estimate = Vec2::new(
+                    human.position.x + rng.normal(0.0, sigma),
+                    human.position.y + rng.normal(0.0, sigma),
+                );
+                out.push(Detection {
+                    human_id: human.id,
+                    position: estimate,
+                    confidence: p.clamp(0.0, 1.0),
+                    distance_m: dist,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::prelude::*;
+    use silvasec_sim::terrain::TerrainConfig;
+    use silvasec_sim::vegetation::StandConfig;
+
+    /// A world with one human at a known location and no trees.
+    fn open_world(human_near: Vec2) -> World {
+        let config = WorldConfig {
+            terrain: TerrainConfig { size_m: 200.0, relief_m: 0.001, ..TerrainConfig::default() },
+            stand: StandConfig { trees_per_hectare: 0.0, ..StandConfig::default() },
+            human_count: 1,
+            ..WorldConfig::default()
+        };
+        let mut world = World::generate(&config, SimRng::from_seed(1));
+        // Humans spawn randomly; step zero time and relocate via stepping
+        // is awkward — instead exploit that detection reads positions, so
+        // regenerate until the worker is near the desired point.
+        let mut seed = 2;
+        while world.humans()[0].position.distance(human_near) > 60.0 && seed < 200 {
+            world = World::generate(&config, SimRng::from_seed(seed));
+            seed += 1;
+        }
+        world
+    }
+
+    #[test]
+    fn detects_close_unoccluded_worker() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let sensor = PeopleSensor::new(SensorKind::Lidar, 3.0);
+        let mut rng = SimRng::from_seed(3);
+        let mut hits = 0;
+        let pose = worker + Vec2::new(10.0, 0.0);
+        for _ in 0..100 {
+            if !sensor.detect(&world, pose, 0.0, &mut rng).is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 60, "only {hits}/100 detections at 10 m in the open");
+    }
+
+    #[test]
+    fn ignores_out_of_range_worker() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let sensor = PeopleSensor::new(SensorKind::Ultrasonic, 1.0);
+        let mut rng = SimRng::from_seed(4);
+        // 50 m away with an 8 m sensor.
+        let pose = worker + Vec2::new(50.0, 0.0);
+        for _ in 0..50 {
+            assert!(sensor.detect(&world, pose, 0.0, &mut rng).is_empty());
+        }
+    }
+
+    #[test]
+    fn camera_fov_limits_detection() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let sensor = PeopleSensor::new(SensorKind::Camera, 2.5);
+        let mut rng = SimRng::from_seed(5);
+        let pose = worker + Vec2::new(15.0, 0.0);
+        // Worker is due west of the pose; looking east misses entirely.
+        for _ in 0..50 {
+            assert!(sensor.detect(&world, pose, 0.0, &mut rng).is_empty());
+        }
+        // Looking west hits.
+        let mut hits = 0;
+        for _ in 0..100 {
+            if !sensor.detect(&world, pose, std::f64::consts::PI, &mut rng).is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 60, "{hits}/100 looking at the worker");
+    }
+
+    #[test]
+    fn blinded_sensor_detects_nothing() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let mut sensor = PeopleSensor::new(SensorKind::Camera, 2.5);
+        sensor.degrade(0.0);
+        let mut rng = SimRng::from_seed(6);
+        let pose = worker + Vec2::new(10.0, 0.0);
+        for _ in 0..100 {
+            assert!(sensor
+                .detect(&world, pose, std::f64::consts::PI, &mut rng)
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn degraded_sensor_detects_less() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let pose = worker + Vec2::new(10.0, 0.0);
+        let rate = |health: f64| {
+            let mut s = PeopleSensor::new(SensorKind::Lidar, 3.0);
+            s.degrade(health);
+            let mut rng = SimRng::from_seed(7);
+            (0..300)
+                .filter(|_| !s.detect(&world, pose, 0.0, &mut rng).is_empty())
+                .count()
+        };
+        let healthy = rate(1.0);
+        let weak = rate(0.3);
+        assert!(weak < healthy / 2, "healthy {healthy}, weak {weak}");
+    }
+
+    #[test]
+    fn aerial_detection_from_overhead() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let sensor = PeopleSensor::new(SensorKind::Camera, 0.0);
+        let mut rng = SimRng::from_seed(8);
+        let aerial = worker.with_z(world.ground_at(worker) + 40.0);
+        let mut hits = 0;
+        for _ in 0..100 {
+            if !sensor.detect_from(&world, aerial, None, &mut rng).is_empty() {
+                hits += 1;
+            }
+        }
+        assert!(hits > 60, "{hits}/100 from overhead");
+    }
+
+    #[test]
+    fn estimate_noise_grows_with_distance_on_average() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = world.humans()[0].position;
+        let sensor = PeopleSensor::new(SensorKind::Lidar, 3.0);
+        let mean_err = |dist: f64| {
+            let mut rng = SimRng::from_seed(9);
+            let pose = worker + Vec2::new(dist, 0.0);
+            let mut errs = Vec::new();
+            for _ in 0..2000 {
+                for d in sensor.detect(&world, pose, 0.0, &mut rng) {
+                    errs.push(d.position.distance(worker));
+                }
+            }
+            errs.iter().sum::<f64>() / errs.len().max(1) as f64
+        };
+        let near = mean_err(5.0);
+        let far = mean_err(35.0);
+        assert!(far > near, "noise at 35 m ({far}) should exceed 5 m ({near})");
+    }
+
+    #[test]
+    fn detection_reports_identity_and_distance() {
+        let world = open_world(Vec2::new(100.0, 100.0));
+        let worker = &world.humans()[0];
+        let sensor = PeopleSensor::new(SensorKind::Lidar, 3.0);
+        let mut rng = SimRng::from_seed(10);
+        let pose = worker.position + Vec2::new(10.0, 0.0);
+        for _ in 0..100 {
+            for d in sensor.detect(&world, pose, 0.0, &mut rng) {
+                assert_eq!(d.human_id, worker.id);
+                assert!((d.distance_m - 10.0).abs() < 3.0);
+                assert!((0.0..=1.0).contains(&d.confidence));
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Certificate authorities: roots, intermediates and issuance.
+
+use crate::cert::Certificate;
+use crate::crl::CertificateRevocationList;
+use crate::types::{ComponentRole, KeyUsage, Subject, Validity};
+use silvasec_crypto::schnorr::{SigningKey, VerifyingKey};
+
+/// A certificate authority holding a signing key and its own certificate.
+///
+/// Roots are self-signed; intermediates carry a certificate issued by a
+/// parent authority.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_pki::prelude::*;
+///
+/// let root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 10_000));
+/// let intermediate = root.issue_intermediate("site-ca", &[2u8; 32], Validity::new(0, 5_000));
+/// assert_eq!(intermediate.certificate().issuer_id, "root");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CertificateAuthority {
+    key: SigningKey,
+    certificate: Certificate,
+    next_serial: u64,
+    revoked: Vec<(u64, u64)>, // (serial, revocation time)
+    crl_sequence: u64,
+}
+
+impl CertificateAuthority {
+    /// Creates a self-signed root authority.
+    #[must_use]
+    pub fn new_root(id: &str, seed: &[u8; 32], validity: Validity) -> Self {
+        let key = SigningKey::from_seed(seed);
+        let mut certificate = Certificate {
+            subject: Subject::new(id, ComponentRole::Authority),
+            issuer_id: id.to_owned(),
+            serial: 0,
+            validity,
+            key_usage: KeyUsage::CERT_SIGNING | KeyUsage::CRL_SIGNING,
+            public_key: key.verifying_key().to_bytes().to_vec(),
+            signature: Vec::new(),
+        };
+        let sig = key.sign(&certificate.tbs_bytes());
+        certificate.signature = sig.to_bytes().to_vec();
+        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+    }
+
+    /// Issues an intermediate authority under this one.
+    #[must_use]
+    pub fn issue_intermediate(
+        &self,
+        id: &str,
+        seed: &[u8; 32],
+        validity: Validity,
+    ) -> CertificateAuthority {
+        // A fresh key for the intermediate; `self` keeps its own counter,
+        // so callers should use a `&mut` method when serial uniqueness
+        // matters — see `issue_intermediate_mut`.
+        let key = SigningKey::from_seed(seed);
+        let mut certificate = Certificate {
+            subject: Subject::new(id, ComponentRole::Authority),
+            issuer_id: self.certificate.subject.id.clone(),
+            serial: u64::MAX, // reserved serial band for intermediates issued immutably
+            validity,
+            key_usage: KeyUsage::CERT_SIGNING | KeyUsage::CRL_SIGNING,
+            public_key: key.verifying_key().to_bytes().to_vec(),
+            signature: Vec::new(),
+        };
+        let sig = self.key.sign(&certificate.tbs_bytes());
+        certificate.signature = sig.to_bytes().to_vec();
+        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+    }
+
+    /// Issues an intermediate authority, consuming a serial from this CA.
+    pub fn issue_intermediate_mut(
+        &mut self,
+        id: &str,
+        seed: &[u8; 32],
+        validity: Validity,
+    ) -> CertificateAuthority {
+        let key = SigningKey::from_seed(seed);
+        let mut certificate = Certificate {
+            subject: Subject::new(id, ComponentRole::Authority),
+            issuer_id: self.certificate.subject.id.clone(),
+            serial: self.take_serial(),
+            validity,
+            key_usage: KeyUsage::CERT_SIGNING | KeyUsage::CRL_SIGNING,
+            public_key: key.verifying_key().to_bytes().to_vec(),
+            signature: Vec::new(),
+        };
+        let sig = self.key.sign(&certificate.tbs_bytes());
+        certificate.signature = sig.to_bytes().to_vec();
+        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+    }
+
+    /// Issues an end-entity certificate.
+    ///
+    /// NOTE: this non-mut variant always uses serial `0` plus a hash-free
+    /// scheme is unsuitable when the same CA issues many certificates —
+    /// prefer [`CertificateAuthority::issue_mut`] in scenario code. It is
+    /// kept for doc examples and single-issuance setups.
+    #[must_use]
+    pub fn issue(
+        &self,
+        subject: &Subject,
+        key: &VerifyingKey,
+        usage: KeyUsage,
+        validity: Validity,
+    ) -> Certificate {
+        self.sign_end_entity(subject, key, usage, validity, 0)
+    }
+
+    /// Issues an end-entity certificate with a unique serial number.
+    pub fn issue_mut(
+        &mut self,
+        subject: &Subject,
+        key: &VerifyingKey,
+        usage: KeyUsage,
+        validity: Validity,
+    ) -> Certificate {
+        let serial = self.take_serial();
+        self.sign_end_entity(subject, key, usage, validity, serial)
+    }
+
+    fn sign_end_entity(
+        &self,
+        subject: &Subject,
+        key: &VerifyingKey,
+        usage: KeyUsage,
+        validity: Validity,
+        serial: u64,
+    ) -> Certificate {
+        let mut certificate = Certificate {
+            subject: subject.clone(),
+            issuer_id: self.certificate.subject.id.clone(),
+            serial,
+            validity,
+            key_usage: usage,
+            public_key: key.to_bytes().to_vec(),
+            signature: Vec::new(),
+        };
+        let sig = self.key.sign(&certificate.tbs_bytes());
+        certificate.signature = sig.to_bytes().to_vec();
+        certificate
+    }
+
+    fn take_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+
+    /// Marks `serial` revoked as of `time`; reflected in the next CRL.
+    pub fn revoke(&mut self, serial: u64, time: u64) {
+        if !self.revoked.iter().any(|(s, _)| *s == serial) {
+            self.revoked.push((serial, time));
+        }
+    }
+
+    /// Produces a signed CRL with all revocations so far.
+    pub fn sign_crl(&mut self, issued_at: u64) -> CertificateRevocationList {
+        self.crl_sequence += 1;
+        CertificateRevocationList::new_signed(
+            &self.key,
+            &self.certificate.subject.id,
+            self.crl_sequence,
+            issued_at,
+            &self.revoked,
+        )
+    }
+
+    /// This authority's own certificate.
+    #[must_use]
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    /// This authority's verifying key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.key.verifying_key()
+    }
+
+    /// Number of certificates this authority has revoked.
+    #[must_use]
+    pub fn revoked_count(&self) -> usize {
+        self.revoked.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_crypto::schnorr::SigningKey;
+
+    #[test]
+    fn root_is_self_signed_and_valid() {
+        let root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        assert!(root.certificate().is_self_signed());
+        assert!(root
+            .certificate()
+            .verify_signature(&root.verifying_key())
+            .is_ok());
+    }
+
+    #[test]
+    fn issued_cert_verifies_against_issuer() {
+        let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        let subject_key = SigningKey::from_seed(&[9u8; 32]);
+        let cert = root.issue_mut(
+            &Subject::new("drone-01", ComponentRole::Drone),
+            &subject_key.verifying_key(),
+            KeyUsage::AUTHENTICATION,
+            Validity::new(0, 50),
+        );
+        assert!(cert.verify_signature(&root.verifying_key()).is_ok());
+        assert_eq!(cert.issuer_id, "root");
+        assert_eq!(cert.serial, 1);
+    }
+
+    #[test]
+    fn serials_are_unique_and_increasing() {
+        let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        let key = SigningKey::from_seed(&[9u8; 32]);
+        let mut serials = Vec::new();
+        for i in 0..5 {
+            let cert = root.issue_mut(
+                &Subject::new(format!("s-{i}"), ComponentRole::Sensor),
+                &key.verifying_key(),
+                KeyUsage::TELEMETRY_SIGNING,
+                Validity::new(0, 50),
+            );
+            serials.push(cert.serial);
+        }
+        assert_eq!(serials, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn intermediate_chain_links() {
+        let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        let site = root.issue_intermediate_mut("site", &[2u8; 32], Validity::new(0, 80));
+        assert!(site
+            .certificate()
+            .verify_signature(&root.verifying_key())
+            .is_ok());
+        // Intermediate signs end entities with its own key.
+        let mut site = site;
+        let key = SigningKey::from_seed(&[3u8; 32]);
+        let cert = site.issue_mut(
+            &Subject::new("fw-01", ComponentRole::Forwarder),
+            &key.verifying_key(),
+            KeyUsage::AUTHENTICATION,
+            Validity::new(0, 40),
+        );
+        assert!(cert.verify_signature(&site.verifying_key()).is_ok());
+        assert!(cert.verify_signature(&root.verifying_key()).is_err());
+    }
+
+    #[test]
+    fn revocation_dedupes() {
+        let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        root.revoke(5, 10);
+        root.revoke(5, 11);
+        root.revoke(6, 12);
+        assert_eq!(root.revoked_count(), 2);
+    }
+
+    #[test]
+    fn crl_sequence_increases() {
+        let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 100));
+        let c1 = root.sign_crl(10);
+        let c2 = root.sign_crl(20);
+        assert!(c2.sequence > c1.sequence);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for PKI operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while validating certificates or chains.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PkiError {
+    /// The chain contained no certificates.
+    EmptyChain,
+    /// The chain was longer than the validator's configured maximum.
+    ChainTooLong {
+        /// Maximum accepted chain length.
+        max: usize,
+        /// Actual chain length.
+        actual: usize,
+    },
+    /// A certificate signature did not verify against its issuer's key.
+    BadSignature {
+        /// Subject id of the offending certificate.
+        subject: String,
+    },
+    /// The chain does not terminate at a trusted root.
+    UntrustedRoot {
+        /// Issuer id the chain ends at.
+        issuer: String,
+    },
+    /// A certificate is not yet valid at the evaluation time.
+    NotYetValid {
+        /// Subject id of the offending certificate.
+        subject: String,
+    },
+    /// A certificate has expired at the evaluation time.
+    Expired {
+        /// Subject id of the offending certificate.
+        subject: String,
+    },
+    /// A certificate in the chain has been revoked.
+    Revoked {
+        /// Subject id of the revoked certificate.
+        subject: String,
+        /// Serial number of the revoked certificate.
+        serial: u64,
+    },
+    /// A certificate is used for a purpose its key-usage flags forbid.
+    KeyUsageViolation {
+        /// Subject id of the offending certificate.
+        subject: String,
+    },
+    /// Adjacent chain certificates do not form an issuer/subject link.
+    BrokenLink {
+        /// Subject whose issuer field does not match the next certificate.
+        subject: String,
+    },
+    /// A public key embedded in a certificate failed to parse.
+    MalformedKey {
+        /// Subject id of the offending certificate.
+        subject: String,
+    },
+    /// A CRL signature did not verify or the CRL issuer is not trusted.
+    BadCrl,
+}
+
+impl fmt::Display for PkiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PkiError::EmptyChain => write!(f, "certificate chain is empty"),
+            PkiError::ChainTooLong { max, actual } => {
+                write!(f, "certificate chain too long: {actual} > {max}")
+            }
+            PkiError::BadSignature { subject } => {
+                write!(f, "bad signature on certificate for {subject}")
+            }
+            PkiError::UntrustedRoot { issuer } => {
+                write!(f, "chain terminates at untrusted issuer {issuer}")
+            }
+            PkiError::NotYetValid { subject } => {
+                write!(f, "certificate for {subject} not yet valid")
+            }
+            PkiError::Expired { subject } => write!(f, "certificate for {subject} expired"),
+            PkiError::Revoked { subject, serial } => {
+                write!(f, "certificate for {subject} (serial {serial}) revoked")
+            }
+            PkiError::KeyUsageViolation { subject } => {
+                write!(f, "key usage violation for {subject}")
+            }
+            PkiError::BrokenLink { subject } => {
+                write!(f, "issuer link broken at certificate for {subject}")
+            }
+            PkiError::MalformedKey { subject } => {
+                write!(f, "malformed public key in certificate for {subject}")
+            }
+            PkiError::BadCrl => write!(f, "revocation list failed validation"),
+        }
+    }
+}
+
+impl Error for PkiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PkiError::EmptyChain.to_string().contains("empty"));
+        assert!(PkiError::Revoked { subject: "d-1".into(), serial: 9 }
+            .to_string()
+            .contains("serial 9"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<PkiError>();
+    }
+}

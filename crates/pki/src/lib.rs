@@ -1,0 +1,58 @@
+//! Public-key infrastructure for the SilvaSec forestry worksite.
+//!
+//! Chattopadhyay & Lam (cited by the reproduced paper) argue that a
+//! certificate authority issuing certificates to every component of a
+//! cyber-physical system is the foundation for keeping untrusted
+//! components out of safety-critical communication. This crate provides
+//! that CA, plus the certificate, chain-validation, trust-store and
+//! revocation machinery the secure channel and secure boot layers build on.
+//!
+//! * [`cert`] — certificates with a canonical signed encoding.
+//! * [`ca`] — certificate authorities (root and intermediate) and issuance.
+//! * [`crl`] — signed certificate revocation lists.
+//! * [`store`] — trust stores and full chain validation.
+//! * [`types`] — component roles, key-usage flags and validity windows.
+//!
+//! # Example: a worksite PKI in six lines
+//!
+//! ```
+//! use silvasec_pki::prelude::*;
+//!
+//! let root = CertificateAuthority::new_root("RISE worksite root", &[1u8; 32], Validity::new(0, 1_000_000));
+//! let mut forwarder_key = silvasec_crypto::schnorr::SigningKey::from_seed(&[2u8; 32]);
+//! let cert = root.issue(
+//!     &Subject::new("forwarder-01", ComponentRole::Forwarder),
+//!     &forwarder_key.verifying_key(),
+//!     KeyUsage::AUTHENTICATION,
+//!     Validity::new(0, 500_000),
+//! );
+//! let store = TrustStore::with_roots([root.certificate().clone()]);
+//! assert!(store.validate_chain(&[cert], 100, &[]).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod cert;
+pub mod crl;
+pub mod error;
+pub mod store;
+pub mod types;
+
+pub use ca::CertificateAuthority;
+pub use cert::Certificate;
+pub use crl::CertificateRevocationList;
+pub use error::PkiError;
+pub use store::TrustStore;
+pub use types::{ComponentRole, KeyUsage, Subject, Validity};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::ca::CertificateAuthority;
+    pub use crate::cert::Certificate;
+    pub use crate::crl::CertificateRevocationList;
+    pub use crate::error::PkiError;
+    pub use crate::store::TrustStore;
+    pub use crate::types::{ComponentRole, KeyUsage, Subject, Validity};
+}

@@ -1,0 +1,205 @@
+//! Roles, key-usage flags and validity windows.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The role a certified component plays on the worksite.
+///
+/// Mirrors the constituents of the paper's Figure 1 worksite: autonomous
+/// forwarders, manned harvesters, observation drones, the base station
+/// coordinating them, individual smart sensors, and the PKI's own
+/// authorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ComponentRole {
+    /// A certificate authority (root or intermediate).
+    Authority,
+    /// An autonomous forwarder carrying logs.
+    Forwarder,
+    /// A (manned) harvester.
+    Harvester,
+    /// An observation drone.
+    Drone,
+    /// The worksite base station / coordination node.
+    BaseStation,
+    /// A standalone smart sensor.
+    Sensor,
+    /// A human operator's control terminal.
+    OperatorTerminal,
+    /// A firmware-signing identity (used by secure boot).
+    FirmwareSigner,
+}
+
+impl fmt::Display for ComponentRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ComponentRole::Authority => "authority",
+            ComponentRole::Forwarder => "forwarder",
+            ComponentRole::Harvester => "harvester",
+            ComponentRole::Drone => "drone",
+            ComponentRole::BaseStation => "base-station",
+            ComponentRole::Sensor => "sensor",
+            ComponentRole::OperatorTerminal => "operator-terminal",
+            ComponentRole::FirmwareSigner => "firmware-signer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A certificate subject: a stable component id plus its role.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subject {
+    /// Stable unique identifier, e.g. `"forwarder-01"`.
+    pub id: String,
+    /// The component's role.
+    pub role: ComponentRole,
+}
+
+impl Subject {
+    /// Creates a subject.
+    pub fn new(id: impl Into<String>, role: ComponentRole) -> Self {
+        Subject { id: id.into(), role }
+    }
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.id, self.role)
+    }
+}
+
+/// Key-usage flags carried in a certificate.
+///
+/// A compact bit set; combine flags with `|`.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_pki::types::KeyUsage;
+///
+/// let usage = KeyUsage::AUTHENTICATION | KeyUsage::FIRMWARE_SIGNING;
+/// assert!(usage.permits(KeyUsage::AUTHENTICATION));
+/// assert!(!usage.permits(KeyUsage::CERT_SIGNING));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyUsage(u8);
+
+impl KeyUsage {
+    /// May sign subordinate certificates (CA certificates).
+    pub const CERT_SIGNING: KeyUsage = KeyUsage(0b0000_0001);
+    /// May sign certificate revocation lists.
+    pub const CRL_SIGNING: KeyUsage = KeyUsage(0b0000_0010);
+    /// May authenticate itself in channel handshakes.
+    pub const AUTHENTICATION: KeyUsage = KeyUsage(0b0000_0100);
+    /// May sign firmware images.
+    pub const FIRMWARE_SIGNING: KeyUsage = KeyUsage(0b0000_1000);
+    /// May sign telemetry/measurement reports.
+    pub const TELEMETRY_SIGNING: KeyUsage = KeyUsage(0b0001_0000);
+    /// No usages.
+    pub const NONE: KeyUsage = KeyUsage(0);
+    /// All usages (testing convenience).
+    pub const ALL: KeyUsage = KeyUsage(0b0001_1111);
+
+    /// Whether every flag in `usage` is present in `self`.
+    #[must_use]
+    pub fn permits(self, usage: KeyUsage) -> bool {
+        self.0 & usage.0 == usage.0
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs flags from a raw bit pattern (unknown bits are kept).
+    #[must_use]
+    pub fn from_bits(bits: u8) -> Self {
+        KeyUsage(bits)
+    }
+}
+
+impl std::ops::BitOr for KeyUsage {
+    type Output = KeyUsage;
+    fn bitor(self, rhs: KeyUsage) -> KeyUsage {
+        KeyUsage(self.0 | rhs.0)
+    }
+}
+
+/// A validity window in worksite time (seconds since scenario start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Validity {
+    /// First instant (inclusive) at which the certificate is valid.
+    pub not_before: u64,
+    /// Last instant (inclusive) at which the certificate is valid.
+    pub not_after: u64,
+}
+
+impl Validity {
+    /// Creates a validity window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `not_after < not_before`.
+    #[must_use]
+    pub fn new(not_before: u64, not_after: u64) -> Self {
+        assert!(not_after >= not_before, "validity window must not be inverted");
+        Validity { not_before, not_after }
+    }
+
+    /// Whether `time` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, time: u64) -> bool {
+        (self.not_before..=self.not_after).contains(&time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_usage_combination() {
+        let u = KeyUsage::CERT_SIGNING | KeyUsage::CRL_SIGNING;
+        assert!(u.permits(KeyUsage::CERT_SIGNING));
+        assert!(u.permits(KeyUsage::CRL_SIGNING));
+        assert!(u.permits(KeyUsage::NONE));
+        assert!(!u.permits(KeyUsage::AUTHENTICATION));
+        assert!(!u.permits(KeyUsage::CERT_SIGNING | KeyUsage::AUTHENTICATION));
+        assert!(KeyUsage::ALL.permits(u));
+    }
+
+    #[test]
+    fn key_usage_bits_roundtrip() {
+        let u = KeyUsage::AUTHENTICATION | KeyUsage::TELEMETRY_SIGNING;
+        assert_eq!(KeyUsage::from_bits(u.bits()), u);
+    }
+
+    #[test]
+    fn validity_window() {
+        let v = Validity::new(10, 20);
+        assert!(!v.contains(9));
+        assert!(v.contains(10));
+        assert!(v.contains(20));
+        assert!(!v.contains(21));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_validity_panics() {
+        let _ = Validity::new(20, 10);
+    }
+
+    #[test]
+    fn subject_display() {
+        let s = Subject::new("drone-02", ComponentRole::Drone);
+        assert_eq!(s.to_string(), "drone-02 (drone)");
+    }
+
+    #[test]
+    fn role_serde_roundtrip() {
+        let json = serde_json::to_string(&ComponentRole::Forwarder).unwrap();
+        let back: ComponentRole = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ComponentRole::Forwarder);
+    }
+}

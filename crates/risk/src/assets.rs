@@ -1,0 +1,99 @@
+//! Assets and security properties (the entry point of an asset-driven
+//! TARA, following the CASCADE approach the paper's authors built for
+//! automotive and intend to transfer to forestry).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse asset categories for the worksite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AssetCategory {
+    /// Electronic control units and on-board computers.
+    ControlUnit,
+    /// Perception sensors (cameras, LiDAR, GNSS receivers).
+    Sensor,
+    /// Communication links and radios.
+    CommunicationLink,
+    /// Software and firmware images.
+    Firmware,
+    /// Operational and personal data.
+    Data,
+    /// Safety functions realised in software.
+    SafetyFunction,
+    /// Physical infrastructure (base station, chargers).
+    Infrastructure,
+}
+
+/// The classic security properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SecurityProperty {
+    /// Confidentiality.
+    Confidentiality,
+    /// Integrity.
+    Integrity,
+    /// Availability.
+    Availability,
+    /// Authenticity (of origin).
+    Authenticity,
+}
+
+impl fmt::Display for SecurityProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SecurityProperty::Confidentiality => "confidentiality",
+            SecurityProperty::Integrity => "integrity",
+            SecurityProperty::Availability => "availability",
+            SecurityProperty::Authenticity => "authenticity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An asset of the worksite system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Asset {
+    /// Stable id, e.g. `"fw.ecu"`.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Category.
+    pub category: AssetCategory,
+    /// Which properties matter for this asset (drives damage-scenario
+    /// enumeration).
+    pub relevant_properties: Vec<SecurityProperty>,
+}
+
+impl Asset {
+    /// Creates an asset.
+    pub fn new(
+        id: impl Into<String>,
+        name: impl Into<String>,
+        category: AssetCategory,
+        relevant_properties: Vec<SecurityProperty>,
+    ) -> Self {
+        Asset { id: id.into(), name: name.into(), category, relevant_properties }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_serde() {
+        let a = Asset::new(
+            "fw.cam",
+            "Forwarder people-detection camera",
+            AssetCategory::Sensor,
+            vec![SecurityProperty::Integrity, SecurityProperty::Availability],
+        );
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<Asset>(&json).unwrap(), a);
+    }
+
+    #[test]
+    fn property_display() {
+        assert_eq!(SecurityProperty::Availability.to_string(), "availability");
+    }
+}

@@ -1,0 +1,650 @@
+//! The forestry domain catalog: the paper's Table I as machine-readable
+//! data, and the ready-made model of the Figure 1/2 worksite.
+
+use crate::assets::{Asset, AssetCategory, SecurityProperty};
+use crate::feasibility::AttackPotential;
+use crate::hara::{Avoidance, Exposure, Hazard, InjurySeverity};
+use crate::iec62443::{FoundationalRequirement, SecurityLevel, SlVector, Zone};
+use crate::impact::{ImpactCategory, ImpactLevel, ImpactRating};
+use crate::interplay::{InterplayEffect, InterplayLink};
+use crate::sotif::{ScenarioArea, TriggeringCondition};
+use crate::threat::{AttackStep, DamageScenario, ThreatScenario, WorksiteModel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eight forestry-domain characteristics of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ForestryCharacteristic {
+    /// Remote and isolated locations with limited connectivity.
+    RemoteIsolatedLocations,
+    /// Increasing use of autonomous machinery.
+    AutonomousMachinery,
+    /// Susceptibility to natural disasters.
+    NaturalDisasters,
+    /// Sensitive land-ownership and compliance data.
+    DataPrivacyCompliance,
+    /// Remote monitoring and control systems.
+    RemoteMonitoringControl,
+    /// The need for domain threat profiles.
+    ThreatProfile,
+    /// Confidential operations (e.g. military sites).
+    ConfidentialityOfOperations,
+    /// Heavy machinery raising safety stakes.
+    HeavyMachinery,
+}
+
+impl fmt::Display for ForestryCharacteristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.title())
+    }
+}
+
+impl ForestryCharacteristic {
+    /// All characteristics, in the paper's Table I order.
+    pub const ALL: [ForestryCharacteristic; 8] = [
+        ForestryCharacteristic::RemoteIsolatedLocations,
+        ForestryCharacteristic::AutonomousMachinery,
+        ForestryCharacteristic::NaturalDisasters,
+        ForestryCharacteristic::DataPrivacyCompliance,
+        ForestryCharacteristic::RemoteMonitoringControl,
+        ForestryCharacteristic::ThreatProfile,
+        ForestryCharacteristic::ConfidentialityOfOperations,
+        ForestryCharacteristic::HeavyMachinery,
+    ];
+
+    /// The Table I row title.
+    #[must_use]
+    pub fn title(self) -> &'static str {
+        match self {
+            ForestryCharacteristic::RemoteIsolatedLocations => "Remote and Isolated Locations",
+            ForestryCharacteristic::AutonomousMachinery => "Autonomous Machinery",
+            ForestryCharacteristic::NaturalDisasters => "Natural Disasters",
+            ForestryCharacteristic::DataPrivacyCompliance => "Data Privacy and Compliance",
+            ForestryCharacteristic::RemoteMonitoringControl => "Remote Monitoring and Control",
+            ForestryCharacteristic::ThreatProfile => "Threat Profile",
+            ForestryCharacteristic::ConfidentialityOfOperations => "Confidentiality of Operations",
+            ForestryCharacteristic::HeavyMachinery => "Heavy Machinery",
+        }
+    }
+
+    /// The Table I row description (abridged).
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            ForestryCharacteristic::RemoteIsolatedLocations => {
+                "operations occur in remote areas with limited connectivity; secure \
+                 communication and data protection are challenging"
+            }
+            ForestryCharacteristic::AutonomousMachinery => {
+                "drones and robots are increasingly used; they must be secured against \
+                 unauthorized access or interference"
+            }
+            ForestryCharacteristic::NaturalDisasters => {
+                "wildfires, floods and storms demand disaster recovery and continuity \
+                 planning for cybersecurity"
+            }
+            ForestryCharacteristic::DataPrivacyCompliance => {
+                "land ownership, environmental assessment and compliance data require \
+                 privacy protection"
+            }
+            ForestryCharacteristic::RemoteMonitoringControl => {
+                "remote monitoring and control systems must be secured against \
+                 unauthorized access and disruption"
+            }
+            ForestryCharacteristic::ThreatProfile => {
+                "domain threat profiles are needed to grasp threats, agents and controls"
+            }
+            ForestryCharacteristic::ConfidentialityOfOperations => {
+                "some operations (e.g. military sites) must remain confidential"
+            }
+            ForestryCharacteristic::HeavyMachinery => {
+                "heavy machinery raises safety risk, and with it the stakes of \
+                 security compromises"
+            }
+        }
+    }
+
+    /// Attack-class tags this characteristic exposes the worksite to.
+    #[must_use]
+    pub fn attack_classes(self) -> &'static [&'static str] {
+        match self {
+            ForestryCharacteristic::RemoteIsolatedLocations => {
+                &["rf-jamming", "rogue-node", "gnss-jamming"]
+            }
+            ForestryCharacteristic::AutonomousMachinery => {
+                &["gnss-spoofing", "camera-blinding", "firmware-tampering"]
+            }
+            ForestryCharacteristic::NaturalDisasters => &["rf-jamming"],
+            ForestryCharacteristic::DataPrivacyCompliance => &["replay", "rogue-node"],
+            ForestryCharacteristic::RemoteMonitoringControl => {
+                &["deauth-flood", "replay", "rogue-node"]
+            }
+            ForestryCharacteristic::ThreatProfile => &[],
+            ForestryCharacteristic::ConfidentialityOfOperations => &["rogue-node", "replay"],
+            ForestryCharacteristic::HeavyMachinery => &["camera-blinding", "gnss-spoofing"],
+        }
+    }
+
+    /// Candidate control tags addressing this characteristic.
+    #[must_use]
+    pub fn controls(self) -> &'static [&'static str] {
+        match self {
+            ForestryCharacteristic::RemoteIsolatedLocations => {
+                &["secure-channel", "degraded-mode", "nav-consistency"]
+            }
+            ForestryCharacteristic::AutonomousMachinery => {
+                &["secure-boot", "attestation", "sensor-health", "nav-consistency"]
+            }
+            ForestryCharacteristic::NaturalDisasters => &["degraded-mode", "safe-stop"],
+            ForestryCharacteristic::DataPrivacyCompliance => &["secure-channel", "pki"],
+            ForestryCharacteristic::RemoteMonitoringControl => {
+                &["mfp", "secure-channel", "ids"]
+            }
+            ForestryCharacteristic::ThreatProfile => &["ids"],
+            ForestryCharacteristic::ConfidentialityOfOperations => &["secure-channel", "pki"],
+            ForestryCharacteristic::HeavyMachinery => {
+                &["drone-redundancy", "safe-stop", "sensor-health"]
+            }
+        }
+    }
+}
+
+fn easy(action: &str) -> AttackStep {
+    // Script-kiddie level: commodity hardware, public knowledge.
+    AttackStep { action: action.into(), potential: AttackPotential::new(1, 2, 0, 1, 3) }
+}
+
+fn moderate(action: &str) -> AttackStep {
+    AttackStep { action: action.into(), potential: AttackPotential::new(4, 3, 3, 1, 4) }
+}
+
+fn hard(action: &str) -> AttackStep {
+    AttackStep { action: action.into(), potential: AttackPotential::new(10, 6, 3, 4, 7) }
+}
+
+/// Builds the model of the paper's Figure 1/2 worksite: an autonomous
+/// forwarder with people-detection, a manned harvester, an observation
+/// drone, and a base station, all on an internal wireless network in a
+/// remote stand.
+#[must_use]
+pub fn worksite_model() -> WorksiteModel {
+    use AssetCategory as AC;
+    use SecurityProperty as SP;
+
+    let assets = vec![
+        Asset::new("fw.ecu", "Forwarder control unit", AC::ControlUnit, vec![SP::Integrity, SP::Availability]),
+        Asset::new("fw.camera", "Forwarder people-detection camera", AC::Sensor, vec![SP::Integrity, SP::Availability]),
+        Asset::new("fw.gnss", "Forwarder GNSS receiver", AC::Sensor, vec![SP::Integrity, SP::Availability]),
+        Asset::new("fw.firmware", "Forwarder firmware", AC::Firmware, vec![SP::Integrity, SP::Authenticity]),
+        Asset::new("drone.camera", "Drone observation camera", AC::Sensor, vec![SP::Integrity, SP::Availability]),
+        Asset::new("link.fw-bs", "Forwarder ↔ base-station radio link", AC::CommunicationLink, vec![SP::Integrity, SP::Availability, SP::Confidentiality, SP::Authenticity]),
+        Asset::new("link.drone-bs", "Drone ↔ base-station radio link", AC::CommunicationLink, vec![SP::Integrity, SP::Availability, SP::Authenticity]),
+        Asset::new("bs.station", "Worksite base station", AC::Infrastructure, vec![SP::Integrity, SP::Availability]),
+        Asset::new("data.ops", "Operational and land data", AC::Data, vec![SP::Confidentiality]),
+        Asset::new("sf.people-detect", "Collaborative people-detection safety function", AC::SafetyFunction, vec![SP::Integrity, SP::Availability]),
+    ];
+
+    let damage_scenarios = vec![
+        DamageScenario {
+            id: "ds.people-undetected".into(),
+            asset_id: "sf.people-detect".into(),
+            violated_property: SP::Availability,
+            description: "people detection fails while the forwarder operates; a worker \
+                          can be struck"
+                .into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Severe)
+                .with(ImpactCategory::Operational, ImpactLevel::Major),
+        },
+        DamageScenario {
+            id: "ds.nav-corrupted".into(),
+            asset_id: "fw.gnss".into(),
+            violated_property: SP::Integrity,
+            description: "the forwarder navigates on a falsified position and leaves its \
+                          planned corridor"
+                .into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Severe)
+                .with(ImpactCategory::Operational, ImpactLevel::Major),
+        },
+        DamageScenario {
+            id: "ds.nav-denied".into(),
+            asset_id: "fw.gnss".into(),
+            violated_property: SP::Availability,
+            description: "the forwarder loses positioning and must halt".into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Operational, ImpactLevel::Major)
+                .with(ImpactCategory::Financial, ImpactLevel::Moderate),
+        },
+        DamageScenario {
+            id: "ds.comms-denied".into(),
+            asset_id: "link.fw-bs".into(),
+            violated_property: SP::Availability,
+            description: "worksite coordination and the drone's safety augmentation are \
+                          unavailable"
+                .into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Major)
+                .with(ImpactCategory::Operational, ImpactLevel::Major),
+        },
+        DamageScenario {
+            id: "ds.command-forged".into(),
+            asset_id: "link.fw-bs".into(),
+            violated_property: SP::Authenticity,
+            description: "forged or replayed commands drive the forwarder outside its \
+                          task envelope"
+                .into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Severe)
+                .with(ImpactCategory::Operational, ImpactLevel::Major),
+        },
+        DamageScenario {
+            id: "ds.firmware-compromised".into(),
+            asset_id: "fw.firmware".into(),
+            violated_property: SP::Integrity,
+            description: "the machine runs attacker-controlled firmware; behaviour is \
+                          arbitrary"
+                .into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Severe)
+                .with(ImpactCategory::Financial, ImpactLevel::Major)
+                .with(ImpactCategory::Operational, ImpactLevel::Severe),
+        },
+        DamageScenario {
+            id: "ds.data-exposed".into(),
+            asset_id: "data.ops".into(),
+            violated_property: SP::Confidentiality,
+            description: "land-ownership, operational and video data leak".into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Privacy, ImpactLevel::Major)
+                .with(ImpactCategory::Financial, ImpactLevel::Moderate),
+        },
+        DamageScenario {
+            id: "ds.rogue-joined".into(),
+            asset_id: "bs.station".into(),
+            violated_property: SP::Authenticity,
+            description: "an untrusted component joins the worksite system of systems".into(),
+            impact: ImpactRating::new()
+                .with(ImpactCategory::Safety, ImpactLevel::Major)
+                .with(ImpactCategory::Operational, ImpactLevel::Major),
+        },
+    ];
+
+    let threats = vec![
+        ThreatScenario {
+            id: "ts.camera-blinding".into(),
+            damage_scenario_id: "ds.people-undetected".into(),
+            attack_class: Some("camera-blinding".into()),
+            threat_agent: "on-site saboteur with a laser/strong light source".into(),
+            attack_paths: vec![vec![
+                easy("approach the machine corridor unnoticed"),
+                moderate("blind the people-detection camera optically"),
+            ]],
+        },
+        ThreatScenario {
+            id: "ts.gnss-spoofing".into(),
+            damage_scenario_id: "ds.nav-corrupted".into(),
+            attack_class: Some("gnss-spoofing".into()),
+            threat_agent: "targeted attacker with an SDR spoofer".into(),
+            attack_paths: vec![vec![
+                moderate("deploy a regional GNSS spoofer near the stand"),
+                moderate("drag the position solution gradually"),
+            ]],
+        },
+        ThreatScenario {
+            id: "ts.gnss-jamming".into(),
+            damage_scenario_id: "ds.nav-denied".into(),
+            attack_class: Some("gnss-jamming".into()),
+            threat_agent: "vandal with a commodity jammer".into(),
+            attack_paths: vec![vec![easy("switch on a GNSS-band jammer in the area")]],
+        },
+        ThreatScenario {
+            id: "ts.rf-jamming".into(),
+            damage_scenario_id: "ds.comms-denied".into(),
+            attack_class: Some("rf-jamming".into()),
+            threat_agent: "vandal with a broadband jammer".into(),
+            attack_paths: vec![vec![easy("radiate broadband noise on the worksite channel")]],
+        },
+        ThreatScenario {
+            id: "ts.deauth-flood".into(),
+            damage_scenario_id: "ds.comms-denied".into(),
+            attack_class: Some("deauth-flood".into()),
+            threat_agent: "script kiddie with a Wi-Fi adapter".into(),
+            attack_paths: vec![vec![easy("forge de-auth frames against the forwarder")]],
+        },
+        ThreatScenario {
+            id: "ts.replay-commands".into(),
+            damage_scenario_id: "ds.command-forged".into(),
+            attack_class: Some("replay".into()),
+            threat_agent: "eavesdropper replaying captured traffic".into(),
+            attack_paths: vec![vec![
+                easy("capture command frames off the air"),
+                moderate("re-inject captured frames at a chosen moment"),
+            ]],
+        },
+        ThreatScenario {
+            id: "ts.mitm-plaintext".into(),
+            damage_scenario_id: "ds.command-forged".into(),
+            attack_class: None,
+            threat_agent: "active attacker on the radio path".into(),
+            attack_paths: vec![vec![
+                moderate("impersonate the base station on an unauthenticated link"),
+                moderate("inject forged waypoint commands"),
+            ]],
+        },
+        ThreatScenario {
+            id: "ts.firmware-tamper".into(),
+            damage_scenario_id: "ds.firmware-compromised".into(),
+            attack_class: Some("firmware-tampering".into()),
+            threat_agent: "supply-chain or maintenance insider".into(),
+            attack_paths: vec![vec![
+                hard("obtain access to the update channel"),
+                moderate("insert a modified image"),
+            ]],
+        },
+        ThreatScenario {
+            id: "ts.eavesdropping".into(),
+            damage_scenario_id: "ds.data-exposed".into(),
+            attack_class: None,
+            threat_agent: "passive listener in radio range".into(),
+            attack_paths: vec![vec![easy("record plaintext frames from outside the stand")]],
+        },
+        ThreatScenario {
+            id: "ts.rogue-node".into(),
+            damage_scenario_id: "ds.rogue-joined".into(),
+            attack_class: Some("rogue-node".into()),
+            threat_agent: "attacker with a compatible radio".into(),
+            attack_paths: vec![vec![
+                easy("associate a rogue radio with the worksite network"),
+                moderate("participate in coordination traffic"),
+            ]],
+        },
+    ];
+
+    let hazards = vec![
+        Hazard {
+            id: "hz.runover".into(),
+            description: "the forwarder strikes a ground worker".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P2,
+            safety_function: Some("sf.people-detect".into()),
+        },
+        Hazard {
+            id: "hz.machine-collision".into(),
+            description: "the forwarder collides with the harvester".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P1,
+            safety_function: Some("sf.people-detect".into()),
+        },
+        Hazard {
+            id: "hz.load-drop".into(),
+            description: "logs are dropped outside the loading envelope".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P1,
+            safety_function: None,
+        },
+        Hazard {
+            id: "hz.rollover".into(),
+            description: "the forwarder rolls over on steep terrain".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P1,
+            safety_function: None,
+        },
+    ];
+
+    let triggering_conditions = vec![
+        TriggeringCondition {
+            id: "tc.fog".into(),
+            description: "fog reduces optical detection range below the stop distance".into(),
+            affected_function: "sf.people-detect".into(),
+            area: ScenarioArea::KnownUnsafe,
+        },
+        TriggeringCondition {
+            id: "tc.dense-stand".into(),
+            description: "dense stands occlude workers until inside the stop zone".into(),
+            affected_function: "sf.people-detect".into(),
+            area: ScenarioArea::KnownUnsafe,
+        },
+        TriggeringCondition {
+            id: "tc.terrain-occlusion".into(),
+            description: "terrain ridges hide workers from the machine-mounted sensors \
+                          (the Figure 2 case)"
+                .into(),
+            affected_function: "sf.people-detect".into(),
+            area: ScenarioArea::KnownUnsafe,
+        },
+        TriggeringCondition {
+            id: "tc.prone-worker".into(),
+            description: "a prone or crouching worker presents an unusual signature".into(),
+            affected_function: "sf.people-detect".into(),
+            area: ScenarioArea::UnknownUnsafe,
+        },
+    ];
+
+    let interplay = vec![
+        InterplayLink {
+            threat_id: "ts.camera-blinding".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::DefeatsSafetyFunction,
+            rationale: "a blinded camera removes the people-detection risk reduction".into(),
+        },
+        InterplayLink {
+            threat_id: "ts.gnss-spoofing".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::RaisesExposure(Exposure::F2),
+            rationale: "a position-dragged forwarder leaves its corridor and encounters \
+                        workers far more often"
+                .into(),
+        },
+        InterplayLink {
+            threat_id: "ts.gnss-spoofing".into(),
+            hazard_id: "hz.rollover".into(),
+            effect: InterplayEffect::RaisesExposure(Exposure::F2),
+            rationale: "off-corridor driving reaches unassessed steep terrain".into(),
+        },
+        InterplayLink {
+            threat_id: "ts.rf-jamming".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::DefeatsSafetyFunction,
+            rationale: "jamming severs the drone's collaborative detection feed".into(),
+        },
+        InterplayLink {
+            threat_id: "ts.deauth-flood".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::DefeatsSafetyFunction,
+            rationale: "de-authing the forwarder severs the drone detection feed".into(),
+        },
+        InterplayLink {
+            threat_id: "ts.replay-commands".into(),
+            hazard_id: "hz.machine-collision".into(),
+            effect: InterplayEffect::RaisesExposure(Exposure::F2),
+            rationale: "replayed drive commands put machines on conflicting paths".into(),
+        },
+        InterplayLink {
+            threat_id: "ts.firmware-tamper".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::DefeatsSafetyFunction,
+            rationale: "compromised firmware can disable any on-board safety function".into(),
+        },
+    ];
+
+    WorksiteModel {
+        assets,
+        damage_scenarios,
+        threats,
+        hazards,
+        triggering_conditions,
+        interplay,
+    }
+}
+
+/// Builds the worksite's IEC 62443 zones. With `secure`, the zones carry
+/// the full control deployment; without, they model the undefended
+/// baseline worksite.
+#[must_use]
+pub fn worksite_zones(secure: bool) -> Vec<Zone> {
+    use FoundationalRequirement as FR;
+    use SecurityLevel as SL;
+
+    let deploy = |controls: &[&str]| -> Vec<String> {
+        if secure {
+            controls.iter().map(|s| (*s).to_owned()).collect()
+        } else {
+            Vec::new()
+        }
+    };
+
+    vec![
+        Zone {
+            id: "zone.safety-control".into(),
+            asset_ids: vec!["fw.ecu".into(), "sf.people-detect".into(), "fw.firmware".into()],
+            sl_target: SlVector::new()
+                .with(FR::Iac, SL::Sl3)
+                .with(FR::Si, SL::Sl3)
+                .with(FR::Tre, SL::Sl3)
+                .with(FR::Ra, SL::Sl2),
+            deployed_controls: deploy(&[
+                "secure-boot",
+                "attestation",
+                "secure-channel",
+                "ids",
+                "safe-stop",
+                "drone-redundancy",
+            ]),
+        },
+        Zone {
+            id: "zone.perception".into(),
+            asset_ids: vec!["fw.camera".into(), "fw.gnss".into(), "drone.camera".into()],
+            sl_target: SlVector::new()
+                .with(FR::Si, SL::Sl2)
+                .with(FR::Tre, SL::Sl2)
+                .with(FR::Ra, SL::Sl2),
+            deployed_controls: deploy(&["sensor-health", "nav-consistency", "drone-redundancy"]),
+        },
+        Zone {
+            id: "zone.coordination".into(),
+            asset_ids: vec!["bs.station".into(), "link.fw-bs".into(), "link.drone-bs".into()],
+            sl_target: SlVector::new()
+                .with(FR::Iac, SL::Sl3)
+                .with(FR::Uc, SL::Sl2)
+                .with(FR::Si, SL::Sl3)
+                .with(FR::Dc, SL::Sl2)
+                .with(FR::Rdf, SL::Sl2)
+                .with(FR::Tre, SL::Sl2)
+                .with(FR::Ra, SL::Sl2),
+            deployed_controls: deploy(&["pki", "secure-channel", "mfp", "ids", "degraded-mode"]),
+        },
+        Zone {
+            id: "zone.data".into(),
+            asset_ids: vec!["data.ops".into()],
+            sl_target: SlVector::new().with(FR::Dc, SL::Sl3).with(FR::Iac, SL::Sl2),
+            deployed_controls: deploy(&["secure-channel", "pki"]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iec62443::control_catalog;
+    use crate::tara::{RiskLevel, Tara};
+
+    #[test]
+    fn table1_has_eight_rows() {
+        assert_eq!(ForestryCharacteristic::ALL.len(), 8);
+        for c in ForestryCharacteristic::ALL {
+            assert!(!c.title().is_empty());
+            assert!(!c.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_attack_classes_are_known() {
+        let known = [
+            "rf-jamming",
+            "deauth-flood",
+            "gnss-spoofing",
+            "gnss-jamming",
+            "camera-blinding",
+            "replay",
+            "rogue-node",
+            "firmware-tampering",
+        ];
+        for c in ForestryCharacteristic::ALL {
+            for ac in c.attack_classes() {
+                assert!(known.contains(ac), "unknown attack class {ac}");
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_controls_exist_in_62443_catalog() {
+        let catalog = control_catalog();
+        for c in ForestryCharacteristic::ALL {
+            for tag in c.controls() {
+                assert!(
+                    catalog.iter().any(|ctrl| ctrl.tag == *tag),
+                    "characteristic {c} references unknown control {tag}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worksite_model_is_referentially_intact() {
+        let model = worksite_model();
+        assert!(model.dangling_references().is_empty());
+        assert!(model.assets.len() >= 10);
+        assert!(model.threats.len() >= 10);
+        assert!(model.hazards.len() >= 4);
+        assert!(model.interplay.len() >= 6);
+    }
+
+    #[test]
+    fn assessment_finds_high_risks() {
+        let report = Tara::assess(&worksite_model());
+        // The safety-critical, easy attacks must land at the top.
+        let top_ids: Vec<&str> =
+            report.risks_at_or_above(RiskLevel(4)).iter().map(|r| r.threat_id.as_str()).collect();
+        assert!(top_ids.contains(&"ts.camera-blinding"), "top risks: {top_ids:?}");
+        assert!(report.requirements().count() >= 5);
+        assert!(report.dangling_references.is_empty());
+    }
+
+    #[test]
+    fn interplay_findings_generated_and_prioritized() {
+        let report = Tara::assess(&worksite_model());
+        assert_eq!(report.interplay_findings.len(), worksite_model().interplay.len());
+        for w in report.interplay_findings.windows(2) {
+            assert!(w[0].priority() >= w[1].priority());
+        }
+    }
+
+    #[test]
+    fn secure_zones_close_most_gaps() {
+        let catalog = control_catalog();
+        let insecure_gaps: usize =
+            worksite_zones(false).iter().map(|z| z.gap(&catalog).len()).sum();
+        let secure_gaps: usize =
+            worksite_zones(true).iter().map(|z| z.gap(&catalog).len()).sum();
+        assert!(secure_gaps < insecure_gaps / 3, "{secure_gaps} vs {insecure_gaps}");
+    }
+
+    #[test]
+    fn every_zone_asset_exists_in_model() {
+        let model = worksite_model();
+        for zone in worksite_zones(true) {
+            for asset_id in &zone.asset_ids {
+                assert!(
+                    model.asset(asset_id).is_some(),
+                    "zone {} references unknown asset {asset_id}",
+                    zone.id
+                );
+            }
+        }
+    }
+}

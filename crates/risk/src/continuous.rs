@@ -1,0 +1,222 @@
+//! Continuous risk assessment (the ISO/SAE 21434 clause the paper's
+//! future work singles out).
+//!
+//! The static TARA rates attack feasibility from expert judgement. At
+//! runtime, the IDS produces *field evidence*: an observed incident of an
+//! attack class proves the attack is being mounted here and now, so the
+//! matching threat scenarios' feasibility escalates and risks re-rank.
+//! The history of risk-level changes (with timestamps) is the measurable
+//! output — experiment E5 measures the latency from attack onset to risk
+//! update.
+
+use crate::feasibility::AttackFeasibility;
+use crate::impact::ImpactLevel;
+use crate::tara::{RiskLevel, Tara, TaraReport};
+use crate::threat::WorksiteModel;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An incident reported by the runtime monitoring (IDS).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentReport {
+    /// The attack-class tag (matches `ThreatScenario::attack_class`).
+    pub attack_class: String,
+    /// When the incident was confirmed (worksite ms).
+    pub at_ms: u64,
+}
+
+/// A recorded risk-level change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RiskChange {
+    /// The threat whose risk changed.
+    pub threat_id: String,
+    /// Risk before.
+    pub from: RiskLevel,
+    /// Risk after.
+    pub to: RiskLevel,
+    /// When (worksite ms).
+    pub at_ms: u64,
+}
+
+/// The continuous assessment wrapper around a model.
+#[derive(Debug, Clone)]
+pub struct ContinuousAssessment {
+    model: WorksiteModel,
+    /// Feasibility overrides from field evidence.
+    overrides: HashMap<String, AttackFeasibility>,
+    current: TaraReport,
+    changes: Vec<RiskChange>,
+}
+
+impl ContinuousAssessment {
+    /// Starts continuous assessment from a model (runs the initial TARA).
+    #[must_use]
+    pub fn new(model: WorksiteModel) -> Self {
+        let current = Tara::assess(&model);
+        ContinuousAssessment { model, overrides: HashMap::new(), current, changes: Vec::new() }
+    }
+
+    /// The current report.
+    #[must_use]
+    pub fn report(&self) -> &TaraReport {
+        &self.current
+    }
+
+    /// The recorded risk changes.
+    #[must_use]
+    pub fn changes(&self) -> &[RiskChange] {
+        &self.changes
+    }
+
+    /// Feeds an incident; escalates feasibility of matching threats and
+    /// re-assesses. Returns the changes this incident caused.
+    pub fn ingest(&mut self, incident: &IncidentReport) -> Vec<RiskChange> {
+        let mut changed_threats = Vec::new();
+        for threat in &self.model.threats {
+            if threat.attack_class.as_deref() == Some(incident.attack_class.as_str()) {
+                let baseline = threat.feasibility();
+                let current = self.overrides.get(&threat.id).copied().unwrap_or(baseline);
+                let escalated = current.escalate().max(baseline);
+                if escalated != current {
+                    self.overrides.insert(threat.id.clone(), escalated);
+                    changed_threats.push(threat.id.clone());
+                }
+            }
+        }
+        if changed_threats.is_empty() {
+            return Vec::new();
+        }
+        self.reassess(incident.at_ms)
+    }
+
+    fn reassess(&mut self, at_ms: u64) -> Vec<RiskChange> {
+        let before: HashMap<String, RiskLevel> = self
+            .current
+            .risks
+            .iter()
+            .map(|r| (r.threat_id.clone(), r.risk))
+            .collect();
+
+        // Re-run the TARA, then apply feasibility overrides.
+        let mut report = Tara::assess(&self.model);
+        for risk in &mut report.risks {
+            if let Some(feas) = self.overrides.get(&risk.threat_id) {
+                if *feas > risk.feasibility {
+                    risk.feasibility = *feas;
+                    let impact: ImpactLevel = risk.impact;
+                    risk.risk = RiskLevel::from_matrix(impact, *feas);
+                    risk.treatment = Tara::default_treatment(risk.risk);
+                }
+            }
+        }
+        report
+            .risks
+            .sort_by(|a, b| b.risk.cmp(&a.risk).then_with(|| a.threat_id.cmp(&b.threat_id)));
+
+        let mut new_changes = Vec::new();
+        for risk in &report.risks {
+            let old = before.get(&risk.threat_id).copied().unwrap_or(RiskLevel(1));
+            if old != risk.risk {
+                new_changes.push(RiskChange {
+                    threat_id: risk.threat_id.clone(),
+                    from: old,
+                    to: risk.risk,
+                    at_ms,
+                });
+            }
+        }
+        self.current = report;
+        self.changes.extend(new_changes.clone());
+        new_changes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feasibility::AttackPotential;
+    use crate::impact::{ImpactCategory, ImpactRating};
+    use crate::threat::{AttackStep, DamageScenario, ThreatScenario};
+    use crate::{Asset, AssetCategory, SecurityProperty};
+
+    fn model() -> WorksiteModel {
+        WorksiteModel {
+            assets: vec![Asset::new(
+                "gnss",
+                "GNSS receiver",
+                AssetCategory::Sensor,
+                vec![SecurityProperty::Integrity],
+            )],
+            damage_scenarios: vec![DamageScenario {
+                id: "ds.nav".into(),
+                asset_id: "gnss".into(),
+                violated_property: SecurityProperty::Integrity,
+                description: "machine navigates on false position".into(),
+                impact: ImpactRating::new().with(ImpactCategory::Safety, ImpactLevel::Severe),
+            }],
+            threats: vec![ThreatScenario {
+                id: "ts.spoof".into(),
+                damage_scenario_id: "ds.nav".into(),
+                attack_class: Some("gnss-spoofing".into()),
+                threat_agent: "targeted attacker".into(),
+                // Hard attack: Low feasibility statically.
+                attack_paths: vec![vec![AttackStep {
+                    action: "mount regional spoofer".into(),
+                    potential: AttackPotential::new(19, 4, 0, 0, 0), // 23 → Low
+                }]],
+            }],
+            ..WorksiteModel::default()
+        }
+    }
+
+    #[test]
+    fn baseline_assessment_matches_static() {
+        let ca = ContinuousAssessment::new(model());
+        assert_eq!(ca.report().risks[0].feasibility, AttackFeasibility::Low);
+        assert_eq!(ca.report().risks[0].risk.0, 3);
+    }
+
+    #[test]
+    fn incident_escalates_matching_threat() {
+        let mut ca = ContinuousAssessment::new(model());
+        let changes =
+            ca.ingest(&IncidentReport { attack_class: "gnss-spoofing".into(), at_ms: 5_000 });
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].from.0, 3);
+        assert_eq!(changes[0].to.0, 4);
+        assert_eq!(changes[0].at_ms, 5_000);
+        assert_eq!(ca.report().risks[0].feasibility, AttackFeasibility::Medium);
+    }
+
+    #[test]
+    fn repeated_incidents_saturate() {
+        let mut ca = ContinuousAssessment::new(model());
+        for t in 0..5 {
+            let _ = ca.ingest(&IncidentReport {
+                attack_class: "gnss-spoofing".into(),
+                at_ms: t * 1000,
+            });
+        }
+        assert_eq!(ca.report().risks[0].feasibility, AttackFeasibility::High);
+        assert_eq!(ca.report().risks[0].risk.0, 5);
+        // Low→Medium and Medium→High: exactly two changes recorded.
+        assert_eq!(ca.changes().len(), 2);
+    }
+
+    #[test]
+    fn unrelated_incident_changes_nothing() {
+        let mut ca = ContinuousAssessment::new(model());
+        let changes = ca.ingest(&IncidentReport { attack_class: "replay".into(), at_ms: 0 });
+        assert!(changes.is_empty());
+        assert!(ca.changes().is_empty());
+    }
+
+    #[test]
+    fn treatment_escalates_with_risk() {
+        let mut ca = ContinuousAssessment::new(model());
+        for _ in 0..3 {
+            let _ = ca.ingest(&IncidentReport { attack_class: "gnss-spoofing".into(), at_ms: 0 });
+        }
+        assert_eq!(ca.report().risks[0].treatment, crate::tara::Treatment::Reduce);
+    }
+}

@@ -1,0 +1,173 @@
+//! Machinery hazard analysis and required performance levels
+//! (ISO 12100 risk assessment feeding the ISO 13849-1 risk graph).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Severity of injury (ISO 13849-1 risk graph parameter S).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjurySeverity {
+    /// S1 — slight (normally reversible) injury.
+    S1,
+    /// S2 — serious (normally irreversible) injury or death.
+    S2,
+}
+
+/// Frequency/duration of exposure (parameter F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Exposure {
+    /// F1 — seldom-to-less-often and/or short exposure.
+    F1,
+    /// F2 — frequent-to-continuous and/or long exposure.
+    F2,
+}
+
+/// Possibility of avoiding the hazard (parameter P).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Avoidance {
+    /// P1 — possible under specific conditions.
+    P1,
+    /// P2 — scarcely possible.
+    P2,
+}
+
+/// ISO 13849-1 performance levels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum PerformanceLevel {
+    /// PL a — lowest risk reduction.
+    A,
+    /// PL b.
+    B,
+    /// PL c.
+    C,
+    /// PL d.
+    D,
+    /// PL e — highest risk reduction.
+    E,
+}
+
+impl fmt::Display for PerformanceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PerformanceLevel::A => "PL a",
+            PerformanceLevel::B => "PL b",
+            PerformanceLevel::C => "PL c",
+            PerformanceLevel::D => "PL d",
+            PerformanceLevel::E => "PL e",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The ISO 13849-1 risk graph: S × F × P → required PL.
+#[must_use]
+pub fn required_pl(s: InjurySeverity, f: Exposure, p: Avoidance) -> PerformanceLevel {
+    match (s, f, p) {
+        (InjurySeverity::S1, Exposure::F1, Avoidance::P1) => PerformanceLevel::A,
+        (InjurySeverity::S1, Exposure::F1, Avoidance::P2) => PerformanceLevel::B,
+        (InjurySeverity::S1, Exposure::F2, Avoidance::P1) => PerformanceLevel::B,
+        (InjurySeverity::S1, Exposure::F2, Avoidance::P2) => PerformanceLevel::C,
+        (InjurySeverity::S2, Exposure::F1, Avoidance::P1) => PerformanceLevel::C,
+        (InjurySeverity::S2, Exposure::F1, Avoidance::P2) => PerformanceLevel::D,
+        (InjurySeverity::S2, Exposure::F2, Avoidance::P1) => PerformanceLevel::D,
+        (InjurySeverity::S2, Exposure::F2, Avoidance::P2) => PerformanceLevel::E,
+    }
+}
+
+/// A machinery hazard with its risk-graph parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hazard {
+    /// Stable id, e.g. `"hz.runover"`.
+    pub id: String,
+    /// Narrative description.
+    pub description: String,
+    /// Injury severity.
+    pub severity: InjurySeverity,
+    /// Exposure frequency.
+    pub exposure: Exposure,
+    /// Avoidance possibility.
+    pub avoidance: Avoidance,
+    /// The safety function mitigating this hazard, if any (by label).
+    pub safety_function: Option<String>,
+}
+
+impl Hazard {
+    /// The required performance level for this hazard's safety function.
+    #[must_use]
+    pub fn required_pl(&self) -> PerformanceLevel {
+        required_pl(self.severity, self.exposure, self.avoidance)
+    }
+
+    /// The hazard re-rated with worsened exposure (the safety–security
+    /// interplay: a security compromise can raise exposure, e.g. a
+    /// spoofed machine wandering outside its planned corridor).
+    #[must_use]
+    pub fn with_exposure(&self, exposure: Exposure) -> Hazard {
+        Hazard { exposure, ..self.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risk_graph_extremes() {
+        assert_eq!(
+            required_pl(InjurySeverity::S1, Exposure::F1, Avoidance::P1),
+            PerformanceLevel::A
+        );
+        assert_eq!(
+            required_pl(InjurySeverity::S2, Exposure::F2, Avoidance::P2),
+            PerformanceLevel::E
+        );
+    }
+
+    #[test]
+    fn risk_graph_monotone_in_severity() {
+        for f in [Exposure::F1, Exposure::F2] {
+            for p in [Avoidance::P1, Avoidance::P2] {
+                assert!(
+                    required_pl(InjurySeverity::S1, f, p) <= required_pl(InjurySeverity::S2, f, p)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn risk_graph_monotone_in_exposure_and_avoidance() {
+        for s in [InjurySeverity::S1, InjurySeverity::S2] {
+            for p in [Avoidance::P1, Avoidance::P2] {
+                assert!(
+                    required_pl(s, Exposure::F1, p) <= required_pl(s, Exposure::F2, p)
+                );
+            }
+            for f in [Exposure::F1, Exposure::F2] {
+                assert!(
+                    required_pl(s, f, Avoidance::P1) <= required_pl(s, f, Avoidance::P2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worsened_exposure_raises_pl() {
+        let hz = Hazard {
+            id: "hz.runover".into(),
+            description: "forwarder strikes a worker".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P2,
+            safety_function: Some("people-detection-stop".into()),
+        };
+        assert_eq!(hz.required_pl(), PerformanceLevel::D);
+        assert_eq!(hz.with_exposure(Exposure::F2).required_pl(), PerformanceLevel::E);
+    }
+
+    #[test]
+    fn pl_display() {
+        assert_eq!(PerformanceLevel::D.to_string(), "PL d");
+    }
+}

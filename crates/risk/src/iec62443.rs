@@ -1,0 +1,316 @@
+//! IEC 62443 zones, conduits and security levels.
+//!
+//! The worksite partitions into zones (safety control, perception,
+//! coordination, enterprise) joined by conduits (the radio links). Each
+//! zone carries a target security level (SL-T) per foundational
+//! requirement; deployed controls determine the achieved level (SL-A);
+//! the gap drives hardening work.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// IEC 62443 security levels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum SecurityLevel {
+    /// SL 0 — no particular protection.
+    Sl0,
+    /// SL 1 — protection against casual violation.
+    Sl1,
+    /// SL 2 — protection against intentional violation, low resources.
+    Sl2,
+    /// SL 3 — protection against sophisticated attackers.
+    Sl3,
+    /// SL 4 — protection against state-level attackers.
+    Sl4,
+}
+
+impl SecurityLevel {
+    /// Numeric value 0–4.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        match self {
+            SecurityLevel::Sl0 => 0,
+            SecurityLevel::Sl1 => 1,
+            SecurityLevel::Sl2 => 2,
+            SecurityLevel::Sl3 => 3,
+            SecurityLevel::Sl4 => 4,
+        }
+    }
+}
+
+/// The seven IEC 62443 foundational requirements.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum FoundationalRequirement {
+    /// FR1 — identification & authentication control.
+    Iac,
+    /// FR2 — use control.
+    Uc,
+    /// FR3 — system integrity.
+    Si,
+    /// FR4 — data confidentiality.
+    Dc,
+    /// FR5 — restricted data flow.
+    Rdf,
+    /// FR6 — timely response to events.
+    Tre,
+    /// FR7 — resource availability.
+    Ra,
+}
+
+impl FoundationalRequirement {
+    /// All requirements.
+    pub const ALL: [FoundationalRequirement; 7] = [
+        FoundationalRequirement::Iac,
+        FoundationalRequirement::Uc,
+        FoundationalRequirement::Si,
+        FoundationalRequirement::Dc,
+        FoundationalRequirement::Rdf,
+        FoundationalRequirement::Tre,
+        FoundationalRequirement::Ra,
+    ];
+}
+
+/// A security-level vector over the seven foundational requirements.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SlVector(BTreeMap<FoundationalRequirement, SecurityLevel>);
+
+impl SlVector {
+    /// Creates a vector with all requirements at SL 0.
+    #[must_use]
+    pub fn new() -> Self {
+        SlVector::default()
+    }
+
+    /// Creates a uniform vector.
+    #[must_use]
+    pub fn uniform(level: SecurityLevel) -> Self {
+        let mut v = SlVector::new();
+        for fr in FoundationalRequirement::ALL {
+            v.0.insert(fr, level);
+        }
+        v
+    }
+
+    /// Sets one requirement's level (builder style).
+    #[must_use]
+    pub fn with(mut self, fr: FoundationalRequirement, level: SecurityLevel) -> Self {
+        self.0.insert(fr, level);
+        self
+    }
+
+    /// The level for a requirement (SL 0 when unset).
+    #[must_use]
+    pub fn level(&self, fr: FoundationalRequirement) -> SecurityLevel {
+        self.0.get(&fr).copied().unwrap_or(SecurityLevel::Sl0)
+    }
+
+    /// Raises a requirement to at least `level`.
+    pub fn raise(&mut self, fr: FoundationalRequirement, level: SecurityLevel) {
+        let current = self.level(fr);
+        if level > current {
+            self.0.insert(fr, level);
+        }
+    }
+
+    /// Per-requirement shortfall of `self` (achieved) against `target`.
+    #[must_use]
+    pub fn gap_against(&self, target: &SlVector) -> Vec<(FoundationalRequirement, u8)> {
+        FoundationalRequirement::ALL
+            .iter()
+            .filter_map(|fr| {
+                let t = target.level(*fr).value();
+                let a = self.level(*fr).value();
+                (t > a).then(|| (*fr, t - a))
+            })
+            .collect()
+    }
+
+    /// Whether `self` meets or exceeds `target` everywhere.
+    #[must_use]
+    pub fn meets(&self, target: &SlVector) -> bool {
+        self.gap_against(target).is_empty()
+    }
+}
+
+/// A deployable control and its SL contributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Control {
+    /// Control tag (matches requirement candidate-control tags, e.g.
+    /// `"secure-channel"`).
+    pub tag: String,
+    /// The levels this control achieves per foundational requirement.
+    pub contributes: Vec<(FoundationalRequirement, SecurityLevel)>,
+}
+
+/// The standard worksite control catalog.
+#[must_use]
+pub fn control_catalog() -> Vec<Control> {
+    use FoundationalRequirement as FR;
+    use SecurityLevel as SL;
+    vec![
+        Control {
+            tag: "pki".into(),
+            contributes: vec![(FR::Iac, SL::Sl3), (FR::Uc, SL::Sl2)],
+        },
+        Control {
+            tag: "secure-channel".into(),
+            contributes: vec![(FR::Iac, SL::Sl3), (FR::Si, SL::Sl3), (FR::Dc, SL::Sl3), (FR::Rdf, SL::Sl2)],
+        },
+        Control {
+            tag: "secure-boot".into(),
+            contributes: vec![(FR::Si, SL::Sl3)],
+        },
+        Control {
+            tag: "attestation".into(),
+            contributes: vec![(FR::Si, SL::Sl3), (FR::Iac, SL::Sl2)],
+        },
+        Control {
+            tag: "ids".into(),
+            contributes: vec![(FR::Tre, SL::Sl3)],
+        },
+        Control {
+            tag: "mfp".into(),
+            contributes: vec![(FR::Ra, SL::Sl2), (FR::Iac, SL::Sl2)],
+        },
+        Control {
+            tag: "nav-consistency".into(),
+            contributes: vec![(FR::Si, SL::Sl2), (FR::Tre, SL::Sl2)],
+        },
+        Control {
+            tag: "sensor-health".into(),
+            contributes: vec![(FR::Tre, SL::Sl2)],
+        },
+        Control {
+            tag: "drone-redundancy".into(),
+            contributes: vec![(FR::Ra, SL::Sl2)],
+        },
+        Control {
+            tag: "degraded-mode".into(),
+            contributes: vec![(FR::Ra, SL::Sl2)],
+        },
+        Control {
+            tag: "safe-stop".into(),
+            contributes: vec![(FR::Tre, SL::Sl2), (FR::Ra, SL::Sl1)],
+        },
+    ]
+}
+
+/// A zone grouping assets of similar criticality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Zone {
+    /// Zone id, e.g. `"zone.safety-control"`.
+    pub id: String,
+    /// Assets contained (by id).
+    pub asset_ids: Vec<String>,
+    /// Target security levels.
+    pub sl_target: SlVector,
+    /// Deployed control tags.
+    pub deployed_controls: Vec<String>,
+}
+
+impl Zone {
+    /// Computes the achieved SL vector from deployed controls.
+    #[must_use]
+    pub fn sl_achieved(&self, catalog: &[Control]) -> SlVector {
+        let mut achieved = SlVector::new();
+        for tag in &self.deployed_controls {
+            if let Some(control) = catalog.iter().find(|c| &c.tag == tag) {
+                for (fr, level) in &control.contributes {
+                    achieved.raise(*fr, *level);
+                }
+            }
+        }
+        achieved
+    }
+
+    /// The SL gap (target vs achieved).
+    #[must_use]
+    pub fn gap(&self, catalog: &[Control]) -> Vec<(FoundationalRequirement, u8)> {
+        self.sl_achieved(catalog).gap_against(&self.sl_target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use FoundationalRequirement as FR;
+    use SecurityLevel as SL;
+
+    #[test]
+    fn vector_defaults_and_raise() {
+        let mut v = SlVector::new();
+        assert_eq!(v.level(FR::Iac), SL::Sl0);
+        v.raise(FR::Iac, SL::Sl2);
+        v.raise(FR::Iac, SL::Sl1); // no downgrade
+        assert_eq!(v.level(FR::Iac), SL::Sl2);
+    }
+
+    #[test]
+    fn gap_analysis() {
+        let target = SlVector::uniform(SL::Sl2);
+        let achieved = SlVector::new().with(FR::Iac, SL::Sl3).with(FR::Si, SL::Sl1);
+        let gap = achieved.gap_against(&target);
+        // Iac met, Si short by 1, five others short by 2.
+        assert_eq!(gap.len(), 6);
+        assert!(gap.contains(&(FR::Si, 1)));
+        assert!(!achieved.meets(&target));
+        assert!(SlVector::uniform(SL::Sl2).meets(&target));
+        assert!(SlVector::uniform(SL::Sl4).meets(&target));
+    }
+
+    #[test]
+    fn zone_achieves_levels_from_controls() {
+        let zone = Zone {
+            id: "zone.safety".into(),
+            asset_ids: vec!["fw.ecu".into()],
+            sl_target: SlVector::new()
+                .with(FR::Iac, SL::Sl3)
+                .with(FR::Si, SL::Sl3)
+                .with(FR::Tre, SL::Sl2),
+            deployed_controls: vec!["secure-channel".into(), "ids".into()],
+        };
+        let catalog = control_catalog();
+        let achieved = zone.sl_achieved(&catalog);
+        assert_eq!(achieved.level(FR::Iac), SL::Sl3);
+        assert_eq!(achieved.level(FR::Si), SL::Sl3);
+        assert_eq!(achieved.level(FR::Tre), SL::Sl3);
+        assert!(zone.gap(&catalog).is_empty());
+    }
+
+    #[test]
+    fn undefended_zone_has_gaps() {
+        let zone = Zone {
+            id: "zone.bare".into(),
+            asset_ids: vec![],
+            sl_target: SlVector::uniform(SL::Sl2),
+            deployed_controls: vec![],
+        };
+        let gap = zone.gap(&control_catalog());
+        assert_eq!(gap.len(), 7, "all seven FRs short");
+    }
+
+    #[test]
+    fn unknown_control_tags_ignored() {
+        let zone = Zone {
+            id: "z".into(),
+            asset_ids: vec![],
+            sl_target: SlVector::new(),
+            deployed_controls: vec!["does-not-exist".into()],
+        };
+        assert_eq!(zone.sl_achieved(&control_catalog()), SlVector::new());
+    }
+
+    #[test]
+    fn catalog_tags_unique() {
+        let catalog = control_catalog();
+        let mut tags: Vec<&String> = catalog.iter().map(|c| &c.tag).collect();
+        tags.sort();
+        let before = tags.len();
+        tags.dedup();
+        assert_eq!(tags.len(), before);
+    }
+}

@@ -1,0 +1,138 @@
+//! Impact rating (ISO/SAE 21434 clause 15.5).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The four 21434 impact categories.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ImpactCategory {
+    /// Harm to people.
+    Safety,
+    /// Monetary loss.
+    Financial,
+    /// Disruption of operations.
+    Operational,
+    /// Exposure of personal or sensitive data.
+    Privacy,
+}
+
+impl ImpactCategory {
+    /// All categories.
+    pub const ALL: [ImpactCategory; 4] = [
+        ImpactCategory::Safety,
+        ImpactCategory::Financial,
+        ImpactCategory::Operational,
+        ImpactCategory::Privacy,
+    ];
+}
+
+/// The 21434 impact levels.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum ImpactLevel {
+    /// No noticeable effect.
+    Negligible,
+    /// Inconvenient but manageable.
+    Moderate,
+    /// Substantial harm or loss.
+    Major,
+    /// Life-threatening or existential.
+    Severe,
+}
+
+impl ImpactLevel {
+    /// Numeric value 0–3 for risk matrices.
+    #[must_use]
+    pub fn value(self) -> u8 {
+        match self {
+            ImpactLevel::Negligible => 0,
+            ImpactLevel::Moderate => 1,
+            ImpactLevel::Major => 2,
+            ImpactLevel::Severe => 3,
+        }
+    }
+}
+
+/// A per-category impact rating.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImpactRating(BTreeMap<ImpactCategory, ImpactLevel>);
+
+impl ImpactRating {
+    /// Creates an empty rating (all categories negligible).
+    #[must_use]
+    pub fn new() -> Self {
+        ImpactRating::default()
+    }
+
+    /// Sets a category's level (builder style).
+    #[must_use]
+    pub fn with(mut self, category: ImpactCategory, level: ImpactLevel) -> Self {
+        self.0.insert(category, level);
+        self
+    }
+
+    /// The level for a category (Negligible when unset).
+    #[must_use]
+    pub fn level(&self, category: ImpactCategory) -> ImpactLevel {
+        self.0.get(&category).copied().unwrap_or(ImpactLevel::Negligible)
+    }
+
+    /// The maximum level across categories (drives the risk value).
+    #[must_use]
+    pub fn overall(&self) -> ImpactLevel {
+        ImpactCategory::ALL
+            .iter()
+            .map(|c| self.level(*c))
+            .max()
+            .unwrap_or(ImpactLevel::Negligible)
+    }
+
+    /// Whether safety impact is Major or Severe (triggers interplay
+    /// analysis).
+    #[must_use]
+    pub fn is_safety_relevant(&self) -> bool {
+        self.level(ImpactCategory::Safety) >= ImpactLevel::Major
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering() {
+        assert!(ImpactLevel::Negligible < ImpactLevel::Moderate);
+        assert!(ImpactLevel::Major < ImpactLevel::Severe);
+        assert_eq!(ImpactLevel::Severe.value(), 3);
+    }
+
+    #[test]
+    fn rating_defaults_and_overall() {
+        let r = ImpactRating::new();
+        assert_eq!(r.overall(), ImpactLevel::Negligible);
+        let r = r
+            .with(ImpactCategory::Operational, ImpactLevel::Major)
+            .with(ImpactCategory::Safety, ImpactLevel::Moderate);
+        assert_eq!(r.level(ImpactCategory::Operational), ImpactLevel::Major);
+        assert_eq!(r.level(ImpactCategory::Privacy), ImpactLevel::Negligible);
+        assert_eq!(r.overall(), ImpactLevel::Major);
+    }
+
+    #[test]
+    fn safety_relevance() {
+        let low = ImpactRating::new().with(ImpactCategory::Safety, ImpactLevel::Moderate);
+        assert!(!low.is_safety_relevant());
+        let high = ImpactRating::new().with(ImpactCategory::Safety, ImpactLevel::Severe);
+        assert!(high.is_safety_relevant());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = ImpactRating::new().with(ImpactCategory::Safety, ImpactLevel::Severe);
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<ImpactRating>(&json).unwrap(), r);
+    }
+}

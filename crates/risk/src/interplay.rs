@@ -1,0 +1,157 @@
+//! The safety–security interplay (IEC TS 63074; the paper's Sec. III-B).
+//!
+//! A security threat interacts with the machinery hazard picture in two
+//! ways the model distinguishes:
+//!
+//! * **defeating a safety function** — e.g. camera blinding removes the
+//!   risk reduction the people-detection stop function provides, so the
+//!   hazard reverts to its unmitigated required PL;
+//! * **raising exposure** — e.g. GNSS spoofing drags the machine outside
+//!   its planned corridor, putting it near workers more often (F1 → F2).
+
+use crate::feasibility::AttackFeasibility;
+use crate::hara::{Exposure, Hazard, PerformanceLevel};
+use serde::{Deserialize, Serialize};
+
+/// How a threat affects a hazard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InterplayEffect {
+    /// The threat can disable or degrade the hazard's safety function.
+    DefeatsSafetyFunction,
+    /// The threat raises exposure to the given level.
+    RaisesExposure(Exposure),
+}
+
+/// A link between a threat scenario and a machinery hazard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterplayLink {
+    /// The threat scenario id.
+    pub threat_id: String,
+    /// The hazard id.
+    pub hazard_id: String,
+    /// The effect.
+    pub effect: InterplayEffect,
+    /// Rationale for the link (reviewable evidence).
+    pub rationale: String,
+}
+
+/// The combined safety–security finding for one link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterplayFinding {
+    /// The link that produced the finding.
+    pub threat_id: String,
+    /// The affected hazard.
+    pub hazard_id: String,
+    /// The hazard's required PL without considering security.
+    pub baseline_pl: PerformanceLevel,
+    /// The required PL when the threat succeeds.
+    pub compromised_pl: PerformanceLevel,
+    /// The threat's feasibility (priority driver).
+    pub feasibility: AttackFeasibility,
+    /// Whether the safety function itself is defeated (a qualitative
+    /// escalation beyond any PL statement).
+    pub safety_function_defeated: bool,
+}
+
+impl InterplayFinding {
+    /// A coarse priority: findings where a feasible attack defeats a
+    /// high-PL safety function come first.
+    #[must_use]
+    pub fn priority(&self) -> u32 {
+        let pl_weight = self.compromised_pl as u32 + 1;
+        let defeat_weight = if self.safety_function_defeated { 10 } else { 0 };
+        let feas_weight = u32::from(self.feasibility.value());
+        pl_weight * (1 + feas_weight) + defeat_weight
+    }
+}
+
+/// Evaluates one interplay link against its hazard and the threat's
+/// feasibility.
+#[must_use]
+pub fn evaluate_link(
+    link: &InterplayLink,
+    hazard: &Hazard,
+    feasibility: AttackFeasibility,
+) -> InterplayFinding {
+    let baseline_pl = hazard.required_pl();
+    let (compromised_pl, defeated) = match link.effect {
+        InterplayEffect::DefeatsSafetyFunction => (baseline_pl, true),
+        InterplayEffect::RaisesExposure(exposure) => {
+            (hazard.with_exposure(exposure).required_pl(), false)
+        }
+    };
+    InterplayFinding {
+        threat_id: link.threat_id.clone(),
+        hazard_id: link.hazard_id.clone(),
+        baseline_pl,
+        compromised_pl,
+        feasibility,
+        safety_function_defeated: defeated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hara::{Avoidance, InjurySeverity};
+
+    fn hazard() -> Hazard {
+        Hazard {
+            id: "hz.runover".into(),
+            description: "machine strikes worker".into(),
+            severity: InjurySeverity::S2,
+            exposure: Exposure::F1,
+            avoidance: Avoidance::P2,
+            safety_function: Some("people-detection-stop".into()),
+        }
+    }
+
+    #[test]
+    fn exposure_raise_escalates_pl() {
+        let link = InterplayLink {
+            threat_id: "ts.gnss-spoof".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::RaisesExposure(Exposure::F2),
+            rationale: "spoofed machine leaves corridor".into(),
+        };
+        let finding = evaluate_link(&link, &hazard(), AttackFeasibility::Medium);
+        assert_eq!(finding.baseline_pl, PerformanceLevel::D);
+        assert_eq!(finding.compromised_pl, PerformanceLevel::E);
+        assert!(!finding.safety_function_defeated);
+    }
+
+    #[test]
+    fn defeat_marks_function_defeated() {
+        let link = InterplayLink {
+            threat_id: "ts.blind".into(),
+            hazard_id: "hz.runover".into(),
+            effect: InterplayEffect::DefeatsSafetyFunction,
+            rationale: "blinded camera cannot detect workers".into(),
+        };
+        let finding = evaluate_link(&link, &hazard(), AttackFeasibility::High);
+        assert!(finding.safety_function_defeated);
+        assert_eq!(finding.compromised_pl, finding.baseline_pl);
+    }
+
+    #[test]
+    fn priority_ranks_defeats_and_feasibility_high() {
+        let defeat = InterplayFinding {
+            threat_id: "a".into(),
+            hazard_id: "h".into(),
+            baseline_pl: PerformanceLevel::D,
+            compromised_pl: PerformanceLevel::D,
+            feasibility: AttackFeasibility::High,
+            safety_function_defeated: true,
+        };
+        let mild = InterplayFinding {
+            threat_id: "b".into(),
+            hazard_id: "h".into(),
+            baseline_pl: PerformanceLevel::B,
+            compromised_pl: PerformanceLevel::C,
+            feasibility: AttackFeasibility::VeryLow,
+            safety_function_defeated: false,
+        };
+        assert!(defeat.priority() > mild.priority());
+    }
+}

@@ -1,0 +1,76 @@
+//! Combined safety–cybersecurity risk assessment for autonomous forestry
+//! machinery.
+//!
+//! This crate is the executable form of the reproduced paper's core
+//! contribution: a forestry-adapted risk assessment methodology combining
+//!
+//! * **ISO/SAE 21434** threat analysis and risk assessment (TARA):
+//!   asset-driven damage scenarios, threat scenarios with attack paths,
+//!   attack-feasibility rating, impact rating, risk values and treatment
+//!   ([`assets`], [`impact`], [`feasibility`], [`threat`], [`tara`]);
+//! * **IEC 62443** zones & conduits with target/achieved security levels
+//!   and gap analysis ([`iec62443`]);
+//! * **ISO 12100 / ISO 13849** machinery hazard analysis with required
+//!   performance levels ([`hara`]);
+//! * **ISO 21448 (SOTIF)** triggering-condition analysis for functional
+//!   insufficiencies ([`sotif`]);
+//! * the **safety–security interplay** (IEC TS 63074): security threats
+//!   that defeat or degrade safety functions inject new risk into the
+//!   machinery hazard picture ([`interplay`]);
+//! * **continuous risk assessment** (the 21434 clause the paper singles
+//!   out): IDS incidents feed back into attack-feasibility ratings and
+//!   re-rank risks at runtime ([`continuous`]);
+//! * the **forestry domain catalog** (the paper's Table I) as a
+//!   machine-readable characteristic → threat → control mapping, plus a
+//!   ready-made model of the paper's Figure 1/2 worksite ([`catalog`]).
+//!
+//! The assessment core is **pure**: given the same model it produces the
+//! same report, making the methodology itself testable.
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_risk::catalog;
+//! use silvasec_risk::tara::Tara;
+//!
+//! let model = catalog::worksite_model();
+//! let report = Tara::assess(&model);
+//! // Every threat scenario got a risk value and a treatment.
+//! assert_eq!(report.risks.len(), model.threats.len());
+//! assert!(report.requirements().count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assets;
+pub mod catalog;
+pub mod continuous;
+pub mod feasibility;
+pub mod hara;
+pub mod iec62443;
+pub mod impact;
+pub mod interplay;
+pub mod sotif;
+pub mod tara;
+pub mod threat;
+
+pub use assets::{Asset, AssetCategory, SecurityProperty};
+pub use feasibility::{AttackFeasibility, AttackPotential};
+pub use impact::{ImpactCategory, ImpactLevel};
+pub use tara::{RiskLevel, Tara, TaraReport, Treatment};
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::assets::{Asset, AssetCategory, SecurityProperty};
+    pub use crate::catalog::{self, ForestryCharacteristic};
+    pub use crate::continuous::ContinuousAssessment;
+    pub use crate::feasibility::{AttackFeasibility, AttackPotential};
+    pub use crate::hara::{Hazard, PerformanceLevel};
+    pub use crate::iec62443::{SecurityLevel, Zone};
+    pub use crate::impact::{ImpactCategory, ImpactLevel};
+    pub use crate::interplay::InterplayLink;
+    pub use crate::sotif::TriggeringCondition;
+    pub use crate::tara::{RiskLevel, Tara, TaraReport, Treatment};
+    pub use crate::threat::{AttackStep, ThreatScenario, WorksiteModel};
+}

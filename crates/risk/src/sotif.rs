@@ -1,0 +1,158 @@
+//! SOTIF (ISO 21448) triggering-condition analysis adapted to forestry
+//! machinery, as the paper's Sec. III-C proposes.
+//!
+//! SOTIF addresses hazards caused not by malfunction but by *functional
+//! insufficiency*: the people-detection function performing as designed
+//! yet inadequately in fog, dense stands or unusual worker postures.
+//! The analysis classifies scenario space into the standard four areas
+//! (known/unknown × safe/unsafe) and tracks the residual-risk estimate
+//! per triggering condition as simulation evidence accumulates.
+
+use serde::{Deserialize, Serialize};
+
+/// The SOTIF scenario areas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioArea {
+    /// Area 1: known safe.
+    KnownSafe,
+    /// Area 2: known unsafe (to be mitigated).
+    KnownUnsafe,
+    /// Area 3: unknown unsafe (to be discovered and minimized).
+    UnknownUnsafe,
+    /// Area 4: unknown safe.
+    UnknownSafe,
+}
+
+/// A condition that can trigger functionally-insufficient behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggeringCondition {
+    /// Stable id, e.g. `"tc.fog-detection"`.
+    pub id: String,
+    /// Narrative description.
+    pub description: String,
+    /// The affected function (by label).
+    pub affected_function: String,
+    /// Current classification.
+    pub area: ScenarioArea,
+}
+
+/// Accumulating evidence about one triggering condition from simulation
+/// or field runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Evidence {
+    /// Exposures to the condition observed.
+    pub exposures: u64,
+    /// Exposures in which the function behaved unsafely.
+    pub unsafe_outcomes: u64,
+}
+
+impl Evidence {
+    /// Records one exposure.
+    pub fn record(&mut self, was_unsafe: bool) {
+        self.exposures += 1;
+        if was_unsafe {
+            self.unsafe_outcomes += 1;
+        }
+    }
+
+    /// The observed unsafe rate (0 when no exposures).
+    #[must_use]
+    pub fn unsafe_rate(&self) -> f64 {
+        if self.exposures == 0 {
+            0.0
+        } else {
+            self.unsafe_outcomes as f64 / self.exposures as f64
+        }
+    }
+
+    /// Rule-of-three style upper bound on the unsafe rate at ~95%
+    /// confidence when no unsafe outcome has been seen; otherwise a
+    /// crude upper estimate (rate + 3σ binomial).
+    #[must_use]
+    pub fn unsafe_rate_upper_bound(&self) -> f64 {
+        if self.exposures == 0 {
+            return 1.0;
+        }
+        let n = self.exposures as f64;
+        if self.unsafe_outcomes == 0 {
+            (3.0 / n).min(1.0)
+        } else {
+            let p = self.unsafe_rate();
+            (p + 3.0 * (p * (1.0 - p) / n).sqrt()).min(1.0)
+        }
+    }
+
+    /// Reclassifies the condition given an acceptance threshold on the
+    /// unsafe-rate upper bound.
+    #[must_use]
+    pub fn classify(&self, acceptable_rate: f64) -> ScenarioArea {
+        if self.exposures < 30 {
+            // Too little evidence: still unknown.
+            if self.unsafe_outcomes > 0 {
+                ScenarioArea::UnknownUnsafe
+            } else {
+                ScenarioArea::UnknownSafe
+            }
+        } else if self.unsafe_rate_upper_bound() <= acceptable_rate {
+            ScenarioArea::KnownSafe
+        } else {
+            ScenarioArea::KnownUnsafe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_evidence_is_unknown() {
+        let e = Evidence::default();
+        assert_eq!(e.unsafe_rate(), 0.0);
+        assert_eq!(e.unsafe_rate_upper_bound(), 1.0);
+        assert_eq!(e.classify(0.01), ScenarioArea::UnknownSafe);
+    }
+
+    #[test]
+    fn early_unsafe_outcome_is_unknown_unsafe() {
+        let mut e = Evidence::default();
+        for i in 0..10 {
+            e.record(i == 3);
+        }
+        assert_eq!(e.classify(0.01), ScenarioArea::UnknownUnsafe);
+    }
+
+    #[test]
+    fn clean_record_becomes_known_safe() {
+        let mut e = Evidence::default();
+        for _ in 0..1000 {
+            e.record(false);
+        }
+        // Upper bound 3/1000 = 0.003 ≤ 0.01.
+        assert_eq!(e.classify(0.01), ScenarioArea::KnownSafe);
+    }
+
+    #[test]
+    fn dirty_record_becomes_known_unsafe() {
+        let mut e = Evidence::default();
+        for i in 0..1000 {
+            e.record(i % 10 == 0); // 10% unsafe
+        }
+        assert!((e.unsafe_rate() - 0.1).abs() < 1e-9);
+        assert_eq!(e.classify(0.01), ScenarioArea::KnownUnsafe);
+    }
+
+    #[test]
+    fn upper_bound_shrinks_with_evidence() {
+        let mut e = Evidence::default();
+        let mut last = 1.0;
+        for _ in 0..5 {
+            for _ in 0..100 {
+                e.record(false);
+            }
+            let ub = e.unsafe_rate_upper_bound();
+            assert!(ub < last);
+            last = ub;
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Remote attestation: quotes over PCR state.
+//!
+//! Before admitting a machine to the worksite network, the base station
+//! challenges it with a fresh nonce; the machine answers with a *quote* —
+//! a signature over its PCR composite and the nonce, made with its
+//! device identity key (certified by the worksite PKI). The verifier
+//! compares the quoted composite against the golden measurements of the
+//! approved firmware.
+
+use crate::pcr::PcrBank;
+use serde::{Deserialize, Serialize};
+use silvasec_crypto::schnorr::{Signature, SigningKey, VerifyingKey};
+
+/// A signed attestation of PCR state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quote {
+    /// The attested PCR composite digest.
+    pub composite: [u8; 32],
+    /// The verifier's challenge nonce echoed back.
+    pub nonce: [u8; 32],
+    /// Signature by the device identity key.
+    pub signature: Vec<u8>,
+}
+
+impl Quote {
+    /// Produces a quote over `pcrs` bound to `nonce`.
+    #[must_use]
+    pub fn generate(pcrs: &PcrBank, nonce: &[u8; 32], device_key: &SigningKey) -> Self {
+        let composite = pcrs.composite_digest();
+        let mut msg = Vec::with_capacity(80);
+        msg.extend_from_slice(b"silvasec-quote-v1");
+        msg.extend_from_slice(&composite);
+        msg.extend_from_slice(nonce);
+        let signature = device_key.sign(&msg).to_bytes().to_vec();
+        Quote { composite, nonce: *nonce, signature }
+    }
+}
+
+/// Verifies quotes against golden measurements.
+#[derive(Debug, Clone)]
+pub struct QuoteVerifier {
+    golden_composite: [u8; 32],
+}
+
+impl QuoteVerifier {
+    /// Creates a verifier expecting the PCR state of the approved
+    /// firmware chain.
+    #[must_use]
+    pub fn new(golden: &PcrBank) -> Self {
+        QuoteVerifier { golden_composite: golden.composite_digest() }
+    }
+
+    /// Checks a quote: correct nonce, correct golden composite, valid
+    /// signature by `device_key`.
+    #[must_use]
+    pub fn verify(&self, quote: &Quote, expected_nonce: &[u8; 32], device_key: &VerifyingKey) -> bool {
+        if &quote.nonce != expected_nonce {
+            return false;
+        }
+        if quote.composite != self.golden_composite {
+            return false;
+        }
+        let mut msg = Vec::with_capacity(80);
+        msg.extend_from_slice(b"silvasec-quote-v1");
+        msg.extend_from_slice(&quote.composite);
+        msg.extend_from_slice(&quote.nonce);
+        Signature::from_bytes(&quote.signature)
+            .map(|sig| device_key.verify(&msg, &sig).is_ok())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boot::Device;
+    use crate::image::{FirmwareImage, FirmwareStage};
+
+    fn booted_pcrs(app_payload: &[u8]) -> PcrBank {
+        let signer = SigningKey::from_seed(&[1u8; 32]);
+        let chain = [
+            FirmwareImage::new("dev", FirmwareStage::Bootloader, 1, b"bl".to_vec()).sign(&signer),
+            FirmwareImage::new("dev", FirmwareStage::Application, 1, app_payload.to_vec())
+                .sign(&signer),
+        ];
+        let mut device = Device::new("dev", signer.verifying_key());
+        let report = device.boot(&chain);
+        assert!(report.success);
+        report.pcrs
+    }
+
+    #[test]
+    fn good_quote_verifies() {
+        let pcrs = booted_pcrs(b"app");
+        let device_key = SigningKey::from_seed(&[2u8; 32]);
+        let nonce = [9u8; 32];
+        let quote = Quote::generate(&pcrs, &nonce, &device_key);
+        let verifier = QuoteVerifier::new(&pcrs);
+        assert!(verifier.verify(&quote, &nonce, &device_key.verifying_key()));
+    }
+
+    #[test]
+    fn stale_nonce_rejected() {
+        let pcrs = booted_pcrs(b"app");
+        let device_key = SigningKey::from_seed(&[2u8; 32]);
+        let quote = Quote::generate(&pcrs, &[9u8; 32], &device_key);
+        let verifier = QuoteVerifier::new(&pcrs);
+        assert!(!verifier.verify(&quote, &[8u8; 32], &device_key.verifying_key()));
+    }
+
+    #[test]
+    fn tampered_firmware_rejected() {
+        let golden = booted_pcrs(b"app");
+        let tampered = booted_pcrs(b"evil-app");
+        let device_key = SigningKey::from_seed(&[2u8; 32]);
+        let nonce = [1u8; 32];
+        let quote = Quote::generate(&tampered, &nonce, &device_key);
+        let verifier = QuoteVerifier::new(&golden);
+        assert!(!verifier.verify(&quote, &nonce, &device_key.verifying_key()));
+    }
+
+    #[test]
+    fn wrong_device_key_rejected() {
+        let pcrs = booted_pcrs(b"app");
+        let device_key = SigningKey::from_seed(&[2u8; 32]);
+        let other_key = SigningKey::from_seed(&[3u8; 32]);
+        let nonce = [1u8; 32];
+        let quote = Quote::generate(&pcrs, &nonce, &device_key);
+        let verifier = QuoteVerifier::new(&pcrs);
+        assert!(!verifier.verify(&quote, &nonce, &other_key.verifying_key()));
+    }
+
+    #[test]
+    fn forged_composite_rejected() {
+        let pcrs = booted_pcrs(b"app");
+        let device_key = SigningKey::from_seed(&[2u8; 32]);
+        let nonce = [1u8; 32];
+        let mut quote = Quote::generate(&pcrs, &nonce, &device_key);
+        // Claim the golden composite without the signature to match.
+        quote.composite = [0u8; 32];
+        let verifier = QuoteVerifier::new(&PcrBank::new());
+        assert!(!verifier.verify(&quote, &nonce, &device_key.verifying_key()));
+    }
+}

@@ -1,0 +1,51 @@
+//! Measured and secure boot for worksite machine controllers.
+//!
+//! IEC TS 63074 (which the paper adopts as guidance) lists *system
+//! integrity* among the countermeasures protecting safety-related control
+//! systems. This crate simulates the integrity anchor: a boot ROM with a
+//! pinned firmware-signer key, signed firmware images with monotonic
+//! anti-rollback versions, TPM-style measurement registers (PCRs), and
+//! remote attestation quotes the base station can verify before admitting
+//! a machine to the worksite network.
+//!
+//! * [`image`] — firmware images and signing.
+//! * [`pcr`] — measurement registers with hash-chained extension.
+//! * [`boot`] — the staged verified-boot state machine.
+//! * [`attest`] — attestation quotes over PCR state.
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec_secure_boot::prelude::*;
+//! use silvasec_crypto::schnorr::SigningKey;
+//!
+//! let signer = SigningKey::from_seed(&[1u8; 32]);
+//! let bootloader = FirmwareImage::new("forwarder-01", FirmwareStage::Bootloader, 3, b"bl".to_vec());
+//! let app = FirmwareImage::new("forwarder-01", FirmwareStage::Application, 7, b"app".to_vec());
+//! let chain = [bootloader.sign(&signer), app.sign(&signer)];
+//!
+//! let mut device = Device::new("forwarder-01", signer.verifying_key());
+//! let report = device.boot(&chain);
+//! assert!(report.success);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod boot;
+pub mod image;
+pub mod pcr;
+
+pub use attest::{Quote, QuoteVerifier};
+pub use boot::{BootError, BootReport, Device};
+pub use image::{FirmwareImage, FirmwareStage, SignedImage};
+pub use pcr::PcrBank;
+
+/// Convenient glob import of the crate's primary types.
+pub mod prelude {
+    pub use crate::attest::{Quote, QuoteVerifier};
+    pub use crate::boot::{BootError, BootReport, Device};
+    pub use crate::image::{FirmwareImage, FirmwareStage, SignedImage};
+    pub use crate::pcr::PcrBank;
+}

@@ -1,0 +1,132 @@
+//! TPM-style platform configuration registers (PCRs).
+
+use serde::{Deserialize, Serialize};
+use silvasec_crypto::sha256::Sha256;
+
+/// Number of measurement registers in the bank.
+pub const PCR_COUNT: usize = 8;
+
+/// A bank of measurement registers.
+///
+/// Each register starts at all-zeros and can only be *extended*:
+/// `new = SHA-256(old ‖ measurement)`. Extension order therefore matters
+/// and the final values commit to the full boot sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PcrBank {
+    registers: Vec<[u8; 32]>,
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PcrBank {
+    /// Creates a bank with all registers zeroed (reset state).
+    #[must_use]
+    pub fn new() -> Self {
+        PcrBank { registers: vec![[0u8; 32]; PCR_COUNT] }
+    }
+
+    /// Extends register `index` with `measurement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn extend(&mut self, index: usize, measurement: &[u8; 32]) {
+        assert!(index < PCR_COUNT, "pcr index out of range");
+        let mut h = Sha256::new();
+        h.update(&self.registers[index]);
+        h.update(measurement);
+        self.registers[index] = h.finalize();
+    }
+
+    /// Reads register `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn read(&self, index: usize) -> [u8; 32] {
+        assert!(index < PCR_COUNT, "pcr index out of range");
+        self.registers[index]
+    }
+
+    /// A digest over the whole bank (what attestation quotes sign).
+    #[must_use]
+    pub fn composite_digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        for r in &self.registers {
+            h.update(r);
+        }
+        h.finalize()
+    }
+
+    /// Whether register `index` is still in the reset state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn is_reset(&self, index: usize) -> bool {
+        self.read(index) == [0u8; 32]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_reset() {
+        let bank = PcrBank::new();
+        for i in 0..PCR_COUNT {
+            assert!(bank.is_reset(i));
+        }
+    }
+
+    #[test]
+    fn extend_changes_value() {
+        let mut bank = PcrBank::new();
+        bank.extend(0, &[1u8; 32]);
+        assert!(!bank.is_reset(0));
+        assert!(bank.is_reset(1), "other registers untouched");
+    }
+
+    #[test]
+    fn extension_order_matters() {
+        let mut a = PcrBank::new();
+        a.extend(0, &[1u8; 32]);
+        a.extend(0, &[2u8; 32]);
+        let mut b = PcrBank::new();
+        b.extend(0, &[2u8; 32]);
+        b.extend(0, &[1u8; 32]);
+        assert_ne!(a.read(0), b.read(0));
+    }
+
+    #[test]
+    fn same_sequence_same_value() {
+        let mut a = PcrBank::new();
+        let mut b = PcrBank::new();
+        for m in [[3u8; 32], [4u8; 32], [5u8; 32]] {
+            a.extend(2, &m);
+            b.extend(2, &m);
+        }
+        assert_eq!(a.read(2), b.read(2));
+    }
+
+    #[test]
+    fn composite_covers_all_registers() {
+        let mut a = PcrBank::new();
+        let base = a.composite_digest();
+        a.extend(7, &[9u8; 32]);
+        assert_ne!(a.composite_digest(), base);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_extend_panics() {
+        PcrBank::new().extend(PCR_COUNT, &[0u8; 32]);
+    }
+}

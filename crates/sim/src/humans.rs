@@ -1,0 +1,199 @@
+//! Ground workers: the actors the safety functions must detect.
+//!
+//! The paper's key safety function is people detection near the autonomous
+//! forwarder (Sec. III-A, Figure 2). Humans here follow a waypoint
+//! random-walk: pick a destination, walk there at a sampled speed, dwell,
+//! repeat. A configurable fraction of waypoints is biased towards the
+//! machine work area to create genuinely dangerous approach events.
+
+use crate::geom::Vec2;
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a human actor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HumanId(pub u32);
+
+/// Movement behaviour parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct HumanConfig {
+    /// Mean walking speed in m/s.
+    pub mean_speed: f64,
+    /// Dwell time range at each waypoint, seconds.
+    pub dwell_secs: (f64, f64),
+    /// Probability that a new waypoint is biased towards the work area.
+    pub work_area_bias: f64,
+}
+
+impl Default for HumanConfig {
+    fn default() -> Self {
+        HumanConfig { mean_speed: 1.3, dwell_secs: (5.0, 30.0), work_area_bias: 0.3 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Activity {
+    Walking { target: Vec2, speed: f64 },
+    Dwelling { remaining_s: f64 },
+}
+
+/// A ground worker moving through the worksite.
+#[derive(Debug, Clone)]
+pub struct Human {
+    /// This worker's id.
+    pub id: HumanId,
+    /// Current position.
+    pub position: Vec2,
+    /// Height of the torso centre above ground (detection target).
+    pub torso_height_m: f64,
+    config: HumanConfig,
+    activity: Activity,
+}
+
+impl Human {
+    /// Creates a worker at `position`.
+    #[must_use]
+    pub fn new(id: HumanId, position: Vec2, config: HumanConfig) -> Self {
+        Human {
+            id,
+            position,
+            torso_height_m: 1.2,
+            config,
+            activity: Activity::Dwelling { remaining_s: 0.0 },
+        }
+    }
+
+    /// Whether the worker is currently moving.
+    #[must_use]
+    pub fn is_walking(&self) -> bool {
+        matches!(self.activity, Activity::Walking { .. })
+    }
+
+    /// Advances the worker by `dt` inside the square area `[0, size_m]²`,
+    /// with `work_area` the point dangerous waypoints are biased towards.
+    pub fn step(&mut self, dt: SimDuration, size_m: f64, work_area: Vec2, rng: &mut SimRng) {
+        let dt_s = dt.as_secs_f64();
+        match self.activity {
+            Activity::Dwelling { remaining_s } => {
+                let remaining = remaining_s - dt_s;
+                if remaining <= 0.0 {
+                    let target = self.pick_waypoint(size_m, work_area, rng);
+                    let speed = rng.normal(self.config.mean_speed, 0.25).clamp(0.4, 2.5);
+                    self.activity = Activity::Walking { target, speed };
+                } else {
+                    self.activity = Activity::Dwelling { remaining_s: remaining };
+                }
+            }
+            Activity::Walking { target, speed } => {
+                let to_target = target - self.position;
+                let step_len = speed * dt_s;
+                if to_target.length() <= step_len {
+                    self.position = target;
+                    let dwell =
+                        rng.uniform_range(self.config.dwell_secs.0, self.config.dwell_secs.1);
+                    self.activity = Activity::Dwelling { remaining_s: dwell };
+                } else {
+                    self.position = self.position + to_target.normalized() * step_len;
+                }
+            }
+        }
+        // Numerical safety: stay inside the map.
+        self.position.x = self.position.x.clamp(0.0, size_m);
+        self.position.y = self.position.y.clamp(0.0, size_m);
+    }
+
+    fn pick_waypoint(&self, size_m: f64, work_area: Vec2, rng: &mut SimRng) -> Vec2 {
+        if rng.chance(self.config.work_area_bias) {
+            // Point near the machine work area (within 25 m).
+            let angle = rng.uniform_range(0.0, std::f64::consts::TAU);
+            let radius = rng.uniform_range(3.0, 25.0);
+            Vec2::new(
+                (work_area.x + radius * angle.cos()).clamp(0.0, size_m),
+                (work_area.y + radius * angle.sin()).clamp(0.0, size_m),
+            )
+        } else {
+            Vec2::new(rng.uniform_range(0.0, size_m), rng.uniform_range(0.0, size_m))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(seed: u64, steps: usize, bias: f64) -> Vec<Vec2> {
+        let config = HumanConfig { work_area_bias: bias, ..HumanConfig::default() };
+        let mut h = Human::new(HumanId(1), Vec2::new(50.0, 50.0), config);
+        let mut rng = SimRng::from_seed(seed);
+        let mut track = Vec::new();
+        for _ in 0..steps {
+            h.step(SimDuration::from_millis(500), 100.0, Vec2::new(80.0, 80.0), &mut rng);
+            track.push(h.position);
+        }
+        track
+    }
+
+    #[test]
+    fn stays_in_bounds() {
+        for p in walk(1, 5000, 0.3) {
+            assert!((0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn actually_moves() {
+        let track = walk(2, 2000, 0.3);
+        let total: f64 = track.windows(2).map(|w| w[0].distance(w[1])).sum();
+        assert!(total > 50.0, "worker barely moved: {total} m");
+    }
+
+    #[test]
+    fn speed_is_physical() {
+        let track = walk(3, 5000, 0.3);
+        for w in track.windows(2) {
+            let step = w[0].distance(w[1]);
+            // 0.5 s per step, max clamped speed 2.5 m/s → ≤ 1.25 m + eps.
+            assert!(step <= 1.3, "step of {step} m in 0.5 s");
+        }
+    }
+
+    #[test]
+    fn work_area_bias_draws_worker_closer() {
+        let near_time = |bias: f64| -> usize {
+            walk(4, 8000, bias)
+                .iter()
+                .filter(|p| p.distance(Vec2::new(80.0, 80.0)) < 25.0)
+                .count()
+        };
+        let biased = near_time(0.9);
+        let unbiased = near_time(0.0);
+        assert!(
+            biased > unbiased,
+            "bias should increase time near work area ({biased} vs {unbiased})"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(walk(5, 100, 0.3), walk(5, 100, 0.3));
+    }
+
+    #[test]
+    fn dwell_and_walk_alternate() {
+        let config = HumanConfig::default();
+        let mut h = Human::new(HumanId(1), Vec2::new(10.0, 10.0), config);
+        let mut rng = SimRng::from_seed(6);
+        let mut saw_walking = false;
+        let mut saw_dwelling = false;
+        for _ in 0..2000 {
+            h.step(SimDuration::from_millis(500), 100.0, Vec2::new(50.0, 50.0), &mut rng);
+            if h.is_walking() {
+                saw_walking = true;
+            } else {
+                saw_dwelling = true;
+            }
+        }
+        assert!(saw_walking && saw_dwelling);
+    }
+}

@@ -1,0 +1,258 @@
+//! Procedurally generated terrain heightmaps.
+//!
+//! Terrain is a regular grid of heights generated with multi-octave value
+//! noise. It provides bilinear height queries, slope estimates, and is the
+//! primary source of the occlusions motivating the paper's Figure 2 use
+//! case (a drone's vantage point eliminating terrain occlusions).
+
+use crate::geom::Vec2;
+use crate::rng::SimRng;
+
+/// Configuration for terrain generation.
+#[derive(Debug, Clone, Copy)]
+pub struct TerrainConfig {
+    /// Side length of the (square) terrain in metres.
+    pub size_m: f64,
+    /// Grid cell size in metres.
+    pub cell_m: f64,
+    /// Peak-to-valley amplitude of the dominant landforms in metres.
+    pub relief_m: f64,
+    /// Number of noise octaves (1 = smooth rolling hills).
+    pub octaves: u32,
+    /// Amplitude falloff per octave (0.5 is natural-looking).
+    pub persistence: f64,
+}
+
+impl Default for TerrainConfig {
+    fn default() -> Self {
+        TerrainConfig { size_m: 500.0, cell_m: 5.0, relief_m: 18.0, octaves: 4, persistence: 0.5 }
+    }
+}
+
+/// A square heightmap with bilinear interpolation.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_sim::terrain::{Terrain, TerrainConfig};
+/// use silvasec_sim::rng::SimRng;
+/// use silvasec_sim::geom::Vec2;
+///
+/// let t = Terrain::generate(&TerrainConfig::default(), &mut SimRng::from_seed(1));
+/// let h = t.height_at(Vec2::new(250.0, 250.0));
+/// assert!(h.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Terrain {
+    heights: Vec<f64>,
+    cells: usize, // grid points per side
+    cell_m: f64,
+    size_m: f64,
+}
+
+impl Terrain {
+    /// Generates terrain from a configuration and RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_m` or `cell_m` is not positive, or the grid would
+    /// be degenerate.
+    #[must_use]
+    pub fn generate(config: &TerrainConfig, rng: &mut SimRng) -> Self {
+        assert!(config.size_m > 0.0 && config.cell_m > 0.0, "terrain dimensions must be positive");
+        let cells = (config.size_m / config.cell_m).ceil() as usize + 1;
+        assert!(cells >= 2, "terrain grid too small");
+
+        let mut heights = vec![0.0f64; cells * cells];
+        let mut amplitude = config.relief_m / 2.0;
+        // Base lattice ~8 features per side at octave 0.
+        let mut lattice_n = 8usize;
+
+        for _octave in 0..config.octaves.max(1) {
+            // Random lattice values for this octave.
+            let ln = lattice_n + 1;
+            let lattice: Vec<f64> =
+                (0..ln * ln).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+
+            for gy in 0..cells {
+                for gx in 0..cells {
+                    // Position in lattice coordinates.
+                    let fx = gx as f64 / (cells - 1) as f64 * lattice_n as f64;
+                    let fy = gy as f64 / (cells - 1) as f64 * lattice_n as f64;
+                    let x0 = (fx.floor() as usize).min(lattice_n - 1);
+                    let y0 = (fy.floor() as usize).min(lattice_n - 1);
+                    let tx = smooth(fx - x0 as f64);
+                    let ty = smooth(fy - y0 as f64);
+                    let v00 = lattice[y0 * ln + x0];
+                    let v10 = lattice[y0 * ln + x0 + 1];
+                    let v01 = lattice[(y0 + 1) * ln + x0];
+                    let v11 = lattice[(y0 + 1) * ln + x0 + 1];
+                    let v = lerp(lerp(v00, v10, tx), lerp(v01, v11, tx), ty);
+                    heights[gy * cells + gx] += amplitude * v;
+                }
+            }
+            amplitude *= config.persistence;
+            lattice_n *= 2;
+        }
+
+        Terrain { heights, cells, cell_m: config.cell_m, size_m: config.size_m }
+    }
+
+    /// Builds perfectly flat terrain (baseline for occlusion experiments).
+    #[must_use]
+    pub fn flat(size_m: f64, cell_m: f64) -> Self {
+        assert!(size_m > 0.0 && cell_m > 0.0, "terrain dimensions must be positive");
+        let cells = (size_m / cell_m).ceil() as usize + 1;
+        Terrain { heights: vec![0.0; cells * cells], cells, cell_m, size_m }
+    }
+
+    /// Side length in metres.
+    #[must_use]
+    pub fn size_m(&self) -> f64 {
+        self.size_m
+    }
+
+    /// Whether `p` lies inside the terrain extent.
+    #[must_use]
+    pub fn contains(&self, p: Vec2) -> bool {
+        (0.0..=self.size_m).contains(&p.x) && (0.0..=self.size_m).contains(&p.y)
+    }
+
+    /// Ground height at `p`, bilinearly interpolated. Points outside the
+    /// extent are clamped to the border.
+    #[must_use]
+    pub fn height_at(&self, p: Vec2) -> f64 {
+        let max = (self.cells - 1) as f64;
+        let fx = (p.x / self.cell_m).clamp(0.0, max);
+        let fy = (p.y / self.cell_m).clamp(0.0, max);
+        let x0 = (fx.floor() as usize).min(self.cells - 2);
+        let y0 = (fy.floor() as usize).min(self.cells - 2);
+        let tx = fx - x0 as f64;
+        let ty = fy - y0 as f64;
+        let at = |x: usize, y: usize| self.heights[y * self.cells + x];
+        lerp(
+            lerp(at(x0, y0), at(x0 + 1, y0), tx),
+            lerp(at(x0, y0 + 1), at(x0 + 1, y0 + 1), tx),
+            ty,
+        )
+    }
+
+    /// Approximate slope magnitude (rise over run) at `p`.
+    #[must_use]
+    pub fn slope_at(&self, p: Vec2) -> f64 {
+        let d = self.cell_m;
+        let hx = (self.height_at(Vec2::new(p.x + d, p.y)) - self.height_at(Vec2::new(p.x - d, p.y)))
+            / (2.0 * d);
+        let hy = (self.height_at(Vec2::new(p.x, p.y + d)) - self.height_at(Vec2::new(p.x, p.y - d)))
+            / (2.0 * d);
+        hx.hypot(hy)
+    }
+
+    /// Maximum height difference across the map (a roughness summary).
+    #[must_use]
+    pub fn relief(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &h in &self.heights {
+            min = min.min(h);
+            max = max.max(h);
+        }
+        if min.is_finite() {
+            max - min
+        } else {
+            0.0
+        }
+    }
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Smoothstep easing for value noise.
+fn smooth(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn default_terrain(seed: u64) -> Terrain {
+        Terrain::generate(&TerrainConfig::default(), &mut SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = default_terrain(1);
+        let b = default_terrain(1);
+        let p = Vec2::new(123.0, 45.0);
+        assert_eq!(a.height_at(p), b.height_at(p));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = default_terrain(1);
+        let b = default_terrain(2);
+        let p = Vec2::new(123.0, 45.0);
+        assert_ne!(a.height_at(p), b.height_at(p));
+    }
+
+    #[test]
+    fn relief_is_bounded_by_config() {
+        let t = default_terrain(3);
+        // Sum of octave amplitudes: 9(1+.5+.25+.125) < 17; peak-to-valley
+        // can be at most twice that.
+        assert!(t.relief() > 1.0, "terrain should not be flat");
+        assert!(t.relief() < 40.0, "relief {} implausibly large", t.relief());
+    }
+
+    #[test]
+    fn flat_terrain_is_flat() {
+        let t = Terrain::flat(100.0, 5.0);
+        for p in [Vec2::new(0.0, 0.0), Vec2::new(50.0, 50.0), Vec2::new(99.0, 1.0)] {
+            assert_eq!(t.height_at(p), 0.0);
+            assert_eq!(t.slope_at(p), 0.0);
+        }
+        assert_eq!(t.relief(), 0.0);
+    }
+
+    #[test]
+    fn height_query_is_continuous() {
+        let t = default_terrain(4);
+        let p = Vec2::new(200.0, 200.0);
+        let h0 = t.height_at(p);
+        let h1 = t.height_at(p + Vec2::new(0.01, 0.0));
+        assert!((h0 - h1).abs() < 0.1, "height jumped by {}", (h0 - h1).abs());
+    }
+
+    #[test]
+    fn out_of_bounds_clamps() {
+        let t = default_terrain(5);
+        let inside = t.height_at(Vec2::new(0.0, 0.0));
+        let outside = t.height_at(Vec2::new(-100.0, -100.0));
+        assert_eq!(inside, outside);
+        assert!(t.contains(Vec2::new(1.0, 1.0)));
+        assert!(!t.contains(Vec2::new(-1.0, 1.0)));
+        assert!(!t.contains(Vec2::new(1.0, 10_000.0)));
+    }
+
+    #[test]
+    fn slope_positive_on_rough_terrain() {
+        let t = default_terrain(6);
+        let mut any_slope = false;
+        for i in 1..10 {
+            let p = Vec2::new(i as f64 * 45.0, i as f64 * 40.0);
+            if t.slope_at(p) > 0.01 {
+                any_slope = true;
+            }
+        }
+        assert!(any_slope, "expected some sloped ground");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_size_panics() {
+        let _ = Terrain::flat(0.0, 1.0);
+    }
+}

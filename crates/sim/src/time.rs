@@ -1,0 +1,197 @@
+//! Simulation time: millisecond-resolution instants and durations.
+//!
+//! There is no wall clock anywhere in the simulator; everything runs on
+//! [`SimTime`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulation time (milliseconds since scenario start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulation time in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The scenario start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from milliseconds since start.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates an instant from seconds since start.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Milliseconds since scenario start.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since scenario start (fractional).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The duration elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Creates a duration from seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Creates a duration from fractional seconds (rounded to ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is negative or not finite.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative and finite");
+        SimDuration((s * 1000.0).round() as u64)
+    }
+
+    /// Length in milliseconds.
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Length in seconds (fractional).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Scales the duration by a non-negative factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative and finite");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2000);
+        assert_eq!(SimDuration::from_secs(3).as_millis(), 3000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_millis(), 500);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        // Saturating subtraction.
+        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_millis(250);
+        assert_eq!(t2.as_millis(), 250);
+    }
+
+    #[test]
+    fn since_and_scaling() {
+        let a = SimTime::from_secs(4);
+        let b = SimTime::from_secs(10);
+        assert_eq!(b.since(a), SimDuration::from_secs(6));
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(10).mul_f64(0.25), SimDuration::from_millis(2500));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(1234).to_string(), "t+1.234s");
+        assert_eq!(SimDuration::from_millis(50).to_string(), "0.050s");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(999) < SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,262 @@
+//! Tree stands: positions, trunk heights and canopy radii.
+//!
+//! Trees are the second occluder class (after terrain) in the Figure 2
+//! occlusion study: denser stands occlude more of the forwarder's
+//! ground-level sensor field of view.
+
+use crate::geom::Vec2;
+use crate::rng::SimRng;
+
+/// One tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tree {
+    /// Trunk base position.
+    pub position: Vec2,
+    /// Total height in metres.
+    pub height_m: f64,
+    /// Trunk radius in metres (used for occlusion).
+    pub trunk_radius_m: f64,
+    /// Canopy radius in metres (used for canopy occlusion above crown base).
+    pub canopy_radius_m: f64,
+}
+
+/// Configuration for stand generation.
+#[derive(Debug, Clone, Copy)]
+pub struct StandConfig {
+    /// Stand density in trees per hectare (typical managed Nordic forest:
+    /// 500–2000; post-thinning: 600–900).
+    pub trees_per_hectare: f64,
+    /// Mean tree height in metres.
+    pub mean_height_m: f64,
+    /// Standard deviation of tree height.
+    pub height_std_m: f64,
+}
+
+impl Default for StandConfig {
+    fn default() -> Self {
+        StandConfig { trees_per_hectare: 800.0, mean_height_m: 18.0, height_std_m: 4.0 }
+    }
+}
+
+/// A collection of trees over a square area, with a coarse spatial index
+/// for segment queries.
+#[derive(Debug, Clone)]
+pub struct TreeStand {
+    trees: Vec<Tree>,
+    size_m: f64,
+    // Coarse grid index: cell -> tree indices.
+    grid: Vec<Vec<u32>>,
+    grid_cells: usize,
+    grid_cell_m: f64,
+}
+
+impl TreeStand {
+    /// Generates a stand with the given density over a `size_m` × `size_m`
+    /// area. Cleared zones (e.g. the landing area and machine trails) can
+    /// be cut out afterwards with [`TreeStand::clear_disc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_m` is not positive or the density is negative.
+    #[must_use]
+    pub fn generate(config: &StandConfig, size_m: f64, rng: &mut SimRng) -> Self {
+        assert!(size_m > 0.0, "stand area must be positive");
+        assert!(config.trees_per_hectare >= 0.0, "density must be non-negative");
+        let hectares = (size_m * size_m) / 10_000.0;
+        let count = (config.trees_per_hectare * hectares).round() as usize;
+        let mut trees = Vec::with_capacity(count);
+        for _ in 0..count {
+            let height = rng.normal(config.mean_height_m, config.height_std_m).clamp(2.0, 45.0);
+            // Allometry: trunk radius and canopy scale with height.
+            let trunk_radius = (0.010 * height).clamp(0.05, 0.5);
+            let canopy_radius = (0.14 * height).clamp(0.5, 5.0);
+            trees.push(Tree {
+                position: Vec2::new(rng.uniform_range(0.0, size_m), rng.uniform_range(0.0, size_m)),
+                height_m: height,
+                trunk_radius_m: trunk_radius,
+                canopy_radius_m: canopy_radius,
+            });
+        }
+        Self::from_trees(trees, size_m)
+    }
+
+    /// Builds a stand from an explicit tree list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_m` is not positive.
+    #[must_use]
+    pub fn from_trees(trees: Vec<Tree>, size_m: f64) -> Self {
+        assert!(size_m > 0.0, "stand area must be positive");
+        let grid_cell_m = 20.0;
+        let grid_cells = (size_m / grid_cell_m).ceil().max(1.0) as usize;
+        let mut grid = vec![Vec::new(); grid_cells * grid_cells];
+        for (i, tree) in trees.iter().enumerate() {
+            let gx = ((tree.position.x / grid_cell_m) as usize).min(grid_cells - 1);
+            let gy = ((tree.position.y / grid_cell_m) as usize).min(grid_cells - 1);
+            grid[gy * grid_cells + gx].push(i as u32);
+        }
+        TreeStand { trees, size_m, grid, grid_cells, grid_cell_m }
+    }
+
+    /// Removes all trees within `radius` of `center` (clearing a landing
+    /// area or trail).
+    pub fn clear_disc(&mut self, center: Vec2, radius: f64) {
+        let trees: Vec<Tree> = self
+            .trees
+            .iter()
+            .copied()
+            .filter(|t| t.position.distance(center) > radius)
+            .collect();
+        *self = Self::from_trees(trees, self.size_m);
+    }
+
+    /// All trees.
+    #[must_use]
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// Number of trees.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the stand has no trees.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Stand density in trees per hectare.
+    #[must_use]
+    pub fn density_per_hectare(&self) -> f64 {
+        self.trees.len() as f64 / ((self.size_m * self.size_m) / 10_000.0)
+    }
+
+    /// Iterates over trees whose trunk might intersect the 2-D segment
+    /// `a`–`b` expanded by `margin` metres (via the coarse grid index).
+    pub fn trees_near_segment(&self, a: Vec2, b: Vec2, margin: f64) -> Vec<&Tree> {
+        let pad = margin + self.grid_cell_m;
+        let min_x = (a.x.min(b.x) - pad).max(0.0);
+        let max_x = (a.x.max(b.x) + pad).min(self.size_m);
+        let min_y = (a.y.min(b.y) - pad).max(0.0);
+        let max_y = (a.y.max(b.y) + pad).min(self.size_m);
+        let gx0 = ((min_x / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gx1 = ((max_x / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gy0 = ((min_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gy1 = ((max_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+
+        let mut out = Vec::new();
+        for gy in gy0..=gy1 {
+            for gx in gx0..=gx1 {
+                for &i in &self.grid[gy * self.grid_cells + gx] {
+                    let tree = &self.trees[i as usize];
+                    if tree.position.distance_to_segment(a, b)
+                        <= margin + tree.canopy_radius_m.max(tree.trunk_radius_m)
+                    {
+                        out.push(tree);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stand(seed: u64, density: f64) -> TreeStand {
+        let config = StandConfig { trees_per_hectare: density, ..StandConfig::default() };
+        TreeStand::generate(&config, 200.0, &mut SimRng::from_seed(seed))
+    }
+
+    #[test]
+    fn density_approximately_matches() {
+        let s = stand(1, 800.0);
+        // 200 m × 200 m = 4 ha → ~3200 trees.
+        assert_eq!(s.len(), 3200);
+        assert!((s.density_per_hectare() - 800.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_density_gives_empty_stand() {
+        let s = stand(1, 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn heights_clamped_to_plausible_range() {
+        let s = stand(2, 500.0);
+        for t in s.trees() {
+            assert!((2.0..=45.0).contains(&t.height_m));
+            assert!(t.trunk_radius_m > 0.0 && t.canopy_radius_m >= t.trunk_radius_m);
+        }
+    }
+
+    #[test]
+    fn clear_disc_removes_trees() {
+        let mut s = stand(3, 800.0);
+        let center = Vec2::new(100.0, 100.0);
+        let before = s.len();
+        s.clear_disc(center, 30.0);
+        assert!(s.len() < before);
+        for t in s.trees() {
+            assert!(t.position.distance(center) > 30.0);
+        }
+    }
+
+    #[test]
+    fn segment_query_finds_blocking_tree() {
+        let tree = Tree {
+            position: Vec2::new(50.0, 50.0),
+            height_m: 20.0,
+            trunk_radius_m: 0.2,
+            canopy_radius_m: 2.0,
+        };
+        let s = TreeStand::from_trees(vec![tree], 100.0);
+        let hits = s.trees_near_segment(Vec2::new(0.0, 50.0), Vec2::new(100.0, 50.0), 0.5);
+        assert_eq!(hits.len(), 1);
+        // A segment far away misses.
+        let misses = s.trees_near_segment(Vec2::new(0.0, 90.0), Vec2::new(100.0, 90.0), 0.5);
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn segment_query_matches_brute_force() {
+        let s = stand(4, 600.0);
+        let a = Vec2::new(10.0, 15.0);
+        let b = Vec2::new(190.0, 170.0);
+        let margin = 1.0;
+        let fast: std::collections::HashSet<usize> = s
+            .trees_near_segment(a, b, margin)
+            .into_iter()
+            .map(|t| t as *const Tree as usize)
+            .collect();
+        let brute: Vec<&Tree> = s
+            .trees()
+            .iter()
+            .filter(|t| {
+                t.position.distance_to_segment(a, b)
+                    <= margin + t.canopy_radius_m.max(t.trunk_radius_m)
+            })
+            .collect();
+        for t in &brute {
+            assert!(
+                fast.contains(&(*t as *const Tree as usize)),
+                "grid query missed a tree at {:?}",
+                t.position
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = stand(5, 700.0);
+        let b = stand(5, 700.0);
+        assert_eq!(a.trees()[10].position, b.trees()[10].position);
+    }
+}

@@ -1,0 +1,179 @@
+//! Weather states and their effect factors on sensors and radio.
+//!
+//! The paper's SOTIF discussion (Sec. III-C/III-D) calls out inadequate
+//! sensing under environmental conditions — precipitation, fog, lighting —
+//! as a primary functional-insufficiency trigger. The weather model is a
+//! small Markov chain over discrete states, each carrying attenuation
+//! factors that the sensor and radio models consume.
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Discrete weather states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Weather {
+    /// Clear daylight.
+    Clear,
+    /// Overcast; slightly reduced optical contrast.
+    Overcast,
+    /// Rain; optical range reduced, radio slightly attenuated.
+    Rain,
+    /// Heavy rain; strong optical and mild radio degradation.
+    HeavyRain,
+    /// Fog; severe optical range reduction.
+    Fog,
+    /// Snow; optical degradation plus ground clutter.
+    Snow,
+}
+
+impl Weather {
+    /// All states, in Markov-chain index order.
+    pub const ALL: [Weather; 6] = [
+        Weather::Clear,
+        Weather::Overcast,
+        Weather::Rain,
+        Weather::HeavyRain,
+        Weather::Fog,
+        Weather::Snow,
+    ];
+
+    /// Multiplier on optical sensor range (cameras, LiDAR), in `(0, 1]`.
+    #[must_use]
+    pub fn optical_range_factor(self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Overcast => 0.95,
+            Weather::Rain => 0.7,
+            Weather::HeavyRain => 0.45,
+            Weather::Fog => 0.3,
+            Weather::Snow => 0.55,
+        }
+    }
+
+    /// Additional radio path attenuation in dB (applied to link budgets).
+    #[must_use]
+    pub fn radio_attenuation_db(self) -> f64 {
+        match self {
+            Weather::Clear | Weather::Overcast => 0.0,
+            Weather::Rain => 1.0,
+            Weather::HeavyRain => 3.0,
+            Weather::Fog => 0.5,
+            Weather::Snow => 1.5,
+        }
+    }
+
+    /// Multiplier on detection (classification) confidence, in `(0, 1]`.
+    #[must_use]
+    pub fn detection_confidence_factor(self) -> f64 {
+        match self {
+            Weather::Clear => 1.0,
+            Weather::Overcast => 0.97,
+            Weather::Rain => 0.85,
+            Weather::HeavyRain => 0.7,
+            Weather::Fog => 0.6,
+            Weather::Snow => 0.75,
+        }
+    }
+}
+
+/// A simple Markov weather process.
+#[derive(Debug, Clone)]
+pub struct WeatherModel {
+    state: Weather,
+    /// Probability of attempting a transition per step.
+    change_prob: f64,
+}
+
+impl WeatherModel {
+    /// Creates a model starting in `initial` with the given per-step
+    /// transition probability.
+    #[must_use]
+    pub fn new(initial: Weather, change_prob: f64) -> Self {
+        WeatherModel { state: initial, change_prob: change_prob.clamp(0.0, 1.0) }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn current(&self) -> Weather {
+        self.state
+    }
+
+    /// Advances one step; transitions favour adjacent severities.
+    pub fn step(&mut self, rng: &mut SimRng) -> Weather {
+        if rng.chance(self.change_prob) {
+            let idx = Weather::ALL.iter().position(|w| *w == self.state).expect("state in ALL");
+            // Move to a neighbouring state (wrapping) or jump anywhere with
+            // small probability — keeps sequences realistic but ergodic.
+            let next = if rng.chance(0.8) {
+                let delta: i64 = if rng.chance(0.5) { 1 } else { -1 };
+                let n = Weather::ALL.len() as i64;
+                Weather::ALL[(((idx as i64 + delta) % n + n) % n) as usize]
+            } else {
+                *rng.choose(&Weather::ALL).expect("non-empty")
+            };
+            self.state = next;
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_in_valid_ranges() {
+        for w in Weather::ALL {
+            assert!((0.0..=1.0).contains(&w.optical_range_factor()), "{w:?}");
+            assert!(w.optical_range_factor() > 0.0);
+            assert!(w.radio_attenuation_db() >= 0.0);
+            assert!((0.0..=1.0).contains(&w.detection_confidence_factor()));
+        }
+    }
+
+    #[test]
+    fn clear_is_best() {
+        for w in Weather::ALL {
+            assert!(w.optical_range_factor() <= Weather::Clear.optical_range_factor());
+            assert!(w.radio_attenuation_db() >= Weather::Clear.radio_attenuation_db());
+        }
+    }
+
+    #[test]
+    fn fog_degrades_optics_most() {
+        for w in Weather::ALL {
+            assert!(Weather::Fog.optical_range_factor() <= w.optical_range_factor());
+        }
+    }
+
+    #[test]
+    fn zero_change_prob_is_static() {
+        let mut model = WeatherModel::new(Weather::Rain, 0.0);
+        let mut rng = SimRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(model.step(&mut rng), Weather::Rain);
+        }
+    }
+
+    #[test]
+    fn model_is_ergodic() {
+        let mut model = WeatherModel::new(Weather::Clear, 0.5);
+        let mut rng = SimRng::from_seed(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(model.step(&mut rng));
+        }
+        assert_eq!(seen.len(), Weather::ALL.len(), "all states should be reachable");
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let run = |seed| {
+            let mut m = WeatherModel::new(Weather::Clear, 0.3);
+            let mut rng = SimRng::from_seed(seed);
+            (0..50).map(|_| m.step(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,142 @@
+//! Mission, safety and security metrics for a worksite run.
+
+use serde::{Deserialize, Serialize};
+use silvasec_ids::AlertKind;
+use silvasec_sim::time::SimTime;
+use std::collections::BTreeMap;
+
+/// A recorded safety incident: the forwarder moved while a worker was
+/// inside the danger radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyIncident {
+    /// When it started.
+    pub at: SimTime,
+    /// Worker distance at the closest point, metres.
+    pub distance_m: f64,
+    /// Machine speed at that moment, m/s.
+    pub speed_mps: f64,
+}
+
+/// Aggregated run metrics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WorksiteMetrics {
+    /// Simulation ticks executed.
+    pub ticks: u64,
+    /// Loads the forwarder delivered (mission productivity).
+    pub loads_delivered: u64,
+    /// Distance the forwarder drove, metres.
+    pub distance_m: f64,
+    /// Distinct safety incidents (movement with a worker in danger zone).
+    pub safety_incidents: Vec<SafetyIncident>,
+    /// Ticks with a worker in the danger zone at all (exposure).
+    pub danger_zone_ticks: u64,
+    /// Danger-zone ticks during which the machine was actually moving —
+    /// the live hazard-exposure measure (ISO 13849's F parameter made
+    /// measurable).
+    pub moving_danger_ticks: u64,
+    /// Ticks in which the supervisor held the machine stopped.
+    pub stopped_ticks: u64,
+    /// Supervisor stop events.
+    pub stop_events: u64,
+    /// Telemetry/command messages sent.
+    pub messages_sent: u64,
+    /// Messages delivered end-to-end.
+    pub messages_delivered: u64,
+    /// Authentication failures observed at receivers (tag/replay
+    /// rejections).
+    pub auth_failures: u64,
+    /// Forged or replayed application messages that were *accepted*
+    /// (only possible without the secure channel).
+    pub forged_accepted: u64,
+    /// IDS alerts by kind.
+    pub alerts: BTreeMap<String, u64>,
+    /// First alert time per attack-class tag (detection latency numerator).
+    pub first_alert_at: BTreeMap<String, SimTime>,
+    /// Safe-stop responses commanded by the security response policy.
+    pub security_stops: u64,
+    /// Drone detection frames that reached the forwarder.
+    pub drone_feed_delivered: u64,
+    /// Drone detection frames sent.
+    pub drone_feed_sent: u64,
+}
+
+impl WorksiteMetrics {
+    /// End-to-end message delivery ratio.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.messages_sent == 0 {
+            1.0
+        } else {
+            self.messages_delivered as f64 / self.messages_sent as f64
+        }
+    }
+
+    /// Drone feed availability.
+    #[must_use]
+    pub fn drone_feed_ratio(&self) -> f64 {
+        if self.drone_feed_sent == 0 {
+            1.0
+        } else {
+            self.drone_feed_delivered as f64 / self.drone_feed_sent as f64
+        }
+    }
+
+    /// Records an alert occurrence.
+    pub fn record_alert(&mut self, kind: AlertKind, at: SimTime) {
+        *self.alerts.entry(kind.to_string()).or_default() += 1;
+        self.first_alert_at.entry(kind.to_string()).or_insert(at);
+    }
+
+    /// Total alerts of a kind.
+    #[must_use]
+    pub fn alert_count(&self, kind: AlertKind) -> u64 {
+        self.alerts.get(&kind.to_string()).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_default_to_one() {
+        let m = WorksiteMetrics::default();
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.drone_feed_ratio(), 1.0);
+    }
+
+    #[test]
+    fn alert_recording() {
+        let mut m = WorksiteMetrics::default();
+        m.record_alert(AlertKind::Jamming, SimTime::from_secs(5));
+        m.record_alert(AlertKind::Jamming, SimTime::from_secs(9));
+        assert_eq!(m.alert_count(AlertKind::Jamming), 2);
+        assert_eq!(
+            m.first_alert_at.get("jamming").copied(),
+            Some(SimTime::from_secs(5))
+        );
+        assert_eq!(m.alert_count(AlertKind::DeauthFlood), 0);
+    }
+
+    #[test]
+    fn ratio_arithmetic() {
+        let m = WorksiteMetrics {
+            messages_sent: 10,
+            messages_delivered: 7,
+            drone_feed_sent: 4,
+            drone_feed_delivered: 1,
+            ..WorksiteMetrics::default()
+        };
+        assert!((m.delivery_ratio() - 0.7).abs() < 1e-12);
+        assert!((m.drone_feed_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut m = WorksiteMetrics::default();
+        m.record_alert(AlertKind::GnssSpoofing, SimTime::from_secs(1));
+        let json = serde_json::to_string(&m).unwrap();
+        let back: WorksiteMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.alert_count(AlertKind::GnssSpoofing), 1);
+    }
+}

@@ -1,0 +1,822 @@
+//! The worksite orchestrator.
+
+use crate::config::WorksiteConfig;
+use crate::metrics::{SafetyIncident, WorksiteMetrics};
+use crate::pki_setup::{MachineCredentials, WorksitePki};
+use silvasec_attacks::{AttackEngine, SideEffect};
+use silvasec_channel::{HandshakePolicy, Initiator, Responder, Session};
+use silvasec_comms::{Frame, Medium, MediumConfig, NodeId};
+use silvasec_ids::prelude::*;
+use silvasec_machines::prelude::*;
+use silvasec_machines::harvester::Harvester;
+use silvasec_machines::sensors::Detection;
+use silvasec_pki::{ComponentRole, Validity};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::rng::SimRng;
+use silvasec_sim::time::{SimDuration, SimTime};
+use silvasec_sim::world::World;
+
+/// Danger radius: a worker this close to a moving forwarder is a safety
+/// incident.
+pub const DANGER_RADIUS_M: f64 = 3.5;
+
+struct SecureLinks {
+    /// Forwarder-side session with the base station.
+    fw: Session,
+    /// Base-station-side session with the forwarder.
+    bs_fw: Session,
+    /// Drone-side session with the forwarder (the detection feed).
+    drone: Option<Session>,
+    /// Forwarder-side session with the drone.
+    fw_drone: Option<Session>,
+}
+
+/// The composed worksite simulation.
+pub struct Worksite {
+    config: WorksiteConfig,
+    world: World,
+    medium: Medium,
+    gnss_field: GnssField,
+    attack_engine: AttackEngine,
+
+    forwarder: Forwarder,
+    camera: PeopleSensor,
+    lidar: PeopleSensor,
+    gnss_rx: GnssReceiver,
+    supervisor: SafetySupervisor,
+    drone: Option<Drone>,
+    harvester: Harvester,
+
+    node_fw: NodeId,
+    node_bs: NodeId,
+    node_drone: Option<NodeId>,
+
+    links: Option<SecureLinks>,
+    #[allow(dead_code)]
+    credentials: Option<(MachineCredentials, MachineCredentials)>,
+
+    ids: Option<WorksiteIds>,
+    correlator: AlertCorrelator,
+    response: ResponsePolicy,
+    security_stop_until: Option<SimTime>,
+    degraded_until: Option<SimTime>,
+
+    // Telemetry deltas for IDS observations.
+    prev_deauth_rx: u64,
+    prev_bs_assoc_rx: u64,
+    prev_link_attempted: u64,
+    prev_link_delivered: u64,
+    auth_failures_tick: u64,
+
+    last_drone_feed: Vec<Detection>,
+    danger_in_progress: bool,
+    seq: u64,
+    rng: SimRng,
+    metrics: WorksiteMetrics,
+    /// Ground-truth replay bookkeeping (measurement, not a defence):
+    /// sequence numbers already accepted at each receiver.
+    seen_at_fw: std::collections::HashSet<u64>,
+    seen_at_bs: std::collections::HashSet<u64>,
+}
+
+impl Worksite {
+    /// Builds and commissions a worksite from configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if secure commissioning fails (it cannot, for untampered
+    /// firmware) — a commissioning failure is a scenario-construction
+    /// bug, not a runtime condition.
+    #[must_use]
+    pub fn new(config: &WorksiteConfig, seed: u64) -> Self {
+        let root_rng = SimRng::from_seed(seed);
+        let world = World::generate(&config.world, root_rng.fork("world"));
+        let rng = root_rng.fork("site");
+
+        // Worksite radios: elevated antennas and a modest power budget
+        // sized so the clean network works across the stand — attacks are
+        // then measured against a functioning baseline.
+        let propagation = silvasec_comms::propagation::PropagationConfig {
+            exponent: 2.6,
+            per_tree_db: 0.3,
+            ..silvasec_comms::propagation::PropagationConfig::default()
+        };
+        let medium_config = MediumConfig {
+            mfp_enabled: config.security.mfp,
+            tx_power_dbm: 27.0,
+            propagation,
+            ..MediumConfig::default()
+        };
+        let mut medium = Medium::new(medium_config, root_rng.fork("medium"));
+
+        let landing = config.world.landing_area;
+        let work = config.world.work_area;
+
+        let bs_pos = landing.with_z(world.ground_at(landing) + 6.0);
+        let node_bs = medium.add_node(bs_pos);
+        let fw_start = landing;
+        let node_fw =
+            medium.add_node(fw_start.with_z(world.ground_at(fw_start) + 3.0));
+        let node_drone = config
+            .drone_enabled
+            .then(|| medium.add_node(fw_start.with_z(world.ground_at(fw_start) + 50.0)));
+
+        medium.associate(node_bs);
+        medium.associate(node_fw);
+        if let Some(n) = node_drone {
+            medium.associate(n);
+        }
+        // The attacker's rogue radio sits at the stand edge.
+        let attacker_pos = Vec2::new(config.world.terrain.size_m * 0.5, 5.0);
+        let node_attacker =
+            medium.add_node(attacker_pos.with_z(world.ground_at(attacker_pos) + 2.0));
+        let mut attack_engine = AttackEngine::new();
+        attack_engine.set_attacker_node(node_attacker);
+
+        // Secure commissioning.
+        let (links, credentials) = if config.security.secure_channel {
+            let mut pki_rng = root_rng.fork("pki");
+            let mut pki = WorksitePki::commission(&mut pki_rng, u64::MAX / 2);
+            let horizon = Validity::new(0, u64::MAX / 2);
+            let fw_creds = pki.commission_machine(
+                "forwarder-01",
+                ComponentRole::Forwarder,
+                1,
+                &mut pki_rng,
+                horizon,
+            );
+            let bs_creds = pki.commission_machine(
+                "base-01",
+                ComponentRole::BaseStation,
+                1,
+                &mut pki_rng,
+                horizon,
+            );
+            assert!(fw_creds.boot_report.success && bs_creds.boot_report.success);
+            let policy = HandshakePolicy::new(pki.store.clone(), 0);
+
+            let (init, hello) = Initiator::start(
+                fw_creds.identity.clone(),
+                pki_rng.next_seed(),
+                pki_rng.next_seed(),
+            );
+            let (resp, reply) = Responder::respond(
+                bs_creds.identity.clone(),
+                &policy,
+                &hello,
+                pki_rng.next_seed(),
+                pki_rng.next_seed(),
+            )
+            .expect("commissioning handshake");
+            let (fw_session, finished) = init.finish(&policy, &reply).expect("handshake finish");
+            let bs_session = resp.complete(&finished).expect("handshake complete");
+
+            let (drone_session, fw_drone_session) = if config.drone_enabled {
+                let drone_creds = pki.commission_machine(
+                    "drone-01",
+                    ComponentRole::Drone,
+                    1,
+                    &mut pki_rng,
+                    horizon,
+                );
+                assert!(drone_creds.boot_report.success);
+                let (init, hello) = Initiator::start(
+                    drone_creds.identity.clone(),
+                    pki_rng.next_seed(),
+                    pki_rng.next_seed(),
+                );
+                let (resp, reply) = Responder::respond(
+                    fw_creds.identity.clone(),
+                    &policy,
+                    &hello,
+                    pki_rng.next_seed(),
+                    pki_rng.next_seed(),
+                )
+                .expect("drone handshake");
+                let (ds, finished) = init.finish(&policy, &reply).expect("drone finish");
+                let fs = resp.complete(&finished).expect("drone complete");
+                (Some(ds), Some(fs))
+            } else {
+                (None, None)
+            };
+
+            (
+                Some(SecureLinks {
+                    fw: fw_session,
+                    bs_fw: bs_session,
+                    drone: drone_session,
+                    fw_drone: fw_drone_session,
+                }),
+                Some((fw_creds, bs_creds)),
+            )
+        } else {
+            (None, None)
+        };
+
+        let drone = config
+            .drone_enabled
+            .then(|| Drone::new(fw_start, config.drone, &world));
+
+        Worksite {
+            forwarder: Forwarder::new(fw_start, config.forwarder),
+            camera: PeopleSensor::new(SensorKind::Camera, 2.8),
+            lidar: PeopleSensor::new(SensorKind::Lidar, 3.2),
+            gnss_rx: GnssReceiver::default(),
+            supervisor: SafetySupervisor::new(config.safety),
+            drone,
+            harvester: Harvester::new(work, SimDuration::from_secs(300)),
+            node_fw,
+            node_bs,
+            node_drone,
+            links,
+            credentials,
+            ids: config.security.ids.then(|| WorksiteIds::new(config.ids.clone())),
+            correlator: AlertCorrelator::new(SimDuration::from_secs(60)),
+            response: ResponsePolicy::default(),
+            security_stop_until: None,
+            degraded_until: None,
+            prev_deauth_rx: 0,
+            prev_bs_assoc_rx: 0,
+            prev_link_attempted: 0,
+            prev_link_delivered: 0,
+            auth_failures_tick: 0,
+            last_drone_feed: Vec::new(),
+            danger_in_progress: false,
+            seq: 0,
+            rng,
+            metrics: WorksiteMetrics::default(),
+            seen_at_fw: std::collections::HashSet::new(),
+            seen_at_bs: std::collections::HashSet::new(),
+            world,
+            medium,
+            gnss_field: GnssField::new(),
+            attack_engine,
+            config: config.clone(),
+        }
+    }
+
+    /// The attack engine, for scheduling campaigns.
+    pub fn attack_engine_mut(&mut self) -> &mut AttackEngine {
+        &mut self.attack_engine
+    }
+
+    /// The accumulated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &WorksiteMetrics {
+        &self.metrics
+    }
+
+    /// Current sim time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The world (read access for experiments).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The forwarder (read access for experiments).
+    #[must_use]
+    pub fn forwarder(&self) -> &Forwarder {
+        &self.forwarder
+    }
+
+    /// Runs the simulation for `duration`.
+    pub fn run(&mut self, duration: SimDuration) {
+        let end = self.world.now() + duration;
+        while self.world.now() < end {
+            self.tick();
+        }
+    }
+
+    /// Executes one simulation tick.
+    pub fn tick(&mut self) {
+        let tick = self.config.tick;
+        self.world.step(tick);
+        let now = self.world.now();
+        self.auth_failures_tick = 0;
+
+        // --- attacks act on the shared physics ---
+        let effects = self.attack_engine.step(now, &mut self.medium, &mut self.gnss_field);
+        for effect in effects {
+            match effect {
+                SideEffect::BlindSensor { machine_label, health } => {
+                    if machine_label.starts_with("forwarder") {
+                        // Optical interference blinds both optical
+                        // sensors (camera and LiDAR) — Petit et al.'s
+                        // remote attacks cover both.
+                        self.camera.degrade(health);
+                        self.lidar.degrade(health);
+                    } else if machine_label.starts_with("drone") {
+                        if let Some(d) = &mut self.drone {
+                            d.sensor.degrade(health);
+                        }
+                    }
+                }
+                SideEffect::RestoreSensor { machine_label } => {
+                    if machine_label.starts_with("forwarder") {
+                        self.camera.degrade(1.0);
+                        self.lidar.degrade(1.0);
+                    } else if machine_label.starts_with("drone") {
+                        if let Some(d) = &mut self.drone {
+                            d.sensor.degrade(1.0);
+                        }
+                    }
+                }
+                SideEffect::TamperFirmware { .. } => {
+                    // Takes effect at next boot; verified boot rejects it.
+                    // (Exercised by the secure-boot experiment.)
+                }
+                _ => {}
+            }
+        }
+
+        // --- GNSS-coupled navigation error ---
+        self.apply_gnss_spoof_drift(now, tick);
+
+        // --- perception ---
+        let fw_pos = self.forwarder.position();
+        let heading = self.forwarder.vehicle.heading;
+        let cam = self.camera.detect(&self.world, fw_pos, heading, &mut self.rng);
+        let lidar = self.lidar.detect(&self.world, fw_pos, heading, &mut self.rng);
+
+        // Drone flies escort and streams detections over the radio.
+        self.drone_feed(now, fw_pos);
+
+        let fused = fuse_detections(&[cam, lidar, self.last_drone_feed.clone()]);
+
+        // --- safety supervision (with security response override) ---
+        let mut limit = self.supervisor.update(now, fw_pos, &fused);
+        if let Some(until) = self.degraded_until {
+            if now < until {
+                // Degraded mode: never faster than Slow.
+                if limit == SpeedLimit::Full {
+                    limit = SpeedLimit::Slow;
+                }
+            } else {
+                self.degraded_until = None;
+            }
+        }
+        if let Some(until) = self.security_stop_until {
+            if now < until {
+                limit = SpeedLimit::Stop;
+            } else {
+                self.security_stop_until = None;
+            }
+        }
+
+        // --- machine motion and work ---
+        let before_loads = self.forwarder.loads_delivered();
+        self.forwarder.step(&self.world, limit, tick);
+        self.metrics.loads_delivered += self.forwarder.loads_delivered() - before_loads;
+        let _ = self.harvester.step(now);
+        if limit == SpeedLimit::Stop {
+            self.metrics.stopped_ticks += 1;
+        }
+
+        let fw_pos = self.forwarder.position();
+        self.medium.set_position(
+            self.node_fw,
+            fw_pos.with_z(self.world.ground_at(fw_pos) + 3.0),
+        );
+        if let (Some(node), Some(d)) = (self.node_drone, &self.drone) {
+            self.medium.set_position(node, d.body.position);
+        }
+
+        // --- telemetry uplink fw → bs ---
+        self.telemetry_uplink(now, fw_pos);
+
+        // --- intrusion detection ---
+        self.observe_ids(now, fw_pos);
+
+        // --- safety accounting ---
+        self.account_safety(now, fw_pos, limit);
+        self.metrics.stop_events = self.supervisor.stop_events();
+        self.metrics.distance_m = self.forwarder.distance_travelled();
+        self.metrics.ticks += 1;
+    }
+
+    /// A GNSS-guided machine corrects its trajectory against its fix; a
+    /// dragged fix therefore pushes the *true* position off the plan.
+    fn apply_gnss_spoof_drift(&mut self, now: SimTime, tick: SimDuration) {
+        let truth = self.forwarder.position();
+        let Some(fix) = self.gnss_rx.sample(&self.gnss_field, truth, now, &mut self.rng) else {
+            return; // jammed: navigation falls back to odometry (no drift)
+        };
+        let offset = fix.position - truth;
+        if offset.length() > 3.0 {
+            // The controller steers to cancel the perceived error, moving
+            // the true position opposite to the offset, bounded by what
+            // the machine can physically do in one tick.
+            let max_step = self.forwarder.vehicle.speed_cap.min(2.0) * tick.as_secs_f64();
+            let correction = -offset.normalized() * offset.length().min(max_step);
+            let size = self.config.world.terrain.size_m;
+            let new_pos = Vec2::new(
+                (truth.x + correction.x).clamp(0.0, size),
+                (truth.y + correction.y).clamp(0.0, size),
+            );
+            self.forwarder.vehicle.position = new_pos;
+        }
+    }
+
+    fn drone_feed(&mut self, now: SimTime, fw_pos: Vec2) {
+        self.last_drone_feed.clear();
+        let Some(drone) = &mut self.drone else {
+            return;
+        };
+        let Some(node_drone) = self.node_drone else {
+            return;
+        };
+        drone.step(&self.world, fw_pos, self.config.tick);
+        let detections = drone.detect(&self.world, &mut self.rng);
+
+        let payload = serde_json::to_vec(&detections).expect("detections serialize");
+        let payload = if let Some(links) = &mut self.links {
+            match links.drone.as_mut().map(|s| s.seal(&payload)) {
+                Some(Ok(sealed)) => sealed,
+                _ => return,
+            }
+        } else {
+            payload
+        };
+
+        self.seq += 1;
+        let frame = Frame::data(node_drone, self.node_fw, payload).with_seq(self.seq);
+        self.metrics.drone_feed_sent += 1;
+        // The attacker passively sniffs a fraction of the traffic for
+        // later replay (it is in radio range of the whole stand).
+        if self.seq.is_multiple_of(5) {
+            self.attack_engine.capture(frame.clone());
+        }
+        let env_stand = self.world.stand().clone();
+        let weather = self.world.weather();
+        let _ = self
+            .medium
+            .transmit_env(&env_stand, weather, node_drone, frame, now);
+
+        // Forwarder drains its inbox and decodes the feed.
+        for rx in self.medium.drain_inbox(self.node_fw) {
+            // `fresh` = a first-time, genuinely-sourced feed frame.
+            // Secure links enforce this cryptographically (replays fail
+            // to open); the plaintext path only *measures* it via the
+            // ground-truth sequence log.
+            let (body, fresh) = if let Some(links) = &mut self.links {
+                match links.fw_drone.as_mut().map(|s| s.open(&rx.frame.payload)) {
+                    Some(Ok(plain)) => (plain, true),
+                    Some(Err(_)) => {
+                        self.auth_failures_tick += 1;
+                        self.metrics.auth_failures += 1;
+                        continue;
+                    }
+                    None => continue,
+                }
+            } else {
+                let fresh =
+                    rx.frame.claimed_src == node_drone && self.seen_at_fw.insert(rx.frame.seq);
+                if !fresh {
+                    self.metrics.forged_accepted += 1;
+                }
+                (rx.frame.payload.clone(), fresh)
+            };
+            if let Ok(detections) = serde_json::from_slice::<Vec<Detection>>(&body) {
+                // Stale replayed feeds still overwrite the forwarder's
+                // picture (the attack's harm) but only fresh frames count
+                // towards availability.
+                self.last_drone_feed = detections;
+                if fresh {
+                    self.metrics.drone_feed_delivered += 1;
+                }
+            }
+        }
+    }
+
+    fn telemetry_uplink(&mut self, now: SimTime, fw_pos: Vec2) {
+        let report = format!(
+            "pos={:.1},{:.1};loads={}",
+            fw_pos.x,
+            fw_pos.y,
+            self.forwarder.loads_delivered()
+        );
+        let payload = if let Some(links) = &mut self.links {
+            match links.fw.seal(report.as_bytes()) {
+                Ok(sealed) => sealed,
+                Err(_) => return,
+            }
+        } else {
+            report.into_bytes()
+        };
+        self.seq += 1;
+        let frame = Frame::data(self.node_fw, self.node_bs, payload).with_seq(self.seq);
+        self.metrics.messages_sent += 1;
+        if self.seq.is_multiple_of(5) {
+            self.attack_engine.capture(frame.clone());
+        }
+        let env_stand = self.world.stand().clone();
+        let weather = self.world.weather();
+        let _ = self
+            .medium
+            .transmit_env(&env_stand, weather, self.node_fw, frame, now);
+
+        for rx in self.medium.drain_inbox(self.node_bs) {
+            if let Some(links) = &mut self.links {
+                match links.bs_fw.open(&rx.frame.payload) {
+                    Ok(_) => self.metrics.messages_delivered += 1,
+                    Err(_) => {
+                        self.auth_failures_tick += 1;
+                        self.metrics.auth_failures += 1;
+                    }
+                }
+            } else if rx.frame.claimed_src != self.node_fw || !self.seen_at_bs.insert(rx.frame.seq)
+            {
+                // Forged source or replayed sequence — accepted by the
+                // plaintext receiver (the harm), but not counted as a
+                // legitimate delivery.
+                self.metrics.forged_accepted += 1;
+            } else {
+                self.metrics.messages_delivered += 1;
+            }
+        }
+    }
+
+    fn observe_ids(&mut self, now: SimTime, fw_pos: Vec2) {
+        let Some(ids) = &mut self.ids else {
+            return;
+        };
+        let mut alerts = Vec::new();
+
+        // Radio telemetry for the forwarder's receiver.
+        let stats = self.medium.node_stats(self.node_fw);
+        let deauth_delta = stats.deauth_rx - self.prev_deauth_rx;
+        self.prev_deauth_rx = stats.deauth_rx;
+        let link = self.medium.link_stats(self.node_fw, self.node_bs);
+        let (attempted, delivered) =
+            link.map_or((0, 0), |l| (l.attempted, l.delivered));
+        let att_delta = attempted - self.prev_link_attempted;
+        let del_delta = delivered - self.prev_link_delivered;
+        self.prev_link_attempted = attempted;
+        self.prev_link_delivered = delivered;
+        let delivery_ratio = if att_delta == 0 { 1.0 } else { del_delta as f64 / att_delta as f64 };
+
+        // The roster is fixed at commissioning; any association request
+        // arriving at the base station afterwards is from an unknown
+        // radio.
+        let bs_assoc = self.medium.node_stats(self.node_bs).assoc_rx;
+        let unknown_assoc_delta = bs_assoc - self.prev_bs_assoc_rx;
+        self.prev_bs_assoc_rx = bs_assoc;
+        alerts.extend(ids.observe_radio(&RadioObservation {
+            node_label: "base-01".into(),
+            at: now,
+            noise_dbm: None,
+            delivery_ratio: 1.0,
+            deauth_frames: 0,
+            auth_failures: 0,
+            unknown_assoc_requests: unknown_assoc_delta,
+        }));
+
+        alerts.extend(ids.observe_radio(&RadioObservation {
+            node_label: "forwarder-01".into(),
+            at: now,
+            noise_dbm: stats.noise_ewma.get(),
+            delivery_ratio,
+            deauth_frames: deauth_delta,
+            auth_failures: self.auth_failures_tick,
+            unknown_assoc_requests: 0,
+        }));
+
+        // Navigation cross-check: dead reckoning ≈ odometry (slow drift).
+        let fix = self
+            .gnss_rx
+            .sample(&self.gnss_field, fw_pos, now, &mut self.rng)
+            .map(|f| f.position);
+        let dead_reckoned = Vec2::new(
+            fw_pos.x + self.rng.normal(0.0, 0.4),
+            fw_pos.y + self.rng.normal(0.0, 0.4),
+        );
+        alerts.extend(ids.observe_nav(&NavObservation {
+            machine_label: "forwarder-01".into(),
+            at: now,
+            gnss_fix: fix,
+            dead_reckoned,
+            moving: self.forwarder.vehicle.speed_cap > 0.0,
+        }));
+
+        // Sensor health: nearby trunks + detections are the feature
+        // stream; blinding collapses it.
+        let nearby_trees = self
+            .world
+            .stand()
+            .trees_near_segment(fw_pos, fw_pos + Vec2::new(0.1, 0.0), 25.0)
+            .len();
+        let mut features = 0u32;
+        for _ in 0..nearby_trees.min(60) {
+            if self.rng.chance(0.85 * self.camera.health) {
+                features += 1;
+            }
+        }
+        alerts.extend(ids.observe_sensor(&SensorObservation {
+            sensor_label: "forwarder-01/camera".into(),
+            at: now,
+            feature_count: features,
+        }));
+
+        // Correlate, record and respond.
+        for alert in alerts {
+            self.metrics.record_alert(alert.kind, alert.at);
+            let _ = self.correlator.ingest(&alert);
+            match self.response.decide(&alert) {
+                ResponseAction::SafeStop => {
+                    self.security_stop_until = Some(now + self.config.safe_stop_hold);
+                    self.metrics.security_stops += 1;
+                }
+                ResponseAction::RekeyAndReauth => {
+                    if let Some(links) = &mut self.links {
+                        links.fw.rekey();
+                        links.bs_fw.rekey();
+                        if let (Some(d), Some(f)) = (&mut links.drone, &mut links.fw_drone) {
+                            d.rekey();
+                            f.rekey();
+                        }
+                    }
+                }
+                ResponseAction::DegradedMode => {
+                    self.degraded_until = Some(now + self.config.safe_stop_hold);
+                }
+                ResponseAction::LogOnly => {}
+            }
+        }
+    }
+
+    fn account_safety(&mut self, now: SimTime, fw_pos: Vec2, limit: SpeedLimit) {
+        let mut nearest = f64::INFINITY;
+        for human in self.world.humans() {
+            nearest = nearest.min(human.position.distance(fw_pos));
+        }
+        if nearest <= DANGER_RADIUS_M {
+            self.metrics.danger_zone_ticks += 1;
+            let moving = limit != SpeedLimit::Stop
+                && self.forwarder.vehicle.effective_speed(self.world.terrain()) > 0.3
+                && !self.forwarder.vehicle.path_complete();
+            if moving {
+                self.metrics.moving_danger_ticks += 1;
+                if !self.danger_in_progress {
+                    self.danger_in_progress = true;
+                    self.metrics.safety_incidents.push(SafetyIncident {
+                        at: now,
+                        distance_m: nearest,
+                        speed_mps: self.forwarder.vehicle.effective_speed(self.world.terrain()),
+                    });
+                }
+            } else {
+                self.danger_in_progress = false;
+            }
+        } else {
+            self.danger_in_progress = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SecurityPosture;
+    use silvasec_attacks::prelude::*;
+    use silvasec_sim::terrain::TerrainConfig;
+    use silvasec_sim::vegetation::StandConfig;
+    use silvasec_sim::world::WorldConfig;
+
+    fn small_config(security: SecurityPosture) -> WorksiteConfig {
+        WorksiteConfig {
+            world: WorldConfig {
+                terrain: TerrainConfig { size_m: 300.0, relief_m: 6.0, ..TerrainConfig::default() },
+                stand: StandConfig { trees_per_hectare: 300.0, ..StandConfig::default() },
+                human_count: 2,
+                work_area: Vec2::new(240.0, 240.0),
+                landing_area: Vec2::new(60.0, 60.0),
+                ..WorldConfig::default()
+            },
+            security,
+            ..WorksiteConfig::default()
+        }
+    }
+
+    #[test]
+    fn secure_site_runs_and_hauls() {
+        let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 1);
+        site.run(SimDuration::from_secs(600));
+        let m = site.metrics();
+        assert_eq!(m.ticks, 1200);
+        assert!(m.distance_m > 100.0, "forwarder barely moved: {} m", m.distance_m);
+        assert!(m.messages_sent > 1000);
+        assert!(m.delivery_ratio() > 0.8, "delivery {}", m.delivery_ratio());
+        assert_eq!(m.forged_accepted, 0);
+    }
+
+    #[test]
+    fn insecure_site_also_operates() {
+        let mut site = Worksite::new(&small_config(SecurityPosture::insecure()), 1);
+        site.run(SimDuration::from_secs(300));
+        assert!(site.metrics().messages_delivered > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let run = |seed| {
+            let mut site = Worksite::new(&small_config(SecurityPosture::secure()), seed);
+            site.run(SimDuration::from_secs(120));
+            (
+                site.metrics().messages_delivered,
+                site.metrics().distance_m.to_bits(),
+                site.metrics().danger_zone_ticks,
+            )
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn jamming_degrades_delivery_and_is_detected() {
+        let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 2);
+        site.attack_engine_mut().add_campaign(AttackCampaign {
+            kind: AttackKind::RfJamming,
+            target: AttackTarget::Area { center: Vec2::new(150.0, 150.0), radius_m: 300.0 },
+            start: SimTime::from_secs(60),
+            duration: SimDuration::from_secs(120),
+            intensity: 1.0,
+        });
+        site.run(SimDuration::from_secs(300));
+        let m = site.metrics();
+        assert!(m.delivery_ratio() < 0.9, "jamming had no effect: {}", m.delivery_ratio());
+        assert!(m.alert_count(silvasec_ids::AlertKind::Jamming) > 0, "jamming undetected");
+        let first = m.first_alert_at.get("jamming").copied().unwrap();
+        assert!(first >= SimTime::from_secs(60));
+        assert!(first <= SimTime::from_secs(120), "detected too late: {first}");
+    }
+
+    #[test]
+    fn camera_blinding_detected_and_safe_stopped() {
+        let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 3);
+        site.attack_engine_mut().add_campaign(AttackCampaign {
+            kind: AttackKind::CameraBlinding,
+            target: AttackTarget::Machine { label: "forwarder-01".into() },
+            start: SimTime::from_secs(120),
+            duration: SimDuration::from_secs(120),
+            intensity: 1.0,
+        });
+        site.run(SimDuration::from_secs(360));
+        let m = site.metrics();
+        assert!(
+            m.alert_count(silvasec_ids::AlertKind::SensorBlinding) > 0,
+            "blinding undetected; alerts: {:?}",
+            m.alerts
+        );
+        assert!(m.security_stops > 0, "no protective stop commanded");
+    }
+
+    #[test]
+    fn rogue_node_association_detected() {
+        let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 5);
+        site.attack_engine_mut().add_campaign(AttackCampaign {
+            kind: AttackKind::RogueNode,
+            target: AttackTarget::Link {
+                spoof_as: silvasec_comms::NodeId(0),
+                victim: silvasec_comms::NodeId(0),
+            },
+            start: SimTime::from_secs(60),
+            duration: SimDuration::from_secs(60),
+            intensity: 1.0,
+        });
+        site.run(SimDuration::from_secs(180));
+        assert!(
+            site.metrics().alert_count(silvasec_ids::AlertKind::RogueAssociation) > 0,
+            "rogue association undetected; alerts: {:?}",
+            site.metrics().alerts
+        );
+    }
+
+    #[test]
+    fn replay_rejected_when_secure_accepted_when_not() {
+        let campaign = AttackCampaign {
+            kind: AttackKind::Replay,
+            target: AttackTarget::Network,
+            start: SimTime::from_secs(30),
+            duration: SimDuration::from_secs(120),
+            intensity: 1.0,
+        };
+        let run = |posture: SecurityPosture| {
+            let mut site = Worksite::new(&small_config(posture), 4);
+            site.attack_engine_mut().add_campaign(campaign.clone());
+            site.run(SimDuration::from_secs(240));
+            (site.metrics().forged_accepted, site.metrics().auth_failures)
+        };
+        let (secure_forged, secure_auth_failures) = run(SecurityPosture::secure());
+        let (insecure_forged, _) = run(SecurityPosture::insecure());
+        assert_eq!(secure_forged, 0, "secure channel accepted forged traffic");
+        assert!(
+            insecure_forged > 0,
+            "insecure site should have accepted replayed frames"
+        );
+        assert!(secure_auth_failures > 0, "replays should surface as auth failures");
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: commission a worksite PKI, establish a secure channel,
+//! run the worksite for ten simulated minutes, and print the
+//! CE-certification verdict.
+//!
+//! Run with: `cargo run -p silvasec --example quickstart`
+
+use silvasec::certify::certify_worksite;
+use silvasec::prelude::*;
+
+fn main() {
+    // --- 1. The security substrate in isolation ---------------------
+    // A root CA, two certified machines, and an authenticated channel.
+    let mut root =
+        CertificateAuthority::new_root("worksite-root", &[1u8; 32], Validity::new(0, 1_000_000));
+    let store = TrustStore::with_roots([root.certificate().clone()]);
+
+    let fw_key = silvasec::crypto::schnorr::SigningKey::from_seed(&[2u8; 32]);
+    let fw_cert = root.issue_mut(
+        &Subject::new("forwarder-01", ComponentRole::Forwarder),
+        &fw_key.verifying_key(),
+        KeyUsage::AUTHENTICATION,
+        Validity::new(0, 500_000),
+    );
+    let bs_key = silvasec::crypto::schnorr::SigningKey::from_seed(&[3u8; 32]);
+    let bs_cert = root.issue_mut(
+        &Subject::new("base-01", ComponentRole::BaseStation),
+        &bs_key.verifying_key(),
+        KeyUsage::AUTHENTICATION,
+        Validity::new(0, 500_000),
+    );
+
+    let policy = HandshakePolicy::new(store, 100);
+    let (init, hello) = Initiator::start(Identity::new(vec![fw_cert], fw_key), [4u8; 32], [5u8; 32]);
+    let (resp, reply) = Responder::respond(
+        Identity::new(vec![bs_cert], bs_key),
+        &policy,
+        &hello,
+        [6u8; 32],
+        [7u8; 32],
+    )
+    .expect("responder accepts certified peer");
+    let (mut fw_session, finished) = init.finish(&policy, &reply).expect("initiator accepts");
+    let mut bs_session = resp.complete(&finished).expect("handshake completes");
+
+    let record = fw_session.seal(b"loads=3;pos=120.5,88.2").expect("seal");
+    let plain = bs_session.open(&record).expect("authentic record opens");
+    println!("secure channel up: base station authenticated '{}'", bs_session.peer_id());
+    println!("  telemetry: {}", String::from_utf8_lossy(&plain));
+
+    // --- 2. The full worksite ----------------------------------------
+    let mut site = Worksite::new(&WorksiteConfig::default(), 42);
+    site.run(SimDuration::from_secs(600));
+    let m = site.metrics();
+    println!("\nten simulated minutes of operation:");
+    println!("  loads delivered:    {}", m.loads_delivered);
+    println!("  distance driven:    {:.0} m", m.distance_m);
+    println!("  telemetry delivery: {:.1}%", m.delivery_ratio() * 100.0);
+    println!("  safety incidents:   {}", m.safety_incidents.len());
+    println!("  supervisor stops:   {}", m.stop_events);
+
+    // --- 3. The certification pipeline --------------------------------
+    let report = certify_worksite(true);
+    println!("\ncertification pipeline over the hardened worksite:");
+    println!("  risks assessed:     {}", report.risk_count);
+    println!("  high risks:         {}", report.high_risk_count);
+    println!("  requirements:       {}", report.requirement_count);
+    println!("  goal coverage:      {:.0}%", report.goal_coverage * 100.0);
+    println!("  verdict:            {:?}", report.verdict);
+}

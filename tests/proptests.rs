@@ -1,0 +1,216 @@
+//! Property-based tests over the core invariants of every substrate.
+
+use proptest::prelude::*;
+use silvasec::crypto::aead::ChaCha20Poly1305;
+use silvasec::crypto::edwards::EdwardsPoint;
+use silvasec::crypto::field::FieldElement;
+use silvasec::crypto::scalar::Scalar;
+use silvasec::crypto::schnorr::SigningKey;
+use silvasec::crypto::{hkdf, sha256};
+use silvasec::prelude::*;
+use silvasec::risk::feasibility::{AttackFeasibility, AttackPotential};
+use silvasec::risk::impact::ImpactLevel;
+use silvasec::risk::RiskLevel;
+use silvasec_channel::replay::ReplayWindow;
+
+proptest! {
+    // ---------------- crypto ----------------
+
+    #[test]
+    fn aead_roundtrip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                      aad in proptest::collection::vec(any::<u8>(), 0..64),
+                      pt in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let aead = ChaCha20Poly1305::new(&key);
+        let sealed = aead.seal(&nonce, &aad, &pt);
+        prop_assert_eq!(aead.open(&nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn aead_tamper_always_detected(key in any::<[u8; 32]>(),
+                                   pt in proptest::collection::vec(any::<u8>(), 1..128),
+                                   flip_byte in any::<usize>(), flip_bit in 0u8..8) {
+        let aead = ChaCha20Poly1305::new(&key);
+        let mut sealed = aead.seal(&[0u8; 12], b"", &pt);
+        let idx = flip_byte % sealed.len();
+        sealed[idx] ^= 1 << flip_bit;
+        prop_assert!(aead.open(&[0u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                         split in any::<usize>()) {
+        let s = split % (data.len() + 1);
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..s]);
+        h.update(&data[s..]);
+        prop_assert_eq!(h.finalize(), sha256::digest(&data));
+    }
+
+    #[test]
+    fn hkdf_prefix_stability(ikm in any::<[u8; 32]>(), len_a in 1usize..100, len_b in 1usize..100) {
+        // Expanding to different lengths agrees on the common prefix.
+        let prk = hkdf::extract(b"salt", &ikm);
+        let mut a = vec![0u8; len_a];
+        let mut b = vec![0u8; len_b];
+        hkdf::expand(&prk, b"info", &mut a);
+        hkdf::expand(&prk, b"info", &mut b);
+        let n = len_a.min(len_b);
+        prop_assert_eq!(&a[..n], &b[..n]);
+    }
+
+    #[test]
+    fn field_algebra(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (fa, fb, fc) = (FieldElement::from_u64(a), FieldElement::from_u64(b), FieldElement::from_u64(c));
+        prop_assert_eq!(fa.add(&fb), fb.add(&fa));
+        prop_assert_eq!(fa.mul(&fb), fb.mul(&fa));
+        prop_assert_eq!(fa.mul(&fb.add(&fc)), fa.mul(&fb).add(&fa.mul(&fc)));
+        prop_assert_eq!(fa.sub(&fa), FieldElement::ZERO);
+    }
+
+    #[test]
+    fn field_inverse(a in 1u64..) {
+        let fa = FieldElement::from_u64(a);
+        prop_assert_eq!(fa.mul(&fa.invert()), FieldElement::ONE);
+    }
+
+    #[test]
+    fn scalar_ring_axioms(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sa = Scalar::from_bytes_mod_order(&a);
+        let sb = Scalar::from_bytes_mod_order(&b);
+        prop_assert_eq!(sa.add(&sb), sb.add(&sa));
+        prop_assert_eq!(sa.mul(&sb), sb.mul(&sa));
+        prop_assert_eq!(sa.sub(&sa), Scalar::ZERO);
+        prop_assert_eq!(sa.add(&sa.neg()), Scalar::ZERO);
+    }
+
+    #[test]
+    fn edwards_group_homomorphism(a in any::<u64>(), b in any::<u64>()) {
+        let base = EdwardsPoint::basepoint();
+        let sa = Scalar::from_u64(a);
+        let sb = Scalar::from_u64(b);
+        prop_assert_eq!(
+            base.scalar_mul(&sa.add(&sb)),
+            base.scalar_mul(&sa).add(&base.scalar_mul(&sb))
+        );
+    }
+
+    #[test]
+    fn signatures_roundtrip(seed in any::<[u8; 32]>(),
+                            msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let sk = SigningKey::from_seed(&seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        // A different message never verifies.
+        let mut other = msg.clone();
+        other.push(0x55);
+        prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+    }
+
+    // ---------------- channel ----------------
+
+    #[test]
+    fn replay_window_accepts_each_seq_once(seqs in proptest::collection::vec(0u64..5000, 1..200)) {
+        let mut window = ReplayWindow::new();
+        let mut accepted = std::collections::HashSet::new();
+        for seq in seqs {
+            let result = window.accept(seq);
+            if result.is_ok() {
+                prop_assert!(accepted.insert(seq), "seq {} accepted twice", seq);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_window_never_rejects_fresh_in_order(start in 0u64..1000, n in 1u64..300) {
+        let mut window = ReplayWindow::new();
+        for seq in start..start + n {
+            prop_assert!(window.accept(seq).is_ok());
+        }
+    }
+
+    // ---------------- sim ----------------
+
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_millis(*t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    #[test]
+    fn terrain_height_bounded_and_symmetric_los(seed in any::<u64>()) {
+        let terrain = silvasec::sim::terrain::Terrain::generate(
+            &silvasec::sim::terrain::TerrainConfig {
+                size_m: 200.0, ..silvasec::sim::terrain::TerrainConfig::default()
+            },
+            &mut SimRng::from_seed(seed),
+        );
+        let stand = silvasec::sim::vegetation::TreeStand::from_trees(Vec::new(), 200.0);
+        let a = Vec3::new(20.0, 30.0, terrain.height_at(Vec2::new(20.0, 30.0)) + 2.0);
+        let b = Vec3::new(170.0, 150.0, terrain.height_at(Vec2::new(170.0, 150.0)) + 2.0);
+        let ab = silvasec::sim::los::line_of_sight(&terrain, &stand, a, b);
+        let ba = silvasec::sim::los::line_of_sight(&terrain, &stand, b, a);
+        // LoS over terrain-only occluders is symmetric.
+        prop_assert_eq!(ab.is_blocked(), ba.is_blocked());
+    }
+
+    // ---------------- risk ----------------
+
+    #[test]
+    fn risk_matrix_monotone(i1 in 0u8..4, i2 in 0u8..4, f1 in 0u8..4, f2 in 0u8..4) {
+        let impact = |v: u8| match v {
+            0 => ImpactLevel::Negligible,
+            1 => ImpactLevel::Moderate,
+            2 => ImpactLevel::Major,
+            _ => ImpactLevel::Severe,
+        };
+        let feas = |v: u8| match v {
+            0 => AttackFeasibility::VeryLow,
+            1 => AttackFeasibility::Low,
+            2 => AttackFeasibility::Medium,
+            _ => AttackFeasibility::High,
+        };
+        if i1 <= i2 && f1 <= f2 {
+            prop_assert!(
+                RiskLevel::from_matrix(impact(i1), feas(f1))
+                    <= RiskLevel::from_matrix(impact(i2), feas(f2))
+            );
+        }
+    }
+
+    #[test]
+    fn attack_potential_feasibility_antitone(t1 in 0u8..20, e1 in 0u8..9, t2 in 0u8..20, e2 in 0u8..9) {
+        let p1 = AttackPotential::new(t1, e1, 0, 0, 0);
+        let p2 = AttackPotential::new(t2, e2, 0, 0, 0);
+        if p1.total() <= p2.total() {
+            prop_assert!(p1.feasibility() >= p2.feasibility());
+        }
+    }
+
+    // ---------------- assurance ----------------
+
+    #[test]
+    fn random_goal_trees_are_well_formed(n in 1usize..30) {
+        // A generated strict tree of goals with solutions at the leaves
+        // must always pass the checker.
+        let mut case = AssuranceCase::new("generated");
+        let root = case.add_node(NodeKind::Goal, "G0", "root");
+        let mut parents = vec![root.clone()];
+        for i in 1..=n {
+            let parent = parents[i % parents.len()].clone();
+            let goal = case.add_node(NodeKind::Goal, format!("G{i}"), "sub");
+            case.supported_by(&parent, &goal);
+            let sol = case.add_node(NodeKind::Solution, format!("Sn{i}"), "evidence");
+            case.supported_by(&goal, &sol);
+            parents.push(goal);
+        }
+        prop_assert!(case.check().is_empty());
+        prop_assert_eq!(case.goal_coverage(), 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The revocation drill: a constituent of the system of systems is
+//! compromised, its certificate is revoked, and the worksite must stop
+//! trusting it — the SoS "evolutionary development" and "management
+//! independence" concerns (paper Sec. IV-E) made operational.
+
+use silvasec::prelude::*;
+use silvasec::sos::pki_setup::WorksitePki;
+
+struct Drill {
+    pki: WorksitePki,
+    drone: silvasec::sos::pki_setup::MachineCredentials,
+    forwarder: silvasec::sos::pki_setup::MachineCredentials,
+}
+
+fn commission() -> Drill {
+    let mut rng = SimRng::from_seed(77);
+    let mut pki = WorksitePki::commission(&mut rng, 1_000_000);
+    let drone = pki.commission_machine(
+        "drone-01",
+        ComponentRole::Drone,
+        1,
+        &mut rng,
+        Validity::new(0, 500_000),
+    );
+    let forwarder = pki.commission_machine(
+        "forwarder-01",
+        ComponentRole::Forwarder,
+        1,
+        &mut rng,
+        Validity::new(0, 500_000),
+    );
+    Drill { pki, drone, forwarder }
+}
+
+fn handshake(
+    policy: &HandshakePolicy,
+    initiator: &Identity,
+    responder: &Identity,
+) -> Result<(), ChannelError> {
+    let (init, hello) = Initiator::start(initiator.clone(), [1u8; 32], [2u8; 32]);
+    let (resp, reply) = Responder::respond(responder.clone(), policy, &hello, [3u8; 32], [4u8; 32])?;
+    let (_, finished) = init.finish(policy, &reply)?;
+    let _ = resp.complete(&finished)?;
+    Ok(())
+}
+
+#[test]
+fn compromised_drone_is_evicted_by_revocation() {
+    let mut drill = commission();
+    let policy = HandshakePolicy::new(drill.pki.store.clone(), 1_000);
+
+    // Before revocation the drone authenticates fine.
+    assert!(handshake(&policy, &drill.drone.identity, &drill.forwarder.identity).is_ok());
+
+    // The drone is found compromised at t=2000; the CA revokes serial 1
+    // (the drone was the first machine commissioned).
+    drill.pki.root.revoke(1, 2_000);
+    let crl = drill.pki.root.sign_crl(2_100);
+
+    let policy_after = HandshakePolicy::new(drill.pki.store.clone(), 3_000)
+        .with_crls(vec![crl.clone()]);
+
+    // The drone can no longer open channels in either role.
+    assert!(matches!(
+        handshake(&policy_after, &drill.drone.identity, &drill.forwarder.identity),
+        Err(ChannelError::Pki(PkiError::Revoked { .. }))
+    ));
+    assert!(matches!(
+        handshake(&policy_after, &drill.forwarder.identity, &drill.drone.identity),
+        Err(ChannelError::Pki(PkiError::Revoked { .. }))
+    ));
+
+    // The forwarder (serial 2) is unaffected: it still authenticates to a
+    // freshly commissioned replacement drone.
+    let mut rng = SimRng::from_seed(78);
+    let replacement = drill.pki.commission_machine(
+        "drone-02",
+        ComponentRole::Drone,
+        1,
+        &mut rng,
+        Validity::new(0, 500_000),
+    );
+    assert!(handshake(&policy_after, &drill.forwarder.identity, &replacement.identity).is_ok());
+}
+
+#[test]
+fn stale_crl_policy_forces_fresh_revocation_data() {
+    // Table I's remote-location characteristic: machines offline for long
+    // periods must not keep trusting ancient CRLs.
+    let mut drill = commission();
+    drill.pki.root.revoke(1, 2_000);
+    let old_crl = drill.pki.root.sign_crl(2_100);
+
+    let mut strict_store = drill.pki.store.clone();
+    strict_store.set_max_crl_age(1_000);
+
+    // At t=10_000 the CRL is 7_900 old — validation must refuse to
+    // conclude anything from it.
+    let policy = HandshakePolicy::new(strict_store, 10_000).with_crls(vec![old_crl]);
+    assert!(matches!(
+        handshake(&policy, &drill.forwarder.identity, &drill.drone.identity),
+        Err(ChannelError::Pki(PkiError::BadCrl))
+    ));
+
+    // A fresh CRL restores decidability (and still rejects the drone).
+    let fresh_crl = drill.pki.root.sign_crl(9_800);
+    let mut strict_store = drill.pki.store.clone();
+    strict_store.set_max_crl_age(1_000);
+    let policy = HandshakePolicy::new(strict_store, 10_000).with_crls(vec![fresh_crl]);
+    assert!(matches!(
+        handshake(&policy, &drill.drone.identity, &drill.forwarder.identity),
+        Err(ChannelError::Pki(PkiError::Revoked { .. }))
+    ));
+}

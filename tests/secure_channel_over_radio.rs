@@ -1,0 +1,135 @@
+//! The secure channel run end-to-end over the *lossy simulated radio*:
+//! handshake messages and records travel as frames with retries, exactly
+//! as a deployment would run them.
+
+use silvasec::prelude::*;
+
+/// Transmits `payload` from `src` to `dst` with up to `retries` attempts;
+/// returns the delivered bytes (from the receiver's inbox) if any attempt
+/// got through.
+fn send_with_retries(
+    medium: &mut Medium,
+    src: NodeId,
+    dst: NodeId,
+    payload: Vec<u8>,
+    retries: u32,
+    now: SimTime,
+) -> Option<Vec<u8>> {
+    for attempt in 0..retries {
+        let frame = Frame::data(src, dst, payload.clone()).with_seq(u64::from(attempt));
+        let outcome = medium.transmit(src, frame, now);
+        if outcome.delivered {
+            let rx = medium.drain_inbox(dst);
+            return rx.into_iter().next_back().map(|r| r.frame.payload);
+        }
+    }
+    None
+}
+
+fn pki_fixture() -> (HandshakePolicy, Identity, Identity) {
+    let mut root =
+        CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
+    let store = TrustStore::with_roots([root.certificate().clone()]);
+    let make = |id: &str, role, seed: u8, root: &mut CertificateAuthority| {
+        let key = silvasec::crypto::schnorr::SigningKey::from_seed(&[seed; 32]);
+        let cert = root.issue_mut(
+            &Subject::new(id, role),
+            &key.verifying_key(),
+            KeyUsage::AUTHENTICATION,
+            Validity::new(0, 500_000),
+        );
+        Identity::new(vec![cert], key)
+    };
+    let fw = make("forwarder-01", ComponentRole::Forwarder, 2, &mut root);
+    let bs = make("base-01", ComponentRole::BaseStation, 3, &mut root);
+    (HandshakePolicy::new(store, 100), fw, bs)
+}
+
+#[test]
+fn handshake_and_records_over_lossy_link() {
+    let (policy, fw, bs) = pki_fixture();
+    let mut medium = Medium::new(MediumConfig::default(), SimRng::from_seed(9));
+    // A 180 m link: lossy but workable with retries.
+    let node_fw = medium.add_node(Vec3::new(0.0, 0.0, 3.0));
+    let node_bs = medium.add_node(Vec3::new(180.0, 0.0, 6.0));
+    let now = SimTime::ZERO;
+
+    // Handshake over the air.
+    let (init, hello) = Initiator::start(fw, [10u8; 32], [11u8; 32]);
+    let hello_rx = send_with_retries(&mut medium, node_fw, node_bs, hello, 20, now)
+        .expect("hello never arrived");
+    let (resp, reply) =
+        Responder::respond(bs, &policy, &hello_rx, [12u8; 32], [13u8; 32]).expect("respond");
+    let reply_rx = send_with_retries(&mut medium, node_bs, node_fw, reply, 20, now)
+        .expect("reply never arrived");
+    let (mut fw_session, finished) = init.finish(&policy, &reply_rx).expect("finish");
+    let finished_rx = send_with_retries(&mut medium, node_fw, node_bs, finished, 20, now)
+        .expect("finished never arrived");
+    let mut bs_session = resp.complete(&finished_rx).expect("complete");
+
+    // Authenticated records over the same link, with per-record retries.
+    let mut delivered = 0;
+    for i in 0..50u32 {
+        let msg = format!("telemetry {i}");
+        let record = fw_session.seal(msg.as_bytes()).expect("seal");
+        if let Some(rx) = send_with_retries(&mut medium, node_fw, node_bs, record, 10, now) {
+            let plain = bs_session.open(&rx).expect("authentic record");
+            assert_eq!(plain, msg.as_bytes());
+            delivered += 1;
+        }
+    }
+    assert!(delivered >= 45, "only {delivered}/50 records made it");
+}
+
+#[test]
+fn attacker_cannot_impersonate_over_radio() {
+    let (policy, fw, _bs) = pki_fixture();
+    // An attacker with a self-signed certificate answers the hello.
+    let mut rogue_root =
+        CertificateAuthority::new_root("rogue", &[9u8; 32], Validity::new(0, 1_000_000));
+    let rogue_key = silvasec::crypto::schnorr::SigningKey::from_seed(&[8u8; 32]);
+    let rogue_cert = rogue_root.issue_mut(
+        &Subject::new("base-01", ComponentRole::BaseStation), // even the right name!
+        &rogue_key.verifying_key(),
+        KeyUsage::AUTHENTICATION,
+        Validity::new(0, 500_000),
+    );
+    let rogue = Identity::new(vec![rogue_cert], rogue_key);
+
+    let (init, hello) = Initiator::start(fw, [10u8; 32], [11u8; 32]);
+    // A real attacker skips validation entirely; emulate that with a
+    // permissive policy (trusting every root it has seen) so the rogue
+    // can produce a reply at all.
+    let mut permissive_store = TrustStore::with_roots([rogue_root.certificate().clone()]);
+    {
+        // The rogue also "trusts" the genuine worksite root — it does not
+        // care who it talks to.
+        let genuine_root =
+            CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
+        permissive_store.add_root(genuine_root.certificate().clone()).unwrap();
+    }
+    let rogue_policy = HandshakePolicy::new(permissive_store, 100);
+    let (_, reply) =
+        Responder::respond(rogue, &rogue_policy, &hello, [12u8; 32], [13u8; 32]).expect("rogue answers");
+    // The forwarder rejects: the rogue's chain does not anchor in the
+    // worksite root.
+    assert!(matches!(
+        init.finish(&policy, &reply),
+        Err(ChannelError::Pki(_))
+    ));
+}
+
+#[test]
+fn replayed_records_rejected_after_radio_duplication() {
+    let (policy, fw, bs) = pki_fixture();
+    let (init, hello) = Initiator::start(fw, [10u8; 32], [11u8; 32]);
+    let (resp, reply) =
+        Responder::respond(bs, &policy, &hello, [12u8; 32], [13u8; 32]).expect("respond");
+    let (mut fw_session, finished) = init.finish(&policy, &reply).expect("finish");
+    let mut bs_session = resp.complete(&finished).expect("complete");
+
+    let record = fw_session.seal(b"drive to waypoint 7").expect("seal");
+    assert!(bs_session.open(&record).is_ok());
+    // The radio (or an attacker) duplicates the frame.
+    assert!(matches!(bs_session.open(&record), Err(ChannelError::Replay)));
+}
