@@ -89,7 +89,10 @@ pub fn build_security_case(report: &TaraReport, scope: &str) -> AssuranceCase {
             let solution = case.add_node(
                 NodeKind::Solution,
                 format!("Sn.{}", risk.threat_id),
-                format!("risk acceptance record for {} ({:?})", risk.threat_id, risk.treatment),
+                format!(
+                    "risk acceptance record for {} ({:?})",
+                    risk.threat_id, risk.treatment
+                ),
             );
             case.supported_by(&goal, &solution);
             let ev_id = format!("ev.{}.acceptance", risk.threat_id);
@@ -201,7 +204,10 @@ mod tests {
         assert!(hit > 0);
         let doubted = c.goals_in_doubt(0);
         assert!(!doubted.is_empty());
-        assert!(doubted.iter().any(|g| g.0 == "G.root"), "root must be in doubt");
+        assert!(
+            doubted.iter().any(|g| g.0 == "G.root"),
+            "root must be in doubt"
+        );
     }
 
     #[test]

@@ -66,11 +66,19 @@ impl AssuranceCase {
     /// Creates an empty case.
     #[must_use]
     pub fn new(title: impl Into<String>) -> Self {
-        AssuranceCase { title: title.into(), ..AssuranceCase::default() }
+        AssuranceCase {
+            title: title.into(),
+            ..AssuranceCase::default()
+        }
     }
 
     /// Adds a node; returns its id for chaining.
-    pub fn add_node(&mut self, kind: NodeKind, id: impl Into<String>, statement: impl Into<String>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        kind: NodeKind,
+        id: impl Into<String>,
+        statement: impl Into<String>,
+    ) -> NodeId {
         let id = NodeId::new(id);
         self.nodes.push(Node {
             id: id.clone(),
@@ -91,12 +99,20 @@ impl AssuranceCase {
 
     /// Connects `from` `SupportedBy` `to`.
     pub fn supported_by(&mut self, from: &NodeId, to: &NodeId) {
-        self.edges.push(Edge { from: from.clone(), to: to.clone(), kind: EdgeKind::SupportedBy });
+        self.edges.push(Edge {
+            from: from.clone(),
+            to: to.clone(),
+            kind: EdgeKind::SupportedBy,
+        });
     }
 
     /// Connects `from` `InContextOf` `to`.
     pub fn in_context_of(&mut self, from: &NodeId, to: &NodeId) {
-        self.edges.push(Edge { from: from.clone(), to: to.clone(), kind: EdgeKind::InContextOf });
+        self.edges.push(Edge {
+            from: from.clone(),
+            to: to.clone(),
+            kind: EdgeKind::InContextOf,
+        });
     }
 
     /// Registers an evidence item.
@@ -149,19 +165,29 @@ impl AssuranceCase {
         // Edge typing and dangling references.
         for e in &self.edges {
             let (Some(from), Some(to)) = (self.node(&e.from), self.node(&e.to)) else {
-                let missing = if self.node(&e.from).is_none() { e.from.clone() } else { e.to.clone() };
+                let missing = if self.node(&e.from).is_none() {
+                    e.from.clone()
+                } else {
+                    e.to.clone()
+                };
                 defects.push(Defect::DanglingEdge { missing });
                 continue;
             };
             match e.kind {
                 EdgeKind::SupportedBy => {
                     if !from.kind.can_be_supported() || to.kind.is_contextual() {
-                        defects.push(Defect::IllTypedEdge { from: e.from.clone(), to: e.to.clone() });
+                        defects.push(Defect::IllTypedEdge {
+                            from: e.from.clone(),
+                            to: e.to.clone(),
+                        });
                     }
                 }
                 EdgeKind::InContextOf => {
                     if !to.kind.is_contextual() {
-                        defects.push(Defect::IllTypedEdge { from: e.from.clone(), to: e.to.clone() });
+                        defects.push(Defect::IllTypedEdge {
+                            from: e.from.clone(),
+                            to: e.to.clone(),
+                        });
                     }
                 }
             }
@@ -181,7 +207,9 @@ impl AssuranceCase {
                     defects.push(Defect::UnsupportedGoal { goal: n.id.clone() });
                 }
                 NodeKind::Strategy if supports == 0 => {
-                    defects.push(Defect::EmptyStrategy { strategy: n.id.clone() });
+                    defects.push(Defect::EmptyStrategy {
+                        strategy: n.id.clone(),
+                    });
                 }
                 _ => {}
             }
@@ -246,7 +274,11 @@ impl AssuranceCase {
     /// — i.e. developed goals / all goals.
     #[must_use]
     pub fn goal_coverage(&self) -> f64 {
-        let goals: Vec<&Node> = self.nodes.iter().filter(|n| n.kind == NodeKind::Goal).collect();
+        let goals: Vec<&Node> = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Goal)
+            .collect();
         if goals.is_empty() {
             return 1.0;
         }
@@ -264,8 +296,11 @@ impl AssuranceCase {
     /// `now_ms` (solutions citing nothing count as unbacked).
     #[must_use]
     pub fn evidence_coverage(&self, now_ms: u64) -> f64 {
-        let solutions: Vec<&Node> =
-            self.nodes.iter().filter(|n| n.kind == NodeKind::Solution).collect();
+        let solutions: Vec<&Node> = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Solution)
+            .collect();
         if solutions.is_empty() {
             return 1.0;
         }
@@ -390,7 +425,11 @@ impl AssuranceCase {
             node.kind,
             node.id,
             node.statement,
-            if node.undeveloped { " (undeveloped)" } else { "" }
+            if node.undeveloped {
+                " (undeveloped)"
+            } else {
+                ""
+            }
         );
         if !visited.insert(&node.id) {
             return;
@@ -454,7 +493,9 @@ mod tests {
         c.supported_by(&s1, &sn2);
         c.supported_by(&g2, &sn1);
         c.in_context_of(&g1, &ctx);
-        c.register_evidence(Evidence::new("ev.ids", "IDS detects jamming", "sim").with_tags(&["comms"]));
+        c.register_evidence(
+            Evidence::new("ev.ids", "IDS detects jamming", "sim").with_tags(&["comms"]),
+        );
         c.register_evidence(Evidence::new("ev.chan", "handshake verified", "test"));
         c.cite_evidence(&sn1, "ev.ids");
         c.cite_evidence(&sn2, "ev.chan");
@@ -473,7 +514,9 @@ mod tests {
         let mut c = small_case();
         c.add_node(NodeKind::Goal, "G3", "orphan goal");
         let defects = c.check();
-        assert!(defects.iter().any(|d| matches!(d, Defect::UnsupportedGoal { goal } if goal.0 == "G3")));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, Defect::UnsupportedGoal { goal } if goal.0 == "G3")));
         // Marked undeveloped, it becomes acceptable.
         c.mark_undeveloped(&NodeId::new("G3"));
         assert!(c.check().is_empty());
@@ -493,19 +536,28 @@ mod tests {
         let mut c = small_case();
         // Solution cannot support.
         c.supported_by(&NodeId::new("Sn1"), &NodeId::new("G2"));
-        assert!(c.check().iter().any(|d| matches!(d, Defect::IllTypedEdge { .. })));
+        assert!(c
+            .check()
+            .iter()
+            .any(|d| matches!(d, Defect::IllTypedEdge { .. })));
 
         let mut c2 = small_case();
         // SupportedBy onto a context is ill-typed.
         c2.supported_by(&NodeId::new("G1"), &NodeId::new("C1"));
-        assert!(c2.check().iter().any(|d| matches!(d, Defect::IllTypedEdge { .. })));
+        assert!(c2
+            .check()
+            .iter()
+            .any(|d| matches!(d, Defect::IllTypedEdge { .. })));
     }
 
     #[test]
     fn dangling_edge_detected() {
         let mut c = small_case();
         c.supported_by(&NodeId::new("G1"), &NodeId::new("nope"));
-        assert!(c.check().iter().any(|d| matches!(d, Defect::DanglingEdge { .. })));
+        assert!(c
+            .check()
+            .iter()
+            .any(|d| matches!(d, Defect::DanglingEdge { .. })));
     }
 
     #[test]
@@ -522,7 +574,10 @@ mod tests {
     fn duplicate_node_detected() {
         let mut c = small_case();
         c.add_node(NodeKind::Goal, "G1", "duplicate");
-        assert!(c.check().iter().any(|d| matches!(d, Defect::DuplicateNode { .. })));
+        assert!(c
+            .check()
+            .iter()
+            .any(|d| matches!(d, Defect::DuplicateNode { .. })));
     }
 
     #[test]

@@ -40,7 +40,11 @@ pub struct Evidence {
 
 impl Evidence {
     /// Creates a non-expiring, valid evidence item.
-    pub fn new(id: impl Into<String>, description: impl Into<String>, source: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Self {
         Evidence {
             id: id.into(),
             description: description.into(),

@@ -55,7 +55,10 @@ impl NodeKind {
     /// Whether this kind attaches via `InContextOf`.
     #[must_use]
     pub fn is_contextual(self) -> bool {
-        matches!(self, NodeKind::Context | NodeKind::Assumption | NodeKind::Justification)
+        matches!(
+            self,
+            NodeKind::Context | NodeKind::Assumption | NodeKind::Justification
+        )
     }
 
     /// The CAE name of this kind.

@@ -48,7 +48,7 @@ pub use gsn::{EdgeKind, NodeId, NodeKind};
 
 /// Convenient glob import of the crate's primary types.
 pub mod prelude {
-    pub use crate::builder::{build_security_case, build_interplay_case};
+    pub use crate::builder::{build_interplay_case, build_security_case};
     pub use crate::case::{AssuranceCase, Defect};
     pub use crate::evidence::{Evidence, EvidenceStatus};
     pub use crate::gsn::{EdgeKind, NodeId, NodeKind};

@@ -265,10 +265,9 @@ mod tests {
         bad.case.add_node(NodeKind::Goal, "G.orphan", "unsupported");
         comp.add_module(bad);
 
-        assert!(comp
-            .check_all()
-            .iter()
-            .any(|d| matches!(d, CompositionDefect::ModuleDefects { module, .. } if module == "drone")));
+        assert!(comp.check_all().iter().any(
+            |d| matches!(d, CompositionDefect::ModuleDefects { module, .. } if module == "drone")
+        ));
         assert!(comp
             .check_incremental("drone")
             .iter()

@@ -110,7 +110,9 @@ impl AttackEngine {
     /// Whether any campaign of `kind` is currently active.
     #[must_use]
     pub fn is_active(&self, kind: AttackKind) -> bool {
-        self.campaigns.iter().any(|c| c.active && c.campaign.kind == kind)
+        self.campaigns
+            .iter()
+            .any(|c| c.active && c.campaign.kind == kind)
     }
 
     /// Ground-truth event log.
@@ -216,7 +218,9 @@ impl AttackEngine {
             }
             AttackKind::FirmwareTampering => {
                 if let AttackTarget::Machine { label } = &state.campaign.target {
-                    effects.push(SideEffect::TamperFirmware { machine_label: label.clone() });
+                    effects.push(SideEffect::TamperFirmware {
+                        machine_label: label.clone(),
+                    });
                 }
             }
             AttackKind::DeauthFlood | AttackKind::Replay | AttackKind::RogueNode => {
@@ -247,7 +251,9 @@ impl AttackEngine {
         }
         if state.campaign.kind == AttackKind::CameraBlinding {
             if let AttackTarget::Machine { label } = &state.campaign.target {
-                effects.push(SideEffect::RestoreSensor { machine_label: label.clone() });
+                effects.push(SideEffect::RestoreSensor {
+                    machine_label: label.clone(),
+                });
             }
         }
     }
@@ -285,7 +291,11 @@ impl AttackEngine {
                 }
             }
             AttackKind::RogueNode => {
-                if let AttackTarget::Link { spoof_as: _, victim } = state.campaign.target.clone() {
+                if let AttackTarget::Link {
+                    spoof_as: _,
+                    victim,
+                } = state.campaign.target.clone()
+                {
                     *seq += 1;
                     let frame = Frame::assoc_request(attacker, victim).with_seq(*seq);
                     let _ = medium.transmit(attacker, frame, now);
@@ -327,13 +337,22 @@ mod tests {
         medium.associate(victim);
         let mut engine = AttackEngine::new();
         engine.set_attacker_node(attacker);
-        Fixture { medium, gnss: GnssField::new(), engine, bs, victim }
+        Fixture {
+            medium,
+            gnss: GnssField::new(),
+            engine,
+            bs,
+            victim,
+        }
     }
 
     fn jam_campaign(start_s: u64, dur_s: u64) -> AttackCampaign {
         AttackCampaign {
             kind: AttackKind::RfJamming,
-            target: AttackTarget::Area { center: Vec2::new(50.0, 0.0), radius_m: 100.0 },
+            target: AttackTarget::Area {
+                center: Vec2::new(50.0, 0.0),
+                radius_m: 100.0,
+            },
             start: SimTime::from_secs(start_s),
             duration: SimDuration::from_secs(dur_s),
             intensity: 1.0,
@@ -344,12 +363,15 @@ mod tests {
     fn lifecycle_events_logged() {
         let mut f = fixture();
         f.engine.add_campaign(jam_campaign(10, 20));
-        f.engine.step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
         assert!(f.engine.events().is_empty());
-        f.engine.step(SimTime::from_secs(10), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(10), &mut f.medium, &mut f.gnss);
         assert_eq!(f.engine.events().len(), 1);
         assert_eq!(f.engine.events()[0].phase, AttackPhase::Started);
-        f.engine.step(SimTime::from_secs(30), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(30), &mut f.medium, &mut f.gnss);
         assert_eq!(f.engine.events().len(), 2);
         assert_eq!(f.engine.events()[1].phase, AttackPhase::Ended);
         assert!(!f.engine.is_active(AttackKind::RfJamming));
@@ -359,10 +381,12 @@ mod tests {
     fn jamming_adds_and_removes_interference() {
         let mut f = fixture();
         f.engine.add_campaign(jam_campaign(0, 10));
-        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
         let during = f.medium.interference_at(Vec3::new(50.0, 0.0, 2.0));
         assert!(during.is_some());
-        f.engine.step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
         let after = f.medium.interference_at(Vec3::new(50.0, 0.0, 2.0));
         assert!(after.is_none());
     }
@@ -372,13 +396,17 @@ mod tests {
         let mut f = fixture();
         f.engine.add_campaign(AttackCampaign {
             kind: AttackKind::DeauthFlood,
-            target: AttackTarget::Link { spoof_as: f.bs, victim: f.victim },
+            target: AttackTarget::Link {
+                spoof_as: f.bs,
+                victim: f.victim,
+            },
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(60),
             intensity: 1.0,
         });
         for t in 0..10 {
-            f.engine.step(SimTime::from_secs(t), &mut f.medium, &mut f.gnss);
+            f.engine
+                .step(SimTime::from_secs(t), &mut f.medium, &mut f.gnss);
         }
         assert!(f.engine.frames_injected() >= 10);
         assert!(!f.medium.is_associated(f.victim, SimTime::from_secs(10)));
@@ -389,22 +417,30 @@ mod tests {
         let mut f = fixture();
         f.engine.add_campaign(AttackCampaign {
             kind: AttackKind::GnssSpoofing,
-            target: AttackTarget::Area { center: Vec2::new(50.0, 0.0), radius_m: 200.0 },
+            target: AttackTarget::Area {
+                center: Vec2::new(50.0, 0.0),
+                radius_m: 200.0,
+            },
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(10),
             intensity: 0.5,
         });
         f.engine.add_campaign(AttackCampaign {
             kind: AttackKind::GnssJamming,
-            target: AttackTarget::Area { center: Vec2::new(400.0, 0.0), radius_m: 50.0 },
+            target: AttackTarget::Area {
+                center: Vec2::new(400.0, 0.0),
+                radius_m: 50.0,
+            },
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(10),
             intensity: 1.0,
         });
-        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
         assert_eq!(f.gnss.counts(), (1, 1));
         assert!(f.gnss.is_jammed(Vec2::new(400.0, 0.0)));
-        f.engine.step(SimTime::from_secs(15), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(15), &mut f.medium, &mut f.gnss);
         assert_eq!(f.gnss.counts(), (0, 0));
     }
 
@@ -413,22 +449,33 @@ mod tests {
         let mut f = fixture();
         f.engine.add_campaign(AttackCampaign {
             kind: AttackKind::CameraBlinding,
-            target: AttackTarget::Machine { label: "forwarder-01".into() },
+            target: AttackTarget::Machine {
+                label: "forwarder-01".into(),
+            },
             start: SimTime::from_secs(5),
             duration: SimDuration::from_secs(10),
             intensity: 0.9,
         });
-        let effects = f.engine.step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
+        let effects = f
+            .engine
+            .step(SimTime::from_secs(5), &mut f.medium, &mut f.gnss);
         assert_eq!(effects.len(), 1);
         match &effects[0] {
-            SideEffect::BlindSensor { machine_label, health } => {
+            SideEffect::BlindSensor {
+                machine_label,
+                health,
+            } => {
                 assert_eq!(machine_label, "forwarder-01");
                 assert!((health - 0.1).abs() < 1e-9);
             }
             other => panic!("unexpected effect {other:?}"),
         }
-        let effects = f.engine.step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
-        assert!(matches!(&effects[0], SideEffect::RestoreSensor { machine_label } if machine_label == "forwarder-01"));
+        let effects = f
+            .engine
+            .step(SimTime::from_secs(20), &mut f.medium, &mut f.gnss);
+        assert!(
+            matches!(&effects[0], SideEffect::RestoreSensor { machine_label } if machine_label == "forwarder-01")
+        );
     }
 
     #[test]
@@ -444,7 +491,8 @@ mod tests {
             duration: SimDuration::from_secs(5),
             intensity: 1.0,
         });
-        f.engine.step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
+        f.engine
+            .step(SimTime::from_secs(1), &mut f.medium, &mut f.gnss);
         let rx = f.medium.drain_inbox(f.bs);
         assert!(
             rx.iter().any(|r| r.frame == legit),
@@ -462,7 +510,10 @@ mod tests {
         let mut engine = AttackEngine::new();
         engine.add_campaign(AttackCampaign {
             kind: AttackKind::DeauthFlood,
-            target: AttackTarget::Link { spoof_as: bs, victim },
+            target: AttackTarget::Link {
+                spoof_as: bs,
+                victim,
+            },
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(10),
             intensity: 1.0,
@@ -477,14 +528,18 @@ mod tests {
         let mut f = fixture();
         f.engine.add_campaign(AttackCampaign {
             kind: AttackKind::FirmwareTampering,
-            target: AttackTarget::Machine { label: "drone-01".into() },
+            target: AttackTarget::Machine {
+                label: "drone-01".into(),
+            },
             start: SimTime::ZERO,
             duration: SimDuration::from_secs(1),
             intensity: 1.0,
         });
         let e1 = f.engine.step(SimTime::ZERO, &mut f.medium, &mut f.gnss);
         assert_eq!(e1.len(), 1);
-        let e2 = f.engine.step(SimTime::from_millis(500), &mut f.medium, &mut f.gnss);
+        let e2 = f
+            .engine
+            .step(SimTime::from_millis(500), &mut f.medium, &mut f.gnss);
         assert!(e2.is_empty(), "tamper must fire once");
     }
 }

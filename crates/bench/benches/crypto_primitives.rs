@@ -33,14 +33,22 @@ fn bench_cipher(c: &mut Criterion) {
             let mut data = vec![0u8; s];
             b.iter(|| cipher.apply_keystream(&[0u8; 12], 1, black_box(&mut data)));
         });
-        group.bench_with_input(BenchmarkId::new("chacha20poly1305-seal", size), &size, |b, &s| {
-            let data = vec![0u8; s];
-            b.iter(|| aead.seal(&[0u8; 12], b"", black_box(&data)));
-        });
-        group.bench_with_input(BenchmarkId::new("chacha20poly1305-open", size), &size, |b, &s| {
-            let sealed = aead.seal(&[0u8; 12], b"", &vec![0u8; s]);
-            b.iter(|| aead.open(&[0u8; 12], b"", black_box(&sealed)).unwrap());
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chacha20poly1305-seal", size),
+            &size,
+            |b, &s| {
+                let data = vec![0u8; s];
+                b.iter(|| aead.seal(&[0u8; 12], b"", black_box(&data)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("chacha20poly1305-open", size),
+            &size,
+            |b, &s| {
+                let sealed = aead.seal(&[0u8; 12], b"", &vec![0u8; s]);
+                b.iter(|| aead.open(&[0u8; 12], b"", black_box(&sealed)).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -27,7 +27,11 @@ fn synthetic_model(n: usize) -> WorksiteModel {
             description: "damage".into(),
             impact: ImpactRating::new().with(
                 ImpactCategory::Operational,
-                if i % 3 == 0 { ImpactLevel::Severe } else { ImpactLevel::Major },
+                if i % 3 == 0 {
+                    ImpactLevel::Severe
+                } else {
+                    ImpactLevel::Major
+                },
             ),
         });
         for j in 0..2 {

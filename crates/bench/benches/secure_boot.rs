@@ -46,9 +46,7 @@ fn bench_attestation(c: &mut Criterion) {
     });
     let quote = Quote::generate(&report.pcrs, &nonce, &device_key);
     c.bench_function("attestation-verify", |b| {
-        b.iter(|| {
-            assert!(verifier.verify(black_box(&quote), &nonce, &device_key.verifying_key()))
-        });
+        b.iter(|| assert!(verifier.verify(black_box(&quote), &nonce, &device_key.verifying_key())));
     });
 }
 

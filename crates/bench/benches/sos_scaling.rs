@@ -9,13 +9,17 @@ fn bench_composition_checks(c: &mut Criterion) {
     let mut group = c.benchmark_group("sos-assurance");
     for n in [2usize, 8, 32, 64] {
         let composition = build_sos_composition(n, 10);
-        group.bench_with_input(BenchmarkId::new("monolithic-check", n), &composition, |b, comp| {
-            b.iter(|| {
-                let defects = comp.check_all();
-                assert!(defects.is_empty());
-                black_box(defects)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("monolithic-check", n),
+            &composition,
+            |b, comp| {
+                b.iter(|| {
+                    let defects = comp.check_all();
+                    assert!(defects.is_empty());
+                    black_box(defects)
+                });
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("modular-recheck-one", n),
             &composition,

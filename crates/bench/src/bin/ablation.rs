@@ -14,15 +14,27 @@ use silvasec::machines::drone::{Drone, DroneConfig};
 use silvasec::prelude::*;
 use silvasec::sim::terrain::TerrainConfig;
 use silvasec::sim::vegetation::StandConfig;
+use silvasec::sweep::par_sweep;
 
 fn drone_altitude_ablation() {
     println!("--- ablation 1: drone patrol altitude (relief 25 m, 300 trees/ha) ---");
-    println!("{:>12} {:>12} {:>12}", "altitude (m)", "coverage", "ttd (s)");
-    for altitude in [20.0, 35.0, 50.0, 80.0, 120.0] {
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "altitude (m)", "coverage", "ttd (s)"
+    );
+    let altitudes = [20.0, 35.0, 50.0, 80.0, 120.0];
+    let rows = par_sweep(&altitudes, |&altitude| {
         // Re-implement the occlusion core with a custom drone config.
         let config = WorldConfig {
-            terrain: TerrainConfig { size_m: 300.0, relief_m: 25.0, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 300.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 300.0,
+                relief_m: 25.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 300.0,
+                ..StandConfig::default()
+            },
             human_count: 4,
             human: silvasec::sim::humans::HumanConfig {
                 work_area_bias: 0.7,
@@ -37,7 +49,10 @@ fn drone_altitude_ablation() {
         let machine_pos = Vec2::new(150.0, 150.0);
         let mut drone = Drone::new(
             machine_pos,
-            DroneConfig { altitude_agl: altitude, ..DroneConfig::default() },
+            DroneConfig {
+                altitude_agl: altitude,
+                ..DroneConfig::default()
+            },
             &world,
         );
         let tick = SimDuration::from_millis(500);
@@ -47,8 +62,11 @@ fn drone_altitude_ablation() {
         for _ in 0..800 {
             world.step(tick);
             drone.step(&world, machine_pos, tick);
-            let seen: Vec<u32> =
-                drone.detect(&world, &mut rng).into_iter().map(|d| d.human_id.0).collect();
+            let seen: Vec<u32> = drone
+                .detect(&world, &mut rng)
+                .into_iter()
+                .map(|d| d.human_id.0)
+                .collect();
             for human in world.humans() {
                 if human.position.distance(machine_pos) <= 40.0 {
                     in_range += 1;
@@ -65,8 +83,19 @@ fn drone_altitude_ablation() {
                 }
             }
         }
-        let coverage = if in_range == 0 { 0.0 } else { hits as f64 / in_range as f64 };
-        let ttd = if ttds.is_empty() { f64::NAN } else { ttds.iter().sum::<f64>() / ttds.len() as f64 };
+        let coverage = if in_range == 0 {
+            0.0
+        } else {
+            hits as f64 / in_range as f64
+        };
+        let ttd = if ttds.is_empty() {
+            f64::NAN
+        } else {
+            ttds.iter().sum::<f64>() / ttds.len() as f64
+        };
+        (coverage, ttd)
+    });
+    for (&altitude, &(coverage, ttd)) in altitudes.iter().zip(&rows) {
         println!("{altitude:>12.0} {:>11.1}% {:>12.2}", coverage * 100.0, ttd);
     }
     println!();
@@ -74,8 +103,12 @@ fn drone_altitude_ablation() {
 
 fn clear_delay_ablation() {
     println!("--- ablation 2: safety clear delay (900 s, 6 workers, no attack) ---");
-    println!("{:>12} {:>10} {:>12} {:>14}", "delay (s)", "stops", "stopped tk", "distance (m)");
-    for delay in [0u64, 1, 3, 10, 30] {
+    println!(
+        "{:>12} {:>10} {:>12} {:>14}",
+        "delay (s)", "stops", "stopped tk", "distance (m)"
+    );
+    let delays = [0u64, 1, 3, 10, 30];
+    let rows = par_sweep(&delays, |&delay| {
         let mut config = standard_config(SecurityPosture::secure());
         config.world.human_count = 6;
         config.world.human.work_area_bias = 0.85;
@@ -83,10 +116,10 @@ fn clear_delay_ablation() {
         let mut site = Worksite::new(&config, 13);
         site.run(SimDuration::from_secs(900));
         let m = site.metrics();
-        println!(
-            "{delay:>12} {:>10} {:>12} {:>14.0}",
-            m.stop_events, m.stopped_ticks, m.distance_m
-        );
+        (m.stop_events, m.stopped_ticks, m.distance_m)
+    });
+    for (&delay, &(stops, stopped_ticks, distance_m)) in delays.iter().zip(&rows) {
+        println!("{delay:>12} {stops:>10} {stopped_ticks:>12} {distance_m:>14.0}");
     }
     println!();
 }
@@ -97,7 +130,8 @@ fn nav_confirmation_ablation() {
         "{:>14} {:>16} {:>22}",
         "confirmations", "spoof ttd (s)", "false alerts (clean)"
     );
-    for required in [1u32, 2, 3, 5, 10] {
+    let confirmations = [1u32, 2, 3, 5, 10];
+    let rows = par_sweep(&confirmations, |&required| {
         let mut config = standard_config(SecurityPosture::secure());
         config.ids.nav.required_consecutive = required;
 
@@ -120,8 +154,13 @@ fn nav_confirmation_ablation() {
         for seed in [31u64, 32, 33] {
             let mut clean = Worksite::new(&config, seed);
             clean.run(SimDuration::from_secs(240));
-            false_alerts += clean.metrics().alert_count(silvasec::ids::AlertKind::GnssSpoofing);
+            false_alerts += clean
+                .metrics()
+                .alert_count(silvasec::ids::AlertKind::GnssSpoofing);
         }
+        (ttd, false_alerts)
+    });
+    for (&required, (ttd, false_alerts)) in confirmations.iter().zip(&rows) {
         println!(
             "{required:>14} {:>16} {:>22}",
             ttd.map_or("undetected".into(), |t| format!("{t:.1}")),
@@ -139,7 +178,7 @@ fn main() {
     println!("shapes to verify: (1) ~35 m is the sweet spot — enough to clear 25 m");
     println!("ridges, still inside the camera's 60 m range (80 m+ sees nothing: the");
     println!("vantage point is bounded by sensor range, a real dimensioning rule);");
-    println!("(2) short clear delays oscillate (45 stop events at 0 s), long ones");
+    println!("(2) short clear delays oscillate (most stop events at 0 s), long ones");
     println!("trade distance for standstill; (3) each added confirmation costs ~0.5 s");
     println!("of detection latency while false positives stay at zero — the base");
     println!("tolerance, not the confirmation count, carries the FP budget here.");

@@ -4,17 +4,17 @@
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin exp1_attack_matrix`
 
-use silvasec::experiments::attack_matrix;
+use silvasec::experiments::{attack_matrix, AttackMatrixRow};
 use silvasec::prelude::*;
+use silvasec::sweep::par_sweep;
 use silvasec_sim::time::SimDuration;
 
-fn print_matrix(label: &str, posture: SecurityPosture) {
+fn print_matrix(label: &str, rows: Vec<AttackMatrixRow>) {
     println!("--- {label} ---");
     println!(
         "{:<18} {:>9} {:>9} {:>13} {:>10} {:>8} {:>8}",
         "attack", "detected", "ttd (s)", "productivity", "delivery", "incid.", "forged"
     );
-    let rows = attack_matrix(posture, 3, SimDuration::from_secs(300));
     for r in rows {
         println!(
             "{:<18} {:>9} {:>9} {:>12.0}% {:>9.1}% {:>8} {:>8}",
@@ -32,12 +32,28 @@ fn print_matrix(label: &str, posture: SecurityPosture) {
 
 fn main() {
     println!("E1 — attack × defense matrix (300 s runs, attack t=60 s for 150 s)\n");
-    print_matrix("full security posture (secure channel + MFP + IDS)", SecurityPosture::secure());
-    print_matrix(
-        "no IDS (channels still secured)",
-        SecurityPosture { ids: false, ..SecurityPosture::secure() },
-    );
-    print_matrix("undefended baseline", SecurityPosture::insecure());
+    // All three postures sweep in parallel (each posture already fans
+    // its eight episodes out internally); printing stays in order.
+    let postures = [
+        (
+            "full security posture (secure channel + MFP + IDS)",
+            SecurityPosture::secure(),
+        ),
+        (
+            "no IDS (channels still secured)",
+            SecurityPosture {
+                ids: false,
+                ..SecurityPosture::secure()
+            },
+        ),
+        ("undefended baseline", SecurityPosture::insecure()),
+    ];
+    let matrices = par_sweep(&postures, |(_, posture)| {
+        attack_matrix(*posture, 3, SimDuration::from_secs(300))
+    });
+    for ((label, _), rows) in postures.iter().zip(matrices) {
+        print_matrix(label, rows);
+    }
     println!("shape to verify: with the IDS on, every attack class is detected with");
     println!("bounded delay; without it, nothing is detected; undefended runs accept");
     println!("forged traffic and suffer larger availability loss.");

@@ -21,7 +21,13 @@ struct Row {
 }
 
 fn run(posture: SecurityPosture, attack: Option<AttackKind>, seeds: &[u64]) -> Row {
-    let mut acc = Row { danger: 0.0, moving_danger: 0.0, incidents: 0.0, sec_stops: 0.0, stopped: 0.0 };
+    let mut acc = Row {
+        danger: 0.0,
+        moving_danger: 0.0,
+        incidents: 0.0,
+        sec_stops: 0.0,
+        stopped: 0.0,
+    };
     for &seed in seeds {
         let mut config = standard_config(posture);
         config.world.human_count = 6;
@@ -69,9 +75,10 @@ fn main() {
         Some(AttackKind::DeauthFlood),
         Some(AttackKind::RfJamming),
     ];
-    for (posture_name, posture) in
-        [("secure", SecurityPosture::secure()), ("insecure", SecurityPosture::insecure())]
-    {
+    for (posture_name, posture) in [
+        ("secure", SecurityPosture::secure()),
+        ("insecure", SecurityPosture::insecure()),
+    ] {
         for attack in attacks {
             let label = format!(
                 "{posture_name} / {}",
@@ -94,7 +101,11 @@ fn main() {
             f.hazard_id,
             f.baseline_pl,
             f.compromised_pl,
-            if f.safety_function_defeated { "  [defeats safety function]" } else { "" }
+            if f.safety_function_defeated {
+                "  [defeats safety function]"
+            } else {
+                ""
+            }
         );
     }
     println!("\nshape to verify: attacks that defeat or bypass detection raise the");

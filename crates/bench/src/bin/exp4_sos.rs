@@ -4,6 +4,7 @@
 //! Run with: `cargo run --release -p silvasec-bench --bin exp4_sos`
 
 use silvasec::experiments::build_sos_composition;
+use silvasec::sweep::par_sweep;
 use std::time::Instant;
 
 fn time_it<T>(f: impl Fn() -> T, iterations: u32) -> f64 {
@@ -20,8 +21,11 @@ fn main() {
         "{:>12} {:>12} {:>18} {:>18} {:>9}",
         "constituents", "total nodes", "monolithic (µs)", "modular (µs)", "speedup"
     );
-    for n in [1usize, 2, 4, 8, 16, 32, 64] {
-        let comp = build_sos_composition(n, 10);
+    // Compositions build in parallel; the timed re-validation loops stay
+    // sequential so concurrent load cannot skew the measurements.
+    let sizes = [1usize, 2, 4, 8, 16, 32, 64];
+    let compositions = par_sweep(&sizes, |&n| build_sos_composition(n, 10));
+    for (&n, comp) in sizes.iter().zip(&compositions) {
         let iterations = if n <= 8 { 200 } else { 50 };
         let mono = time_it(|| comp.check_all(), iterations);
         let modular = time_it(|| comp.check_incremental("constituent-0"), iterations);

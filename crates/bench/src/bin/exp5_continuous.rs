@@ -25,7 +25,8 @@ fn main() {
             "{:<18} {:>10.0} {:>12} {:>12} {:>12} {:>14}",
             row.attack,
             row.onset_s,
-            row.alert_s.map_or("undetected".into(), |t| format!("{t:.1}")),
+            row.alert_s
+                .map_or("undetected".into(), |t| format!("{t:.1}")),
             row.risk_before,
             row.risk_after,
             row.goals_in_doubt

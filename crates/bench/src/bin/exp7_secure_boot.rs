@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin exp7_secure_boot`
 
-use silvasec::prelude::*;
 use silvasec::crypto::schnorr::SigningKey;
+use silvasec::prelude::*;
 use silvasec_sim::rng::SimRng;
 use std::time::Instant;
 
@@ -57,8 +57,7 @@ fn main() {
     for size_kib in [16usize, 64, 256, 1024, 4096] {
         let payload = vec![0xa5u8; size_kib * 1024];
         let chain = vec![
-            FirmwareImage::new("dev", FirmwareStage::Bootloader, 1, vec![0u8; 4096])
-                .sign(&signer),
+            FirmwareImage::new("dev", FirmwareStage::Bootloader, 1, vec![0u8; 4096]).sign(&signer),
             FirmwareImage::new("dev", FirmwareStage::Application, 1, payload).sign(&signer),
         ];
         let iterations = 10;

@@ -14,8 +14,15 @@ use silvasec::sim::weather::Weather as W;
 
 fn curve(seed: u64, weather: W, density: f64) -> DetectionCurve {
     let config = WorldConfig {
-        terrain: TerrainConfig { size_m: 150.0, relief_m: 2.0, ..TerrainConfig::default() },
-        stand: StandConfig { trees_per_hectare: density, ..StandConfig::default() },
+        terrain: TerrainConfig {
+            size_m: 150.0,
+            relief_m: 2.0,
+            ..TerrainConfig::default()
+        },
+        stand: StandConfig {
+            trees_per_hectare: density,
+            ..StandConfig::default()
+        },
         human_count: 6,
         human: silvasec::sim::humans::HumanConfig {
             work_area_bias: 0.8,
@@ -50,14 +57,25 @@ fn main() {
     println!("\n{:>10} {:>12}", "bin (m)", "det. rate");
     for (i, bin) in reference.bins.iter().enumerate() {
         if bin.samples >= 30 {
-            println!("{:>7}-{:<3} {:>11.1}%", i * 5, (i + 1) * 5, bin.rate() * 100.0);
+            println!(
+                "{:>7}-{:<3} {:>11.1}%",
+                i * 5,
+                (i + 1) * 5,
+                bin.rate() * 100.0
+            );
         }
     }
 
     println!("\ncandidates (threshold: max per-bin divergence ≤ 0.20):\n");
-    println!("{:<44} {:>9} {:>9} {:>9}", "candidate", "max div", "mean div", "verdict");
+    println!(
+        "{:<44} {:>9} {:>9} {:>9}",
+        "candidate", "max div", "mean div", "verdict"
+    );
     let candidates: [(&str, DetectionCurve); 4] = [
-        ("faithful replica (different seed)", curve(2, W::Clear, 150.0)),
+        (
+            "faithful replica (different seed)",
+            curve(2, W::Clear, 150.0),
+        ),
         ("wrong weather model (fog)", curve(2, W::Fog, 150.0)),
         ("wrong stand density (900/ha)", curve(2, W::Clear, 900.0)),
         ("mild density error (250/ha)", curve(2, W::Clear, 250.0)),

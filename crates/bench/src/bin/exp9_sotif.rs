@@ -9,6 +9,7 @@ use silvasec::experiments::sotif_evidence;
 use silvasec::risk::sotif::Evidence;
 use silvasec::sim::time::SimDuration;
 use silvasec::sim::weather::Weather;
+use silvasec::sweep::par_sweep;
 
 fn main() {
     println!("E9 — SOTIF evidence for the collaborative people-detection function");
@@ -18,17 +19,27 @@ fn main() {
         "{:<12} {:>9} {:>8} {:>12} {:>13} {:>14}",
         "weather", "episodes", "unsafe", "rate", "upper bound", "classification"
     );
-    for weather in [
+    let weathers = [
         Weather::Clear,
         Weather::Overcast,
         Weather::Rain,
         Weather::HeavyRain,
         Weather::Fog,
         Weather::Snow,
-    ] {
+    ];
+    let seeds = [7u64, 19, 31];
+    // The whole weather × seed grid sweeps in parallel; per-weather
+    // evidence is folded in seed order afterwards.
+    let points: Vec<(Weather, u64)> = weathers
+        .iter()
+        .flat_map(|&w| seeds.iter().map(move |&s| (w, s)))
+        .collect();
+    let evidence = par_sweep(&points, |&(w, s)| {
+        sotif_evidence(w, s, SimDuration::from_secs(2400))
+    });
+    for (weather, per_seed) in weathers.iter().zip(evidence.chunks(seeds.len())) {
         let mut total = Evidence::default();
-        for seed in [7u64, 19, 31] {
-            let e = sotif_evidence(weather, seed, SimDuration::from_secs(2400));
+        for e in per_seed {
             total.exposures += e.exposures;
             total.unsafe_outcomes += e.unsafe_outcomes;
         }

@@ -8,7 +8,11 @@
 use silvasec::experiments::{campaign_for, standard_config};
 use silvasec::prelude::*;
 
-fn run(posture: SecurityPosture, attacks: bool, seed: u64) -> silvasec::sos::metrics::WorksiteMetrics {
+fn run(
+    posture: SecurityPosture,
+    attacks: bool,
+    seed: u64,
+) -> silvasec::sos::metrics::WorksiteMetrics {
     let mut site = Worksite::new(&standard_config(posture), seed);
     if attacks {
         for (kind, start) in [
@@ -51,13 +55,22 @@ fn main() {
         "scenario", "loads", "dist (m)", "deliv %", "drone %", "incid.", "forged", "alerts"
     );
     for seed in [11u64, 12, 13] {
-        print_row(&format!("secure, no attacks (s{seed})"), &run(SecurityPosture::secure(), false, seed));
+        print_row(
+            &format!("secure, no attacks (s{seed})"),
+            &run(SecurityPosture::secure(), false, seed),
+        );
     }
     for seed in [11u64, 12, 13] {
-        print_row(&format!("secure, attacked   (s{seed})"), &run(SecurityPosture::secure(), true, seed));
+        print_row(
+            &format!("secure, attacked   (s{seed})"),
+            &run(SecurityPosture::secure(), true, seed),
+        );
     }
     for seed in [11u64, 12, 13] {
-        print_row(&format!("insecure, attacked (s{seed})"), &run(SecurityPosture::insecure(), true, seed));
+        print_row(
+            &format!("insecure, attacked (s{seed})"),
+            &run(SecurityPosture::insecure(), true, seed),
+        );
     }
     println!("\nshape to verify: the hardened worksite under attack keeps forged=0 and");
     println!("raises alerts; the undefended one silently accepts forged traffic and");

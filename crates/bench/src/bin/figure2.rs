@@ -5,6 +5,7 @@
 //! Run with: `cargo run --release -p silvasec-bench --bin figure2`
 
 use silvasec::experiments::occlusion_sweep;
+use silvasec::sweep::par_sweep;
 use silvasec_sim::time::SimDuration;
 
 fn main() {
@@ -16,8 +17,13 @@ fn main() {
         "{:>10} {:>10} {:>10} {:>8} {:>11} {:>11}",
         "relief(m)", "fw", "fw+drone", "gain", "fw ttd(s)", "comb ttd(s)"
     );
-    for relief in [0.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0] {
-        let r = &occlusion_sweep(&[300.0], relief, &seeds, duration)[0];
+    // The relief axis is itself a sweep: evaluate all relief levels on
+    // the engine, then print in order.
+    let reliefs = [0.5, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0];
+    let relief_rows = par_sweep(&reliefs, |&relief| {
+        occlusion_sweep(&[300.0], relief, &seeds, duration).swap_remove(0)
+    });
+    for (relief, r) in reliefs.iter().zip(&relief_rows) {
         println!(
             "{:>10.1} {:>9.1}% {:>9.1}% {:>7.1}% {:>11.2} {:>11.2}",
             relief,
@@ -30,6 +36,8 @@ fn main() {
     }
 
     println!("\nFIGURE 2b — coverage vs stand density (relief 15 m)\n");
+    // 2b is a single densities × seeds grid; `occlusion_sweep`
+    // parallelizes it internally.
     println!(
         "{:>12} {:>10} {:>10} {:>8} {:>11} {:>11}",
         "trees/ha", "fw", "fw+drone", "gain", "fw ttd(s)", "comb ttd(s)"

@@ -13,19 +13,34 @@ fn main() {
     println!("phase 1: domain & system understanding");
     println!("    assets identified ................. {}", p.assets);
     println!("    machinery hazards (ISO 12100) ..... {}", p.hazards);
-    println!("    SOTIF triggering conditions ....... {}", p.triggering_conditions);
+    println!(
+        "    SOTIF triggering conditions ....... {}",
+        p.triggering_conditions
+    );
     println!("phase 2: threat analysis (ISO/SAE 21434)");
-    println!("    damage scenarios .................. {}", p.damage_scenarios);
+    println!(
+        "    damage scenarios .................. {}",
+        p.damage_scenarios
+    );
     println!("    threat scenarios .................. {}", p.threats);
     println!("phase 3: risk assessment");
     println!("    risks valued ...................... {}", p.risks);
     println!("    high risks (level ≥ 4) ............ {}", p.high_risks);
-    println!("    safety–security interplay findings  {}", p.interplay_findings);
+    println!(
+        "    safety–security interplay findings  {}",
+        p.interplay_findings
+    );
     println!("phase 4: treatment & requirements");
     println!("    security requirements derived ..... {}", p.requirements);
     println!("phase 5: assurance (SAC, GSN)");
-    println!("    argument nodes generated .......... {}", p.assurance_nodes);
-    println!("    evidence items registered ......... {}", p.evidence_items);
+    println!(
+        "    argument nodes generated .......... {}",
+        p.assurance_nodes
+    );
+    println!(
+        "    evidence items registered ......... {}",
+        p.evidence_items
+    );
     println!("\nevery arrow of the paper's Figure 3 is an executable transformation here;");
     println!("the counts above are reproduced deterministically from the use-case model.");
 }

@@ -1,0 +1,142 @@
+//! **Performance snapshot** — the machine-readable datapoint behind the
+//! `BENCH_*.json` trajectory.
+//!
+//! Runs the reference Figure 2 occlusion sweep (8 densities × 4 seeds)
+//! once sequentially and once on the parallel sweep engine, plus one
+//! standard worksite episode, and prints a JSON object with wall-clock
+//! times, speedup and episode throughput. The sequential and parallel
+//! sweeps are also compared field for field — the engine's determinism
+//! contract (bit-identical results) is asserted on every run, so the
+//! snapshot doubles as a determinism proof.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin perf_snapshot`
+
+use serde::Serialize;
+use silvasec::experiments::{occlusion_point, occlusion_sweep, run_worksite, OcclusionRow};
+use silvasec::prelude::*;
+use silvasec::sweep::{par_sweep_with_stats, worker_count};
+use silvasec_sim::time::SimDuration;
+use std::time::Instant;
+
+/// Reference sweep: 8 densities × 4 seeds at 15 m relief.
+const DENSITIES: [f64; 8] = [0.0, 100.0, 300.0, 500.0, 700.0, 900.0, 1200.0, 1500.0];
+const SEEDS: [u64; 4] = [5, 17, 29, 43];
+const RELIEF_M: f64 = 15.0;
+const POINT_SECS: u64 = 200;
+
+#[derive(Debug, Serialize)]
+struct Snapshot {
+    /// Schema marker for downstream tooling.
+    schema: String,
+    /// Worker threads the parallel sweep used (hardware-dependent).
+    workers: usize,
+    /// Grid size of the reference sweep.
+    sweep_points: usize,
+    /// Sequential wall-clock for the reference sweep, seconds.
+    sequential_wall_s: f64,
+    /// Parallel wall-clock for the reference sweep, seconds.
+    parallel_wall_s: f64,
+    /// sequential / parallel.
+    speedup: f64,
+    /// Sweep points per second, sequential.
+    sequential_points_per_s: f64,
+    /// Sweep points per second, parallel.
+    parallel_points_per_s: f64,
+    /// Whether the parallel rows matched the sequential rows bit for bit.
+    deterministic: bool,
+    /// Wall-clock of one standard 300 s worksite episode, seconds.
+    worksite_episode_wall_s: f64,
+    /// Simulated seconds per wall-clock second for that episode.
+    worksite_sim_rate: f64,
+}
+
+fn rows_bit_identical(a: &[OcclusionRow], b: &[OcclusionRow]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.density.to_bits() == y.density.to_bits()
+                && x.relief_m.to_bits() == y.relief_m.to_bits()
+                && x.forwarder_coverage.to_bits() == y.forwarder_coverage.to_bits()
+                && x.combined_coverage.to_bits() == y.combined_coverage.to_bits()
+                && x.forwarder_ttd_s.to_bits() == y.forwarder_ttd_s.to_bits()
+                && x.combined_ttd_s.to_bits() == y.combined_ttd_s.to_bits()
+        })
+}
+
+fn main() {
+    let duration = SimDuration::from_secs(POINT_SECS);
+
+    // Sequential reference: the nested map `occlusion_sweep` used before
+    // the sweep engine existed, aggregation fold order included.
+    let t0 = Instant::now();
+    let sequential: Vec<OcclusionRow> = DENSITIES
+        .iter()
+        .map(|&density| {
+            let rows: Vec<OcclusionRow> = SEEDS
+                .iter()
+                .map(|&s| occlusion_point(density, RELIEF_M, s, duration))
+                .collect();
+            let n = rows.len() as f64;
+            OcclusionRow {
+                density,
+                relief_m: RELIEF_M,
+                forwarder_coverage: rows.iter().map(|r| r.forwarder_coverage).sum::<f64>() / n,
+                combined_coverage: rows.iter().map(|r| r.combined_coverage).sum::<f64>() / n,
+                forwarder_ttd_s: rows.iter().map(|r| r.forwarder_ttd_s).sum::<f64>() / n,
+                combined_ttd_s: rows.iter().map(|r| r.combined_ttd_s).sum::<f64>() / n,
+            }
+        })
+        .collect();
+    let sequential_wall_s = t0.elapsed().as_secs_f64();
+
+    // Parallel run of the same grid through the engine.
+    let t1 = Instant::now();
+    let parallel = occlusion_sweep(&DENSITIES, RELIEF_M, &SEEDS, duration);
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+
+    let deterministic = rows_bit_identical(&sequential, &parallel);
+
+    // Engine stats for the same grid (per-point timings, worker count).
+    let points: Vec<(f64, u64)> = DENSITIES
+        .iter()
+        .flat_map(|&d| SEEDS.iter().map(move |&s| (d, s)))
+        .collect();
+    let (_, stats) =
+        par_sweep_with_stats(&points, |&(d, s)| occlusion_point(d, RELIEF_M, s, duration));
+
+    // One standard worksite episode (the E1 baseline) for the episode
+    // throughput axis of the trajectory.
+    let t2 = Instant::now();
+    let episode_secs = 300u64;
+    let _ = run_worksite(
+        SecurityPosture::secure(),
+        None,
+        3,
+        SimDuration::from_secs(episode_secs),
+    );
+    let worksite_episode_wall_s = t2.elapsed().as_secs_f64();
+
+    let sweep_points = DENSITIES.len() * SEEDS.len();
+    let snapshot = Snapshot {
+        schema: "silvasec-perf-snapshot/1".to_string(),
+        workers: worker_count(sweep_points).max(stats.workers),
+        sweep_points,
+        sequential_wall_s,
+        parallel_wall_s,
+        speedup: sequential_wall_s / parallel_wall_s.max(1e-9),
+        sequential_points_per_s: sweep_points as f64 / sequential_wall_s.max(1e-9),
+        parallel_points_per_s: sweep_points as f64 / parallel_wall_s.max(1e-9),
+        deterministic,
+        worksite_episode_wall_s,
+        worksite_sim_rate: episode_secs as f64 / worksite_episode_wall_s.max(1e-9),
+    };
+
+    assert!(
+        snapshot.deterministic,
+        "parallel sweep rows diverged from the sequential reference — determinism contract broken"
+    );
+
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+    );
+}

@@ -15,8 +15,7 @@ use silvasec_pki::prelude::*;
 /// benchmarks and binaries.
 #[must_use]
 pub fn session_pair(seed: u8) -> (Session, Session) {
-    let mut root =
-        CertificateAuthority::new_root("root", &[seed; 32], Validity::new(0, 1_000_000));
+    let mut root = CertificateAuthority::new_root("root", &[seed; 32], Validity::new(0, 1_000_000));
     let store = TrustStore::with_roots([root.certificate().clone()]);
     let make = |id: &str, role, s: u8, root: &mut CertificateAuthority| {
         let key = SigningKey::from_seed(&[s; 32]);
@@ -28,8 +27,18 @@ pub fn session_pair(seed: u8) -> (Session, Session) {
         );
         Identity::new(vec![cert], key)
     };
-    let a = make("a", ComponentRole::Forwarder, seed.wrapping_add(1), &mut root);
-    let b = make("b", ComponentRole::BaseStation, seed.wrapping_add(2), &mut root);
+    let a = make(
+        "a",
+        ComponentRole::Forwarder,
+        seed.wrapping_add(1),
+        &mut root,
+    );
+    let b = make(
+        "b",
+        ComponentRole::BaseStation,
+        seed.wrapping_add(2),
+        &mut root,
+    );
     let policy = HandshakePolicy::new(store, 100);
     let (init, hello) = Initiator::start(a, [seed.wrapping_add(3); 32], [seed.wrapping_add(4); 32]);
     let (resp, reply) = Responder::respond(

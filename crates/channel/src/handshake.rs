@@ -47,7 +47,11 @@ impl HandshakePolicy {
     /// Creates a policy with no CRLs.
     #[must_use]
     pub fn new(store: TrustStore, now: u64) -> Self {
-        HandshakePolicy { store, crls: Vec::new(), now }
+        HandshakePolicy {
+            store,
+            crls: Vec::new(),
+            now,
+        }
     }
 
     /// Adds revocation lists to enforce.
@@ -125,10 +129,21 @@ impl Initiator {
     #[must_use]
     pub fn start(identity: Identity, eph_seed: [u8; 32], nonce: [u8; 32]) -> (Initiator, Vec<u8>) {
         let (eph_priv, eph_pub) = x25519::keypair(&eph_seed);
-        let hello = Hello { eph_pub, nonce, chain: identity.chain.clone() };
+        let hello = Hello {
+            eph_pub,
+            nonce,
+            chain: identity.chain.clone(),
+        };
         let hello_bytes = hello.encode();
         let wire = hello_bytes.clone();
-        (Initiator { identity, eph_priv, hello_bytes }, wire)
+        (
+            Initiator {
+                identity,
+                eph_priv,
+                hello_bytes,
+            },
+            wire,
+        )
     }
 
     /// Processes the responder's `Reply`; returns the established session
@@ -150,8 +165,8 @@ impl Initiator {
 
         // Verify the responder's transcript signature with its certified key.
         let responder_key = reply.chain[0].subject_key()?;
-        let sig = Signature::from_bytes(&reply.signature)
-            .map_err(|_| ChannelError::BadTranscript)?;
+        let sig =
+            Signature::from_bytes(&reply.signature).map_err(|_| ChannelError::BadTranscript)?;
         responder_key
             .verify(&signing_payload(b"silvasec-resp", &transcript), &sig)
             .map_err(|_| ChannelError::BadTranscript)?;
@@ -164,10 +179,16 @@ impl Initiator {
             .identity
             .key
             .sign(&signing_payload(b"silvasec-init", &transcript));
-        let finished = Finished { signature: finished_sig.to_bytes().to_vec() }.encode();
+        let finished = Finished {
+            signature: finished_sig.to_bytes().to_vec(),
+        }
+        .encode();
 
         let session = Session::new(
-            SessionKeys { send_key: k_i2r, recv_key: k_r2i },
+            SessionKeys {
+                send_key: k_i2r,
+                recv_key: k_r2i,
+            },
             reply.chain[0].subject.id.clone(),
         );
         Ok((session, finished))
@@ -203,8 +224,12 @@ impl Responder {
         let (eph_priv, eph_pub) = x25519::keypair(&eph_seed);
         let shared = dh_checked(&eph_priv, &hello.eph_pub)?;
 
-        let mut reply =
-            Reply { eph_pub, nonce, chain: identity.chain.clone(), signature: Vec::new() };
+        let mut reply = Reply {
+            eph_pub,
+            nonce,
+            chain: identity.chain.clone(),
+            signature: Vec::new(),
+        };
         let transcript = transcript_hash(hello_bytes, &reply.signed_part());
         reply.signature = identity
             .key
@@ -218,7 +243,10 @@ impl Responder {
             Responder {
                 transcript,
                 initiator_chain: hello.chain,
-                keys: SessionKeys { send_key: k_r2i, recv_key: k_i2r },
+                keys: SessionKeys {
+                    send_key: k_r2i,
+                    recv_key: k_i2r,
+                },
             },
             reply.encode(),
         ))
@@ -234,12 +262,15 @@ impl Responder {
     pub fn complete(self, finished_bytes: &[u8]) -> Result<Session, ChannelError> {
         let finished = Finished::decode(finished_bytes)?;
         let initiator_key = self.initiator_chain[0].subject_key()?;
-        let sig = Signature::from_bytes(&finished.signature)
-            .map_err(|_| ChannelError::BadTranscript)?;
+        let sig =
+            Signature::from_bytes(&finished.signature).map_err(|_| ChannelError::BadTranscript)?;
         initiator_key
             .verify(&signing_payload(b"silvasec-init", &self.transcript), &sig)
             .map_err(|_| ChannelError::BadTranscript)?;
-        Ok(Session::new(self.keys, self.initiator_chain[0].subject.id.clone()))
+        Ok(Session::new(
+            self.keys,
+            self.initiator_chain[0].subject.id.clone(),
+        ))
     }
 }
 
@@ -270,7 +301,11 @@ mod tests {
         Identity::new(vec![cert], key)
     }
 
-    fn run_handshake(policy: &HandshakePolicy, init_id: Identity, resp_id: Identity) -> (Session, Session) {
+    fn run_handshake(
+        policy: &HandshakePolicy,
+        init_id: Identity,
+        resp_id: Identity,
+    ) -> (Session, Session) {
         let (init, hello) = Initiator::start(init_id, [10u8; 32], [11u8; 32]);
         let (resp, reply) =
             Responder::respond(resp_id, policy, &hello, [12u8; 32], [13u8; 32]).unwrap();
@@ -332,7 +367,10 @@ mod tests {
         let permissive = HandshakePolicy::new(both, 100);
         let (_, reply) =
             Responder::respond(rogue, &permissive, &hello, [12u8; 32], [13u8; 32]).unwrap();
-        assert!(matches!(init.finish(&policy, &reply), Err(ChannelError::Pki(_))));
+        assert!(matches!(
+            init.finish(&policy, &reply),
+            Err(ChannelError::Pki(_))
+        ));
         let _ = rogue_policy;
     }
 
@@ -413,7 +451,10 @@ mod tests {
         let mut bad = finished.clone();
         let n = bad.len();
         bad[n / 2] ^= 0x10;
-        assert_eq!(resp.complete(&bad).unwrap_err(), ChannelError::BadTranscript);
+        assert_eq!(
+            resp.complete(&bad).unwrap_err(),
+            ChannelError::BadTranscript
+        );
     }
 
     #[test]
@@ -432,6 +473,9 @@ mod tests {
         let mut s2r = resp.complete(&finished).unwrap();
 
         let rec = s1.seal(b"cross").unwrap();
-        assert!(s2r.open(&rec).is_err(), "records must not decrypt across sessions");
+        assert!(
+            s2r.open(&rec).is_err(),
+            "records must not decrypt across sessions"
+        );
     }
 }

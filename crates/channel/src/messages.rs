@@ -119,11 +119,11 @@ fn decode_chain(input: &mut &[u8]) -> Result<Vec<Certificate>, ChannelError> {
     for _ in 0..count {
         let tbs = read_bytes(input)?.to_vec();
         let signature = read_bytes(input)?.to_vec();
-        let subject_id = String::from_utf8(read_bytes(input)?.to_vec())
-            .map_err(|_| ChannelError::Decode)?;
+        let subject_id =
+            String::from_utf8(read_bytes(input)?.to_vec()).map_err(|_| ChannelError::Decode)?;
         let role = decode_role(read_bytes(input)?)?;
-        let issuer_id = String::from_utf8(read_bytes(input)?.to_vec())
-            .map_err(|_| ChannelError::Decode)?;
+        let issuer_id =
+            String::from_utf8(read_bytes(input)?.to_vec()).map_err(|_| ChannelError::Decode)?;
         if input.len() < 25 {
             return Err(ChannelError::Decode);
         }
@@ -183,7 +183,11 @@ impl Hello {
         if !input.is_empty() {
             return Err(ChannelError::Decode);
         }
-        Ok(Hello { eph_pub, nonce, chain })
+        Ok(Hello {
+            eph_pub,
+            nonce,
+            chain,
+        })
     }
 }
 
@@ -228,7 +232,12 @@ impl Reply {
         if !input.is_empty() {
             return Err(ChannelError::Decode);
         }
-        Ok(Reply { eph_pub, nonce, chain, signature })
+        Ok(Reply {
+            eph_pub,
+            nonce,
+            chain,
+            signature,
+        })
     }
 }
 
@@ -279,7 +288,11 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        let h = Hello { eph_pub: [7u8; 32], nonce: [8u8; 32], chain: chain() };
+        let h = Hello {
+            eph_pub: [7u8; 32],
+            nonce: [8u8; 32],
+            chain: chain(),
+        };
         let decoded = Hello::decode(&h.encode()).unwrap();
         assert_eq!(decoded, h);
     }
@@ -303,13 +316,19 @@ mod tests {
 
     #[test]
     fn finished_roundtrip() {
-        let f = Finished { signature: vec![1u8; 96] };
+        let f = Finished {
+            signature: vec![1u8; 96],
+        };
         assert_eq!(Finished::decode(&f.encode()).unwrap(), f);
     }
 
     #[test]
     fn truncation_rejected() {
-        let h = Hello { eph_pub: [7u8; 32], nonce: [8u8; 32], chain: chain() };
+        let h = Hello {
+            eph_pub: [7u8; 32],
+            nonce: [8u8; 32],
+            chain: chain(),
+        };
         let enc = h.encode();
         for cut in [0, 1, 5, enc.len() / 2, enc.len() - 1] {
             assert_eq!(
@@ -322,7 +341,9 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let f = Finished { signature: vec![1u8; 96] };
+        let f = Finished {
+            signature: vec![1u8; 96],
+        };
         let mut enc = f.encode();
         enc.push(0);
         assert_eq!(Finished::decode(&enc), Err(ChannelError::Decode));
@@ -330,7 +351,11 @@ mod tests {
 
     #[test]
     fn wrong_tag_rejected() {
-        let h = Hello { eph_pub: [7u8; 32], nonce: [8u8; 32], chain: chain() };
+        let h = Hello {
+            eph_pub: [7u8; 32],
+            nonce: [8u8; 32],
+            chain: chain(),
+        };
         let enc = h.encode();
         assert!(Reply::decode(&enc).is_err());
         assert!(Finished::decode(&enc).is_err());
@@ -338,7 +363,11 @@ mod tests {
 
     #[test]
     fn tampered_cert_field_rejected_by_consistency_check() {
-        let h = Hello { eph_pub: [7u8; 32], nonce: [8u8; 32], chain: chain() };
+        let h = Hello {
+            eph_pub: [7u8; 32],
+            nonce: [8u8; 32],
+            chain: chain(),
+        };
         let mut enc = h.encode();
         // Flip a byte inside the serial (near the end, before public key).
         let n = enc.len();

@@ -33,7 +33,11 @@ impl ReplayWindow {
     pub fn accept(&mut self, seq: u64) -> Result<(), ChannelError> {
         if self.top == 0 || seq >= self.top {
             // Advancing the window.
-            let advance = if self.top == 0 { seq + 1 } else { seq + 1 - self.top };
+            let advance = if self.top == 0 {
+                seq + 1
+            } else {
+                seq + 1 - self.top
+            };
             if advance >= WINDOW_SIZE {
                 self.bitmap = 1; // only the new top is marked
             } else {

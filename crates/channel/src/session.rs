@@ -123,9 +123,22 @@ impl Session {
     pub fn rekey(&mut self) {
         let mut next_send = [0u8; 32];
         let mut next_recv = [0u8; 32];
-        hkdf::derive(b"silvasec-rekey", &self.keys.send_key, b"next-epoch", &mut next_send);
-        hkdf::derive(b"silvasec-rekey", &self.keys.recv_key, b"next-epoch", &mut next_recv);
-        self.keys = SessionKeys { send_key: next_send, recv_key: next_recv };
+        hkdf::derive(
+            b"silvasec-rekey",
+            &self.keys.send_key,
+            b"next-epoch",
+            &mut next_send,
+        );
+        hkdf::derive(
+            b"silvasec-rekey",
+            &self.keys.recv_key,
+            b"next-epoch",
+            &mut next_recv,
+        );
+        self.keys = SessionKeys {
+            send_key: next_send,
+            recv_key: next_recv,
+        };
         self.send = ChaCha20Poly1305::new(&self.keys.send_key);
         self.recv = ChaCha20Poly1305::new(&self.keys.recv_key);
         self.send_seq = 0;
@@ -139,8 +152,14 @@ mod tests {
     use super::*;
 
     fn pair() -> (Session, Session) {
-        let k1 = SessionKeys { send_key: [1u8; 32], recv_key: [2u8; 32] };
-        let k2 = SessionKeys { send_key: [2u8; 32], recv_key: [1u8; 32] };
+        let k1 = SessionKeys {
+            send_key: [1u8; 32],
+            recv_key: [2u8; 32],
+        };
+        let k2 = SessionKeys {
+            send_key: [2u8; 32],
+            recv_key: [1u8; 32],
+        };
         (Session::new(k1, "b".into()), Session::new(k2, "a".into()))
     }
 

@@ -37,7 +37,11 @@ impl AssociationTable {
     /// Creates a table; `mfp_enabled` controls de-auth forgery resistance.
     #[must_use]
     pub fn new(mfp_enabled: bool, reassoc_delay_ms: u64) -> Self {
-        AssociationTable { states: HashMap::new(), mfp_enabled, reassoc_delay_ms }
+        AssociationTable {
+            states: HashMap::new(),
+            mfp_enabled,
+            reassoc_delay_ms,
+        }
     }
 
     /// Registers `node` as associated.
@@ -67,7 +71,9 @@ impl AssociationTable {
         if self.states.contains_key(&victim) {
             self.states.insert(
                 victim,
-                AssocState::Reassociating { until_ms: now_ms + self.reassoc_delay_ms },
+                AssocState::Reassociating {
+                    until_ms: now_ms + self.reassoc_delay_ms,
+                },
             );
             true
         } else {

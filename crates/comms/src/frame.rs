@@ -54,13 +54,25 @@ impl Frame {
     /// Creates a data frame.
     #[must_use]
     pub fn data(src: NodeId, dst: NodeId, payload: Vec<u8>) -> Self {
-        Frame { claimed_src: src, dst: Some(dst), kind: FrameKind::Data, payload, seq: 0 }
+        Frame {
+            claimed_src: src,
+            dst: Some(dst),
+            kind: FrameKind::Data,
+            payload,
+            seq: 0,
+        }
     }
 
     /// Creates a broadcast data frame.
     #[must_use]
     pub fn broadcast(src: NodeId, payload: Vec<u8>) -> Self {
-        Frame { claimed_src: src, dst: None, kind: FrameKind::Data, payload, seq: 0 }
+        Frame {
+            claimed_src: src,
+            dst: None,
+            kind: FrameKind::Data,
+            payload,
+            seq: 0,
+        }
     }
 
     /// Creates a de-auth frame claiming to come from `claimed_src`.
@@ -129,15 +141,24 @@ mod tests {
 
     #[test]
     fn constructors_set_kinds() {
-        assert_eq!(Frame::data(NodeId(1), NodeId(2), vec![]).kind, FrameKind::Data);
+        assert_eq!(
+            Frame::data(NodeId(1), NodeId(2), vec![]).kind,
+            FrameKind::Data
+        );
         assert_eq!(Frame::deauth(NodeId(1), NodeId(2)).kind, FrameKind::Deauth);
-        assert_eq!(Frame::assoc_request(NodeId(1), NodeId(2)).kind, FrameKind::AssocRequest);
+        assert_eq!(
+            Frame::assoc_request(NodeId(1), NodeId(2)).kind,
+            FrameKind::AssocRequest
+        );
         assert_eq!(Frame::broadcast(NodeId(1), vec![]).dst, None);
     }
 
     #[test]
     fn wire_len_includes_header() {
-        assert_eq!(Frame::data(NodeId(1), NodeId(2), vec![0; 100]).wire_len(), 134);
+        assert_eq!(
+            Frame::data(NodeId(1), NodeId(2), vec![0; 100]).wire_len(),
+            134
+        );
         assert_eq!(Frame::deauth(NodeId(1), NodeId(2)).wire_len(), 34);
     }
 
@@ -149,7 +170,10 @@ mod tests {
         let b = Frame::broadcast(NodeId(1), vec![]);
         assert!(b.addressed_to(NodeId(2)));
         assert!(b.addressed_to(NodeId(3)));
-        assert!(!b.addressed_to(NodeId(1)), "broadcast does not loop back to sender");
+        assert!(
+            !b.addressed_to(NodeId(1)),
+            "broadcast does not loop back to sender"
+        );
     }
 
     #[test]

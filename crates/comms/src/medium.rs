@@ -150,7 +150,13 @@ impl Medium {
     pub fn add_interferer(&mut self, position: Vec3, power_dbm: f64) -> InterfererId {
         let id = InterfererId(self.next_interferer);
         self.next_interferer += 1;
-        self.interferers.insert(id, Interferer { position, power_dbm });
+        self.interferers.insert(
+            id,
+            Interferer {
+                position,
+                power_dbm,
+            },
+        );
         id
     }
 
@@ -181,7 +187,8 @@ impl Medium {
             .interferers
             .values()
             .map(|i| {
-                let loss = propagation::path_loss_db(&self.config.propagation, i.position, position);
+                let loss =
+                    propagation::path_loss_db(&self.config.propagation, i.position, position);
                 propagation::dbm_to_mw(i.power_dbm - loss)
             })
             .sum();
@@ -276,10 +283,7 @@ impl Medium {
             let channel_ok = !self.rng.chance(per);
             let delivered = channel_ok && !blocked_by_assoc;
 
-            let link = self
-                .link_stats
-                .entry((true_src, dst))
-                .or_default();
+            let link = self.link_stats.entry((true_src, dst)).or_default();
             link.attempted += 1;
 
             if delivered {
@@ -313,7 +317,13 @@ impl Medium {
         }
     }
 
-    fn handle_management(&mut self, receiver: NodeId, frame: &Frame, true_src: NodeId, now_ms: u64) {
+    fn handle_management(
+        &mut self,
+        receiver: NodeId,
+        frame: &Frame,
+        true_src: NodeId,
+        now_ms: u64,
+    ) {
         match frame.kind {
             FrameKind::Deauth => {
                 let authentic = frame.claimed_src == true_src;
@@ -389,7 +399,9 @@ mod tests {
         let b = m.add_node(Vec3::new(5000.0, 0.0, 2.0));
         let mut delivered = 0;
         for _ in 0..50 {
-            if m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO).delivered {
+            if m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO)
+                .delivered
+            {
                 delivered += 1;
             }
         }
@@ -403,7 +415,10 @@ mod tests {
         let b = m.add_node(Vec3::new(120.0, 0.0, 2.0));
         let deliver_count = |m: &mut Medium| {
             (0..200)
-                .filter(|_| m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO).delivered)
+                .filter(|_| {
+                    m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO)
+                        .delivered
+                })
                 .count()
         };
         let clean = deliver_count(&mut m);
@@ -437,7 +452,11 @@ mod tests {
         assert!(took_effect);
         assert!(!m.is_associated(victim, SimTime::from_millis(1)));
         // Victim's data frames are now blocked.
-        let out = m.transmit(victim, Frame::data(victim, bs, vec![1]), SimTime::from_millis(10));
+        let out = m.transmit(
+            victim,
+            Frame::data(victim, bs, vec![1]),
+            SimTime::from_millis(10),
+        );
         assert!(out.blocked_by_assoc);
         assert!(!out.delivered);
         // After the re-association delay it recovers.
@@ -446,7 +465,10 @@ mod tests {
 
     #[test]
     fn forged_deauth_blocked_with_mfp() {
-        let config = MediumConfig { mfp_enabled: true, ..MediumConfig::default() };
+        let config = MediumConfig {
+            mfp_enabled: true,
+            ..MediumConfig::default()
+        };
         let mut m = Medium::new(config, SimRng::from_seed(2));
         let bs = m.add_node(Vec3::new(0.0, 0.0, 5.0));
         let victim = m.add_node(Vec3::new(40.0, 0.0, 2.0));
@@ -503,9 +525,13 @@ mod tests {
         let mut m = medium();
         let a = m.add_node(Vec3::new(0.0, 0.0, 2.0));
         let b = m.add_node(Vec3::new(10.0, 0.0, 2.0));
-        let near: f64 = m.transmit(a, Frame::data(a, b, vec![]), SimTime::ZERO).rssi_dbm;
+        let near: f64 = m
+            .transmit(a, Frame::data(a, b, vec![]), SimTime::ZERO)
+            .rssi_dbm;
         m.set_position(b, Vec3::new(1000.0, 0.0, 2.0));
-        let far: f64 = m.transmit(a, Frame::data(a, b, vec![]), SimTime::ZERO).rssi_dbm;
+        let far: f64 = m
+            .transmit(a, Frame::data(a, b, vec![]), SimTime::ZERO)
+            .rssi_dbm;
         assert!(far < near - 30.0);
     }
 
@@ -516,7 +542,10 @@ mod tests {
             let a = m.add_node(Vec3::new(0.0, 0.0, 2.0));
             let b = m.add_node(Vec3::new(150.0, 0.0, 2.0));
             (0..50)
-                .map(|_| m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO).delivered)
+                .map(|_| {
+                    m.transmit(a, Frame::data(a, b, vec![0; 64]), SimTime::ZERO)
+                        .delivered
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));

@@ -194,8 +194,12 @@ mod tests {
         }];
         let stand = TreeStand::from_trees(trees, 200.0);
         // Drone-to-drone link at 50 m altitude.
-        let loss =
-            foliage_loss_db(&c, &stand, Vec3::new(0.0, 0.0, 50.0), Vec3::new(100.0, 0.0, 50.0));
+        let loss = foliage_loss_db(
+            &c,
+            &stand,
+            Vec3::new(0.0, 0.0, 50.0),
+            Vec3::new(100.0, 0.0, 50.0),
+        );
         assert_eq!(loss, 0.0);
     }
 
@@ -211,8 +215,12 @@ mod tests {
             })
             .collect();
         let stand = TreeStand::from_trees(trees, 200.0);
-        let loss =
-            foliage_loss_db(&c, &stand, Vec3::new(0.0, 0.0, 2.0), Vec3::new(100.0, 0.0, 2.0));
+        let loss = foliage_loss_db(
+            &c,
+            &stand,
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(100.0, 0.0, 2.0),
+        );
         assert_eq!(loss, c.max_foliage_db);
     }
 
@@ -275,14 +283,15 @@ mod tests {
 
     #[test]
     fn weather_attenuates() {
-        let c = PropagationConfig { shadowing_std_db: 0.0, ..cfg() };
+        let c = PropagationConfig {
+            shadowing_std_db: 0.0,
+            ..cfg()
+        };
         let mut rng = SimRng::from_seed(2);
         let a = Vec3::new(0.0, 0.0, 2.0);
         let b = Vec3::new(100.0, 0.0, 2.0);
-        let clear =
-            received_power_dbm(&c, 20.0, &empty_stand(), Weather::Clear, a, b, &mut rng);
-        let rain =
-            received_power_dbm(&c, 20.0, &empty_stand(), Weather::HeavyRain, a, b, &mut rng);
+        let clear = received_power_dbm(&c, 20.0, &empty_stand(), Weather::Clear, a, b, &mut rng);
+        let rain = received_power_dbm(&c, 20.0, &empty_stand(), Weather::HeavyRain, a, b, &mut rng);
         assert!((clear - rain - 3.0).abs() < 1e-9);
     }
 }

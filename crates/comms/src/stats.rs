@@ -174,7 +174,10 @@ mod tests {
 
     #[test]
     fn link_stats_ratio() {
-        let l = LinkStats { attempted: 10, delivered: 7 };
+        let l = LinkStats {
+            attempted: 10,
+            delivered: 7,
+        };
         assert!((l.delivery_ratio() - 0.7).abs() < 1e-9);
     }
 }

@@ -170,7 +170,12 @@ mod tests {
     #[test]
     fn secure_worksite_passes() {
         let report = certify_worksite(true);
-        assert_eq!(report.verdict, Verdict::Pass, "open items: {:?}", report.open_items);
+        assert_eq!(
+            report.verdict,
+            Verdict::Pass,
+            "open items: {:?}",
+            report.open_items
+        );
         assert!(report.risk_count >= 10);
         assert!(report.high_risk_count >= 3);
         assert!(report.zone_gaps.iter().all(|(_, g)| *g == 0));
@@ -189,10 +194,17 @@ mod tests {
         let tara = Tara::assess(&model);
         let mut case = build_security_case(&tara, "w");
         // Sabotage: add an unsupported goal.
-        case.add_node(silvasec_assurance::gsn::NodeKind::Goal, "G.orphan", "unsupported");
+        case.add_node(
+            silvasec_assurance::gsn::NodeKind::Goal,
+            "G.orphan",
+            "unsupported",
+        );
         let report = certify(&tara, &case, &catalog::worksite_zones(true));
         assert_eq!(report.verdict, Verdict::Fail);
-        assert!(report.open_items.iter().any(|i| i.gate == "assurance-structure"));
+        assert!(report
+            .open_items
+            .iter()
+            .any(|i| i.gate == "assurance-structure"));
     }
 
     #[test]

@@ -20,8 +20,8 @@ use silvasec_sim::geom::Vec2;
 use silvasec_sim::prelude::*;
 use silvasec_sim::terrain::TerrainConfig;
 use silvasec_sim::vegetation::StandConfig;
-use silvasec_sos::prelude::*;
 use silvasec_sos::metrics::WorksiteMetrics;
+use silvasec_sos::prelude::*;
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------
@@ -54,11 +54,23 @@ pub struct OcclusionRow {
 /// fraction of (human, tick) samples within detection range that were
 /// detected; time-to-detect is measured per approach episode.
 #[must_use]
-pub fn occlusion_point(density: f64, relief_m: f64, seed: u64, duration: SimDuration) -> OcclusionRow {
+pub fn occlusion_point(
+    density: f64,
+    relief_m: f64,
+    seed: u64,
+    duration: SimDuration,
+) -> OcclusionRow {
     let eval_radius = 40.0;
     let config = WorldConfig {
-        terrain: TerrainConfig { size_m: 300.0, relief_m, ..TerrainConfig::default() },
-        stand: StandConfig { trees_per_hectare: density, ..StandConfig::default() },
+        terrain: TerrainConfig {
+            size_m: 300.0,
+            relief_m,
+            ..TerrainConfig::default()
+        },
+        stand: StandConfig {
+            trees_per_hectare: density,
+            ..StandConfig::default()
+        },
         human_count: 4,
         human: silvasec_sim::humans::HumanConfig {
             work_area_bias: 0.7,
@@ -107,10 +119,12 @@ pub fn occlusion_point(density: f64, relief_m: f64, seed: u64, duration: SimDura
         let cam = camera.detect(&world, machine_pos, heading, &mut rng);
         let lid = lidar.detect(&world, machine_pos, heading, &mut rng);
         let air = drone.detect(&world, &mut rng);
-        let fw_set: Vec<u32> =
-            cam.iter().chain(lid.iter()).map(|d| d.human_id.0).collect();
-        let comb_set: Vec<u32> =
-            fw_set.iter().copied().chain(air.iter().map(|d| d.human_id.0)).collect();
+        let fw_set: Vec<u32> = cam.iter().chain(lid.iter()).map(|d| d.human_id.0).collect();
+        let comb_set: Vec<u32> = fw_set
+            .iter()
+            .copied()
+            .chain(air.iter().map(|d| d.human_id.0))
+            .collect();
 
         for human in world.humans() {
             let dist = human.position.distance(machine_pos);
@@ -127,7 +141,10 @@ pub fn occlusion_point(density: f64, relief_m: f64, seed: u64, duration: SimDura
                 }
                 if !ep.in_range {
                     // New approach episode.
-                    *ep = Episode { in_range: true, ..Episode::default() };
+                    *ep = Episode {
+                        in_range: true,
+                        ..Episode::default()
+                    };
                 }
                 if !ep.detected_fw {
                     if fw_detected {
@@ -169,14 +186,27 @@ pub fn occlusion_point(density: f64, relief_m: f64, seed: u64, duration: SimDura
     OcclusionRow {
         density,
         relief_m,
-        forwarder_coverage: if in_range_ticks == 0 { 1.0 } else { fw_hits as f64 / in_range_ticks as f64 },
-        combined_coverage: if in_range_ticks == 0 { 1.0 } else { comb_hits as f64 / in_range_ticks as f64 },
+        forwarder_coverage: if in_range_ticks == 0 {
+            1.0
+        } else {
+            fw_hits as f64 / in_range_ticks as f64
+        },
+        combined_coverage: if in_range_ticks == 0 {
+            1.0
+        } else {
+            comb_hits as f64 / in_range_ticks as f64
+        },
         forwarder_ttd_s: mean(&ttd_fw),
         combined_ttd_s: mean(&ttd_comb),
     }
 }
 
 /// Runs the full Figure 2 sweep over stand densities.
+///
+/// The densities × seeds grid is evaluated on the parallel sweep engine
+/// ([`crate::sweep::par_sweep`]); every grid point carries its own seed,
+/// and per-density means are folded in seed order, so the rows are
+/// bit-identical to the sequential nested map this replaces.
 #[must_use]
 pub fn occlusion_sweep(
     densities: &[f64],
@@ -184,13 +214,32 @@ pub fn occlusion_sweep(
     seeds: &[u64],
     duration: SimDuration,
 ) -> Vec<OcclusionRow> {
-    densities
+    if seeds.is_empty() {
+        // Degenerate grid: mirror the old nested map, whose empty-mean
+        // division yielded NaN summaries.
+        let nan = f64::NAN;
+        return densities
+            .iter()
+            .map(|&density| OcclusionRow {
+                density,
+                relief_m,
+                forwarder_coverage: nan,
+                combined_coverage: nan,
+                forwarder_ttd_s: nan,
+                combined_ttd_s: nan,
+            })
+            .collect();
+    }
+    let points: Vec<(f64, u64)> = densities
         .iter()
-        .map(|&density| {
-            let rows: Vec<OcclusionRow> = seeds
-                .iter()
-                .map(|&s| occlusion_point(density, relief_m, s, duration))
-                .collect();
+        .flat_map(|&d| seeds.iter().map(move |&s| (d, s)))
+        .collect();
+    let rows = crate::sweep::par_sweep(&points, |&(density, seed)| {
+        occlusion_point(density, relief_m, seed, duration)
+    });
+    rows.chunks(seeds.len())
+        .zip(densities)
+        .map(|(rows, &density)| {
             let n = rows.len() as f64;
             OcclusionRow {
                 density,
@@ -213,8 +262,15 @@ pub fn occlusion_sweep(
 pub fn standard_config(posture: SecurityPosture) -> WorksiteConfig {
     WorksiteConfig {
         world: WorldConfig {
-            terrain: TerrainConfig { size_m: 300.0, relief_m: 8.0, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 400.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 300.0,
+                relief_m: 8.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 400.0,
+                ..StandConfig::default()
+            },
             human_count: 3,
             work_area: Vec2::new(240.0, 240.0),
             landing_area: Vec2::new(60.0, 60.0),
@@ -231,7 +287,10 @@ pub fn standard_config(posture: SecurityPosture) -> WorksiteConfig {
 pub fn campaign_for(kind: AttackKind, start: SimTime, duration: SimDuration) -> AttackCampaign {
     let target = match kind {
         AttackKind::RfJamming | AttackKind::GnssSpoofing | AttackKind::GnssJamming => {
-            AttackTarget::Area { center: Vec2::new(150.0, 150.0), radius_m: 400.0 }
+            AttackTarget::Area {
+                center: Vec2::new(150.0, 150.0),
+                radius_m: 400.0,
+            }
         }
         AttackKind::DeauthFlood => {
             // Node ids in Worksite: 0 = base station, 1 = forwarder.
@@ -240,9 +299,9 @@ pub fn campaign_for(kind: AttackKind, start: SimTime, duration: SimDuration) -> 
                 victim: silvasec_comms::NodeId(1),
             }
         }
-        AttackKind::CameraBlinding | AttackKind::FirmwareTampering => {
-            AttackTarget::Machine { label: "forwarder-01".into() }
-        }
+        AttackKind::CameraBlinding | AttackKind::FirmwareTampering => AttackTarget::Machine {
+            label: "forwarder-01".into(),
+        },
         AttackKind::Replay => AttackTarget::Network,
         AttackKind::RogueNode => AttackTarget::Link {
             spoof_as: silvasec_comms::NodeId(0),
@@ -250,7 +309,13 @@ pub fn campaign_for(kind: AttackKind, start: SimTime, duration: SimDuration) -> 
         },
         _ => AttackTarget::Network,
     };
-    AttackCampaign { kind, target, start, duration, intensity: 1.0 }
+    AttackCampaign {
+        kind,
+        target,
+        start,
+        duration,
+        intensity: 1.0,
+    }
 }
 
 /// Runs the standard worksite with an optional attack; returns metrics.
@@ -265,7 +330,8 @@ pub fn run_worksite(
     if let Some(kind) = attack {
         let start = SimTime::from_secs(60);
         let dur = SimDuration::from_secs(total.as_secs_f64() as u64 / 2);
-        site.attack_engine_mut().add_campaign(campaign_for(kind, start, dur));
+        site.attack_engine_mut()
+            .add_campaign(campaign_for(kind, start, dur));
     }
     site.run(total);
     site.metrics().clone()
@@ -309,10 +375,17 @@ pub struct AttackMatrixRow {
 }
 
 /// Runs the E1 matrix for the runtime attack classes.
+///
+/// The clean baseline and the seven attacked runs are independent
+/// episodes (each reconstructs its own `Worksite` from `seed`), so they
+/// are evaluated together on the parallel sweep engine; rows are derived
+/// afterwards and match the sequential formulation exactly.
 #[must_use]
-pub fn attack_matrix(posture: SecurityPosture, seed: u64, total: SimDuration) -> Vec<AttackMatrixRow> {
-    let baseline = run_worksite(posture, None, seed, total);
-    let baseline_distance = baseline.distance_m.max(1.0);
+pub fn attack_matrix(
+    posture: SecurityPosture,
+    seed: u64,
+    total: SimDuration,
+) -> Vec<AttackMatrixRow> {
     let attacks = [
         AttackKind::RfJamming,
         AttackKind::DeauthFlood,
@@ -322,16 +395,23 @@ pub fn attack_matrix(posture: SecurityPosture, seed: u64, total: SimDuration) ->
         AttackKind::Replay,
         AttackKind::RogueNode,
     ];
+    let episodes: Vec<Option<AttackKind>> = std::iter::once(None)
+        .chain(attacks.iter().copied().map(Some))
+        .collect();
+    let mut metrics = crate::sweep::par_sweep(&episodes, |&attack| {
+        run_worksite(posture, attack, seed, total)
+    })
+    .into_iter();
+    let baseline = metrics.next().expect("baseline episode present");
+    let baseline_distance = baseline.distance_m.max(1.0);
     attacks
         .iter()
-        .map(|&kind| {
-            let m = run_worksite(posture, Some(kind), seed, total);
+        .zip(metrics)
+        .map(|(&kind, m)| {
             let onset = SimTime::from_secs(60);
             let (detected, ttd) = match expected_alert(kind) {
                 Some(alert) => match m.first_alert_at.get(&alert.to_string()) {
-                    Some(at) if *at >= onset => {
-                        (true, Some(at.since(onset).as_secs_f64()))
-                    }
+                    Some(at) if *at >= onset => (true, Some(at.since(onset).as_secs_f64())),
                     Some(_) => (true, Some(0.0)),
                     None => (false, None),
                 },
@@ -415,9 +495,16 @@ pub fn build_sos_composition(n: usize, goals_per_module: usize) -> Composition {
     for i in 0..n {
         let name = format!("constituent-{i}");
         let mut case = AssuranceCase::new(&name);
-        let root = case.add_node(NodeKind::Goal, format!("{name}.G0"), "constituent is secure");
-        let strategy =
-            case.add_node(NodeKind::Strategy, format!("{name}.S0"), "argue over functions");
+        let root = case.add_node(
+            NodeKind::Goal,
+            format!("{name}.G0"),
+            "constituent is secure",
+        );
+        let strategy = case.add_node(
+            NodeKind::Strategy,
+            format!("{name}.S0"),
+            "argue over functions",
+        );
         case.supported_by(&root, &strategy);
         for g in 0..goals_per_module {
             let goal = case.add_node(
@@ -426,8 +513,11 @@ pub fn build_sos_composition(n: usize, goals_per_module: usize) -> Composition {
                 format!("function {g} is protected"),
             );
             case.supported_by(&strategy, &goal);
-            let solution =
-                case.add_node(NodeKind::Solution, format!("{name}.Sn{g}"), "verification run");
+            let solution = case.add_node(
+                NodeKind::Solution,
+                format!("{name}.Sn{g}"),
+                "verification run",
+            );
             case.supported_by(&goal, &solution);
             let ev = format!("{name}.ev{g}");
             case.register_evidence(silvasec_assurance::evidence::Evidence::new(
@@ -475,8 +565,15 @@ pub fn sotif_evidence(
 ) -> silvasec_risk::sotif::Evidence {
     let critical_distance = 15.0;
     let config = WorldConfig {
-        terrain: TerrainConfig { size_m: 300.0, relief_m: 10.0, ..TerrainConfig::default() },
-        stand: StandConfig { trees_per_hectare: 400.0, ..StandConfig::default() },
+        terrain: TerrainConfig {
+            size_m: 300.0,
+            relief_m: 10.0,
+            ..TerrainConfig::default()
+        },
+        stand: StandConfig {
+            trees_per_hectare: 400.0,
+            ..StandConfig::default()
+        },
         human_count: 5,
         human: silvasec_sim::humans::HumanConfig {
             work_area_bias: 0.8,
@@ -602,7 +699,10 @@ pub fn continuous_latency(kind: AttackKind, seed: u64) -> ContinuousLatencyRow {
     // Assurance invalidation: the control tag tied to this attack class.
     let tara = Tara::assess(&catalog::worksite_model());
     let mut case = silvasec_assurance::builder::build_security_case(&tara, "worksite");
-    let tag = Tara::candidate_controls(Some(&class)).into_iter().next().unwrap_or_default();
+    let tag = Tara::candidate_controls(Some(&class))
+        .into_iter()
+        .next()
+        .unwrap_or_default();
     let _ = case.invalidate_evidence_tagged(&tag);
     let doubt = case.goals_in_doubt(0).len();
 
@@ -679,7 +779,11 @@ mod tests {
             7,
             SimDuration::from_secs(1200),
         );
-        assert!(clear.exposures >= 10, "too few episodes: {}", clear.exposures);
+        assert!(
+            clear.exposures >= 10,
+            "too few episodes: {}",
+            clear.exposures
+        );
         assert!(
             fog.unsafe_rate() > clear.unsafe_rate(),
             "fog {:.2} vs clear {:.2}",

@@ -45,6 +45,7 @@
 
 pub mod certify;
 pub mod experiments;
+pub mod sweep;
 
 pub use silvasec_assurance as assurance;
 pub use silvasec_attacks as attacks;

@@ -1,0 +1,260 @@
+//! Deterministic parallel sweep engine for experiment grids.
+//!
+//! Every quantitative artifact in this reproduction is a *sweep*: a grid
+//! of independent evaluation points (density × seed, posture × attack,
+//! weather × seed, …) mapped through a pure evaluation function. Each
+//! point carries its own RNG seed, so the points share no mutable state
+//! and the map is embarrassingly parallel — scheduling order cannot
+//! perturb the numbers.
+//!
+//! [`par_sweep`] exploits that: it fans the points out over a
+//! crossbeam-scoped worker pool and returns results **in input order**,
+//! bit-identical to the sequential `points.map(f)` it replaces. Callers
+//! therefore need no feature flag and no tolerance windows — the
+//! equivalence is exact and is enforced by a property test
+//! (`tests/proptests.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use silvasec::sweep::par_sweep;
+//!
+//! let points: Vec<u64> = (0..32).collect();
+//! let squares = par_sweep(&points, |&p| p * p);
+//! assert_eq!(squares, points.iter().map(|&p| p * p).collect::<Vec<_>>());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Timing and shape summary of one parallel sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStats {
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Number of sweep points evaluated.
+    pub points: usize,
+    /// Wall-clock time for the whole sweep, in seconds.
+    pub wall_s: f64,
+    /// Per-point wall-clock times, in input order, in seconds.
+    pub point_wall_s: Vec<f64>,
+}
+
+impl SweepStats {
+    /// Aggregate throughput in points (episodes) per second of
+    /// wall-clock time. Zero-duration sweeps report zero rather than
+    /// infinity.
+    #[must_use]
+    pub fn points_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.points as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Total CPU time spent inside point evaluations, in seconds. On a
+    /// multi-core host this exceeds `wall_s` when the sweep scales.
+    #[must_use]
+    pub fn busy_s(&self) -> f64 {
+        self.point_wall_s.iter().sum()
+    }
+}
+
+/// Number of workers a sweep will use: the available hardware
+/// parallelism, capped by the number of points (spawning more threads
+/// than points only adds join overhead).
+#[must_use]
+pub fn worker_count(points: usize) -> usize {
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    hw.min(points).max(1)
+}
+
+/// Maps `f` over `points` on a scoped worker pool, returning results in
+/// input order.
+///
+/// Determinism: `f` receives each point exactly once and results are
+/// scattered back by input index, so the output is the same `Vec` the
+/// sequential `points.iter().map(f).collect()` would produce — bit for
+/// bit, for any worker count and any scheduling. Work is distributed by
+/// atomic work-stealing (each worker grabs the next unclaimed index), so
+/// uneven point costs balance automatically.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_sweep<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    par_sweep_with_stats(points, f).0
+}
+
+/// [`par_sweep`] variant that also reports [`SweepStats`].
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_sweep_with_stats<P, R, F>(points: &[P], f: F) -> (Vec<R>, SweepStats)
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    let started = Instant::now();
+    let workers = worker_count(points.len());
+
+    let mut slots: Vec<Option<(R, f64)>> = Vec::with_capacity(points.len());
+    slots.resize_with(points.len(), || None);
+
+    if workers <= 1 {
+        for (slot, point) in slots.iter_mut().zip(points) {
+            let t0 = Instant::now();
+            let r = f(point);
+            *slot = Some((r, t0.elapsed().as_secs_f64()));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let f = &f;
+        let next = &next;
+        // Each worker claims indices off the shared counter and returns
+        // its locally collected (index, result, seconds) triples through
+        // its join handle; the scatter below restores input order.
+        let gathered: Vec<Vec<(usize, R, f64)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move |_| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= points.len() {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let r = f(&points[idx]);
+                            local.push((idx, r, t0.elapsed().as_secs_f64()));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        })
+        .expect("sweep scope panicked");
+
+        for (idx, r, secs) in gathered.into_iter().flatten() {
+            slots[idx] = Some((r, secs));
+        }
+    }
+
+    let mut results = Vec::with_capacity(points.len());
+    let mut point_wall_s = Vec::with_capacity(points.len());
+    for slot in slots {
+        let (r, secs) = slot.expect("every sweep index is claimed exactly once");
+        results.push(r);
+        point_wall_s.push(secs);
+    }
+
+    let stats = SweepStats {
+        workers,
+        points: points.len(),
+        wall_s: started.elapsed().as_secs_f64(),
+        point_wall_s,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let points: Vec<u64> = (0..257).collect();
+        let out = par_sweep(&points, |&p| p.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let expected: Vec<u64> = points
+            .iter()
+            .map(|&p| p.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_sweep() {
+        let points: Vec<u64> = Vec::new();
+        let (out, stats) = par_sweep_with_stats(&points, |&p| p);
+        assert!(out.is_empty());
+        assert_eq!(stats.points, 0);
+        assert_eq!(stats.workers, 1);
+        assert!(stats.point_wall_s.is_empty());
+    }
+
+    #[test]
+    fn single_point_sweep() {
+        let (out, stats) = par_sweep_with_stats(&[41u32], |&p| p + 1);
+        assert_eq!(out, vec![42]);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.point_wall_s.len(), 1);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let points: Vec<u64> = (0..64).collect();
+        let (out, stats) = par_sweep_with_stats(&points, |&p| {
+            // A little real work so timings are non-trivial.
+            (0..1000).fold(p, |acc, i| acc.wrapping_mul(31).wrapping_add(i))
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(stats.points, 64);
+        assert_eq!(stats.point_wall_s.len(), 64);
+        assert!(stats.workers >= 1);
+        assert!(stats.wall_s >= 0.0);
+        assert!(stats.point_wall_s.iter().all(|&s| s >= 0.0));
+        assert!(stats.points_per_s() > 0.0);
+        assert!(stats.busy_s() >= 0.0);
+    }
+
+    #[test]
+    fn results_can_borrow_from_points() {
+        let points: Vec<String> = (0..16).map(|i| format!("point-{i}")).collect();
+        let lens = par_sweep(&points, String::len);
+        assert_eq!(lens, points.iter().map(String::len).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_to_sequential() {
+        // The determinism contract the experiment sweeps rely on:
+        // floating-point results match the sequential map exactly.
+        let points: Vec<(f64, u64)> = (0..128u32)
+            .map(|i| (f64::from(i) * 0.37, u64::from(i)))
+            .collect();
+        let eval = |&(x, seed): &(f64, u64)| {
+            let mut acc = x;
+            for k in 1..200u64 {
+                acc = (acc * 1.000_1 + (seed ^ k) as f64 * 1e-9)
+                    .sin()
+                    .mul_add(0.5, acc);
+            }
+            acc
+        };
+        let par = par_sweep(&points, eval);
+        let seq: Vec<f64> = points.iter().map(eval).collect();
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_points() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(1024) >= 1);
+        assert!(worker_count(2) <= 2);
+    }
+}

@@ -29,7 +29,9 @@ impl ChaCha20Poly1305 {
     /// Creates an AEAD instance from a 32-byte key.
     #[must_use]
     pub fn new(key: &[u8; KEY_LEN]) -> Self {
-        ChaCha20Poly1305 { cipher: ChaCha20::new(key) }
+        ChaCha20Poly1305 {
+            cipher: ChaCha20::new(key),
+        }
     }
 
     fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
@@ -72,7 +74,10 @@ impl ChaCha20Poly1305 {
         sealed: &[u8],
     ) -> Result<Vec<u8>, CryptoError> {
         if sealed.len() < TAG_LEN {
-            return Err(CryptoError::InvalidLength { expected: TAG_LEN, actual: sealed.len() });
+            return Err(CryptoError::InvalidLength {
+                expected: TAG_LEN,
+                actual: sealed.len(),
+            });
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
         let expected = self.tag(nonce, aad, ciphertext);
@@ -109,11 +114,10 @@ mod tests {
     // RFC 7539 section 2.8.2 AEAD test vector.
     #[test]
     fn rfc7539_aead_vector() {
-        let key: [u8; 32] = unhex(
-            "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
         let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
         let aad = unhex("50515253c0c1c2c3c4c5c6c7");
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
@@ -121,13 +125,12 @@ only one tip for the future, sunscreen would be it.";
 
         let sealed = ChaCha20Poly1305::new(&key).seal(&nonce, &aad, plaintext);
         let (ct, tag) = sealed.split_at(sealed.len() - 16);
-        assert_eq!(
-            hex(&ct[..16]),
-            "d31a8d34648e60db7b86afbc53ef7ec2"
-        );
+        assert_eq!(hex(&ct[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
         assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
 
-        let opened = ChaCha20Poly1305::new(&key).open(&nonce, &aad, &sealed).unwrap();
+        let opened = ChaCha20Poly1305::new(&key)
+            .open(&nonce, &aad, &sealed)
+            .unwrap();
         assert_eq!(opened, plaintext);
     }
 
@@ -138,7 +141,10 @@ only one tip for the future, sunscreen would be it.";
         for i in 0..sealed.len() {
             let mut bad = sealed.clone();
             bad[i] ^= 0x01;
-            assert!(aead.open(&[0; 12], b"aad", &bad).is_err(), "byte {i} tamper missed");
+            assert!(
+                aead.open(&[0; 12], b"aad", &bad).is_err(),
+                "byte {i} tamper missed"
+            );
         }
     }
 
@@ -162,7 +168,10 @@ only one tip for the future, sunscreen would be it.";
         let aead = ChaCha20Poly1305::new(&[5u8; 32]);
         assert_eq!(
             aead.open(&[0; 12], b"", &[0u8; 15]),
-            Err(CryptoError::InvalidLength { expected: 16, actual: 15 })
+            Err(CryptoError::InvalidLength {
+                expected: 16,
+                actual: 15
+            })
         );
     }
 

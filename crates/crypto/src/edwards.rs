@@ -15,27 +15,23 @@ pub const POINT_LEN: usize = 64;
 
 /// The curve constant d = −121665/121666.
 const D_BYTES: [u8; 32] = [
-    0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70,
-    0x00, 0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c,
-    0x03, 0x52,
+    0xa3, 0x78, 0x59, 0x13, 0xca, 0x4d, 0xeb, 0x75, 0xab, 0xd8, 0x41, 0x41, 0x4d, 0x0a, 0x70, 0x00,
+    0x98, 0xe8, 0x79, 0x77, 0x79, 0x40, 0xc7, 0x8c, 0x73, 0xfe, 0x6f, 0x2b, 0xee, 0x6c, 0x03, 0x52,
 ];
 /// 2·d, used by the addition formula.
 const D2_BYTES: [u8; 32] = [
-    0x59, 0xf1, 0xb2, 0x26, 0x94, 0x9b, 0xd6, 0xeb, 0x56, 0xb1, 0x83, 0x82, 0x9a, 0x14, 0xe0,
-    0x00, 0x30, 0xd1, 0xf3, 0xee, 0xf2, 0x80, 0x8e, 0x19, 0xe7, 0xfc, 0xdf, 0x56, 0xdc, 0xd9,
-    0x06, 0x24,
+    0x59, 0xf1, 0xb2, 0x26, 0x94, 0x9b, 0xd6, 0xeb, 0x56, 0xb1, 0x83, 0x82, 0x9a, 0x14, 0xe0, 0x00,
+    0x30, 0xd1, 0xf3, 0xee, 0xf2, 0x80, 0x8e, 0x19, 0xe7, 0xfc, 0xdf, 0x56, 0xdc, 0xd9, 0x06, 0x24,
 ];
 /// x-coordinate of the standard base point.
 const BX_BYTES: [u8; 32] = [
-    0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c,
-    0x69, 0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36,
-    0x69, 0x21,
+    0x1a, 0xd5, 0x25, 0x8f, 0x60, 0x2d, 0x56, 0xc9, 0xb2, 0xa7, 0x25, 0x95, 0x60, 0xc7, 0x2c, 0x69,
+    0x5c, 0xdc, 0xd6, 0xfd, 0x31, 0xe2, 0xa4, 0xc0, 0xfe, 0x53, 0x6e, 0xcd, 0xd3, 0x36, 0x69, 0x21,
 ];
 /// y-coordinate of the standard base point (4/5).
 const BY_BYTES: [u8; 32] = [
-    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
-    0x66, 0x66,
+    0x58, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
+    0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66, 0x66,
 ];
 
 fn d() -> FieldElement {
@@ -82,7 +78,12 @@ impl EdwardsPoint {
     pub fn basepoint() -> Self {
         let x = FieldElement::from_bytes(&BX_BYTES);
         let y = FieldElement::from_bytes(&BY_BYTES);
-        EdwardsPoint { x, y, z: FieldElement::ONE, t: x.mul(&y) }
+        EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        }
     }
 
     /// Constructs a point from affine coordinates, checking the curve
@@ -101,7 +102,12 @@ impl EdwardsPoint {
         if lhs != rhs {
             return Err(CryptoError::InvalidEncoding);
         }
-        Ok(EdwardsPoint { x, y, z: FieldElement::ONE, t: x.mul(&y) })
+        Ok(EdwardsPoint {
+            x,
+            y,
+            z: FieldElement::ONE,
+            t: x.mul(&y),
+        })
     }
 
     /// Returns the affine coordinates (x, y).
@@ -153,7 +159,12 @@ impl EdwardsPoint {
         let f = dd.sub(&c);
         let g = dd.add(&c);
         let h = b.add(&a);
-        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Point doubling (dbl-2008-hwcd formulas for a = −1).
@@ -167,13 +178,23 @@ impl EdwardsPoint {
         let g = d.add(&b);
         let f = g.sub(&c);
         let h = d.sub(&b);
-        EdwardsPoint { x: e.mul(&f), y: g.mul(&h), z: f.mul(&g), t: e.mul(&h) }
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
     }
 
     /// Negation: (x, y) → (−x, y).
     #[must_use]
     pub fn neg(&self) -> Self {
-        EdwardsPoint { x: self.x.neg(), y: self.y, z: self.z, t: self.t.neg() }
+        EdwardsPoint {
+            x: self.x.neg(),
+            y: self.y,
+            z: self.z,
+            t: self.t.neg(),
+        }
     }
 
     /// Scalar multiplication by double-and-add (MSB first).
@@ -206,8 +227,7 @@ impl EdwardsPoint {
 impl PartialEq for EdwardsPoint {
     fn eq(&self, other: &Self) -> bool {
         // (X1/Z1, Y1/Z1) == (X2/Z2, Y2/Z2) ⇔ cross products match.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 
@@ -254,7 +274,10 @@ mod tests {
         assert!(b.scalar_mul(&Scalar::ZERO).is_identity());
         assert_eq!(b.scalar_mul(&Scalar::ONE), b);
         assert_eq!(b.scalar_mul(&Scalar::from_u64(2)), b.double());
-        assert_eq!(b.scalar_mul(&Scalar::from_u64(5)), b.double().double().add(&b));
+        assert_eq!(
+            b.scalar_mul(&Scalar::from_u64(5)),
+            b.double().double().add(&b)
+        );
     }
 
     #[test]
@@ -276,10 +299,7 @@ mod tests {
             b.scalar_mul(&a.add(&c)),
             b.scalar_mul(&a).add(&b.scalar_mul(&c))
         );
-        assert_eq!(
-            b.scalar_mul(&a.mul(&c)),
-            b.scalar_mul(&a).scalar_mul(&c)
-        );
+        assert_eq!(b.scalar_mul(&a.mul(&c)), b.scalar_mul(&a).scalar_mul(&c));
     }
 
     #[test]
@@ -295,7 +315,10 @@ mod tests {
     fn decode_rejects_off_curve() {
         let mut enc = EdwardsPoint::basepoint().encode();
         enc[0] ^= 1; // perturb x
-        assert_eq!(EdwardsPoint::decode(&enc), Err(CryptoError::InvalidEncoding));
+        assert_eq!(
+            EdwardsPoint::decode(&enc),
+            Err(CryptoError::InvalidEncoding)
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ mod tests {
         let msgs = [
             CryptoError::VerificationFailed.to_string(),
             CryptoError::InvalidEncoding.to_string(),
-            CryptoError::InvalidLength { expected: 32, actual: 31 }.to_string(),
+            CryptoError::InvalidLength {
+                expected: 32,
+                actual: 31,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'));

@@ -56,7 +56,13 @@ impl Poly1305 {
             u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
             u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
         ];
-        Poly1305 { r, s, h: [0; 5], buf: [0; BLOCK_LEN], buf_len: 0 }
+        Poly1305 {
+            r,
+            s,
+            h: [0; 5],
+            buf: [0; BLOCK_LEN],
+            buf_len: 0,
+        }
     }
 
     fn process_block(&mut self, block: &[u8; BLOCK_LEN], final_partial: bool) {
@@ -233,11 +239,10 @@ mod tests {
     // RFC 7539 section 2.5.2 test vector.
     #[test]
     fn rfc7539_vector() {
-        let key: [u8; 32] = unhex(
-            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
-        )
-        .try_into()
-        .unwrap();
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
         assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
     }
@@ -247,7 +252,10 @@ mod tests {
     fn rfc7539_a3_vector1() {
         let key = [0u8; 32];
         let msg = [0u8; 64];
-        assert_eq!(hex(&Poly1305::mac(&key, &msg)), "00000000000000000000000000000000");
+        assert_eq!(
+            hex(&Poly1305::mac(&key, &msg)),
+            "00000000000000000000000000000000"
+        );
     }
 
     // RFC 7539 appendix A.3 test vector 2.
@@ -256,7 +264,10 @@ mod tests {
         let mut key = [0u8; 32];
         key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
-        assert_eq!(hex(&Poly1305::mac(&key, msg)), "36e5f6b5c5e06070f0efca96227a863e");
+        assert_eq!(
+            hex(&Poly1305::mac(&key, msg)),
+            "36e5f6b5c5e06070f0efca96227a863e"
+        );
     }
 
     // RFC 7539 appendix A.3 test vector 3 (r = key part reused as tag).
@@ -265,7 +276,10 @@ mod tests {
         let mut key = [0u8; 32];
         key[..16].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
-        assert_eq!(hex(&Poly1305::mac(&key, msg)), "f3477e7cd95417af89a6b8794c310cf0");
+        assert_eq!(
+            hex(&Poly1305::mac(&key, msg)),
+            "f3477e7cd95417af89a6b8794c310cf0"
+        );
     }
 
     // RFC 7539 appendix A.3 test vector 11 exercises the wraparound edge:

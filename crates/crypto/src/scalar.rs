@@ -180,9 +180,8 @@ impl Scalar {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let v = u128::from(self.0[i]) * u128::from(rhs.0[j])
-                    + u128::from(limbs[i + j])
-                    + carry;
+                let v =
+                    u128::from(self.0[i]) * u128::from(rhs.0[j]) + u128::from(limbs[i + j]) + carry;
                 limbs[i + j] = v as u64;
                 carry = v >> 64;
             }

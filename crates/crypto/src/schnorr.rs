@@ -96,7 +96,10 @@ impl VerifyingKey {
         if point.is_identity() {
             return Err(CryptoError::InvalidEncoding);
         }
-        Ok(VerifyingKey { point, encoded: *bytes })
+        Ok(VerifyingKey {
+            point,
+            encoded: *bytes,
+        })
     }
 
     /// The 64-byte encoding of this key.
@@ -218,7 +221,10 @@ impl SigningKey {
         let r_bytes = r_point.encode();
         let e = challenge(&r_bytes, &self.verifying.encoded, message);
         let s = r.add(&e.mul(&self.secret));
-        Signature { r_bytes, s_bytes: s.to_bytes() }
+        Signature {
+            r_bytes,
+            s_bytes: s.to_bytes(),
+        }
     }
 }
 
@@ -329,7 +335,10 @@ mod tests {
             for (i, limb) in raw.iter().enumerate() {
                 s_bytes[8 * i..8 * i + 8].copy_from_slice(&limb.to_le_bytes());
             }
-            let bad = Signature { r_bytes: sig.r_bytes, s_bytes };
+            let bad = Signature {
+                r_bytes: sig.r_bytes,
+                s_bytes,
+            };
             assert!(sk.verifying_key().verify(b"m", &bad).is_err());
         }
     }

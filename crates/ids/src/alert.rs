@@ -56,9 +56,7 @@ impl AlertKind {
 }
 
 /// Alert severity.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
     /// Informational; log only.
     Low,
@@ -88,7 +86,13 @@ pub struct Alert {
 impl Alert {
     /// Creates an alert with the kind's default severity.
     pub fn new(kind: AlertKind, subject: impl Into<String>, at: SimTime, detail: String) -> Self {
-        Alert { kind, severity: kind.default_severity(), subject: subject.into(), at, detail }
+        Alert {
+            kind,
+            severity: kind.default_severity(),
+            subject: subject.into(),
+            at,
+            detail,
+        }
     }
 }
 
@@ -105,8 +109,14 @@ mod tests {
 
     #[test]
     fn safety_relevant_kinds_are_critical() {
-        assert_eq!(AlertKind::SensorBlinding.default_severity(), Severity::Critical);
-        assert_eq!(AlertKind::GnssSpoofing.default_severity(), Severity::Critical);
+        assert_eq!(
+            AlertKind::SensorBlinding.default_severity(),
+            Severity::Critical
+        );
+        assert_eq!(
+            AlertKind::GnssSpoofing.default_severity(),
+            Severity::Critical
+        );
     }
 
     #[test]
@@ -117,14 +127,24 @@ mod tests {
 
     #[test]
     fn constructor_applies_default_severity() {
-        let a = Alert::new(AlertKind::Jamming, "fw-01", SimTime::ZERO, "noise +20 dB".into());
+        let a = Alert::new(
+            AlertKind::Jamming,
+            "fw-01",
+            SimTime::ZERO,
+            "noise +20 dB".into(),
+        );
         assert_eq!(a.severity, Severity::High);
         assert_eq!(a.subject, "fw-01");
     }
 
     #[test]
     fn serde_roundtrip() {
-        let a = Alert::new(AlertKind::GnssSpoofing, "fw-01", SimTime::from_secs(5), "drift".into());
+        let a = Alert::new(
+            AlertKind::GnssSpoofing,
+            "fw-01",
+            SimTime::from_secs(5),
+            "drift".into(),
+        );
         let json = serde_json::to_string(&a).unwrap();
         assert_eq!(serde_json::from_str::<Alert>(&json).unwrap(), a);
     }

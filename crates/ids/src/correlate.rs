@@ -43,7 +43,10 @@ impl AlertCorrelator {
     /// an incident's last alert join that incident.
     #[must_use]
     pub fn new(window: SimDuration) -> Self {
-        AlertCorrelator { window, ..AlertCorrelator::default() }
+        AlertCorrelator {
+            window,
+            ..AlertCorrelator::default()
+        }
     }
 
     /// Feeds an alert; returns the id of the incident it joined, and

@@ -60,8 +60,7 @@ use sensor_health::{SensorHealthMonitor, SensorObservation};
 use std::collections::HashMap;
 
 /// Tuning for all detectors.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IdsConfig {
     /// Radio-detector tuning.
     pub radio: radio::RadioConfig,
@@ -70,7 +69,6 @@ pub struct IdsConfig {
     /// Sensor-health tuning.
     pub sensor: sensor_health::SensorHealthConfig,
 }
-
 
 /// The worksite IDS: per-entity detector instances behind one facade.
 #[derive(Debug, Default)]
@@ -86,7 +84,10 @@ impl WorksiteIds {
     /// Creates an IDS with the given tuning.
     #[must_use]
     pub fn new(config: IdsConfig) -> Self {
-        WorksiteIds { config, ..WorksiteIds::default() }
+        WorksiteIds {
+            config,
+            ..WorksiteIds::default()
+        }
     }
 
     /// Feeds one radio telemetry observation; returns any new alerts.

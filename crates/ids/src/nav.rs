@@ -100,7 +100,10 @@ impl NavConsistencyMonitor {
                         if let Some(a) = self.raise(
                             AlertKind::GnssJamming,
                             obs,
-                            format!("{} consecutive missing fixes while moving", self.missing_streak),
+                            format!(
+                                "{} consecutive missing fixes while moving",
+                                self.missing_streak
+                            ),
                         ) {
                             alerts.push(a);
                         }
@@ -177,7 +180,11 @@ mod tests {
         assert_eq!(alerts[0].kind, AlertKind::GnssSpoofing);
         // Detection latency: divergence crosses ~8 m at t ≈ 36, plus the
         // 3-sample confirmation.
-        assert!(alerts[0].at <= SimTime::from_secs(45), "late: {}", alerts[0].at);
+        assert!(
+            alerts[0].at <= SimTime::from_secs(45),
+            "late: {}",
+            alerts[0].at
+        );
     }
 
     #[test]
@@ -189,7 +196,9 @@ mod tests {
         }
         // One wild fix (multipath glitch).
         let p = Vec2::new(10.0, 0.0);
-        assert!(m.observe(&obs(10, Some(p + Vec2::new(50.0, 0.0)), p)).is_empty());
+        assert!(m
+            .observe(&obs(10, Some(p + Vec2::new(50.0, 0.0)), p))
+            .is_empty());
         // Back to normal.
         for t in 11..20 {
             let p = Vec2::new(t as f64, 0.0);
@@ -223,7 +232,10 @@ mod tests {
         // A constant 12 m offset: flagged under the default 8 m base
         // tolerance, tolerated under a 20 m one.
         let run = |base: f64| {
-            let config = NavConfig { base_tolerance_m: base, ..NavConfig::default() };
+            let config = NavConfig {
+                base_tolerance_m: base,
+                ..NavConfig::default()
+            };
             let mut m = NavConsistencyMonitor::new(config);
             let mut alerts = Vec::new();
             for t in 0..60 {

@@ -150,7 +150,8 @@ impl RadioDetectors {
 
         // --- rogue association attempts ---
         if obs.unknown_assoc_requests > 0 {
-            self.rogue_assoc_events.push_back((obs.at, obs.unknown_assoc_requests));
+            self.rogue_assoc_events
+                .push_back((obs.at, obs.unknown_assoc_requests));
         }
         while let Some((t, _)) = self.rogue_assoc_events.front() {
             if obs.at.since(*t) > self.config.window {
@@ -296,7 +297,10 @@ mod tests {
 
     #[test]
     fn cooldown_suppresses_repeats_then_realerts() {
-        let config = RadioConfig { cooldown: SimDuration::from_secs(30), ..RadioConfig::default() };
+        let config = RadioConfig {
+            cooldown: SimDuration::from_secs(30),
+            ..RadioConfig::default()
+        };
         let mut d = RadioDetectors::new(config);
         let mut count = 0;
         for t in 0..120 {

@@ -33,7 +33,9 @@ pub struct ResponsePolicy {
 
 impl Default for ResponsePolicy {
     fn default() -> Self {
-        ResponsePolicy { safe_stop_severity: Severity::Critical }
+        ResponsePolicy {
+            safe_stop_severity: Severity::Critical,
+        }
     }
 }
 
@@ -67,29 +69,52 @@ mod tests {
     #[test]
     fn safety_defeating_attacks_stop_the_machine() {
         let p = ResponsePolicy::default();
-        assert_eq!(p.decide(&alert(AlertKind::SensorBlinding)), ResponseAction::SafeStop);
-        assert_eq!(p.decide(&alert(AlertKind::GnssSpoofing)), ResponseAction::SafeStop);
+        assert_eq!(
+            p.decide(&alert(AlertKind::SensorBlinding)),
+            ResponseAction::SafeStop
+        );
+        assert_eq!(
+            p.decide(&alert(AlertKind::GnssSpoofing)),
+            ResponseAction::SafeStop
+        );
     }
 
     #[test]
     fn availability_attacks_degrade() {
         let p = ResponsePolicy::default();
-        assert_eq!(p.decide(&alert(AlertKind::Jamming)), ResponseAction::DegradedMode);
-        assert_eq!(p.decide(&alert(AlertKind::DeauthFlood)), ResponseAction::DegradedMode);
-        assert_eq!(p.decide(&alert(AlertKind::GnssJamming)), ResponseAction::DegradedMode);
+        assert_eq!(
+            p.decide(&alert(AlertKind::Jamming)),
+            ResponseAction::DegradedMode
+        );
+        assert_eq!(
+            p.decide(&alert(AlertKind::DeauthFlood)),
+            ResponseAction::DegradedMode
+        );
+        assert_eq!(
+            p.decide(&alert(AlertKind::GnssJamming)),
+            ResponseAction::DegradedMode
+        );
     }
 
     #[test]
     fn auth_failures_trigger_rekey() {
         let p = ResponsePolicy::default();
-        assert_eq!(p.decide(&alert(AlertKind::AuthFailureStorm)), ResponseAction::RekeyAndReauth);
+        assert_eq!(
+            p.decide(&alert(AlertKind::AuthFailureStorm)),
+            ResponseAction::RekeyAndReauth
+        );
     }
 
     #[test]
     fn severity_override_escalates() {
-        let p = ResponsePolicy { safe_stop_severity: Severity::High };
+        let p = ResponsePolicy {
+            safe_stop_severity: Severity::High,
+        };
         // Jamming is High by default → escalated to SafeStop.
-        assert_eq!(p.decide(&alert(AlertKind::Jamming)), ResponseAction::SafeStop);
+        assert_eq!(
+            p.decide(&alert(AlertKind::Jamming)),
+            ResponseAction::SafeStop
+        );
     }
 
     #[test]

@@ -23,7 +23,12 @@ pub struct DroneConfig {
 
 impl Default for DroneConfig {
     fn default() -> Self {
-        DroneConfig { altitude_agl: 50.0, cruise_speed: 12.0, orbit_radius: 20.0, orbit_rate: 0.15 }
+        DroneConfig {
+            altitude_agl: 50.0,
+            cruise_speed: 12.0,
+            orbit_radius: 20.0,
+            orbit_rate: 0.15,
+        }
     }
 }
 
@@ -71,7 +76,8 @@ impl Drone {
     /// omnidirectional in azimuth).
     #[must_use]
     pub fn detect(&self, world: &World, rng: &mut SimRng) -> Vec<Detection> {
-        self.sensor.detect_from(world, self.body.position, None, rng)
+        self.sensor
+            .detect_from(world, self.body.position, None, rng)
     }
 }
 
@@ -84,8 +90,15 @@ mod tests {
 
     fn world() -> World {
         let config = WorldConfig {
-            terrain: TerrainConfig { size_m: 300.0, relief_m: 2.0, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 0.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 300.0,
+                relief_m: 2.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 0.0,
+                ..StandConfig::default()
+            },
             human_count: 2,
             ..WorldConfig::default()
         };
@@ -134,7 +147,10 @@ mod tests {
         d.step(&w, worker, SimDuration::from_millis(500));
         let mut hits = 0;
         for _ in 0..100 {
-            if d.detect(&w, &mut rng).iter().any(|det| det.human_id == w.humans()[0].id) {
+            if d.detect(&w, &mut rng)
+                .iter()
+                .any(|det| det.human_id == w.humans()[0].id)
+            {
                 hits += 1;
             }
         }

@@ -160,7 +160,12 @@ impl Forwarder {
 
     fn drive_towards(&mut self, world: &World, goal: Vec2, dt: SimDuration) {
         if self.vehicle.path_complete() && self.vehicle.position.distance(goal) >= 15.0 {
-            match plan_path(world.terrain(), &self.config.planner, self.vehicle.position, goal) {
+            match plan_path(
+                world.terrain(),
+                &self.config.planner,
+                self.vehicle.position,
+                goal,
+            ) {
                 Some(path) => self.vehicle.set_path(path),
                 None => {
                     self.phase = ForwarderPhase::Stranded;
@@ -181,8 +186,15 @@ mod tests {
 
     fn world() -> World {
         let config = WorldConfig {
-            terrain: TerrainConfig { size_m: 300.0, relief_m: 5.0, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 0.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 300.0,
+                relief_m: 5.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 0.0,
+                ..StandConfig::default()
+            },
             human_count: 0,
             work_area: Vec2::new(250.0, 250.0),
             landing_area: Vec2::new(50.0, 50.0),
@@ -208,7 +220,11 @@ mod tests {
             w.step(SimDuration::from_millis(500));
             f.step(&w, SpeedLimit::Full, SimDuration::from_millis(500));
         }
-        assert!(f.loads_delivered() >= 2, "only {} loads in 20 min", f.loads_delivered());
+        assert!(
+            f.loads_delivered() >= 2,
+            "only {} loads in 20 min",
+            f.loads_delivered()
+        );
         assert!(f.distance_travelled() > 400.0);
     }
 

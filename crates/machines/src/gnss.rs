@@ -88,7 +88,9 @@ impl GnssField {
     /// Whether `position` is inside any jammer region.
     #[must_use]
     pub fn is_jammed(&self, position: Vec2) -> bool {
-        self.jammers.iter().any(|(_, j)| j.center.distance(position) <= j.radius_m)
+        self.jammers
+            .iter()
+            .any(|(_, j)| j.center.distance(position) <= j.radius_m)
     }
 
     /// Aggregate spoofing offset at `position` and `now`.
@@ -158,7 +160,11 @@ impl GnssReceiver {
             true_position.x + offset.x + rng.normal(0.0, self.noise_m),
             true_position.y + offset.y + rng.normal(0.0, self.noise_m),
         );
-        Some(GnssFix { position, accuracy_m: self.noise_m, at: now })
+        Some(GnssFix {
+            position,
+            accuracy_m: self.noise_m,
+            at: now,
+        })
     }
 }
 
@@ -186,11 +192,18 @@ mod tests {
     #[test]
     fn jammer_denies_fix_inside_region_only() {
         let mut field = GnssField::new();
-        field.add_jammer(GnssJammer { center: Vec2::new(0.0, 0.0), radius_m: 50.0 });
+        field.add_jammer(GnssJammer {
+            center: Vec2::new(0.0, 0.0),
+            radius_m: 50.0,
+        });
         let rx = GnssReceiver::default();
         let mut rng = SimRng::from_seed(2);
-        assert!(rx.sample(&field, Vec2::new(10.0, 0.0), SimTime::ZERO, &mut rng).is_none());
-        assert!(rx.sample(&field, Vec2::new(100.0, 0.0), SimTime::ZERO, &mut rng).is_some());
+        assert!(rx
+            .sample(&field, Vec2::new(10.0, 0.0), SimTime::ZERO, &mut rng)
+            .is_none());
+        assert!(rx
+            .sample(&field, Vec2::new(100.0, 0.0), SimTime::ZERO, &mut rng)
+            .is_some());
     }
 
     #[test]
@@ -241,7 +254,10 @@ mod tests {
             drag_mps: Vec2::new(1.0, 0.0),
             since: SimTime::ZERO,
         });
-        field.add_jammer(GnssJammer { center: Vec2::ZERO, radius_m: 100.0 });
+        field.add_jammer(GnssJammer {
+            center: Vec2::ZERO,
+            radius_m: 100.0,
+        });
         assert_eq!(field.counts(), (1, 1));
         field.clear();
         assert_eq!(field.counts(), (0, 0));

@@ -191,7 +191,10 @@ mod tests {
     #[test]
     fn slope_slows_vehicle() {
         let rough = Terrain::generate(
-            &TerrainConfig { relief_m: 60.0, ..TerrainConfig::default() },
+            &TerrainConfig {
+                relief_m: 60.0,
+                ..TerrainConfig::default()
+            },
             &mut SimRng::from_seed(3),
         );
         let flat_t = flat();
@@ -230,7 +233,10 @@ mod tests {
     #[test]
     fn drone_flies_to_target_and_holds_agl() {
         let terrain = Terrain::generate(
-            &TerrainConfig { relief_m: 30.0, ..TerrainConfig::default() },
+            &TerrainConfig {
+                relief_m: 30.0,
+                ..TerrainConfig::default()
+            },
             &mut SimRng::from_seed(4),
         );
         let mut d = DroneBody::new(Vec2::new(50.0, 50.0), 60.0, 12.0, &terrain);

@@ -56,16 +56,7 @@ pub use sensors::{Detection, PeopleSensor, SensorKind};
 
 /// Identifier of a machine on the worksite.
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    Hash,
-    PartialOrd,
-    Ord,
-    serde::Serialize,
-    serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
 )]
 pub struct MachineId(pub u32);
 

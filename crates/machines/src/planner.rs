@@ -23,7 +23,11 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { grid_m: 10.0, max_slope: 0.45, slope_cost: 6.0 }
+        PlannerConfig {
+            grid_m: 10.0,
+            max_slope: 0.45,
+            slope_cost: 6.0,
+        }
     }
 }
 
@@ -87,7 +91,10 @@ pub fn plan_path(
     let mut came_from: Vec<Option<(i32, i32)>> = vec![None; (cells * cells) as usize];
     let mut open = BinaryHeap::new();
     g_score[idx(start_cell)] = 0.0;
-    open.push(OpenEntry { f: 0.0, cell: start_cell });
+    open.push(OpenEntry {
+        f: 0.0,
+        cell: start_cell,
+    });
 
     let heuristic = |c: (i32, i32)| {
         let dx = (c.0 - goal_cell.0) as f64;
@@ -95,8 +102,16 @@ pub fn plan_path(
         dx.hypot(dy) * config.grid_m
     };
 
-    const DIRS: [(i32, i32); 8] =
-        [(1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (1, -1), (-1, 1), (-1, -1)];
+    const DIRS: [(i32, i32); 8] = [
+        (1, 0),
+        (-1, 0),
+        (0, 1),
+        (0, -1),
+        (1, 1),
+        (1, -1),
+        (-1, 1),
+        (-1, -1),
+    ];
 
     while let Some(OpenEntry { cell, .. }) = open.pop() {
         if cell == goal_cell {
@@ -128,7 +143,10 @@ pub fn plan_path(
             if tentative < g_score[idx(next)] {
                 g_score[idx(next)] = tentative;
                 came_from[idx(next)] = Some(cell);
-                open.push(OpenEntry { f: tentative + heuristic(next), cell: next });
+                open.push(OpenEntry {
+                    f: tentative + heuristic(next),
+                    cell: next,
+                });
             }
         }
     }
@@ -198,7 +216,10 @@ mod tests {
     #[test]
     fn finds_path_on_rough_terrain() {
         let terrain = Terrain::generate(
-            &TerrainConfig { relief_m: 25.0, ..TerrainConfig::default() },
+            &TerrainConfig {
+                relief_m: 25.0,
+                ..TerrainConfig::default()
+            },
             &mut SimRng::from_seed(1),
         );
         let path = plan_path(
@@ -218,13 +239,23 @@ mod tests {
     #[test]
     fn impassable_goal_returns_none() {
         let terrain = Terrain::generate(
-            &TerrainConfig { relief_m: 25.0, ..TerrainConfig::default() },
+            &TerrainConfig {
+                relief_m: 25.0,
+                ..TerrainConfig::default()
+            },
             &mut SimRng::from_seed(2),
         );
         // A max_slope of 0 makes any non-flat cell impassable.
-        let config = PlannerConfig { max_slope: 0.0, ..PlannerConfig::default() };
-        let path =
-            plan_path(&terrain, &config, Vec2::new(20.0, 20.0), Vec2::new(450.0, 450.0));
+        let config = PlannerConfig {
+            max_slope: 0.0,
+            ..PlannerConfig::default()
+        };
+        let path = plan_path(
+            &terrain,
+            &config,
+            Vec2::new(20.0, 20.0),
+            Vec2::new(450.0, 450.0),
+        );
         assert!(path.is_none());
     }
 
@@ -251,7 +282,14 @@ mod tests {
             Vec2::new(3.0, 1.0),
         ];
         let s = simplify(path);
-        assert_eq!(s, vec![Vec2::new(0.0, 0.0), Vec2::new(2.0, 0.0), Vec2::new(3.0, 1.0)]);
+        assert_eq!(
+            s,
+            vec![
+                Vec2::new(0.0, 0.0),
+                Vec2::new(2.0, 0.0),
+                Vec2::new(3.0, 1.0)
+            ]
+        );
     }
 
     #[test]
@@ -261,14 +299,25 @@ mod tests {
         // when slope costs dominate. We approximate by checking the path
         // avoids the highest-slope cells it can.
         let terrain = Terrain::generate(
-            &TerrainConfig { relief_m: 20.0, ..TerrainConfig::default() },
+            &TerrainConfig {
+                relief_m: 20.0,
+                ..TerrainConfig::default()
+            },
             &mut SimRng::from_seed(4),
         );
-        let flat_cfg = PlannerConfig { slope_cost: 0.0, ..PlannerConfig::default() };
-        let steep_cfg = PlannerConfig { slope_cost: 30.0, ..PlannerConfig::default() };
+        let flat_cfg = PlannerConfig {
+            slope_cost: 0.0,
+            ..PlannerConfig::default()
+        };
+        let steep_cfg = PlannerConfig {
+            slope_cost: 30.0,
+            ..PlannerConfig::default()
+        };
         let a = Vec2::new(30.0, 250.0);
         let b = Vec2::new(470.0, 250.0);
-        assert!(terrain.slope_at(a) <= flat_cfg.max_slope && terrain.slope_at(b) <= flat_cfg.max_slope);
+        assert!(
+            terrain.slope_at(a) <= flat_cfg.max_slope && terrain.slope_at(b) <= flat_cfg.max_slope
+        );
         let direct = plan_path(&terrain, &flat_cfg, a, b).unwrap();
         let cautious = plan_path(&terrain, &steep_cfg, a, b).unwrap();
         let mean_slope = |p: &[Vec2]| -> f64 {

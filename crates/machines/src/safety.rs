@@ -139,7 +139,12 @@ mod tests {
     use silvasec_sim::humans::HumanId;
 
     fn det(pos: Vec2, confidence: f64) -> Detection {
-        Detection { human_id: HumanId(0), position: pos, confidence, distance_m: 0.0 }
+        Detection {
+            human_id: HumanId(0),
+            position: pos,
+            confidence,
+            distance_m: 0.0,
+        }
     }
 
     fn supervisor() -> SafetySupervisor {
@@ -150,9 +155,18 @@ mod tests {
     fn zones_map_to_limits() {
         let mut s = supervisor();
         let m = Vec2::ZERO;
-        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(50.0, 0.0), 0.9)]), SpeedLimit::Full);
-        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(20.0, 0.0), 0.9)]), SpeedLimit::Slow);
-        assert_eq!(s.update(SimTime::ZERO, m, &[det(Vec2::new(5.0, 0.0), 0.9)]), SpeedLimit::Stop);
+        assert_eq!(
+            s.update(SimTime::ZERO, m, &[det(Vec2::new(50.0, 0.0), 0.9)]),
+            SpeedLimit::Full
+        );
+        assert_eq!(
+            s.update(SimTime::ZERO, m, &[det(Vec2::new(20.0, 0.0), 0.9)]),
+            SpeedLimit::Slow
+        );
+        assert_eq!(
+            s.update(SimTime::ZERO, m, &[det(Vec2::new(5.0, 0.0), 0.9)]),
+            SpeedLimit::Stop
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl PeopleSensor {
     /// Creates a nominal sensor.
     #[must_use]
     pub fn new(kind: SensorKind, mount_height_m: f64) -> Self {
-        PeopleSensor { kind, mount_height_m, health: 1.0 }
+        PeopleSensor {
+            kind,
+            mount_height_m,
+            health: 1.0,
+        }
     }
 
     /// Applies degradation (e.g. a blinding attack); clamps to `[0, 1]`.
@@ -196,8 +200,15 @@ mod tests {
     /// A world with one human at a known location and no trees.
     fn open_world(human_near: Vec2) -> World {
         let config = WorldConfig {
-            terrain: TerrainConfig { size_m: 200.0, relief_m: 0.001, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 0.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 200.0,
+                relief_m: 0.001,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 0.0,
+                ..StandConfig::default()
+            },
             human_count: 1,
             ..WorldConfig::default()
         };
@@ -256,7 +267,10 @@ mod tests {
         // Looking west hits.
         let mut hits = 0;
         for _ in 0..100 {
-            if !sensor.detect(&world, pose, std::f64::consts::PI, &mut rng).is_empty() {
+            if !sensor
+                .detect(&world, pose, std::f64::consts::PI, &mut rng)
+                .is_empty()
+            {
                 hits += 1;
             }
         }
@@ -305,7 +319,10 @@ mod tests {
         let aerial = worker.with_z(world.ground_at(worker) + 40.0);
         let mut hits = 0;
         for _ in 0..100 {
-            if !sensor.detect_from(&world, aerial, None, &mut rng).is_empty() {
+            if !sensor
+                .detect_from(&world, aerial, None, &mut rng)
+                .is_empty()
+            {
                 hits += 1;
             }
         }
@@ -330,7 +347,10 @@ mod tests {
         };
         let near = mean_err(5.0);
         let far = mean_err(35.0);
-        assert!(far > near, "noise at 35 m ({far}) should exceed 5 m ({near})");
+        assert!(
+            far > near,
+            "noise at 35 m ({far}) should exceed 5 m ({near})"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ impl DetectionCurve {
     pub fn new(bin_width_m: f64, max_range_m: f64) -> Self {
         assert!(bin_width_m > 0.0, "bin width must be positive");
         let n = (max_range_m / bin_width_m).ceil() as usize;
-        DetectionCurve { bin_width_m, bins: vec![BinStat::default(); n] }
+        DetectionCurve {
+            bin_width_m,
+            bins: vec![BinStat::default(); n],
+        }
     }
 
     /// Records one sample at `distance_m`.
@@ -122,7 +125,11 @@ pub fn validate_curves(
     }
     ValidationReport {
         max_divergence: max_div,
-        mean_divergence: if compared == 0 { 0.0 } else { sum_div / compared as f64 },
+        mean_divergence: if compared == 0 {
+            0.0
+        } else {
+            sum_div / compared as f64
+        },
         bins_compared: compared,
         threshold,
         accepted: compared > 0 && max_div <= threshold,
@@ -171,8 +178,15 @@ mod tests {
 
     fn world(seed: u64, weather: Weather) -> World {
         let config = WorldConfig {
-            terrain: TerrainConfig { size_m: 150.0, relief_m: 2.0, ..TerrainConfig::default() },
-            stand: StandConfig { trees_per_hectare: 150.0, ..StandConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 150.0,
+                relief_m: 2.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 150.0,
+                ..StandConfig::default()
+            },
             human_count: 6,
             human: silvasec_sim::humans::HumanConfig {
                 work_area_bias: 0.8,
@@ -219,7 +233,11 @@ mod tests {
     fn same_configuration_validates() {
         let reference = curve(1, Weather::Clear);
         let candidate = curve(2, Weather::Clear);
-        assert!(reference.total_samples() > 300, "not enough exposure: {}", reference.total_samples());
+        assert!(
+            reference.total_samples() > 300,
+            "not enough exposure: {}",
+            reference.total_samples()
+        );
         let report = validate_curves(&reference, &candidate, 30, 0.2);
         assert!(
             report.accepted,

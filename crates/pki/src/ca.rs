@@ -44,7 +44,13 @@ impl CertificateAuthority {
         };
         let sig = key.sign(&certificate.tbs_bytes());
         certificate.signature = sig.to_bytes().to_vec();
-        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+        CertificateAuthority {
+            key,
+            certificate,
+            next_serial: 1,
+            revoked: Vec::new(),
+            crl_sequence: 0,
+        }
     }
 
     /// Issues an intermediate authority under this one.
@@ -70,7 +76,13 @@ impl CertificateAuthority {
         };
         let sig = self.key.sign(&certificate.tbs_bytes());
         certificate.signature = sig.to_bytes().to_vec();
-        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+        CertificateAuthority {
+            key,
+            certificate,
+            next_serial: 1,
+            revoked: Vec::new(),
+            crl_sequence: 0,
+        }
     }
 
     /// Issues an intermediate authority, consuming a serial from this CA.
@@ -92,7 +104,13 @@ impl CertificateAuthority {
         };
         let sig = self.key.sign(&certificate.tbs_bytes());
         certificate.signature = sig.to_bytes().to_vec();
-        CertificateAuthority { key, certificate, next_serial: 1, revoked: Vec::new(), crl_sequence: 0 }
+        CertificateAuthority {
+            key,
+            certificate,
+            next_serial: 1,
+            revoked: Vec::new(),
+            crl_sequence: 0,
+        }
     }
 
     /// Issues an end-entity certificate.

@@ -56,13 +56,16 @@ impl Certificate {
     /// Returns [`PkiError::MalformedKey`] if the key bytes are not a valid
     /// curve point of the expected length.
     pub fn subject_key(&self) -> Result<VerifyingKey, PkiError> {
-        let bytes: &[u8; PUBLIC_KEY_LEN] = self
-            .public_key
-            .as_slice()
-            .try_into()
-            .map_err(|_| PkiError::MalformedKey { subject: self.subject.id.clone() })?;
-        VerifyingKey::from_bytes(bytes)
-            .map_err(|_| PkiError::MalformedKey { subject: self.subject.id.clone() })
+        let bytes: &[u8; PUBLIC_KEY_LEN] =
+            self.public_key
+                .as_slice()
+                .try_into()
+                .map_err(|_| PkiError::MalformedKey {
+                    subject: self.subject.id.clone(),
+                })?;
+        VerifyingKey::from_bytes(bytes).map_err(|_| PkiError::MalformedKey {
+            subject: self.subject.id.clone(),
+        })
     }
 
     /// Verifies this certificate's signature against `issuer_key`.
@@ -72,12 +75,16 @@ impl Certificate {
     /// Returns [`PkiError::BadSignature`] if the signature is malformed or
     /// does not verify.
     pub fn verify_signature(&self, issuer_key: &VerifyingKey) -> Result<(), PkiError> {
-        let bad = || PkiError::BadSignature { subject: self.subject.id.clone() };
+        let bad = || PkiError::BadSignature {
+            subject: self.subject.id.clone(),
+        };
         if self.signature.len() != SIGNATURE_LEN {
             return Err(bad());
         }
         let sig = Signature::from_bytes(&self.signature).map_err(|_| bad())?;
-        issuer_key.verify(&self.tbs_bytes(), &sig).map_err(|_| bad())
+        issuer_key
+            .verify(&self.tbs_bytes(), &sig)
+            .map_err(|_| bad())
     }
 
     /// Whether this certificate is self-signed (issuer id == subject id).
@@ -169,9 +176,15 @@ mod tests {
     fn malformed_key_detected() {
         let (mut cert, _) = sample_cert();
         cert.public_key = vec![0u8; 10];
-        assert!(matches!(cert.subject_key(), Err(PkiError::MalformedKey { .. })));
+        assert!(matches!(
+            cert.subject_key(),
+            Err(PkiError::MalformedKey { .. })
+        ));
         cert.public_key = vec![0xaau8; 64];
-        assert!(matches!(cert.subject_key(), Err(PkiError::MalformedKey { .. })));
+        assert!(matches!(
+            cert.subject_key(),
+            Err(PkiError::MalformedKey { .. })
+        ));
     }
 
     #[test]

@@ -106,8 +106,7 @@ mod tests {
 
     fn signed_crl() -> (CertificateRevocationList, SigningKey) {
         let key = SigningKey::from_seed(&[4u8; 32]);
-        let crl =
-            CertificateRevocationList::new_signed(&key, "root", 3, 100, &[(7, 50), (2, 90)]);
+        let crl = CertificateRevocationList::new_signed(&key, "root", 3, 100, &[(7, 50), (2, 90)]);
         (crl, key)
     }
 

@@ -105,9 +105,12 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(PkiError::EmptyChain.to_string().contains("empty"));
-        assert!(PkiError::Revoked { subject: "d-1".into(), serial: 9 }
-            .to_string()
-            .contains("serial 9"));
+        assert!(PkiError::Revoked {
+            subject: "d-1".into(),
+            serial: 9
+        }
+        .to_string()
+        .contains("serial 9"));
     }
 
     #[test]

@@ -65,7 +65,9 @@ impl TrustStore {
     pub fn with_roots(roots: impl IntoIterator<Item = Certificate>) -> Self {
         let mut store = Self::new();
         for root in roots {
-            store.add_root(root).expect("trust anchor must be a valid self-signed certificate");
+            store
+                .add_root(root)
+                .expect("trust anchor must be a valid self-signed certificate");
         }
         store
     }
@@ -78,7 +80,9 @@ impl TrustStore {
     /// correctly self-signed authority certificate.
     pub fn add_root(&mut self, root: Certificate) -> Result<(), PkiError> {
         if !root.is_self_signed() {
-            return Err(PkiError::BadSignature { subject: root.subject.id });
+            return Err(PkiError::BadSignature {
+                subject: root.subject.id,
+            });
         }
         let key = root.subject_key()?;
         root.verify_signature(&key)?;
@@ -124,7 +128,10 @@ impl TrustStore {
             return Err(PkiError::EmptyChain);
         }
         if chain.len() > self.max_chain_len {
-            return Err(PkiError::ChainTooLong { max: self.max_chain_len, actual: chain.len() });
+            return Err(PkiError::ChainTooLong {
+                max: self.max_chain_len,
+                actual: chain.len(),
+            });
         }
 
         // Resolve each certificate's issuer key: the next chain element,
@@ -133,28 +140,38 @@ impl TrustStore {
             let issuer_cert = if i + 1 < chain.len() {
                 let next = &chain[i + 1];
                 if next.subject.id != cert.issuer_id {
-                    return Err(PkiError::BrokenLink { subject: cert.subject.id.clone() });
+                    return Err(PkiError::BrokenLink {
+                        subject: cert.subject.id.clone(),
+                    });
                 }
                 next
             } else {
                 self.roots
                     .get(&cert.issuer_id)
-                    .ok_or_else(|| PkiError::UntrustedRoot { issuer: cert.issuer_id.clone() })?
+                    .ok_or_else(|| PkiError::UntrustedRoot {
+                        issuer: cert.issuer_id.clone(),
+                    })?
             };
 
             // Intermediates and roots must be allowed to sign certificates.
             if !issuer_cert.key_usage.permits(KeyUsage::CERT_SIGNING) {
-                return Err(PkiError::KeyUsageViolation { subject: issuer_cert.subject.id.clone() });
+                return Err(PkiError::KeyUsageViolation {
+                    subject: issuer_cert.subject.id.clone(),
+                });
             }
 
             let issuer_key = issuer_cert.subject_key()?;
             cert.verify_signature(&issuer_key)?;
 
             if time < cert.validity.not_before {
-                return Err(PkiError::NotYetValid { subject: cert.subject.id.clone() });
+                return Err(PkiError::NotYetValid {
+                    subject: cert.subject.id.clone(),
+                });
             }
             if time > cert.validity.not_after {
-                return Err(PkiError::Expired { subject: cert.subject.id.clone() });
+                return Err(PkiError::Expired {
+                    subject: cert.subject.id.clone(),
+                });
             }
 
             // Revocation: find CRLs from this certificate's issuer.
@@ -182,7 +199,9 @@ impl TrustStore {
         let last = chain.last().expect("non-empty checked above");
         if let Some(root) = self.roots.get(&last.issuer_id) {
             if !root.validity.contains(time) {
-                return Err(PkiError::Expired { subject: root.subject.id.clone() });
+                return Err(PkiError::Expired {
+                    subject: root.subject.id.clone(),
+                });
             }
         }
         Ok(())
@@ -205,7 +224,9 @@ impl TrustStore {
         self.validate_chain(chain, time, crls)?;
         let end = &chain[0];
         if !end.key_usage.permits(usage) {
-            return Err(PkiError::KeyUsageViolation { subject: end.subject.id.clone() });
+            return Err(PkiError::KeyUsageViolation {
+                subject: end.subject.id.clone(),
+            });
         }
         Ok(())
     }
@@ -236,7 +257,12 @@ mod tests {
         let site = root.issue_intermediate_mut("site", &[2u8; 32], Validity::new(0, 8_000));
         let store = TrustStore::with_roots([root.certificate().clone()]);
         let end_key = SigningKey::from_seed(&[3u8; 32]);
-        Fixture { root, site, store, end_key }
+        Fixture {
+            root,
+            site,
+            store,
+            end_key,
+        }
     }
 
     fn issue_end(f: &mut Fixture, validity: Validity) -> Certificate {
@@ -271,7 +297,10 @@ mod tests {
     #[test]
     fn empty_chain_rejected() {
         let f = fixture();
-        assert_eq!(f.store.validate_chain(&[], 0, &[]), Err(PkiError::EmptyChain));
+        assert_eq!(
+            f.store.validate_chain(&[], 0, &[]),
+            Err(PkiError::EmptyChain)
+        );
     }
 
     #[test]
@@ -360,7 +389,10 @@ mod tests {
         let crl = f.site.sign_crl(160);
         let chain = vec![end, f.site.certificate().clone()];
         // Before revocation takes effect the chain is fine.
-        assert!(f.store.validate_chain(&chain, 100, std::slice::from_ref(&crl)).is_ok());
+        assert!(f
+            .store
+            .validate_chain(&chain, 100, std::slice::from_ref(&crl))
+            .is_ok());
         // After, it is revoked.
         assert!(matches!(
             f.store.validate_chain(&chain, 200, &[crl]),
@@ -375,7 +407,10 @@ mod tests {
         let crl = f.site.sign_crl(100);
         f.store.set_max_crl_age(50);
         let chain = vec![end, f.site.certificate().clone()];
-        assert!(f.store.validate_chain(&chain, 120, std::slice::from_ref(&crl)).is_ok());
+        assert!(f
+            .store
+            .validate_chain(&chain, 120, std::slice::from_ref(&crl))
+            .is_ok());
         assert_eq!(
             f.store.validate_chain(&chain, 200, &[crl]),
             Err(PkiError::BadCrl)

@@ -58,7 +58,10 @@ pub struct Subject {
 impl Subject {
     /// Creates a subject.
     pub fn new(id: impl Into<String>, role: ComponentRole) -> Self {
-        Subject { id: id.into(), role }
+        Subject {
+            id: id.into(),
+            role,
+        }
     }
 }
 
@@ -143,8 +146,14 @@ impl Validity {
     /// Panics if `not_after < not_before`.
     #[must_use]
     pub fn new(not_before: u64, not_after: u64) -> Self {
-        assert!(not_after >= not_before, "validity window must not be inverted");
-        Validity { not_before, not_after }
+        assert!(
+            not_after >= not_before,
+            "validity window must not be inverted"
+        );
+        Validity {
+            not_before,
+            not_after,
+        }
     }
 
     /// Whether `time` falls inside the window.

@@ -72,7 +72,12 @@ impl Asset {
         category: AssetCategory,
         relevant_properties: Vec<SecurityProperty>,
     ) -> Self {
-        Asset { id: id.into(), name: name.into(), category, relevant_properties }
+        Asset {
+            id: id.into(),
+            name: name.into(),
+            category,
+            relevant_properties,
+        }
     }
 }
 

@@ -132,14 +132,15 @@ impl ForestryCharacteristic {
             ForestryCharacteristic::RemoteIsolatedLocations => {
                 &["secure-channel", "degraded-mode", "nav-consistency"]
             }
-            ForestryCharacteristic::AutonomousMachinery => {
-                &["secure-boot", "attestation", "sensor-health", "nav-consistency"]
-            }
+            ForestryCharacteristic::AutonomousMachinery => &[
+                "secure-boot",
+                "attestation",
+                "sensor-health",
+                "nav-consistency",
+            ],
             ForestryCharacteristic::NaturalDisasters => &["degraded-mode", "safe-stop"],
             ForestryCharacteristic::DataPrivacyCompliance => &["secure-channel", "pki"],
-            ForestryCharacteristic::RemoteMonitoringControl => {
-                &["mfp", "secure-channel", "ids"]
-            }
+            ForestryCharacteristic::RemoteMonitoringControl => &["mfp", "secure-channel", "ids"],
             ForestryCharacteristic::ThreatProfile => &["ids"],
             ForestryCharacteristic::ConfidentialityOfOperations => &["secure-channel", "pki"],
             ForestryCharacteristic::HeavyMachinery => {
@@ -151,15 +152,24 @@ impl ForestryCharacteristic {
 
 fn easy(action: &str) -> AttackStep {
     // Script-kiddie level: commodity hardware, public knowledge.
-    AttackStep { action: action.into(), potential: AttackPotential::new(1, 2, 0, 1, 3) }
+    AttackStep {
+        action: action.into(),
+        potential: AttackPotential::new(1, 2, 0, 1, 3),
+    }
 }
 
 fn moderate(action: &str) -> AttackStep {
-    AttackStep { action: action.into(), potential: AttackPotential::new(4, 3, 3, 1, 4) }
+    AttackStep {
+        action: action.into(),
+        potential: AttackPotential::new(4, 3, 3, 1, 4),
+    }
 }
 
 fn hard(action: &str) -> AttackStep {
-    AttackStep { action: action.into(), potential: AttackPotential::new(10, 6, 3, 4, 7) }
+    AttackStep {
+        action: action.into(),
+        potential: AttackPotential::new(10, 6, 3, 4, 7),
+    }
 }
 
 /// Builds the model of the paper's Figure 1/2 worksite: an autonomous
@@ -172,16 +182,71 @@ pub fn worksite_model() -> WorksiteModel {
     use SecurityProperty as SP;
 
     let assets = vec![
-        Asset::new("fw.ecu", "Forwarder control unit", AC::ControlUnit, vec![SP::Integrity, SP::Availability]),
-        Asset::new("fw.camera", "Forwarder people-detection camera", AC::Sensor, vec![SP::Integrity, SP::Availability]),
-        Asset::new("fw.gnss", "Forwarder GNSS receiver", AC::Sensor, vec![SP::Integrity, SP::Availability]),
-        Asset::new("fw.firmware", "Forwarder firmware", AC::Firmware, vec![SP::Integrity, SP::Authenticity]),
-        Asset::new("drone.camera", "Drone observation camera", AC::Sensor, vec![SP::Integrity, SP::Availability]),
-        Asset::new("link.fw-bs", "Forwarder ↔ base-station radio link", AC::CommunicationLink, vec![SP::Integrity, SP::Availability, SP::Confidentiality, SP::Authenticity]),
-        Asset::new("link.drone-bs", "Drone ↔ base-station radio link", AC::CommunicationLink, vec![SP::Integrity, SP::Availability, SP::Authenticity]),
-        Asset::new("bs.station", "Worksite base station", AC::Infrastructure, vec![SP::Integrity, SP::Availability]),
-        Asset::new("data.ops", "Operational and land data", AC::Data, vec![SP::Confidentiality]),
-        Asset::new("sf.people-detect", "Collaborative people-detection safety function", AC::SafetyFunction, vec![SP::Integrity, SP::Availability]),
+        Asset::new(
+            "fw.ecu",
+            "Forwarder control unit",
+            AC::ControlUnit,
+            vec![SP::Integrity, SP::Availability],
+        ),
+        Asset::new(
+            "fw.camera",
+            "Forwarder people-detection camera",
+            AC::Sensor,
+            vec![SP::Integrity, SP::Availability],
+        ),
+        Asset::new(
+            "fw.gnss",
+            "Forwarder GNSS receiver",
+            AC::Sensor,
+            vec![SP::Integrity, SP::Availability],
+        ),
+        Asset::new(
+            "fw.firmware",
+            "Forwarder firmware",
+            AC::Firmware,
+            vec![SP::Integrity, SP::Authenticity],
+        ),
+        Asset::new(
+            "drone.camera",
+            "Drone observation camera",
+            AC::Sensor,
+            vec![SP::Integrity, SP::Availability],
+        ),
+        Asset::new(
+            "link.fw-bs",
+            "Forwarder ↔ base-station radio link",
+            AC::CommunicationLink,
+            vec![
+                SP::Integrity,
+                SP::Availability,
+                SP::Confidentiality,
+                SP::Authenticity,
+            ],
+        ),
+        Asset::new(
+            "link.drone-bs",
+            "Drone ↔ base-station radio link",
+            AC::CommunicationLink,
+            vec![SP::Integrity, SP::Availability, SP::Authenticity],
+        ),
+        Asset::new(
+            "bs.station",
+            "Worksite base station",
+            AC::Infrastructure,
+            vec![SP::Integrity, SP::Availability],
+        ),
+        Asset::new(
+            "data.ops",
+            "Operational and land data",
+            AC::Data,
+            vec![SP::Confidentiality],
+        ),
+        Asset::new(
+            "sf.people-detect",
+            "Collaborative people-detection safety function",
+            AC::SafetyFunction,
+            vec![SP::Integrity, SP::Availability],
+        ),
     ];
 
     let damage_scenarios = vec![
@@ -303,7 +368,9 @@ pub fn worksite_model() -> WorksiteModel {
             damage_scenario_id: "ds.comms-denied".into(),
             attack_class: Some("rf-jamming".into()),
             threat_agent: "vandal with a broadband jammer".into(),
-            attack_paths: vec![vec![easy("radiate broadband noise on the worksite channel")]],
+            attack_paths: vec![vec![easy(
+                "radiate broadband noise on the worksite channel",
+            )]],
         },
         ThreatScenario {
             id: "ts.deauth-flood".into(),
@@ -501,7 +568,11 @@ pub fn worksite_zones(secure: bool) -> Vec<Zone> {
     vec![
         Zone {
             id: "zone.safety-control".into(),
-            asset_ids: vec!["fw.ecu".into(), "sf.people-detect".into(), "fw.firmware".into()],
+            asset_ids: vec![
+                "fw.ecu".into(),
+                "sf.people-detect".into(),
+                "fw.firmware".into(),
+            ],
             sl_target: SlVector::new()
                 .with(FR::Iac, SL::Sl3)
                 .with(FR::Si, SL::Sl3)
@@ -527,7 +598,11 @@ pub fn worksite_zones(secure: bool) -> Vec<Zone> {
         },
         Zone {
             id: "zone.coordination".into(),
-            asset_ids: vec!["bs.station".into(), "link.fw-bs".into(), "link.drone-bs".into()],
+            asset_ids: vec![
+                "bs.station".into(),
+                "link.fw-bs".into(),
+                "link.drone-bs".into(),
+            ],
             sl_target: SlVector::new()
                 .with(FR::Iac, SL::Sl3)
                 .with(FR::Uc, SL::Sl2)
@@ -608,9 +683,15 @@ mod tests {
     fn assessment_finds_high_risks() {
         let report = Tara::assess(&worksite_model());
         // The safety-critical, easy attacks must land at the top.
-        let top_ids: Vec<&str> =
-            report.risks_at_or_above(RiskLevel(4)).iter().map(|r| r.threat_id.as_str()).collect();
-        assert!(top_ids.contains(&"ts.camera-blinding"), "top risks: {top_ids:?}");
+        let top_ids: Vec<&str> = report
+            .risks_at_or_above(RiskLevel(4))
+            .iter()
+            .map(|r| r.threat_id.as_str())
+            .collect();
+        assert!(
+            top_ids.contains(&"ts.camera-blinding"),
+            "top risks: {top_ids:?}"
+        );
         assert!(report.requirements().count() >= 5);
         assert!(report.dangling_references.is_empty());
     }
@@ -618,7 +699,10 @@ mod tests {
     #[test]
     fn interplay_findings_generated_and_prioritized() {
         let report = Tara::assess(&worksite_model());
-        assert_eq!(report.interplay_findings.len(), worksite_model().interplay.len());
+        assert_eq!(
+            report.interplay_findings.len(),
+            worksite_model().interplay.len()
+        );
         for w in report.interplay_findings.windows(2) {
             assert!(w[0].priority() >= w[1].priority());
         }
@@ -627,11 +711,18 @@ mod tests {
     #[test]
     fn secure_zones_close_most_gaps() {
         let catalog = control_catalog();
-        let insecure_gaps: usize =
-            worksite_zones(false).iter().map(|z| z.gap(&catalog).len()).sum();
-        let secure_gaps: usize =
-            worksite_zones(true).iter().map(|z| z.gap(&catalog).len()).sum();
-        assert!(secure_gaps < insecure_gaps / 3, "{secure_gaps} vs {insecure_gaps}");
+        let insecure_gaps: usize = worksite_zones(false)
+            .iter()
+            .map(|z| z.gap(&catalog).len())
+            .sum();
+        let secure_gaps: usize = worksite_zones(true)
+            .iter()
+            .map(|z| z.gap(&catalog).len())
+            .sum();
+        assert!(
+            secure_gaps < insecure_gaps / 3,
+            "{secure_gaps} vs {insecure_gaps}"
+        );
     }
 
     #[test]

@@ -53,7 +53,12 @@ impl ContinuousAssessment {
     #[must_use]
     pub fn new(model: WorksiteModel) -> Self {
         let current = Tara::assess(&model);
-        ContinuousAssessment { model, overrides: HashMap::new(), current, changes: Vec::new() }
+        ContinuousAssessment {
+            model,
+            overrides: HashMap::new(),
+            current,
+            changes: Vec::new(),
+        }
     }
 
     /// The current report.
@@ -109,9 +114,11 @@ impl ContinuousAssessment {
                 }
             }
         }
-        report
-            .risks
-            .sort_by(|a, b| b.risk.cmp(&a.risk).then_with(|| a.threat_id.cmp(&b.threat_id)));
+        report.risks.sort_by(|a, b| {
+            b.risk
+                .cmp(&a.risk)
+                .then_with(|| a.threat_id.cmp(&b.threat_id))
+        });
 
         let mut new_changes = Vec::new();
         for risk in &report.risks {
@@ -179,8 +186,10 @@ mod tests {
     #[test]
     fn incident_escalates_matching_threat() {
         let mut ca = ContinuousAssessment::new(model());
-        let changes =
-            ca.ingest(&IncidentReport { attack_class: "gnss-spoofing".into(), at_ms: 5_000 });
+        let changes = ca.ingest(&IncidentReport {
+            attack_class: "gnss-spoofing".into(),
+            at_ms: 5_000,
+        });
         assert_eq!(changes.len(), 1);
         assert_eq!(changes[0].from.0, 3);
         assert_eq!(changes[0].to.0, 4);
@@ -206,7 +215,10 @@ mod tests {
     #[test]
     fn unrelated_incident_changes_nothing() {
         let mut ca = ContinuousAssessment::new(model());
-        let changes = ca.ingest(&IncidentReport { attack_class: "replay".into(), at_ms: 0 });
+        let changes = ca.ingest(&IncidentReport {
+            attack_class: "replay".into(),
+            at_ms: 0,
+        });
         assert!(changes.is_empty());
         assert!(ca.changes().is_empty());
     }
@@ -215,8 +227,14 @@ mod tests {
     fn treatment_escalates_with_risk() {
         let mut ca = ContinuousAssessment::new(model());
         for _ in 0..3 {
-            let _ = ca.ingest(&IncidentReport { attack_class: "gnss-spoofing".into(), at_ms: 0 });
+            let _ = ca.ingest(&IncidentReport {
+                attack_class: "gnss-spoofing".into(),
+                at_ms: 0,
+            });
         }
-        assert_eq!(ca.report().risks[0].treatment, crate::tara::Treatment::Reduce);
+        assert_eq!(
+            ca.report().risks[0].treatment,
+            crate::tara::Treatment::Reduce
+        );
     }
 }

@@ -51,9 +51,7 @@ impl AttackPotential {
 }
 
 /// The 21434 attack-feasibility levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum AttackFeasibility {
     /// Considerable resources required.
     VeryLow,
@@ -101,10 +99,22 @@ mod tests {
 
     #[test]
     fn thresholds() {
-        assert_eq!(AttackPotential::new(0, 0, 0, 0, 0).feasibility(), AttackFeasibility::High);
-        assert_eq!(AttackPotential::new(13, 0, 0, 0, 0).feasibility(), AttackFeasibility::High);
-        assert_eq!(AttackPotential::new(14, 0, 0, 0, 0).feasibility(), AttackFeasibility::Medium);
-        assert_eq!(AttackPotential::new(19, 1, 0, 0, 0).feasibility(), AttackFeasibility::Low);
+        assert_eq!(
+            AttackPotential::new(0, 0, 0, 0, 0).feasibility(),
+            AttackFeasibility::High
+        );
+        assert_eq!(
+            AttackPotential::new(13, 0, 0, 0, 0).feasibility(),
+            AttackFeasibility::High
+        );
+        assert_eq!(
+            AttackPotential::new(14, 0, 0, 0, 0).feasibility(),
+            AttackFeasibility::Medium
+        );
+        assert_eq!(
+            AttackPotential::new(19, 1, 0, 0, 0).feasibility(),
+            AttackFeasibility::Low
+        );
         assert_eq!(
             AttackPotential::new(19, 6, 0, 0, 0).feasibility(),
             AttackFeasibility::VeryLow
@@ -119,8 +129,14 @@ mod tests {
 
     #[test]
     fn escalation_saturates() {
-        assert_eq!(AttackFeasibility::VeryLow.escalate(), AttackFeasibility::Low);
-        assert_eq!(AttackFeasibility::Medium.escalate(), AttackFeasibility::High);
+        assert_eq!(
+            AttackFeasibility::VeryLow.escalate(),
+            AttackFeasibility::Low
+        );
+        assert_eq!(
+            AttackFeasibility::Medium.escalate(),
+            AttackFeasibility::High
+        );
         assert_eq!(AttackFeasibility::High.escalate(), AttackFeasibility::High);
     }
 

@@ -32,9 +32,7 @@ pub enum Avoidance {
 }
 
 /// ISO 13849-1 performance levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PerformanceLevel {
     /// PL a — lowest risk reduction.
     A,
@@ -105,7 +103,10 @@ impl Hazard {
     /// spoofed machine wandering outside its planned corridor).
     #[must_use]
     pub fn with_exposure(&self, exposure: Exposure) -> Hazard {
-        Hazard { exposure, ..self.clone() }
+        Hazard {
+            exposure,
+            ..self.clone()
+        }
     }
 }
 
@@ -140,14 +141,10 @@ mod tests {
     fn risk_graph_monotone_in_exposure_and_avoidance() {
         for s in [InjurySeverity::S1, InjurySeverity::S2] {
             for p in [Avoidance::P1, Avoidance::P2] {
-                assert!(
-                    required_pl(s, Exposure::F1, p) <= required_pl(s, Exposure::F2, p)
-                );
+                assert!(required_pl(s, Exposure::F1, p) <= required_pl(s, Exposure::F2, p));
             }
             for f in [Exposure::F1, Exposure::F2] {
-                assert!(
-                    required_pl(s, f, Avoidance::P1) <= required_pl(s, f, Avoidance::P2)
-                );
+                assert!(required_pl(s, f, Avoidance::P1) <= required_pl(s, f, Avoidance::P2));
             }
         }
     }
@@ -163,7 +160,10 @@ mod tests {
             safety_function: Some("people-detection-stop".into()),
         };
         assert_eq!(hz.required_pl(), PerformanceLevel::D);
-        assert_eq!(hz.with_exposure(Exposure::F2).required_pl(), PerformanceLevel::E);
+        assert_eq!(
+            hz.with_exposure(Exposure::F2).required_pl(),
+            PerformanceLevel::E
+        );
     }
 
     #[test]

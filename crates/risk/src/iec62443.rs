@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// IEC 62443 security levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SecurityLevel {
     /// SL 0 — no particular protection.
     Sl0,
@@ -41,9 +39,7 @@ impl SecurityLevel {
 }
 
 /// The seven IEC 62443 foundational requirements.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FoundationalRequirement {
     /// FR1 — identification & authentication control.
     Iac,
@@ -158,7 +154,12 @@ pub fn control_catalog() -> Vec<Control> {
         },
         Control {
             tag: "secure-channel".into(),
-            contributes: vec![(FR::Iac, SL::Sl3), (FR::Si, SL::Sl3), (FR::Dc, SL::Sl3), (FR::Rdf, SL::Sl2)],
+            contributes: vec![
+                (FR::Iac, SL::Sl3),
+                (FR::Si, SL::Sl3),
+                (FR::Dc, SL::Sl3),
+                (FR::Rdf, SL::Sl2),
+            ],
         },
         Control {
             tag: "secure-boot".into(),

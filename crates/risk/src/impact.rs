@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The four 21434 impact categories.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ImpactCategory {
     /// Harm to people.
     Safety,
@@ -29,9 +27,7 @@ impl ImpactCategory {
 }
 
 /// The 21434 impact levels.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ImpactLevel {
     /// No noticeable effect.
     Negligible,
@@ -77,7 +73,10 @@ impl ImpactRating {
     /// The level for a category (Negligible when unset).
     #[must_use]
     pub fn level(&self, category: ImpactCategory) -> ImpactLevel {
-        self.0.get(&category).copied().unwrap_or(ImpactLevel::Negligible)
+        self.0
+            .get(&category)
+            .copied()
+            .unwrap_or(ImpactLevel::Negligible)
     }
 
     /// The maximum level across categories (drives the risk value).

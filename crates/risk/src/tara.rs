@@ -9,9 +9,7 @@ use crate::threat::WorksiteModel;
 use serde::{Deserialize, Serialize};
 
 /// A 21434 risk value (1 = lowest, 5 = highest).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RiskLevel(pub u8);
 
 impl RiskLevel {
@@ -129,7 +127,11 @@ impl Tara {
             }
             Some("gnss-jamming") => vec!["nav-consistency".into(), "degraded-mode".into()],
             Some("camera-blinding") => {
-                vec!["sensor-health".into(), "drone-redundancy".into(), "safe-stop".into()]
+                vec![
+                    "sensor-health".into(),
+                    "drone-redundancy".into(),
+                    "safe-stop".into(),
+                ]
             }
             Some("replay") => vec!["secure-channel".into()],
             Some("rogue-node") => vec!["pki".into(), "secure-channel".into()],
@@ -172,7 +174,11 @@ impl Tara {
                 treatment,
             });
         }
-        risks.sort_by(|a, b| b.risk.cmp(&a.risk).then_with(|| a.threat_id.cmp(&b.threat_id)));
+        risks.sort_by(|a, b| {
+            b.risk
+                .cmp(&a.risk)
+                .then_with(|| a.threat_id.cmp(&b.threat_id))
+        });
 
         let mut interplay_findings: Vec<InterplayFinding> = model
             .interplay
@@ -188,7 +194,9 @@ impl Tara {
             })
             .collect();
         interplay_findings.sort_by(|a, b| {
-            b.priority().cmp(&a.priority()).then_with(|| a.threat_id.cmp(&b.threat_id))
+            b.priority()
+                .cmp(&a.priority())
+                .then_with(|| a.threat_id.cmp(&b.threat_id))
         });
 
         TaraReport {
@@ -276,7 +284,9 @@ mod tests {
         assert_eq!(report.risks[0].treatment, Treatment::Reduce);
         let reqs: Vec<_> = report.requirements().collect();
         assert_eq!(reqs.len(), 1);
-        assert!(reqs[0].candidate_controls.contains(&"drone-redundancy".to_string()));
+        assert!(reqs[0]
+            .candidate_controls
+            .contains(&"drone-redundancy".to_string()));
     }
 
     #[test]

@@ -125,7 +125,10 @@ impl WorksiteModel {
         }
         for ts in &self.threats {
             if self.damage_scenario(&ts.damage_scenario_id).is_none() {
-                dangling.push(format!("{} -> damage scenario {}", ts.id, ts.damage_scenario_id));
+                dangling.push(format!(
+                    "{} -> damage scenario {}",
+                    ts.id, ts.damage_scenario_id
+                ));
             }
         }
         for link in &self.interplay {

@@ -32,7 +32,11 @@ impl Quote {
         msg.extend_from_slice(&composite);
         msg.extend_from_slice(nonce);
         let signature = device_key.sign(&msg).to_bytes().to_vec();
-        Quote { composite, nonce: *nonce, signature }
+        Quote {
+            composite,
+            nonce: *nonce,
+            signature,
+        }
     }
 }
 
@@ -47,13 +51,20 @@ impl QuoteVerifier {
     /// firmware chain.
     #[must_use]
     pub fn new(golden: &PcrBank) -> Self {
-        QuoteVerifier { golden_composite: golden.composite_digest() }
+        QuoteVerifier {
+            golden_composite: golden.composite_digest(),
+        }
     }
 
     /// Checks a quote: correct nonce, correct golden composite, valid
     /// signature by `device_key`.
     #[must_use]
-    pub fn verify(&self, quote: &Quote, expected_nonce: &[u8; 32], device_key: &VerifyingKey) -> bool {
+    pub fn verify(
+        &self,
+        quote: &Quote,
+        expected_nonce: &[u8; 32],
+        device_key: &VerifyingKey,
+    ) -> bool {
         if &quote.nonce != expected_nonce {
             return false;
         }

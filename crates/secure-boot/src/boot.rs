@@ -45,8 +45,15 @@ impl fmt::Display for BootError {
             BootError::WrongComponent { expected, actual } => {
                 write!(f, "image built for {actual}, device is {expected}")
             }
-            BootError::Rollback { stage, min_version, actual } => {
-                write!(f, "rollback on {stage:?}: version {actual} < minimum {min_version}")
+            BootError::Rollback {
+                stage,
+                min_version,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "rollback on {stage:?}: version {actual} < minimum {min_version}"
+                )
             }
         }
     }
@@ -116,9 +123,13 @@ impl Device {
         let mut pcrs = PcrBank::new();
         let mut booted = HashMap::new();
 
-        let fail = |error: BootError, pcrs: PcrBank, booted: HashMap<FirmwareStage, u32>| {
-            BootReport { success: false, error: Some(error), pcrs, booted_versions: booted }
-        };
+        let fail =
+            |error: BootError, pcrs: PcrBank, booted: HashMap<FirmwareStage, u32>| BootReport {
+                success: false,
+                error: Some(error),
+                pcrs,
+                booted_versions: booted,
+            };
 
         // Collect stages; order of verification is fixed: ROM verifies the
         // bootloader, the bootloader verifies the application.
@@ -149,7 +160,11 @@ impl Device {
             let min = self.rollback_counter(stage);
             if signed.image.version < min {
                 return fail(
-                    BootError::Rollback { stage, min_version: min, actual: signed.image.version },
+                    BootError::Rollback {
+                        stage,
+                        min_version: min,
+                        actual: signed.image.version,
+                    },
                     pcrs,
                     booted,
                 );
@@ -164,7 +179,12 @@ impl Device {
             *entry = (*entry).max(*version);
         }
         self.last_pcrs = Some(pcrs.clone());
-        BootReport { success: true, error: None, pcrs, booted_versions: booted }
+        BootReport {
+            success: true,
+            error: None,
+            pcrs,
+            booted_versions: booted,
+        }
     }
 }
 
@@ -183,8 +203,13 @@ mod tests {
         vec![
             FirmwareImage::new("dev", FirmwareStage::Bootloader, bl_version, b"bl".to_vec())
                 .sign(&s),
-            FirmwareImage::new("dev", FirmwareStage::Application, app_version, b"app".to_vec())
-                .sign(&s),
+            FirmwareImage::new(
+                "dev",
+                FirmwareStage::Application,
+                app_version,
+                b"app".to_vec(),
+            )
+            .sign(&s),
         ]
     }
 
@@ -211,7 +236,10 @@ mod tests {
         c[1].image.payload = b"evil".to_vec();
         let report = d.boot(&c);
         assert!(!report.success);
-        assert_eq!(report.error, Some(BootError::BadSignature(FirmwareStage::Application)));
+        assert_eq!(
+            report.error,
+            Some(BootError::BadSignature(FirmwareStage::Application))
+        );
         // Bootloader measured, application not.
         assert!(!report.pcrs.is_reset(0));
         assert!(report.pcrs.is_reset(1));
@@ -224,7 +252,14 @@ mod tests {
         assert_eq!(d.rollback_counter(FirmwareStage::Application), 5);
         let report = d.boot(&chain(2, 4));
         assert!(!report.success);
-        assert!(matches!(report.error, Some(BootError::Rollback { actual: 4, min_version: 5, .. })));
+        assert!(matches!(
+            report.error,
+            Some(BootError::Rollback {
+                actual: 4,
+                min_version: 5,
+                ..
+            })
+        ));
         // Equal version still boots.
         assert!(d.boot(&chain(2, 5)).success);
     }
@@ -263,7 +298,10 @@ mod tests {
             FirmwareImage::new("other", FirmwareStage::Bootloader, 1, b"bl".to_vec()).sign(&s),
             FirmwareImage::new("other", FirmwareStage::Application, 1, b"app".to_vec()).sign(&s),
         ];
-        assert!(matches!(d.boot(&c).error, Some(BootError::WrongComponent { .. })));
+        assert!(matches!(
+            d.boot(&c).error,
+            Some(BootError::WrongComponent { .. })
+        ));
     }
 
     #[test]

@@ -45,7 +45,12 @@ impl FirmwareImage {
         version: u32,
         payload: Vec<u8>,
     ) -> Self {
-        FirmwareImage { component_id: component_id.into(), stage, version, payload }
+        FirmwareImage {
+            component_id: component_id.into(),
+            stage,
+            version,
+            payload,
+        }
     }
 
     /// The canonical signed encoding (header fields + payload digest).
@@ -74,7 +79,10 @@ impl FirmwareImage {
     #[must_use]
     pub fn sign(self, signer: &SigningKey) -> SignedImage {
         let signature = signer.sign(&self.tbs_bytes()).to_bytes().to_vec();
-        SignedImage { image: self, signature }
+        SignedImage {
+            image: self,
+            signature,
+        }
     }
 }
 

@@ -26,7 +26,9 @@ impl PcrBank {
     /// Creates a bank with all registers zeroed (reset state).
     #[must_use]
     pub fn new() -> Self {
-        PcrBank { registers: vec![[0u8; 32]; PCR_COUNT] }
+        PcrBank {
+            registers: vec![[0u8; 32]; PCR_COUNT],
+        }
     }
 
     /// Extends register `index` with `measurement`.

@@ -68,7 +68,10 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules `payload` to fire at `at`.
@@ -142,10 +145,16 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), 'a');
         q.schedule(SimTime::from_secs(5), 'b');
-        assert_eq!(q.pop_until(SimTime::from_secs(2)).map(|(_, e)| e), Some('a'));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(2)).map(|(_, e)| e),
+            Some('a')
+        );
         assert_eq!(q.pop_until(SimTime::from_secs(2)), None);
         assert_eq!(q.len(), 1);
-        assert_eq!(q.pop_until(SimTime::from_secs(5)).map(|(_, e)| e), Some('b'));
+        assert_eq!(
+            q.pop_until(SimTime::from_secs(5)).map(|(_, e)| e),
+            Some('b')
+        );
     }
 
     #[test]

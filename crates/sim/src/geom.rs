@@ -71,7 +71,11 @@ impl Vec2 {
     /// Lifts to 3-D with the given altitude.
     #[must_use]
     pub fn with_z(self, z: f64) -> Vec3 {
-        Vec3 { x: self.x, y: self.y, z }
+        Vec3 {
+            x: self.x,
+            y: self.y,
+            z,
+        }
     }
 
     /// Heading angle in radians (atan2 convention, east = 0).
@@ -95,7 +99,11 @@ impl Vec2 {
 
 impl Vec3 {
     /// The origin.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector.
     #[must_use]
@@ -118,7 +126,10 @@ impl Vec3 {
     /// Drops the altitude component.
     #[must_use]
     pub fn xy(self) -> Vec2 {
-        Vec2 { x: self.x, y: self.y }
+        Vec2 {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     /// Linear interpolation: `self` at t = 0, `other` at t = 1.

@@ -28,7 +28,11 @@ pub struct HumanConfig {
 
 impl Default for HumanConfig {
     fn default() -> Self {
-        HumanConfig { mean_speed: 1.3, dwell_secs: (5.0, 30.0), work_area_bias: 0.3 }
+        HumanConfig {
+            mean_speed: 1.3,
+            dwell_secs: (5.0, 30.0),
+            work_area_bias: 0.3,
+        }
     }
 }
 
@@ -82,7 +86,9 @@ impl Human {
                     let speed = rng.normal(self.config.mean_speed, 0.25).clamp(0.4, 2.5);
                     self.activity = Activity::Walking { target, speed };
                 } else {
-                    self.activity = Activity::Dwelling { remaining_s: remaining };
+                    self.activity = Activity::Dwelling {
+                        remaining_s: remaining,
+                    };
                 }
             }
             Activity::Walking { target, speed } => {
@@ -113,7 +119,10 @@ impl Human {
                 (work_area.y + radius * angle.sin()).clamp(0.0, size_m),
             )
         } else {
-            Vec2::new(rng.uniform_range(0.0, size_m), rng.uniform_range(0.0, size_m))
+            Vec2::new(
+                rng.uniform_range(0.0, size_m),
+                rng.uniform_range(0.0, size_m),
+            )
         }
     }
 }
@@ -123,12 +132,20 @@ mod tests {
     use super::*;
 
     fn walk(seed: u64, steps: usize, bias: f64) -> Vec<Vec2> {
-        let config = HumanConfig { work_area_bias: bias, ..HumanConfig::default() };
+        let config = HumanConfig {
+            work_area_bias: bias,
+            ..HumanConfig::default()
+        };
         let mut h = Human::new(HumanId(1), Vec2::new(50.0, 50.0), config);
         let mut rng = SimRng::from_seed(seed);
         let mut track = Vec::new();
         for _ in 0..steps {
-            h.step(SimDuration::from_millis(500), 100.0, Vec2::new(80.0, 80.0), &mut rng);
+            h.step(
+                SimDuration::from_millis(500),
+                100.0,
+                Vec2::new(80.0, 80.0),
+                &mut rng,
+            );
             track.push(h.position);
         }
         track
@@ -187,7 +204,12 @@ mod tests {
         let mut saw_walking = false;
         let mut saw_dwelling = false;
         for _ in 0..2000 {
-            h.step(SimDuration::from_millis(500), 100.0, Vec2::new(50.0, 50.0), &mut rng);
+            h.step(
+                SimDuration::from_millis(500),
+                100.0,
+                Vec2::new(50.0, 50.0),
+                &mut rng,
+            );
             if h.is_walking() {
                 saw_walking = true;
             } else {

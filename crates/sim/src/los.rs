@@ -38,7 +38,10 @@ pub struct Visibility {
 
 impl Visibility {
     /// A fully clear sight line.
-    pub const CLEAR: Visibility = Visibility { factor: 1.0, blocker: None };
+    pub const CLEAR: Visibility = Visibility {
+        factor: 1.0,
+        blocker: None,
+    };
 
     /// Whether the line is hard-blocked.
     #[must_use]
@@ -51,16 +54,23 @@ impl Visibility {
 const CANOPY_TRANSMISSION: f64 = 0.6;
 /// Crown base as a fraction of tree height.
 const CROWN_BASE_FRACTION: f64 = 0.55;
-/// Terrain sampling step along the ray, metres.
-const TERRAIN_STEP_M: f64 = 2.0;
 /// Clearance the ray keeps above terrain before counting as blocked.
 const TERRAIN_EPS_M: f64 = 0.15;
+/// Endpoint margin excluded from the terrain test (fraction of the ray).
+const TERRAIN_MARGIN: f64 = 0.02;
 
 /// Casts a sight line from `from` to `to` (absolute altitudes).
 ///
-/// Endpoints themselves never occlude: sampling excludes a small margin at
-/// both ends so a sensor sitting just above the ground does not "see" its
-/// own mounting terrain as a blocker.
+/// Endpoints themselves never occlude: the terrain test excludes a small
+/// margin at both ends so a sensor sitting just above the ground does not
+/// "see" its own mounting terrain as a blocker.
+///
+/// This is the hot path of the Figure 2 study — one call per (sensor,
+/// human, tick) — and performs **no heap allocation**: the terrain test
+/// walks heightmap cells in grid-aligned steps with an exact per-cell
+/// maximum ([`Terrain::occludes_segment`]) and trees are visited through
+/// [`TreeStand::for_trees_near_segment`] instead of a collected
+/// `Vec<&Tree>`.
 #[must_use]
 pub fn line_of_sight(terrain: &Terrain, stand: &TreeStand, from: Vec3, to: Vec3) -> Visibility {
     let a2 = from.xy();
@@ -72,27 +82,29 @@ pub fn line_of_sight(terrain: &Terrain, stand: &TreeStand, from: Vec3, to: Vec3)
 
     // --- Terrain test ---
     let horiz = a2.distance(b2);
-    if horiz > 1e-9 {
-        let steps = (horiz / TERRAIN_STEP_M).ceil().max(2.0) as usize;
-        for i in 1..steps {
-            let t = i as f64 / steps as f64;
-            // Skip a 2% margin at both ends.
-            if !(0.02..=0.98).contains(&t) {
-                continue;
-            }
-            let p2 = a2.lerp(b2, t);
-            let ray_z = from.z + (to.z - from.z) * t;
-            if terrain.height_at(p2) > ray_z + TERRAIN_EPS_M {
-                return Visibility { factor: 0.0, blocker: Some(Occlusion::Terrain) };
-            }
-        }
+    if horiz > 1e-9
+        && terrain.occludes_segment(
+            from,
+            to,
+            TERRAIN_MARGIN,
+            1.0 - TERRAIN_MARGIN,
+            TERRAIN_EPS_M,
+        )
+    {
+        return Visibility {
+            factor: 0.0,
+            blocker: Some(Occlusion::Terrain),
+        };
     }
 
     // --- Tree test ---
     let mut factor = 1.0;
     let mut canopy_hits = 0usize;
+    let mut trunk_hit = false;
     let vertical_ray = horiz < 1e-6;
-    for tree in stand.trees_near_segment(a2, b2, 0.0) {
+    let ab = b2 - a2;
+    let len2 = ab.dot(ab);
+    stand.for_trees_near_segment(a2, b2, 0.0, |tree| {
         let ground_z = terrain.height_at(tree.position);
         let trunk_top = ground_z + tree.height_m;
         let crown_base = ground_z + tree.height_m * CROWN_BASE_FRACTION;
@@ -104,39 +116,48 @@ pub fn line_of_sight(terrain: &Terrain, stand: &TreeStand, from: Vec3, to: Vec3)
             // its endpoints at a fixed ground position.
             let dist2 = a2.distance(tree.position);
             if dist2 <= tree.trunk_radius_m && ray_lo <= trunk_top && ray_hi >= ground_z {
-                return Visibility { factor: 0.0, blocker: Some(Occlusion::TreeTrunk) };
+                trunk_hit = true;
+                return false;
             }
             if dist2 <= tree.canopy_radius_m && ray_lo <= trunk_top && ray_hi >= crown_base {
                 canopy_hits += 1;
                 factor *= CANOPY_TRANSMISSION;
             }
-            continue;
+            return true;
         }
 
         // Parameter of closest approach in 2-D.
-        let ab = b2 - a2;
-        let len2 = ab.dot(ab);
         let t = ((tree.position - a2).dot(ab) / len2).clamp(0.0, 1.0);
         // Endpoint margins: a tree exactly at an endpoint is the viewer or
         // the target's own position, not an occluder.
         if !(0.01..=0.99).contains(&t) {
-            continue;
+            return true;
         }
         let closest2 = a2.lerp(b2, t);
         let dist2 = closest2.distance(tree.position);
         let ray_z = from.z + (to.z - from.z) * t;
 
         if dist2 <= tree.trunk_radius_m && ray_z <= trunk_top {
-            return Visibility { factor: 0.0, blocker: Some(Occlusion::TreeTrunk) };
+            trunk_hit = true;
+            return false;
         }
         if dist2 <= tree.canopy_radius_m && ray_z >= crown_base && ray_z <= trunk_top {
             canopy_hits += 1;
             factor *= CANOPY_TRANSMISSION;
         }
-    }
+        true
+    });
 
-    if canopy_hits > 0 {
-        Visibility { factor, blocker: Some(Occlusion::Canopy) }
+    if trunk_hit {
+        Visibility {
+            factor: 0.0,
+            blocker: Some(Occlusion::TreeTrunk),
+        }
+    } else if canopy_hits > 0 {
+        Visibility {
+            factor,
+            blocker: Some(Occlusion::Canopy),
+        }
     } else {
         Visibility::CLEAR
     }
@@ -174,22 +195,28 @@ mod tests {
     fn terrain_ridge_blocks_ground_ray_but_not_aerial() {
         // Build rough terrain and find a blocked ground-level pair, then
         // show an elevated observer at the same xy sees over it.
-        let terrain =
-            Terrain::generate(&TerrainConfig { relief_m: 30.0, ..TerrainConfig::default() },
-                &mut SimRng::from_seed(9));
+        let terrain = Terrain::generate(
+            &TerrainConfig {
+                relief_m: 30.0,
+                ..TerrainConfig::default()
+            },
+            &mut SimRng::from_seed(9),
+        );
         let stand = empty_stand();
         let mut found = false;
         'outer: for i in 0..20 {
             for j in 0..20 {
                 let a2 = Vec2::new(25.0 * (i as f64 % 19.0) + 5.0, 13.0 * (i as f64) % 490.0);
-                let b2 = Vec2::new(480.0 - 23.0 * (j as f64 % 20.0), 490.0 - 11.0 * (j as f64) % 490.0);
+                let b2 = Vec2::new(
+                    480.0 - 23.0 * (j as f64 % 20.0),
+                    490.0 - 11.0 * (j as f64) % 490.0,
+                );
                 let a = a2.with_z(terrain.height_at(a2) + 2.0);
                 let b = b2.with_z(terrain.height_at(b2) + 1.2);
                 let ground = line_of_sight(&terrain, &stand, a, b);
                 if ground.blocker == Some(Occlusion::Terrain) {
                     // A drone hovering near the target looks down instead.
-                    let overhead =
-                        (b2 + Vec2::new(20.0, 0.0)).with_z(terrain.height_at(b2) + 80.0);
+                    let overhead = (b2 + Vec2::new(20.0, 0.0)).with_z(terrain.height_at(b2) + 80.0);
                     let from_above = line_of_sight(&terrain, &stand, overhead, b);
                     assert_ne!(
                         from_above.blocker,
@@ -201,7 +228,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "expected at least one terrain-occluded pair on rough ground");
+        assert!(
+            found,
+            "expected at least one terrain-occluded pair on rough ground"
+        );
     }
 
     #[test]
@@ -301,7 +331,10 @@ mod tests {
             Vec3::new(10.0, 50.0, 1.5),
             Vec3::new(90.0, 50.0, 1.2),
         );
-        assert!(!v.is_blocked(), "tree at the target position must not block");
+        assert!(
+            !v.is_blocked(),
+            "tree at the target position must not block"
+        );
     }
 
     #[test]
@@ -310,7 +343,10 @@ mod tests {
         let terrain = Terrain::flat(200.0, 5.0);
         let avg_factor = |density: f64, rng: &mut SimRng| -> f64 {
             let stand = TreeStand::generate(
-                &StandConfig { trees_per_hectare: density, ..StandConfig::default() },
+                &StandConfig {
+                    trees_per_hectare: density,
+                    ..StandConfig::default()
+                },
                 200.0,
                 rng,
             );
@@ -334,6 +370,273 @@ mod tests {
     #[test]
     fn zero_length_ray_is_clear() {
         let p = Vec3::new(10.0, 10.0, 1.0);
-        assert_eq!(line_of_sight(&flat(), &empty_stand(), p, p), Visibility::CLEAR);
+        assert_eq!(
+            line_of_sight(&flat(), &empty_stand(), p, p),
+            Visibility::CLEAR
+        );
+    }
+
+    /// The terrain test this module shipped with before the grid-aligned
+    /// fast path: fixed 2 m sampling of `height_at` along the ray.
+    fn terrain_blocks_by_sampling(terrain: &Terrain, from: Vec3, to: Vec3) -> bool {
+        const STEP_M: f64 = 2.0;
+        let a2 = from.xy();
+        let b2 = to.xy();
+        let horiz = a2.distance(b2);
+        if horiz <= 1e-9 {
+            return false;
+        }
+        let steps = (horiz / STEP_M).ceil().max(2.0) as usize;
+        for i in 1..steps {
+            let t = i as f64 / steps as f64;
+            if !(0.02..=0.98).contains(&t) {
+                continue;
+            }
+            let p2 = a2.lerp(b2, t);
+            let ray_z = from.z + (to.z - from.z) * t;
+            if terrain.height_at(p2) > ray_z + TERRAIN_EPS_M {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Deterministic pseudo-random ray endpoints for the equivalence
+    /// sweeps below.
+    fn test_rays(terrain: &Terrain, n: usize, seed: u64) -> Vec<(Vec3, Vec3)> {
+        let mut rng = SimRng::from_seed(seed);
+        (0..n)
+            .map(|_| {
+                let a2 = Vec2::new(rng.uniform_range(0.0, 500.0), rng.uniform_range(0.0, 500.0));
+                let b2 = Vec2::new(rng.uniform_range(0.0, 500.0), rng.uniform_range(0.0, 500.0));
+                let a = a2.with_z(terrain.height_at(a2) + rng.uniform_range(0.5, 4.0));
+                let b = b2.with_z(terrain.height_at(b2) + rng.uniform_range(0.5, 80.0));
+                (a, b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_terrain_test_dominates_fixed_step_sampling() {
+        // The exact per-cell maximum can only find *more* occlusions than
+        // sampling the same window at discrete points: every sampled
+        // exceedance is a lower bound on the cell maximum. So on any ray
+        // where the old fixed-step test blocked, the new test must block
+        // too — one-sided equivalence, no tolerance window needed.
+        let terrain = Terrain::generate(
+            &TerrainConfig {
+                relief_m: 30.0,
+                ..TerrainConfig::default()
+            },
+            &mut SimRng::from_seed(9),
+        );
+        let mut sampled_blocked = 0usize;
+        let mut exact_blocked = 0usize;
+        for (a, b) in test_rays(&terrain, 400, 1234) {
+            let old = terrain_blocks_by_sampling(&terrain, a, b);
+            let new = terrain.occludes_segment(a, b, 0.02, 0.98, TERRAIN_EPS_M);
+            sampled_blocked += usize::from(old);
+            exact_blocked += usize::from(new);
+            assert!(
+                !old || new,
+                "sampling blocked a ray the exact test cleared: {a:?} -> {b:?}"
+            );
+        }
+        assert!(
+            sampled_blocked > 0,
+            "rough 30 m relief should occlude some test rays"
+        );
+        assert!(
+            exact_blocked >= sampled_blocked,
+            "exact test found fewer occlusions ({exact_blocked}) than sampling ({sampled_blocked})"
+        );
+        // The two tests agree on the overwhelming majority of rays; the
+        // residue is exactly the near-graze geometry 2 m sampling steps
+        // over. Pinned so a regression in either direction shows up.
+        assert!(
+            exact_blocked - sampled_blocked <= 400 / 20,
+            "exact and sampled terrain tests diverged on >5% of rays ({exact_blocked} vs {sampled_blocked})"
+        );
+    }
+
+    #[test]
+    fn grid_terrain_test_matches_dense_sampling() {
+        // Sampling at 0.05 m (40× finer than the old 2 m step) converges
+        // to the true maximum; the closed-form test must agree with it on
+        // every ray.
+        let terrain = Terrain::generate(
+            &TerrainConfig {
+                relief_m: 25.0,
+                ..TerrainConfig::default()
+            },
+            &mut SimRng::from_seed(21),
+        );
+        for (a, b) in test_rays(&terrain, 120, 99) {
+            let a2 = a.xy();
+            let b2 = b.xy();
+            let horiz = a2.distance(b2);
+            if horiz <= 1e-9 {
+                continue;
+            }
+            let steps = ((horiz / 0.05).ceil() as usize).max(2);
+            let mut worst = f64::NEG_INFINITY;
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                if !(0.02..=0.98).contains(&t) {
+                    continue;
+                }
+                let ray_z = a.z + (b.z - a.z) * t;
+                worst = worst.max(terrain.height_at(a2.lerp(b2, t)) - ray_z - TERRAIN_EPS_M);
+            }
+            let new = terrain.occludes_segment(a, b, 0.02, 0.98, TERRAIN_EPS_M);
+            // Skip hairline cases within float noise of the threshold.
+            if worst.abs() < 1e-6 {
+                continue;
+            }
+            assert_eq!(
+                new,
+                worst > 0.0,
+                "exact test disagrees with 0.05 m sampling (excess {worst}): {a:?} -> {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn visitor_tree_path_matches_vec_reference() {
+        // Full line-of-sight equivalence on flat terrain (where the
+        // terrain tests trivially agree): the visitor-based hot path must
+        // reproduce the old collect-into-`Vec` implementation bit for
+        // bit, including canopy attenuation products.
+        let terrain = Terrain::flat(200.0, 5.0);
+        let mut rng = SimRng::from_seed(31);
+        let stand = TreeStand::generate(
+            &StandConfig {
+                trees_per_hectare: 900.0,
+                ..StandConfig::default()
+            },
+            200.0,
+            &mut rng,
+        );
+        let reference = |from: Vec3, to: Vec3| -> Visibility {
+            let a2 = from.xy();
+            let b2 = to.xy();
+            if from.distance(to) < 1e-9 {
+                return Visibility::CLEAR;
+            }
+            let horiz = a2.distance(b2);
+            let mut factor = 1.0;
+            let mut canopy_hits = 0usize;
+            let vertical_ray = horiz < 1e-6;
+            for tree in stand.trees_near_segment(a2, b2, 0.0) {
+                let ground_z = terrain.height_at(tree.position);
+                let trunk_top = ground_z + tree.height_m;
+                let crown_base = ground_z + tree.height_m * CROWN_BASE_FRACTION;
+                let ray_lo = from.z.min(to.z);
+                let ray_hi = from.z.max(to.z);
+                if vertical_ray {
+                    let dist2 = a2.distance(tree.position);
+                    if dist2 <= tree.trunk_radius_m && ray_lo <= trunk_top && ray_hi >= ground_z {
+                        return Visibility {
+                            factor: 0.0,
+                            blocker: Some(Occlusion::TreeTrunk),
+                        };
+                    }
+                    if dist2 <= tree.canopy_radius_m && ray_lo <= trunk_top && ray_hi >= crown_base
+                    {
+                        canopy_hits += 1;
+                        factor *= CANOPY_TRANSMISSION;
+                    }
+                    continue;
+                }
+                let ab = b2 - a2;
+                let len2 = ab.dot(ab);
+                let t = ((tree.position - a2).dot(ab) / len2).clamp(0.0, 1.0);
+                if !(0.01..=0.99).contains(&t) {
+                    continue;
+                }
+                let closest2 = a2.lerp(b2, t);
+                let dist2 = closest2.distance(tree.position);
+                let ray_z = from.z + (to.z - from.z) * t;
+                if dist2 <= tree.trunk_radius_m && ray_z <= trunk_top {
+                    return Visibility {
+                        factor: 0.0,
+                        blocker: Some(Occlusion::TreeTrunk),
+                    };
+                }
+                if dist2 <= tree.canopy_radius_m && ray_z >= crown_base && ray_z <= trunk_top {
+                    canopy_hits += 1;
+                    factor *= CANOPY_TRANSMISSION;
+                }
+            }
+            if canopy_hits > 0 {
+                Visibility {
+                    factor,
+                    blocker: Some(Occlusion::Canopy),
+                }
+            } else {
+                Visibility::CLEAR
+            }
+        };
+
+        let mut rng = SimRng::from_seed(77);
+        let mut blocked = 0usize;
+        let mut attenuated = 0usize;
+        for _ in 0..300 {
+            let a2 = Vec2::new(rng.uniform_range(0.0, 200.0), rng.uniform_range(0.0, 200.0));
+            let b2 = Vec2::new(rng.uniform_range(0.0, 200.0), rng.uniform_range(0.0, 200.0));
+            let from = a2.with_z(rng.uniform_range(0.5, 30.0));
+            let to = b2.with_z(rng.uniform_range(0.5, 60.0));
+            let new = line_of_sight(&terrain, &stand, from, to);
+            let old = reference(from, to);
+            assert_eq!(
+                new, old,
+                "visitor path diverged from Vec path: {from:?} -> {to:?}"
+            );
+            blocked += usize::from(new.blocker == Some(Occlusion::TreeTrunk));
+            attenuated += usize::from(new.blocker == Some(Occlusion::Canopy));
+        }
+        assert!(blocked > 0, "a 900/ha stand should trunk-block some rays");
+        assert!(
+            attenuated > 0,
+            "a 900/ha stand should canopy-attenuate some rays"
+        );
+    }
+
+    // Also include a vertical-ray case against the reference (drone
+    // directly overhead), which takes the `vertical_ray` branch.
+    #[test]
+    fn vertical_rays_behave_like_before() {
+        let terrain = Terrain::flat(200.0, 5.0);
+        let tree = Tree {
+            position: Vec2::new(50.0, 50.0),
+            height_m: 20.0,
+            trunk_radius_m: 0.3,
+            canopy_radius_m: 2.5,
+        };
+        let stand = TreeStand::from_trees(vec![tree], 200.0);
+        // Through the trunk column.
+        let v = line_of_sight(
+            &terrain,
+            &stand,
+            Vec3::new(50.0, 50.0, 60.0),
+            Vec3::new(50.0, 50.0, 0.5),
+        );
+        assert_eq!(v.blocker, Some(Occlusion::TreeTrunk));
+        // Through the canopy only.
+        let v = line_of_sight(
+            &terrain,
+            &stand,
+            Vec3::new(51.5, 50.0, 60.0),
+            Vec3::new(51.5, 50.0, 0.5),
+        );
+        assert_eq!(v.blocker, Some(Occlusion::Canopy));
+        // Outside the canopy disc.
+        let v = line_of_sight(
+            &terrain,
+            &stand,
+            Vec3::new(55.0, 50.0, 60.0),
+            Vec3::new(55.0, 50.0, 0.5),
+        );
+        assert_eq!(v, Visibility::CLEAR);
     }
 }

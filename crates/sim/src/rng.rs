@@ -34,13 +34,19 @@ impl SimRng {
         let mut material = Vec::with_capacity(24);
         material.extend_from_slice(b"silvasec-sim-rng");
         material.extend_from_slice(&seed.to_le_bytes());
-        SimRng { inner: ChaChaDrbg::from_seed(&material), gauss_spare: None }
+        SimRng {
+            inner: ChaChaDrbg::from_seed(&material),
+            gauss_spare: None,
+        }
     }
 
     /// Derives an independent labelled child generator.
     #[must_use]
     pub fn fork(&self, label: &str) -> Self {
-        SimRng { inner: self.inner.fork(label.as_bytes()), gauss_spare: None }
+        SimRng {
+            inner: self.inner.fork(label.as_bytes()),
+            gauss_spare: None,
+        }
     }
 
     /// Next raw 64-bit value.
@@ -59,7 +65,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid range"
+        );
         lo + (hi - lo) * self.uniform()
     }
 

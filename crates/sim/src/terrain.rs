@@ -25,7 +25,13 @@ pub struct TerrainConfig {
 
 impl Default for TerrainConfig {
     fn default() -> Self {
-        TerrainConfig { size_m: 500.0, cell_m: 5.0, relief_m: 18.0, octaves: 4, persistence: 0.5 }
+        TerrainConfig {
+            size_m: 500.0,
+            cell_m: 5.0,
+            relief_m: 18.0,
+            octaves: 4,
+            persistence: 0.5,
+        }
     }
 }
 
@@ -59,7 +65,10 @@ impl Terrain {
     /// be degenerate.
     #[must_use]
     pub fn generate(config: &TerrainConfig, rng: &mut SimRng) -> Self {
-        assert!(config.size_m > 0.0 && config.cell_m > 0.0, "terrain dimensions must be positive");
+        assert!(
+            config.size_m > 0.0 && config.cell_m > 0.0,
+            "terrain dimensions must be positive"
+        );
         let cells = (config.size_m / config.cell_m).ceil() as usize + 1;
         assert!(cells >= 2, "terrain grid too small");
 
@@ -71,8 +80,7 @@ impl Terrain {
         for _octave in 0..config.octaves.max(1) {
             // Random lattice values for this octave.
             let ln = lattice_n + 1;
-            let lattice: Vec<f64> =
-                (0..ln * ln).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            let lattice: Vec<f64> = (0..ln * ln).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
 
             for gy in 0..cells {
                 for gx in 0..cells {
@@ -95,15 +103,28 @@ impl Terrain {
             lattice_n *= 2;
         }
 
-        Terrain { heights, cells, cell_m: config.cell_m, size_m: config.size_m }
+        Terrain {
+            heights,
+            cells,
+            cell_m: config.cell_m,
+            size_m: config.size_m,
+        }
     }
 
     /// Builds perfectly flat terrain (baseline for occlusion experiments).
     #[must_use]
     pub fn flat(size_m: f64, cell_m: f64) -> Self {
-        assert!(size_m > 0.0 && cell_m > 0.0, "terrain dimensions must be positive");
+        assert!(
+            size_m > 0.0 && cell_m > 0.0,
+            "terrain dimensions must be positive"
+        );
         let cells = (size_m / cell_m).ceil() as usize + 1;
-        Terrain { heights: vec![0.0; cells * cells], cells, cell_m, size_m }
+        Terrain {
+            heights: vec![0.0; cells * cells],
+            cells,
+            cell_m,
+            size_m,
+        }
     }
 
     /// Side length in metres.
@@ -138,14 +159,150 @@ impl Terrain {
     }
 
     /// Approximate slope magnitude (rise over run) at `p`.
+    ///
+    /// Central differences over the four axis neighbours at `±cell_m`,
+    /// computed in a single pass: the two horizontal samples share the
+    /// `y`-axis clamp/floor/weight and the two vertical samples share
+    /// the `x`-axis one, instead of issuing four full bilinear
+    /// `height_at` queries that each redo both axes. Results are
+    /// bit-identical to the four-query formulation (each fractional
+    /// coordinate is computed with the same operations).
     #[must_use]
     pub fn slope_at(&self, p: Vec2) -> f64 {
         let d = self.cell_m;
-        let hx = (self.height_at(Vec2::new(p.x + d, p.y)) - self.height_at(Vec2::new(p.x - d, p.y)))
-            / (2.0 * d);
-        let hy = (self.height_at(Vec2::new(p.x, p.y + d)) - self.height_at(Vec2::new(p.x, p.y - d)))
-            / (2.0 * d);
+        let max = (self.cells - 1) as f64;
+        let hi = self.cells - 2;
+        let axis = |coord: f64| {
+            let f = (coord / self.cell_m).clamp(0.0, max);
+            let i0 = (f.floor() as usize).min(hi);
+            (i0, f - i0 as f64)
+        };
+        let at = |x: usize, y: usize| self.heights[y * self.cells + x];
+        let sample = |(x0, tx): (usize, f64), (y0, ty): (usize, f64)| {
+            lerp(
+                lerp(at(x0, y0), at(x0 + 1, y0), tx),
+                lerp(at(x0, y0 + 1), at(x0 + 1, y0 + 1), tx),
+                ty,
+            )
+        };
+        let ax = axis(p.x);
+        let ay = axis(p.y);
+        let hx = (sample(axis(p.x + d), ay) - sample(axis(p.x - d), ay)) / (2.0 * d);
+        let hy = (sample(ax, axis(p.y + d)) - sample(ax, axis(p.y - d))) / (2.0 * d);
         hx.hypot(hy)
+    }
+
+    /// Whether the terrain rises above the straight 3-D segment
+    /// `from`–`to` (plus `clearance_m`) anywhere in the parameter window
+    /// `t ∈ [t_lo, t_hi]` of the segment.
+    ///
+    /// This is the line-of-sight terrain test, done exactly: the segment
+    /// is walked cell by cell in grid-aligned steps (one cell-corner
+    /// fetch per crossed heightmap cell instead of a fixed-step chain of
+    /// full bilinear `height_at` queries). Within one cell the bilinear
+    /// surface along the segment is a quadratic in `t`, so the *maximum*
+    /// terrain excess over the ray is evaluated in closed form — the
+    /// result dominates any fixed-step sampling of the same window (a
+    /// sampled exceedance is a lower bound on the true maximum), which is
+    /// what the equivalence tests in `los.rs` pin down. Early-out on the
+    /// first occluding cell is preserved.
+    ///
+    /// Out-of-extent portions of the segment use the same border
+    /// clamping as [`Terrain::height_at`]: between two boundary
+    /// crossings the clamped cell coordinates stay affine in `t`, so the
+    /// closed form remains exact there too.
+    #[must_use]
+    pub fn occludes_segment(
+        &self,
+        from: crate::geom::Vec3,
+        to: crate::geom::Vec3,
+        t_lo: f64,
+        t_hi: f64,
+        clearance_m: f64,
+    ) -> bool {
+        // Degenerate or NaN window: nothing to test.
+        if t_lo.partial_cmp(&t_hi) != Some(std::cmp::Ordering::Less) {
+            return false;
+        }
+        let max = (self.cells - 1) as f64;
+        let hi = self.cells - 2;
+        // Segment in grid (cell-index) coordinates.
+        let fx_a = from.x / self.cell_m;
+        let fy_a = from.y / self.cell_m;
+        let dfx = to.x / self.cell_m - fx_a;
+        let dfy = to.y / self.cell_m - fy_a;
+        let dz = to.z - from.z;
+
+        // Next grid-line crossing strictly after `t` along one axis.
+        let next_crossing = |origin: f64, delta: f64, t: f64| -> f64 {
+            if delta.abs() < 1e-12 {
+                return f64::INFINITY;
+            }
+            let here = origin + delta * t;
+            let k = if delta > 0.0 {
+                here.floor() + 1.0
+            } else {
+                here.ceil() - 1.0
+            };
+            let cand = (k - origin) / delta;
+            if cand > t {
+                cand
+            } else {
+                // `here` sat exactly on a grid line; take the following one.
+                (if delta > 0.0 { k + 1.0 } else { k - 1.0 } - origin) / delta
+            }
+        };
+
+        let mut t_cur = t_lo;
+        // At most one crossing per grid line per axis (plus slack); the
+        // bound guards against float-pathological non-advancement.
+        for _ in 0..(4 * self.cells + 16) {
+            let t_next = next_crossing(fx_a, dfx, t_cur)
+                .min(next_crossing(fy_a, dfy, t_cur))
+                .min(t_hi);
+            let width = t_next - t_cur;
+            if width > 1e-12 {
+                // Cell under the midpoint, clamped like `height_at`.
+                let tm = 0.5 * (t_cur + t_next);
+                let fxm = (fx_a + dfx * tm).clamp(0.0, max);
+                let fym = (fy_a + dfy * tm).clamp(0.0, max);
+                let x0 = (fxm.floor() as usize).min(hi);
+                let y0 = (fym.floor() as usize).min(hi);
+                let h00 = self.heights[y0 * self.cells + x0];
+                let h10 = self.heights[y0 * self.cells + x0 + 1];
+                let h01 = self.heights[(y0 + 1) * self.cells + x0];
+                let h11 = self.heights[(y0 + 1) * self.cells + x0 + 1];
+                let (c1, c2, c3) = (h10 - h00, h01 - h00, h11 - h10 - h01 + h00);
+                // Cell-local coordinates at the piece ends; affine across
+                // the piece (no grid line is crossed inside it).
+                let txs = (fx_a + dfx * t_cur).clamp(0.0, max) - x0 as f64;
+                let txe = (fx_a + dfx * t_next).clamp(0.0, max) - x0 as f64;
+                let tys = (fy_a + dfy * t_cur).clamp(0.0, max) - y0 as f64;
+                let tye = (fy_a + dfy * t_next).clamp(0.0, max) - y0 as f64;
+                let (dtx, dty) = (txe - txs, tye - tys);
+                // Terrain minus (ray + clearance) as a quadratic in the
+                // piece-local parameter s ∈ [0, 1].
+                let ray_s = from.z + dz * t_cur + clearance_m;
+                let a = c3 * dtx * dty;
+                let b = c1 * dtx + c2 * dty + c3 * (txs * dty + dtx * tys) - dz * width;
+                let c = h00 + c1 * txs + c2 * tys + c3 * txs * tys - ray_s;
+                let g = |s: f64| (a * s + b) * s + c;
+                if g(0.0) > 0.0 || g(1.0) > 0.0 {
+                    return true;
+                }
+                if a < 0.0 {
+                    let s_peak = -b / (2.0 * a);
+                    if s_peak > 0.0 && s_peak < 1.0 && g(s_peak) > 0.0 {
+                        return true;
+                    }
+                }
+            }
+            if t_next >= t_hi {
+                break;
+            }
+            t_cur = t_next;
+        }
+        false
     }
 
     /// Maximum height difference across the map (a roughness summary).
@@ -210,7 +367,11 @@ mod tests {
     #[test]
     fn flat_terrain_is_flat() {
         let t = Terrain::flat(100.0, 5.0);
-        for p in [Vec2::new(0.0, 0.0), Vec2::new(50.0, 50.0), Vec2::new(99.0, 1.0)] {
+        for p in [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(50.0, 50.0),
+            Vec2::new(99.0, 1.0),
+        ] {
             assert_eq!(t.height_at(p), 0.0);
             assert_eq!(t.slope_at(p), 0.0);
         }
@@ -223,7 +384,11 @@ mod tests {
         let p = Vec2::new(200.0, 200.0);
         let h0 = t.height_at(p);
         let h1 = t.height_at(p + Vec2::new(0.01, 0.0));
-        assert!((h0 - h1).abs() < 0.1, "height jumped by {}", (h0 - h1).abs());
+        assert!(
+            (h0 - h1).abs() < 0.1,
+            "height jumped by {}",
+            (h0 - h1).abs()
+        );
     }
 
     #[test]
@@ -254,5 +419,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_size_panics() {
         let _ = Terrain::flat(0.0, 1.0);
+    }
+
+    #[test]
+    fn slope_matches_pinned_four_query_values() {
+        // Values captured from the previous implementation (four full
+        // bilinear `height_at` queries) before the one-pass rewrite;
+        // the rewrite must reproduce them bit for bit.
+        let t = default_terrain(7);
+        let cases = [
+            (Vec2::new(0.0, 0.0), 0.109_999_975_511_147_9),
+            (Vec2::new(12.3, 45.6), 0.144_568_858_508_378_28),
+            (Vec2::new(250.0, 250.0), 0.147_767_487_256_419_03),
+            (Vec2::new(123.4, 77.8), 0.085_919_695_713_150_28),
+            (Vec2::new(499.0, 499.0), 0.093_658_360_809_946_86),
+            (Vec2::new(-10.0, 600.0), 0.0),
+        ];
+        for (p, expected) in cases {
+            assert_eq!(t.slope_at(p), expected, "slope at ({}, {})", p.x, p.y);
+        }
+    }
+
+    #[test]
+    fn slope_matches_four_query_reference() {
+        // Dense cross-check against the naive four-`height_at`
+        // formulation the one-pass version replaced.
+        let reference = |t: &Terrain, p: Vec2| {
+            let d = TerrainConfig::default().cell_m;
+            let hx = (t.height_at(Vec2::new(p.x + d, p.y)) - t.height_at(Vec2::new(p.x - d, p.y)))
+                / (2.0 * d);
+            let hy = (t.height_at(Vec2::new(p.x, p.y + d)) - t.height_at(Vec2::new(p.x, p.y - d)))
+                / (2.0 * d);
+            hx.hypot(hy)
+        };
+        for seed in [1, 9, 42] {
+            let t = default_terrain(seed);
+            for i in 0..40 {
+                for j in 0..40 {
+                    let p = Vec2::new(i as f64 * 12.7 - 4.0, j as f64 * 13.1 - 4.0);
+                    assert_eq!(
+                        t.slope_at(p),
+                        reference(&t, p),
+                        "mismatch at ({}, {})",
+                        p.x,
+                        p.y
+                    );
+                }
+            }
+        }
     }
 }

@@ -77,7 +77,10 @@ impl SimDuration {
     /// Panics if `s` is negative or not finite.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be non-negative and finite");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be non-negative and finite"
+        );
         SimDuration((s * 1000.0).round() as u64)
     }
 
@@ -100,7 +103,10 @@ impl SimDuration {
     /// Panics if `factor` is negative or not finite.
     #[must_use]
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative and finite");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be non-negative and finite"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -162,7 +168,10 @@ mod tests {
         assert_eq!(t, SimTime::from_secs(15));
         assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
         // Saturating subtraction.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         let mut t2 = SimTime::ZERO;
         t2 += SimDuration::from_millis(250);
         assert_eq!(t2.as_millis(), 250);
@@ -174,7 +183,10 @@ mod tests {
         let b = SimTime::from_secs(10);
         assert_eq!(b.since(a), SimDuration::from_secs(6));
         assert_eq!(a.since(b), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs(10).mul_f64(0.25), SimDuration::from_millis(2500));
+        assert_eq!(
+            SimDuration::from_secs(10).mul_f64(0.25),
+            SimDuration::from_millis(2500)
+        );
     }
 
     #[test]

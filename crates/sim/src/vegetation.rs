@@ -34,7 +34,11 @@ pub struct StandConfig {
 
 impl Default for StandConfig {
     fn default() -> Self {
-        StandConfig { trees_per_hectare: 800.0, mean_height_m: 18.0, height_std_m: 4.0 }
+        StandConfig {
+            trees_per_hectare: 800.0,
+            mean_height_m: 18.0,
+            height_std_m: 4.0,
+        }
     }
 }
 
@@ -61,17 +65,25 @@ impl TreeStand {
     #[must_use]
     pub fn generate(config: &StandConfig, size_m: f64, rng: &mut SimRng) -> Self {
         assert!(size_m > 0.0, "stand area must be positive");
-        assert!(config.trees_per_hectare >= 0.0, "density must be non-negative");
+        assert!(
+            config.trees_per_hectare >= 0.0,
+            "density must be non-negative"
+        );
         let hectares = (size_m * size_m) / 10_000.0;
         let count = (config.trees_per_hectare * hectares).round() as usize;
         let mut trees = Vec::with_capacity(count);
         for _ in 0..count {
-            let height = rng.normal(config.mean_height_m, config.height_std_m).clamp(2.0, 45.0);
+            let height = rng
+                .normal(config.mean_height_m, config.height_std_m)
+                .clamp(2.0, 45.0);
             // Allometry: trunk radius and canopy scale with height.
             let trunk_radius = (0.010 * height).clamp(0.05, 0.5);
             let canopy_radius = (0.14 * height).clamp(0.5, 5.0);
             trees.push(Tree {
-                position: Vec2::new(rng.uniform_range(0.0, size_m), rng.uniform_range(0.0, size_m)),
+                position: Vec2::new(
+                    rng.uniform_range(0.0, size_m),
+                    rng.uniform_range(0.0, size_m),
+                ),
                 height_m: height,
                 trunk_radius_m: trunk_radius,
                 canopy_radius_m: canopy_radius,
@@ -96,7 +108,13 @@ impl TreeStand {
             let gy = ((tree.position.y / grid_cell_m) as usize).min(grid_cells - 1);
             grid[gy * grid_cells + gx].push(i as u32);
         }
-        TreeStand { trees, size_m, grid, grid_cells, grid_cell_m }
+        TreeStand {
+            trees,
+            size_m,
+            grid,
+            grid_cells,
+            grid_cell_m,
+        }
     }
 
     /// Removes all trees within `radius` of `center` (clearing a landing
@@ -135,9 +153,19 @@ impl TreeStand {
         self.trees.len() as f64 / ((self.size_m * self.size_m) / 10_000.0)
     }
 
-    /// Iterates over trees whose trunk might intersect the 2-D segment
-    /// `a`–`b` expanded by `margin` metres (via the coarse grid index).
-    pub fn trees_near_segment(&self, a: Vec2, b: Vec2, margin: f64) -> Vec<&Tree> {
+    /// Visits every tree whose trunk or canopy might intersect the 2-D
+    /// segment `a`–`b` expanded by `margin` metres (via the coarse grid
+    /// index), without allocating. Trees are visited in the same order
+    /// [`TreeStand::trees_near_segment`] returns them; return `false`
+    /// from `visit` to stop early.
+    ///
+    /// This is the line-of-sight hot path: `line_of_sight` casts one
+    /// query per (sensor, human, tick) and previously paid a `Vec<&Tree>`
+    /// allocation each time.
+    pub fn for_trees_near_segment<'s, F>(&'s self, a: Vec2, b: Vec2, margin: f64, mut visit: F)
+    where
+        F: FnMut(&'s Tree) -> bool,
+    {
         let pad = margin + self.grid_cell_m;
         let min_x = (a.x.min(b.x) - pad).max(0.0);
         let max_x = (a.x.max(b.x) + pad).min(self.size_m);
@@ -148,19 +176,30 @@ impl TreeStand {
         let gy0 = ((min_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
         let gy1 = ((max_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
 
-        let mut out = Vec::new();
         for gy in gy0..=gy1 {
             for gx in gx0..=gx1 {
                 for &i in &self.grid[gy * self.grid_cells + gx] {
                     let tree = &self.trees[i as usize];
                     if tree.position.distance_to_segment(a, b)
                         <= margin + tree.canopy_radius_m.max(tree.trunk_radius_m)
+                        && !visit(tree)
                     {
-                        out.push(tree);
+                        return;
                     }
                 }
             }
         }
+    }
+
+    /// Collects the trees [`TreeStand::for_trees_near_segment`] visits.
+    /// Convenient for tests and one-off queries; hot paths should use the
+    /// visitor to avoid the allocation.
+    pub fn trees_near_segment(&self, a: Vec2, b: Vec2, margin: f64) -> Vec<&Tree> {
+        let mut out = Vec::new();
+        self.for_trees_near_segment(a, b, margin, |tree| {
+            out.push(tree);
+            true
+        });
         out
     }
 }
@@ -170,7 +209,10 @@ mod tests {
     use super::*;
 
     fn stand(seed: u64, density: f64) -> TreeStand {
-        let config = StandConfig { trees_per_hectare: density, ..StandConfig::default() };
+        let config = StandConfig {
+            trees_per_hectare: density,
+            ..StandConfig::default()
+        };
         TreeStand::generate(&config, 200.0, &mut SimRng::from_seed(seed))
     }
 
@@ -231,10 +273,10 @@ mod tests {
         let a = Vec2::new(10.0, 15.0);
         let b = Vec2::new(190.0, 170.0);
         let margin = 1.0;
-        let fast: std::collections::HashSet<usize> = s
-            .trees_near_segment(a, b, margin)
-            .into_iter()
-            .map(|t| t as *const Tree as usize)
+        let collected = s.trees_near_segment(a, b, margin);
+        let fast: std::collections::HashSet<usize> = collected
+            .iter()
+            .map(|t| *t as *const Tree as usize)
             .collect();
         let brute: Vec<&Tree> = s
             .trees()
@@ -251,6 +293,37 @@ mod tests {
                 t.position
             );
         }
+
+        // The allocation-free visitor sees exactly the collected set, in
+        // the same order — `line_of_sight` relies on this equivalence.
+        let mut visited: Vec<usize> = Vec::new();
+        s.for_trees_near_segment(a, b, margin, |t| {
+            visited.push(t as *const Tree as usize);
+            true
+        });
+        let collected_ids: Vec<usize> = collected
+            .iter()
+            .map(|t| *t as *const Tree as usize)
+            .collect();
+        assert_eq!(visited, collected_ids, "visitor and Vec query diverged");
+    }
+
+    #[test]
+    fn segment_visitor_stops_early() {
+        let s = stand(6, 800.0);
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(200.0, 200.0);
+        let total = s.trees_near_segment(a, b, 1.0).len();
+        assert!(
+            total > 3,
+            "diagonal through a dense stand should pass many trees"
+        );
+        let mut seen = 0usize;
+        s.for_trees_near_segment(a, b, 1.0, |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert_eq!(seen, 3, "returning false must stop the traversal");
     }
 
     #[test]

@@ -90,7 +90,10 @@ impl WeatherModel {
     /// transition probability.
     #[must_use]
     pub fn new(initial: Weather, change_prob: f64) -> Self {
-        WeatherModel { state: initial, change_prob: change_prob.clamp(0.0, 1.0) }
+        WeatherModel {
+            state: initial,
+            change_prob: change_prob.clamp(0.0, 1.0),
+        }
     }
 
     /// The current state.
@@ -102,7 +105,10 @@ impl WeatherModel {
     /// Advances one step; transitions favour adjacent severities.
     pub fn step(&mut self, rng: &mut SimRng) -> Weather {
         if rng.chance(self.change_prob) {
-            let idx = Weather::ALL.iter().position(|w| *w == self.state).expect("state in ALL");
+            let idx = Weather::ALL
+                .iter()
+                .position(|w| *w == self.state)
+                .expect("state in ALL");
             // Move to a neighbouring state (wrapping) or jump anywhere with
             // small probability — keeps sequences realistic but ergodic.
             let next = if rng.chance(0.8) {
@@ -164,7 +170,11 @@ mod tests {
         for _ in 0..2000 {
             seen.insert(model.step(&mut rng));
         }
-        assert_eq!(seen.len(), Weather::ALL.len(), "all states should be reachable");
+        assert_eq!(
+            seen.len(),
+            Weather::ALL.len(),
+            "all states should be reachable"
+        );
     }
 
     #[test]

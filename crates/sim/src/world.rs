@@ -197,7 +197,10 @@ mod tests {
 
     fn small_config() -> WorldConfig {
         WorldConfig {
-            terrain: TerrainConfig { size_m: 200.0, ..TerrainConfig::default() },
+            terrain: TerrainConfig {
+                size_m: 200.0,
+                ..TerrainConfig::default()
+            },
             human_count: 2,
             work_area: Vec2::new(150.0, 150.0),
             landing_area: Vec2::new(40.0, 40.0),

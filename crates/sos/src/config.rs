@@ -25,13 +25,23 @@ impl SecurityPosture {
     /// Everything on — the hardened worksite.
     #[must_use]
     pub fn secure() -> Self {
-        SecurityPosture { secure_channel: true, mfp: true, ids: true, secure_boot: true }
+        SecurityPosture {
+            secure_channel: true,
+            mfp: true,
+            ids: true,
+            secure_boot: true,
+        }
     }
 
     /// Everything off — the paper's implicit baseline.
     #[must_use]
     pub fn insecure() -> Self {
-        SecurityPosture { secure_channel: false, mfp: false, ids: false, secure_boot: false }
+        SecurityPosture {
+            secure_channel: false,
+            mfp: false,
+            ids: false,
+            secure_boot: false,
+        }
     }
 }
 

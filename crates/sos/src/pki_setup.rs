@@ -47,7 +47,11 @@ impl WorksitePki {
         );
         let store = TrustStore::with_roots([root.certificate().clone()]);
         let firmware_signer = SigningKey::from_seed(&rng.next_seed());
-        WorksitePki { root, store, firmware_signer }
+        WorksitePki {
+            root,
+            store,
+            firmware_signer,
+        }
     }
 
     /// Commissions one machine: issues its certificate, signs its
@@ -85,7 +89,12 @@ impl WorksitePki {
         ];
         let mut device = Device::new(id, self.firmware_signer.verifying_key());
         let boot_report = device.boot(&firmware);
-        MachineCredentials { identity, device, firmware, boot_report }
+        MachineCredentials {
+            identity,
+            device,
+            firmware,
+            boot_report,
+        }
     }
 }
 

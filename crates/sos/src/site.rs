@@ -7,8 +7,8 @@ use silvasec_attacks::{AttackEngine, SideEffect};
 use silvasec_channel::{HandshakePolicy, Initiator, Responder, Session};
 use silvasec_comms::{Frame, Medium, MediumConfig, NodeId};
 use silvasec_ids::prelude::*;
-use silvasec_machines::prelude::*;
 use silvasec_machines::harvester::Harvester;
+use silvasec_machines::prelude::*;
 use silvasec_machines::sensors::Detection;
 use silvasec_pki::{ComponentRole, Validity};
 use silvasec_sim::geom::Vec2;
@@ -115,8 +115,7 @@ impl Worksite {
         let bs_pos = landing.with_z(world.ground_at(landing) + 6.0);
         let node_bs = medium.add_node(bs_pos);
         let fw_start = landing;
-        let node_fw =
-            medium.add_node(fw_start.with_z(world.ground_at(fw_start) + 3.0));
+        let node_fw = medium.add_node(fw_start.with_z(world.ground_at(fw_start) + 3.0));
         let node_drone = config
             .drone_enabled
             .then(|| medium.add_node(fw_start.with_z(world.ground_at(fw_start) + 50.0)));
@@ -230,7 +229,10 @@ impl Worksite {
             node_drone,
             links,
             credentials,
-            ids: config.security.ids.then(|| WorksiteIds::new(config.ids.clone())),
+            ids: config
+                .security
+                .ids
+                .then(|| WorksiteIds::new(config.ids.clone())),
             correlator: AlertCorrelator::new(SimDuration::from_secs(60)),
             response: ResponsePolicy::default(),
             security_stop_until: None,
@@ -300,10 +302,15 @@ impl Worksite {
         self.auth_failures_tick = 0;
 
         // --- attacks act on the shared physics ---
-        let effects = self.attack_engine.step(now, &mut self.medium, &mut self.gnss_field);
+        let effects = self
+            .attack_engine
+            .step(now, &mut self.medium, &mut self.gnss_field);
         for effect in effects {
             match effect {
-                SideEffect::BlindSensor { machine_label, health } => {
+                SideEffect::BlindSensor {
+                    machine_label,
+                    health,
+                } => {
                     if machine_label.starts_with("forwarder") {
                         // Optical interference blinds both optical
                         // sensors (camera and LiDAR) — Petit et al.'s
@@ -340,8 +347,12 @@ impl Worksite {
         // --- perception ---
         let fw_pos = self.forwarder.position();
         let heading = self.forwarder.vehicle.heading;
-        let cam = self.camera.detect(&self.world, fw_pos, heading, &mut self.rng);
-        let lidar = self.lidar.detect(&self.world, fw_pos, heading, &mut self.rng);
+        let cam = self
+            .camera
+            .detect(&self.world, fw_pos, heading, &mut self.rng);
+        let lidar = self
+            .lidar
+            .detect(&self.world, fw_pos, heading, &mut self.rng);
 
         // Drone flies escort and streams detections over the radio.
         self.drone_feed(now, fw_pos);
@@ -403,7 +414,10 @@ impl Worksite {
     /// dragged fix therefore pushes the *true* position off the plan.
     fn apply_gnss_spoof_drift(&mut self, now: SimTime, tick: SimDuration) {
         let truth = self.forwarder.position();
-        let Some(fix) = self.gnss_rx.sample(&self.gnss_field, truth, now, &mut self.rng) else {
+        let Some(fix) = self
+            .gnss_rx
+            .sample(&self.gnss_field, truth, now, &mut self.rng)
+        else {
             return; // jammed: navigation falls back to odometry (no drift)
         };
         let offset = fix.position - truth;
@@ -552,13 +566,16 @@ impl Worksite {
         let deauth_delta = stats.deauth_rx - self.prev_deauth_rx;
         self.prev_deauth_rx = stats.deauth_rx;
         let link = self.medium.link_stats(self.node_fw, self.node_bs);
-        let (attempted, delivered) =
-            link.map_or((0, 0), |l| (l.attempted, l.delivered));
+        let (attempted, delivered) = link.map_or((0, 0), |l| (l.attempted, l.delivered));
         let att_delta = attempted - self.prev_link_attempted;
         let del_delta = delivered - self.prev_link_delivered;
         self.prev_link_attempted = attempted;
         self.prev_link_delivered = delivered;
-        let delivery_ratio = if att_delta == 0 { 1.0 } else { del_delta as f64 / att_delta as f64 };
+        let delivery_ratio = if att_delta == 0 {
+            1.0
+        } else {
+            del_delta as f64 / att_delta as f64
+        };
 
         // The roster is fixed at commissioning; any association request
         // arriving at the base station afterwards is from an unknown
@@ -690,8 +707,15 @@ mod tests {
     fn small_config(security: SecurityPosture) -> WorksiteConfig {
         WorksiteConfig {
             world: WorldConfig {
-                terrain: TerrainConfig { size_m: 300.0, relief_m: 6.0, ..TerrainConfig::default() },
-                stand: StandConfig { trees_per_hectare: 300.0, ..StandConfig::default() },
+                terrain: TerrainConfig {
+                    size_m: 300.0,
+                    relief_m: 6.0,
+                    ..TerrainConfig::default()
+                },
+                stand: StandConfig {
+                    trees_per_hectare: 300.0,
+                    ..StandConfig::default()
+                },
                 human_count: 2,
                 work_area: Vec2::new(240.0, 240.0),
                 landing_area: Vec2::new(60.0, 60.0),
@@ -708,7 +732,11 @@ mod tests {
         site.run(SimDuration::from_secs(600));
         let m = site.metrics();
         assert_eq!(m.ticks, 1200);
-        assert!(m.distance_m > 100.0, "forwarder barely moved: {} m", m.distance_m);
+        assert!(
+            m.distance_m > 100.0,
+            "forwarder barely moved: {} m",
+            m.distance_m
+        );
         assert!(m.messages_sent > 1000);
         assert!(m.delivery_ratio() > 0.8, "delivery {}", m.delivery_ratio());
         assert_eq!(m.forged_accepted, 0);
@@ -740,18 +768,31 @@ mod tests {
         let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 2);
         site.attack_engine_mut().add_campaign(AttackCampaign {
             kind: AttackKind::RfJamming,
-            target: AttackTarget::Area { center: Vec2::new(150.0, 150.0), radius_m: 300.0 },
+            target: AttackTarget::Area {
+                center: Vec2::new(150.0, 150.0),
+                radius_m: 300.0,
+            },
             start: SimTime::from_secs(60),
             duration: SimDuration::from_secs(120),
             intensity: 1.0,
         });
         site.run(SimDuration::from_secs(300));
         let m = site.metrics();
-        assert!(m.delivery_ratio() < 0.9, "jamming had no effect: {}", m.delivery_ratio());
-        assert!(m.alert_count(silvasec_ids::AlertKind::Jamming) > 0, "jamming undetected");
+        assert!(
+            m.delivery_ratio() < 0.9,
+            "jamming had no effect: {}",
+            m.delivery_ratio()
+        );
+        assert!(
+            m.alert_count(silvasec_ids::AlertKind::Jamming) > 0,
+            "jamming undetected"
+        );
         let first = m.first_alert_at.get("jamming").copied().unwrap();
         assert!(first >= SimTime::from_secs(60));
-        assert!(first <= SimTime::from_secs(120), "detected too late: {first}");
+        assert!(
+            first <= SimTime::from_secs(120),
+            "detected too late: {first}"
+        );
     }
 
     #[test]
@@ -759,7 +800,9 @@ mod tests {
         let mut site = Worksite::new(&small_config(SecurityPosture::secure()), 3);
         site.attack_engine_mut().add_campaign(AttackCampaign {
             kind: AttackKind::CameraBlinding,
-            target: AttackTarget::Machine { label: "forwarder-01".into() },
+            target: AttackTarget::Machine {
+                label: "forwarder-01".into(),
+            },
             start: SimTime::from_secs(120),
             duration: SimDuration::from_secs(120),
             intensity: 1.0,
@@ -789,7 +832,9 @@ mod tests {
         });
         site.run(SimDuration::from_secs(180));
         assert!(
-            site.metrics().alert_count(silvasec_ids::AlertKind::RogueAssociation) > 0,
+            site.metrics()
+                .alert_count(silvasec_ids::AlertKind::RogueAssociation)
+                > 0,
             "rogue association undetected; alerts: {:?}",
             site.metrics().alerts
         );
@@ -817,6 +862,9 @@ mod tests {
             insecure_forged > 0,
             "insecure site should have accepted replayed frames"
         );
-        assert!(secure_auth_failures > 0, "replays should surface as auth failures");
+        assert!(
+            secure_auth_failures > 0,
+            "replays should surface as auth failures"
+        );
     }
 }

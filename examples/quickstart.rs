@@ -30,7 +30,8 @@ fn main() {
     );
 
     let policy = HandshakePolicy::new(store, 100);
-    let (init, hello) = Initiator::start(Identity::new(vec![fw_cert], fw_key), [4u8; 32], [5u8; 32]);
+    let (init, hello) =
+        Initiator::start(Identity::new(vec![fw_cert], fw_key), [4u8; 32], [5u8; 32]);
     let (resp, reply) = Responder::respond(
         Identity::new(vec![bs_cert], bs_key),
         &policy,
@@ -44,7 +45,10 @@ fn main() {
 
     let record = fw_session.seal(b"loads=3;pos=120.5,88.2").expect("seal");
     let plain = bs_session.open(&record).expect("authentic record opens");
-    println!("secure channel up: base station authenticated '{}'", bs_session.peer_id());
+    println!(
+        "secure channel up: base station authenticated '{}'",
+        bs_session.peer_id()
+    );
     println!("  telemetry: {}", String::from_utf8_lossy(&plain));
 
     // --- 2. The full worksite ----------------------------------------

@@ -14,7 +14,10 @@ fn main() {
     let report = Tara::assess(&model);
 
     println!("=== TARA: threat scenarios, ranked by risk ===");
-    println!("{:<22} {:<22} {:>8} {:>12} {:>5}  treatment", "threat", "damage scenario", "impact", "feasibility", "risk");
+    println!(
+        "{:<22} {:<22} {:>8} {:>12} {:>5}  treatment",
+        "threat", "damage scenario", "impact", "feasibility", "risk"
+    );
     for r in &report.risks {
         println!(
             "{:<22} {:<22} {:>8} {:>12} {:>5}  {:?}",
@@ -40,14 +43,22 @@ fn main() {
             f.hazard_id,
             f.baseline_pl,
             f.compromised_pl,
-            if f.safety_function_defeated { "  [safety function DEFEATED]" } else { "" }
+            if f.safety_function_defeated {
+                "  [safety function DEFEATED]"
+            } else {
+                ""
+            }
         );
     }
 
     println!("\n=== IEC 62443 zone gap analysis ===");
     let controls = control_catalog();
     for deployed in [false, true] {
-        let label = if deployed { "with controls" } else { "undefended" };
+        let label = if deployed {
+            "with controls"
+        } else {
+            "undefended"
+        };
         println!("  {label}:");
         for zone in catalog::worksite_zones(deployed) {
             let gap = zone.gap(&controls);

@@ -11,7 +11,10 @@ fn scripted_attacks(site: &mut Worksite) {
     // Phase 1: de-auth flood against the forwarder.
     site.attack_engine_mut().add_campaign(AttackCampaign {
         kind: AttackKind::DeauthFlood,
-        target: AttackTarget::Link { spoof_as: NodeId(0), victim: NodeId(1) },
+        target: AttackTarget::Link {
+            spoof_as: NodeId(0),
+            victim: NodeId(1),
+        },
         start: SimTime::from_secs(120),
         duration: SimDuration::from_secs(90),
         intensity: 1.0,
@@ -19,7 +22,10 @@ fn scripted_attacks(site: &mut Worksite) {
     // Phase 2: broadband jamming over the stand.
     site.attack_engine_mut().add_campaign(AttackCampaign {
         kind: AttackKind::RfJamming,
-        target: AttackTarget::Area { center: Vec2::new(150.0, 150.0), radius_m: 400.0 },
+        target: AttackTarget::Area {
+            center: Vec2::new(150.0, 150.0),
+            radius_m: 400.0,
+        },
         start: SimTime::from_secs(300),
         duration: SimDuration::from_secs(120),
         intensity: 0.9,
@@ -27,7 +33,9 @@ fn scripted_attacks(site: &mut Worksite) {
     // Phase 3: camera blinding while the machine works.
     site.attack_engine_mut().add_campaign(AttackCampaign {
         kind: AttackKind::CameraBlinding,
-        target: AttackTarget::Machine { label: "forwarder-01".into() },
+        target: AttackTarget::Machine {
+            label: "forwarder-01".into(),
+        },
         start: SimTime::from_secs(480),
         duration: SimDuration::from_secs(120),
         intensity: 1.0,
@@ -50,7 +58,10 @@ fn run(posture: SecurityPosture, label: &str) -> silvasec::sos::metrics::Worksit
     println!("--- {label} ---");
     println!("  loads delivered:      {}", m.loads_delivered);
     println!("  telemetry delivery:   {:.1}%", m.delivery_ratio() * 100.0);
-    println!("  drone feed available: {:.1}%", m.drone_feed_ratio() * 100.0);
+    println!(
+        "  drone feed available: {:.1}%",
+        m.drone_feed_ratio() * 100.0
+    );
     println!("  forged msgs accepted: {}", m.forged_accepted);
     println!("  auth failures (rej.): {}", m.auth_failures);
     println!("  safety incidents:     {}", m.safety_incidents.len());

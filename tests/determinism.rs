@@ -7,7 +7,12 @@ use silvasec::prelude::*;
 #[test]
 fn worksite_runs_are_bit_identical() {
     let run = |seed: u64| {
-        let m = run_worksite(SecurityPosture::secure(), Some(AttackKind::RfJamming), seed, SimDuration::from_secs(180));
+        let m = run_worksite(
+            SecurityPosture::secure(),
+            Some(AttackKind::RfJamming),
+            seed,
+            SimDuration::from_secs(180),
+        );
         (
             m.ticks,
             m.loads_delivered,
@@ -22,8 +27,18 @@ fn worksite_runs_are_bit_identical() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run_worksite(SecurityPosture::secure(), None, 1, SimDuration::from_secs(120));
-    let b = run_worksite(SecurityPosture::secure(), None, 2, SimDuration::from_secs(120));
+    let a = run_worksite(
+        SecurityPosture::secure(),
+        None,
+        1,
+        SimDuration::from_secs(120),
+    );
+    let b = run_worksite(
+        SecurityPosture::secure(),
+        None,
+        2,
+        SimDuration::from_secs(120),
+    );
     // At least one observable differs (positions, channel noise, walks).
     assert!(
         a.distance_m.to_bits() != b.distance_m.to_bits()
@@ -36,7 +51,10 @@ fn different_seeds_differ() {
 fn experiment_rows_are_reproducible() {
     let a = occlusion_point(400.0, 15.0, 7, SimDuration::from_secs(120));
     let b = occlusion_point(400.0, 15.0, 7, SimDuration::from_secs(120));
-    assert_eq!(a.forwarder_coverage.to_bits(), b.forwarder_coverage.to_bits());
+    assert_eq!(
+        a.forwarder_coverage.to_bits(),
+        b.forwarder_coverage.to_bits()
+    );
     assert_eq!(a.combined_coverage.to_bits(), b.combined_coverage.to_bits());
 }
 
@@ -65,11 +83,12 @@ fn sites_with_same_config_and_seed_share_attack_ground_truth() {
     let config = standard_config(SecurityPosture::secure());
     let build = || {
         let mut site = Worksite::new(&config, 77);
-        site.attack_engine_mut().add_campaign(silvasec::experiments::campaign_for(
-            AttackKind::CameraBlinding,
-            SimTime::from_secs(30),
-            SimDuration::from_secs(60),
-        ));
+        site.attack_engine_mut()
+            .add_campaign(silvasec::experiments::campaign_for(
+                AttackKind::CameraBlinding,
+                SimTime::from_secs(30),
+                SimDuration::from_secs(60),
+            ));
         site.run(SimDuration::from_secs(120));
         site.metrics().first_alert_at.clone()
     };

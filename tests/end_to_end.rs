@@ -145,10 +145,20 @@ fn firmware_tampering_blocked_at_boot() {
 
     // Rollback attack: ship an old (validly signed) version.
     let old = vec![
-        FirmwareImage::new("forwarder-01", FirmwareStage::Bootloader, 1, b"old-bl".to_vec())
-            .sign(&pki.firmware_signer),
-        FirmwareImage::new("forwarder-01", FirmwareStage::Application, 1, b"old-app".to_vec())
-            .sign(&pki.firmware_signer),
+        FirmwareImage::new(
+            "forwarder-01",
+            FirmwareStage::Bootloader,
+            1,
+            b"old-bl".to_vec(),
+        )
+        .sign(&pki.firmware_signer),
+        FirmwareImage::new(
+            "forwarder-01",
+            FirmwareStage::Application,
+            1,
+            b"old-app".to_vec(),
+        )
+        .sign(&pki.firmware_signer),
     ];
     let report = creds.device.boot(&old);
     assert!(!report.success, "rollback must be rejected");
@@ -184,5 +194,8 @@ fn methodology_finds_more_risk_than_safety_only_view() {
         .iter()
         .filter(|f| f.safety_function_defeated)
         .count();
-    assert!(defeated >= 3, "expected multiple safety-function-defeating threats");
+    assert!(
+        defeated >= 3,
+        "expected multiple safety-function-defeating threats"
+    );
 }

@@ -160,6 +160,47 @@ proptest! {
         prop_assert_eq!(ab.is_blocked(), ba.is_blocked());
     }
 
+    // ---------------- sweep ----------------
+
+    #[test]
+    fn par_sweep_bit_identical_to_sequential_map(points in proptest::collection::vec(any::<u64>(), 0..200)) {
+        // The determinism contract of the parallel sweep engine: for any
+        // point set, the result is the sequential map, bit for bit —
+        // including floating-point outputs.
+        let eval = |&p: &u64| {
+            let mut acc = (p as f64).sin();
+            let mut h = p;
+            for i in 0..50u64 {
+                h = h.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(i);
+                acc = (acc * 1.0001 + (h >> 11) as f64 * 1e-12).cos();
+            }
+            (acc, h)
+        };
+        let par = silvasec::sweep::par_sweep(&points, eval);
+        let seq: Vec<(f64, u64)> = points.iter().map(eval).collect();
+        prop_assert_eq!(par.len(), seq.len());
+        for ((pa, ph), (sa, sh)) in par.iter().zip(&seq) {
+            prop_assert_eq!(pa.to_bits(), sa.to_bits());
+            prop_assert_eq!(ph, sh);
+        }
+    }
+
+    #[test]
+    fn par_sweep_order_preserved_under_uneven_load(spins in proptest::collection::vec(0u64..2000, 1..64)) {
+        // Uneven per-point cost shuffles completion order; the scatter
+        // by input index must still return input order.
+        let out = silvasec::sweep::par_sweep(&spins, |&spin| {
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i ^ spin);
+            }
+            (spin, acc)
+        });
+        for (i, (spin, _)) in out.iter().enumerate() {
+            prop_assert_eq!(*spin, spins[i]);
+        }
+    }
+
     // ---------------- risk ----------------
 
     #[test]

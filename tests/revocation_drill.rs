@@ -29,7 +29,11 @@ fn commission() -> Drill {
         &mut rng,
         Validity::new(0, 500_000),
     );
-    Drill { pki, drone, forwarder }
+    Drill {
+        pki,
+        drone,
+        forwarder,
+    }
 }
 
 fn handshake(
@@ -38,7 +42,8 @@ fn handshake(
     responder: &Identity,
 ) -> Result<(), ChannelError> {
     let (init, hello) = Initiator::start(initiator.clone(), [1u8; 32], [2u8; 32]);
-    let (resp, reply) = Responder::respond(responder.clone(), policy, &hello, [3u8; 32], [4u8; 32])?;
+    let (resp, reply) =
+        Responder::respond(responder.clone(), policy, &hello, [3u8; 32], [4u8; 32])?;
     let (_, finished) = init.finish(policy, &reply)?;
     let _ = resp.complete(&finished)?;
     Ok(())
@@ -57,16 +62,24 @@ fn compromised_drone_is_evicted_by_revocation() {
     drill.pki.root.revoke(1, 2_000);
     let crl = drill.pki.root.sign_crl(2_100);
 
-    let policy_after = HandshakePolicy::new(drill.pki.store.clone(), 3_000)
-        .with_crls(vec![crl.clone()]);
+    let policy_after =
+        HandshakePolicy::new(drill.pki.store.clone(), 3_000).with_crls(vec![crl.clone()]);
 
     // The drone can no longer open channels in either role.
     assert!(matches!(
-        handshake(&policy_after, &drill.drone.identity, &drill.forwarder.identity),
+        handshake(
+            &policy_after,
+            &drill.drone.identity,
+            &drill.forwarder.identity
+        ),
         Err(ChannelError::Pki(PkiError::Revoked { .. }))
     ));
     assert!(matches!(
-        handshake(&policy_after, &drill.forwarder.identity, &drill.drone.identity),
+        handshake(
+            &policy_after,
+            &drill.forwarder.identity,
+            &drill.drone.identity
+        ),
         Err(ChannelError::Pki(PkiError::Revoked { .. }))
     ));
 
@@ -80,7 +93,12 @@ fn compromised_drone_is_evicted_by_revocation() {
         &mut rng,
         Validity::new(0, 500_000),
     );
-    assert!(handshake(&policy_after, &drill.forwarder.identity, &replacement.identity).is_ok());
+    assert!(handshake(
+        &policy_after,
+        &drill.forwarder.identity,
+        &replacement.identity
+    )
+    .is_ok());
 }
 
 #[test]

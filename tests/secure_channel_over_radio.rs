@@ -27,8 +27,7 @@ fn send_with_retries(
 }
 
 fn pki_fixture() -> (HandshakePolicy, Identity, Identity) {
-    let mut root =
-        CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
+    let mut root = CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
     let store = TrustStore::with_roots([root.certificate().clone()]);
     let make = |id: &str, role, seed: u8, root: &mut CertificateAuthority| {
         let key = silvasec::crypto::schnorr::SigningKey::from_seed(&[seed; 32]);
@@ -106,11 +105,13 @@ fn attacker_cannot_impersonate_over_radio() {
         // care who it talks to.
         let genuine_root =
             CertificateAuthority::new_root("root", &[1u8; 32], Validity::new(0, 1_000_000));
-        permissive_store.add_root(genuine_root.certificate().clone()).unwrap();
+        permissive_store
+            .add_root(genuine_root.certificate().clone())
+            .unwrap();
     }
     let rogue_policy = HandshakePolicy::new(permissive_store, 100);
-    let (_, reply) =
-        Responder::respond(rogue, &rogue_policy, &hello, [12u8; 32], [13u8; 32]).expect("rogue answers");
+    let (_, reply) = Responder::respond(rogue, &rogue_policy, &hello, [12u8; 32], [13u8; 32])
+        .expect("rogue answers");
     // The forwarder rejects: the rogue's chain does not anchor in the
     // worksite root.
     assert!(matches!(
@@ -131,5 +132,8 @@ fn replayed_records_rejected_after_radio_duplication() {
     let record = fw_session.seal(b"drive to waypoint 7").expect("seal");
     assert!(bs_session.open(&record).is_ok());
     // The radio (or an attacker) duplicates the frame.
-    assert!(matches!(bs_session.open(&record), Err(ChannelError::Replay)));
+    assert!(matches!(
+        bs_session.open(&record),
+        Err(ChannelError::Replay)
+    ));
 }

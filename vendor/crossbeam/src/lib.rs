@@ -1,0 +1,99 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `crossbeam::thread::scope` API surface the workspace
+//! uses for its parallel sweep engine, implemented on top of
+//! `std::thread::scope` (stabilized since Rust 1.63, so the standard
+//! library can carry the whole load). Semantics match crossbeam's: the
+//! closure receives a [`thread::Scope`] handle, spawned threads may
+//! borrow from the enclosing stack frame, and every thread is joined
+//! before `scope` returns.
+
+pub use thread::scope;
+
+/// Scoped thread spawning.
+pub mod thread {
+    /// A handle for spawning threads that may borrow from the caller's
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        ///
+        /// # Errors
+        ///
+        /// Returns the thread's panic payload if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so workers can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads; all spawned
+    /// threads are joined before this returns. Mirrors
+    /// `crossbeam::thread::scope`, which reports closure panics through
+    /// the `Err` variant — with `std::thread::scope` underneath, a panic
+    /// in the closure or an unjoined thread propagates instead, so the
+    /// result here is always `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in this vendored implementation (kept for
+    /// crossbeam API compatibility).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn workers_can_spawn_siblings() {
+        let n = super::thread::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21u32);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` value-tree data model, parsing the item directly
+//! from the token stream (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider tuple
+//!   structs as arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   upstream serde default).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// A parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed enum variant.
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+/// A parsed derive input item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` for structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => serialize_struct(name, fields),
+        Item::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` for structs and enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => deserialize_struct(name, fields),
+        Item::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    skip_generics(&mut tokens);
+
+    match kind.as_str() {
+        "struct" => {
+            // Body is `{ named }`, `( tuple );` or `;`.
+            let fields = match tokens.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = expect_group(&mut tokens);
+                    Fields::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = expect_group(&mut tokens);
+                    Fields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                // `struct Foo where ...;` — not used in this workspace.
+                other => panic!("serde_derive: unsupported struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let g = expect_group(&mut tokens);
+            Item::Enum {
+                name,
+                variants: parse_variants(g),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes(tokens: &mut Tokens) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde_derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips a `<...>` generic parameter list (balanced on angle depth).
+fn skip_generics(tokens: &mut Tokens) {
+    let starts = matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !starts {
+        return;
+    }
+    let mut depth = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    panic!("serde_derive: unbalanced generics");
+}
+
+fn expect_group(tokens: &mut Tokens) -> proc_macro::Group {
+    match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde_derive: expected a delimited group, got {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` out of a brace group, skipping attributes,
+/// visibility and the type tokens.
+fn parse_named_fields(group: proc_macro::Group) -> Vec<String> {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_top_level_comma(&mut tokens);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Counts the fields of a paren group (`(A, B<C, D>, E)` → 3).
+fn count_tuple_fields(group: proc_macro::Group) -> usize {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut depth = 0i32;
+    for tok in tokens.by_ref() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Consumes type (or expression) tokens up to and including a top-level
+/// `,`, balancing `<...>` nesting. Delimited groups are atomic tokens, so
+/// only angle brackets need tracking.
+fn skip_until_top_level_comma(tokens: &mut Tokens) {
+    let mut depth = 0i32;
+    for tok in tokens.by_ref() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(group: proc_macro::Group) -> Vec<Variant> {
+    let mut tokens: Tokens = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = expect_group(&mut tokens);
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = expect_group(&mut tokens);
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        skip_until_top_level_comma(&mut tokens);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+const ALLOW: &str =
+    "#[automatically_derived]\n#[allow(clippy::all, clippy::pedantic, unused_variables)]\n";
+
+fn serialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut pushes = String::new();
+            for f in names {
+                pushes.push_str(&format!(
+                    "pairs.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut pairs: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(pairs)"
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "{ALLOW}impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let mut inits = String::new();
+            for f in names {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(v.get_field(\"{f}\"))?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v.as_array() {{\n\
+                 ::std::option::Option::Some(items) if items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected a {n}-element array for {name}\")),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "{ALLOW}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vn}(f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                 ::serde::Serialize::serialize(f0))]),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                     ::serde::Value::Array(vec![{items}]))]),\n",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let items: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                     \"{vn}\".to_string(), ::serde::Value::Object(vec![{items}]))]),\n",
+                    items = items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{ALLOW}impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Fields::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::deserialize(inner)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => match inner.as_array() {{\n\
+                     ::std::option::Option::Some(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}::{vn}({items})),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected a {n}-element array for variant {vn}\")),\n}},\n",
+                    items = items.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!("{f}: ::serde::Deserialize::deserialize(inner.get_field(\"{f}\"))?")
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {inits} }}),\n",
+                    inits = inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "{ALLOW}impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown variant {{s}} for {name}\"))),\n}},\n\
+         ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\n\
+         let (tag, inner) = &pairs[0];\n\
+         match tag.as_str() {{\n{data_arms}\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         format!(\"unknown variant {{tag}} for {name}\"))),\n}}\n}},\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\
+         \"expected a string or single-key object for enum {name}\")),\n}}\n}}\n}}"
+    )
+}
