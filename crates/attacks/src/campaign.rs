@@ -28,9 +28,12 @@ pub enum AttackKind {
     FirmwareTampering,
 }
 
-impl fmt::Display for AttackKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl AttackKind {
+    /// Short stable name of the attack class, used as a telemetry label
+    /// and as the TARA attack-class vocabulary.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
             AttackKind::RfJamming => "rf-jamming",
             AttackKind::DeauthFlood => "deauth-flood",
             AttackKind::GnssSpoofing => "gnss-spoofing",
@@ -39,8 +42,13 @@ impl fmt::Display for AttackKind {
             AttackKind::Replay => "replay",
             AttackKind::RogueNode => "rogue-node",
             AttackKind::FirmwareTampering => "firmware-tampering",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -8,6 +8,7 @@ use silvasec_machines::gnss::{GnssJammer, Spoofer};
 use silvasec_machines::GnssField;
 use silvasec_sim::geom::Vec2;
 use silvasec_sim::time::SimTime;
+use silvasec_telemetry::{Event, Label, Recorder};
 
 /// Campaign life-cycle phases, logged as ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -72,6 +73,7 @@ pub struct AttackEngine {
     captured: Vec<Frame>,
     events: Vec<AttackEvent>,
     seq: u64,
+    recorder: Recorder,
 }
 
 impl AttackEngine {
@@ -97,6 +99,12 @@ impl AttackEngine {
     /// attacks: de-auth, replay, rogue node).
     pub fn set_attacker_node(&mut self, node: NodeId) {
         self.attacker_node = Some(node);
+    }
+
+    /// Attaches a telemetry recorder; the engine then mirrors its
+    /// ground-truth event log as `AttackPhase` telemetry events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Feeds a sniffed frame into the replay buffer (the attacker
@@ -149,6 +157,14 @@ impl AttackEngine {
                     phase: AttackPhase::Started,
                     at: now,
                 });
+                self.recorder.record_at(
+                    now,
+                    Event::AttackPhase {
+                        campaign: idx as u32,
+                        kind: Label::new(state.campaign.kind.as_str()),
+                        started: true,
+                    },
+                );
                 Self::activate(state, medium, gnss, now, &mut effects);
             } else if !should_be_active && state.active {
                 state.active = false;
@@ -158,6 +174,14 @@ impl AttackEngine {
                     phase: AttackPhase::Ended,
                     at: now,
                 });
+                self.recorder.record_at(
+                    now,
+                    Event::AttackPhase {
+                        campaign: idx as u32,
+                        kind: Label::new(state.campaign.kind.as_str()),
+                        started: false,
+                    },
+                );
                 Self::deactivate(state, medium, gnss, &mut effects);
             }
 

@@ -1,11 +1,14 @@
 //! **E5** — continuous vs static risk assessment: the latency from
 //! attack onset through IDS detection to risk escalation and
-//! assurance-case invalidation.
+//! assurance-case invalidation. The reaction chain is driven entirely by
+//! the flight recorder's security trace, so the run closes with the
+//! recorder's own overhead figures.
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin exp5_continuous`
 
 use silvasec::experiments::continuous_latency;
 use silvasec::prelude::*;
+use silvasec_bench::measure_recorder_overhead;
 
 fn main() {
     println!("E5 — continuous assessment reaction chain (attack onset at t=60 s)\n");
@@ -35,4 +38,16 @@ fn main() {
     println!("\nthe static assessment would keep the pre-attack risk values forever;");
     println!("the continuous layer escalates within one detection latency of onset and");
     println!("immediately marks the affected assurance claims as in doubt.");
+
+    let oh = measure_recorder_overhead(11, 300);
+    println!("\nflight-recorder cost of driving that chain (300 s secure episode):");
+    println!(
+        "  {} events recorded ({:.0} events/s, {:.1} bytes/event JSONL)",
+        oh.events, oh.events_per_s, oh.bytes_per_event
+    );
+    println!(
+        "  wall-time overhead {:+.1}% vs disabled recorder, ring drop rate {:.2}%",
+        oh.overhead_frac * 100.0,
+        oh.drop_rate * 100.0
+    );
 }

@@ -1,20 +1,30 @@
-//! **Performance snapshot** — the machine-readable datapoint behind the
+//! **Performance snapshot** — the machine-readable datapoints behind the
 //! `BENCH_*.json` trajectory.
 //!
 //! Runs the reference Figure 2 occlusion sweep (8 densities × 4 seeds)
 //! once sequentially and once on the parallel sweep engine, plus one
-//! standard worksite episode, and prints a JSON object with wall-clock
-//! times, speedup and episode throughput. The sequential and parallel
-//! sweeps are also compared field for field — the engine's determinism
-//! contract (bit-identical results) is asserted on every run, so the
-//! snapshot doubles as a determinism proof.
+//! standard worksite episode and a flight-recorder overhead comparison
+//! (instrumented vs disabled), then **appends** one run entry to
+//! `BENCH_perf_snapshot.json` so successive revisions accumulate into a
+//! perf trajectory instead of overwriting each other. The sequential and
+//! parallel sweeps are compared field for field — the engine's
+//! determinism contract (bit-identical results) is asserted on every run.
+//!
+//! Run keys come from the environment, never from a wall clock inside
+//! the simulation:
+//!
+//! * `SILVASEC_GIT_SHA` — revision identifier (default `unknown`);
+//! * `SILVASEC_RUN_TS` — timestamp string (default `unspecified`);
+//! * `SILVASEC_PERF_OUT` — output path (default
+//!   `BENCH_perf_snapshot.json` at the workspace root).
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin perf_snapshot`
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use silvasec::experiments::{occlusion_point, occlusion_sweep, run_worksite, OcclusionRow};
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
+use silvasec_bench::{measure_recorder_overhead, RecorderOverhead};
 use silvasec_sim::time::SimDuration;
 use std::time::Instant;
 
@@ -25,9 +35,11 @@ const RELIEF_M: f64 = 15.0;
 const POINT_SECS: u64 = 200;
 
 #[derive(Debug, Serialize)]
-struct Snapshot {
-    /// Schema marker for downstream tooling.
-    schema: String,
+struct RunEntry {
+    /// Revision identifier (`SILVASEC_GIT_SHA`, `unknown` if unset).
+    git_sha: String,
+    /// Run timestamp (`SILVASEC_RUN_TS`, `unspecified` if unset).
+    run_ts: String,
     /// Worker threads the parallel sweep used (hardware-dependent).
     workers: usize,
     /// Grid size of the reference sweep.
@@ -48,6 +60,8 @@ struct Snapshot {
     worksite_episode_wall_s: f64,
     /// Simulated seconds per wall-clock second for that episode.
     worksite_sim_rate: f64,
+    /// Flight-recorder overhead (instrumented vs disabled episode).
+    telemetry: RecorderOverhead,
 }
 
 fn rows_bit_identical(a: &[OcclusionRow], b: &[OcclusionRow]) -> bool {
@@ -60,6 +74,32 @@ fn rows_bit_identical(a: &[OcclusionRow], b: &[OcclusionRow]) -> bool {
                 && x.forwarder_ttd_s.to_bits() == y.forwarder_ttd_s.to_bits()
                 && x.combined_ttd_s.to_bits() == y.combined_ttd_s.to_bits()
         })
+}
+
+/// Loads the existing trajectory file and returns its `runs` array.
+/// Accepts both the trajectory schema and the original single-object
+/// `silvasec-perf-snapshot/1` schema, which is migrated in place as the
+/// first run of the trajectory.
+fn existing_runs(path: &std::path::Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::parse(&text) else {
+        eprintln!(
+            "warning: {} is not valid JSON; starting a fresh trajectory",
+            path.display()
+        );
+        return Vec::new();
+    };
+    if let Some(runs) = value.get_field("runs").as_array() {
+        return runs.to_vec();
+    }
+    if let Value::String(schema) = value.get_field("schema") {
+        if schema == "silvasec-perf-snapshot/1" {
+            return vec![value];
+        }
+    }
+    Vec::new()
 }
 
 fn main() {
@@ -115,9 +155,13 @@ fn main() {
     );
     let worksite_episode_wall_s = t2.elapsed().as_secs_f64();
 
+    // Flight-recorder overhead on the same episode class.
+    let telemetry = measure_recorder_overhead(3, episode_secs);
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
-    let snapshot = Snapshot {
-        schema: "silvasec-perf-snapshot/1".to_string(),
+    let entry = RunEntry {
+        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
+        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
         workers: worker_count(sweep_points).max(stats.workers),
         sweep_points,
         sequential_wall_s,
@@ -128,15 +172,34 @@ fn main() {
         deterministic,
         worksite_episode_wall_s,
         worksite_sim_rate: episode_secs as f64 / worksite_episode_wall_s.max(1e-9),
+        telemetry,
     };
 
     assert!(
-        snapshot.deterministic,
+        entry.deterministic,
         "parallel sweep rows diverged from the sequential reference — determinism contract broken"
     );
 
+    let out_path = std::env::var("SILVASEC_PERF_OUT").map_or_else(
+        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf_snapshot.json"),
+        std::path::PathBuf::from,
+    );
+    let mut runs = existing_runs(&out_path);
+    runs.push(entry.serialize());
+    let run_count = runs.len();
+    let trajectory = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("silvasec-perf-trajectory/1".to_string()),
+        ),
+        ("runs".to_string(), Value::Array(runs)),
+    ]);
+    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    std::fs::write(&out_path, text).expect("write trajectory file");
+
     println!(
         "{}",
-        serde_json::to_string_pretty(&snapshot).expect("snapshot serializes")
+        serde_json::to_string_pretty(&entry).expect("entry serializes")
     );
+    eprintln!("appended run ({run_count} total) to {}", out_path.display());
 }

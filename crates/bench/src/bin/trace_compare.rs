@@ -1,0 +1,93 @@
+//! **Trace comparison** — diff two flight-recorder JSONL traces and
+//! report the first divergence.
+//!
+//! Two modes:
+//!
+//! * `trace_compare <left.jsonl> <right.jsonl>` — compare two exported
+//!   trace files event by event;
+//! * `trace_compare --figure1 <seed-a> <seed-b> [sim-secs]` — run the
+//!   shortened Figure 1 campaign twice under the secure posture and
+//!   compare the resulting security traces directly, no files needed
+//!   (default 240 simulated seconds).
+//!
+//! Identical traces exit 0 and print `identical`; diverging traces exit
+//! 1 and print the event index, the field path, and both values at the
+//! first mismatch. Same seed must always compare identical — that is
+//! the recorder's determinism contract.
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin trace_compare -- --figure1 11 12`
+
+use silvasec::experiments::figure1_trace;
+use silvasec::prelude::*;
+use silvasec::telemetry::first_divergence_jsonl;
+use silvasec_sim::time::SimDuration;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_compare <left.jsonl> <right.jsonl>\n       trace_compare --figure1 <seed-a> <seed-b> [sim-secs]";
+
+fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
+    match first_divergence_jsonl(left, right) {
+        Ok(None) => {
+            let events = left.lines().count();
+            println!("identical: {left_name} and {right_name} agree on all {events} events");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(div)) => {
+            println!("traces diverge at event {}:", div.index);
+            println!("  field: {}", div.field);
+            println!("  {left_name}: {}", div.left);
+            println!("  {right_name}: {}", div.right);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: malformed trace: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--figure1") => {
+            let (Some(Ok(seed_a)), Some(Ok(seed_b))) = (
+                args.get(1).map(|s| s.parse::<u64>()),
+                args.get(2).map(|s| s.parse::<u64>()),
+            ) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let secs = match args.get(3).map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => s,
+                None => 240,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let total = SimDuration::from_secs(secs);
+            let left = figure1_trace(SecurityPosture::secure(), seed_a, total);
+            let right = figure1_trace(SecurityPosture::secure(), seed_b, total);
+            compare(
+                &format!("seed {seed_a}"),
+                &left,
+                &format!("seed {seed_b}"),
+                &right,
+            )
+        }
+        Some(left_path) if args.len() == 2 => {
+            let right_path = &args[1];
+            let read = |path: &str| {
+                std::fs::read_to_string(path).map_err(|e| eprintln!("error: {path}: {e}"))
+            };
+            let (Ok(left), Ok(right)) = (read(left_path), read(right_path)) else {
+                return ExitCode::FAILURE;
+            };
+            compare(left_path, &left, right_path, &right)
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -7,9 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use serde::Serialize;
+use silvasec::experiments::standard_config;
+use silvasec::prelude::*;
 use silvasec_channel::{HandshakePolicy, Identity, Initiator, Responder, Session};
 use silvasec_crypto::schnorr::SigningKey;
-use silvasec_pki::prelude::*;
+use std::time::Instant;
 
 /// Builds a two-party PKI and an established session pair, for channel
 /// benchmarks and binaries.
@@ -58,6 +61,65 @@ pub fn session_pair(seed: u8) -> (Session, Session) {
 #[must_use]
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Flight-recorder overhead measured on one standard worksite episode
+/// run twice — once with full instrumentation, once with the recorder
+/// disabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecorderOverhead {
+    /// Simulated episode length, seconds.
+    pub sim_secs: u64,
+    /// Wall-clock with the recorder enabled, seconds.
+    pub enabled_wall_s: f64,
+    /// Wall-clock with the recorder disabled, seconds.
+    pub disabled_wall_s: f64,
+    /// Fractional wall-time overhead of recording
+    /// (`enabled / disabled - 1`; negative values are measurement noise).
+    pub overhead_frac: f64,
+    /// Events recorded during the instrumented run.
+    pub events: u64,
+    /// Events recorded per wall-clock second.
+    pub events_per_s: f64,
+    /// Mean JSONL export size per flight-ring record, bytes.
+    pub bytes_per_event: f64,
+    /// Fraction of pushed records dropped by ring overflow.
+    pub drop_rate: f64,
+}
+
+/// Measures recorder overhead on the standard secure worksite.
+#[must_use]
+pub fn measure_recorder_overhead(seed: u64, sim_secs: u64) -> RecorderOverhead {
+    let run = |enabled: bool| {
+        let mut config = standard_config(SecurityPosture::secure());
+        config.telemetry.enabled = enabled;
+        let mut site = Worksite::new(&config, seed);
+        let t = Instant::now();
+        site.run(SimDuration::from_secs(sim_secs));
+        (t.elapsed().as_secs_f64(), site)
+    };
+    let (enabled_wall_s, site) = run(true);
+    let (disabled_wall_s, _) = run(false);
+
+    let events = site.recorder().events_recorded();
+    let jsonl = site.export_flight_jsonl();
+    let lines = jsonl.lines().count();
+    let snapshot = site.telemetry_snapshot();
+    let pushed = snapshot.total_pushed();
+    RecorderOverhead {
+        sim_secs,
+        enabled_wall_s,
+        disabled_wall_s,
+        overhead_frac: enabled_wall_s / disabled_wall_s.max(1e-9) - 1.0,
+        events,
+        events_per_s: events as f64 / enabled_wall_s.max(1e-9),
+        bytes_per_event: jsonl.len() as f64 / lines.max(1) as f64,
+        drop_rate: if pushed == 0 {
+            0.0
+        } else {
+            snapshot.total_dropped() as f64 / pushed as f64
+        },
+    }
 }
 
 #[cfg(test)]

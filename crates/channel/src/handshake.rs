@@ -6,6 +6,21 @@ use crate::session::{Session, SessionKeys};
 use silvasec_crypto::schnorr::{Signature, SigningKey};
 use silvasec_crypto::{hkdf, sha256, x25519};
 use silvasec_pki::{Certificate, CertificateRevocationList, KeyUsage, TrustStore};
+use silvasec_telemetry::{Event, Label, Recorder};
+
+/// Short stable reason string for a channel error, used as a telemetry
+/// label on `HandshakeFail` events.
+pub(crate) fn error_reason(e: &ChannelError) -> &'static str {
+    match e {
+        ChannelError::Pki(_) => "pki",
+        ChannelError::Crypto(_) => "crypto",
+        ChannelError::Decode => "decode",
+        ChannelError::SmallOrderKey => "small-order-key",
+        ChannelError::Replay => "replay",
+        ChannelError::SequenceExhausted => "seq-exhausted",
+        ChannelError::BadTranscript => "transcript",
+    }
+}
 
 /// A component's channel identity: its certificate chain and signing key.
 #[derive(Debug, Clone)]
@@ -41,6 +56,7 @@ pub struct HandshakePolicy {
     crls: Vec<CertificateRevocationList>,
     /// Worksite time used for validity checks.
     pub now: u64,
+    recorder: Recorder,
 }
 
 impl HandshakePolicy {
@@ -51,6 +67,7 @@ impl HandshakePolicy {
             store,
             crls: Vec::new(),
             now,
+            recorder: Recorder::disabled(),
         }
     }
 
@@ -58,6 +75,14 @@ impl HandshakePolicy {
     #[must_use]
     pub fn with_crls(mut self, crls: Vec<CertificateRevocationList>) -> Self {
         self.crls = crls;
+        self
+    }
+
+    /// Attaches a telemetry recorder; handshakes run under this policy
+    /// then emit `HandshakeStart`/`HandshakeDone`/`HandshakeFail` events.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -158,6 +183,27 @@ impl Initiator {
         policy: &HandshakePolicy,
         reply_bytes: &[u8],
     ) -> Result<(Session, Vec<u8>), ChannelError> {
+        match self.finish_inner(policy, reply_bytes) {
+            Ok((session, finished)) => {
+                policy.recorder.record(Event::HandshakeDone {
+                    peer: Label::new(session.peer_id()),
+                });
+                Ok((session, finished))
+            }
+            Err(e) => {
+                policy.recorder.record(Event::HandshakeFail {
+                    reason: Label::new(error_reason(&e)),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn finish_inner(
+        self,
+        policy: &HandshakePolicy,
+        reply_bytes: &[u8],
+    ) -> Result<(Session, Vec<u8>), ChannelError> {
         let reply = Reply::decode(reply_bytes)?;
         policy.validate_peer(&reply.chain)?;
 
@@ -201,6 +247,7 @@ pub struct Responder {
     transcript: [u8; 32],
     initiator_chain: Vec<Certificate>,
     keys: SessionKeys,
+    recorder: Recorder,
 }
 
 impl Responder {
@@ -218,7 +265,30 @@ impl Responder {
         eph_seed: [u8; 32],
         nonce: [u8; 32],
     ) -> Result<(Responder, Vec<u8>), ChannelError> {
+        match Self::respond_inner(identity, policy, hello_bytes, eph_seed, nonce) {
+            Ok(ok) => Ok(ok),
+            Err(e) => {
+                policy.recorder.record(Event::HandshakeFail {
+                    reason: Label::new(error_reason(&e)),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn respond_inner(
+        identity: Identity,
+        policy: &HandshakePolicy,
+        hello_bytes: &[u8],
+        eph_seed: [u8; 32],
+        nonce: [u8; 32],
+    ) -> Result<(Responder, Vec<u8>), ChannelError> {
         let hello = Hello::decode(hello_bytes)?;
+        if let Some(cert) = hello.chain.first() {
+            policy.recorder.record(Event::HandshakeStart {
+                peer: Label::new(&cert.subject.id),
+            });
+        }
         policy.validate_peer(&hello.chain)?;
 
         let (eph_priv, eph_pub) = x25519::keypair(&eph_seed);
@@ -247,6 +317,7 @@ impl Responder {
                     send_key: k_r2i,
                     recv_key: k_i2r,
                 },
+                recorder: policy.recorder.clone(),
             },
             reply.encode(),
         ))
@@ -260,6 +331,24 @@ impl Responder {
     /// [`ChannelError::BadTranscript`] when the initiator's signature
     /// does not verify, or [`ChannelError::Decode`] for malformed input.
     pub fn complete(self, finished_bytes: &[u8]) -> Result<Session, ChannelError> {
+        let recorder = self.recorder.clone();
+        match self.complete_inner(finished_bytes) {
+            Ok(session) => {
+                recorder.record(Event::HandshakeDone {
+                    peer: Label::new(session.peer_id()),
+                });
+                Ok(session)
+            }
+            Err(e) => {
+                recorder.record(Event::HandshakeFail {
+                    reason: Label::new(error_reason(&e)),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn complete_inner(self, finished_bytes: &[u8]) -> Result<Session, ChannelError> {
         let finished = Finished::decode(finished_bytes)?;
         let initiator_key = self.initiator_chain[0].subject_key()?;
         let sig =

@@ -4,6 +4,7 @@ use crate::error::ChannelError;
 use crate::replay::ReplayWindow;
 use silvasec_crypto::aead::ChaCha20Poly1305;
 use silvasec_crypto::hkdf;
+use silvasec_telemetry::{Event, Label, Recorder};
 
 /// Records carry an 8-byte sequence number header before the ciphertext.
 pub const RECORD_HEADER_LEN: usize = 8;
@@ -33,6 +34,7 @@ pub struct Session {
     replay: ReplayWindow,
     peer_id: String,
     epoch: u32,
+    recorder: Recorder,
 }
 
 impl Session {
@@ -48,7 +50,14 @@ impl Session {
             replay: ReplayWindow::new(),
             peer_id,
             epoch: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; failed opens are then mirrored as
+    /// `AuthFail` events and rekeys as `Custom { key: "rekey-epoch" }`.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The authenticated identity of the peer.
@@ -105,6 +114,18 @@ impl Session {
     /// [`ChannelError::Replay`] for replayed/stale sequence numbers. The
     /// replay window only advances on successfully authenticated records.
     pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        match self.open_inner(record) {
+            Ok(plaintext) => Ok(plaintext),
+            Err(e) => {
+                self.recorder.record(Event::AuthFail {
+                    peer: Label::new(&self.peer_id),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    fn open_inner(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
         if record.len() < RECORD_OVERHEAD {
             return Err(ChannelError::Decode);
         }
@@ -144,6 +165,10 @@ impl Session {
         self.send_seq = 0;
         self.replay = ReplayWindow::new();
         self.epoch += 1;
+        self.recorder.record(Event::Custom {
+            key: Label::new("rekey-epoch"),
+            value: i64::from(self.epoch),
+        });
     }
 }
 

@@ -30,6 +30,20 @@ pub enum FrameKind {
     Beacon,
 }
 
+impl FrameKind {
+    /// Short stable name of the frame kind, used as a telemetry label.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FrameKind::Data => "data",
+            FrameKind::AssocRequest => "assoc-request",
+            FrameKind::AssocResponse => "assoc-response",
+            FrameKind::Deauth => "deauth",
+            FrameKind::Beacon => "beacon",
+        }
+    }
+}
+
 /// A frame on the medium.
 ///
 /// The `claimed_src` field is what the frame *says* its source is; the

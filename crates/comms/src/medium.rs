@@ -9,6 +9,7 @@ use silvasec_sim::rng::SimRng;
 use silvasec_sim::time::SimTime;
 use silvasec_sim::vegetation::TreeStand;
 use silvasec_sim::weather::Weather;
+use silvasec_telemetry::{Event, Label, Recorder};
 use std::collections::HashMap;
 
 /// Identifier of an interference source (jammer).
@@ -90,6 +91,7 @@ pub struct Medium {
     channel_busy_ms: f64,
     rng: SimRng,
     empty_stand: TreeStand,
+    recorder: Recorder,
 }
 
 impl Medium {
@@ -109,7 +111,14 @@ impl Medium {
             channel_busy_ms: 0.0,
             rng,
             empty_stand: TreeStand::from_trees(Vec::new(), 1.0),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; the medium then emits
+    /// `FrameTx`/`FrameRx`/`FrameLost` and `Jam` events.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Registers a radio node at `position` and returns its id.
@@ -157,12 +166,25 @@ impl Medium {
                 power_dbm,
             },
         );
+        self.recorder.record(Event::Jam {
+            on: true,
+            power_dbm,
+        });
         id
     }
 
     /// Removes an interference source; `true` if it existed.
     pub fn remove_interferer(&mut self, id: InterfererId) -> bool {
-        self.interferers.remove(&id).is_some()
+        match self.interferers.remove(&id) {
+            Some(i) => {
+                self.recorder.record(Event::Jam {
+                    on: false,
+                    power_dbm: i.power_dbm,
+                });
+                true
+            }
+            None => false,
+        }
     }
 
     /// Marks `node` associated with the worksite network.
@@ -241,6 +263,17 @@ impl Medium {
             && !self.assoc.is_empty()
             && !self.assoc.is_associated(frame.claimed_src, now_ms);
 
+        self.recorder.record_at(
+            now,
+            Event::FrameTx {
+                src: true_src.0,
+                dst: frame.dst.map(|d| d.0),
+                kind: Label::new(frame.kind.as_str()),
+                bytes: frame.wire_len() as u32,
+                seq: frame.seq,
+            },
+        );
+
         let src_pos = self.nodes[true_src.0 as usize].position;
         let targets: Vec<NodeId> = match frame.dst {
             Some(d) => vec![d],
@@ -297,8 +330,24 @@ impl Medium {
                     sinr_db: sinr,
                     at_ms: now_ms,
                 });
+                self.recorder.record_at(
+                    now,
+                    Event::FrameRx {
+                        src: true_src.0,
+                        dst: dst.0,
+                        rssi_dbm: rssi,
+                        sinr_db: sinr,
+                    },
+                );
             } else {
                 self.node_stats[dst.0 as usize].record_loss();
+                self.recorder.record_at(
+                    now,
+                    Event::FrameLost {
+                        src: true_src.0,
+                        dst: dst.0,
+                    },
+                );
             }
             last_rssi = rssi;
             last_sinr = sinr;

@@ -14,7 +14,7 @@ use silvasec_ids::AlertKind;
 use silvasec_machines::drone::{Drone, DroneConfig};
 use silvasec_machines::prelude::*;
 use silvasec_risk::catalog;
-use silvasec_risk::continuous::{ContinuousAssessment, IncidentReport};
+use silvasec_risk::continuous::{alert_class_to_attack_class, ContinuousAssessment};
 use silvasec_risk::tara::Tara;
 use silvasec_sim::geom::Vec2;
 use silvasec_sim::prelude::*;
@@ -22,6 +22,7 @@ use silvasec_sim::terrain::TerrainConfig;
 use silvasec_sim::vegetation::StandConfig;
 use silvasec_sos::metrics::WorksiteMetrics;
 use silvasec_sos::prelude::*;
+use silvasec_telemetry::{Event, Record};
 use std::collections::HashMap;
 
 // ---------------------------------------------------------------------
@@ -335,6 +336,56 @@ pub fn run_worksite(
     }
     site.run(total);
     site.metrics().clone()
+}
+
+/// Runs the standard worksite like [`run_worksite`] but also returns the
+/// security-event trace from the flight recorder (the record stream the
+/// continuous risk assessment and the trace-divergence tooling consume).
+#[must_use]
+pub fn run_worksite_traced(
+    posture: SecurityPosture,
+    attack: Option<AttackKind>,
+    seed: u64,
+    total: SimDuration,
+) -> (WorksiteMetrics, Vec<Record>) {
+    let mut site = Worksite::new(&standard_config(posture), seed);
+    if let Some(kind) = attack {
+        let start = SimTime::from_secs(60);
+        let dur = SimDuration::from_secs(total.as_secs_f64() as u64 / 2);
+        site.attack_engine_mut()
+            .add_campaign(campaign_for(kind, start, dur));
+    }
+    site.run(total);
+    (site.metrics().clone(), site.security_records())
+}
+
+/// Runs a shortened Figure 1 episode (secure posture optional, five-phase
+/// attack campaign scaled into `total`) and returns the security trace as
+/// JSON Lines — the input format of the `trace_compare` tool.
+#[must_use]
+pub fn figure1_trace(posture: SecurityPosture, seed: u64, total: SimDuration) -> String {
+    let mut site = Worksite::new(&standard_config(posture), seed);
+    // The figure1 campaign phases, scaled to the episode length: five
+    // attack classes back-to-back across the middle 5/6 of the run.
+    let phase = total.as_secs_f64() as u64 / 8;
+    for (i, kind) in [
+        AttackKind::DeauthFlood,
+        AttackKind::RfJamming,
+        AttackKind::CameraBlinding,
+        AttackKind::GnssSpoofing,
+        AttackKind::Replay,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        site.attack_engine_mut().add_campaign(campaign_for(
+            kind,
+            SimTime::from_secs(phase * (i as u64 + 1)),
+            SimDuration::from_secs((phase * 3) / 4),
+        ));
+    }
+    site.run(total);
+    site.export_security_jsonl()
 }
 
 /// The alert kind the IDS is expected to raise for an attack class.
@@ -660,20 +711,30 @@ pub struct ContinuousLatencyRow {
 
 /// Runs E5: attack → IDS alert → continuous risk escalation → assurance
 /// invalidation, reporting each hop's outcome.
+///
+/// The risk layer consumes the worksite's *recorded* security trace: every
+/// `IdsAlert` record is fed through
+/// [`ContinuousAssessment::ingest_record`], which maps alert classes onto
+/// TARA attack classes via [`alert_class_to_attack_class`]. The alert
+/// latency is likewise read off the trace rather than from bespoke
+/// first-alert bookkeeping.
 #[must_use]
 pub fn continuous_latency(kind: AttackKind, seed: u64) -> ContinuousLatencyRow {
     let total = SimDuration::from_secs(300);
-    let metrics = run_worksite(SecurityPosture::secure(), Some(kind), seed, total);
+    let (_metrics, trace) = run_worksite_traced(SecurityPosture::secure(), Some(kind), seed, total);
     let onset = SimTime::from_secs(60);
 
-    let alert_s = expected_alert(kind)
-        .and_then(|a| metrics.first_alert_at.get(&a.to_string()).copied())
-        .map(|t| t.as_secs_f64());
+    let class = kind.as_str().to_string();
+    let alert_s = trace.iter().find_map(|r| match &r.event {
+        Event::IdsAlert { class: c, .. } if alert_class_to_attack_class(c.as_str()) == class => {
+            Some(r.at.as_secs_f64())
+        }
+        _ => None,
+    });
 
-    // Static assessment, then the incident.
+    // Static assessment, then replay the recorded alert stream into it.
     let model = catalog::worksite_model();
     let mut continuous = ContinuousAssessment::new(model);
-    let class = kind.to_string();
     let threat_risk = |ca: &ContinuousAssessment| {
         ca.report()
             .risks
@@ -688,11 +749,8 @@ pub fn continuous_latency(kind: AttackKind, seed: u64) -> ContinuousLatencyRow {
             .unwrap_or(0)
     };
     let before = threat_risk(&continuous);
-    if alert_s.is_some() {
-        let _ = continuous.ingest(&IncidentReport {
-            attack_class: class.clone(),
-            at_ms: (alert_s.unwrap_or(0.0) * 1000.0) as u64,
-        });
+    for record in &trace {
+        let _ = continuous.ingest_record(record);
     }
     let after = threat_risk(&continuous);
 

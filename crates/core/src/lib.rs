@@ -28,6 +28,7 @@
 //! | Risk methodology | [`silvasec_risk`] |
 //! | Assurance cases | [`silvasec_assurance`] |
 //! | Worksite orchestration | [`silvasec_sos`] |
+//! | Flight recorder & metrics | [`silvasec_telemetry`] |
 //!
 //! # Quickstart
 //!
@@ -59,6 +60,7 @@ pub use silvasec_risk as risk;
 pub use silvasec_secure_boot as secure_boot;
 pub use silvasec_sim as sim;
 pub use silvasec_sos as sos;
+pub use silvasec_telemetry as telemetry;
 
 /// Convenient glob import across the whole toolkit.
 pub mod prelude {
@@ -79,4 +81,5 @@ pub mod prelude {
     pub use silvasec_secure_boot::prelude::*;
     pub use silvasec_sim::prelude::*;
     pub use silvasec_sos::prelude::*;
+    pub use silvasec_telemetry::prelude::*;
 }

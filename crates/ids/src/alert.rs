@@ -28,7 +28,15 @@ pub enum AlertKind {
 
 impl fmt::Display for AlertKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.as_str())
+    }
+}
+
+impl AlertKind {
+    /// Short stable name of the alert class, used as a telemetry label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
             AlertKind::DeauthFlood => "deauth-flood",
             AlertKind::Jamming => "jamming",
             AlertKind::GnssSpoofing => "gnss-spoofing",
@@ -36,12 +44,9 @@ impl fmt::Display for AlertKind {
             AlertKind::SensorBlinding => "sensor-blinding",
             AlertKind::AuthFailureStorm => "auth-failure-storm",
             AlertKind::RogueAssociation => "rogue-association",
-        };
-        f.write_str(s)
+        }
     }
-}
 
-impl AlertKind {
     /// The default severity of this alert kind, reflecting how directly
     /// it can compromise a safety function.
     #[must_use]
@@ -66,6 +71,19 @@ pub enum Severity {
     High,
     /// Safety-impacting; protective action required.
     Critical,
+}
+
+impl Severity {
+    /// Short stable name of the severity, used as a telemetry label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Low => "low",
+            Severity::Medium => "medium",
+            Severity::High => "high",
+            Severity::Critical => "critical",
+        }
+    }
 }
 
 /// One alert raised by a detector.

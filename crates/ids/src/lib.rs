@@ -57,6 +57,7 @@ pub use response::{ResponseAction, ResponsePolicy};
 use nav::{NavConsistencyMonitor, NavObservation};
 use radio::{RadioDetectors, RadioObservation};
 use sensor_health::{SensorHealthMonitor, SensorObservation};
+use silvasec_telemetry::{Event, Label, Recorder};
 use std::collections::HashMap;
 
 /// Tuning for all detectors.
@@ -78,6 +79,7 @@ pub struct WorksiteIds {
     nav: HashMap<String, NavConsistencyMonitor>,
     sensor: HashMap<String, SensorHealthMonitor>,
     alerts_raised: u64,
+    recorder: Recorder,
 }
 
 impl WorksiteIds {
@@ -90,6 +92,12 @@ impl WorksiteIds {
         }
     }
 
+    /// Attaches a telemetry recorder; every raised alert is then
+    /// mirrored as an `IdsAlert` event.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
+    }
+
     /// Feeds one radio telemetry observation; returns any new alerts.
     pub fn observe_radio(&mut self, obs: &RadioObservation) -> Vec<Alert> {
         let detector = self
@@ -97,7 +105,7 @@ impl WorksiteIds {
             .entry(obs.node_label.clone())
             .or_insert_with(|| RadioDetectors::new(self.config.radio.clone()));
         let alerts = detector.observe(obs);
-        self.alerts_raised += alerts.len() as u64;
+        self.account(&alerts);
         alerts
     }
 
@@ -108,7 +116,7 @@ impl WorksiteIds {
             .entry(obs.machine_label.clone())
             .or_insert_with(|| NavConsistencyMonitor::new(self.config.nav.clone()));
         let alerts = monitor.observe(obs);
-        self.alerts_raised += alerts.len() as u64;
+        self.account(&alerts);
         alerts
     }
 
@@ -119,8 +127,21 @@ impl WorksiteIds {
             .entry(obs.sensor_label.clone())
             .or_insert_with(|| SensorHealthMonitor::new(self.config.sensor.clone()));
         let alerts = monitor.observe(obs);
-        self.alerts_raised += alerts.len() as u64;
+        self.account(&alerts);
         alerts
+    }
+
+    fn account(&mut self, alerts: &[Alert]) {
+        self.alerts_raised += alerts.len() as u64;
+        for alert in alerts {
+            self.recorder.record_at(
+                alert.at,
+                Event::IdsAlert {
+                    class: Label::new(alert.kind.as_str()),
+                    severity: Label::new(alert.severity.as_str()),
+                },
+            );
+        }
     }
 
     /// Total alerts raised since construction.

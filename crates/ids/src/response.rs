@@ -8,6 +8,7 @@
 
 use crate::alert::{Alert, AlertKind, Severity};
 use serde::{Deserialize, Serialize};
+use silvasec_telemetry::{Event, Label, Recorder};
 
 /// A protective action the worksite can execute autonomously.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -21,6 +22,19 @@ pub enum ResponseAction {
     RekeyAndReauth,
     /// Controlled stop of the affected machine until cleared.
     SafeStop,
+}
+
+impl ResponseAction {
+    /// Short stable name of the action, used as a telemetry label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResponseAction::LogOnly => "log-only",
+            ResponseAction::DegradedMode => "degraded-mode",
+            ResponseAction::RekeyAndReauth => "rekey-and-reauth",
+            ResponseAction::SafeStop => "safe-stop",
+        }
+    }
 }
 
 /// A configurable alert → action policy.
@@ -54,6 +68,20 @@ impl ResponsePolicy {
                 ResponseAction::RekeyAndReauth
             }
         }
+    }
+
+    /// Decides the action for an alert and records the decision as a
+    /// `Response` telemetry event (stamped with the alert's time).
+    #[must_use]
+    pub fn decide_recorded(&self, alert: &Alert, recorder: &Recorder) -> ResponseAction {
+        let action = self.decide(alert);
+        recorder.record_at(
+            alert.at,
+            Event::Response {
+                action: Label::new(action.as_str()),
+            },
+        );
+        action
     }
 }
 

@@ -14,7 +14,28 @@ use crate::impact::ImpactLevel;
 use crate::tara::{RiskLevel, Tara, TaraReport};
 use crate::threat::WorksiteModel;
 use serde::{Deserialize, Serialize};
+use silvasec_sim::time::SimTime;
+use silvasec_telemetry::{Event, Label, Record, Recorder};
 use std::collections::HashMap;
+
+/// Maps an IDS alert class (the detector vocabulary) onto the TARA's
+/// attack-class vocabulary (`ThreatScenario::attack_class`).
+///
+/// The two vocabularies differ where the detector sees a *symptom* while
+/// the TARA names the *attack*: a sensor-blinding alert is evidence for
+/// the camera-blinding threat, an auth-failure storm is the observable
+/// face of a replay campaign, and a rogue association maps to the
+/// rogue-node threat. Classes that already coincide pass through.
+#[must_use]
+pub fn alert_class_to_attack_class(alert_class: &str) -> &str {
+    match alert_class {
+        "jamming" => "rf-jamming",
+        "sensor-blinding" => "camera-blinding",
+        "auth-failure-storm" => "replay",
+        "rogue-association" => "rogue-node",
+        other => other,
+    }
+}
 
 /// An incident reported by the runtime monitoring (IDS).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +67,7 @@ pub struct ContinuousAssessment {
     overrides: HashMap<String, AttackFeasibility>,
     current: TaraReport,
     changes: Vec<RiskChange>,
+    recorder: Recorder,
 }
 
 impl ContinuousAssessment {
@@ -58,7 +80,14 @@ impl ContinuousAssessment {
             overrides: HashMap::new(),
             current,
             changes: Vec::new(),
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; every risk-level change is then
+    /// mirrored as a `RiskDelta` event stamped with the incident time.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The current report.
@@ -94,6 +123,21 @@ impl ContinuousAssessment {
         self.reassess(incident.at_ms)
     }
 
+    /// Feeds a recorded telemetry event. `IdsAlert` records are mapped to
+    /// incidents via [`alert_class_to_attack_class`]; all other events are
+    /// ignored. Returns the changes the record caused.
+    pub fn ingest_record(&mut self, record: &Record) -> Vec<RiskChange> {
+        if let Event::IdsAlert { class, .. } = &record.event {
+            let incident = IncidentReport {
+                attack_class: alert_class_to_attack_class(class.as_str()).to_string(),
+                at_ms: record.at.as_millis(),
+            };
+            self.ingest(&incident)
+        } else {
+            Vec::new()
+        }
+    }
+
     fn reassess(&mut self, at_ms: u64) -> Vec<RiskChange> {
         let before: HashMap<String, RiskLevel> = self
             .current
@@ -124,6 +168,14 @@ impl ContinuousAssessment {
         for risk in &report.risks {
             let old = before.get(&risk.threat_id).copied().unwrap_or(RiskLevel(1));
             if old != risk.risk {
+                self.recorder.record_at(
+                    SimTime::from_millis(at_ms),
+                    Event::RiskDelta {
+                        threat: Label::new(&risk.threat_id),
+                        from: old.0,
+                        to: risk.risk.0,
+                    },
+                );
                 new_changes.push(RiskChange {
                     threat_id: risk.threat_id.clone(),
                     from: old,
@@ -221,6 +273,66 @@ mod tests {
         });
         assert!(changes.is_empty());
         assert!(ca.changes().is_empty());
+    }
+
+    #[test]
+    fn alert_classes_alias_onto_attack_classes() {
+        assert_eq!(alert_class_to_attack_class("jamming"), "rf-jamming");
+        assert_eq!(
+            alert_class_to_attack_class("sensor-blinding"),
+            "camera-blinding"
+        );
+        assert_eq!(alert_class_to_attack_class("auth-failure-storm"), "replay");
+        assert_eq!(
+            alert_class_to_attack_class("rogue-association"),
+            "rogue-node"
+        );
+        assert_eq!(
+            alert_class_to_attack_class("gnss-spoofing"),
+            "gnss-spoofing"
+        );
+    }
+
+    #[test]
+    fn recorded_alert_escalates_and_emits_risk_delta() {
+        let recorder = Recorder::new();
+        let sub = recorder.subscribe("test", 64);
+        let mut ca = ContinuousAssessment::new(model());
+        ca.set_recorder(recorder.clone());
+
+        // An IdsAlert record drives the assessment exactly like an
+        // IncidentReport with the aliased class.
+        recorder.record_at(
+            SimTime::from_millis(5_000),
+            Event::IdsAlert {
+                class: Label::new("gnss-spoofing"),
+                severity: Label::new("high"),
+            },
+        );
+        let records = recorder.records(sub);
+        let changes = ca.ingest_record(&records[0]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].at_ms, 5_000);
+
+        // The change itself was mirrored back as a RiskDelta event.
+        let records = recorder.records(sub);
+        assert!(records.iter().any(
+            |r| matches!(r.event, Event::RiskDelta { from: 3, to: 4, .. })
+                && r.at.as_millis() == 5_000
+        ));
+    }
+
+    #[test]
+    fn non_alert_records_are_ignored() {
+        let recorder = Recorder::new();
+        let sub = recorder.subscribe("test", 64);
+        recorder.record(Event::Custom {
+            key: Label::new("noise"),
+            value: 1,
+        });
+        let mut ca = ContinuousAssessment::new(model());
+        let records = recorder.records(sub);
+        assert!(ca.ingest_record(&records[0]).is_empty());
     }
 
     #[test]

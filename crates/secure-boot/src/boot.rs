@@ -4,9 +4,17 @@ use crate::image::{FirmwareStage, SignedImage};
 use crate::pcr::PcrBank;
 use serde::{Deserialize, Serialize};
 use silvasec_crypto::schnorr::VerifyingKey;
+use silvasec_telemetry::{Event, Label, Recorder};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+fn stage_label(stage: FirmwareStage) -> &'static str {
+    match stage {
+        FirmwareStage::Bootloader => "bootloader",
+        FirmwareStage::Application => "application",
+    }
+}
 
 /// Why a boot attempt failed.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,6 +90,7 @@ pub struct Device {
     signer: VerifyingKey,
     rollback: HashMap<FirmwareStage, u32>,
     last_pcrs: Option<PcrBank>,
+    recorder: Recorder,
 }
 
 impl Device {
@@ -92,7 +101,15 @@ impl Device {
             signer,
             rollback: HashMap::new(),
             last_pcrs: None,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; each measured stage is then
+    /// mirrored as a `BootMeasure` event (`ok: false` when the stage is
+    /// rejected).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The component id this device identifies as.
@@ -144,7 +161,13 @@ impl Device {
             let Some(signed) = by_stage.get(&stage) else {
                 return fail(BootError::MissingStage(stage), pcrs, booted);
             };
+            let reject = Event::BootMeasure {
+                stage: Label::new(stage_label(stage)),
+                version: signed.image.version,
+                ok: false,
+            };
             if signed.image.component_id != self.component_id {
+                self.recorder.record(reject);
                 return fail(
                     BootError::WrongComponent {
                         expected: self.component_id.clone(),
@@ -155,10 +178,12 @@ impl Device {
                 );
             }
             if !signed.verify(&self.signer) {
+                self.recorder.record(reject);
                 return fail(BootError::BadSignature(stage), pcrs, booted);
             }
             let min = self.rollback_counter(stage);
             if signed.image.version < min {
+                self.recorder.record(reject);
                 return fail(
                     BootError::Rollback {
                         stage,
@@ -171,6 +196,11 @@ impl Device {
             }
             pcrs.extend(stage.pcr_index(), &signed.image.digest());
             booted.insert(stage, signed.image.version);
+            self.recorder.record(Event::BootMeasure {
+                stage: Label::new(stage_label(stage)),
+                version: signed.image.version,
+                ok: true,
+            });
         }
 
         // Ratchet rollback counters only after the full chain verified.

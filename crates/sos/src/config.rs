@@ -51,6 +51,35 @@ impl Default for SecurityPosture {
     }
 }
 
+/// Flight-recorder configuration.
+///
+/// The worksite owns one [`silvasec_telemetry::Recorder`] and threads
+/// clones through every instrumented component. Two subscribers ride on
+/// it: an unfiltered "flight" ring (everything, including per-frame
+/// events) and a "security" ring holding only the security-relevant
+/// event classes — the latter is what the trace-divergence tooling
+/// compares across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// When off, the worksite uses a disabled recorder and every record
+    /// call is a single pointer check.
+    pub enabled: bool,
+    /// Capacity of the unfiltered flight ring (records).
+    pub flight_capacity: usize,
+    /// Capacity of the security-event ring (records).
+    pub security_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            flight_capacity: 16_384,
+            security_capacity: 4_096,
+        }
+    }
+}
+
 /// Full worksite scenario configuration.
 #[derive(Debug, Clone)]
 pub struct WorksiteConfig {
@@ -73,6 +102,8 @@ pub struct WorksiteConfig {
     pub tick: SimDuration,
     /// How long a commanded safe-stop holds.
     pub safe_stop_hold: SimDuration,
+    /// Flight-recorder configuration.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for WorksiteConfig {
@@ -87,6 +118,7 @@ impl Default for WorksiteConfig {
             ids: IdsConfig::default(),
             tick: SimDuration::from_millis(500),
             safe_stop_hold: SimDuration::from_secs(30),
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

@@ -41,13 +41,13 @@ pub mod metrics;
 pub mod pki_setup;
 pub mod site;
 
-pub use config::{SecurityPosture, WorksiteConfig};
+pub use config::{SecurityPosture, TelemetryConfig, WorksiteConfig};
 pub use metrics::WorksiteMetrics;
 pub use site::Worksite;
 
 /// Convenient glob import of the crate's primary types.
 pub mod prelude {
-    pub use crate::config::{SecurityPosture, WorksiteConfig};
+    pub use crate::config::{SecurityPosture, TelemetryConfig, WorksiteConfig};
     pub use crate::metrics::WorksiteMetrics;
     pub use crate::pki_setup::WorksitePki;
     pub use crate::site::Worksite;

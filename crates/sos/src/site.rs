@@ -15,6 +15,9 @@ use silvasec_sim::geom::Vec2;
 use silvasec_sim::rng::SimRng;
 use silvasec_sim::time::{SimDuration, SimTime};
 use silvasec_sim::world::World;
+use silvasec_telemetry::{
+    CounterId, Event, EventFilter, Label, MetricsSnapshot, Record, Recorder, SubscriberId,
+};
 
 /// Danger radius: a worker this close to a moving forwarder is a safety
 /// incident.
@@ -73,6 +76,10 @@ pub struct Worksite {
     seq: u64,
     rng: SimRng,
     metrics: WorksiteMetrics,
+    recorder: Recorder,
+    flight_sub: SubscriberId,
+    security_sub: SubscriberId,
+    tick_counter: CounterId,
     /// Ground-truth replay bookkeeping (measurement, not a defence):
     /// sequence numbers already accepted at each receiver.
     seen_at_fw: std::collections::HashSet<u64>,
@@ -93,6 +100,23 @@ impl Worksite {
         let world = World::generate(&config.world, root_rng.fork("world"));
         let rng = root_rng.fork("site");
 
+        // The flight recorder is threaded through every instrumented
+        // component exactly like `SimRng`: cloned handles, one shared
+        // core, no globals. Recording never draws randomness or touches
+        // control flow, so traces ride along without perturbing the run.
+        let recorder = if config.telemetry.enabled {
+            Recorder::new()
+        } else {
+            Recorder::disabled()
+        };
+        let flight_sub = recorder.subscribe("flight", config.telemetry.flight_capacity);
+        let security_sub = recorder.subscribe_filtered(
+            "security",
+            config.telemetry.security_capacity,
+            EventFilter::security(),
+        );
+        let tick_counter = recorder.counter("worksite_ticks");
+
         // Worksite radios: elevated antennas and a modest power budget
         // sized so the clean network works across the stand — attacks are
         // then measured against a functioning baseline.
@@ -108,6 +132,7 @@ impl Worksite {
             ..MediumConfig::default()
         };
         let mut medium = Medium::new(medium_config, root_rng.fork("medium"));
+        medium.set_recorder(recorder.clone());
 
         let landing = config.world.landing_area;
         let work = config.world.work_area;
@@ -131,6 +156,7 @@ impl Worksite {
             medium.add_node(attacker_pos.with_z(world.ground_at(attacker_pos) + 2.0));
         let mut attack_engine = AttackEngine::new();
         attack_engine.set_attacker_node(node_attacker);
+        attack_engine.set_recorder(recorder.clone());
 
         // Secure commissioning.
         let (links, credentials) = if config.security.secure_channel {
@@ -152,7 +178,7 @@ impl Worksite {
                 horizon,
             );
             assert!(fw_creds.boot_report.success && bs_creds.boot_report.success);
-            let policy = HandshakePolicy::new(pki.store.clone(), 0);
+            let policy = HandshakePolicy::new(pki.store.clone(), 0).with_recorder(recorder.clone());
 
             let (init, hello) = Initiator::start(
                 fw_creds.identity.clone(),
@@ -167,8 +193,11 @@ impl Worksite {
                 pki_rng.next_seed(),
             )
             .expect("commissioning handshake");
-            let (fw_session, finished) = init.finish(&policy, &reply).expect("handshake finish");
-            let bs_session = resp.complete(&finished).expect("handshake complete");
+            let (mut fw_session, finished) =
+                init.finish(&policy, &reply).expect("handshake finish");
+            let mut bs_session = resp.complete(&finished).expect("handshake complete");
+            fw_session.set_recorder(recorder.clone());
+            bs_session.set_recorder(recorder.clone());
 
             let (drone_session, fw_drone_session) = if config.drone_enabled {
                 let drone_creds = pki.commission_machine(
@@ -192,8 +221,10 @@ impl Worksite {
                     pki_rng.next_seed(),
                 )
                 .expect("drone handshake");
-                let (ds, finished) = init.finish(&policy, &reply).expect("drone finish");
-                let fs = resp.complete(&finished).expect("drone complete");
+                let (mut ds, finished) = init.finish(&policy, &reply).expect("drone finish");
+                let mut fs = resp.complete(&finished).expect("drone complete");
+                ds.set_recorder(recorder.clone());
+                fs.set_recorder(recorder.clone());
                 (Some(ds), Some(fs))
             } else {
                 (None, None)
@@ -229,10 +260,11 @@ impl Worksite {
             node_drone,
             links,
             credentials,
-            ids: config
-                .security
-                .ids
-                .then(|| WorksiteIds::new(config.ids.clone())),
+            ids: config.security.ids.then(|| {
+                let mut ids = WorksiteIds::new(config.ids.clone());
+                ids.set_recorder(recorder.clone());
+                ids
+            }),
             correlator: AlertCorrelator::new(SimDuration::from_secs(60)),
             response: ResponsePolicy::default(),
             security_stop_until: None,
@@ -247,6 +279,10 @@ impl Worksite {
             seq: 0,
             rng,
             metrics: WorksiteMetrics::default(),
+            recorder,
+            flight_sub,
+            security_sub,
+            tick_counter,
             seen_at_fw: std::collections::HashSet::new(),
             seen_at_bs: std::collections::HashSet::new(),
             world,
@@ -266,6 +302,37 @@ impl Worksite {
     #[must_use]
     pub fn metrics(&self) -> &WorksiteMetrics {
         &self.metrics
+    }
+
+    /// The worksite's flight recorder (disabled when telemetry is off).
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Records currently held by the security-event ring, oldest first.
+    #[must_use]
+    pub fn security_records(&self) -> Vec<Record> {
+        self.recorder.records(self.security_sub)
+    }
+
+    /// JSONL export of the security-event ring.
+    #[must_use]
+    pub fn export_security_jsonl(&self) -> String {
+        self.recorder.export_jsonl(self.security_sub)
+    }
+
+    /// JSONL export of the unfiltered flight ring.
+    #[must_use]
+    pub fn export_flight_jsonl(&self) -> String {
+        self.recorder.export_jsonl(self.flight_sub)
+    }
+
+    /// Telemetry metrics snapshot (counters, gauges, histograms and ring
+    /// drop accounting).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> MetricsSnapshot {
+        self.recorder.snapshot()
     }
 
     /// Current sim time.
@@ -299,6 +366,8 @@ impl Worksite {
         let tick = self.config.tick;
         self.world.step(tick);
         let now = self.world.now();
+        self.recorder.advance(now);
+        self.recorder.inc(self.tick_counter, 1);
         self.auth_failures_tick = 0;
 
         // --- attacks act on the shared physics ---
@@ -353,6 +422,14 @@ impl Worksite {
         let lidar = self
             .lidar
             .detect(&self.world, fw_pos, heading, &mut self.rng);
+        self.recorder.record(Event::SensorReading {
+            sensor: Label::new("forwarder-01/camera"),
+            detections: cam.len() as u32,
+        });
+        self.recorder.record(Event::SensorReading {
+            sensor: Label::new("forwarder-01/lidar"),
+            detections: lidar.len() as u32,
+        });
 
         // Drone flies escort and streams detections over the radio.
         self.drone_feed(now, fw_pos);
@@ -446,6 +523,13 @@ impl Worksite {
         };
         drone.step(&self.world, fw_pos, self.config.tick);
         let detections = drone.detect(&self.world, &mut self.rng);
+        self.recorder.record_at(
+            now,
+            Event::SensorReading {
+                sensor: Label::new("drone-01/camera"),
+                detections: detections.len() as u32,
+            },
+        );
 
         let payload = serde_json::to_vec(&detections).expect("detections serialize");
         let payload = if let Some(links) = &mut self.links {
@@ -643,7 +727,7 @@ impl Worksite {
         for alert in alerts {
             self.metrics.record_alert(alert.kind, alert.at);
             let _ = self.correlator.ingest(&alert);
-            match self.response.decide(&alert) {
+            match self.response.decide_recorded(&alert, &self.recorder) {
                 ResponseAction::SafeStop => {
                     self.security_stop_until = Some(now + self.config.safe_stop_hold);
                     self.metrics.security_stops += 1;
@@ -838,6 +922,71 @@ mod tests {
             "rogue association undetected; alerts: {:?}",
             site.metrics().alerts
         );
+    }
+
+    #[test]
+    fn telemetry_records_attack_story_deterministically() {
+        let run = |seed| {
+            let mut site = Worksite::new(&small_config(SecurityPosture::secure()), seed);
+            site.attack_engine_mut().add_campaign(AttackCampaign {
+                kind: AttackKind::RfJamming,
+                target: AttackTarget::Area {
+                    center: Vec2::new(150.0, 150.0),
+                    radius_m: 300.0,
+                },
+                start: SimTime::from_secs(60),
+                duration: SimDuration::from_secs(60),
+                intensity: 1.0,
+            });
+            site.run(SimDuration::from_secs(180));
+            site
+        };
+        let site = run(2);
+        let records = site.security_records();
+        // Commissioning handshakes land at t=0, the campaign's jammer
+        // switch-on at t=60s, the IDS alerts and responses after that —
+        // all in one globally-sequenced trace.
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, silvasec_telemetry::Event::HandshakeDone { .. })));
+        assert!(records.iter().any(|r| matches!(
+            r.event,
+            silvasec_telemetry::Event::AttackPhase { started: true, .. }
+        )));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, silvasec_telemetry::Event::Jam { on: true, .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, silvasec_telemetry::Event::IdsAlert { .. })));
+        assert!(records
+            .iter()
+            .any(|r| matches!(r.event, silvasec_telemetry::Event::Response { .. })));
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        // Identical seeds export byte-identical security traces.
+        assert_eq!(site.export_security_jsonl(), run(2).export_security_jsonl());
+
+        // The metrics registry saw every tick, and the flight ring's
+        // drop accounting is visible in the snapshot.
+        let snap = site.telemetry_snapshot();
+        assert_eq!(snap.counter("worksite_ticks"), Some(360));
+        assert_eq!(snap.subscribers.len(), 2);
+    }
+
+    #[test]
+    fn disabled_telemetry_does_not_change_the_run() {
+        let run = |enabled: bool| {
+            let mut config = small_config(SecurityPosture::secure());
+            config.telemetry.enabled = enabled;
+            let mut site = Worksite::new(&config, 7);
+            site.run(SimDuration::from_secs(120));
+            (
+                site.metrics().messages_delivered,
+                site.metrics().distance_m.to_bits(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

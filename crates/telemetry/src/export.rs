@@ -1,0 +1,230 @@
+//! JSONL trace parsing and event-by-event divergence auditing.
+//!
+//! This module turns the repo's bit-identity determinism checks into a
+//! debuggable audit: instead of "the traces differ", it reports *which*
+//! event diverged first, *which field*, and both values.
+
+use crate::event::Record;
+use serde::{Deserialize, Error, Value};
+
+/// The first point at which two traces disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first divergent event (line number, 0-based).
+    pub index: usize,
+    /// Dotted path of the first divergent field (e.g.
+    /// `event.FrameRx.rssi_dbm`), or `length` when one trace is a strict
+    /// prefix of the other.
+    pub field: String,
+    /// The value on the left side (`"<missing>"` past end of trace).
+    pub left: String,
+    /// The value on the right side (`"<missing>"` past end of trace).
+    pub right: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "event #{} field `{}`: left={} right={}",
+            self.index, self.field, self.left, self.right
+        )
+    }
+}
+
+/// Parses a JSONL trace into generic JSON values, one per line.
+///
+/// Blank lines are skipped. Returns the first parse error with its line
+/// number folded into the message.
+pub fn parse_jsonl_values(text: &str) -> Result<Vec<Value>, Error> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::parse(line) {
+            Ok(v) => out.push(v),
+            Err(e) => return Err(Error::custom(format!("line {}: {e}", i + 1))),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a JSONL trace into typed [`Record`]s.
+pub fn parse_jsonl_records(text: &str) -> Result<Vec<Record>, Error> {
+    parse_jsonl_values(text)?
+        .iter()
+        .map(Record::deserialize)
+        .collect()
+}
+
+/// Compares two traces event-by-event and returns the first divergence,
+/// or `None` when they are identical.
+#[must_use]
+pub fn first_divergence(left: &[Value], right: &[Value]) -> Option<Divergence> {
+    let n = left.len().min(right.len());
+    for i in 0..n {
+        if let Some((field, l, r)) = diff_value("", &left[i], &right[i]) {
+            return Some(Divergence {
+                index: i,
+                field,
+                left: l,
+                right: r,
+            });
+        }
+    }
+    if left.len() != right.len() {
+        let present = |side: &[Value]| side.get(n).map_or_else(|| "<missing>".to_string(), render);
+        return Some(Divergence {
+            index: n,
+            field: "length".to_string(),
+            left: present(left),
+            right: present(right),
+        });
+    }
+    None
+}
+
+/// Convenience: parse both JSONL texts and report the first divergence.
+pub fn first_divergence_jsonl(left: &str, right: &str) -> Result<Option<Divergence>, Error> {
+    let l = parse_jsonl_values(left)?;
+    let r = parse_jsonl_values(right)?;
+    Ok(first_divergence(&l, &r))
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<unprintable>".to_string())
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Recursively diffs two JSON values; returns the dotted path of the
+/// first differing leaf plus both rendered values.
+fn diff_value(path: &str, left: &Value, right: &Value) -> Option<(String, String, String)> {
+    match (left, right) {
+        (Value::Object(l), Value::Object(r)) => {
+            let mut i = 0;
+            loop {
+                match (l.get(i), r.get(i)) {
+                    (None, None) => return None,
+                    (Some((lk, lv)), Some((rk, rv))) => {
+                        if lk != rk {
+                            return Some((
+                                join(path, &format!("<key {i}>")),
+                                lk.clone(),
+                                rk.clone(),
+                            ));
+                        }
+                        if let Some(d) = diff_value(&join(path, lk), lv, rv) {
+                            return Some(d);
+                        }
+                    }
+                    (Some((lk, lv)), None) => {
+                        return Some((join(path, lk), render(lv), "<missing>".to_string()));
+                    }
+                    (None, Some((rk, rv))) => {
+                        return Some((join(path, rk), "<missing>".to_string(), render(rv)));
+                    }
+                }
+                i += 1;
+            }
+        }
+        (Value::Array(l), Value::Array(r)) => {
+            let n = l.len().min(r.len());
+            for i in 0..n {
+                if let Some(d) = diff_value(&join(path, &i.to_string()), &l[i], &r[i]) {
+                    return Some(d);
+                }
+            }
+            if l.len() != r.len() {
+                return Some((
+                    join(path, "length"),
+                    l.len().to_string(),
+                    r.len().to_string(),
+                ));
+            }
+            None
+        }
+        (l, r) if l == r => None,
+        (l, r) => Some((path.to_string(), render(l), render(r))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, Label};
+    use crate::recorder::Recorder;
+    use silvasec_sim::SimTime;
+
+    fn trace(values: &[i64]) -> String {
+        let rec = Recorder::new();
+        let sub = rec.subscribe("t", 64);
+        for (i, v) in values.iter().enumerate() {
+            rec.advance(SimTime::from_millis(i as u64 * 500));
+            rec.record(Event::Custom {
+                key: Label::new("k"),
+                value: *v,
+            });
+        }
+        rec.export_jsonl(sub)
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = trace(&[1, 2, 3]);
+        let b = trace(&[1, 2, 3]);
+        assert_eq!(a, b, "same inputs must export byte-identically");
+        assert_eq!(first_divergence_jsonl(&a, &b).unwrap(), None);
+    }
+
+    #[test]
+    fn differing_field_is_pinpointed() {
+        let a = trace(&[1, 2, 3]);
+        let b = trace(&[1, 9, 3]);
+        let d = first_divergence_jsonl(&a, &b).unwrap().unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.field, "event.Custom.value");
+        assert_eq!(d.left, "2");
+        assert_eq!(d.right, "9");
+        let shown = d.to_string();
+        assert!(shown.contains("event #1"));
+        assert!(shown.contains("event.Custom.value"));
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let a = trace(&[1, 2]);
+        let b = trace(&[1, 2, 3]);
+        let d = first_divergence_jsonl(&a, &b).unwrap().unwrap();
+        assert_eq!(d.index, 2);
+        assert_eq!(d.field, "length");
+        assert_eq!(d.left, "<missing>");
+    }
+
+    #[test]
+    fn records_parse_back_typed() {
+        let text = trace(&[5]);
+        let records = parse_jsonl_records(&text).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(
+            records[0].event,
+            Event::Custom {
+                key: Label::new("k"),
+                value: 5
+            }
+        );
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let err = parse_jsonl_values("{\"ok\":1}\nnot json\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Metrics registry: counters, gauges and fixed-bucket histograms with a
+//! serializable snapshot API.
+
+use serde::{Deserialize, Serialize};
+
+/// Handle to a counter in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub(crate) usize);
+
+/// Handle to a gauge in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub(crate) usize);
+
+/// Handle to a histogram in a [`MetricsRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(pub(crate) usize);
+
+/// A fixed-bucket histogram: counts per bucket plus running sum/count.
+///
+/// Bucket `i` counts observations `<= bounds[i]`; one extra overflow
+/// bucket counts everything larger than the last bound.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Upper bucket bounds, ascending.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of all observations, or 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Registry of named counters, gauges and histograms.
+///
+/// Names are interned on first registration: registering the same name
+/// twice returns the same handle, so instrumented components can create
+/// their handles independently.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counters.iter().position(|(n, _)| n == name) {
+            return CounterId(i);
+        }
+        self.counters.push((name.to_string(), 0));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Adds `by` to a counter.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v += by;
+        }
+    }
+
+    /// Registers (or looks up) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauges.iter().position(|(n, _)| n == name) {
+            return GaugeId(i);
+        }
+        self.gauges.push((name.to_string(), 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        if let Some((_, v)) = self.gauges.get_mut(id.0) {
+            *v = value;
+        }
+    }
+
+    /// Registers (or looks up) a histogram by name with the given
+    /// ascending bucket bounds. Bounds are fixed at first registration.
+    pub fn histogram(&mut self, name: &str, bounds: &[f64]) -> HistogramId {
+        if let Some(i) = self.histograms.iter().position(|(n, _)| n == name) {
+            return HistogramId(i);
+        }
+        self.histograms
+            .push((name.to_string(), Histogram::new(bounds)));
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Records an observation into a histogram.
+    pub fn observe(&mut self, id: HistogramId, value: f64) {
+        if let Some((_, h)) = self.histograms.get_mut(id.0) {
+            h.observe(value);
+        }
+    }
+
+    /// Current value of a counter (0 for an invalid handle).
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).map_or(0, |(_, v)| *v)
+    }
+
+    /// Takes a serializable snapshot of every metric, with subscriber
+    /// ring statistics filled in by the caller (the recorder).
+    #[must_use]
+    pub fn snapshot(&self, subscribers: Vec<SubscriberStats>) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+            subscribers,
+        }
+    }
+}
+
+/// Ring-buffer accounting for one recorder subscriber.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubscriberStats {
+    /// Subscriber name.
+    pub name: String,
+    /// Ring capacity in records.
+    pub capacity: u64,
+    /// Records currently held.
+    pub len: u64,
+    /// Records ever pushed to this subscriber.
+    pub pushed: u64,
+    /// Records evicted by ring overwrites (event loss).
+    pub dropped: u64,
+}
+
+impl SubscriberStats {
+    /// Fraction of pushed records that were dropped (0 when none pushed).
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.pushed == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.pushed as f64
+        }
+    }
+}
+
+/// A point-in-time, serializable view of a [`MetricsRegistry`] plus the
+/// recorder's per-subscriber ring accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name/value pairs in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name/value pairs in registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram name/state pairs in registration order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Ring statistics for every subscriber, including drop counts.
+    pub subscribers: Vec<SubscriberStats>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Total records dropped across all subscribers.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.subscribers.iter().map(|s| s.dropped).sum()
+    }
+
+    /// Total records pushed across all subscribers.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.subscribers.iter().map(|s| s.pushed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let mut m = MetricsRegistry::new();
+        let a = m.counter("frames");
+        let b = m.counter("frames");
+        assert_eq!(a, b);
+        m.inc(a, 2);
+        m.inc(b, 3);
+        assert_eq!(m.counter_value(a), 5);
+    }
+
+    #[test]
+    fn gauges_set() {
+        let mut m = MetricsRegistry::new();
+        let g = m.gauge("noise_dbm");
+        m.set_gauge(g, -90.5);
+        let snap = m.snapshot(Vec::new());
+        assert_eq!(snap.gauges, vec![("noise_dbm".to_string(), -90.5)]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut m = MetricsRegistry::new();
+        let h = m.histogram("latency_s", &[1.0, 5.0, 10.0]);
+        for v in [0.5, 0.9, 3.0, 7.0, 100.0] {
+            m.observe(h, v);
+        }
+        let snap = m.snapshot(Vec::new());
+        let (_, hist) = &snap.histograms[0];
+        assert_eq!(hist.counts, vec![2, 1, 1, 1]);
+        assert_eq!(hist.count, 5);
+        assert!((hist.mean() - 22.28).abs() < 0.01);
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip() {
+        let mut m = MetricsRegistry::new();
+        let c = m.counter("x");
+        m.inc(c, 9);
+        let snap = m.snapshot(vec![SubscriberStats {
+            name: "flight".into(),
+            capacity: 8,
+            len: 8,
+            pushed: 20,
+            dropped: 12,
+        }]);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("x"), Some(9));
+        assert_eq!(back.total_dropped(), 12);
+        assert!((back.subscribers[0].drop_rate() - 0.6).abs() < 1e-12);
+    }
+}

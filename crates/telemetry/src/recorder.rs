@@ -1,0 +1,422 @@
+//! The flight recorder: a cheap, cloneable handle threaded through the
+//! instrumented stack, mirroring how `SimRng` flows.
+
+use crate::event::{Event, EventFilter, Record};
+use crate::metrics::{
+    CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot, SubscriberStats,
+};
+use crate::ring::RingBuffer;
+use silvasec_sim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to a subscriber ring inside a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriberId(usize);
+
+#[derive(Debug)]
+struct Subscriber {
+    name: String,
+    filter: EventFilter,
+    ring: RingBuffer,
+}
+
+#[derive(Debug)]
+struct Core {
+    now: SimTime,
+    seq: u64,
+    subscribers: Vec<Subscriber>,
+    metrics: MetricsRegistry,
+}
+
+/// A deterministic structured-event recorder.
+///
+/// The recorder is a cheap, cloneable handle (`Rc`-backed); every clone
+/// shares the same core, so the owning component (`Worksite`) can hand
+/// clones to the medium, the attack engine, the IDS, sessions and boot
+/// devices without any global mutable state. A [`Recorder::disabled`]
+/// handle turns every operation into a no-op, so instrumented code never
+/// branches on an `Option`.
+///
+/// Time never comes from the wall clock: the owner calls
+/// [`Recorder::advance`] once per simulation tick and every recorded
+/// event is stamped with that [`SimTime`] plus a monotonic sequence
+/// number. Identical seeds therefore produce byte-identical exports.
+///
+/// ```
+/// use silvasec_telemetry::{Event, EventFilter, Label, Recorder};
+/// use silvasec_sim::SimTime;
+///
+/// let rec = Recorder::new();
+/// let flight = rec.subscribe("flight", 1024);
+/// rec.advance(SimTime::from_millis(500));
+/// rec.record(Event::Custom { key: Label::new("k"), value: 1 });
+/// assert_eq!(rec.records(flight).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    core: Option<Rc<RefCell<Core>>>,
+}
+
+impl Recorder {
+    /// Creates an enabled recorder with no subscribers yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            core: Some(Rc::new(RefCell::new(Core {
+                now: SimTime::ZERO,
+                seq: 0,
+                subscribers: Vec::new(),
+                metrics: MetricsRegistry::new(),
+            }))),
+        }
+    }
+
+    /// Creates a disabled recorder: every operation is a no-op and
+    /// recording costs a single pointer check.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Recorder { core: None }
+    }
+
+    /// Returns `true` when this handle records events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Adds a subscriber receiving every event, with a ring of
+    /// `capacity` records. Returns a no-op id on a disabled recorder.
+    pub fn subscribe(&self, name: &str, capacity: usize) -> SubscriberId {
+        self.subscribe_filtered(name, capacity, EventFilter::all())
+    }
+
+    /// Adds a subscriber receiving only events allowed by `filter`.
+    pub fn subscribe_filtered(
+        &self,
+        name: &str,
+        capacity: usize,
+        filter: EventFilter,
+    ) -> SubscriberId {
+        match &self.core {
+            Some(core) => {
+                let mut c = core.borrow_mut();
+                c.subscribers.push(Subscriber {
+                    name: name.to_string(),
+                    filter,
+                    ring: RingBuffer::new(capacity),
+                });
+                SubscriberId(c.subscribers.len() - 1)
+            }
+            None => SubscriberId(usize::MAX),
+        }
+    }
+
+    /// Advances the recorder's clock; subsequent [`Recorder::record`]
+    /// calls are stamped with `now`.
+    pub fn advance(&self, now: SimTime) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().now = now;
+        }
+    }
+
+    /// Current recorder time ([`SimTime::ZERO`] when disabled).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.core.as_ref().map_or(SimTime::ZERO, |c| c.borrow().now)
+    }
+
+    /// Records an event at the current recorder time.
+    pub fn record(&self, event: Event) {
+        if let Some(core) = &self.core {
+            let mut c = core.borrow_mut();
+            let at = c.now;
+            c.push(at, event);
+        }
+    }
+
+    /// Records an event at an explicit time (used by components that
+    /// receive `now` as a parameter).
+    pub fn record_at(&self, at: SimTime, event: Event) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().push(at, event);
+        }
+    }
+
+    /// Total number of events recorded (across all subscribers' filters).
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.borrow().seq)
+    }
+
+    /// Copies a subscriber's held records, oldest first.
+    #[must_use]
+    pub fn records(&self, id: SubscriberId) -> Vec<Record> {
+        match &self.core {
+            Some(core) => core
+                .borrow()
+                .subscribers
+                .get(id.0)
+                .map_or_else(Vec::new, |s| s.ring.to_vec()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Removes and returns a subscriber's held records, oldest first.
+    /// Ring counters (pushed/dropped) are preserved.
+    pub fn drain(&self, id: SubscriberId) -> Vec<Record> {
+        match &self.core {
+            Some(core) => core
+                .borrow_mut()
+                .subscribers
+                .get_mut(id.0)
+                .map_or_else(Vec::new, |s| s.ring.drain()),
+            None => Vec::new(),
+        }
+    }
+
+    /// Serializes a subscriber's held records as JSON Lines (one record
+    /// per line, oldest first, trailing newline).
+    #[must_use]
+    pub fn export_jsonl(&self, id: SubscriberId) -> String {
+        let mut out = String::new();
+        if let Some(core) = &self.core {
+            let c = core.borrow();
+            if let Some(s) = c.subscribers.get(id.0) {
+                for r in s.ring.iter() {
+                    // Serialization of plain-old-data records cannot fail.
+                    if let Ok(line) = serde_json::to_string(r) {
+                        out.push_str(&line);
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Ring statistics for every subscriber.
+    #[must_use]
+    pub fn stats(&self) -> Vec<SubscriberStats> {
+        match &self.core {
+            Some(core) => core
+                .borrow()
+                .subscribers
+                .iter()
+                .map(|s| SubscriberStats {
+                    name: s.name.clone(),
+                    capacity: s.ring.capacity() as u64,
+                    len: s.ring.len() as u64,
+                    pushed: s.ring.pushed(),
+                    dropped: s.ring.dropped(),
+                })
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Takes a snapshot of the embedded metrics registry, including the
+    /// per-subscriber ring drop accounting.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.core {
+            Some(core) => {
+                let stats = self.stats();
+                core.borrow().metrics.snapshot(stats)
+            }
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Registers (or looks up) a counter. No-op id on a disabled handle.
+    pub fn counter(&self, name: &str) -> CounterId {
+        match &self.core {
+            Some(core) => core.borrow_mut().metrics.counter(name),
+            None => CounterId(usize::MAX),
+        }
+    }
+
+    /// Adds `by` to a counter.
+    pub fn inc(&self, id: CounterId, by: u64) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().metrics.inc(id, by);
+        }
+    }
+
+    /// Registers (or looks up) a gauge. No-op id on a disabled handle.
+    pub fn gauge(&self, name: &str) -> GaugeId {
+        match &self.core {
+            Some(core) => core.borrow_mut().metrics.gauge(name),
+            None => GaugeId(usize::MAX),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&self, id: GaugeId, value: f64) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().metrics.set_gauge(id, value);
+        }
+    }
+
+    /// Registers (or looks up) a fixed-bucket histogram.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> HistogramId {
+        match &self.core {
+            Some(core) => core.borrow_mut().metrics.histogram(name, bounds),
+            None => HistogramId(usize::MAX),
+        }
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, id: HistogramId, value: f64) {
+        if let Some(core) = &self.core {
+            core.borrow_mut().metrics.observe(id, value);
+        }
+    }
+}
+
+impl Core {
+    fn push(&mut self, at: SimTime, event: Event) {
+        let record = Record {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        let kind = event.kind();
+        for sub in &mut self.subscribers {
+            if sub.filter.allows(kind) {
+                sub.ring.push(record);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Label};
+
+    fn custom(v: i64) -> Event {
+        Event::Custom {
+            key: Label::new("t"),
+            value: v,
+        }
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let rec = Recorder::new();
+        let sub = rec.subscribe("flight", 16);
+        let handle = rec.clone();
+        handle.advance(SimTime::from_millis(250));
+        handle.record(custom(1));
+        let records = rec.records(sub);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].at, SimTime::from_millis(250));
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(rec.events_recorded(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let sub = rec.subscribe("flight", 16);
+        rec.advance(SimTime::from_secs(9));
+        rec.record(custom(1));
+        let c = rec.counter("x");
+        rec.inc(c, 5);
+        assert!(rec.records(sub).is_empty());
+        assert_eq!(rec.events_recorded(), 0);
+        assert_eq!(rec.snapshot(), MetricsSnapshot::default());
+        assert!(rec.export_jsonl(sub).is_empty());
+    }
+
+    #[test]
+    fn filtered_subscriber_sees_only_its_kinds() {
+        let rec = Recorder::new();
+        let all = rec.subscribe("flight", 16);
+        let security = rec.subscribe_filtered(
+            "security",
+            16,
+            EventFilter::none().with(EventKind::IdsAlert),
+        );
+        rec.record(custom(1));
+        rec.record(Event::IdsAlert {
+            class: Label::new("jamming"),
+            severity: Label::new("high"),
+        });
+        assert_eq!(rec.records(all).len(), 2);
+        let sec = rec.records(security);
+        assert_eq!(sec.len(), 1);
+        assert_eq!(sec[0].seq, 1, "sequence numbers are global");
+    }
+
+    #[test]
+    fn overflow_drops_are_visible_in_metrics_snapshot() {
+        // Satellite fix: silent event loss can never masquerade as a
+        // clean trace — drops must show up in MetricsSnapshot.
+        let rec = Recorder::new();
+        let _sub = rec.subscribe("tiny", 4);
+        for i in 0..20 {
+            rec.record(custom(i));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.subscribers.len(), 1);
+        assert_eq!(snap.subscribers[0].pushed, 20);
+        assert!(
+            snap.subscribers[0].dropped > 0,
+            "overflow must be accounted as drops"
+        );
+        assert_eq!(snap.total_dropped(), 16);
+        assert!(snap.subscribers[0].drop_rate() > 0.0);
+    }
+
+    #[test]
+    fn export_jsonl_is_one_record_per_line() {
+        let rec = Recorder::new();
+        let sub = rec.subscribe("flight", 8);
+        rec.advance(SimTime::from_millis(500));
+        rec.record(custom(1));
+        rec.record(custom(2));
+        let jsonl = rec.export_jsonl(sub);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let back: Record = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(back.event, custom(1));
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn metrics_through_recorder_handles() {
+        let rec = Recorder::new();
+        let c = rec.counter("frames_tx");
+        let c2 = rec.clone().counter("frames_tx");
+        assert_eq!(c, c2);
+        rec.inc(c, 3);
+        let g = rec.gauge("noise_dbm");
+        rec.set_gauge(g, -88.0);
+        let h = rec.histogram("lat", &[1.0]);
+        rec.observe(h, 0.5);
+        rec.observe(h, 2.0);
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter("frames_tx"), Some(3));
+        assert_eq!(snap.gauges[0].1, -88.0);
+        assert_eq!(snap.histograms[0].1.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_accounting() {
+        let rec = Recorder::new();
+        let sub = rec.subscribe("flight", 2);
+        for i in 0..5 {
+            rec.record(custom(i));
+        }
+        let drained = rec.drain(sub);
+        assert_eq!(drained.len(), 2);
+        assert!(rec.records(sub).is_empty());
+        let snap = rec.snapshot();
+        assert_eq!(snap.subscribers[0].pushed, 5);
+        assert_eq!(snap.subscribers[0].dropped, 3);
+    }
+}

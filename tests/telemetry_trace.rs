@@ -1,0 +1,141 @@
+//! Trace-based integration tests: the flight recorder's security trace
+//! must tell the attack → detection → risk-escalation story end to end,
+//! and identically-seeded runs must export byte-identical JSON Lines.
+
+use proptest::prelude::*;
+use silvasec::experiments::{figure1_trace, run_worksite_traced};
+use silvasec::prelude::*;
+use silvasec::risk::catalog;
+use silvasec::risk::continuous::ContinuousAssessment;
+use silvasec::telemetry::first_divergence_jsonl;
+
+/// The recorded security trace of an attacked run contains, in causal
+/// order: the attack campaign starting, the matching IDS alert, and the
+/// commanded response.
+#[test]
+fn trace_tells_the_attack_detection_story() {
+    let (_metrics, trace) = run_worksite_traced(
+        SecurityPosture::secure(),
+        Some(AttackKind::RfJamming),
+        21,
+        SimDuration::from_secs(240),
+    );
+
+    let attack_seq = trace
+        .iter()
+        .find(|r| matches!(r.event, Event::AttackPhase { started: true, .. }))
+        .map(|r| r.seq)
+        .expect("attack phase recorded");
+    let alert_seq = trace
+        .iter()
+        .find(|r| matches!(&r.event, Event::IdsAlert { class, .. } if class.as_str() == "jamming"))
+        .map(|r| r.seq)
+        .expect("jamming alert recorded");
+    let response_seq = trace
+        .iter()
+        .find(|r| matches!(r.event, Event::Response { .. }))
+        .map(|r| r.seq)
+        .expect("response recorded");
+
+    assert!(
+        attack_seq < alert_seq,
+        "attack ({attack_seq}) must precede its detection ({alert_seq})"
+    );
+    assert!(
+        alert_seq <= response_seq,
+        "detection ({alert_seq}) must precede the response ({response_seq})"
+    );
+}
+
+/// Feeding the recorded trace into the continuous assessment escalates
+/// the risk of the matching threat — the full attack → IDS alert →
+/// risk-update loop, driven entirely by recorded events. Camera blinding
+/// is used because its static feasibility is low (a targeted on-site
+/// attack), so field evidence of it actually moves the risk ranking; the
+/// IDS reports it as `sensor-blinding`, exercising the alert-class →
+/// attack-class alias table.
+#[test]
+fn recorded_alerts_drive_continuous_risk() {
+    let (_metrics, trace) = run_worksite_traced(
+        SecurityPosture::secure(),
+        Some(AttackKind::CameraBlinding),
+        3,
+        SimDuration::from_secs(240),
+    );
+    assert!(
+        trace.iter().any(|r| matches!(
+            &r.event,
+            Event::IdsAlert { class, .. } if class.as_str() == "sensor-blinding"
+        )),
+        "blinding alert missing from trace"
+    );
+    let mut continuous = ContinuousAssessment::new(catalog::worksite_model());
+    let blinding_risk = |ca: &ContinuousAssessment| {
+        ca.report()
+            .risks
+            .iter()
+            .find(|r| {
+                catalog::worksite_model().threats.iter().any(|t| {
+                    t.id == r.threat_id && t.attack_class.as_deref() == Some("camera-blinding")
+                })
+            })
+            .map(|r| r.risk.0)
+            .expect("camera-blinding threat in catalog")
+    };
+    let before = blinding_risk(&continuous);
+    let mut changes = 0;
+    for record in &trace {
+        changes += continuous.ingest_record(record).len();
+    }
+    let after = blinding_risk(&continuous);
+    assert!(changes > 0, "trace produced no risk changes");
+    assert!(
+        after > before,
+        "recorded blinding alerts must escalate camera-blinding risk ({before} -> {after})"
+    );
+}
+
+/// Same seed, same trace — to the byte. Different seeds diverge, and the
+/// divergence reporter pinpoints where.
+#[test]
+fn figure1_traces_compare_clean_and_divergent() {
+    let total = SimDuration::from_secs(180);
+    let a = figure1_trace(SecurityPosture::secure(), 11, total);
+    let b = figure1_trace(SecurityPosture::secure(), 11, total);
+    assert!(!a.is_empty());
+    assert_eq!(
+        first_divergence_jsonl(&a, &b).unwrap(),
+        None,
+        "same-seed figure1 traces must be identical"
+    );
+
+    let c = figure1_trace(SecurityPosture::secure(), 12, total);
+    let div = first_divergence_jsonl(&a, &c)
+        .unwrap()
+        .expect("different seeds must diverge somewhere");
+    assert!(!div.field.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Byte-identical JSONL exports for identically-seeded runs, across
+    /// seeds and attack classes.
+    #[test]
+    fn identical_seeds_export_identical_jsonl(seed in 1u64..500,
+                                              attacked in any::<bool>()) {
+        let attack = attacked.then_some(AttackKind::DeauthFlood);
+        let total = SimDuration::from_secs(90);
+        let export = |seed| {
+            let (_m, trace) = run_worksite_traced(
+                SecurityPosture::secure(), attack, seed, total);
+            let mut out = String::new();
+            for r in &trace {
+                out.push_str(&serde_json::to_string(&r).unwrap());
+                out.push('\n');
+            }
+            out
+        };
+        prop_assert_eq!(export(seed), export(seed));
+    }
+}
