@@ -26,6 +26,16 @@ pub enum AttackKind {
     RogueNode,
     /// Tampering with a machine's firmware update.
     FirmwareTampering,
+    /// Corrupting OTA update chunks in transit to the fleet (a
+    /// man-in-the-middle on the update distribution path).
+    UpdateTampering,
+    /// Substituting an old but genuinely signed update bundle for the
+    /// one being rolled out (version rollback at the fleet layer).
+    Downgrade,
+    /// A correctly signed but malicious update injected at the build or
+    /// distribution backend (supply-chain compromise); sites that apply
+    /// it start misbehaving, which the staged rollout must catch.
+    RolloutPoisoning,
 }
 
 impl AttackKind {
@@ -42,6 +52,9 @@ impl AttackKind {
             AttackKind::Replay => "replay",
             AttackKind::RogueNode => "rogue-node",
             AttackKind::FirmwareTampering => "firmware-tampering",
+            AttackKind::UpdateTampering => "update-tampering",
+            AttackKind::Downgrade => "downgrade",
+            AttackKind::RolloutPoisoning => "rollout-poisoning",
         }
     }
 }

@@ -250,6 +250,11 @@ impl AttackEngine {
             AttackKind::DeauthFlood | AttackKind::Replay | AttackKind::RogueNode => {
                 // Frame-injection attacks act per tick, not on activation.
             }
+            AttackKind::UpdateTampering | AttackKind::Downgrade | AttackKind::RolloutPoisoning => {
+                // Fleet-layer attacks: applied by the fleet orchestrator
+                // (`silvasec-fleet`) to the update distribution path, not
+                // to a single worksite's radio medium.
+            }
         }
     }
 

@@ -1,0 +1,330 @@
+//! **E10: fleet OTA rollout and fleet security operations.**
+//!
+//! Sweeps fleet size 1 → 64 through the staged OTA rollout of
+//! `silvasec-fleet` and exercises every fleet-layer attack scenario at
+//! the largest size:
+//!
+//! * **clean** — per-size rollout latency, bytes on air and frame count
+//!   (the bandwidth/latency scaling axes);
+//! * **tampered** — chunks corrupted in transit: every site must reject
+//!   the reassembled bundle;
+//! * **downgrade** — the old signed bundle substituted on the wire:
+//!   every site must reject the rollback;
+//! * **poisoned** — a correctly signed malicious bundle: the canary's
+//!   IDS spike must halt the rollout, and detection-to-halt time is
+//!   reported;
+//! * **jammed** — broadband jamming on every uplink (reported, not
+//!   asserted: the interesting number is the retransmission cost).
+//!
+//! The determinism contract is asserted on every run by rolling the
+//! largest fleet twice from the same seed and comparing the security
+//! traces byte for byte. One run entry is **appended** to
+//! `BENCH_exp10_fleet.json` so successive revisions accumulate into a
+//! trajectory (same pattern as `perf_snapshot`).
+//!
+//! Run keys come from the environment, never from a wall clock inside
+//! the simulation:
+//!
+//! * `SILVASEC_GIT_SHA` — revision identifier (default `unknown`);
+//! * `SILVASEC_RUN_TS` — timestamp string (default `unspecified`);
+//! * `SILVASEC_FLEET_OUT` — output path (default
+//!   `BENCH_exp10_fleet.json` at the workspace root).
+//!
+//! Run with: `cargo run --release -p silvasec-bench --bin exp10_fleet`
+//! (pass `--sites-max 4` for a CI-sized smoke run, `--seed N` to vary
+//! the fleet seed).
+
+use serde::{Serialize, Value};
+use silvasec::experiments::{run_fleet_rollout, FleetScenario};
+use silvasec::fleet::RolloutReport;
+use silvasec::sweep::{par_sweep_with_stats, worker_count};
+
+const FLEET_SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const DEFAULT_SEED: u64 = 11;
+
+#[derive(Debug, Serialize)]
+struct SizeRow {
+    sites: usize,
+    completed: bool,
+    latency_ms: u64,
+    bytes_on_air: u64,
+    frames_sent: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct RunEntry {
+    /// Revision identifier (`SILVASEC_GIT_SHA`, `unknown` if unset).
+    git_sha: String,
+    /// Run timestamp (`SILVASEC_RUN_TS`, `unspecified` if unset).
+    run_ts: String,
+    /// Fleet seed the whole run used.
+    seed: u64,
+    /// Worker threads the sweep engine used.
+    workers: usize,
+    /// Fleet sizes swept under the clean scenario.
+    fleet_sizes: Vec<usize>,
+    /// Largest fleet size (attack scenarios ran at this size).
+    max_sites: usize,
+    /// Wall-clock for the whole sweep, seconds.
+    sweep_wall_s: f64,
+    /// Site-updates applied per wall-clock second across the clean
+    /// sweep — the fleet-layer throughput axis of the trajectory.
+    rollout_sites_per_s: f64,
+    /// Clean rollout latency at the largest size, fleet milliseconds.
+    clean_latency_ms: u64,
+    /// Clean rollout bytes on air at the largest size.
+    clean_bytes_on_air: u64,
+    /// Same-seed traces at the largest size were byte-identical.
+    deterministic: bool,
+    /// Sites rejecting the tampered bundle (must equal `max_sites`).
+    tampered_rejected: u32,
+    /// Sites rejecting the downgrade (must equal `max_sites`).
+    downgrade_rejected: u32,
+    /// Wave at which the poisoned rollout halted.
+    poisoned_halted_at_wave: u32,
+    /// Canary-spike detection to rollout halt, fleet milliseconds.
+    detect_to_halt_ms: u64,
+    /// Jammed-uplink rollout frames vs clean, at the jam size.
+    jammed_frames_sent: u64,
+    /// Per-size clean rows (latency/bandwidth scaling).
+    clean_rows: Vec<SizeRow>,
+}
+
+/// Loads the existing trajectory file and returns its `runs` array.
+fn existing_runs(path: &std::path::Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::parse(&text) else {
+        eprintln!(
+            "warning: {} is not valid JSON; starting a fresh trajectory",
+            path.display()
+        );
+        return Vec::new();
+    };
+    value
+        .get_field("runs")
+        .as_array()
+        .map(<[Value]>::to_vec)
+        .unwrap_or_default()
+}
+
+fn parse_args() -> (usize, u64) {
+    let mut sites_max = *FLEET_SIZES.last().expect("non-empty");
+    let mut seed = DEFAULT_SEED;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sites-max" => {
+                let value = args.next().expect("--sites-max needs a value");
+                sites_max = value.parse().expect("--sites-max must be an integer");
+                assert!(sites_max >= 1, "--sites-max must be at least 1");
+            }
+            "--seed" => {
+                let value = args.next().expect("--seed needs a value");
+                seed = value.parse().expect("--seed must be an integer");
+            }
+            other => panic!("unknown argument: {other} (expected --sites-max / --seed)"),
+        }
+    }
+    (sites_max, seed)
+}
+
+fn reason_total(report: &RolloutReport, reason: &str) -> u32 {
+    report.reject_reasons.get(reason).copied().unwrap_or(0)
+}
+
+fn main() {
+    let (sites_max, seed) = parse_args();
+    let sizes: Vec<usize> = FLEET_SIZES
+        .iter()
+        .copied()
+        .filter(|&s| s <= sites_max)
+        .collect();
+    let sizes = if sizes.is_empty() {
+        vec![sites_max]
+    } else {
+        sizes
+    };
+    let max_sites = *sizes.last().expect("non-empty");
+    let jam_sites = max_sites.min(8);
+
+    // One grid for everything: the clean size sweep, a same-seed twin of
+    // the largest size (determinism witness), and the attack scenarios.
+    let mut points: Vec<(usize, FleetScenario)> =
+        sizes.iter().map(|&s| (s, FleetScenario::Clean)).collect();
+    let twin = points.len();
+    points.push((max_sites, FleetScenario::Clean));
+    points.push((max_sites, FleetScenario::Tampered));
+    points.push((max_sites, FleetScenario::Downgrade));
+    points.push((max_sites, FleetScenario::Poisoned));
+    points.push((jam_sites, FleetScenario::Jammed));
+
+    eprintln!(
+        "exp10_fleet: {} points (sizes {:?}, seed {seed}) on {} workers",
+        points.len(),
+        sizes,
+        worker_count(points.len())
+    );
+    let (results, stats) = par_sweep_with_stats(&points, |&(sites, scenario)| {
+        run_fleet_rollout(sites, seed, scenario)
+    });
+
+    // Clean scaling rows.
+    let mut clean_rows = Vec::new();
+    for (i, &sites) in sizes.iter().enumerate() {
+        let (report, _) = &results[i];
+        assert!(
+            report.completed,
+            "clean rollout must complete at {sites} sites: {report:?}"
+        );
+        assert_eq!(
+            report.applied_sites, sites as u32,
+            "clean rollout must update every one of {sites} sites"
+        );
+        assert_eq!(
+            report.rejected_sites, 0,
+            "clean rollout must reject nothing at {sites} sites"
+        );
+        clean_rows.push(SizeRow {
+            sites,
+            completed: report.completed,
+            latency_ms: report.latency_ms,
+            bytes_on_air: report.bytes_on_air,
+            frames_sent: report.frames_sent,
+        });
+    }
+
+    // Determinism: the twin ran the identical point — traces must match
+    // byte for byte.
+    let (_, base_trace) = &results[sizes.len() - 1];
+    let (_, twin_trace) = &results[twin];
+    let deterministic = base_trace == twin_trace;
+    assert!(
+        deterministic,
+        "same-seed fleet traces diverged at {max_sites} sites — determinism contract broken"
+    );
+
+    // Tampered: every site rejects the corrupted bundle.
+    let (tampered, _) = &results[twin + 1];
+    assert_eq!(
+        tampered.applied_sites, 0,
+        "tampered bundle must never apply: {tampered:?}"
+    );
+    assert_eq!(
+        tampered.rejected_sites, max_sites as u32,
+        "tampered bundle must be rejected on every site: {tampered:?}"
+    );
+
+    // Downgrade: every site rejects the rollback, for the right reason.
+    let (downgrade, _) = &results[twin + 2];
+    assert_eq!(
+        downgrade.applied_sites, 0,
+        "downgrade must never apply: {downgrade:?}"
+    );
+    assert_eq!(
+        reason_total(downgrade, "downgrade"),
+        max_sites as u32,
+        "every site must reject the rollback as a downgrade: {downgrade:?}"
+    );
+
+    // Poisoned: the canary's IDS spike halts the rollout before the
+    // fleet is lost.
+    let (poisoned, _) = &results[twin + 3];
+    let halted_at = poisoned
+        .halted_at_wave
+        .expect("poisoned rollout must halt on the canary IDS spike");
+    let detect_to_halt_ms = poisoned
+        .detect_to_halt_ms
+        .expect("halt must carry detection-to-halt time");
+    assert!(
+        !poisoned.completed,
+        "poisoned rollout must not complete: {poisoned:?}"
+    );
+    assert!(
+        (poisoned.applied_sites as usize) < max_sites.max(2),
+        "halt must spare most of the fleet: {poisoned:?}"
+    );
+
+    // Jammed: reported, not asserted (the outcome depends on jamming
+    // margin; the retransmission cost is the datapoint).
+    let (jammed, _) = &results[twin + 4];
+
+    let applied_total: u32 = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, _)| results[i].0.applied_sites)
+        .sum();
+    let last_clean = clean_rows.last().expect("non-empty");
+    let entry = RunEntry {
+        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
+        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        seed,
+        workers: stats.workers,
+        fleet_sizes: sizes.clone(),
+        max_sites,
+        sweep_wall_s: stats.wall_s,
+        rollout_sites_per_s: f64::from(applied_total) / stats.wall_s.max(1e-9),
+        clean_latency_ms: last_clean.latency_ms,
+        clean_bytes_on_air: last_clean.bytes_on_air,
+        deterministic,
+        tampered_rejected: tampered.rejected_sites,
+        downgrade_rejected: downgrade.rejected_sites,
+        poisoned_halted_at_wave: halted_at,
+        detect_to_halt_ms,
+        jammed_frames_sent: jammed.frames_sent,
+        clean_rows,
+    };
+
+    println!("--- E10: clean rollout scaling (seed {seed}) ---");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "sites", "latency (s)", "bytes on air", "frames"
+    );
+    for row in &entry.clean_rows {
+        println!(
+            "{:>6} {:>12.1} {:>14} {:>12}",
+            row.sites,
+            row.latency_ms as f64 / 1e3,
+            row.bytes_on_air,
+            row.frames_sent
+        );
+    }
+    println!("--- E10: attack scenarios at {max_sites} sites ---");
+    println!(
+        "tampered : applied {} rejected {} ({:?})",
+        tampered.applied_sites, tampered.rejected_sites, tampered.reject_reasons
+    );
+    println!(
+        "downgrade: applied {} rejected {} ({:?})",
+        downgrade.applied_sites, downgrade.rejected_sites, downgrade.reject_reasons
+    );
+    println!(
+        "poisoned : halted at wave {halted_at}, detect-to-halt {:.1} s, {} site(s) exposed",
+        detect_to_halt_ms as f64 / 1e3,
+        poisoned.applied_sites
+    );
+    println!(
+        "jammed   : {jam_sites} sites, completed {}, frames {} (clean at that size would be fewer)",
+        jammed.completed, jammed.frames_sent
+    );
+    println!("deterministic: same-seed traces at {max_sites} sites byte-identical");
+
+    let out_path = std::env::var("SILVASEC_FLEET_OUT").map_or_else(
+        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exp10_fleet.json"),
+        std::path::PathBuf::from,
+    );
+    let mut runs = existing_runs(&out_path);
+    runs.push(entry.serialize());
+    let run_count = runs.len();
+    let trajectory = Value::Object(vec![
+        (
+            "schema".to_string(),
+            Value::String("silvasec-fleet-trajectory/1".to_string()),
+        ),
+        ("runs".to_string(), Value::Array(runs)),
+    ]);
+    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    std::fs::write(&out_path, text).expect("write trajectory file");
+    eprintln!("appended run ({run_count} total) to {}", out_path.display());
+}

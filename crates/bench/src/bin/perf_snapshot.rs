@@ -42,6 +42,11 @@ struct RunEntry {
     run_ts: String,
     /// Worker threads the parallel sweep used (hardware-dependent).
     workers: usize,
+    /// Hardware threads the host reported (`available_parallelism`).
+    /// Readers of the trajectory need this to interpret `speedup`: a
+    /// `workers: 1` entry from a single-core container is not a
+    /// regression, it is the host.
+    detected_cores: usize,
     /// Grid size of the reference sweep.
     sweep_points: usize,
     /// Sequential wall-clock for the reference sweep, seconds.
@@ -159,10 +164,13 @@ fn main() {
     let telemetry = measure_recorder_overhead(3, episode_secs);
 
     let sweep_points = DENSITIES.len() * SEEDS.len();
+    let detected_cores =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let entry = RunEntry {
         git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
         run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
         workers: worker_count(sweep_points).max(stats.workers),
+        detected_cores,
         sweep_points,
         sequential_wall_s,
         parallel_wall_s,
@@ -179,6 +187,18 @@ fn main() {
         entry.deterministic,
         "parallel sweep rows diverged from the sequential reference — determinism contract broken"
     );
+    // On a multi-core host the engine must actually win; a single-core
+    // host cannot, so there the entry only records the fact.
+    if detected_cores >= 2 {
+        assert!(
+            entry.speedup >= 1.0,
+            "parallel sweep slower than sequential on a {detected_cores}-core host \
+             (speedup {:.2})",
+            entry.speedup
+        );
+    } else {
+        eprintln!("single-core host: skipping the speedup assertion");
+    }
 
     let out_path = std::env::var("SILVASEC_PERF_OUT").map_or_else(
         |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf_snapshot.json"),

@@ -1,14 +1,21 @@
 //! **Trace comparison** — diff two flight-recorder JSONL traces and
 //! report the first divergence.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * `trace_compare <left.jsonl> <right.jsonl>` — compare two exported
-//!   trace files event by event;
+//!   trace files event by event, streaming line by line so fleet-sized
+//!   traces never have to fit in memory;
 //! * `trace_compare --figure1 <seed-a> <seed-b> [sim-secs]` — run the
 //!   shortened Figure 1 campaign twice under the secure posture and
 //!   compare the resulting security traces directly, no files needed
-//!   (default 240 simulated seconds).
+//!   (default 240 simulated seconds);
+//! * `trace_compare --fleet <seed-a> <seed-b> [sites]` — run the E10
+//!   fleet OTA rollout twice and compare the fleet security traces
+//!   (default 4 sites).
+//!
+//! `--max-events N` (any mode) stops after the first `N` events: a
+//! bounded spot-check that keeps CI diffs of fleet-scale traces cheap.
 //!
 //! Identical traces exit 0 and print `identical`; diverging traces exit
 //! 1 and print the event index, the field path, and both values at the
@@ -17,13 +24,14 @@
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin trace_compare -- --figure1 11 12`
 
-use silvasec::experiments::figure1_trace;
+use silvasec::experiments::{figure1_trace, run_fleet_rollout, FleetScenario};
 use silvasec::prelude::*;
 use silvasec::telemetry::first_divergence_jsonl;
 use silvasec_sim::time::SimDuration;
+use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_compare <left.jsonl> <right.jsonl>\n       trace_compare --figure1 <seed-a> <seed-b> [sim-secs]";
+const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]";
 
 fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
     match first_divergence_jsonl(left, right) {
@@ -46,14 +54,97 @@ fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCo
     }
 }
 
+/// Keeps only the first `max_events` lines of an in-memory trace.
+fn truncated(trace: &str, max_events: Option<usize>) -> String {
+    match max_events {
+        None => trace.to_string(),
+        Some(n) => trace
+            .lines()
+            .take(n)
+            .map(|l| format!("{l}\n"))
+            .collect::<String>(),
+    }
+}
+
+/// Streams two trace files line by line — memory is bounded by one
+/// event per side regardless of file size — and reports the first
+/// divergence, stopping after `max_events` events when set.
+fn compare_files(
+    left_path: &str,
+    right_path: &str,
+    max_events: Option<usize>,
+) -> std::io::Result<ExitCode> {
+    let open = |p: &str| std::fs::File::open(p).map(std::io::BufReader::new);
+    let mut left_lines = open(left_path)?.lines();
+    let mut right_lines = open(right_path)?.lines();
+    let mut index = 0usize;
+    loop {
+        if max_events.is_some_and(|n| index >= n) {
+            println!(
+                "identical: {left_path} and {right_path} agree on the first {index} events \
+                 (--max-events reached)"
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        match (
+            left_lines.next().transpose()?,
+            right_lines.next().transpose()?,
+        ) {
+            (None, None) => {
+                println!("identical: {left_path} and {right_path} agree on all {index} events");
+                return Ok(ExitCode::SUCCESS);
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                println!("traces diverge at event {index}:");
+                println!("  one trace ends here while the other continues");
+                return Ok(ExitCode::FAILURE);
+            }
+            (Some(left), Some(right)) => match first_divergence_jsonl(&left, &right) {
+                Ok(None) => {}
+                Ok(Some(div)) => {
+                    println!("traces diverge at event {index}:");
+                    println!("  field: {}", div.field);
+                    println!("  {left_path}: {}", div.left);
+                    println!("  {right_path}: {}", div.right);
+                    return Ok(ExitCode::FAILURE);
+                }
+                Err(e) => {
+                    eprintln!("error: malformed trace at event {index}: {e}");
+                    return Ok(ExitCode::FAILURE);
+                }
+            },
+        }
+        index += 1;
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `--max-events N` may appear anywhere; extract it first.
+    let mut max_events: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--max-events") {
+        let Some(Ok(n)) = args.get(pos + 1).map(|s| s.parse::<usize>()) else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        max_events = Some(n);
+        args.drain(pos..=pos + 1);
+    }
+
+    let parse_seeds = |args: &[String]| -> Option<(u64, u64)> {
+        match (
+            args.get(1).map(|s| s.parse::<u64>()),
+            args.get(2).map(|s| s.parse::<u64>()),
+        ) {
+            (Some(Ok(a)), Some(Ok(b))) => Some((a, b)),
+            _ => None,
+        }
+    };
+
     match args.first().map(String::as_str) {
         Some("--figure1") => {
-            let (Some(Ok(seed_a)), Some(Ok(seed_b))) = (
-                args.get(1).map(|s| s.parse::<u64>()),
-                args.get(2).map(|s| s.parse::<u64>()),
-            ) else {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
                 eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             };
@@ -66,8 +157,14 @@ fn main() -> ExitCode {
                 }
             };
             let total = SimDuration::from_secs(secs);
-            let left = figure1_trace(SecurityPosture::secure(), seed_a, total);
-            let right = figure1_trace(SecurityPosture::secure(), seed_b, total);
+            let left = truncated(
+                &figure1_trace(SecurityPosture::secure(), seed_a, total),
+                max_events,
+            );
+            let right = truncated(
+                &figure1_trace(SecurityPosture::secure(), seed_b, total),
+                max_events,
+            );
             compare(
                 &format!("seed {seed_a}"),
                 &left,
@@ -75,15 +172,39 @@ fn main() -> ExitCode {
                 &right,
             )
         }
-        Some(left_path) if args.len() == 2 => {
-            let right_path = &args[1];
-            let read = |path: &str| {
-                std::fs::read_to_string(path).map_err(|e| eprintln!("error: {path}: {e}"))
-            };
-            let (Ok(left), Ok(right)) = (read(left_path), read(right_path)) else {
+        Some("--fleet") => {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
+                eprintln!("{USAGE}");
                 return ExitCode::FAILURE;
             };
-            compare(left_path, &left, right_path, &right)
+            let sites = match args.get(3).map(|s| s.parse::<usize>()) {
+                Some(Ok(s)) => s,
+                None => 4,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (_, left) = run_fleet_rollout(sites, seed_a, FleetScenario::Clean);
+            let (_, right) = run_fleet_rollout(sites, seed_b, FleetScenario::Clean);
+            let left = truncated(&left, max_events);
+            let right = truncated(&right, max_events);
+            compare(
+                &format!("fleet seed {seed_a}"),
+                &left,
+                &format!("fleet seed {seed_b}"),
+                &right,
+            )
+        }
+        Some(left_path) if args.len() == 2 => {
+            let right_path = &args[1];
+            match compare_files(left_path, right_path, max_events) {
+                Ok(code) => code,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         _ => {
             eprintln!("{USAGE}");

@@ -774,6 +774,119 @@ pub fn continuous_latency(kind: AttackKind, seed: u64) -> ContinuousLatencyRow {
     }
 }
 
+// ---------------------------------------------------------------------
+// E10: fleet OTA rollout and fleet security operations
+// ---------------------------------------------------------------------
+
+/// The fleet-layer attack injected into an E10 rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FleetScenario {
+    /// No attack — the baseline rollout.
+    Clean,
+    /// Update chunks corrupted in transit (MITM on the distribution
+    /// path); every site must reject the reassembled bundle.
+    Tampered,
+    /// The old but genuinely signed bundle substituted on the wire;
+    /// every site must reject the version rollback.
+    Downgrade,
+    /// A correctly signed malicious bundle: sites that apply it start
+    /// misbehaving, and the canary IDS spike must halt the rollout.
+    Poisoned,
+    /// Broadband jamming of every uplink — the rollout completes but
+    /// pays for it in retransmissions and latency.
+    Jammed,
+}
+
+impl FleetScenario {
+    /// Short stable name for result tables.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FleetScenario::Clean => "clean",
+            FleetScenario::Tampered => "tampered",
+            FleetScenario::Downgrade => "downgrade",
+            FleetScenario::Poisoned => "poisoned",
+            FleetScenario::Jammed => "jammed",
+        }
+    }
+
+    /// The fleet-layer campaign this scenario schedules, if any.
+    #[must_use]
+    pub fn campaign(&self) -> Option<AttackCampaign> {
+        let kind = match self {
+            FleetScenario::Clean => return None,
+            FleetScenario::Tampered => AttackKind::UpdateTampering,
+            FleetScenario::Downgrade => AttackKind::Downgrade,
+            FleetScenario::Poisoned => AttackKind::RolloutPoisoning,
+            FleetScenario::Jammed => AttackKind::RfJamming,
+        };
+        Some(AttackCampaign {
+            kind,
+            target: AttackTarget::Network,
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(100_000),
+            intensity: 1.0,
+        })
+    }
+}
+
+/// The standard E10 fleet: compact worksites (fleet scale comes from the
+/// site count, not from each site's stand), a one-site canary, and waves
+/// of four.
+#[must_use]
+pub fn fleet_config(sites: usize) -> silvasec_fleet::FleetConfig {
+    let site = WorksiteConfig {
+        world: WorldConfig {
+            terrain: TerrainConfig {
+                size_m: 200.0,
+                relief_m: 6.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 300.0,
+                ..StandConfig::default()
+            },
+            human_count: 2,
+            work_area: Vec2::new(160.0, 160.0),
+            landing_area: Vec2::new(40.0, 40.0),
+            ..WorldConfig::default()
+        },
+        ..WorksiteConfig::default()
+    };
+    silvasec_fleet::FleetConfig {
+        sites,
+        site,
+        policy: silvasec_fleet::RolloutPolicy {
+            canary_sites: 1,
+            wave_size: 4,
+            // Long enough for a poisoned canary's IDS alerts (which take
+            // ~10 s to cross the halt threshold) to stop the rollout
+            // before the first full wave ships.
+            observe_ticks: 40,
+            halt_alert_threshold: 3,
+        },
+        ..silvasec_fleet::FleetConfig::default()
+    }
+}
+
+/// Runs one E10 point: commissions a fleet of `sites` worksites and
+/// rolls firmware version 2 out under `scenario`. Returns the rollout
+/// report and the fleet security trace (JSONL).
+#[must_use]
+pub fn run_fleet_rollout(
+    sites: usize,
+    seed: u64,
+    scenario: FleetScenario,
+) -> (silvasec_fleet::RolloutReport, String) {
+    let mut fleet = silvasec_fleet::Fleet::new(fleet_config(sites), seed);
+    if let Some(campaign) = scenario.campaign() {
+        fleet.schedule_fleet_attack(campaign);
+    }
+    let report = fleet.run_rollout(2);
+    let trace = fleet.export_trace_jsonl();
+    (report, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

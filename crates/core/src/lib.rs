@@ -29,6 +29,7 @@
 //! | Assurance cases | [`silvasec_assurance`] |
 //! | Worksite orchestration | [`silvasec_sos`] |
 //! | Flight recorder & metrics | [`silvasec_telemetry`] |
+//! | Fleet operations & OTA | [`silvasec_fleet`] |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use silvasec_attacks as attacks;
 pub use silvasec_channel as channel;
 pub use silvasec_comms as comms;
 pub use silvasec_crypto as crypto;
+pub use silvasec_fleet as fleet;
 pub use silvasec_ids as ids;
 pub use silvasec_machines as machines;
 pub use silvasec_pki as pki;
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use silvasec_attacks::prelude::*;
     pub use silvasec_channel::prelude::*;
     pub use silvasec_comms::prelude::*;
+    pub use silvasec_fleet::prelude::*;
     pub use silvasec_ids::prelude::*;
     pub use silvasec_machines::prelude::*;
     pub use silvasec_pki::prelude::*;

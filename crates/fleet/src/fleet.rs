@@ -1,0 +1,734 @@
+//! The fleet orchestrator: N worksites, one update backend, one SIEM.
+
+use crate::bundle::{BundleError, UpdateBundle, UpdateManifest};
+use crate::rollout::{RolloutPhase, RolloutPolicy, RolloutReport};
+use crate::siem::{FleetSiem, SiemConfig};
+use crate::transport::{Delivery, Uplink};
+use silvasec_attacks::{AttackCampaign, AttackKind, AttackTarget};
+use silvasec_crypto::schnorr::SigningKey;
+use silvasec_pki::{
+    Certificate, CertificateAuthority, ComponentRole, KeyUsage, Subject, TrustStore, Validity,
+};
+use silvasec_risk::catalog::worksite_model;
+use silvasec_risk::continuous::{
+    alert_class_to_attack_class, ContinuousAssessment, IncidentReport,
+};
+use silvasec_secure_boot::{Device, FirmwareImage, FirmwareStage};
+use silvasec_sim::geom::Vec2;
+use silvasec_sim::rng::SimRng;
+use silvasec_sim::time::{SimDuration, SimTime};
+use silvasec_sos::{Worksite, WorksiteConfig};
+use silvasec_telemetry::{Event, EventFilter, EventKind, Label, Recorder, SubscriberId};
+use std::collections::BTreeMap;
+
+/// The fleet component every site's update device runs (one machine
+/// model fleet-wide, so one image serves every site).
+pub const FLEET_COMPONENT: &str = "forwarder-fw";
+
+/// PKI validity horizon for fleet credentials, milliseconds.
+const VALIDITY_HORIZON_MS: u64 = 365 * 24 * 3600 * 1000;
+
+/// Fleet scenario configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of worksites under management.
+    pub sites: usize,
+    /// Configuration every worksite is built from.
+    pub site: WorksiteConfig,
+    /// Staged-rollout policy.
+    pub policy: RolloutPolicy,
+    /// SIEM correlation tuning.
+    pub siem: SiemConfig,
+    /// OTA chunk payload size, bytes.
+    pub chunk_bytes: usize,
+    /// Chunks transmitted per site per tick.
+    pub chunks_per_tick: usize,
+    /// Nominal backend↔gateway distance, metres (per-site jitter of
+    /// ±20% is applied at commissioning).
+    pub uplink_range_m: f64,
+    /// Firmware image payload size, bytes.
+    pub image_payload_bytes: usize,
+    /// Upper bound on rollout duration, ticks (a stuck rollout ends with
+    /// `completed: false` instead of spinning forever).
+    pub max_rollout_ticks: u32,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sites: 4,
+            site: WorksiteConfig::default(),
+            policy: RolloutPolicy::default(),
+            siem: SiemConfig::default(),
+            chunk_bytes: 768,
+            chunks_per_tick: 16,
+            uplink_range_m: 140.0,
+            image_payload_bytes: 2048,
+            max_rollout_ticks: 4_000,
+        }
+    }
+}
+
+/// The central update backend: fleet CA, firmware signer, bundle
+/// history.
+#[derive(Debug)]
+pub struct FleetBackend {
+    root: CertificateAuthority,
+    signer: SigningKey,
+    signer_chain: Vec<Certificate>,
+    store: TrustStore,
+    published: Vec<UpdateBundle>,
+    next_update_id: u32,
+}
+
+impl FleetBackend {
+    fn commission(rng: &mut SimRng) -> Self {
+        let mut root = CertificateAuthority::new_root(
+            "fleet-root",
+            &rng.next_seed(),
+            Validity::new(0, VALIDITY_HORIZON_MS),
+        );
+        let signer = SigningKey::from_seed(&rng.next_seed());
+        let leaf = root.issue_mut(
+            &Subject::new("fleet-fw-signer", ComponentRole::FirmwareSigner),
+            &signer.verifying_key(),
+            KeyUsage::FIRMWARE_SIGNING,
+            Validity::new(0, VALIDITY_HORIZON_MS),
+        );
+        let store = TrustStore::with_roots([root.certificate().clone()]);
+        FleetBackend {
+            root,
+            signer,
+            signer_chain: vec![leaf],
+            store,
+            published: Vec::new(),
+            next_update_id: 1,
+        }
+    }
+
+    /// Builds, signs and records a new update bundle.
+    pub fn publish(
+        &mut self,
+        version: u32,
+        payload_bytes: usize,
+        released_at_ms: u64,
+        rng: &mut SimRng,
+    ) -> UpdateBundle {
+        let mut make_payload = |len: usize| {
+            let mut payload = vec![0u8; len];
+            rng.fill_bytes(&mut payload);
+            payload
+        };
+        let images = vec![
+            FirmwareImage::new(
+                FLEET_COMPONENT,
+                FirmwareStage::Bootloader,
+                version,
+                make_payload(payload_bytes / 4),
+            )
+            .sign(&self.signer),
+            FirmwareImage::new(
+                FLEET_COMPONENT,
+                FirmwareStage::Application,
+                version,
+                make_payload(payload_bytes),
+            )
+            .sign(&self.signer),
+        ];
+        let manifest = UpdateManifest {
+            component_id: FLEET_COMPONENT.to_string(),
+            version,
+            channel: "stable".to_string(),
+            released_at_ms,
+        };
+        let bundle = UpdateBundle::build(manifest, images, self.signer_chain.clone(), &self.signer);
+        self.published.push(bundle.clone());
+        self.next_update_id += 1;
+        bundle
+    }
+
+    /// The trust store sites verify bundles against.
+    #[must_use]
+    pub fn trust_store(&self) -> &TrustStore {
+        &self.store
+    }
+
+    /// The fleet root CA (for revocation drills and inspection).
+    #[must_use]
+    pub fn root(&self) -> &CertificateAuthority {
+        &self.root
+    }
+
+    /// The update signer's verifying key (pinned by site devices).
+    #[must_use]
+    pub fn signer_key(&self) -> silvasec_crypto::schnorr::VerifyingKey {
+        self.signer.verifying_key()
+    }
+
+    /// Previously published bundles, oldest first.
+    #[must_use]
+    pub fn published(&self) -> &[UpdateBundle] {
+        &self.published
+    }
+}
+
+/// One managed worksite plus its fleet-facing attachments.
+struct FleetSite {
+    index: u32,
+    site: Worksite,
+    uplink: Uplink,
+    device: Device,
+    installed_version: u32,
+    alerts_sub: SubscriberId,
+    delivery: Option<Delivery>,
+    /// Outcome of the current rollout at this site: `Ok(version)` or the
+    /// rejection reason tag.
+    outcome: Option<Result<u32, &'static str>>,
+}
+
+impl FleetSite {
+    /// Verifies and applies a fully received encoded bundle.
+    fn apply(
+        &mut self,
+        bytes: &[u8],
+        store: &TrustStore,
+        now_ms: u64,
+    ) -> Result<u32, &'static str> {
+        let bundle = UpdateBundle::decode(bytes).map_err(|e| e.reason())?;
+        bundle
+            .verify(store, now_ms, FLEET_COMPONENT, self.installed_version)
+            .map_err(|e| match e {
+                // Stash the reason tag; the caller tallies it.
+                BundleError::Chain(_) => "chain",
+                other => other.reason(),
+            })?;
+        let report = self.device.boot(&bundle.images);
+        if !report.success {
+            return Err("boot");
+        }
+        self.installed_version = bundle.manifest.version;
+        Ok(bundle.manifest.version)
+    }
+}
+
+/// The deterministic fleet-operations layer.
+pub struct Fleet {
+    config: FleetConfig,
+    backend: FleetBackend,
+    sites: Vec<FleetSite>,
+    siem: FleetSiem,
+    risk: ContinuousAssessment,
+    recorder: Recorder,
+    trace_sub: SubscriberId,
+    campaigns: Vec<AttackCampaign>,
+    now: SimTime,
+    rng: SimRng,
+}
+
+impl Fleet {
+    /// Commissions a fleet: backend PKI, one worksite per site index,
+    /// per-site uplinks, and baseline firmware (version 1) booted on
+    /// every site's update device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if baseline commissioning fails — a construction bug, not
+    /// a runtime condition.
+    #[must_use]
+    pub fn new(config: FleetConfig, seed: u64) -> Self {
+        let root_rng = SimRng::from_seed(seed);
+        let mut rng = root_rng.fork("fleet");
+        let mut backend = FleetBackend::commission(&mut root_rng.fork("backend"));
+        let baseline = backend.publish(1, config.image_payload_bytes, 0, &mut rng);
+
+        let recorder = Recorder::new();
+        let trace_sub = recorder.subscribe_filtered("fleet", 65_536, EventFilter::security());
+        let mut risk = ContinuousAssessment::new(worksite_model());
+        risk.set_recorder(recorder.clone());
+
+        let mut sites = Vec::with_capacity(config.sites);
+        for i in 0..config.sites {
+            let mut site_rng = root_rng.fork(&format!("fleet-site-{i}"));
+            let site = Worksite::new(&config.site, site_rng.next_u64());
+            let alerts_sub = site.recorder().subscribe_filtered(
+                "fleet-siem",
+                1_024,
+                EventFilter::none().with(EventKind::IdsAlert),
+            );
+            let range = config.uplink_range_m * (0.8 + 0.4 * site_rng.uniform());
+            let uplink = Uplink::new(range, site_rng.fork("uplink"));
+            let mut device = Device::new(FLEET_COMPONENT, backend.signer_key());
+            let report = device.boot(&baseline.images);
+            assert!(report.success, "baseline firmware must boot");
+            sites.push(FleetSite {
+                index: i as u32,
+                site,
+                uplink,
+                device,
+                installed_version: 1,
+                alerts_sub,
+                delivery: None,
+                outcome: None,
+            });
+        }
+
+        Fleet {
+            siem: FleetSiem::new(config.siem),
+            config,
+            backend,
+            sites,
+            risk,
+            recorder,
+            trace_sub,
+            campaigns: Vec::new(),
+            now: SimTime::ZERO,
+            rng,
+        }
+    }
+
+    /// Schedules a fleet-layer attack campaign. Worksite-layer kinds are
+    /// applied to every site's local attack engine instead.
+    pub fn schedule_fleet_attack(&mut self, campaign: AttackCampaign) {
+        match campaign.kind {
+            AttackKind::UpdateTampering
+            | AttackKind::Downgrade
+            | AttackKind::RolloutPoisoning
+            | AttackKind::RfJamming => self.campaigns.push(campaign),
+            _ => {
+                for fs in &mut self.sites {
+                    fs.site.attack_engine_mut().add_campaign(campaign.clone());
+                }
+            }
+        }
+    }
+
+    /// Schedules a worksite-layer attack on one site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn schedule_site_attack(&mut self, site: usize, campaign: AttackCampaign) {
+        self.sites[site]
+            .site
+            .attack_engine_mut()
+            .add_campaign(campaign);
+    }
+
+    /// Feeds a disclosed vulnerability into the continuous assessment —
+    /// fleet risk rises before any machine is attacked, which is exactly
+    /// what motivates the next rollout.
+    pub fn disclose_vulnerability(&mut self, attack_class: &str) {
+        let incident = IncidentReport {
+            attack_class: alert_class_to_attack_class(attack_class).to_string(),
+            at_ms: self.now.as_millis(),
+        };
+        self.risk.ingest(&incident);
+    }
+
+    fn kind_active(&self, kind: AttackKind) -> bool {
+        self.campaigns
+            .iter()
+            .any(|c| c.kind == kind && c.active_at(self.now))
+    }
+
+    /// Advances the whole fleet by one tick: every worksite steps, the
+    /// SIEM drains and correlates their security rings, and correlated
+    /// campaigns feed the continuous risk assessment. Returns the IDS
+    /// alerts drained this tick as `(site, at_ms)` pairs.
+    pub fn tick(&mut self) -> Vec<(u32, u64)> {
+        self.now += self.config.site.tick;
+        self.recorder.advance(self.now);
+
+        // Fleet-layer jamming applies to every uplink while active.
+        let jamming = self
+            .campaigns
+            .iter()
+            .find(|c| c.kind == AttackKind::RfJamming && c.active_at(self.now))
+            .map(|c| c.intensity);
+        for fs in &mut self.sites {
+            match jamming {
+                Some(intensity) => fs.uplink.set_jamming(true, 10.0 + 30.0 * intensity),
+                None => fs.uplink.set_jamming(false, 0.0),
+            }
+        }
+
+        let mut alerts = Vec::new();
+        for fs in &mut self.sites {
+            fs.site.tick();
+            for record in fs.site.recorder().drain(fs.alerts_sub) {
+                if self.siem.ingest(fs.index, &record).is_some() {
+                    alerts.push((fs.index, record.at.as_millis()));
+                }
+            }
+        }
+
+        let now_ms = self.now.as_millis();
+        for campaign in self.siem.correlate(now_ms) {
+            self.recorder.record_at(
+                self.now,
+                Event::CampaignAlert {
+                    class: Label::new(&campaign.class),
+                    sites: campaign.sites,
+                },
+            );
+            self.risk.ingest(&IncidentReport {
+                attack_class: alert_class_to_attack_class(&campaign.class).to_string(),
+                at_ms: campaign.at_ms,
+            });
+        }
+        alerts
+    }
+
+    /// Runs the fleet for `duration` with no rollout in progress (attack
+    /// campaigns and SIEM correlation still run).
+    pub fn run(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        while self.now < end {
+            self.tick();
+        }
+    }
+
+    /// Publishes firmware `version` and distributes it fleet-wide under
+    /// the staged rollout policy.
+    ///
+    /// The rollout proceeds wave by wave (canary first). A wave must
+    /// fully resolve (every member applied or rejected) and then soak for
+    /// [`RolloutPolicy::observe_ticks`]; IDS alerts raised by wave
+    /// members during distribution or soak count towards
+    /// [`RolloutPolicy::halt_alert_threshold`], and reaching it halts
+    /// the rollout. A fully completed rollout withdraws the
+    /// firmware-tampering escalation from the continuous assessment
+    /// (the fleet has patched; the field evidence is stale).
+    pub fn run_rollout(&mut self, version: u32) -> RolloutReport {
+        let update_id = self.backend.next_update_id;
+        let released_at = self.now.as_millis();
+        let bundle = self.backend.publish(
+            version,
+            self.config.image_payload_bytes,
+            released_at,
+            &mut self.rng,
+        );
+        let encoded = bundle.encode();
+        // The rollback candidate a downgrade attacker would replay: the
+        // oldest published bundle (the genuinely signed baseline).
+        let old_encoded = self.backend.published.first().map(UpdateBundle::encode);
+
+        for fs in &mut self.sites {
+            fs.delivery = None;
+            fs.outcome = None;
+        }
+
+        let waves = self.config.policy.waves(self.sites.len());
+        let started = self.now;
+        let mut wave = 0usize;
+        let mut phase = RolloutPhase::Distributing;
+        let mut observe_left = 0u32;
+        let mut updated_site_alerts = 0u32;
+        let mut first_update_alert_ms: Option<u64> = None;
+        let mut report = RolloutReport {
+            fleet_size: self.sites.len(),
+            target_version: version,
+            completed: false,
+            halted_at_wave: None,
+            applied_sites: 0,
+            rejected_sites: 0,
+            reject_reasons: BTreeMap::new(),
+            latency_ms: 0,
+            bytes_on_air: 0,
+            frames_sent: 0,
+            detect_to_halt_ms: None,
+        };
+        self.record_wave(wave, "start");
+
+        for _ in 0..self.config.max_rollout_ticks {
+            let alerts = self.tick();
+            for &(site, at_ms) in &alerts {
+                // Only alerts from machines running the new firmware
+                // implicate the rollout itself.
+                if matches!(self.sites[site as usize].outcome, Some(Ok(_))) {
+                    updated_site_alerts += 1;
+                    first_update_alert_ms.get_or_insert(at_ms);
+                }
+            }
+
+            if updated_site_alerts >= self.config.policy.halt_alert_threshold {
+                self.record_wave(wave, "halt");
+                report.halted_at_wave = Some(wave as u32);
+                report.detect_to_halt_ms =
+                    first_update_alert_ms.map(|at| self.now.as_millis().saturating_sub(at));
+                break;
+            }
+
+            match phase {
+                RolloutPhase::Distributing => {
+                    let tamper = self.kind_active(AttackKind::UpdateTampering);
+                    let downgrade = self.kind_active(AttackKind::Downgrade);
+                    let poisoning = self.kind_active(AttackKind::RolloutPoisoning);
+                    let now = self.now;
+                    let budget = self.config.chunks_per_tick;
+                    let mut applied_sites = Vec::new();
+                    for &idx in &waves[wave] {
+                        let chunk_bytes = self.config.chunk_bytes;
+                        let fs = &mut self.sites[idx];
+                        if fs.outcome.is_some() {
+                            continue;
+                        }
+                        let delivery = fs.delivery.get_or_insert_with(|| {
+                            // A downgrade MITM substitutes the old but
+                            // genuinely signed bundle on the wire.
+                            let bytes = match (&old_encoded, downgrade) {
+                                (Some(old), true) => old.as_slice(),
+                                _ => encoded.as_slice(),
+                            };
+                            Delivery::new(
+                                update_id,
+                                bytes,
+                                chunk_bytes,
+                                self.rng.fork(&format!("tamper-{update_id}-{idx}")),
+                            )
+                        });
+                        let Some(bytes) = delivery.step(&mut fs.uplink, budget, tamper, now) else {
+                            continue;
+                        };
+                        report.bytes_on_air += delivery.bytes_on_air;
+                        report.frames_sent += delivery.frames_sent;
+                        fs.delivery = None;
+                        let outcome = fs.apply(&bytes, self.backend.trust_store(), now.as_millis());
+                        let (ok, reason) = match &outcome {
+                            Ok(_) => {
+                                report.applied_sites += 1;
+                                applied_sites.push(idx);
+                                (true, "applied")
+                            }
+                            Err(reason) => {
+                                report.rejected_sites += 1;
+                                *report
+                                    .reject_reasons
+                                    .entry((*reason).to_string())
+                                    .or_default() += 1;
+                                (false, *reason)
+                            }
+                        };
+                        fs.outcome = Some(outcome);
+                        self.recorder.record_at(
+                            now,
+                            Event::UpdateApply {
+                                site: fs.index,
+                                version,
+                                ok,
+                                reason: Label::new(reason),
+                            },
+                        );
+                    }
+                    // A poisoned (signed but malicious) image starts
+                    // misbehaving right after it is applied — the staged
+                    // rollout exists to catch exactly this at the canary.
+                    if poisoning {
+                        for idx in applied_sites {
+                            self.poison_site(idx);
+                        }
+                    }
+                    if waves[wave]
+                        .iter()
+                        .all(|&idx| self.sites[idx].outcome.is_some())
+                    {
+                        phase = RolloutPhase::Observing;
+                        observe_left = self.config.policy.observe_ticks;
+                    }
+                }
+                RolloutPhase::Observing => {
+                    if observe_left > 0 {
+                        observe_left -= 1;
+                    } else {
+                        self.record_wave(wave, "complete");
+                        wave += 1;
+                        if wave == waves.len() {
+                            phase = RolloutPhase::Complete;
+                        } else {
+                            phase = RolloutPhase::Distributing;
+                            self.record_wave(wave, "start");
+                        }
+                    }
+                }
+                RolloutPhase::Halted | RolloutPhase::Complete => {}
+            }
+
+            if phase == RolloutPhase::Complete {
+                report.completed = true;
+                // The fleet has patched: withdraw the field-evidence
+                // escalation that motivated the rollout.
+                self.risk
+                    .mitigate("firmware-tampering", self.now.as_millis());
+                break;
+            }
+        }
+
+        // Deliveries still in flight when the rollout ends (halted, or a
+        // jammed uplink that never completed) have spent real airtime.
+        for fs in &mut self.sites {
+            if let Some(delivery) = fs.delivery.take() {
+                report.bytes_on_air += delivery.bytes_on_air;
+                report.frames_sent += delivery.frames_sent;
+            }
+        }
+        report.latency_ms = self.now.since(started).as_millis();
+        report
+    }
+
+    /// Models a poisoned image's misbehaviour: the compromised machine
+    /// starts replaying captured traffic, forging de-auth frames and
+    /// feeding spoofed GNSS fixes on its own worksite, which the site
+    /// IDS picks up across three distinct detector classes.
+    fn poison_site(&mut self, idx: usize) {
+        let start = self.now + self.config.site.tick;
+        let duration = SimDuration::from_secs(120);
+        let engine = self.sites[idx].site.attack_engine_mut();
+        engine.add_campaign(AttackCampaign {
+            kind: AttackKind::Replay,
+            target: AttackTarget::Network,
+            start,
+            duration,
+            intensity: 1.0,
+        });
+        engine.add_campaign(AttackCampaign {
+            kind: AttackKind::DeauthFlood,
+            target: AttackTarget::Link {
+                spoof_as: silvasec_comms::NodeId(0),
+                victim: silvasec_comms::NodeId(1),
+            },
+            start,
+            duration,
+            intensity: 1.0,
+        });
+        // A third misbehavior class: the IDS rate-limits repeats of a
+        // class (30 s cooldown), so crossing the fleet halt threshold
+        // quickly needs alerts from *distinct* detectors, exactly what a
+        // trojanized machine produces.
+        engine.add_campaign(AttackCampaign {
+            kind: AttackKind::GnssSpoofing,
+            target: AttackTarget::Area {
+                center: Vec2::new(100.0, 100.0),
+                radius_m: 500.0,
+            },
+            start,
+            duration,
+            intensity: 1.0,
+        });
+    }
+
+    fn record_wave(&self, wave: usize, phase: &str) {
+        self.recorder.record_at(
+            self.now,
+            Event::RolloutWave {
+                wave: wave as u32,
+                phase: Label::new(phase),
+            },
+        );
+    }
+
+    /// The fleet-level security trace (rollout, campaign and risk
+    /// events) as JSONL — the stream the trace-divergence tooling
+    /// compares across runs.
+    #[must_use]
+    pub fn export_trace_jsonl(&self) -> String {
+        self.recorder.export_jsonl(self.trace_sub)
+    }
+
+    /// The continuous risk assessment fed by the SIEM.
+    #[must_use]
+    pub fn risk(&self) -> &ContinuousAssessment {
+        &self.risk
+    }
+
+    /// The SIEM aggregator.
+    #[must_use]
+    pub fn siem(&self) -> &FleetSiem {
+        &self.siem
+    }
+
+    /// The update backend.
+    #[must_use]
+    pub fn backend(&self) -> &FleetBackend {
+        &self.backend
+    }
+
+    /// Number of managed sites.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the fleet manages no sites.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Installed firmware version at `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn installed_version(&self, site: usize) -> u32 {
+        self.sites[site].installed_version
+    }
+
+    /// Current fleet time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Read access to one managed worksite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn worksite(&self, site: usize) -> &Worksite {
+        &self.sites[site].site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(sites: usize) -> FleetConfig {
+        FleetConfig {
+            sites,
+            policy: RolloutPolicy {
+                canary_sites: 1,
+                wave_size: 2,
+                observe_ticks: 6,
+                halt_alert_threshold: 3,
+            },
+            image_payload_bytes: 512,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn clean_rollout_reaches_every_site() {
+        let mut fleet = Fleet::new(small_config(3), 42);
+        let report = fleet.run_rollout(2);
+        assert!(report.completed, "rollout did not complete: {report:?}");
+        assert_eq!(report.applied_sites, 3);
+        assert_eq!(report.rejected_sites, 0);
+        assert!(report.bytes_on_air > 0);
+        for site in 0..fleet.len() {
+            assert_eq!(fleet.installed_version(site), 2);
+        }
+    }
+
+    #[test]
+    fn backend_signs_verifiable_bundles() {
+        let mut rng = SimRng::from_seed(7);
+        let mut backend = FleetBackend::commission(&mut rng);
+        let bundle = backend.publish(3, 256, 0, &mut rng);
+        bundle
+            .verify(backend.trust_store(), 100, FLEET_COMPONENT, 1)
+            .unwrap();
+    }
+}

@@ -1,0 +1,128 @@
+//! Staged rollout policy: canary first, then waves, with an automatic
+//! halt when the freshly updated sites start raising IDS alerts.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a fleet update is staged across sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RolloutPolicy {
+    /// Sites in the canary wave (wave 0).
+    pub canary_sites: usize,
+    /// Sites per subsequent wave.
+    pub wave_size: usize,
+    /// Soak ticks after a wave finishes applying before the next wave
+    /// starts; alerts from wave members during this window count towards
+    /// the halt threshold.
+    pub observe_ticks: u32,
+    /// IDS alerts from sites already updated in this rollout at which
+    /// the rollout halts.
+    pub halt_alert_threshold: u32,
+}
+
+impl Default for RolloutPolicy {
+    fn default() -> Self {
+        RolloutPolicy {
+            canary_sites: 1,
+            wave_size: 8,
+            observe_ticks: 40,
+            halt_alert_threshold: 3,
+        }
+    }
+}
+
+impl RolloutPolicy {
+    /// Splits `fleet_size` site indices into waves: the canary wave
+    /// first, then full waves of [`wave_size`].
+    ///
+    /// [`wave_size`]: RolloutPolicy::wave_size
+    #[must_use]
+    pub fn waves(&self, fleet_size: usize) -> Vec<Vec<usize>> {
+        let canary = self.canary_sites.clamp(1, fleet_size);
+        let mut waves = vec![(0..canary).collect::<Vec<_>>()];
+        let mut next = canary;
+        while next < fleet_size {
+            let end = (next + self.wave_size.max(1)).min(fleet_size);
+            waves.push((next..end).collect());
+            next = end;
+        }
+        waves
+    }
+}
+
+/// Where a rollout currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutPhase {
+    /// Distributing and applying the bundle to the current wave.
+    Distributing,
+    /// Soaking: watching the current wave's IDS output.
+    Observing,
+    /// Halted by the alert-spike rule.
+    Halted,
+    /// Every wave completed.
+    Complete,
+}
+
+/// The measured outcome of one fleet rollout.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RolloutReport {
+    /// Number of sites in the fleet.
+    pub fleet_size: usize,
+    /// The version the rollout distributed.
+    pub target_version: u32,
+    /// Whether every wave completed.
+    pub completed: bool,
+    /// The wave at which the rollout halted, if it did.
+    pub halted_at_wave: Option<u32>,
+    /// Sites that verified and applied the update.
+    pub applied_sites: u32,
+    /// Sites that rejected the offered bundle.
+    pub rejected_sites: u32,
+    /// Rejection tally per [`BundleError::reason`] tag.
+    ///
+    /// [`BundleError::reason`]: crate::bundle::BundleError::reason
+    pub reject_reasons: BTreeMap<String, u32>,
+    /// Wall-to-wall rollout time in fleet milliseconds.
+    pub latency_ms: u64,
+    /// Bytes put on the air across every uplink, retransmits included.
+    pub bytes_on_air: u64,
+    /// Frames transmitted across every uplink.
+    pub frames_sent: u64,
+    /// Milliseconds from the first in-wave IDS alert to the halt, when
+    /// the rollout halted.
+    pub detect_to_halt_ms: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_cover_fleet_exactly_once() {
+        let policy = RolloutPolicy {
+            canary_sites: 2,
+            wave_size: 5,
+            ..RolloutPolicy::default()
+        };
+        let waves = policy.waves(13);
+        assert_eq!(waves[0], vec![0, 1]);
+        assert_eq!(waves.len(), 4);
+        let all: Vec<usize> = waves.into_iter().flatten().collect();
+        assert_eq!(all, (0..13).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_site_fleet_is_one_canary_wave() {
+        let waves = RolloutPolicy::default().waves(1);
+        assert_eq!(waves, vec![vec![0]]);
+    }
+
+    #[test]
+    fn oversized_canary_is_clamped() {
+        let policy = RolloutPolicy {
+            canary_sites: 10,
+            ..RolloutPolicy::default()
+        };
+        assert_eq!(policy.waves(3), vec![vec![0, 1, 2]]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Fleet SIEM: cross-site correlation of worksite security telemetry.
+//!
+//! Each worksite already keeps a security-event ring (IDS alerts,
+//! handshake failures, boot measurements). The fleet backend drains
+//! those rings and correlates across sites: the same attack class
+//! reported by `k` distinct sites inside a sliding window is no longer
+//! k local incidents — it is one coordinated campaign against the
+//! fleet, and is escalated as such into the continuous risk assessment.
+
+use silvasec_telemetry::{Event, Record};
+use std::collections::BTreeMap;
+
+/// Correlation tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiemConfig {
+    /// Sliding correlation window in milliseconds.
+    pub window_ms: u64,
+    /// Distinct sites reporting the same class within the window that
+    /// constitute a coordinated campaign.
+    pub k_sites: usize,
+}
+
+impl Default for SiemConfig {
+    fn default() -> Self {
+        SiemConfig {
+            window_ms: 30_000,
+            k_sites: 3,
+        }
+    }
+}
+
+/// A correlated fleet-level campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorrelatedCampaign {
+    /// The correlated alert class.
+    pub class: String,
+    /// Distinct sites reporting the class inside the window.
+    pub sites: u32,
+    /// Correlation instant in fleet milliseconds.
+    pub at_ms: u64,
+}
+
+/// The fleet-level aggregator.
+#[derive(Debug)]
+pub struct FleetSiem {
+    config: SiemConfig,
+    /// Per alert class: (site, alert time) observations, append-ordered.
+    observations: BTreeMap<String, Vec<(u32, u64)>>,
+    /// Per alert class: when it last fired a campaign alert (cooldown of
+    /// one window so a sustained campaign is one alert, not hundreds).
+    last_fired: BTreeMap<String, u64>,
+    campaigns: Vec<CorrelatedCampaign>,
+    ingested: u64,
+}
+
+impl FleetSiem {
+    /// Creates an aggregator.
+    #[must_use]
+    pub fn new(config: SiemConfig) -> Self {
+        FleetSiem {
+            config,
+            observations: BTreeMap::new(),
+            last_fired: BTreeMap::new(),
+            campaigns: Vec::new(),
+            ingested: 0,
+        }
+    }
+
+    /// Ingests one security record drained from `site`'s ring. Only IDS
+    /// alerts participate in correlation; everything else is counted and
+    /// dropped. Returns the alert class when the record was an alert.
+    pub fn ingest(&mut self, site: u32, record: &Record) -> Option<String> {
+        self.ingested += 1;
+        if let Event::IdsAlert { class, .. } = &record.event {
+            let class = class.as_str().to_string();
+            self.observations
+                .entry(class.clone())
+                .or_default()
+                .push((site, record.at.as_millis()));
+            Some(class)
+        } else {
+            None
+        }
+    }
+
+    /// Runs correlation at `now_ms`: prunes observations older than the
+    /// window and fires a campaign per class seen on at least
+    /// [`SiemConfig::k_sites`] distinct sites.
+    pub fn correlate(&mut self, now_ms: u64) -> Vec<CorrelatedCampaign> {
+        let horizon = now_ms.saturating_sub(self.config.window_ms);
+        let mut fired = Vec::new();
+        for (class, obs) in &mut self.observations {
+            obs.retain(|&(_, at)| at >= horizon);
+            let mut sites: Vec<u32> = obs.iter().map(|&(site, _)| site).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            if sites.len() < self.config.k_sites {
+                continue;
+            }
+            let cooled = self
+                .last_fired
+                .get(class)
+                .is_none_or(|&at| now_ms >= at + self.config.window_ms);
+            if !cooled {
+                continue;
+            }
+            self.last_fired.insert(class.clone(), now_ms);
+            fired.push(CorrelatedCampaign {
+                class: class.clone(),
+                sites: sites.len() as u32,
+                at_ms: now_ms,
+            });
+        }
+        self.campaigns.extend(fired.iter().cloned());
+        fired
+    }
+
+    /// Every campaign correlated so far.
+    #[must_use]
+    pub fn campaigns(&self) -> &[CorrelatedCampaign] {
+        &self.campaigns
+    }
+
+    /// Total records ingested.
+    #[must_use]
+    pub fn records_ingested(&self) -> u64 {
+        self.ingested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use silvasec_sim::time::SimTime;
+    use silvasec_telemetry::Label;
+
+    fn alert(site: u32, at_ms: u64, class: &str) -> (u32, Record) {
+        (
+            site,
+            Record {
+                at: SimTime::from_millis(at_ms),
+                seq: at_ms,
+                event: Event::IdsAlert {
+                    class: Label::new(class),
+                    severity: Label::new("high"),
+                },
+            },
+        )
+    }
+
+    #[test]
+    fn k_distinct_sites_in_window_fire_once() {
+        let mut siem = FleetSiem::new(SiemConfig {
+            window_ms: 10_000,
+            k_sites: 3,
+        });
+        for (site, rec) in [
+            alert(0, 1_000, "jamming"),
+            alert(1, 2_000, "jamming"),
+            alert(1, 2_500, "jamming"), // same site again: still 2 distinct
+        ] {
+            siem.ingest(site, &rec);
+        }
+        assert!(siem.correlate(3_000).is_empty());
+        let (site, rec) = alert(2, 4_000, "jamming");
+        siem.ingest(site, &rec);
+        let fired = siem.correlate(4_500);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].class, "jamming");
+        assert_eq!(fired[0].sites, 3);
+        // Cooldown: the sustained campaign does not re-fire immediately.
+        assert!(siem.correlate(5_000).is_empty());
+        // ... but does after the window has passed, if still active on
+        // enough sites.
+        for (site, rec) in [
+            alert(3, 14_600, "jamming"),
+            alert(4, 14_600, "jamming"),
+            alert(5, 14_600, "jamming"),
+        ] {
+            siem.ingest(site, &rec);
+        }
+        assert_eq!(siem.correlate(14_600).len(), 1);
+    }
+
+    #[test]
+    fn stale_observations_age_out() {
+        let mut siem = FleetSiem::new(SiemConfig {
+            window_ms: 5_000,
+            k_sites: 2,
+        });
+        let (site, rec) = alert(0, 1_000, "replay");
+        siem.ingest(site, &rec);
+        let (site, rec) = alert(1, 9_000, "replay");
+        siem.ingest(site, &rec);
+        // Site 0's alert is out of the window by now.
+        assert!(siem.correlate(9_000).is_empty());
+    }
+
+    #[test]
+    fn non_alert_records_are_counted_not_correlated() {
+        let mut siem = FleetSiem::new(SiemConfig::default());
+        let rec = Record {
+            at: SimTime::from_millis(10),
+            seq: 1,
+            event: Event::Response {
+                action: Label::new("log-only"),
+            },
+        };
+        assert_eq!(siem.ingest(4, &rec), None);
+        assert_eq!(siem.records_ingested(), 1);
+        assert!(siem.correlate(20).is_empty());
+    }
+}

@@ -33,6 +33,9 @@ pub fn alert_class_to_attack_class(alert_class: &str) -> &str {
         "sensor-blinding" => "camera-blinding",
         "auth-failure-storm" => "replay",
         "rogue-association" => "rogue-node",
+        // Fleet OTA attack classes are all faces of the firmware-
+        // tampering threat the static TARA already models.
+        "update-tampering" | "downgrade" | "rollout-poisoning" => "firmware-tampering",
         other => other,
     }
 }
@@ -121,6 +124,29 @@ impl ContinuousAssessment {
             return Vec::new();
         }
         self.reassess(incident.at_ms)
+    }
+
+    /// Withdraws the field-evidence escalation for every threat of
+    /// `attack_class` and re-assesses, so the matching risks fall back to
+    /// their static baseline.
+    ///
+    /// This is the de-escalation half of continuous assessment: a
+    /// completed mitigation (e.g. a fleet-wide firmware rollout patching
+    /// a disclosed vulnerability) removes the evidence that made the
+    /// attack feasible, and the risk ranking must reflect that just as
+    /// promptly as it reflected the escalation. Returns the changes the
+    /// mitigation caused (empty when nothing was escalated).
+    pub fn mitigate(&mut self, attack_class: &str, at_ms: u64) -> Vec<RiskChange> {
+        let mut withdrew = false;
+        for threat in &self.model.threats {
+            if threat.attack_class.as_deref() == Some(attack_class) {
+                withdrew |= self.overrides.remove(&threat.id).is_some();
+            }
+        }
+        if !withdrew {
+            return Vec::new();
+        }
+        self.reassess(at_ms)
     }
 
     /// Feeds a recorded telemetry event. `IdsAlert` records are mapped to
@@ -276,6 +302,27 @@ mod tests {
     }
 
     #[test]
+    fn mitigation_restores_the_static_baseline() {
+        let mut ca = ContinuousAssessment::new(model());
+        for t in 0..3 {
+            let _ = ca.ingest(&IncidentReport {
+                attack_class: "gnss-spoofing".into(),
+                at_ms: t * 1000,
+            });
+        }
+        assert_eq!(ca.report().risks[0].risk.0, 5);
+        let changes = ca.mitigate("gnss-spoofing", 10_000);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].from.0, 5);
+        assert_eq!(changes[0].to.0, 3);
+        assert_eq!(changes[0].at_ms, 10_000);
+        assert_eq!(ca.report().risks[0].feasibility, AttackFeasibility::Low);
+        // Mitigating a class that was never escalated is a no-op.
+        assert!(ca.mitigate("gnss-spoofing", 11_000).is_empty());
+        assert!(ca.mitigate("replay", 11_000).is_empty());
+    }
+
+    #[test]
     fn alert_classes_alias_onto_attack_classes() {
         assert_eq!(alert_class_to_attack_class("jamming"), "rf-jamming");
         assert_eq!(
@@ -291,6 +338,12 @@ mod tests {
             alert_class_to_attack_class("gnss-spoofing"),
             "gnss-spoofing"
         );
+        for fleet_class in ["update-tampering", "downgrade", "rollout-poisoning"] {
+            assert_eq!(
+                alert_class_to_attack_class(fleet_class),
+                "firmware-tampering"
+            );
+        }
     }
 
     #[test]

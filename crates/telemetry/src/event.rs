@@ -203,6 +203,32 @@ pub enum Event {
         /// `true` on activation, `false` on deactivation.
         started: bool,
     },
+    /// A fleet OTA update bundle finished verification and (on success)
+    /// was applied through secure-boot update authorization.
+    UpdateApply {
+        /// Fleet site index.
+        site: u32,
+        /// Bundle version from the manifest.
+        version: u32,
+        /// Whether the bundle verified and booted.
+        ok: bool,
+        /// Outcome tag ("applied", "signature", "downgrade", ...).
+        reason: Label,
+    },
+    /// A staged-rollout wave changed state.
+    RolloutWave {
+        /// Wave index (0 = canary).
+        wave: u32,
+        /// Phase tag ("start", "complete", "halt").
+        phase: Label,
+    },
+    /// The fleet SIEM correlated the same attack class across sites.
+    CampaignAlert {
+        /// Correlated alert class.
+        class: Label,
+        /// Number of distinct sites reporting the class in the window.
+        sites: u32,
+    },
     /// A free-form key/value event for ad-hoc instrumentation.
     Custom {
         /// Event key.
@@ -244,6 +270,12 @@ pub enum EventKind {
     Response,
     /// [`Event::AttackPhase`].
     AttackPhase,
+    /// [`Event::UpdateApply`].
+    UpdateApply,
+    /// [`Event::RolloutWave`].
+    RolloutWave,
+    /// [`Event::CampaignAlert`].
+    CampaignAlert,
     /// [`Event::Custom`].
     Custom,
 }
@@ -275,6 +307,9 @@ impl Event {
             Event::AuthFail { .. } => EventKind::AuthFail,
             Event::Response { .. } => EventKind::Response,
             Event::AttackPhase { .. } => EventKind::AttackPhase,
+            Event::UpdateApply { .. } => EventKind::UpdateApply,
+            Event::RolloutWave { .. } => EventKind::RolloutWave,
+            Event::CampaignAlert { .. } => EventKind::CampaignAlert,
             Event::Custom { .. } => EventKind::Custom,
         }
     }
@@ -316,7 +351,10 @@ impl EventFilter {
                 | EventKind::AuthFail.bit()
                 | EventKind::Response.bit()
                 | EventKind::AttackPhase.bit()
-                | EventKind::Jam.bit(),
+                | EventKind::Jam.bit()
+                | EventKind::UpdateApply.bit()
+                | EventKind::RolloutWave.bit()
+                | EventKind::CampaignAlert.bit(),
         )
     }
 
@@ -394,6 +432,9 @@ mod tests {
         let s = EventFilter::security();
         assert!(s.allows(EventKind::IdsAlert));
         assert!(s.allows(EventKind::RiskDelta));
+        assert!(s.allows(EventKind::UpdateApply));
+        assert!(s.allows(EventKind::RolloutWave));
+        assert!(s.allows(EventKind::CampaignAlert));
         assert!(!s.allows(EventKind::FrameTx));
         assert!(!s.allows(EventKind::SensorReading));
     }
