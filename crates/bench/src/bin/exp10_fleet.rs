@@ -49,6 +49,17 @@ struct SizeRow {
     latency_ms: u64,
     bytes_on_air: u64,
     frames_sent: u64,
+    /// Mean per-site bundle-verification wall time, microseconds.
+    verify_mean_us: f64,
+    /// Slowest single bundle verification in this rollout, microseconds.
+    verify_max_us: u64,
+}
+
+fn verify_mean_us(report: &RolloutReport) -> f64 {
+    if report.verify_calls == 0 {
+        return 0.0;
+    }
+    report.verify_wall_us as f64 / f64::from(report.verify_calls)
 }
 
 #[derive(Debug, Serialize)]
@@ -86,6 +97,12 @@ struct RunEntry {
     detect_to_halt_ms: u64,
     /// Jammed-uplink rollout frames vs clean, at the jam size.
     jammed_frames_sent: u64,
+    /// Mean per-site bundle-verification wall time at the largest clean
+    /// size, microseconds — the crypto fast-path axis of the trajectory.
+    bundle_verify_mean_us: f64,
+    /// Slowest single bundle verification at the largest clean size,
+    /// microseconds.
+    bundle_verify_max_us: u64,
     /// Per-size clean rows (latency/bandwidth scaling).
     clean_rows: Vec<SizeRow>,
 }
@@ -192,6 +209,8 @@ fn main() {
             latency_ms: report.latency_ms,
             bytes_on_air: report.bytes_on_air,
             frames_sent: report.frames_sent,
+            verify_mean_us: verify_mean_us(report),
+            verify_max_us: report.verify_wall_us_max,
         });
     }
 
@@ -273,6 +292,8 @@ fn main() {
         poisoned_halted_at_wave: halted_at,
         detect_to_halt_ms,
         jammed_frames_sent: jammed.frames_sent,
+        bundle_verify_mean_us: last_clean.verify_mean_us,
+        bundle_verify_max_us: last_clean.verify_max_us,
         clean_rows,
     };
 
@@ -290,6 +311,10 @@ fn main() {
             row.frames_sent
         );
     }
+    println!(
+        "bundle verify at {max_sites} sites: mean {:.1} us, max {} us per site",
+        entry.bundle_verify_mean_us, entry.bundle_verify_max_us
+    );
     println!("--- E10: attack scenarios at {max_sites} sites ---");
     println!(
         "tampered : applied {} rejected {} ({:?})",

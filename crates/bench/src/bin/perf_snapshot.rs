@@ -21,6 +21,7 @@
 //! Run with: `cargo run --release -p silvasec-bench --bin perf_snapshot`
 
 use serde::{Serialize, Value};
+use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::experiments::{occlusion_point, occlusion_sweep, run_worksite, OcclusionRow};
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
@@ -67,6 +68,65 @@ struct RunEntry {
     worksite_sim_rate: f64,
     /// Flight-recorder overhead (instrumented vs disabled episode).
     telemetry: RecorderOverhead,
+    /// Crypto hot-path headline numbers (fast paths only — see
+    /// `crypto_bench` for the full suite with frozen naive baselines,
+    /// cross-check digests, and acceptance floors).
+    crypto: CryptoHeadline,
+}
+
+/// Schnorr throughput on the fast scalar-multiplication paths.
+#[derive(Debug, Serialize)]
+struct CryptoHeadline {
+    /// Signatures per second (shared basepoint table).
+    sign_per_s: f64,
+    /// Single verifications per second (Straus double-scalar path).
+    verify_per_s: f64,
+    /// Per-signature throughput of a 16-signature batch verification
+    /// (one shared doubling chain).
+    verify_batch16_per_sig_per_s: f64,
+}
+
+fn crypto_headline() -> CryptoHeadline {
+    const ITERS: usize = 32;
+    const BATCH: usize = 16;
+    let time = |f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            f();
+        }
+        t0.elapsed().as_secs_f64().max(1e-12) / ITERS as f64
+    };
+
+    let keys: Vec<SigningKey> = (0..BATCH)
+        .map(|i| SigningKey::from_seed(&[0x60 + i as u8; 32]))
+        .collect();
+    let messages: Vec<Vec<u8>> = (0..BATCH)
+        .map(|i| format!("perf-snapshot crypto headline {i}").into_bytes())
+        .collect();
+    let signatures: Vec<_> = keys.iter().zip(&messages).map(|(k, m)| k.sign(m)).collect();
+    let verifiers: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+    let items: Vec<BatchItem<'_>> = (0..BATCH)
+        .map(|i| BatchItem {
+            message: &messages[i],
+            signature: &signatures[i],
+            key: &verifiers[i],
+        })
+        .collect();
+
+    let sign_s = time(&mut || {
+        std::hint::black_box(keys[0].sign(&messages[0]));
+    });
+    let verify_s = time(&mut || {
+        verifiers[0].verify(&messages[0], &signatures[0]).unwrap();
+    });
+    let batch_s = time(&mut || {
+        assert!(schnorr::verify_batch(&items));
+    });
+    CryptoHeadline {
+        sign_per_s: 1.0 / sign_s,
+        verify_per_s: 1.0 / verify_s,
+        verify_batch16_per_sig_per_s: BATCH as f64 / batch_s,
+    }
 }
 
 fn rows_bit_identical(a: &[OcclusionRow], b: &[OcclusionRow]) -> bool {
@@ -163,6 +223,9 @@ fn main() {
     // Flight-recorder overhead on the same episode class.
     let telemetry = measure_recorder_overhead(3, episode_secs);
 
+    // Crypto hot-path headline throughput.
+    let crypto = crypto_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -181,6 +244,7 @@ fn main() {
         worksite_episode_wall_s,
         worksite_sim_rate: episode_secs as f64 / worksite_episode_wall_s.max(1e-9),
         telemetry,
+        crypto,
     };
 
     assert!(

@@ -24,6 +24,29 @@ pub fn eq(a: &[u8], b: &[u8]) -> bool {
     (diff as u16).wrapping_sub(1) >> 15 == 1
 }
 
+/// Returns an all-ones mask when `a == b`, all-zeros otherwise, without
+/// a data-dependent branch.
+///
+/// Used by the windowed scalar-multiplication table scans in
+/// [`crate::edwards`]: every table entry is combined with the mask so
+/// the memory access pattern is independent of the (secret) digit.
+#[must_use]
+pub fn eq_mask_u64(a: u64, b: u64) -> u64 {
+    // (a ^ b) is zero iff equal; collapse "is zero" to the top bit via
+    // the classic x | -x trick, then sign-extend.
+    let x = a ^ b;
+    let nonzero_top = x | x.wrapping_neg(); // top bit set iff x != 0
+    ((nonzero_top >> 63) ^ 1).wrapping_neg()
+}
+
+/// Selects `a` when `mask` is all-ones and `b` when `mask` is all-zeros.
+///
+/// `mask` must be `0` or `u64::MAX`; any other value mixes the operands.
+#[must_use]
+pub fn select_u64(mask: u64, a: u64, b: u64) -> u64 {
+    b ^ (mask & (a ^ b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,6 +64,29 @@ mod tests {
         assert!(!eq(b"abc", b"ab"));
         assert!(!eq(&[0u8], &[]));
         assert!(!eq(&[0x80], &[0x00]));
+    }
+
+    #[test]
+    fn eq_mask_matches_equality() {
+        for (a, b) in [
+            (0u64, 0u64),
+            (0, 1),
+            (1, 0),
+            (u64::MAX, u64::MAX),
+            (u64::MAX, u64::MAX - 1),
+            (1 << 63, 1 << 63),
+            (1 << 63, 0),
+            (7, 7),
+        ] {
+            let expect = if a == b { u64::MAX } else { 0 };
+            assert_eq!(eq_mask_u64(a, b), expect, "a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn select_picks_by_mask() {
+        assert_eq!(select_u64(u64::MAX, 0xaa, 0x55), 0xaa);
+        assert_eq!(select_u64(0, 0xaa, 0x55), 0x55);
     }
 
     #[test]

@@ -5,10 +5,35 @@
 //! (x ‖ y, 64 bytes): unlike Ed25519 we never need a field square root,
 //! which keeps the implementation small. This is a documented deviation
 //! from the Ed25519 wire format (see DESIGN.md).
+//!
+//! # Scalar-multiplication strategy
+//!
+//! Three paths replace the original MSB-first double-and-add (which is
+//! kept, frozen, as [`EdwardsPoint::scalar_mul_naive`] — the reference
+//! oracle for the proptests and the baseline for `crypto_bench`):
+//!
+//! * **Fixed-base, constant-time** ([`EdwardsPoint::mul_basepoint`]):
+//!   a lazily-built shared table of windowed multiples of B (8 cached
+//!   multiples per signed radix-16 digit position) turns k·B into 64
+//!   table lookups + 64 cached additions, with *zero* doublings. Table
+//!   scans touch every entry and mask with [`crate::ct`] helpers, so
+//!   the access pattern is independent of the secret scalar.
+//! * **Variable-base, constant-time** (the 4-bit fixed-window path
+//!   inside [`EdwardsPoint::scalar_mul`]): an on-the-fly table of 8
+//!   cached multiples, signed radix-16 digits, 4 doublings + 1 masked
+//!   lookup + 1 addition per digit.
+//! * **Straus/Shamir, variable-time** ([`EdwardsPoint::double_scalar_mul`]
+//!   and the batch-verification multiscalar): width-5 NAF for dynamic
+//!   points, width-8 NAF against a static affine table of odd basepoint
+//!   multiples, one shared doubling chain for all scalars. This path is
+//!   **not** constant-time and must only see public inputs — it backs
+//!   signature *verification*, never signing.
 
+use crate::ct;
 use crate::error::CryptoError;
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
+use std::sync::OnceLock;
 
 /// Length of an encoded (uncompressed) point.
 pub const POINT_LEN: usize = 64;
@@ -59,6 +84,188 @@ pub struct EdwardsPoint {
     y: FieldElement,
     z: FieldElement,
     t: FieldElement,
+}
+
+/// A point prepared for repeated addition ("cached" form): stores
+/// (Y + X, Y − X, Z, 2d·T) so [`EdwardsPoint::add_cached`] costs one
+/// field multiplication less than the general addition.
+#[derive(Debug, Clone, Copy)]
+struct CachedPoint {
+    y_plus_x: FieldElement,
+    y_minus_x: FieldElement,
+    z: FieldElement,
+    t2d: FieldElement,
+}
+
+impl CachedPoint {
+    /// The cached form of the identity (the neutral element for
+    /// [`EdwardsPoint::add_cached`], used as the all-zero-digit filler
+    /// in constant-time table scans).
+    fn identity() -> Self {
+        CachedPoint {
+            y_plus_x: FieldElement::ONE,
+            y_minus_x: FieldElement::ONE,
+            z: FieldElement::ONE,
+            t2d: FieldElement::ZERO,
+        }
+    }
+
+    fn from_point(p: &EdwardsPoint) -> Self {
+        CachedPoint {
+            y_plus_x: p.y.add(&p.x),
+            y_minus_x: p.y.sub(&p.x),
+            z: p.z,
+            t2d: p.t.mul(&d2()),
+        }
+    }
+
+    /// Negation: swap the (Y±X) pair and negate 2d·T. Variable-time
+    /// callers only.
+    fn neg(&self) -> Self {
+        CachedPoint {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            z: self.z,
+            t2d: self.t2d.neg(),
+        }
+    }
+
+    /// Replaces `self` with `other` when `mask` is all-ones (branchless).
+    fn conditional_assign(&mut self, other: &Self, mask: u64) {
+        self.y_plus_x.conditional_assign(&other.y_plus_x, mask);
+        self.y_minus_x.conditional_assign(&other.y_minus_x, mask);
+        self.z.conditional_assign(&other.z, mask);
+        self.t2d.conditional_assign(&other.t2d, mask);
+    }
+
+    /// Negates the point when `bit` is 1 (branchless).
+    fn conditional_negate(&mut self, bit: u64) {
+        FieldElement::conditional_swap(&mut self.y_plus_x, &mut self.y_minus_x, bit);
+        let negated = self.t2d.neg();
+        self.t2d.conditional_assign(&negated, bit.wrapping_neg());
+    }
+}
+
+/// A point with Z = 1 prepared for mixed addition: (y + x, y − x,
+/// 2d·x·y). One field multiplication cheaper again than cached form;
+/// only usable for precomputed (affine-normalized) tables.
+#[derive(Debug, Clone, Copy)]
+struct AffineNielsPoint {
+    y_plus_x: FieldElement,
+    y_minus_x: FieldElement,
+    xy2d: FieldElement,
+}
+
+impl AffineNielsPoint {
+    fn from_point(p: &EdwardsPoint) -> Self {
+        let (x, y) = p.to_affine();
+        AffineNielsPoint {
+            y_plus_x: y.add(&x),
+            y_minus_x: y.sub(&x),
+            xy2d: x.mul(&y).mul(&d2()),
+        }
+    }
+
+    fn neg(&self) -> Self {
+        AffineNielsPoint {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            xy2d: self.xy2d.neg(),
+        }
+    }
+}
+
+/// Eight cached multiples [P, 2P, …, 8P]: one signed radix-16 digit's
+/// worth of lookups for the constant-time fixed-window paths.
+struct WindowTable([CachedPoint; 8]);
+
+impl WindowTable {
+    fn new(p: &EdwardsPoint) -> Self {
+        let mut entries = [CachedPoint::from_point(p); 8];
+        let mut cur = *p;
+        for entry in entries.iter_mut().skip(1) {
+            cur = cur.add(p);
+            *entry = CachedPoint::from_point(&cur);
+        }
+        WindowTable(entries)
+    }
+
+    /// Looks up `digit`·P for a signed digit in [−8, 8], scanning every
+    /// entry with arithmetic masks so the access pattern is independent
+    /// of the digit (see DESIGN.md, constant-time boundary).
+    fn select(&self, digit: i8) -> CachedPoint {
+        let negative = ((i64::from(digit)) >> 63) as u64 & 1; // 1 iff digit < 0
+        let abs = u64::from(digit.unsigned_abs());
+        let mut r = CachedPoint::identity();
+        for (j, entry) in self.0.iter().enumerate() {
+            let mask = ct::eq_mask_u64(abs, j as u64 + 1);
+            r.conditional_assign(entry, mask);
+        }
+        r.conditional_negate(negative);
+        r
+    }
+}
+
+/// Eight cached odd multiples [P, 3P, 5P, …, 15P]: the per-point table
+/// for width-5 NAF in the variable-time Straus loop.
+struct OddMultiples([CachedPoint; 8]);
+
+impl OddMultiples {
+    fn new(p: &EdwardsPoint) -> Self {
+        let p2 = CachedPoint::from_point(&p.double());
+        let mut entries = [CachedPoint::from_point(p); 8];
+        let mut cur = *p;
+        for entry in entries.iter_mut().skip(1) {
+            cur = cur.add_cached(&p2);
+            *entry = CachedPoint::from_point(&cur);
+        }
+        OddMultiples(entries)
+    }
+
+    /// Returns `d`·P for odd `d` in 1..=15. Variable-time.
+    fn entry(&self, d: i8) -> &CachedPoint {
+        debug_assert!(d > 0 && d % 2 == 1 && d <= 15);
+        &self.0[(d / 2) as usize]
+    }
+}
+
+/// The lazily-built shared basepoint tables: 64 windowed rows for the
+/// constant-time fixed-base path (row i holds multiples of 16^i·B) and
+/// 64 affine odd multiples [B, 3B, …, 127B] for width-8 NAF on the
+/// verification side.
+struct BasepointTables {
+    window: Box<[WindowTable; 64]>,
+    wnaf: [AffineNielsPoint; 64],
+}
+
+static BASEPOINT_TABLES: OnceLock<BasepointTables> = OnceLock::new();
+
+fn basepoint_tables() -> &'static BasepointTables {
+    BASEPOINT_TABLES.get_or_init(|| {
+        let b = EdwardsPoint::basepoint();
+
+        let mut rows = Vec::with_capacity(64);
+        let mut cur = b;
+        for _ in 0..64 {
+            rows.push(WindowTable::new(&cur));
+            // Advance to the next digit position: cur ← 16·cur.
+            cur = cur.double().double().double().double();
+        }
+        let window: Box<[WindowTable; 64]> = match rows.into_boxed_slice().try_into() {
+            Ok(array) => array,
+            Err(_) => unreachable!("exactly 64 rows were pushed"),
+        };
+
+        let b2 = b.double();
+        let mut odd = b;
+        let wnaf = std::array::from_fn(|_| {
+            let entry = AffineNielsPoint::from_point(&odd);
+            odd = odd.add(&b2);
+            entry
+        });
+
+        BasepointTables { window, wnaf }
+    })
 }
 
 impl EdwardsPoint {
@@ -154,7 +361,8 @@ impl EdwardsPoint {
         let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
         let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
         let c = self.t.mul(&d2()).mul(&rhs.t);
-        let dd = self.z.mul(&rhs.z).add(&self.z.mul(&rhs.z));
+        let zz = self.z.mul(&rhs.z);
+        let dd = zz.add(&zz);
         let e = b.sub(&a);
         let f = dd.sub(&c);
         let g = dd.add(&c);
@@ -167,22 +375,116 @@ impl EdwardsPoint {
         }
     }
 
-    /// Point doubling (dbl-2008-hwcd formulas for a = −1).
-    #[must_use]
-    pub fn double(&self) -> Self {
-        let a = self.x.square();
-        let b = self.y.square();
-        let c = self.z.square().add(&self.z.square());
-        let d = a.neg(); // a·X² with a = −1
-        let e = self.x.add(&self.y).square().sub(&a).sub(&b);
-        let g = d.add(&b);
-        let f = g.sub(&c);
-        let h = d.sub(&b);
+    /// Mixed addition with a cached point (one multiplication cheaper:
+    /// 2d·T is precomputed).
+    ///
+    /// Field additions and subtractions here use the carry-free `weak_*`
+    /// forms: every weak result feeds straight into a multiply, and with
+    /// reduce-bounded point fields on both sides no chain exceeds the
+    /// 2^54 limb bound `mul` accepts. Every output coordinate is a `mul`
+    /// result, so the point stays reduce-bounded.
+    fn add_cached(&self, rhs: &CachedPoint) -> Self {
+        self.add_cached_internal(rhs, true)
+    }
+
+    /// [`Self::add_cached`] with an optional T output. Like doublings,
+    /// additions *read* T (the `self.t · 2d·T'` term) but their own T
+    /// output is only ever consumed by a *following* addition — a
+    /// doubling reads X, Y, Z alone. An add whose result feeds a
+    /// doubling (every intermediate add in the ladders below) can
+    /// therefore skip the E·H multiplication. Callers must ensure
+    /// `need_t` is true whenever the result is added to something or
+    /// escapes this module.
+    fn add_cached_internal(&self, rhs: &CachedPoint, need_t: bool) -> Self {
+        let a = self.y.weak_sub(&self.x).mul(&rhs.y_minus_x);
+        let b = self.y.weak_add(&self.x).mul(&rhs.y_plus_x);
+        let c = self.t.mul(&rhs.t2d);
+        let zz = self.z.mul(&rhs.z);
+        let dd = zz.weak_add(&zz);
+        let e = b.weak_sub(&a);
+        let f = dd.weak_sub(&c);
+        let g = dd.weak_add(&c);
+        let h = b.weak_add(&a);
         EdwardsPoint {
             x: e.mul(&f),
             y: g.mul(&h),
             z: f.mul(&g),
-            t: e.mul(&h),
+            t: if need_t {
+                e.mul(&h)
+            } else {
+                FieldElement::ZERO
+            },
+        }
+    }
+
+    /// Mixed addition with an affine-niels point (Z = 1 saves the Z·Z'
+    /// multiplication on top of the cached form). Same carry-free
+    /// `weak_*` discipline and optional T output as
+    /// [`Self::add_cached_internal`].
+    fn add_affine_niels(&self, rhs: &AffineNielsPoint, need_t: bool) -> Self {
+        let a = self.y.weak_sub(&self.x).mul(&rhs.y_minus_x);
+        let b = self.y.weak_add(&self.x).mul(&rhs.y_plus_x);
+        let c = self.t.mul(&rhs.xy2d);
+        let dd = self.z.weak_add(&self.z);
+        let e = b.weak_sub(&a);
+        let f = dd.weak_sub(&c);
+        let g = dd.weak_add(&c);
+        let h = b.weak_add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: if need_t {
+                e.mul(&h)
+            } else {
+                FieldElement::ZERO
+            },
+        }
+    }
+
+    /// Point doubling (dbl-2008-hwcd formulas for a = −1).
+    #[must_use]
+    pub fn double(&self) -> Self {
+        self.double_internal(true)
+    }
+
+    /// Doubling with an optional T output. Doubling never *reads* T and
+    /// T is only *consumed* by additions, so a doubling whose result
+    /// feeds another doubling can skip the E·H multiplication. Callers
+    /// must ensure `need_t` is true whenever the result is added to
+    /// something (or escapes this module).
+    /// Additions and subtractions use the carry-free `weak_*` field
+    /// forms (every weak result feeds a multiply; the widest chain —
+    /// `(X+Y)² − X² − Y²` — peaks below 2^53.5 per limb, inside the
+    /// 2^54 bound `mul` accepts). `zz2` is the un-carried double of a
+    /// reduce-bounded square, so `f` uses the wide (4p) subtraction.
+    fn double_internal(&self, need_t: bool) -> Self {
+        let xx = self.x.square();
+        let yy = self.y.square();
+        let zz2 = {
+            let zz = self.z.square();
+            zz.weak_add(&zz)
+        };
+        // With a = −1: E = (X+Y)² − X² − Y², G = Y² − X²,
+        // H = −(X² + Y²), F = G − 2Z².
+        let e = self
+            .x
+            .weak_add(&self.y)
+            .square()
+            .weak_sub(&xx)
+            .weak_sub(&yy);
+        let g = yy.weak_sub(&xx);
+        let f = g.weak_sub_wide(&zz2);
+        let h = xx.weak_add(&yy).weak_neg_wide();
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: if need_t {
+                e.mul(&h)
+            } else {
+                FieldElement::ZERO
+            },
         }
     }
 
@@ -197,23 +499,208 @@ impl EdwardsPoint {
         }
     }
 
-    /// Scalar multiplication by double-and-add (MSB first).
+    /// Scalar multiplication.
+    ///
+    /// Dispatches on the (public) identity of the point: multiples of
+    /// the standard basepoint go through the shared precomputed table
+    /// ([`Self::mul_basepoint`] — the key-generation and signing hot
+    /// path); any other point takes the constant-time 4-bit fixed-window
+    /// ladder with an on-the-fly table of 8 cached multiples. Both paths
+    /// scan lookup tables with arithmetic masks, so timing is
+    /// independent of the *scalar* (the branch is on the point, which is
+    /// never secret in this system).
     #[must_use]
     pub fn scalar_mul(&self, scalar: &Scalar) -> Self {
-        let mut acc = EdwardsPoint::identity();
-        for bit in scalar.bits_msb_first() {
-            acc = acc.double();
-            if bit {
-                acc = acc.add(self);
+        if *self == Self::basepoint() {
+            return Self::mul_basepoint(scalar);
+        }
+        self.scalar_mul_windowed(scalar)
+    }
+
+    /// Constant-time fixed-window (4-bit) ladder for arbitrary points.
+    fn scalar_mul_windowed(&self, scalar: &Scalar) -> Self {
+        let table = WindowTable::new(self);
+        let digits = scalar.radix16_digits();
+        // Process digits most-significant first: acc ← 16·acc + dᵢ·P.
+        // Intermediate adds feed doublings, which never read T, so only
+        // the final add (digit 0) produces it.
+        let mut acc = Self::identity().add_cached_internal(&table.select(digits[63]), false);
+        for i in (0..63).rev() {
+            acc = acc.double_internal(false);
+            acc = acc.double_internal(false);
+            acc = acc.double_internal(false);
+            // The fourth doubling feeds an addition, which reads T.
+            acc = acc.double_internal(true);
+            acc = acc.add_cached_internal(&table.select(digits[i]), i == 0);
+        }
+        acc
+    }
+
+    /// Constant-time fixed-base multiplication k·B through the shared
+    /// precomputed basepoint table: 64 masked lookups + 64 cached
+    /// additions, no doublings at all. Used by key generation and
+    /// Schnorr signing.
+    #[must_use]
+    pub fn mul_basepoint(scalar: &Scalar) -> Self {
+        let tables = basepoint_tables();
+        let digits = scalar.radix16_digits();
+        let mut acc = Self::identity();
+        for (row, &digit) in tables.window.iter().zip(digits.iter()) {
+            acc = acc.add_cached(&row.select(digit));
+        }
+        acc
+    }
+
+    /// Computes `a·self + b·other` (the verification equation shape)
+    /// with one shared Straus/Shamir doubling chain.
+    ///
+    /// **Variable-time**: digit positions leak through timing. All call
+    /// sites are signature *verification* over public inputs; never use
+    /// this with secret scalars. When either point is the standard
+    /// basepoint its share of the work runs against the static width-8
+    /// NAF table of odd basepoint multiples.
+    #[must_use]
+    pub fn double_scalar_mul(&self, a: &Scalar, other: &Self, b: &Scalar) -> Self {
+        let bp = Self::basepoint();
+        if *self == bp {
+            Self::vartime_multiscalar_mul(&[(*other, *b)], Some(a))
+        } else if *other == bp {
+            Self::vartime_multiscalar_mul(&[(*self, *a)], Some(b))
+        } else {
+            Self::vartime_multiscalar_mul(&[(*self, *a), (*other, *b)], None)
+        }
+    }
+
+    /// Variable-time Straus multiscalar: Σ sᵢ·Pᵢ (+ s_B·B when
+    /// `base_scalar` is given). Dynamic points use width-5 NAF with
+    /// on-the-fly odd-multiple tables; the basepoint share uses width-8
+    /// NAF against the static affine table. One doubling chain is
+    /// shared by every scalar; doublings that feed another doubling
+    /// skip the T output.
+    pub(crate) fn vartime_multiscalar_mul(
+        pairs: &[(EdwardsPoint, Scalar)],
+        base_scalar: Option<&Scalar>,
+    ) -> Self {
+        let nafs: Vec<[i8; 256]> = pairs.iter().map(|(_, s)| s.non_adjacent_form(5)).collect();
+        let tables: Vec<OddMultiples> = pairs.iter().map(|(p, _)| OddMultiples::new(p)).collect();
+        let base_naf = base_scalar.map(|s| s.non_adjacent_form(8));
+
+        let top_nonzero = |naf: &[i8; 256]| naf.iter().rposition(|&d| d != 0);
+        let mut top = None;
+        for naf in nafs.iter().chain(base_naf.iter()) {
+            top = top.max(top_nonzero(naf));
+        }
+        let Some(top) = top else {
+            return Self::identity();
+        };
+
+        let mut acc = Self::identity();
+        for i in (0..=top).rev() {
+            let base_digit = base_naf.as_ref().map_or(0, |n| n[i]);
+            let digit_count =
+                nafs.iter().filter(|n| n[i] != 0).count() + usize::from(base_digit != 0);
+            // T is read by the additions below and required on exit.
+            acc = acc.double_internal(digit_count > 0 || i == 0);
+            // An add's own T output is consumed only by a *later* add at
+            // this digit position (the next doubling ignores T), or by
+            // the caller when this is the final position.
+            let mut remaining = digit_count;
+            for (naf, table) in nafs.iter().zip(&tables) {
+                let d = naf[i];
+                if d != 0 {
+                    remaining -= 1;
+                    let need_t = remaining > 0 || i == 0;
+                    acc = if d > 0 {
+                        acc.add_cached_internal(table.entry(d), need_t)
+                    } else {
+                        acc.add_cached_internal(&table.entry(-d).neg(), need_t)
+                    };
+                }
+            }
+            if base_digit != 0 {
+                let wnaf = &basepoint_tables().wnaf;
+                acc = if base_digit > 0 {
+                    acc.add_affine_niels(&wnaf[(base_digit / 2) as usize], i == 0)
+                } else {
+                    acc.add_affine_niels(&wnaf[((-base_digit) / 2) as usize].neg(), i == 0)
+                };
             }
         }
         acc
     }
 
-    /// Computes `a·self + b·other` (the verification equation shape).
+    /// Frozen seed implementation of point addition, kept verbatim as
+    /// the reference oracle for the proptests and the baseline for
+    /// `crypto_bench`. (The seed computed Z₁·Z₂ twice; that redundancy
+    /// is preserved deliberately — this function must not be optimized.)
     #[must_use]
-    pub fn double_scalar_mul(&self, a: &Scalar, other: &Self, b: &Scalar) -> Self {
-        self.scalar_mul(a).add(&other.scalar_mul(b))
+    pub fn add_naive(&self, rhs: &Self) -> Self {
+        let a = self.y.sub(&self.x).mul(&rhs.y.sub(&rhs.x));
+        let b = self.y.add(&self.x).mul(&rhs.y.add(&rhs.x));
+        let c = self.t.mul(&d2()).mul(&rhs.t);
+        let dd = self.z.mul(&rhs.z).add(&self.z.mul(&rhs.z));
+        let e = b.sub(&a);
+        let f = dd.sub(&c);
+        let g = dd.add(&c);
+        let h = b.add(&a);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Frozen seed implementation of point doubling (reference oracle /
+    /// bench baseline). The seed's `FieldElement::square` was a general
+    /// multiplication, so the squarings here call `mul` explicitly to
+    /// preserve the exact seed cost model; the Z² duplication is the
+    /// seed's too. Must not be optimized.
+    #[must_use]
+    pub fn double_naive(&self) -> Self {
+        let a = self.x.mul(&self.x);
+        let b = self.y.mul(&self.y);
+        let c = self.z.mul(&self.z).add(&self.z.mul(&self.z));
+        let d = a.neg(); // a·X² with a = −1
+        let e = self
+            .x
+            .add(&self.y)
+            .mul(&self.x.add(&self.y))
+            .sub(&a)
+            .sub(&b);
+        let g = d.add(&b);
+        let f = g.sub(&c);
+        let h = d.sub(&b);
+        EdwardsPoint {
+            x: e.mul(&f),
+            y: g.mul(&h),
+            z: f.mul(&g),
+            t: e.mul(&h),
+        }
+    }
+
+    /// Frozen seed scalar multiplication: MSB-first double-and-add over
+    /// [`Scalar::bits_msb_first`]. Reference oracle for the windowed
+    /// paths and the naive baseline `crypto_bench` measures against.
+    #[must_use]
+    pub fn scalar_mul_naive(&self, scalar: &Scalar) -> Self {
+        let mut acc = EdwardsPoint::identity();
+        for bit in scalar.bits_msb_first() {
+            acc = acc.double_naive();
+            if bit {
+                acc = acc.add_naive(self);
+            }
+        }
+        acc
+    }
+
+    /// Frozen seed double-scalar multiplication: two independent naive
+    /// ladders plus one addition. Reference oracle / bench baseline for
+    /// [`Self::double_scalar_mul`].
+    #[must_use]
+    pub fn double_scalar_mul_naive(&self, a: &Scalar, other: &Self, b: &Scalar) -> Self {
+        self.scalar_mul_naive(a)
+            .add_naive(&other.scalar_mul_naive(b))
     }
 
     /// Whether this is the identity element.
@@ -343,5 +830,111 @@ mod tests {
             b.double_scalar_mul(&a, &p, &c),
             b.scalar_mul(&a).add(&p.scalar_mul(&c))
         );
+    }
+
+    /// A deterministic pseudo-random scalar for the equivalence tests.
+    fn test_scalar(seed: u64) -> Scalar {
+        let mut bytes = [0u8; 32];
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for b in bytes.iter_mut() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            *b = state as u8;
+        }
+        Scalar::from_bytes_mod_order(&bytes)
+    }
+
+    #[test]
+    fn windowed_matches_naive_on_arbitrary_points() {
+        for seed in 0..8u64 {
+            let s = test_scalar(seed);
+            let p = EdwardsPoint::basepoint().scalar_mul_naive(&test_scalar(seed + 100));
+            let fast = p.scalar_mul(&s);
+            let slow = p.scalar_mul_naive(&s);
+            assert_eq!(fast, slow, "seed {seed}");
+            assert_eq!(fast.encode(), slow.encode(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn basepoint_table_matches_naive() {
+        let b = EdwardsPoint::basepoint();
+        for seed in 0..8u64 {
+            let s = test_scalar(seed);
+            let fast = EdwardsPoint::mul_basepoint(&s);
+            let slow = b.scalar_mul_naive(&s);
+            assert_eq!(fast.encode(), slow.encode(), "seed {seed}");
+        }
+        // Edge digits: zero, one, ℓ−1 (all-253-bit), small powers of 16.
+        for s in [
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(16),
+            Scalar::from_u64(256),
+            Scalar::from_u64(1).neg(),
+        ] {
+            assert_eq!(
+                EdwardsPoint::mul_basepoint(&s).encode(),
+                b.scalar_mul_naive(&s).encode(),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn straus_matches_naive() {
+        let b = EdwardsPoint::basepoint();
+        for seed in 0..6u64 {
+            let a = test_scalar(seed);
+            let c = test_scalar(seed + 50);
+            let p = b.scalar_mul_naive(&test_scalar(seed + 200));
+            // Basepoint on the left (the verification shape)…
+            assert_eq!(
+                b.double_scalar_mul(&a, &p, &c).encode(),
+                b.double_scalar_mul_naive(&a, &p, &c).encode(),
+                "seed {seed}"
+            );
+            // …and two arbitrary points (generic Straus path).
+            let q = b.scalar_mul_naive(&test_scalar(seed + 300));
+            assert_eq!(
+                p.double_scalar_mul(&a, &q, &c).encode(),
+                p.double_scalar_mul_naive(&a, &q, &c).encode(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn straus_handles_zero_scalars() {
+        let b = EdwardsPoint::basepoint();
+        let p = b.scalar_mul(&Scalar::from_u64(7));
+        let s = Scalar::from_u64(42);
+        assert!(b
+            .double_scalar_mul(&Scalar::ZERO, &p, &Scalar::ZERO)
+            .is_identity());
+        assert_eq!(b.double_scalar_mul(&s, &p, &Scalar::ZERO), b.scalar_mul(&s));
+        assert_eq!(b.double_scalar_mul(&Scalar::ZERO, &p, &s), p.scalar_mul(&s));
+    }
+
+    #[test]
+    fn multiscalar_matches_sum_of_naive() {
+        let b = EdwardsPoint::basepoint();
+        let points: Vec<EdwardsPoint> = (0..4)
+            .map(|i| b.scalar_mul_naive(&test_scalar(400 + i)))
+            .collect();
+        let scalars: Vec<Scalar> = (0..4).map(|i| test_scalar(500 + i)).collect();
+        let base = test_scalar(999);
+        let pairs: Vec<(EdwardsPoint, Scalar)> = points
+            .iter()
+            .copied()
+            .zip(scalars.iter().copied())
+            .collect();
+        let fast = EdwardsPoint::vartime_multiscalar_mul(&pairs, Some(&base));
+        let mut slow = b.scalar_mul_naive(&base);
+        for (p, s) in &pairs {
+            slow = slow.add_naive(&p.scalar_mul_naive(s));
+        }
+        assert_eq!(fast.encode(), slow.encode());
     }
 }

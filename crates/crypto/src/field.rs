@@ -1,8 +1,13 @@
 //! Arithmetic in GF(2^255 − 19), the field underlying Curve25519.
 //!
-//! Elements are represented with five 51-bit limbs. All public operations
-//! maintain the invariant that limbs stay below 2^52, which keeps every
-//! intermediate product inside `u128`.
+//! Elements are represented with five 51-bit limbs. All public
+//! operations return *reduce-bounded* elements — every limb below
+//! 2^51 + 2^15 — and [`FieldElement::mul`] / [`FieldElement::square`]
+//! accept limbs up to 2^54, so every intermediate product stays inside
+//! `u128`. The crate-internal `weak_*` operations skip the carry chain
+//! and return limbs up to ~2^54; their results are only ever fed
+//! straight into a multiply or square (see the bound notes at each
+//! definition), never stored or compared.
 
 const MASK51: u64 = (1 << 51) - 1;
 /// 2·p in 51-bit limb form, added before subtraction to avoid underflow.
@@ -12,6 +17,15 @@ const TWO_P: [u64; 5] = [
     0x000f_ffff_ffff_fffe,
     0x000f_ffff_ffff_fffe,
     0x000f_ffff_ffff_fffe,
+];
+/// 4·p in 51-bit limb form, for `weak_sub_wide` whose subtrahend may
+/// exceed the `TWO_P` limbs.
+const FOUR_P: [u64; 5] = [
+    0x001f_ffff_ffff_ffb4,
+    0x001f_ffff_ffff_fffc,
+    0x001f_ffff_ffff_fffc,
+    0x001f_ffff_ffff_fffc,
+    0x001f_ffff_ffff_fffc,
 ];
 
 /// An element of GF(2^255 − 19).
@@ -129,6 +143,51 @@ impl FieldElement {
         Self::ZERO.sub(self)
     }
 
+    /// Addition without the trailing carry chain. Output limbs are the
+    /// sums of the input limbs; the caller must feed the result into a
+    /// multiply or square while the total stays below 2^54.
+    pub(crate) fn weak_add(&self, rhs: &Self) -> Self {
+        let mut l = [0u64; 5];
+        for (out, (a, b)) in l.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            *out = a + b;
+        }
+        FieldElement(l)
+    }
+
+    /// Subtraction without the trailing carry chain: `self + 2p − rhs`.
+    /// `rhs` must be reduce-bounded (limbs < 2^51 + 2^15, i.e. the
+    /// output of a carried operation or of `reduce_wide`) so no limb
+    /// underflows; output limbs stay below `self`'s bound + 2^52.
+    pub(crate) fn weak_sub(&self, rhs: &Self) -> Self {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + TWO_P[i] - rhs.0[i];
+        }
+        FieldElement(l)
+    }
+
+    /// `weak_sub` against a wider subtrahend: `self + 4p − rhs` for
+    /// `rhs` limbs below 2^53 − 76 (e.g. the un-carried double of a
+    /// reduce-bounded element); output limbs stay below `self`'s bound
+    /// + 2^53.
+    pub(crate) fn weak_sub_wide(&self, rhs: &Self) -> Self {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = self.0[i] + FOUR_P[i] - rhs.0[i];
+        }
+        FieldElement(l)
+    }
+
+    /// Negation without the trailing carry chain: `4p − self`, for
+    /// limbs below 2^53 − 76; output limbs stay below 2^53.
+    pub(crate) fn weak_neg_wide(&self) -> Self {
+        let mut l = [0u64; 5];
+        for i in 0..5 {
+            l[i] = FOUR_P[i] - self.0[i];
+        }
+        FieldElement(l)
+    }
+
     /// Multiplication in the field.
     #[must_use]
     pub fn mul(&self, rhs: &Self) -> Self {
@@ -145,9 +204,35 @@ impl FieldElement {
     }
 
     /// Squaring in the field.
+    ///
+    /// Dedicated formula: exploiting symmetry of the product terms cuts
+    /// the 25 limb products of a general multiply down to 15, which is
+    /// what makes the doubling-dominated scalar-multiplication ladders
+    /// in [`crate::edwards`] cheap.
     #[must_use]
     pub fn square(&self) -> Self {
-        self.mul(self)
+        let a = self.0;
+        // Pre-doubled and pre-scaled copies so each cross term is one
+        // multiply: a_i·a_j appears twice in the schoolbook expansion.
+        // Scaling happens in u64 *before* widening (inputs are ≤ 2^54
+        // per the mul/square contract, so 19·aᵢ < 2^59 and 2·aᵢ < 2^55
+        // both fit), which keeps every product a single 64×64→128
+        // multiply instead of a wide 128-bit one.
+        let d0 = 2 * a[0];
+        let d1 = 2 * a[1];
+        let d2 = 2 * a[2];
+        let a3_19 = 19 * a[3];
+        let a4_19 = 19 * a[4];
+        let d4_19 = 2 * a4_19;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+
+        let c0 = m(a[0], a[0]) + m(d1, a4_19) + m(d2, a3_19);
+        let c1 = m(d0, a[1]) + m(d2, a4_19) + m(a3_19, a[3]);
+        let c2 = m(d0, a[2]) + m(a[1], a[1]) + m(a[3], d4_19);
+        let c3 = m(d0, a[3]) + m(d1, a[2]) + m(a4_19, a[4]);
+        let c4 = m(d0, a[4]) + m(d1, a[3]) + m(a[2], a[2]);
+
+        Self::reduce_wide([c0, c1, c2, c3, c4])
     }
 
     fn reduce_wide(mut c: [u128; 5]) -> Self {
@@ -159,7 +244,13 @@ impl FieldElement {
         let carry = (c[4] >> 51) as u64;
         out[4] = (c[4] as u64) & MASK51;
         out[0] += 19 * carry;
-        FieldElement(out).carry()
+        // One step of propagation is enough: only limb 0 can exceed 51
+        // bits here, and 19·carry < 2^64 keeps the sum in range even for
+        // inputs at the 2^54 limb bound. Limb 1 ends below 2^51 + 2^15,
+        // so the result is reduce-bounded.
+        out[1] += out[0] >> 51;
+        out[0] &= MASK51;
+        FieldElement(out)
     }
 
     /// Raises `self` to the power 2^k by repeated squaring.
@@ -207,6 +298,15 @@ impl FieldElement {
     #[must_use]
     pub fn is_zero(&self) -> bool {
         self.to_bytes() == [0u8; 32]
+    }
+
+    /// Replaces `self` with `other` when `mask` is all-ones, leaves it
+    /// unchanged when `mask` is all-zeros, without a data-dependent
+    /// branch. `mask` must be `0` or `u64::MAX`.
+    pub fn conditional_assign(&mut self, other: &Self, mask: u64) {
+        for i in 0..5 {
+            self.0[i] = crate::ct::select_u64(mask, other.0[i], self.0[i]);
+        }
     }
 
     /// Swaps `a` and `b` when `swap` is 1, using arithmetic masking.
@@ -300,6 +400,28 @@ mod tests {
         p_bytes[0] = 0xed;
         p_bytes[31] = 0x7f;
         assert!(FieldElement::from_bytes(&p_bytes).is_zero());
+    }
+
+    #[test]
+    fn conditional_assign_works() {
+        let mut a = fe(1);
+        a.conditional_assign(&fe(9), 0);
+        assert_eq!(a, fe(1));
+        a.conditional_assign(&fe(9), u64::MAX);
+        assert_eq!(a, fe(9));
+    }
+
+    #[test]
+    fn square_matches_mul_on_large_values() {
+        // Exercise the dedicated squaring against the general multiply
+        // on values with all limbs near the 2^51 bound.
+        let mut bytes = [0xf3u8; 32];
+        bytes[31] = 0x7a;
+        let mut x = FieldElement::from_bytes(&bytes);
+        for _ in 0..50 {
+            assert_eq!(x.square(), x.mul(&x));
+            x = x.square().add(&FieldElement::from_u64(0x1234_5678_9abc));
+        }
     }
 
     #[test]

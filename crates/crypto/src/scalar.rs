@@ -196,14 +196,110 @@ impl Scalar {
         self.0 == [0; 4]
     }
 
-    /// Iterates over the 253 bits of the scalar, most significant first.
+    /// Iterates over the significant bits of the scalar, most
+    /// significant first.
+    ///
+    /// Leading zero bits are skipped (the returned vector starts at the
+    /// highest set bit), so the double-and-add ladder driven by this
+    /// iterator does no work on the zero prefix. For the zero scalar the
+    /// vector is empty. Skipping leading zeros only removes doublings of
+    /// the identity, so every consumer sees identical results — pinned
+    /// by `bits_msb_first_skips_leading_zeros_same_result` below.
     #[must_use]
     pub fn bits_msb_first(&self) -> Vec<bool> {
-        let mut bits = Vec::with_capacity(253);
-        for bit in (0..253).rev() {
-            bits.push((self.0[bit / 64] >> (bit % 64)) & 1 == 1);
+        let top = match (0..253).rev().find(|&bit| self.bit(bit)) {
+            Some(top) => top,
+            None => return Vec::new(),
+        };
+        let mut bits = Vec::with_capacity(top + 1);
+        for bit in (0..=top).rev() {
+            bits.push(self.bit(bit));
         }
         bits
+    }
+
+    /// Returns bit `i` (little-endian numbering) of the scalar.
+    fn bit(&self, i: usize) -> bool {
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Recodes the scalar into 64 signed radix-16 digits, least
+    /// significant first, each in `[-8, 8]`.
+    ///
+    /// Σ dᵢ·16^i equals the scalar; since reduced scalars are below
+    /// 2^253, the carry out of the top digit is absorbed there (d₆₃ stays
+    /// in `[0, 8]`). This is the digit form consumed by the fixed-window
+    /// constant-time multiplication paths in [`crate::edwards`].
+    #[must_use]
+    pub(crate) fn radix16_digits(&self) -> [i8; 64] {
+        let bytes = self.to_bytes();
+        let mut digits = [0i8; 64];
+        for i in 0..32 {
+            digits[2 * i] = (bytes[i] & 15) as i8;
+            digits[2 * i + 1] = (bytes[i] >> 4) as i8;
+        }
+        // Recenter from [0, 15] to [-8, 7], pushing carries upward.
+        for i in 0..63 {
+            let carry = (digits[i] + 8) >> 4;
+            digits[i] -= carry << 4;
+            digits[i + 1] += carry;
+        }
+        digits
+    }
+
+    /// Recodes the scalar in width-`w` non-adjacent form: at most one of
+    /// any `w` consecutive digits is nonzero, and nonzero digits are odd
+    /// and in `(-2^(w-1), 2^(w-1))`.
+    ///
+    /// Variable-time: digit positions depend on the scalar value, so
+    /// this must only be fed public scalars (verification-side use).
+    /// `w` must be in `2..=8`.
+    #[must_use]
+    pub(crate) fn non_adjacent_form(&self, w: u32) -> [i8; 256] {
+        debug_assert!((2..=8).contains(&w));
+        let mut naf = [0i8; 256];
+        // Working copy with one spare limb: the "add back |digit|" step
+        // for negative digits can briefly push the value past 2^253.
+        let mut x = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let width = 1u64 << w;
+        let mut pos = 0usize;
+        while x != [0; 5] {
+            debug_assert!(pos < 256);
+            if x[0] & 1 == 1 {
+                let mut digit = (x[0] % width) as i64;
+                if digit >= (width as i64) / 2 {
+                    digit -= width as i64;
+                    // x -= digit  (digit negative → add |digit|)
+                    let mut carry = digit.unsigned_abs();
+                    for limb in x.iter_mut() {
+                        let (sum, overflow) = limb.overflowing_add(carry);
+                        *limb = sum;
+                        carry = u64::from(overflow);
+                        if carry == 0 {
+                            break;
+                        }
+                    }
+                } else {
+                    let mut borrow = digit as u64;
+                    for limb in x.iter_mut() {
+                        let (diff, underflow) = limb.overflowing_sub(borrow);
+                        *limb = diff;
+                        borrow = u64::from(underflow);
+                        if borrow == 0 {
+                            break;
+                        }
+                    }
+                }
+                naf[pos] = digit as i8;
+            }
+            // x >>= 1
+            for i in 0..4 {
+                x[i] = (x[i] >> 1) | (x[i + 1] << 63);
+            }
+            x[4] >>= 1;
+            pos += 1;
+        }
+        naf
     }
 }
 
@@ -275,9 +371,92 @@ mod tests {
     #[test]
     fn bits_msb_first_small() {
         let bits = Scalar::from_u64(5).bits_msb_first();
-        assert_eq!(bits.len(), 253);
-        assert_eq!(&bits[250..], &[true, false, true]);
-        assert!(bits[..250].iter().all(|b| !b));
+        assert_eq!(bits, vec![true, false, true]);
+        assert!(Scalar::ZERO.bits_msb_first().is_empty());
+        assert_eq!(Scalar::ONE.bits_msb_first(), vec![true]);
+    }
+
+    #[test]
+    fn bits_msb_first_skips_leading_zeros_same_result() {
+        // Regression pin for the leading-zero skip: the trimmed bit
+        // vector must equal the old full-width (253-entry) iteration
+        // with its zero prefix stripped, for scalars of every size.
+        for s in [
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(5),
+            Scalar::from_u64(u64::MAX),
+            Scalar::from_bytes_mod_order(&[0xa7; 32]),
+            Scalar::from_u64(1).neg(), // ℓ − 1: full 253 bits
+        ] {
+            let mut full = Vec::with_capacity(253);
+            for bit in (0..253).rev() {
+                full.push((s.0[bit / 64] >> (bit % 64)) & 1 == 1);
+            }
+            let first_set = full.iter().position(|&b| b).unwrap_or(full.len());
+            assert_eq!(s.bits_msb_first(), &full[first_set..], "{s:?}");
+        }
+    }
+
+    #[test]
+    fn radix16_digits_recompose() {
+        for s in [
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(0xdead_beef),
+            Scalar::from_bytes_mod_order(&[0xee; 32]),
+            Scalar::from_u64(1).neg(),
+        ] {
+            let digits = s.radix16_digits();
+            // Σ dᵢ·16^i must reconstruct the scalar; evaluate via Horner
+            // in scalar arithmetic (digits can be negative).
+            let sixteen = Scalar::from_u64(16);
+            let mut acc = Scalar::ZERO;
+            for &d in digits.iter().rev() {
+                acc = acc.mul(&sixteen);
+                let mag = Scalar::from_u64(d.unsigned_abs().into());
+                acc = if d < 0 { acc.sub(&mag) } else { acc.add(&mag) };
+            }
+            assert_eq!(acc, s, "{s:?}");
+            assert!(digits.iter().all(|&d| (-8..=8).contains(&d)));
+            assert!(digits[63] >= 0);
+        }
+    }
+
+    #[test]
+    fn naf_recompose_and_shape() {
+        for w in [5u32, 8] {
+            for s in [
+                Scalar::ZERO,
+                Scalar::ONE,
+                Scalar::from_u64(0x1234_5678_9abc_def0),
+                Scalar::from_bytes_mod_order(&[0x5c; 32]),
+                Scalar::from_u64(1).neg(),
+            ] {
+                let naf = s.non_adjacent_form(w);
+                let two = Scalar::from_u64(2);
+                let mut acc = Scalar::ZERO;
+                for &d in naf.iter().rev() {
+                    acc = acc.mul(&two);
+                    let mag = Scalar::from_u64(d.unsigned_abs().into());
+                    acc = if d < 0 { acc.sub(&mag) } else { acc.add(&mag) };
+                }
+                assert_eq!(acc, s, "w={w} {s:?}");
+                let half = 1i16 << (w - 1);
+                for (i, &d) in naf.iter().enumerate() {
+                    if d != 0 {
+                        assert!(d % 2 != 0, "digit at {i} even");
+                        assert!((i16::from(d)) < half && i16::from(d) > -half);
+                        // Non-adjacency: next w−1 digits are zero.
+                        for k in 1..w as usize {
+                            if i + k < 256 {
+                                assert_eq!(naf[i + k], 0, "w={w} adjacency at {i}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

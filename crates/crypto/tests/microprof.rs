@@ -1,0 +1,48 @@
+use silvasec_crypto::edwards::EdwardsPoint;
+use silvasec_crypto::field::FieldElement;
+use silvasec_crypto::scalar::Scalar;
+use std::time::Instant;
+
+#[test]
+#[ignore]
+fn microprof() {
+    let mut x = FieldElement::from_bytes(&[7u8; 32]);
+    let y = FieldElement::from_bytes(&[9u8; 32]);
+    let n = 2_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        x = std::hint::black_box(x.mul(&y));
+    }
+    let mul_ns = t0.elapsed().as_nanos() as f64 / f64::from(n);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        x = std::hint::black_box(x.square());
+    }
+    let sq_ns = t0.elapsed().as_nanos() as f64 / f64::from(n);
+    println!("field mul {mul_ns:.1} ns, square {sq_ns:.1} ns");
+
+    let p = EdwardsPoint::basepoint().scalar_mul(&Scalar::from_u64(12345));
+    let n = 200_000u32;
+    let mut q = p;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        q = std::hint::black_box(q.double());
+    }
+    let dbl_ns = t0.elapsed().as_nanos() as f64 / f64::from(n);
+    let t0 = Instant::now();
+    for _ in 0..n {
+        q = std::hint::black_box(q.add(&p));
+    }
+    let add_ns = t0.elapsed().as_nanos() as f64 / f64::from(n);
+    println!("point double {dbl_ns:.1} ns, add {add_ns:.1} ns");
+    let s = Scalar::from_bytes_mod_order(&[0xAB; 32]);
+    let n = 2000u32;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        q = std::hint::black_box(q.scalar_mul(&s));
+    }
+    println!(
+        "windowed scalar_mul {:.1} us",
+        t0.elapsed().as_micros() as f64 / f64::from(n)
+    );
+}

@@ -12,7 +12,7 @@
 //! signatures authenticate *boot*.
 
 use serde::{Deserialize, Serialize};
-use silvasec_crypto::schnorr::{Signature, SigningKey};
+use silvasec_crypto::schnorr::{self, BatchItem, Signature, SigningKey};
 use silvasec_pki::{Certificate, KeyUsage, PkiError, TrustStore};
 use silvasec_secure_boot::SignedImage;
 use std::fmt;
@@ -189,6 +189,20 @@ impl UpdateBundle {
     /// chain's end-entity key, component binding, image/manifest
     /// agreement, and the monotone version rule.
     ///
+    /// # Performance
+    ///
+    /// The bundle signature is checked through
+    /// [`schnorr::verify_batch`] together with the per-image signatures
+    /// (under the same leaf key, the common case in this fleet) so the
+    /// whole set shares one Straus doubling chain. The batch is purely
+    /// an accelerator: when it fails for any reason — including an image
+    /// signed by a key other than the chain leaf, which is *not* a
+    /// distribution-layer error — the bundle signature alone is
+    /// re-checked sequentially, so accept/reject outcomes and error
+    /// precedence are exactly those of the sequential path. Image
+    /// signatures remain authoritative only at boot, where the device
+    /// checks them against its pinned key.
+    ///
     /// # Errors
     ///
     /// The first [`BundleError`] encountered.
@@ -205,8 +219,33 @@ impl UpdateBundle {
         let leaf = self.signer_chain.first().ok_or(BundleError::Signature)?;
         let key = leaf.subject_key().map_err(|_| BundleError::Signature)?;
         let sig = Signature::from_bytes(&self.signature).map_err(|_| BundleError::Signature)?;
-        key.verify(&self.signed_bytes(), &sig)
-            .map_err(|_| BundleError::Signature)?;
+        let tbs = self.signed_bytes();
+
+        let image_sigs: Option<Vec<(Vec<u8>, Signature)>> = self
+            .images
+            .iter()
+            .map(|img| {
+                Signature::from_bytes(&img.signature)
+                    .ok()
+                    .map(|s| (img.image.tbs_bytes(), s))
+            })
+            .collect();
+        let batched = image_sigs.is_some_and(|image_sigs| {
+            let mut items = vec![BatchItem {
+                message: &tbs,
+                signature: &sig,
+                key: &key,
+            }];
+            items.extend(image_sigs.iter().map(|(msg, s)| BatchItem {
+                message: msg,
+                signature: s,
+                key: &key,
+            }));
+            schnorr::verify_batch(&items)
+        });
+        if !batched {
+            key.verify(&tbs, &sig).map_err(|_| BundleError::Signature)?;
+        }
 
         if self.manifest.component_id != component_id {
             return Err(BundleError::WrongComponent {
@@ -374,6 +413,57 @@ mod tests {
         );
         let err = rebuilt.verify(&store, 5000, "forwarder-fw", 1).unwrap_err();
         assert_eq!(err, BundleError::ManifestMismatch);
+    }
+
+    #[test]
+    fn foreign_image_signer_does_not_fail_distribution() {
+        // Images signed by a key other than the chain leaf defeat the
+        // batch fast path but are not a distribution-layer error: the
+        // sequential fallback must still accept the bundle (the boot ROM
+        // is the authority on image signatures).
+        let (bundle, store) = fixture();
+        let other = SigningKey::from_seed(&[9u8; 32]);
+        let images: Vec<_> = bundle
+            .images
+            .iter()
+            .map(|img| img.image.clone().sign(&other))
+            .collect();
+        let signer = SigningKey::from_seed(&[2u8; 32]);
+        let rebuilt = UpdateBundle::build(
+            bundle.manifest.clone(),
+            images,
+            bundle.signer_chain.clone(),
+            &signer,
+        );
+        rebuilt.verify(&store, 5000, "forwarder-fw", 1).unwrap();
+    }
+
+    #[test]
+    fn garbage_image_signature_does_not_fail_distribution() {
+        // An undecodable image signature likewise only disables the
+        // batch; the bundle signature still decides.
+        let (bundle, store) = fixture();
+        let mut images = bundle.images.clone();
+        images[0].signature = vec![0u8; 5];
+        let signer = SigningKey::from_seed(&[2u8; 32]);
+        let rebuilt = UpdateBundle::build(
+            bundle.manifest.clone(),
+            images,
+            bundle.signer_chain.clone(),
+            &signer,
+        );
+        rebuilt.verify(&store, 5000, "forwarder-fw", 1).unwrap();
+    }
+
+    #[test]
+    fn bad_bundle_signature_still_rejected_with_valid_images() {
+        // Valid image signatures must not mask a bad bundle signature
+        // through the batch path.
+        let (mut bundle, store) = fixture();
+        let last = bundle.signature.len() - 1;
+        bundle.signature[last] ^= 0x01;
+        let err = bundle.verify(&store, 5000, "forwarder-fw", 1).unwrap_err();
+        assert_eq!(err, BundleError::Signature);
     }
 
     #[test]

@@ -188,26 +188,38 @@ struct FleetSite {
 
 impl FleetSite {
     /// Verifies and applies a fully received encoded bundle.
+    ///
+    /// Returns the outcome plus the host wall-clock microseconds the
+    /// bundle verification took (`None` when the bundle never decoded,
+    /// so there was nothing to verify). The timing is measurement only —
+    /// it never influences the simulation or the security trace.
     fn apply(
         &mut self,
         bytes: &[u8],
         store: &TrustStore,
         now_ms: u64,
-    ) -> Result<u32, &'static str> {
-        let bundle = UpdateBundle::decode(bytes).map_err(|e| e.reason())?;
-        bundle
-            .verify(store, now_ms, FLEET_COMPONENT, self.installed_version)
-            .map_err(|e| match e {
-                // Stash the reason tag; the caller tallies it.
+    ) -> (Result<u32, &'static str>, Option<u64>) {
+        let bundle = match UpdateBundle::decode(bytes) {
+            Ok(bundle) => bundle,
+            Err(e) => return (Err(e.reason()), None),
+        };
+        let verify_started = std::time::Instant::now();
+        let verified = bundle.verify(store, now_ms, FLEET_COMPONENT, self.installed_version);
+        let verify_us = u64::try_from(verify_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        if let Err(e) = verified {
+            // Stash the reason tag; the caller tallies it.
+            let reason = match e {
                 BundleError::Chain(_) => "chain",
                 other => other.reason(),
-            })?;
+            };
+            return (Err(reason), Some(verify_us));
+        }
         let report = self.device.boot(&bundle.images);
         if !report.success {
-            return Err("boot");
+            return (Err("boot"), Some(verify_us));
         }
         self.installed_version = bundle.manifest.version;
-        Ok(bundle.manifest.version)
+        (Ok(bundle.manifest.version), Some(verify_us))
     }
 }
 
@@ -437,6 +449,9 @@ impl Fleet {
             bytes_on_air: 0,
             frames_sent: 0,
             detect_to_halt_ms: None,
+            verify_wall_us: 0,
+            verify_wall_us_max: 0,
+            verify_calls: 0,
         };
         self.record_wave(wave, "start");
 
@@ -493,7 +508,13 @@ impl Fleet {
                         report.bytes_on_air += delivery.bytes_on_air;
                         report.frames_sent += delivery.frames_sent;
                         fs.delivery = None;
-                        let outcome = fs.apply(&bytes, self.backend.trust_store(), now.as_millis());
+                        let (outcome, verify_us) =
+                            fs.apply(&bytes, self.backend.trust_store(), now.as_millis());
+                        if let Some(us) = verify_us {
+                            report.verify_wall_us += us;
+                            report.verify_wall_us_max = report.verify_wall_us_max.max(us);
+                            report.verify_calls += 1;
+                        }
                         let (ok, reason) = match &outcome {
                             Ok(_) => {
                                 report.applied_sites += 1;

@@ -64,7 +64,13 @@ pub enum RolloutPhase {
 }
 
 /// The measured outcome of one fleet rollout.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Serialization covers only the deterministic fields: same fleet size,
+/// seed, and scenario must produce byte-identical report JSON (that
+/// contract is tested), so the host wall-clock verification timings are
+/// deliberately left out of the serialized form — read them off the
+/// struct directly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RolloutReport {
     /// Number of sites in the fleet.
     pub fleet_size: usize,
@@ -91,6 +97,52 @@ pub struct RolloutReport {
     /// Milliseconds from the first in-wave IDS alert to the halt, when
     /// the rollout halted.
     pub detect_to_halt_ms: Option<u64>,
+    /// Host wall-clock microseconds spent verifying bundles across every
+    /// site, total. Host time, not fleet time: it never feeds the
+    /// simulation or the security trace, only the performance report.
+    pub verify_wall_us: u64,
+    /// Slowest single bundle verification, host wall-clock microseconds.
+    pub verify_wall_us_max: u64,
+    /// Bundle verifications measured (applied and rejected sites both
+    /// count; sites whose bundle failed to decode do not).
+    pub verify_calls: u32,
+}
+
+impl Serialize for RolloutReport {
+    fn serialize(&self) -> serde::Value {
+        // Deterministic fields only — `verify_wall_us` and
+        // `verify_wall_us_max` are host wall-clock measurements and would
+        // break the same-seed byte-identity contract on the report JSON.
+        serde::Value::Object(vec![
+            ("fleet_size".to_string(), self.fleet_size.serialize()),
+            (
+                "target_version".to_string(),
+                self.target_version.serialize(),
+            ),
+            ("completed".to_string(), self.completed.serialize()),
+            (
+                "halted_at_wave".to_string(),
+                self.halted_at_wave.serialize(),
+            ),
+            ("applied_sites".to_string(), self.applied_sites.serialize()),
+            (
+                "rejected_sites".to_string(),
+                self.rejected_sites.serialize(),
+            ),
+            (
+                "reject_reasons".to_string(),
+                self.reject_reasons.serialize(),
+            ),
+            ("latency_ms".to_string(), self.latency_ms.serialize()),
+            ("bytes_on_air".to_string(), self.bytes_on_air.serialize()),
+            ("frames_sent".to_string(), self.frames_sent.serialize()),
+            (
+                "detect_to_halt_ms".to_string(),
+                self.detect_to_halt_ms.serialize(),
+            ),
+            ("verify_calls".to_string(), self.verify_calls.serialize()),
+        ])
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::image::{FirmwareStage, SignedImage};
 use crate::pcr::PcrBank;
 use serde::{Deserialize, Serialize};
-use silvasec_crypto::schnorr::VerifyingKey;
+use silvasec_crypto::schnorr::{self, BatchItem, Signature, VerifyingKey};
 use silvasec_telemetry::{Event, Label, Recorder};
 use std::collections::HashMap;
 use std::error::Error;
@@ -157,6 +157,38 @@ impl Device {
             }
         }
 
+        // Fast path: verify every present stage's signature in one batch
+        // (one shared Straus doubling chain) before the per-stage walk.
+        // The batch records no telemetry and decides nothing on its own:
+        // when it passes, the per-stage signature re-check is skipped;
+        // when it fails for any reason, the per-stage walk below runs the
+        // signature checks individually, so the failing stage, the
+        // telemetry events and the partial PCR state are exactly those of
+        // the sequential path.
+        let batch_tbs: Vec<Vec<u8>> = [FirmwareStage::Bootloader, FirmwareStage::Application]
+            .iter()
+            .filter_map(|stage| by_stage.get(stage))
+            .map(|signed| signed.image.tbs_bytes())
+            .collect();
+        let batch_sigs: Option<Vec<Signature>> =
+            [FirmwareStage::Bootloader, FirmwareStage::Application]
+                .iter()
+                .filter_map(|stage| by_stage.get(stage))
+                .map(|signed| Signature::from_bytes(&signed.signature).ok())
+                .collect();
+        let batch_ok = batch_sigs.is_some_and(|sigs| {
+            let items: Vec<BatchItem<'_>> = batch_tbs
+                .iter()
+                .zip(&sigs)
+                .map(|(tbs, sig)| BatchItem {
+                    message: tbs,
+                    signature: sig,
+                    key: &self.signer,
+                })
+                .collect();
+            schnorr::verify_batch(&items)
+        });
+
         for stage in [FirmwareStage::Bootloader, FirmwareStage::Application] {
             let Some(signed) = by_stage.get(&stage) else {
                 return fail(BootError::MissingStage(stage), pcrs, booted);
@@ -177,7 +209,7 @@ impl Device {
                     booted,
                 );
             }
-            if !signed.verify(&self.signer) {
+            if !batch_ok && !signed.verify(&self.signer) {
                 self.recorder.record(reject);
                 return fail(BootError::BadSignature(stage), pcrs, booted);
             }
@@ -332,6 +364,33 @@ mod tests {
             d.boot(&c).error,
             Some(BootError::WrongComponent { .. })
         ));
+    }
+
+    #[test]
+    fn batched_boot_records_one_event_per_stage() {
+        // The batch fast path must not add or drop BootMeasure events: a
+        // clean boot records exactly one ok event per stage, a tampered
+        // application records bootloader-ok then application-reject.
+        use silvasec_telemetry::{Event, Recorder};
+        let mut d = device();
+        let recorder = Recorder::new();
+        let sub = recorder.subscribe("test", 64);
+        d.set_recorder(recorder.clone());
+
+        assert!(d.boot(&chain(1, 1)).success);
+        let events: Vec<Event> = recorder.drain(sub).into_iter().map(|r| r.event).collect();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, Event::BootMeasure { ok: true, .. })));
+
+        let mut c = chain(2, 2);
+        c[1].image.payload = b"evil".to_vec();
+        assert!(!d.boot(&c).success);
+        let events: Vec<Event> = recorder.drain(sub).into_iter().map(|r| r.event).collect();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::BootMeasure { ok: true, .. }));
+        assert!(matches!(events[1], Event::BootMeasure { ok: false, .. }));
     }
 
     #[test]

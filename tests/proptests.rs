@@ -5,7 +5,7 @@ use silvasec::crypto::aead::ChaCha20Poly1305;
 use silvasec::crypto::edwards::EdwardsPoint;
 use silvasec::crypto::field::FieldElement;
 use silvasec::crypto::scalar::Scalar;
-use silvasec::crypto::schnorr::SigningKey;
+use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::crypto::{hkdf, sha256};
 use silvasec::prelude::*;
 use silvasec::risk::feasibility::{AttackFeasibility, AttackPotential};
@@ -361,5 +361,158 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------- fast-path crypto vs the frozen naive oracle ----------------
+
+proptest! {
+    // Every case runs several full scalar multiplications against the
+    // frozen seed ladder (or builds a chain and signs a CRL); keep the
+    // case count debug-CI friendly.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scalar_mul_fast_paths_encode_identical_to_naive(
+        s_bytes in any::<[u8; 32]>(),
+        p_seed in any::<u64>(),
+    ) {
+        let s = Scalar::from_bytes_mod_order(&s_bytes);
+        let base = EdwardsPoint::basepoint();
+        // Basepoint dispatch (shared precomputed table)...
+        prop_assert_eq!(base.scalar_mul(&s).encode(), base.scalar_mul_naive(&s).encode());
+        // ...and the constant-time fixed-window ladder on an arbitrary
+        // point (p_seed = 0 exercises the identity).
+        let p = base.scalar_mul_naive(&Scalar::from_u64(p_seed));
+        prop_assert_eq!(p.scalar_mul(&s).encode(), p.scalar_mul_naive(&s).encode());
+    }
+
+    #[test]
+    fn double_scalar_mul_encodes_identical_to_naive(
+        a_bytes in any::<[u8; 32]>(),
+        b_bytes in any::<[u8; 32]>(),
+        p_seed in any::<u64>(),
+        q_seed in any::<u64>(),
+    ) {
+        let a = Scalar::from_bytes_mod_order(&a_bytes);
+        let b = Scalar::from_bytes_mod_order(&b_bytes);
+        let base = EdwardsPoint::basepoint();
+        let p = base.scalar_mul_naive(&Scalar::from_u64(p_seed));
+        let q = base.scalar_mul_naive(&Scalar::from_u64(q_seed));
+        // All three dispatch shapes: basepoint first (the verification
+        // equation), basepoint second, and fully generic.
+        prop_assert_eq!(
+            base.double_scalar_mul(&a, &p, &b).encode(),
+            base.double_scalar_mul_naive(&a, &p, &b).encode()
+        );
+        prop_assert_eq!(
+            p.double_scalar_mul(&a, &base, &b).encode(),
+            p.double_scalar_mul_naive(&a, &base, &b).encode()
+        );
+        prop_assert_eq!(
+            p.double_scalar_mul(&a, &q, &b).encode(),
+            p.double_scalar_mul_naive(&a, &q, &b).encode()
+        );
+    }
+
+    #[test]
+    fn batch_verify_accepts_iff_every_individual_verifies(
+        msg_salt in any::<u64>(),
+        corrupt_idx in 0usize..16,
+        corrupt_sig in any::<bool>(),
+    ) {
+        const N: usize = 16;
+        let keys: Vec<SigningKey> = (0..N)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[..8].copy_from_slice(&msg_salt.to_le_bytes());
+                seed[8] = i as u8;
+                SigningKey::from_seed(&seed)
+            })
+            .collect();
+        let mut messages: Vec<Vec<u8>> = (0..N)
+            .map(|i| format!("batch proptest {msg_salt} {i}").into_bytes())
+            .collect();
+        let mut signatures: Vec<_> = keys
+            .iter()
+            .zip(&messages)
+            .map(|(k, m)| k.sign(m))
+            .collect();
+        let verifiers: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+
+        let batch_ok = |messages: &[Vec<u8>], sigs: &[schnorr::Signature]| {
+            let items: Vec<BatchItem<'_>> = (0..N)
+                .map(|i| BatchItem {
+                    message: &messages[i],
+                    signature: &sigs[i],
+                    key: &verifiers[i],
+                })
+                .collect();
+            schnorr::verify_batch(&items)
+        };
+
+        // All-valid set: the batch accepts.
+        prop_assert!(batch_ok(&messages, &signatures));
+
+        // Corrupt exactly one of the sixteen (signature or message).
+        if corrupt_sig {
+            let mut bytes = signatures[corrupt_idx].to_bytes();
+            bytes[17] ^= 0x40;
+            match schnorr::Signature::from_bytes(&bytes) {
+                Ok(sig) => signatures[corrupt_idx] = sig,
+                // A flipped bit can make the encoding undecodable
+                // (non-canonical); corrupt the message instead.
+                Err(_) => messages[corrupt_idx].push(0x99),
+            }
+        } else {
+            messages[corrupt_idx][0] ^= 0x01;
+        }
+
+        // The batch rejects, and individual verification pinpoints
+        // exactly the corrupted index.
+        prop_assert!(!batch_ok(&messages, &signatures));
+        for i in 0..N {
+            let individual = verifiers[i].verify(&messages[i], &signatures[i]).is_ok();
+            prop_assert_eq!(individual, i != corrupt_idx, "index {}", i);
+        }
+    }
+
+    #[test]
+    fn chain_cache_never_survives_a_crl_revocation(
+        validate_t in 10u64..900,
+        revoke_at in 1_000u64..5_000,
+    ) {
+        let mut ca = CertificateAuthority::new_root(
+            "prop-root",
+            &[7u8; 32],
+            Validity::new(0, 10_000),
+        );
+        let end_key = SigningKey::from_seed(&[8u8; 32]);
+        let end = ca.issue_mut(
+            &Subject::new("prop-end", ComponentRole::Sensor),
+            &end_key.verifying_key(),
+            KeyUsage::AUTHENTICATION,
+            Validity::new(0, 10_000),
+        );
+        let store = TrustStore::with_roots([ca.certificate().clone()]);
+        let chain = vec![end.clone()];
+
+        // Warm the verified-chain cache (second call is the cached hit).
+        prop_assert!(store.validate_chain(&chain, validate_t, &[]).is_ok());
+        prop_assert!(store.validate_chain(&chain, validate_t, &[]).is_ok());
+        prop_assert!(store.chain_cache_len() >= 1);
+
+        // A CRL revoking the leaf changes the cache key (CRL bytes are
+        // part of the fingerprint), so the warm cache cannot mask the
+        // revocation.
+        ca.revoke(end.serial, revoke_at);
+        let crl = ca.sign_crl(revoke_at + 1);
+        prop_assert!(matches!(
+            store.validate_chain(&chain, revoke_at + 10, std::slice::from_ref(&crl)),
+            Err(PkiError::Revoked { .. })
+        ));
+
+        // The CRL-free verdict at the original time is still served.
+        prop_assert!(store.validate_chain(&chain, validate_t, &[]).is_ok());
     }
 }
