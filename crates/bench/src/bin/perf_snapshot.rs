@@ -25,7 +25,7 @@ use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::experiments::{occlusion_point, occlusion_sweep, run_worksite, OcclusionRow};
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
-use silvasec_bench::{measure_recorder_overhead, RecorderOverhead};
+use silvasec_bench::{measure_recorder_overhead, session_pair, RecorderOverhead};
 use silvasec_sim::time::SimDuration;
 use std::time::Instant;
 
@@ -72,6 +72,10 @@ struct RunEntry {
     /// `crypto_bench` for the full suite with frozen naive baselines,
     /// cross-check digests, and acceptance floors).
     crypto: CryptoHeadline,
+    /// Secure-session data-plane headline (fast paths only — see
+    /// `data_plane_bench` for the full suite with frozen naive
+    /// baselines, cross-check digests, and acceptance floors).
+    session: SessionHeadline,
 }
 
 /// Schnorr throughput on the fast scalar-multiplication paths.
@@ -126,6 +130,44 @@ fn crypto_headline() -> CryptoHeadline {
         sign_per_s: 1.0 / sign_s,
         verify_per_s: 1.0 / verify_s,
         verify_batch16_per_sig_per_s: BATCH as f64 / batch_s,
+    }
+}
+
+/// Established-session record throughput over the one-pass AEAD and
+/// reused buffers (each iteration seals one record and opens it on the
+/// peer — the full data-plane round trip).
+#[derive(Debug, Serialize)]
+struct SessionHeadline {
+    /// Record payload size used for the measurement, bytes.
+    record_payload_bytes: usize,
+    /// Records sealed **and** opened per second.
+    records_per_s: f64,
+    /// Plaintext throughput implied by the record rate, MB/s.
+    mb_per_s: f64,
+}
+
+fn session_headline() -> SessionHeadline {
+    const ITERS: usize = 2048;
+    const PAYLOAD: usize = 1024;
+    let (mut tx, mut rx) = session_pair(47);
+    let payload = vec![0x42u8; PAYLOAD];
+    let mut record = Vec::new();
+    let mut opened = Vec::new();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            tx.seal_into(&payload, &mut record).expect("seal record");
+            rx.open_into(&record, &mut opened).expect("open record");
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    assert_eq!(opened, payload);
+    let records_per_s = ITERS as f64 / best.max(1e-12);
+    SessionHeadline {
+        record_payload_bytes: PAYLOAD,
+        records_per_s,
+        mb_per_s: records_per_s * PAYLOAD as f64 / 1e6,
     }
 }
 
@@ -226,6 +268,9 @@ fn main() {
     // Crypto hot-path headline throughput.
     let crypto = crypto_headline();
 
+    // Secure-session data-plane headline throughput.
+    let session = session_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -245,6 +290,7 @@ fn main() {
         worksite_sim_rate: episode_secs as f64 / worksite_episode_wall_s.max(1e-9),
         telemetry,
         crypto,
+        session,
     };
 
     assert!(

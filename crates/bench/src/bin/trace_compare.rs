@@ -17,6 +17,12 @@
 //! `--max-events N` (any mode) stops after the first `N` events: a
 //! bounded spot-check that keeps CI diffs of fleet-scale traces cheap.
 //!
+//! `--dump <path>` (self-driving modes) additionally writes the left
+//! trace to a file, so a "before" snapshot can be captured, the code
+//! changed, and the "after" trace compared byte for byte with the
+//! file-diff mode — the same pre/post workflow `fleet_trace_dump`
+//! supports for the fleet trace, here for the Figure 1 worksite trace.
+//!
 //! Identical traces exit 0 and print `identical`; diverging traces exit
 //! 1 and print the event index, the field path, and both values at the
 //! first mismatch. Same seed must always compare identical — that is
@@ -132,6 +138,27 @@ fn main() -> ExitCode {
         args.drain(pos..=pos + 1);
     }
 
+    // `--dump <path>` writes the left trace of a self-driving mode to a
+    // file for later pre/post file-diff comparison.
+    let mut dump_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--dump") {
+        let Some(path) = args.get(pos + 1).cloned() else {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        dump_path = Some(path);
+        args.drain(pos..=pos + 1);
+    }
+    let dump = |trace: &str| {
+        if let Some(path) = &dump_path {
+            if let Err(e) = std::fs::write(path, trace) {
+                eprintln!("error: cannot write {path}: {e}");
+            } else {
+                eprintln!("dumped left trace to {path}");
+            }
+        }
+    };
+
     let parse_seeds = |args: &[String]| -> Option<(u64, u64)> {
         match (
             args.get(1).map(|s| s.parse::<u64>()),
@@ -165,6 +192,7 @@ fn main() -> ExitCode {
                 &figure1_trace(SecurityPosture::secure(), seed_b, total),
                 max_events,
             );
+            dump(&left);
             compare(
                 &format!("seed {seed_a}"),
                 &left,
@@ -189,6 +217,7 @@ fn main() -> ExitCode {
             let (_, right) = run_fleet_rollout(sites, seed_b, FleetScenario::Clean);
             let left = truncated(&left, max_events);
             let right = truncated(&right, max_events);
+            dump(&left);
             compare(
                 &format!("fleet seed {seed_a}"),
                 &left,

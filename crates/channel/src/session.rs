@@ -4,6 +4,7 @@ use crate::error::ChannelError;
 use crate::replay::ReplayWindow;
 use silvasec_crypto::aead::ChaCha20Poly1305;
 use silvasec_crypto::hkdf;
+use silvasec_crypto::poly1305::TAG_LEN;
 use silvasec_telemetry::{Event, Label, Recorder};
 
 /// Records carry an 8-byte sequence number header before the ciphertext.
@@ -87,11 +88,31 @@ impl Session {
 
     /// Encrypts `plaintext` into a record.
     ///
+    /// Allocates a fresh record each call; steady-state senders should
+    /// reuse a buffer via [`Session::seal_into`] instead.
+    ///
     /// # Errors
     ///
     /// Returns [`ChannelError::SequenceExhausted`] when the epoch's
     /// sequence space is spent (rekey first).
     pub fn seal(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let mut out = Vec::new();
+        self.seal_into(plaintext, &mut out)?;
+        Ok(out)
+    }
+
+    /// Encrypts `plaintext` into a record written to `out` (cleared
+    /// first). Reserves exactly `plaintext.len()` + [`RECORD_OVERHEAD`]
+    /// bytes, so a caller that reuses a warm buffer of steady record
+    /// size allocates zero times per record; encryption and MAC run as
+    /// one in-place sweep over the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChannelError::SequenceExhausted`] when the epoch's
+    /// sequence space is spent (rekey first). `out` is left cleared.
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) -> Result<(), ChannelError> {
+        out.clear();
         if self.send_seq == u64::MAX {
             return Err(ChannelError::SequenceExhausted);
         }
@@ -99,13 +120,20 @@ impl Session {
         self.send_seq += 1;
         let nonce = Self::nonce_for(seq, self.epoch);
         let header = seq.to_le_bytes();
-        let mut out = Vec::with_capacity(RECORD_OVERHEAD + plaintext.len());
+        out.reserve_exact(RECORD_OVERHEAD + plaintext.len());
         out.extend_from_slice(&header);
-        out.extend_from_slice(&self.send.seal(&nonce, &header, plaintext));
-        Ok(out)
+        out.extend_from_slice(plaintext);
+        let tag = self
+            .send
+            .seal_detached(&nonce, &header, &mut out[RECORD_HEADER_LEN..]);
+        out.extend_from_slice(&tag);
+        Ok(())
     }
 
     /// Decrypts and verifies a record.
+    ///
+    /// Allocates a fresh plaintext each call; steady-state receivers
+    /// should reuse a buffer via [`Session::open_into`] instead.
     ///
     /// # Errors
     ///
@@ -114,9 +142,26 @@ impl Session {
     /// [`ChannelError::Replay`] for replayed/stale sequence numbers. The
     /// replay window only advances on successfully authenticated records.
     pub fn open(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
-        match self.open_inner(record) {
-            Ok(plaintext) => Ok(plaintext),
+        let mut out = Vec::new();
+        self.open_into(record, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decrypts and verifies a record into `out` (cleared first), with
+    /// the same one-sweep decrypt-and-verify and exact reservation as
+    /// [`Session::seal_into`] — zero allocations per record once the
+    /// buffer is warm.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Session::open`]; on any error `out` comes back
+    /// empty (a forged record's speculative plaintext is zeroed before
+    /// return).
+    pub fn open_into(&mut self, record: &[u8], out: &mut Vec<u8>) -> Result<(), ChannelError> {
+        match self.open_into_inner(record, out) {
+            Ok(()) => Ok(()),
             Err(e) => {
+                out.clear();
                 self.recorder.record(Event::AuthFail {
                     peer: Label::new(&self.peer_id),
                 });
@@ -125,18 +170,23 @@ impl Session {
         }
     }
 
-    fn open_inner(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
+    fn open_into_inner(&mut self, record: &[u8], out: &mut Vec<u8>) -> Result<(), ChannelError> {
+        out.clear();
         if record.len() < RECORD_OVERHEAD {
             return Err(ChannelError::Decode);
         }
         let header: [u8; 8] = record[..8].try_into().expect("8 bytes");
         let seq = u64::from_le_bytes(header);
         let nonce = Self::nonce_for(seq, self.epoch);
-        let plaintext = self.recv.open(&nonce, &header, &record[8..])?;
+        let ct_end = record.len() - TAG_LEN;
+        out.reserve_exact(ct_end - RECORD_HEADER_LEN);
+        out.extend_from_slice(&record[RECORD_HEADER_LEN..ct_end]);
+        self.recv
+            .open_detached(&nonce, &header, out, &record[ct_end..])?;
         // Authenticate first, then replay-check, so an attacker cannot
         // poison the window with forged sequence numbers.
         self.replay.accept(seq)?;
-        Ok(plaintext)
+        Ok(())
     }
 
     /// Ratchets both directions to the next epoch. Both peers must call
@@ -276,6 +326,40 @@ mod tests {
         let (a, b) = pair();
         assert_eq!(a.peer_id(), "b");
         assert_eq!(b.peer_id(), "a");
+    }
+
+    #[test]
+    fn seal_into_matches_seal_and_reuses_buffer() {
+        let (mut a, mut a2) = (pair().0, pair().0);
+        let mut record = Vec::new();
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 300, 1500] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 31 + len) as u8).collect();
+            let allocating = a.seal(&pt).unwrap();
+            a2.seal_into(&pt, &mut record).unwrap();
+            assert_eq!(record, allocating, "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_into_roundtrips_with_reused_buffers() {
+        let (mut a, mut b) = pair();
+        let mut record = Vec::new();
+        let mut plain = Vec::new();
+        for len in [0usize, 1, 16, 64, 65, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            a.seal_into(&pt, &mut record).unwrap();
+            b.open_into(&record, &mut plain).unwrap();
+            assert_eq!(plain, pt, "len {len}");
+        }
+        // A tampered record leaves the output buffer empty.
+        a.seal_into(b"secret", &mut record).unwrap();
+        let last = record.len() - 1;
+        record[last] ^= 1;
+        assert!(matches!(
+            b.open_into(&record, &mut plain),
+            Err(ChannelError::Crypto(_))
+        ));
+        assert!(plain.is_empty());
     }
 
     #[test]

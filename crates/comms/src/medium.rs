@@ -287,6 +287,11 @@ impl Medium {
         let mut last_rssi = f64::NEG_INFINITY;
         let mut last_sinr = f64::NEG_INFINITY;
         let mut last_per = 1.0;
+        // Inbox delivery is deferred one step so the final recipient
+        // receives the frame by move: a unicast frame (the common case)
+        // is never cloned, and a broadcast clones once per extra
+        // recipient instead of once per recipient.
+        let mut pending: Option<(NodeId, f64, f64)> = None;
 
         for dst in targets {
             let dst_pos = self.nodes[dst.0 as usize].position;
@@ -324,12 +329,14 @@ impl Medium {
                 any_delivered = true;
                 self.node_stats[dst.0 as usize].record_delivery(frame.kind, rssi, sinr);
                 self.handle_management(dst, &frame, true_src, now_ms);
-                self.inboxes[dst.0 as usize].push(ReceivedFrame {
-                    frame: frame.clone(),
-                    rssi_dbm: rssi,
-                    sinr_db: sinr,
-                    at_ms: now_ms,
-                });
+                if let Some((prev_dst, prev_rssi, prev_sinr)) = pending.replace((dst, rssi, sinr)) {
+                    self.inboxes[prev_dst.0 as usize].push(ReceivedFrame {
+                        frame: frame.clone(),
+                        rssi_dbm: prev_rssi,
+                        sinr_db: prev_sinr,
+                        at_ms: now_ms,
+                    });
+                }
                 self.recorder.record_at(
                     now,
                     Event::FrameRx {
@@ -352,6 +359,15 @@ impl Medium {
             last_rssi = rssi;
             last_sinr = sinr;
             last_per = per;
+        }
+
+        if let Some((dst, rssi, sinr)) = pending {
+            self.inboxes[dst.0 as usize].push(ReceivedFrame {
+                frame,
+                rssi_dbm: rssi,
+                sinr_db: sinr,
+                at_ms: now_ms,
+            });
         }
 
         self.node_stats[true_src.0 as usize].tx_frames += 1;

@@ -189,8 +189,44 @@ impl FieldElement {
     }
 
     /// Multiplication in the field.
+    ///
+    /// The ×19 wraparound factors are applied to `rhs`'s limbs in u64
+    /// *before* widening — the same prescale [`square`] uses — so every
+    /// term is a single 64×64→128 multiply instead of a wide 128-bit
+    /// one. Inputs are ≤ 2^54 per the mul/square contract, so
+    /// 19·bᵢ < 2^59 fits u64 and each five-term column stays below
+    /// 2^116 inside `u128`. Bit-identical to the frozen
+    /// [`mul_reference`] oracle (proptested).
+    ///
+    /// [`square`]: FieldElement::square
+    /// [`mul_reference`]: FieldElement::mul_reference
     #[must_use]
     pub fn mul(&self, rhs: &Self) -> Self {
+        let a = self.0;
+        let b = rhs.0;
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+
+        let c0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let c1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let c2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let c3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
+        let c4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+
+        Self::reduce_wide([c0, c1, c2, c3, c4])
+    }
+
+    /// Frozen widening reference for [`mul`]: the original formulation
+    /// that widens every limb to `u128` first and applies the ×19
+    /// factors after the products. Deliberately never optimized — the
+    /// workspace proptests pin [`mul`] bit-identical against it.
+    ///
+    /// [`mul`]: FieldElement::mul
+    #[must_use]
+    pub fn mul_reference(&self, rhs: &Self) -> Self {
         let a = self.0.map(u128::from);
         let b = rhs.0.map(u128::from);
 
@@ -440,6 +476,24 @@ mod tests {
         let b = fe(0x1234_5678);
         let c = fe(0x0bad_f00d);
         assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn mul_matches_reference_on_large_values() {
+        // Prescaled mul against the frozen widening reference on values
+        // with all limbs near the 2^51 bound (and on weak, un-carried
+        // inputs near the 2^54 contract bound via repeated weak_add).
+        let mut bytes = [0xf3u8; 32];
+        bytes[31] = 0x7a;
+        let mut x = FieldElement::from_bytes(&bytes);
+        let mut y = FieldElement::from_bytes(&[0x5cu8; 32]);
+        for _ in 0..50 {
+            assert_eq!(x.mul(&y).0, x.mul_reference(&y).0);
+            let wide = x.weak_add(&x).weak_add(&x).weak_add(&x);
+            assert_eq!(wide.mul(&y).0, wide.mul_reference(&y).0);
+            x = x.mul(&y).add(&FieldElement::ONE);
+            y = y.square().add(&x);
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! HKDF-SHA256 (RFC 5869) extract-and-expand key derivation.
 
-use crate::hmac::HmacSha256;
+use crate::hmac::{HmacKey, HmacSha256};
 use crate::sha256::DIGEST_LEN;
 
 /// Maximum output length of [`expand`] (255 blocks, per RFC 5869).
@@ -27,19 +27,24 @@ pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
 /// Panics if `out.len()` exceeds [`MAX_OUTPUT_LEN`].
 pub fn expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
     assert!(out.len() <= MAX_OUTPUT_LEN, "hkdf output too long");
-    let mut t: Vec<u8> = Vec::new();
+    // One key schedule for every counter block: the ipad/opad states
+    // are compressed once here, then cloned per block below.
+    let key = HmacKey::new(prk);
+    let mut t = [0u8; DIGEST_LEN];
+    let mut t_len = 0usize;
     let mut counter = 1u8;
     let mut written = 0usize;
     while written < out.len() {
-        let mut mac = HmacSha256::new(prk);
-        mac.update(&t);
+        let mut mac = key.mac_start();
+        mac.update(&t[..t_len]);
         mac.update(info);
         mac.update(&[counter]);
         let block = mac.finalize();
         let take = (out.len() - written).min(DIGEST_LEN);
         out[written..written + take].copy_from_slice(&block[..take]);
         written += take;
-        t = block.to_vec();
+        t = block;
+        t_len = DIGEST_LEN;
         counter = counter.wrapping_add(1);
     }
 }

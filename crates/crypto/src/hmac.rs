@@ -1,29 +1,37 @@
 //! HMAC-SHA256 (RFC 2104), validated against the RFC 4231 test vectors.
+//!
+//! [`HmacKey`] holds the key schedule — the hash states after the ipad
+//! and opad blocks, compressed exactly once at construction. Every MAC
+//! started from it ([`HmacKey::mac_start`]) clones those states instead
+//! of re-deriving the pads and re-compressing them, which is what makes
+//! multi-invocation consumers (HKDF expansion, per-record handshake
+//! transcripts) cheap.
 
 use crate::ct;
 use crate::error::CryptoError;
 use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
 
-/// An incremental HMAC-SHA256 computation.
+/// A precomputed HMAC-SHA256 key schedule: the inner (ipad) and outer
+/// (opad) hash states, each compressed once when the key is prepared.
 ///
 /// # Example
 ///
 /// ```
-/// use silvasec_crypto::hmac::HmacSha256;
+/// use silvasec_crypto::hmac::{HmacKey, HmacSha256};
 ///
-/// let mut mac = HmacSha256::new(b"key");
-/// mac.update(b"message");
-/// let tag = mac.finalize();
-/// assert!(HmacSha256::verify(b"key", b"message", &tag).is_ok());
+/// let key = HmacKey::new(b"key");
+/// let tag = key.mac(b"message");
+/// assert_eq!(tag, HmacSha256::mac(b"key", b"message"));
 /// ```
 #[derive(Debug, Clone)]
-pub struct HmacSha256 {
+pub struct HmacKey {
     inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+    outer: Sha256,
 }
 
-impl HmacSha256 {
-    /// Creates an HMAC instance keyed with `key` (any length).
+impl HmacKey {
+    /// Prepares the key schedule for `key` (any length): derives the
+    /// ipad/opad blocks and absorbs each into its hash state once.
     #[must_use]
     pub fn new(key: &[u8]) -> Self {
         let mut block_key = [0u8; BLOCK_LEN];
@@ -40,10 +48,56 @@ impl HmacSha256 {
         }
         let mut inner = Sha256::new();
         inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts an incremental MAC under this key. No pad derivation or
+    /// compression happens here — both precomputed states are cloned.
+    #[must_use]
+    pub fn mac_start(&self) -> HmacSha256 {
         HmacSha256 {
-            inner,
-            opad_key: opad,
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
         }
+    }
+
+    /// Computes the tag of `data` under this key in one shot.
+    #[must_use]
+    pub fn mac(&self, data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = self.mac_start();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// An incremental HMAC-SHA256 computation.
+///
+/// # Example
+///
+/// ```
+/// use silvasec_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert!(HmacSha256::verify(b"key", b"message", &tag).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    ///
+    /// For repeated MACs under one key, build an [`HmacKey`] once and
+    /// use [`HmacKey::mac_start`] instead.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).mac_start()
     }
 
     /// Absorbs message data.
@@ -55,8 +109,7 @@ impl HmacSha256 {
     #[must_use]
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }

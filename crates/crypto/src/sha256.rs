@@ -76,15 +76,16 @@ impl Sha256 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= BLOCK_LEN {
-            let mut block = [0u8; BLOCK_LEN];
-            block.copy_from_slice(&data[..BLOCK_LEN]);
-            self.compress(&block);
-            data = &data[BLOCK_LEN..];
+        // Full blocks compress straight out of the caller's slice — no
+        // staging copy through the internal buffer.
+        let mut blocks = data.chunks_exact(BLOCK_LEN);
+        for block in &mut blocks {
+            self.compress(block.try_into().expect("exact chunk"));
         }
-        if !data.is_empty() {
-            self.buf[..data.len()].copy_from_slice(data);
-            self.buf_len = data.len();
+        let tail = blocks.remainder();
+        if !tail.is_empty() {
+            self.buf[..tail.len()].copy_from_slice(tail);
+            self.buf_len = tail.len();
         }
     }
 
@@ -113,41 +114,90 @@ impl Sha256 {
         out
     }
 
+    // Fully unrolled compression. The message schedule lives in a
+    // rolling 16-word window updated in place, and the round macro is
+    // invoked with rotated register orders so the eight working
+    // variables never shuffle through a temporary — every index below
+    // is a constant, so no bounds checks survive codegen. Bit-identical
+    // to the textbook loop it replaced (same FIPS 180-4 arithmetic,
+    // validated by the NIST vectors below).
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        let mut w = [0u32; 16];
+        for (w, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+            *w = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+
+        macro_rules! round {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident,
+             $k:expr, $w:expr) => {{
+                let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+                let ch = ($e & $f) ^ (!$e & $g);
+                let t1 = $h
+                    .wrapping_add(s1)
+                    .wrapping_add(ch)
+                    .wrapping_add($k)
+                    .wrapping_add($w);
+                let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+                let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+                $d = $d.wrapping_add(t1);
+                $h = t1.wrapping_add(s0.wrapping_add(maj));
+            }};
         }
+
+        // Advance the rolling schedule window: w[i mod 16] becomes
+        // message word i (for i >= 16) and is returned for the round.
+        macro_rules! sched {
+            ($i:expr) => {{
+                let w15 = w[($i + 1) & 15];
+                let w2 = w[($i + 14) & 15];
+                let s0 = w15.rotate_right(7) ^ w15.rotate_right(18) ^ (w15 >> 3);
+                let s1 = w2.rotate_right(17) ^ w2.rotate_right(19) ^ (w2 >> 10);
+                w[$i & 15] = w[$i & 15]
+                    .wrapping_add(s0)
+                    .wrapping_add(w[($i + 9) & 15])
+                    .wrapping_add(s1);
+                w[$i & 15]
+            }};
+        }
+
+        macro_rules! eight {
+            ($k:expr, $w:expr) => {{
+                let wf = $w;
+                round!(a, b, c, d, e, f, g, h, K[$k], wf($k));
+                round!(h, a, b, c, d, e, f, g, K[$k + 1], wf($k + 1));
+                round!(g, h, a, b, c, d, e, f, K[$k + 2], wf($k + 2));
+                round!(f, g, h, a, b, c, d, e, K[$k + 3], wf($k + 3));
+                round!(e, f, g, h, a, b, c, d, K[$k + 4], wf($k + 4));
+                round!(d, e, f, g, h, a, b, c, K[$k + 5], wf($k + 5));
+                round!(c, d, e, f, g, h, a, b, K[$k + 6], wf($k + 6));
+                round!(b, c, d, e, f, g, h, a, K[$k + 7], wf($k + 7));
+            }};
+        }
+
+        eight!(0, |i: usize| w[i]);
+        eight!(8, |i: usize| w[i]);
+
+        macro_rules! sched_eight {
+            ($k:expr) => {{
+                round!(a, b, c, d, e, f, g, h, K[$k], sched!($k));
+                round!(h, a, b, c, d, e, f, g, K[$k + 1], sched!($k + 1));
+                round!(g, h, a, b, c, d, e, f, K[$k + 2], sched!($k + 2));
+                round!(f, g, h, a, b, c, d, e, K[$k + 3], sched!($k + 3));
+                round!(e, f, g, h, a, b, c, d, K[$k + 4], sched!($k + 4));
+                round!(d, e, f, g, h, a, b, c, K[$k + 5], sched!($k + 5));
+                round!(c, d, e, f, g, h, a, b, K[$k + 6], sched!($k + 6));
+                round!(b, c, d, e, f, g, h, a, K[$k + 7], sched!($k + 7));
+            }};
+        }
+
+        sched_eight!(16);
+        sched_eight!(24);
+        sched_eight!(32);
+        sched_eight!(40);
+        sched_eight!(48);
+        sched_eight!(56);
 
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

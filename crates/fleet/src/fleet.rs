@@ -452,6 +452,7 @@ impl Fleet {
             verify_wall_us: 0,
             verify_wall_us_max: 0,
             verify_calls: 0,
+            transfer_tampered_sites: 0,
         };
         self.record_wave(wave, "start");
 
@@ -507,6 +508,9 @@ impl Fleet {
                         };
                         report.bytes_on_air += delivery.bytes_on_air;
                         report.frames_sent += delivery.frames_sent;
+                        if delivery.transfer_intact() == Some(false) {
+                            report.transfer_tampered_sites += 1;
+                        }
                         fs.delivery = None;
                         let (outcome, verify_us) =
                             fs.apply(&bytes, self.backend.trust_store(), now.as_millis());

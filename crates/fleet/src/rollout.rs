@@ -106,6 +106,12 @@ pub struct RolloutReport {
     /// Bundle verifications measured (applied and rejected sites both
     /// count; sites whose bundle failed to decode do not).
     pub verify_calls: u32,
+    /// Sites whose received chunk stream failed the transfer-digest
+    /// cross-check (the streaming SHA-256 computed over ordered chunk
+    /// slots vs the digest of what the backend sent). Deterministic, but
+    /// kept out of the serialized form so the report JSON schema is
+    /// unchanged — read it off the struct directly.
+    pub transfer_tampered_sites: u32,
 }
 
 impl Serialize for RolloutReport {

@@ -12,6 +12,7 @@
 
 use silvasec_comms::medium::InterfererId;
 use silvasec_comms::{Frame, Medium, MediumConfig, NodeId};
+use silvasec_crypto::sha256::Sha256;
 use silvasec_sim::geom::Vec3;
 use silvasec_sim::rng::SimRng;
 use silvasec_sim::time::SimTime;
@@ -149,6 +150,23 @@ impl Reassembly {
         }
         Some(out)
     }
+
+    /// SHA-256 of the reassembled stream, streamed chunk slot by chunk
+    /// slot through an incremental hasher — the concatenated buffer is
+    /// never materialized. Returns `None` until [`complete`].
+    ///
+    /// [`complete`]: Reassembly::complete
+    #[must_use]
+    pub fn content_digest(&self) -> Option<[u8; 32]> {
+        if !self.complete() {
+            return None;
+        }
+        let mut h = Sha256::new();
+        for slot in &self.slots {
+            h.update(slot.as_deref().unwrap_or_default());
+        }
+        Some(h.finalize())
+    }
 }
 
 /// One site's dedicated backend↔gateway radio uplink.
@@ -224,6 +242,8 @@ pub struct Delivery {
     reassembly: Reassembly,
     tamper_rng: SimRng,
     seq: u64,
+    sent_digest: [u8; 32],
+    received_digest: Option<[u8; 32]>,
     /// Total bytes put on the air, retransmissions included.
     pub bytes_on_air: u64,
     /// Total frames transmitted.
@@ -236,12 +256,21 @@ impl Delivery {
     pub fn new(update_id: u32, bytes: &[u8], chunk_bytes: usize, tamper_rng: SimRng) -> Self {
         let chunks = chunk_payloads(update_id, bytes, chunk_bytes);
         let count = chunks.len() as u16;
+        // Digest of the stream as sent, hashed incrementally off the
+        // chunk bodies so the transfer integrity check shares bytes with
+        // the chunking pass.
+        let mut h = Sha256::new();
+        for chunk in &chunks {
+            h.update(&chunk[ChunkHeader::LEN..]);
+        }
         Delivery {
             pending: (0..chunks.len()).collect(),
             chunks,
             reassembly: Reassembly::new(update_id, count),
             tamper_rng,
             seq: 0,
+            sent_digest: h.finalize(),
+            received_digest: None,
             bytes_on_air: 0,
             frames_sent: 0,
         }
@@ -283,7 +312,21 @@ impl Delivery {
                 self.reassembly.accept(header, data);
             }
         }
-        self.reassembly.assemble()
+        let assembled = self.reassembly.assemble();
+        if assembled.is_some() && self.received_digest.is_none() {
+            self.received_digest = self.reassembly.content_digest();
+        }
+        assembled
+    }
+
+    /// Whether the stream arrived byte-identical to what the backend
+    /// sent, judged by comparing the streaming transfer digests. `None`
+    /// until the transfer completes. Purely observational — corruption
+    /// is still caught (and attributed) by bundle decode/signature
+    /// verification at the site.
+    #[must_use]
+    pub fn transfer_intact(&self) -> Option<bool> {
+        self.received_digest.map(|d| d == self.sent_digest)
     }
 
     /// Chunks not yet confirmed delivered.
@@ -347,11 +390,13 @@ mod tests {
         let data: Vec<u8> = (0u16..4096).map(|i| (i % 256) as u8).collect();
         let mut delivery = Delivery::new(1, &data, 512, rng.fork("tamper"));
         let mut now = SimTime::ZERO;
+        assert_eq!(delivery.transfer_intact(), None);
         for _ in 0..200 {
             if let Some(got) = delivery.step(&mut uplink, 8, false, now) {
                 assert_eq!(got, data);
                 assert!(delivery.frames_sent >= 8);
                 assert!(delivery.bytes_on_air > data.len() as u64);
+                assert_eq!(delivery.transfer_intact(), Some(true));
                 return;
             }
             now += silvasec_sim::time::SimDuration::from_millis(500);
@@ -370,6 +415,7 @@ mod tests {
             if let Some(got) = delivery.step(&mut uplink, 8, true, now) {
                 assert_eq!(got.len(), data.len());
                 assert_ne!(got, data, "tampering must corrupt the stream");
+                assert_eq!(delivery.transfer_intact(), Some(false));
                 return;
             }
             now += silvasec_sim::time::SimDuration::from_millis(500);

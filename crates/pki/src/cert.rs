@@ -36,17 +36,48 @@ impl Certificate {
     /// encoding).
     #[must_use]
     pub fn tbs_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(128 + self.subject.id.len() + self.issuer_id.len());
-        out.extend_from_slice(b"silvasec-cert-v1");
-        push_str(&mut out, &self.subject.id);
-        push_str(&mut out, &format!("{}", self.subject.role));
-        push_str(&mut out, &self.issuer_id);
-        out.extend_from_slice(&self.serial.to_le_bytes());
-        out.extend_from_slice(&self.validity.not_before.to_le_bytes());
-        out.extend_from_slice(&self.validity.not_after.to_le_bytes());
-        out.push(self.key_usage.bits());
-        push_bytes(&mut out, &self.public_key);
+        let mut out = Vec::with_capacity(self.tbs_len());
+        self.tbs_write(&mut |b| out.extend_from_slice(b));
         out
+    }
+
+    /// Exact byte length of [`Certificate::tbs_bytes`], without building it.
+    #[must_use]
+    pub fn tbs_len(&self) -> usize {
+        16 + (4 + self.subject.id.len())
+            + (4 + self.subject.role.as_str().len())
+            + (4 + self.issuer_id.len())
+            + 8
+            + 8
+            + 8
+            + 1
+            + (4 + self.public_key.len())
+    }
+
+    /// Streams the TBS encoding into `sink`, chunk by chunk — the single
+    /// source of truth for the encoding, shared by [`Certificate::tbs_bytes`]
+    /// and the streaming fingerprint path.
+    fn tbs_write(&self, sink: &mut dyn FnMut(&[u8])) {
+        sink(b"silvasec-cert-v1");
+        write_str(sink, &self.subject.id);
+        write_str(sink, self.subject.role.as_str());
+        write_str(sink, &self.issuer_id);
+        sink(&self.serial.to_le_bytes());
+        sink(&self.validity.not_before.to_le_bytes());
+        sink(&self.validity.not_after.to_le_bytes());
+        sink(&[self.key_usage.bits()]);
+        write_bytes(sink, &self.public_key);
+    }
+
+    /// Absorbs `len(tbs) || tbs || len(sig) || sig` (u64 LE lengths) into
+    /// a streaming hasher without materializing the TBS encoding —
+    /// byte-for-byte what a caller hashing `tbs_bytes()` with the same
+    /// framing would absorb.
+    pub fn absorb_fingerprint(&self, h: &mut silvasec_crypto::sha256::Sha256) {
+        h.update(&(self.tbs_len() as u64).to_le_bytes());
+        self.tbs_write(&mut |b| h.update(b));
+        h.update(&(self.signature.len() as u64).to_le_bytes());
+        h.update(&self.signature);
     }
 
     /// Parses the embedded subject public key.
@@ -94,13 +125,13 @@ impl Certificate {
     }
 }
 
-fn push_str(out: &mut Vec<u8>, s: &str) {
-    push_bytes(out, s.as_bytes());
+fn write_str(sink: &mut dyn FnMut(&[u8]), s: &str) {
+    write_bytes(sink, s.as_bytes());
 }
 
-fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
-    out.extend_from_slice(b);
+fn write_bytes(sink: &mut dyn FnMut(&[u8]), b: &[u8]) {
+    sink(&(b.len() as u32).to_le_bytes());
+    sink(b);
 }
 
 #[cfg(test)]

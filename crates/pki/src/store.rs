@@ -248,32 +248,23 @@ impl TrustStore {
         time: u64,
         crls: &[CertificateRevocationList],
     ) -> ([u8; 32], u64) {
+        // Every TBS encoding streams straight into the hasher
+        // (`absorb_fingerprint` feeds the identical `len || tbs || len
+        // || sig` framing) — no per-certificate buffer is materialized.
         let mut h = Sha256::new();
         h.update(b"silvasec-chain-cache-v1");
         h.update(&(chain.len() as u64).to_le_bytes());
         for cert in chain {
-            let tbs = cert.tbs_bytes();
-            h.update(&(tbs.len() as u64).to_le_bytes());
-            h.update(&tbs);
-            h.update(&(cert.signature.len() as u64).to_le_bytes());
-            h.update(&cert.signature);
+            cert.absorb_fingerprint(&mut h);
         }
         h.update(&(crls.len() as u64).to_le_bytes());
         for crl in crls {
-            let tbs = crl.tbs_bytes();
-            h.update(&(tbs.len() as u64).to_le_bytes());
-            h.update(&tbs);
-            h.update(&(crl.signature.len() as u64).to_le_bytes());
-            h.update(&crl.signature);
+            crl.absorb_fingerprint(&mut h);
         }
         // The root that will anchor this chain (if known): replacing a
         // root under the same id must invalidate cached verdicts.
         if let Some(root) = chain.last().and_then(|c| self.roots.get(&c.issuer_id)) {
-            let tbs = root.tbs_bytes();
-            h.update(&(tbs.len() as u64).to_le_bytes());
-            h.update(&tbs);
-            h.update(&(root.signature.len() as u64).to_le_bytes());
-            h.update(&root.signature);
+            root.absorb_fingerprint(&mut h);
         }
         (h.finalize(), time / CHAIN_CACHE_TIME_BUCKET)
     }

@@ -30,9 +30,11 @@ pub enum ComponentRole {
     FirmwareSigner,
 }
 
-impl fmt::Display for ComponentRole {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl ComponentRole {
+    /// The canonical string form used in TBS encodings and display.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
             ComponentRole::Authority => "authority",
             ComponentRole::Forwarder => "forwarder",
             ComponentRole::Harvester => "harvester",
@@ -41,8 +43,13 @@ impl fmt::Display for ComponentRole {
             ComponentRole::Sensor => "sensor",
             ComponentRole::OperatorTerminal => "operator-terminal",
             ComponentRole::FirmwareSigner => "firmware-signer",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for ComponentRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -165,10 +165,17 @@ impl Device {
         // signature checks individually, so the failing stage, the
         // telemetry events and the partial PCR state are exactly those of
         // the sequential path.
+        // Each stage's payload is hashed exactly once: the measurement
+        // feeds both the signed encoding below and the PCR extension in
+        // the per-stage walk.
+        let digests: HashMap<FirmwareStage, [u8; 32]> = by_stage
+            .iter()
+            .map(|(stage, signed)| (*stage, signed.image.digest()))
+            .collect();
         let batch_tbs: Vec<Vec<u8>> = [FirmwareStage::Bootloader, FirmwareStage::Application]
             .iter()
-            .filter_map(|stage| by_stage.get(stage))
-            .map(|signed| signed.image.tbs_bytes())
+            .filter_map(|stage| by_stage.get(stage).map(|s| (stage, s)))
+            .map(|(stage, signed)| signed.image.tbs_bytes_with_digest(&digests[stage]))
             .collect();
         let batch_sigs: Option<Vec<Signature>> =
             [FirmwareStage::Bootloader, FirmwareStage::Application]
@@ -226,7 +233,7 @@ impl Device {
                     booted,
                 );
             }
-            pcrs.extend(stage.pcr_index(), &signed.image.digest());
+            pcrs.extend(stage.pcr_index(), &digests[&stage]);
             booted.insert(stage, signed.image.version);
             self.recorder.record(Event::BootMeasure {
                 stage: Label::new(stage_label(stage)),

@@ -56,6 +56,14 @@ impl FirmwareImage {
     /// The canonical signed encoding (header fields + payload digest).
     #[must_use]
     pub fn tbs_bytes(&self) -> Vec<u8> {
+        self.tbs_bytes_with_digest(&self.digest())
+    }
+
+    /// [`FirmwareImage::tbs_bytes`] with a caller-supplied payload
+    /// digest, so verify-and-measure flows that already hold the
+    /// measurement hash the payload exactly once.
+    #[must_use]
+    pub fn tbs_bytes_with_digest(&self, digest: &[u8; 32]) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.component_id.len());
         out.extend_from_slice(b"silvasec-fw-v1");
         out.extend_from_slice(&(self.component_id.len() as u32).to_le_bytes());
@@ -65,7 +73,7 @@ impl FirmwareImage {
             FirmwareStage::Application => 1,
         });
         out.extend_from_slice(&self.version.to_le_bytes());
-        out.extend_from_slice(&self.digest());
+        out.extend_from_slice(digest);
         out
     }
 

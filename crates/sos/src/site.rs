@@ -72,6 +72,9 @@ pub struct Worksite {
     auth_failures_tick: u64,
 
     last_drone_feed: Vec<Detection>,
+    /// Reused plaintext buffer for record opens on the receive paths —
+    /// steady-state ticks decrypt without allocating.
+    open_scratch: Vec<u8>,
     danger_in_progress: bool,
     seq: u64,
     rng: SimRng,
@@ -275,6 +278,7 @@ impl Worksite {
             prev_link_delivered: 0,
             auth_failures_tick: 0,
             last_drone_feed: Vec::new(),
+            open_scratch: Vec::new(),
             danger_in_progress: false,
             seq: 0,
             rng,
@@ -561,15 +565,17 @@ impl Worksite {
             // Secure links enforce this cryptographically (replays fail
             // to open); the plaintext path only *measures* it via the
             // ground-truth sequence log.
-            let (body, fresh) = if let Some(links) = &mut self.links {
-                match links.fw_drone.as_mut().map(|s| s.open(&rx.frame.payload)) {
-                    Some(Ok(plain)) => (plain, true),
-                    Some(Err(_)) => {
+            let (body, fresh): (&[u8], bool) = if let Some(links) = &mut self.links {
+                let Some(session) = links.fw_drone.as_mut() else {
+                    continue;
+                };
+                match session.open_into(&rx.frame.payload, &mut self.open_scratch) {
+                    Ok(()) => (&self.open_scratch, true),
+                    Err(_) => {
                         self.auth_failures_tick += 1;
                         self.metrics.auth_failures += 1;
                         continue;
                     }
-                    None => continue,
                 }
             } else {
                 let fresh =
@@ -577,9 +583,9 @@ impl Worksite {
                 if !fresh {
                     self.metrics.forged_accepted += 1;
                 }
-                (rx.frame.payload.clone(), fresh)
+                (&rx.frame.payload, fresh)
             };
-            if let Ok(detections) = serde_json::from_slice::<Vec<Detection>>(&body) {
+            if let Ok(detections) = serde_json::from_slice::<Vec<Detection>>(body) {
                 // Stale replayed feeds still overwrite the forwarder's
                 // picture (the attack's harm) but only fresh frames count
                 // towards availability.
@@ -620,8 +626,11 @@ impl Worksite {
 
         for rx in self.medium.drain_inbox(self.node_bs) {
             if let Some(links) = &mut self.links {
-                match links.bs_fw.open(&rx.frame.payload) {
-                    Ok(_) => self.metrics.messages_delivered += 1,
+                match links
+                    .bs_fw
+                    .open_into(&rx.frame.payload, &mut self.open_scratch)
+                {
+                    Ok(()) => self.metrics.messages_delivered += 1,
                     Err(_) => {
                         self.auth_failures_tick += 1;
                         self.metrics.auth_failures += 1;

@@ -6,12 +6,17 @@ use silvasec::crypto::edwards::EdwardsPoint;
 use silvasec::crypto::field::FieldElement;
 use silvasec::crypto::scalar::Scalar;
 use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
-use silvasec::crypto::{hkdf, sha256};
+use silvasec::crypto::{chacha20, hkdf, sha256};
 use silvasec::prelude::*;
 use silvasec::risk::feasibility::{AttackFeasibility, AttackPotential};
 use silvasec::risk::impact::ImpactLevel;
 use silvasec::risk::RiskLevel;
 use silvasec_channel::replay::ReplayWindow;
+
+/// Edge-heavy length schedule for the data-plane parity tests: empty,
+/// single byte, around the Poly1305 16-byte boundary, the ChaCha20
+/// 64-byte block boundary, and the 512-byte wide-chunk boundary.
+const KEYSTREAM_EDGE_LENS: [usize; 12] = [0, 1, 15, 16, 17, 63, 64, 65, 511, 512, 513, 1537];
 
 proptest! {
     // ---------------- crypto ----------------
@@ -34,6 +39,62 @@ proptest! {
         let idx = flip_byte % sealed.len();
         sealed[idx] ^= 1 << flip_bit;
         prop_assert!(aead.open(&[0u8; 12], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn keystream_wide_path_matches_naive(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                         counter in 0u32..1_000_000,
+                                         len_i in 0usize..KEYSTREAM_EDGE_LENS.len(),
+                                         extra in 0usize..1600) {
+        // The multi-block keystream must match the frozen per-block
+        // reference at every chunking edge: around the 64-byte block
+        // boundary, around the 512-byte wide-chunk boundary, and on
+        // arbitrary lengths.
+        let cipher = chacha20::ChaCha20::new(&key);
+        for len in [KEYSTREAM_EDGE_LENS[len_i], extra] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let mut fast = pt.clone();
+            let mut naive = pt;
+            cipher.apply_keystream_inplace(&nonce, counter, &mut fast);
+            cipher.apply_keystream_naive(&nonce, counter, &mut naive);
+            prop_assert_eq!(fast, naive, "len {}", len);
+        }
+    }
+
+    #[test]
+    fn aead_in_place_matches_two_pass(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                      aad in proptest::collection::vec(any::<u8>(), 0..48),
+                                      len_i in 0usize..KEYSTREAM_EDGE_LENS.len(),
+                                      extra in 0usize..1600,
+                                      flip_byte in any::<usize>(), flip_bit in 0u8..8) {
+        // One-pass seal/open over a caller buffer must be byte-identical
+        // to (and interoperable with) the allocating two-pass API, and
+        // must reject exactly the same forgeries.
+        let aead = ChaCha20Poly1305::new(&key);
+        for len in [KEYSTREAM_EDGE_LENS[len_i], extra] {
+            let pt: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+            let mut buf = pt.clone();
+            aead.seal_in_place(&nonce, &aad, &mut buf);
+            let sealed = aead.seal(&nonce, &aad, &pt);
+            prop_assert_eq!(&buf, &sealed, "seal len {}", len);
+
+            // Cross-open: in-place opens the two-pass record and
+            // vice versa.
+            let mut opened = sealed.clone();
+            aead.open_in_place(&nonce, &aad, &mut opened).unwrap();
+            prop_assert_eq!(&opened, &pt, "open len {}", len);
+            prop_assert_eq!(&aead.open(&nonce, &aad, &buf).unwrap(), &pt);
+
+            // Tamper-rejection parity: both paths reject the same flip,
+            // and the in-place path clears the buffer.
+            let mut forged = sealed.clone();
+            let idx = flip_byte % forged.len();
+            forged[idx] ^= 1 << flip_bit;
+            let mut forged_in_place = forged.clone();
+            prop_assert!(aead.open(&nonce, &aad, &forged).is_err());
+            prop_assert!(aead.open_in_place(&nonce, &aad, &mut forged_in_place).is_err());
+            prop_assert!(forged_in_place.is_empty());
+        }
     }
 
     #[test]
@@ -475,6 +536,23 @@ proptest! {
             let individual = verifiers[i].verify(&messages[i], &signatures[i]).is_ok();
             prop_assert_eq!(individual, i != corrupt_idx, "index {}", i);
         }
+    }
+
+    #[test]
+    fn field_mul_prescaled_matches_widening_reference(
+        a_bytes in any::<[u8; 32]>(),
+        b_bytes in any::<[u8; 32]>(),
+    ) {
+        // The u64-prescaled `mul` must be bit-identical to the frozen
+        // u128-widening reference, including on the widened limbs that
+        // `add` chains produce (inputs up to ~2^54 per limb).
+        let a = FieldElement::from_bytes(&a_bytes);
+        let b = FieldElement::from_bytes(&b_bytes);
+        prop_assert_eq!(a.mul(&b), a.mul_reference(&b));
+        // Push the limbs off canonical form via unreduced sums.
+        let wide_a = a.add(&a).add(&a).add(&b);
+        let wide_b = b.add(&b).add(&a).add(&b);
+        prop_assert_eq!(wide_a.mul(&wide_b), wide_a.mul_reference(&wide_b));
     }
 
     #[test]
