@@ -22,7 +22,10 @@
 
 use serde::{Serialize, Value};
 use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
-use silvasec::experiments::{occlusion_point, occlusion_sweep, run_worksite, OcclusionRow};
+use silvasec::experiments::{
+    occlusion_point, occlusion_sweep, run_fleet_scale_point, run_worksite, FleetScenario,
+    OcclusionRow,
+};
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
 use silvasec_bench::{measure_recorder_overhead, session_pair, RecorderOverhead};
@@ -76,6 +79,41 @@ struct RunEntry {
     /// `data_plane_bench` for the full suite with frozen naive
     /// baselines, cross-check digests, and acceptance floors).
     session: SessionHeadline,
+    /// Fleet-scale control-plane headline (one mid-size two-fidelity
+    /// rollout — see `exp12_fleet_scale` / `BENCH_fleet_scale.json` for
+    /// the full 64 → 1M sweep with the equivalence proofs and the peak
+    /// bytes/site ceiling).
+    fleet_scale: FleetScaleHeadline,
+}
+
+/// Two-fidelity fleet rollout throughput and batched-verify
+/// amortization at one mid-size point.
+#[derive(Debug, Serialize)]
+struct FleetScaleHeadline {
+    /// Fleet size of the measured point.
+    sites: usize,
+    /// Site-updates applied per wall-clock second.
+    sites_per_s: f64,
+    /// Shadow sites resolved per Fiat–Shamir batch verification — the
+    /// factor by which per-site verifies were amortized away.
+    batch_verify_amortization: f64,
+}
+
+fn fleet_scale_headline() -> FleetScaleHeadline {
+    const SITES: usize = 16_384;
+    let t0 = Instant::now();
+    let (report, _) = run_fleet_scale_point(SITES, 11, FleetScenario::Clean, false);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        report.completed && report.applied_sites == SITES as u32,
+        "fleet-scale headline rollout must complete fleet-wide: {report:?}"
+    );
+    FleetScaleHeadline {
+        sites: SITES,
+        sites_per_s: SITES as f64 / wall_s.max(1e-9),
+        batch_verify_amortization: report.batch_verified_sites as f64
+            / report.batch_verify_calls.max(1) as f64,
+    }
 }
 
 /// Schnorr throughput on the fast scalar-multiplication paths.
@@ -271,6 +309,9 @@ fn main() {
     // Secure-session data-plane headline throughput.
     let session = session_headline();
 
+    // Fleet-scale control-plane headline throughput.
+    let fleet_scale = fleet_scale_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -291,6 +332,7 @@ fn main() {
         telemetry,
         crypto,
         session,
+        fleet_scale,
     };
 
     assert!(

@@ -12,7 +12,12 @@
 //!   (default 240 simulated seconds);
 //! * `trace_compare --fleet <seed-a> <seed-b> [sites]` — run the E10
 //!   fleet OTA rollout twice and compare the fleet security traces
-//!   (default 4 sites).
+//!   (default 4 sites);
+//! * `trace_compare --fleet-scale <seed-a> <seed-b> [sites]` — run the
+//!   E12 two-fidelity fleet rollout with parallel shadow shards for the
+//!   left trace and sequentially for the right (default 4096 sites):
+//!   with equal seeds this is the shard-merge determinism witness, with
+//!   different seeds a divergence probe.
 //!
 //! `--max-events N` (any mode) stops after the first `N` events: a
 //! bounded spot-check that keeps CI diffs of fleet-scale traces cheap.
@@ -30,14 +35,16 @@
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin trace_compare -- --figure1 11 12`
 
-use silvasec::experiments::{figure1_trace, run_fleet_rollout, FleetScenario};
+use silvasec::experiments::{
+    figure1_trace, run_fleet_rollout, run_fleet_scale_point, FleetScenario,
+};
 use silvasec::prelude::*;
 use silvasec::telemetry::first_divergence_jsonl;
 use silvasec_sim::time::SimDuration;
 use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]";
+const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]";
 
 fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
     match first_divergence_jsonl(left, right) {
@@ -222,6 +229,34 @@ fn main() -> ExitCode {
                 &format!("fleet seed {seed_a}"),
                 &left,
                 &format!("fleet seed {seed_b}"),
+                &right,
+            )
+        }
+        Some("--fleet-scale") => {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let sites = match args.get(3).map(|s| s.parse::<usize>()) {
+                Some(Ok(s)) => s,
+                None => 4_096,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Left runs the shadow shards on the parallel sweep pool,
+            // right runs them sequentially: equal seeds assert the
+            // order-preserving merge, different seeds probe divergence.
+            let (_, left_fleet) = run_fleet_scale_point(sites, seed_a, FleetScenario::Clean, false);
+            let (_, right_fleet) = run_fleet_scale_point(sites, seed_b, FleetScenario::Clean, true);
+            let left = truncated(&left_fleet.export_trace_jsonl(), max_events);
+            let right = truncated(&right_fleet.export_trace_jsonl(), max_events);
+            dump(&left);
+            compare(
+                &format!("parallel shards seed {seed_a}"),
+                &left,
+                &format!("sequential shards seed {seed_b}"),
                 &right,
             )
         }

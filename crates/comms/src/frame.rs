@@ -44,6 +44,11 @@ impl FrameKind {
     }
 }
 
+/// Fixed per-frame on-air header overhead in bytes, shared by every
+/// frame kind. Exposed so airtime models (e.g. the fleet's shadow-site
+/// delivery accounting) can cost a frame without building one.
+pub const FRAME_OVERHEAD_BYTES: usize = 34;
+
 /// A frame on the medium.
 ///
 /// The `claimed_src` field is what the frame *says* its source is; the
@@ -123,7 +128,7 @@ impl Frame {
     /// On-air size in bytes (header + payload).
     #[must_use]
     pub fn wire_len(&self) -> usize {
-        34 + self.payload.len()
+        FRAME_OVERHEAD_BYTES + self.payload.len()
     }
 
     /// Whether this frame is addressed to `node` (directly or broadcast).

@@ -15,7 +15,7 @@ use silvasec_machines::drone::{Drone, DroneConfig};
 use silvasec_machines::prelude::*;
 use silvasec_risk::catalog;
 use silvasec_risk::continuous::{alert_class_to_attack_class, ContinuousAssessment};
-use silvasec_risk::tara::Tara;
+use silvasec_risk::tara::{RiskLevel, Tara};
 use silvasec_sim::geom::Vec2;
 use silvasec_sim::prelude::*;
 use silvasec_sim::terrain::TerrainConfig;
@@ -885,6 +885,99 @@ pub fn run_fleet_rollout(
     let report = fleet.run_rollout(2);
     let trace = fleet.export_trace_jsonl();
     (report, trace)
+}
+
+// ---------------------------------------------------------------------
+// E12: fleet-scale control plane (two-fidelity shadow population)
+// ---------------------------------------------------------------------
+
+/// The E12 fleet-scale configuration: the same compact worksites as
+/// [`fleet_config`] for the full-fidelity subset, a shadow population
+/// for the rest, and a rollout policy whose waves scale with the fleet
+/// (a million-site rollout is a handful of waves, not 250k of them).
+#[must_use]
+pub fn fleet_scale_config(sites: usize, sequential: bool) -> silvasec_fleet::FleetConfig {
+    let mut config = fleet_config(sites);
+    config.policy = silvasec_fleet::RolloutPolicy {
+        canary_sites: (sites / 64).max(1),
+        wave_size: (sites / 8).max(4),
+        observe_ticks: 8,
+        halt_alert_threshold: 3,
+    };
+    config.shadow = Some(silvasec_fleet::ShadowConfig {
+        full_sites: 4,
+        shard_sites: 8_192,
+        sequential,
+    });
+    config
+}
+
+/// Runs one E12 point: a fleet of `sites` (full-fidelity subset plus
+/// shadow population per [`fleet_scale_config`]) rolling out firmware
+/// version 2 under `scenario`. Returns the report and the fleet itself
+/// so callers can probe the trace, SIEM and security snapshot.
+#[must_use]
+pub fn run_fleet_scale_point(
+    sites: usize,
+    seed: u64,
+    scenario: FleetScenario,
+    sequential: bool,
+) -> (silvasec_fleet::RolloutReport, silvasec_fleet::Fleet) {
+    let mut fleet = silvasec_fleet::Fleet::new(fleet_scale_config(sites, sequential), seed);
+    if let Some(campaign) = scenario.campaign() {
+        fleet.schedule_fleet_attack(campaign);
+    }
+    let report = fleet.run_rollout(2);
+    (report, fleet)
+}
+
+/// Runs the E12 security-operations scenario on an already shaped
+/// fleet config: disclose an update-tampering vulnerability (risk up),
+/// sustain a fleet-wide deauthentication flood for 60 s while
+/// free-running 90 s (SIEM correlation, risk up), then roll out
+/// version 2 (mitigation, risk down). Pass [`fleet_config`] with
+/// `shadow: None` for the full-fidelity reference, or
+/// [`fleet_scale_config`] for the two-fidelity scale points.
+#[must_use]
+pub fn run_fleet_scale_scenario(
+    config: silvasec_fleet::FleetConfig,
+    seed: u64,
+) -> (silvasec_fleet::RolloutReport, silvasec_fleet::Fleet) {
+    let mut fleet = silvasec_fleet::Fleet::new(config, seed);
+    fleet.disclose_vulnerability("update-tampering");
+    fleet.schedule_fleet_attack(campaign_for(
+        AttackKind::DeauthFlood,
+        SimTime::from_secs(5),
+        SimDuration::from_secs(60),
+    ));
+    fleet.run(SimDuration::from_secs(90));
+    let report = fleet.run_rollout(2);
+    (report, fleet)
+}
+
+/// The fleet-level security *decisions* of a run, in emission order:
+/// correlated campaign classes and risk transitions `(threat, from,
+/// to)`. Timestamps and in-window site counts are excluded on purpose —
+/// shadow alert latencies are modeled rather than simulated, so the
+/// instants (and how many sites happen to sit in the window when the
+/// k-th arrives) differ across fidelities while the decisions must not.
+#[must_use]
+pub fn fleet_decisions(
+    fleet: &silvasec_fleet::Fleet,
+) -> (Vec<String>, Vec<(String, RiskLevel, RiskLevel)>) {
+    let campaigns = fleet
+        .siem()
+        .campaigns()
+        .iter()
+        .map(|c| c.class.clone())
+        .collect();
+    let risk = fleet
+        .risk()
+        .changes()
+        .iter()
+        .map(|c| (c.threat_id.clone(), c.from, c.to))
+        .collect();
+    (campaigns, risk)
 }
 
 #[cfg(test)]

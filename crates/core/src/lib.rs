@@ -47,7 +47,8 @@
 
 pub mod certify;
 pub mod experiments;
-pub mod sweep;
+
+pub use silvasec_sim::sweep;
 
 pub use silvasec_assurance as assurance;
 pub use silvasec_attacks as attacks;

@@ -213,6 +213,30 @@ impl UpdateBundle {
         component_id: &str,
         installed_version: u32,
     ) -> Result<(), BundleError> {
+        self.verify_shared(store, now_ms, component_id)?;
+        self.check_version(installed_version)
+    }
+
+    /// The site-independent prefix of [`UpdateBundle::verify`]: signer
+    /// chain, bundle signature (batched with the image signatures, same
+    /// fallback semantics), component binding, and image/manifest
+    /// agreement — everything except the per-site monotone version rule.
+    ///
+    /// Every site in a fleet shares the same trust store and component
+    /// id, so this verdict can be computed once per rollout shard and
+    /// reused across thousands of shadow sites; only
+    /// [`UpdateBundle::check_version`] remains per-site. Composing the
+    /// two checks in order is exactly [`UpdateBundle::verify`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`BundleError`] encountered.
+    pub fn verify_shared(
+        &self,
+        store: &TrustStore,
+        now_ms: u64,
+        component_id: &str,
+    ) -> Result<(), BundleError> {
         store
             .validate_chain_for_usage(&self.signer_chain, now_ms, &[], KeyUsage::FIRMWARE_SIGNING)
             .map_err(BundleError::Chain)?;
@@ -261,6 +285,17 @@ impl UpdateBundle {
         {
             return Err(BundleError::ManifestMismatch);
         }
+        Ok(())
+    }
+
+    /// The per-site suffix of [`UpdateBundle::verify`]: the monotone
+    /// version rule against this site's installed firmware.
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Downgrade`] when the offered version is not
+    /// strictly newer than `installed_version`.
+    pub fn check_version(&self, installed_version: u32) -> Result<(), BundleError> {
         if self.manifest.version <= installed_version {
             return Err(BundleError::Downgrade {
                 installed: installed_version,
@@ -464,6 +499,28 @@ mod tests {
         bundle.signature[last] ^= 0x01;
         let err = bundle.verify(&store, 5000, "forwarder-fw", 1).unwrap_err();
         assert_eq!(err, BundleError::Signature);
+    }
+
+    #[test]
+    fn split_verify_composes_to_full_verify() {
+        // verify == verify_shared ∘ check_version, so a shared verdict
+        // computed once per shard plus the per-site version rule decides
+        // exactly what the per-site verify would.
+        let (bundle, store) = fixture();
+        bundle.verify_shared(&store, 5000, "forwarder-fw").unwrap();
+        bundle.check_version(1).unwrap();
+        // The shared prefix is version-independent: a site already on a
+        // newer version still passes it and fails only the version rule,
+        // matching verify's error.
+        assert_eq!(
+            bundle.check_version(7).unwrap_err(),
+            bundle.verify(&store, 5000, "forwarder-fw", 7).unwrap_err()
+        );
+        // Component mismatch surfaces in the shared prefix.
+        assert!(matches!(
+            bundle.verify_shared(&store, 5000, "drone-fw").unwrap_err(),
+            BundleError::WrongComponent { .. }
+        ));
     }
 
     #[test]

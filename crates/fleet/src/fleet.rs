@@ -2,8 +2,13 @@
 
 use crate::bundle::{BundleError, UpdateBundle, UpdateManifest};
 use crate::rollout::{RolloutPhase, RolloutPolicy, RolloutReport};
+use crate::shadow::{
+    campaign_class, ShadowCampaign, ShadowConfig, ShadowPopulation, ShadowRolloutCtx, SiteSlot,
+    REJECT_REASONS,
+};
 use crate::siem::{FleetSiem, SiemConfig};
 use crate::transport::{Delivery, Uplink};
+use serde::Serialize;
 use silvasec_attacks::{AttackCampaign, AttackKind, AttackTarget};
 use silvasec_crypto::schnorr::SigningKey;
 use silvasec_pki::{
@@ -51,6 +56,12 @@ pub struct FleetConfig {
     /// Upper bound on rollout duration, ticks (a stuck rollout ends with
     /// `completed: false` instead of spinning forever).
     pub max_rollout_ticks: u32,
+    /// Two-fidelity mode: when set, only a deterministically-sampled
+    /// subset of sites runs the full `Worksite` simulation and the rest
+    /// live in the compact sharded shadow population. `None` (the
+    /// default) keeps every site full — byte-identical to the
+    /// historical behaviour.
+    pub shadow: Option<ShadowConfig>,
 }
 
 impl Default for FleetConfig {
@@ -65,6 +76,7 @@ impl Default for FleetConfig {
             uplink_range_m: 140.0,
             image_payload_bytes: 2048,
             max_rollout_ticks: 4_000,
+            shadow: None,
         }
     }
 }
@@ -228,12 +240,15 @@ pub struct Fleet {
     config: FleetConfig,
     backend: FleetBackend,
     sites: Vec<FleetSite>,
+    shadows: Option<ShadowPopulation>,
+    shadow_campaigns: Vec<ShadowCampaign>,
     siem: FleetSiem,
     risk: ContinuousAssessment,
     recorder: Recorder,
     trace_sub: SubscriberId,
     campaigns: Vec<AttackCampaign>,
     now: SimTime,
+    tick_index: u64,
     rng: SimRng,
 }
 
@@ -258,8 +273,21 @@ impl Fleet {
         let mut risk = ContinuousAssessment::new(worksite_model());
         risk.set_recorder(recorder.clone());
 
-        let mut sites = Vec::with_capacity(config.sites);
-        for i in 0..config.sites {
+        // Two-fidelity split: with a shadow config, only the sampled
+        // subset is commissioned as a full worksite (keyed by its
+        // *global* index, so a full site behaves identically to the same
+        // site in an all-full fleet); everything else lives in the
+        // compact shadow population.
+        let shadows = config
+            .shadow
+            .map(|sc| ShadowPopulation::new(config.sites, &sc, seed));
+        let full_indices: Vec<u32> = match &shadows {
+            Some(pop) => pop.layout.full.clone(),
+            None => (0..config.sites as u32).collect(),
+        };
+
+        let mut sites = Vec::with_capacity(full_indices.len());
+        for &i in &full_indices {
             let mut site_rng = root_rng.fork(&format!("fleet-site-{i}"));
             let site = Worksite::new(&config.site, site_rng.next_u64());
             let alerts_sub = site.recorder().subscribe_filtered(
@@ -273,7 +301,7 @@ impl Fleet {
             let report = device.boot(&baseline.images);
             assert!(report.success, "baseline firmware must boot");
             sites.push(FleetSite {
-                index: i as u32,
+                index: i,
                 site,
                 uplink,
                 device,
@@ -289,12 +317,61 @@ impl Fleet {
             config,
             backend,
             sites,
+            shadows,
+            shadow_campaigns: Vec::new(),
             risk,
             recorder,
             trace_sub,
             campaigns: Vec::new(),
             now: SimTime::ZERO,
+            tick_index: 0,
             rng,
+        }
+    }
+
+    /// Where a global site index lives: full worksite or shadow slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    #[must_use]
+    pub fn site_slot(&self, site: u32) -> SiteSlot {
+        match &self.shadows {
+            Some(pop) => pop.layout.slot_of(site),
+            None => {
+                assert!(
+                    (site as usize) < self.sites.len(),
+                    "site {site} out of range"
+                );
+                SiteSlot::Full(site)
+            }
+        }
+    }
+
+    /// Whether `site` has applied the in-progress rollout, across both
+    /// fidelities.
+    fn is_site_applied(&self, site: u32) -> bool {
+        match self.site_slot(site) {
+            SiteSlot::Full(pos) => {
+                matches!(self.sites[pos as usize].outcome, Some(Ok(_)))
+            }
+            SiteSlot::Shadow { shard, slot } => self
+                .shadows
+                .as_ref()
+                .is_some_and(|pop| pop.shard(shard).is_applied(slot)),
+        }
+    }
+
+    /// Number of shadow-population members of the global site range
+    /// `[lo, hi)`.
+    fn shadow_members_in(&self, lo: u32, hi: u32) -> usize {
+        match &self.shadows {
+            Some(pop) => {
+                let full = &pop.layout.full;
+                let full_in = full.partition_point(|&f| f < hi) - full.partition_point(|&f| f < lo);
+                (hi - lo) as usize - full_in
+            }
+            None => 0,
         }
     }
 
@@ -307,6 +384,18 @@ impl Fleet {
             | AttackKind::RolloutPoisoning
             | AttackKind::RfJamming => self.campaigns.push(campaign),
             _ => {
+                // Shadow sites model the same campaign as a detection
+                // schedule over its active window.
+                if self.shadows.is_some() {
+                    if let Some(class) = campaign_class(campaign.kind) {
+                        let start_ms = campaign.start.as_millis();
+                        self.shadow_campaigns.push(ShadowCampaign {
+                            class,
+                            start_ms,
+                            end_ms: start_ms + campaign.duration.as_millis(),
+                        });
+                    }
+                }
                 for fs in &mut self.sites {
                     fs.site.attack_engine_mut().add_campaign(campaign.clone());
                 }
@@ -348,7 +437,9 @@ impl Fleet {
     /// campaigns feed the continuous risk assessment. Returns the IDS
     /// alerts drained this tick as `(site, at_ms)` pairs.
     pub fn tick(&mut self) -> Vec<(u32, u64)> {
+        let prev = self.now;
         self.now += self.config.site.tick;
+        self.tick_index += 1;
         self.recorder.advance(self.now);
 
         // Fleet-layer jamming applies to every uplink while active.
@@ -371,6 +462,19 @@ impl Fleet {
                 if self.siem.ingest(fs.index, &record).is_some() {
                     alerts.push((fs.index, record.at.as_millis()));
                 }
+            }
+        }
+
+        // Shadow alerts, sharded over the sweep pool and merged in shard
+        // order after the full sites — a deterministic stream order.
+        if let Some(shadows) = &mut self.shadows {
+            for alert in shadows.alert_sweep(
+                &self.shadow_campaigns,
+                prev.as_millis(),
+                self.now.as_millis(),
+            ) {
+                self.siem.ingest_alert(alert.site, alert.class, alert.at_ms);
+                alerts.push((alert.site, alert.at_ms));
             }
         }
 
@@ -429,16 +533,20 @@ impl Fleet {
             fs.delivery = None;
             fs.outcome = None;
         }
+        if let Some(shadows) = &mut self.shadows {
+            shadows.reset_rollout();
+        }
 
-        let waves = self.config.policy.waves(self.sites.len());
+        let waves = self.config.policy.waves(self.len());
         let started = self.now;
         let mut wave = 0usize;
         let mut phase = RolloutPhase::Distributing;
         let mut observe_left = 0u32;
         let mut updated_site_alerts = 0u32;
         let mut first_update_alert_ms: Option<u64> = None;
+        let mut shadow_resolved_in_wave = 0usize;
         let mut report = RolloutReport {
-            fleet_size: self.sites.len(),
+            fleet_size: self.len(),
             target_version: version,
             completed: false,
             halted_at_wave: None,
@@ -453,6 +561,9 @@ impl Fleet {
             verify_wall_us_max: 0,
             verify_calls: 0,
             transfer_tampered_sites: 0,
+            batch_verify_calls: 0,
+            batch_verified_sites: 0,
+            individually_verified_sites: 0,
         };
         self.record_wave(wave, "start");
 
@@ -461,7 +572,7 @@ impl Fleet {
             for &(site, at_ms) in &alerts {
                 // Only alerts from machines running the new firmware
                 // implicate the rollout itself.
-                if matches!(self.sites[site as usize].outcome, Some(Ok(_))) {
+                if self.is_site_applied(site) {
                     updated_site_alerts += 1;
                     first_update_alert_ms.get_or_insert(at_ms);
                 }
@@ -482,10 +593,21 @@ impl Fleet {
                     let poisoning = self.kind_active(AttackKind::RolloutPoisoning);
                     let now = self.now;
                     let budget = self.config.chunks_per_tick;
+                    // Wave ranges are contiguous by construction; the
+                    // bounds drive the shadow shards' range intersection.
+                    let (wave_lo, wave_hi) = (
+                        waves[wave][0] as u32,
+                        *waves[wave].last().expect("waves are non-empty") as u32 + 1,
+                    );
                     let mut applied_sites = Vec::new();
                     for &idx in &waves[wave] {
+                        // Shadow members are handled by the sharded
+                        // sweep below.
+                        let SiteSlot::Full(pos) = self.site_slot(idx as u32) else {
+                            continue;
+                        };
                         let chunk_bytes = self.config.chunk_bytes;
-                        let fs = &mut self.sites[idx];
+                        let fs = &mut self.sites[pos as usize];
                         if fs.outcome.is_some() {
                             continue;
                         }
@@ -522,7 +644,7 @@ impl Fleet {
                         let (ok, reason) = match &outcome {
                             Ok(_) => {
                                 report.applied_sites += 1;
-                                applied_sites.push(idx);
+                                applied_sites.push(pos as usize);
                                 (true, "applied")
                             }
                             Err(reason) => {
@@ -549,13 +671,80 @@ impl Fleet {
                     // misbehaving right after it is applied — the staged
                     // rollout exists to catch exactly this at the canary.
                     if poisoning {
-                        for idx in applied_sites {
-                            self.poison_site(idx);
+                        for pos in applied_sites {
+                            self.poison_site(pos);
                         }
                     }
-                    if waves[wave]
-                        .iter()
-                        .all(|&idx| self.sites[idx].outcome.is_some())
+
+                    // Shadow members of the wave: sharded distribution,
+                    // one batched bundle verification per shard, merged
+                    // in shard order.
+                    if let Some(shadows) = &mut self.shadows {
+                        let jam = self
+                            .campaigns
+                            .iter()
+                            .find(|c| c.kind == AttackKind::RfJamming && c.active_at(now))
+                            .map_or(0.0, |c| c.intensity);
+                        let poison_at_ms =
+                            poisoning.then(|| (now + self.config.site.tick).as_millis());
+                        let ctx = ShadowRolloutCtx {
+                            version,
+                            update_id,
+                            encoded: &encoded,
+                            old_encoded: old_encoded.as_deref(),
+                            store: self.backend.trust_store(),
+                            chunk_bytes: self.config.chunk_bytes,
+                            budget,
+                            now_ms: now.as_millis(),
+                            tick_index: self.tick_index,
+                            tamper,
+                            downgrade,
+                            poison_at_ms,
+                            jam,
+                        };
+                        for (shard, out) in shadows
+                            .rollout_sweep(wave_lo, wave_hi, &ctx)
+                            .iter()
+                            .enumerate()
+                        {
+                            report.applied_sites += out.applied;
+                            report.rejected_sites += out.rejected;
+                            for (ri, &n) in out.reject_reasons.iter().enumerate() {
+                                if n > 0 {
+                                    *report
+                                        .reject_reasons
+                                        .entry(REJECT_REASONS[ri].to_string())
+                                        .or_default() += n;
+                                }
+                            }
+                            report.bytes_on_air += out.bytes_on_air;
+                            report.frames_sent += out.frames_sent;
+                            report.batch_verify_calls += out.batch_verify_calls;
+                            report.batch_verified_sites += out.batch_verified_sites;
+                            report.individually_verified_sites += out.individually_verified_sites;
+                            shadow_resolved_in_wave += out.resolved() as usize;
+                            if out.resolved() > 0 {
+                                self.recorder.record_at(
+                                    now,
+                                    Event::ShadowWave {
+                                        shard: shard as u32,
+                                        applied: out.applied,
+                                        rejected: out.rejected,
+                                    },
+                                );
+                            }
+                        }
+                    }
+
+                    let full_resolved =
+                        waves[wave]
+                            .iter()
+                            .all(|&idx| match self.site_slot(idx as u32) {
+                                SiteSlot::Full(pos) => self.sites[pos as usize].outcome.is_some(),
+                                SiteSlot::Shadow { .. } => true,
+                            });
+                    if full_resolved
+                        && shadow_resolved_in_wave >= self.shadow_members_in(wave_lo, wave_hi)
                     {
                         phase = RolloutPhase::Observing;
                         observe_left = self.config.policy.observe_ticks;
@@ -571,6 +760,7 @@ impl Fleet {
                             phase = RolloutPhase::Complete;
                         } else {
                             phase = RolloutPhase::Distributing;
+                            shadow_resolved_in_wave = 0;
                             self.record_wave(wave, "start");
                         }
                     }
@@ -677,26 +867,37 @@ impl Fleet {
         &self.backend
     }
 
-    /// Number of managed sites.
+    /// Number of managed sites, full-fidelity and shadow members both.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sites.len()
+        match &self.shadows {
+            Some(pop) => pop.layout.sites,
+            None => self.sites.len(),
+        }
     }
 
     /// Whether the fleet manages no sites.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sites.is_empty()
+        self.len() == 0
     }
 
-    /// Installed firmware version at `site`.
+    /// Installed firmware version at `site` (full or shadow fidelity).
     ///
     /// # Panics
     ///
     /// Panics if `site` is out of range.
     #[must_use]
     pub fn installed_version(&self, site: usize) -> u32 {
-        self.sites[site].installed_version
+        match self.site_slot(site as u32) {
+            SiteSlot::Full(pos) => self.sites[pos as usize].installed_version,
+            SiteSlot::Shadow { shard, slot } => self
+                .shadows
+                .as_ref()
+                .expect("shadow slot implies a shadow population")
+                .shard(shard)
+                .installed_version(slot),
+        }
     }
 
     /// Current fleet time.
@@ -709,11 +910,79 @@ impl Fleet {
     ///
     /// # Panics
     ///
-    /// Panics if `site` is out of range.
+    /// Panics if `site` is out of range, or if `site` is a shadow member
+    /// (shadow sites carry compact state, not a full [`Worksite`] — see
+    /// [`Fleet::site_slot`]).
     #[must_use]
     pub fn worksite(&self, site: usize) -> &Worksite {
-        &self.sites[site].site
+        match self.site_slot(site as u32) {
+            SiteSlot::Full(pos) => &self.sites[pos as usize].site,
+            SiteSlot::Shadow { .. } => panic!(
+                "site {site} is a shadow member; only full-fidelity sites \
+                 carry a Worksite (see Fleet::site_slot)"
+            ),
+        }
     }
+
+    /// The shadow population, when the fleet runs in two-fidelity mode.
+    #[must_use]
+    pub fn shadows(&self) -> Option<&ShadowPopulation> {
+        self.shadows.as_ref()
+    }
+
+    /// A point-in-time security observability snapshot: population split,
+    /// SIEM ingest/retention/drop counters and the fleet trace-ring state,
+    /// so operators can see alert loss rather than infer it.
+    #[must_use]
+    pub fn security_snapshot(&self) -> FleetSecuritySnapshot {
+        let trace = self
+            .recorder
+            .stats()
+            .into_iter()
+            .find(|s| s.name == "fleet");
+        FleetSecuritySnapshot {
+            sites: self.len(),
+            full_sites: self.sites.len(),
+            shadow_sites: self.shadows.as_ref().map_or(0, |p| p.layout.shadow_count()),
+            siem_records_ingested: self.siem.records_ingested(),
+            siem_observations_held: self.siem.observations_held(),
+            siem_window_drops: self.siem.window_drops(),
+            siem_window_drops_by_class: self.siem.window_drops_by_class(),
+            siem_campaigns: self.siem.campaigns().len(),
+            trace_pushed: trace.as_ref().map_or(0, |s| s.pushed),
+            trace_ring_dropped: trace.as_ref().map_or(0, |s| s.dropped),
+            shadow_mem_bytes: self.shadows.as_ref().map_or(0, ShadowPopulation::mem_bytes),
+        }
+    }
+}
+
+/// What [`Fleet::security_snapshot`] reports: where alerts can be lost
+/// (SIEM sliding windows, trace ring) and how much state the shadow
+/// population holds.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FleetSecuritySnapshot {
+    /// Total managed sites (full + shadow).
+    pub sites: usize,
+    /// Sites simulated at full fidelity.
+    pub full_sites: usize,
+    /// Sites tracked as compact shadows.
+    pub shadow_sites: usize,
+    /// Telemetry records the SIEM has ingested.
+    pub siem_records_ingested: u64,
+    /// Alert observations currently held across all class windows.
+    pub siem_observations_held: usize,
+    /// Alert observations dropped because a class window was full.
+    pub siem_window_drops: u64,
+    /// Per-class breakdown of window drops.
+    pub siem_window_drops_by_class: Vec<(String, u64)>,
+    /// Correlated campaigns detected so far.
+    pub siem_campaigns: usize,
+    /// Events pushed into the fleet trace ring.
+    pub trace_pushed: u64,
+    /// Events the fleet trace ring has dropped (ring full).
+    pub trace_ring_dropped: u64,
+    /// Bytes held by the shadow population (struct-of-arrays state).
+    pub shadow_mem_bytes: usize,
 }
 
 #[cfg(test)]

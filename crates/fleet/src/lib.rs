@@ -17,7 +17,18 @@
 //!   (same attack class on *k* sites within a window ⇒ coordinated
 //!   campaign, [`siem`]) feeding the continuous risk assessment, so a
 //!   disclosed vulnerability raises fleet risk and a completed rollout
-//!   lowers it again.
+//!   lowers it again. The SIEM correlator streams: it holds bounded
+//!   per-class sliding windows (with observable drop counters), not a
+//!   global alert vector, so memory is O(sites + window).
+//! * **Two-fidelity fleet scaling** — a deterministically sampled subset
+//!   of sites runs as full [`Worksite`] simulations while the rest live
+//!   as a compact struct-of-arrays shadow population ([`shadow`]),
+//!   sharded across the deterministic sweep worker pool with an
+//!   order-preserving merge and one Fiat–Shamir batched bundle
+//!   verification per shard, so a million-site control plane stays
+//!   tractable and byte-identical to a sequential reference.
+//!
+//! [`Worksite`]: silvasec_sos::Worksite
 //!
 //! Everything is deterministic: the same seed yields a byte-identical
 //! fleet trace ([`Fleet::export_trace_jsonl`]).
@@ -37,19 +48,24 @@
 pub mod bundle;
 pub mod fleet;
 pub mod rollout;
+pub mod shadow;
 pub mod siem;
 pub mod transport;
 
 pub use bundle::{BundleError, UpdateBundle, UpdateManifest};
-pub use fleet::{Fleet, FleetBackend, FleetConfig, FLEET_COMPONENT};
+pub use fleet::{Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, FLEET_COMPONENT};
 pub use rollout::{RolloutPhase, RolloutPolicy, RolloutReport};
+pub use shadow::{ShadowConfig, ShadowLayout, ShadowPopulation, SiteSlot};
 pub use siem::{CorrelatedCampaign, FleetSiem, SiemConfig};
 pub use transport::{chunk_payloads, ChunkHeader, Delivery, Reassembly, Uplink};
 
 /// Convenient glob import for fleet scenarios.
 pub mod prelude {
     pub use crate::bundle::{BundleError, UpdateBundle, UpdateManifest};
-    pub use crate::fleet::{Fleet, FleetBackend, FleetConfig, FLEET_COMPONENT};
+    pub use crate::fleet::{
+        Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, FLEET_COMPONENT,
+    };
     pub use crate::rollout::{RolloutPolicy, RolloutReport};
+    pub use crate::shadow::{ShadowConfig, ShadowLayout, ShadowPopulation, SiteSlot};
     pub use crate::siem::{CorrelatedCampaign, FleetSiem, SiemConfig};
 }

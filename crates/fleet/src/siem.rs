@@ -1,4 +1,5 @@
-//! Fleet SIEM: cross-site correlation of worksite security telemetry.
+//! Fleet SIEM: streaming cross-site correlation of worksite security
+//! telemetry.
 //!
 //! Each worksite already keeps a security-event ring (IDS alerts,
 //! handshake failures, boot measurements). The fleet backend drains
@@ -6,9 +7,23 @@
 //! reported by `k` distinct sites inside a sliding window is no longer
 //! k local incidents — it is one coordinated campaign against the
 //! fleet, and is escalated as such into the continuous risk assessment.
+//!
+//! # Memory model
+//!
+//! The correlator is *streaming*: each alert class keeps one bounded
+//! sliding window ([`SiemConfig::window_capacity`] observations) instead
+//! of an unbounded per-class alert vector, so correlator memory is
+//! `O(classes × window)` no matter how many alerts a million-site fleet
+//! produces. When a window overflows, the oldest observation is evicted
+//! and counted in [`FleetSiem::window_drops`] — loss is observable,
+//! never silent. As long as no window overflows (every fleet of the
+//! sizes the tier-1 tests cover), correlation decisions are *identical*
+//! to the unbounded reference the correlator replaced, which is what
+//! keeps the historical 64-site fleet traces byte-stable.
 
 use silvasec_telemetry::{Event, Record};
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Correlation tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +33,10 @@ pub struct SiemConfig {
     /// Distinct sites reporting the same class within the window that
     /// constitute a coordinated campaign.
     pub k_sites: usize,
+    /// Maximum observations held per alert class. The oldest observation
+    /// is evicted (and counted as a drop) when a class window is full,
+    /// bounding correlator memory at fleet scale.
+    pub window_capacity: usize,
 }
 
 impl Default for SiemConfig {
@@ -25,6 +44,7 @@ impl Default for SiemConfig {
         SiemConfig {
             window_ms: 30_000,
             k_sites: 3,
+            window_capacity: 4_096,
         }
     }
 }
@@ -40,29 +60,47 @@ pub struct CorrelatedCampaign {
     pub at_ms: u64,
 }
 
-/// The fleet-level aggregator.
+/// One alert class's bounded sliding window.
+#[derive(Debug, Default)]
+struct ClassWindow {
+    /// `(site, alert time)` observations in ingest order.
+    ring: VecDeque<(u32, u64)>,
+    /// Observations evicted because the window was full.
+    dropped: u64,
+    /// When the class last fired a campaign alert (cooldown of one
+    /// window so a sustained campaign is one alert, not hundreds).
+    last_fired: Option<u64>,
+}
+
+/// The fleet-level streaming aggregator.
 #[derive(Debug)]
 pub struct FleetSiem {
     config: SiemConfig,
-    /// Per alert class: (site, alert time) observations, append-ordered.
-    observations: BTreeMap<String, Vec<(u32, u64)>>,
-    /// Per alert class: when it last fired a campaign alert (cooldown of
-    /// one window so a sustained campaign is one alert, not hundreds).
-    last_fired: BTreeMap<String, u64>,
+    windows: BTreeMap<String, ClassWindow>,
     campaigns: Vec<CorrelatedCampaign>,
     ingested: u64,
+    /// Scratch buffer for distinct-site counting, reused across
+    /// [`FleetSiem::correlate`] calls so the hot path stays off the
+    /// allocator once warm.
+    scratch: Vec<u32>,
 }
 
 impl FleetSiem {
     /// Creates an aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.window_capacity` is zero — a correlator that
+    /// can hold no observations is a configuration bug.
     #[must_use]
     pub fn new(config: SiemConfig) -> Self {
+        assert!(config.window_capacity > 0, "window capacity must be > 0");
         FleetSiem {
             config,
-            observations: BTreeMap::new(),
-            last_fired: BTreeMap::new(),
+            windows: BTreeMap::new(),
             campaigns: Vec::new(),
             ingested: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -70,44 +108,61 @@ impl FleetSiem {
     /// alerts participate in correlation; everything else is counted and
     /// dropped. Returns the alert class when the record was an alert.
     pub fn ingest(&mut self, site: u32, record: &Record) -> Option<String> {
-        self.ingested += 1;
         if let Event::IdsAlert { class, .. } = &record.event {
             let class = class.as_str().to_string();
-            self.observations
-                .entry(class.clone())
-                .or_default()
-                .push((site, record.at.as_millis()));
+            self.ingest_alert(site, &class, record.at.as_millis());
             Some(class)
         } else {
+            self.ingested += 1;
             None
         }
     }
 
-    /// Runs correlation at `now_ms`: prunes observations older than the
-    /// window and fires a campaign per class seen on at least
-    /// [`SiemConfig::k_sites`] distinct sites.
+    /// Ingests one alert by class directly — the non-allocating fast
+    /// path the shadow population feeds (no `Record` is ever built for a
+    /// shadow alert). Allocates only the first time a class is seen.
+    pub fn ingest_alert(&mut self, site: u32, class: &str, at_ms: u64) {
+        self.ingested += 1;
+        let window = match self.windows.get_mut(class) {
+            Some(window) => window,
+            None => self.windows.entry(class.to_string()).or_default(),
+        };
+        if window.ring.len() >= self.config.window_capacity {
+            window.ring.pop_front();
+            window.dropped += 1;
+        }
+        window.ring.push_back((site, at_ms));
+    }
+
+    /// Runs correlation at `now_ms`: ages observations older than the
+    /// window out of each class ring and fires a campaign per class seen
+    /// on at least [`SiemConfig::k_sites`] distinct sites.
     pub fn correlate(&mut self, now_ms: u64) -> Vec<CorrelatedCampaign> {
         let horizon = now_ms.saturating_sub(self.config.window_ms);
         let mut fired = Vec::new();
-        for (class, obs) in &mut self.observations {
-            obs.retain(|&(_, at)| at >= horizon);
-            let mut sites: Vec<u32> = obs.iter().map(|&(site, _)| site).collect();
-            sites.sort_unstable();
-            sites.dedup();
-            if sites.len() < self.config.k_sites {
+        for (class, window) in &mut self.windows {
+            window.ring.retain(|&(_, at)| at >= horizon);
+            if window.ring.len() < self.config.k_sites {
                 continue;
             }
-            let cooled = self
+            self.scratch.clear();
+            self.scratch
+                .extend(window.ring.iter().map(|&(site, _)| site));
+            self.scratch.sort_unstable();
+            self.scratch.dedup();
+            if self.scratch.len() < self.config.k_sites {
+                continue;
+            }
+            let cooled = window
                 .last_fired
-                .get(class)
-                .is_none_or(|&at| now_ms >= at + self.config.window_ms);
+                .is_none_or(|at| now_ms >= at + self.config.window_ms);
             if !cooled {
                 continue;
             }
-            self.last_fired.insert(class.clone(), now_ms);
+            window.last_fired = Some(now_ms);
             fired.push(CorrelatedCampaign {
                 class: class.clone(),
-                sites: sites.len() as u32,
+                sites: self.scratch.len() as u32,
                 at_ms: now_ms,
             });
         }
@@ -125,6 +180,30 @@ impl FleetSiem {
     #[must_use]
     pub fn records_ingested(&self) -> u64 {
         self.ingested
+    }
+
+    /// Observations evicted across every class window because the
+    /// bounded ring was full — the streaming correlator's loss counter.
+    #[must_use]
+    pub fn window_drops(&self) -> u64 {
+        self.windows.values().map(|w| w.dropped).sum()
+    }
+
+    /// Per-class `(class, dropped)` eviction counters, classes with no
+    /// drops included.
+    #[must_use]
+    pub fn window_drops_by_class(&self) -> Vec<(String, u64)> {
+        self.windows
+            .iter()
+            .map(|(class, w)| (class.clone(), w.dropped))
+            .collect()
+    }
+
+    /// Observations currently held across every class window — bounded
+    /// by `classes × window_capacity` by construction.
+    #[must_use]
+    pub fn observations_held(&self) -> usize {
+        self.windows.values().map(|w| w.ring.len()).sum()
     }
 }
 
@@ -153,6 +232,7 @@ mod tests {
         let mut siem = FleetSiem::new(SiemConfig {
             window_ms: 10_000,
             k_sites: 3,
+            ..SiemConfig::default()
         });
         for (site, rec) in [
             alert(0, 1_000, "jamming"),
@@ -187,6 +267,7 @@ mod tests {
         let mut siem = FleetSiem::new(SiemConfig {
             window_ms: 5_000,
             k_sites: 2,
+            ..SiemConfig::default()
         });
         let (site, rec) = alert(0, 1_000, "replay");
         siem.ingest(site, &rec);
@@ -194,6 +275,7 @@ mod tests {
         siem.ingest(site, &rec);
         // Site 0's alert is out of the window by now.
         assert!(siem.correlate(9_000).is_empty());
+        assert_eq!(siem.observations_held(), 1);
     }
 
     #[test]
@@ -209,5 +291,42 @@ mod tests {
         assert_eq!(siem.ingest(4, &rec), None);
         assert_eq!(siem.records_ingested(), 1);
         assert!(siem.correlate(20).is_empty());
+    }
+
+    #[test]
+    fn bounded_window_evicts_oldest_and_counts_drops() {
+        let mut siem = FleetSiem::new(SiemConfig {
+            window_ms: 60_000,
+            k_sites: 3,
+            window_capacity: 4,
+        });
+        // Eight distinct sites flood one class: the window holds the
+        // last four, and the four evictions are accounted.
+        for site in 0..8u32 {
+            siem.ingest_alert(site, "jamming", 1_000 + u64::from(site));
+        }
+        assert_eq!(siem.window_drops(), 4);
+        assert_eq!(siem.observations_held(), 4);
+        // Correlation still fires off the surviving window...
+        let fired = siem.correlate(2_000);
+        assert_eq!(fired.len(), 1);
+        // ...and reports only the sites the bounded window retained.
+        assert_eq!(fired[0].sites, 4);
+        assert_eq!(siem.window_drops_by_class(), vec![("jamming".into(), 4)]);
+    }
+
+    #[test]
+    fn memory_is_bounded_by_capacity_not_alert_volume() {
+        let mut siem = FleetSiem::new(SiemConfig {
+            window_ms: 60_000,
+            k_sites: 3,
+            window_capacity: 128,
+        });
+        for i in 0..100_000u64 {
+            siem.ingest_alert((i % 50_000) as u32, "deauth-flood", i);
+        }
+        assert_eq!(siem.observations_held(), 128);
+        assert_eq!(siem.window_drops(), 100_000 - 128);
+        assert_eq!(siem.records_ingested(), 100_000);
     }
 }

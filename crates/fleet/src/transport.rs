@@ -93,6 +93,30 @@ pub fn chunk_payloads(update_id: u32, bytes: &[u8], chunk_bytes: usize) -> Vec<V
         .collect()
 }
 
+/// Number of chunks a `len`-byte update splits into — the count
+/// [`chunk_payloads`] would produce, without materializing the chunks.
+///
+/// # Panics
+///
+/// Panics if `chunk_bytes` is zero.
+#[must_use]
+pub fn chunk_count(len: usize, chunk_bytes: usize) -> usize {
+    assert!(chunk_bytes > 0, "chunk size must be positive");
+    len.div_ceil(chunk_bytes).max(1)
+}
+
+/// On-air wire bytes of chunk `index` of a `len`-byte update: frame
+/// overhead + chunk header + the chunk body (the final chunk is usually
+/// short). Matches `Frame::wire_len` of the frame [`Delivery`] would
+/// send, so shadow-site airtime accounting agrees byte-for-byte with the
+/// full simulation's.
+#[must_use]
+pub fn chunk_wire_len(len: usize, chunk_bytes: usize, index: usize) -> u64 {
+    let start = (index * chunk_bytes).min(len);
+    let body = chunk_bytes.min(len - start);
+    (silvasec_comms::FRAME_OVERHEAD_BYTES + ChunkHeader::LEN + body) as u64
+}
+
 /// Collects received chunks back into the update byte stream.
 #[derive(Debug)]
 pub struct Reassembly {
@@ -352,6 +376,23 @@ mod tests {
             reassembly.accept(header, body);
         }
         assert_eq!(reassembly.assemble().unwrap(), data);
+    }
+
+    #[test]
+    fn chunk_accounting_matches_materialized_chunks() {
+        for (len, chunk_bytes) in [(0usize, 64usize), (1, 64), (64, 64), (65, 64), (2000, 256)] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let chunks = chunk_payloads(7, &data, chunk_bytes);
+            assert_eq!(chunk_count(len, chunk_bytes), chunks.len(), "len={len}");
+            for (i, chunk) in chunks.iter().enumerate() {
+                let frame = Frame::data(NodeId(0), NodeId(1), chunk.clone());
+                assert_eq!(
+                    chunk_wire_len(len, chunk_bytes, i),
+                    frame.wire_len() as u64,
+                    "len={len} chunk={i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   and the distributions the world model needs.
 //! * [`geom`] — 2-D/3-D vectors and geometry helpers.
 //! * [`event`] — a deterministic event queue with stable tie-breaking.
+//! * [`sweep`] — the deterministic parallel sweep engine (order-preserving
+//!   worker pool; re-exported as `silvasec::sweep`).
 //! * [`terrain`] — procedurally generated heightmaps with slope queries.
 //! * [`vegetation`] — tree stands (positions, heights, canopy radii).
 //! * [`weather`] — weather states degrading sensors and radio.
@@ -44,6 +46,7 @@ pub mod geom;
 pub mod humans;
 pub mod los;
 pub mod rng;
+pub mod sweep;
 pub mod terrain;
 pub mod time;
 pub mod vegetation;

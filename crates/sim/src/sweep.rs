@@ -17,12 +17,17 @@
 //! # Example
 //!
 //! ```
-//! use silvasec::sweep::par_sweep;
+//! use silvasec_sim::sweep::par_sweep;
 //!
 //! let points: Vec<u64> = (0..32).collect();
 //! let squares = par_sweep(&points, |&p| p * p);
 //! assert_eq!(squares, points.iter().map(|&p| p * p).collect::<Vec<_>>());
 //! ```
+//!
+//! The module lives in the simulation kernel (rather than the `silvasec`
+//! umbrella crate, which re-exports it as `silvasec::sweep`) so that
+//! mid-stack crates — notably the fleet's sharded shadow-site population
+//! — can run on the same worker pool without a dependency cycle.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -169,6 +174,70 @@ where
     (results, stats)
 }
 
+/// Maps `f` over mutable `items` on a scoped worker pool, returning the
+/// per-item results in input order.
+///
+/// The mutable sibling of [`par_sweep`], built for *sharded state*: the
+/// fleet-scale control plane splits its shadow-site population into
+/// independent shards and steps every shard once per tick. Each worker
+/// owns a contiguous `chunks_mut` slice (static assignment by position,
+/// not work-stealing — safe mutable access needs disjoint borrows, and
+/// the workspace forbids `unsafe`), applies `f` to its items in slice
+/// order, and the per-chunk result vectors are concatenated in chunk
+/// order. The output is therefore the same `Vec` the sequential
+/// `items.iter_mut().enumerate().map(..)` loop would produce — bit for
+/// bit, for any worker count — which is what lets a sharded fleet trace
+/// stay byte-identical to its sequential reference.
+///
+/// `f` receives `(input_index, &mut item)`.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_sweep_mut<P, R, F>(items: &mut [P], f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(usize, &mut P) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    let gathered: Vec<Vec<R>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move |_| {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, item)| f(ci * chunk + j, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked");
+    let mut out = Vec::with_capacity(n);
+    for local in gathered {
+        out.extend(local);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +317,42 @@ mod tests {
         for (a, b) in par.iter().zip(&seq) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn mut_sweep_matches_sequential_reference() {
+        // The determinism contract the sharded fleet relies on: the
+        // parallel mutable sweep leaves the items in the same state and
+        // returns the same results as the sequential loop.
+        let eval = |i: usize, item: &mut u64| {
+            *item = item.wrapping_mul(31).wrapping_add(i as u64);
+            *item ^ 0x5555_5555_5555_5555
+        };
+        let mut par_items: Vec<u64> = (0..137).map(|i| i * 7 + 3).collect();
+        let mut seq_items = par_items.clone();
+        let par_out = par_sweep_mut(&mut par_items, eval);
+        let seq_out: Vec<u64> = seq_items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| eval(i, item))
+            .collect();
+        assert_eq!(par_out, seq_out);
+        assert_eq!(par_items, seq_items);
+    }
+
+    #[test]
+    fn mut_sweep_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(par_sweep_mut(&mut empty, |_, x| *x).is_empty());
+        let mut one = vec![41u32];
+        assert_eq!(
+            par_sweep_mut(&mut one, |i, x| {
+                *x += 1;
+                *x + i as u32
+            }),
+            vec![42]
+        );
+        assert_eq!(one, vec![42]);
     }
 
     #[test]

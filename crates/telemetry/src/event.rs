@@ -236,6 +236,18 @@ pub enum Event {
         /// Integer payload.
         value: i64,
     },
+    /// Aggregated rollout outcome of one shadow-population shard this
+    /// tick. Shadow sites are too numerous for per-site `UpdateApply`
+    /// events (a million-site wave would flood any bounded ring), so the
+    /// fleet layer emits one summary per shard per tick with activity.
+    ShadowWave {
+        /// Shadow shard index.
+        shard: u32,
+        /// Shadow sites in the shard that applied the bundle this tick.
+        applied: u32,
+        /// Shadow sites in the shard that rejected the bundle this tick.
+        rejected: u32,
+    },
 }
 
 /// The kind tag of an [`Event`], used for subscriber filtering.
@@ -278,6 +290,8 @@ pub enum EventKind {
     CampaignAlert,
     /// [`Event::Custom`].
     Custom,
+    /// [`Event::ShadowWave`].
+    ShadowWave,
 }
 
 impl EventKind {
@@ -311,6 +325,7 @@ impl Event {
             Event::RolloutWave { .. } => EventKind::RolloutWave,
             Event::CampaignAlert { .. } => EventKind::CampaignAlert,
             Event::Custom { .. } => EventKind::Custom,
+            Event::ShadowWave { .. } => EventKind::ShadowWave,
         }
     }
 }
@@ -354,7 +369,8 @@ impl EventFilter {
                 | EventKind::Jam.bit()
                 | EventKind::UpdateApply.bit()
                 | EventKind::RolloutWave.bit()
-                | EventKind::CampaignAlert.bit(),
+                | EventKind::CampaignAlert.bit()
+                | EventKind::ShadowWave.bit(),
         )
     }
 
@@ -435,6 +451,7 @@ mod tests {
         assert!(s.allows(EventKind::UpdateApply));
         assert!(s.allows(EventKind::RolloutWave));
         assert!(s.allows(EventKind::CampaignAlert));
+        assert!(s.allows(EventKind::ShadowWave));
         assert!(!s.allows(EventKind::FrameTx));
         assert!(!s.allows(EventKind::SensorReading));
     }
