@@ -34,11 +34,12 @@
 //! and batch-beats-sequential assertions only, no speedup floors, no
 //! trajectory append).
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use silvasec::crypto::edwards::EdwardsPoint;
 use silvasec::crypto::scalar::Scalar;
 use silvasec::crypto::schnorr::{self, BatchItem, Signature, SigningKey, VerifyingKey};
 use silvasec::crypto::{chacha20, sha256};
+use silvasec_bench::{append_trajectory_run, run_keys, trajectory_out_path};
 use std::time::Instant;
 
 const BATCH_SIZE: usize = 16;
@@ -167,24 +168,6 @@ struct RunEntry {
 }
 
 /// Loads the existing trajectory file and returns its `runs` array.
-fn existing_runs(path: &std::path::Path) -> Vec<Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(value) = serde_json::parse(&text) else {
-        eprintln!(
-            "warning: {} is not valid JSON; starting a fresh trajectory",
-            path.display()
-        );
-        return Vec::new();
-    };
-    value
-        .get_field("runs")
-        .as_array()
-        .map(<[Value]>::to_vec)
-        .unwrap_or_default()
-}
-
 fn batch_fixture(n: usize) -> (Vec<Vec<u8>>, Vec<Signature>, Vec<VerifyingKey>) {
     let mut messages = Vec::with_capacity(n);
     let mut signatures = Vec::with_capacity(n);
@@ -319,9 +302,10 @@ fn main() {
     });
     let mib = bulk.len() as f64 / (1024.0 * 1024.0);
 
+    let (git_sha, run_ts) = run_keys();
     let entry = RunEntry {
-        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
-        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        git_sha,
+        run_ts,
         iters,
         check_digest,
         scalar_mul_basepoint_per_s: bp_fast,
@@ -373,21 +357,6 @@ fn main() {
         entry.scalar_mul_basepoint_speedup
     );
 
-    let out_path = std::env::var("SILVASEC_CRYPTO_OUT").map_or_else(
-        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_crypto.json"),
-        std::path::PathBuf::from,
-    );
-    let mut runs = existing_runs(&out_path);
-    runs.push(entry.serialize());
-    let run_count = runs.len();
-    let trajectory = Value::Object(vec![
-        (
-            "schema".to_string(),
-            Value::String("silvasec-crypto-trajectory/1".to_string()),
-        ),
-        ("runs".to_string(), Value::Array(runs)),
-    ]);
-    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
-    std::fs::write(&out_path, text).expect("write trajectory file");
-    eprintln!("appended run ({run_count} total) to {}", out_path.display());
+    let out_path = trajectory_out_path("SILVASEC_CRYPTO_OUT", "BENCH_crypto.json");
+    append_trajectory_run(&out_path, "silvasec-crypto-trajectory/1", None, &entry);
 }

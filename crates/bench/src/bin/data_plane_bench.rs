@@ -47,8 +47,8 @@
 //! iterations, cross-checks and the zero-allocation assertion only, no
 //! speedup floors, no trajectory append).
 
-use serde::{Serialize, Value};
-use silvasec_bench::session_pair;
+use serde::Serialize;
+use silvasec_bench::{append_trajectory_run, run_keys, session_pair, trajectory_out_path};
 use silvasec_crypto::aead::ChaCha20Poly1305;
 use silvasec_crypto::chacha20::ChaCha20;
 use silvasec_crypto::sha256;
@@ -229,24 +229,6 @@ struct RunEntry {
 }
 
 /// Loads the existing trajectory file and returns its `runs` array.
-fn existing_runs(path: &std::path::Path) -> Vec<Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(value) = serde_json::parse(&text) else {
-        eprintln!(
-            "warning: {} is not valid JSON; starting a fresh trajectory",
-            path.display()
-        );
-        return Vec::new();
-    };
-    value
-        .get_field("runs")
-        .as_array()
-        .map(<[Value]>::to_vec)
-        .unwrap_or_default()
-}
-
 /// Cross-checks every fast path against its frozen reference across the
 /// edge-heavy length schedule and feeds every ciphertext into the
 /// digest; panics on the first divergence (the proptests cover this too
@@ -421,9 +403,10 @@ fn main() {
         opened.len()
     });
 
+    let (git_sha, run_ts) = run_keys();
     let entry = RunEntry {
-        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
-        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        git_sha,
+        run_ts,
         iters,
         check_digest,
         chacha20_wide_mib_per_s: ks_fast_per_s * mib,
@@ -464,21 +447,6 @@ fn main() {
         entry.aead_seal_speedup
     );
 
-    let out_path = std::env::var("SILVASEC_DATA_PLANE_OUT").map_or_else(
-        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_data_plane.json"),
-        std::path::PathBuf::from,
-    );
-    let mut runs = existing_runs(&out_path);
-    runs.push(entry.serialize());
-    let run_count = runs.len();
-    let trajectory = Value::Object(vec![
-        (
-            "schema".to_string(),
-            Value::String("silvasec-data-plane-trajectory/1".to_string()),
-        ),
-        ("runs".to_string(), Value::Array(runs)),
-    ]);
-    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
-    std::fs::write(&out_path, text).expect("write trajectory file");
-    eprintln!("appended run ({run_count} total) to {}", out_path.display());
+    let out_path = trajectory_out_path("SILVASEC_DATA_PLANE_OUT", "BENCH_data_plane.json");
+    append_trajectory_run(&out_path, "silvasec-data-plane-trajectory/1", None, &entry);
 }

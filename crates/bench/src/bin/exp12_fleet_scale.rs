@@ -41,13 +41,14 @@
 //!
 //! [`Worksite`]: silvasec::sos::Worksite
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use silvasec::crypto::sha256;
 use silvasec::experiments::{
     fleet_config, fleet_decisions, fleet_scale_config, run_fleet_rollout, run_fleet_scale_point,
     run_fleet_scale_scenario, FleetScenario,
 };
 use silvasec::fleet::ShadowConfig;
+use silvasec_bench::{append_trajectory_run, run_keys, trajectory_out_path};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -193,24 +194,6 @@ struct RunEntry {
 }
 
 /// Loads the existing trajectory file and returns its `runs` array.
-fn existing_runs(path: &std::path::Path) -> Vec<Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(value) = serde_json::parse(&text) else {
-        eprintln!(
-            "warning: {} is not valid JSON; starting a fresh trajectory",
-            path.display()
-        );
-        return Vec::new();
-    };
-    value
-        .get_field("runs")
-        .as_array()
-        .map(<[Value]>::to_vec)
-        .unwrap_or_default()
-}
-
 fn parse_args() -> (usize, u64, bool) {
     let mut sites_max = *SCALE_SIZES.last().expect("non-empty");
     let mut seed = DEFAULT_SEED;
@@ -400,9 +383,10 @@ fn main() {
     }
 
     let last = rows.last().expect("non-empty");
+    let (git_sha, run_ts) = run_keys();
     let entry = RunEntry {
-        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
-        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        git_sha,
+        run_ts,
         seed,
         smoke,
         sizes: sizes.clone(),
@@ -442,21 +426,6 @@ fn main() {
     println!("tamper parity: 4096/4096 rejected through the batched verify");
     println!("determinism: parallel == sequential == same-seed twin, legacy trace pinned");
 
-    let out_path = std::env::var("SILVASEC_FLEET_SCALE_OUT").map_or_else(
-        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_fleet_scale.json"),
-        std::path::PathBuf::from,
-    );
-    let mut runs = existing_runs(&out_path);
-    runs.push(entry.serialize());
-    let run_count = runs.len();
-    let trajectory = Value::Object(vec![
-        (
-            "schema".to_string(),
-            Value::String("silvasec-fleet-scale-trajectory/1".to_string()),
-        ),
-        ("runs".to_string(), Value::Array(runs)),
-    ]);
-    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
-    std::fs::write(&out_path, text).expect("write trajectory file");
-    eprintln!("appended run ({run_count} total) to {}", out_path.display());
+    let out_path = trajectory_out_path("SILVASEC_FLEET_SCALE_OUT", "BENCH_fleet_scale.json");
+    append_trajectory_run(&out_path, "silvasec-fleet-scale-trajectory/1", None, &entry);
 }

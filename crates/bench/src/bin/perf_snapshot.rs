@@ -20,15 +20,18 @@
 //!
 //! Run with: `cargo run --release -p silvasec-bench --bin perf_snapshot`
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::experiments::{
-    occlusion_point, occlusion_sweep, run_fleet_scale_point, run_worksite, FleetScenario,
-    OcclusionRow,
+    occlusion_point, occlusion_sweep, run_fleet_scale_point, run_ops_load, run_worksite,
+    FleetScenario, OcclusionRow,
 };
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
-use silvasec_bench::{measure_recorder_overhead, session_pair, RecorderOverhead};
+use silvasec_bench::{
+    append_trajectory_run, measure_recorder_overhead, run_keys, session_pair, trajectory_out_path,
+    RecorderOverhead,
+};
 use silvasec_sim::time::SimDuration;
 use std::time::Instant;
 
@@ -84,6 +87,39 @@ struct RunEntry {
     /// the full 64 → 1M sweep with the equivalence proofs and the peak
     /// bytes/site ceiling).
     fleet_scale: FleetScaleHeadline,
+    /// Incident-response ops headline (one 1k-incident synthetic load —
+    /// see `exp13_ops` / `BENCH_ops.json` for the full 10 → 10k sweep
+    /// with the determinism, replay and accounting proofs).
+    ops: OpsHeadline,
+}
+
+/// Incident-response workflow throughput at one mid-size load point.
+#[derive(Debug, Serialize)]
+struct OpsHeadline {
+    /// Incidents submitted to the engine.
+    incidents: usize,
+    /// Incidents driven to settlement per wall-clock second.
+    incidents_per_s: f64,
+    /// Fraction of opened runs that closed verified (the rest escalated,
+    /// were rejected at triage, or dead-lettered).
+    closed_frac: f64,
+}
+
+fn ops_headline() -> OpsHeadline {
+    const INCIDENTS: usize = 1_000;
+    let t0 = Instant::now();
+    let (engine, _) = run_ops_load(INCIDENTS, 13);
+    let wall_s = t0.elapsed().as_secs_f64();
+    let counters = engine.store().counters();
+    assert!(
+        engine.queue_conserves() && counters.settled() == counters.opened,
+        "ops headline load must settle cleanly: {counters:?}"
+    );
+    OpsHeadline {
+        incidents: INCIDENTS,
+        incidents_per_s: INCIDENTS as f64 / wall_s.max(1e-9),
+        closed_frac: counters.closed as f64 / counters.opened.max(1) as f64,
+    }
 }
 
 /// Two-fidelity fleet rollout throughput and batched-verify
@@ -221,32 +257,6 @@ fn rows_bit_identical(a: &[OcclusionRow], b: &[OcclusionRow]) -> bool {
         })
 }
 
-/// Loads the existing trajectory file and returns its `runs` array.
-/// Accepts both the trajectory schema and the original single-object
-/// `silvasec-perf-snapshot/1` schema, which is migrated in place as the
-/// first run of the trajectory.
-fn existing_runs(path: &std::path::Path) -> Vec<Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(value) = serde_json::parse(&text) else {
-        eprintln!(
-            "warning: {} is not valid JSON; starting a fresh trajectory",
-            path.display()
-        );
-        return Vec::new();
-    };
-    if let Some(runs) = value.get_field("runs").as_array() {
-        return runs.to_vec();
-    }
-    if let Value::String(schema) = value.get_field("schema") {
-        if schema == "silvasec-perf-snapshot/1" {
-            return vec![value];
-        }
-    }
-    Vec::new()
-}
-
 fn main() {
     let duration = SimDuration::from_secs(POINT_SECS);
 
@@ -312,12 +322,16 @@ fn main() {
     // Fleet-scale control-plane headline throughput.
     let fleet_scale = fleet_scale_headline();
 
+    // Incident-response ops headline throughput.
+    let ops = ops_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (git_sha, run_ts) = run_keys();
     let entry = RunEntry {
-        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
-        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        git_sha,
+        run_ts,
         workers: worker_count(sweep_points).max(stats.workers),
         detected_cores,
         sweep_points,
@@ -333,6 +347,7 @@ fn main() {
         crypto,
         session,
         fleet_scale,
+        ops,
     };
 
     assert!(
@@ -352,26 +367,16 @@ fn main() {
         eprintln!("single-core host: skipping the speedup assertion");
     }
 
-    let out_path = std::env::var("SILVASEC_PERF_OUT").map_or_else(
-        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_perf_snapshot.json"),
-        std::path::PathBuf::from,
+    let out_path = trajectory_out_path("SILVASEC_PERF_OUT", "BENCH_perf_snapshot.json");
+    append_trajectory_run(
+        &out_path,
+        "silvasec-perf-trajectory/1",
+        Some("silvasec-perf-snapshot/1"),
+        &entry,
     );
-    let mut runs = existing_runs(&out_path);
-    runs.push(entry.serialize());
-    let run_count = runs.len();
-    let trajectory = Value::Object(vec![
-        (
-            "schema".to_string(),
-            Value::String("silvasec-perf-trajectory/1".to_string()),
-        ),
-        ("runs".to_string(), Value::Array(runs)),
-    ]);
-    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
-    std::fs::write(&out_path, text).expect("write trajectory file");
 
     println!(
         "{}",
         serde_json::to_string_pretty(&entry).expect("entry serializes")
     );
-    eprintln!("appended run ({run_count} total) to {}", out_path.display());
 }

@@ -1,7 +1,7 @@
 //! **Trace comparison** — diff two flight-recorder JSONL traces and
 //! report the first divergence.
 //!
-//! Three modes:
+//! Modes:
 //!
 //! * `trace_compare <left.jsonl> <right.jsonl>` — compare two exported
 //!   trace files event by event, streaming line by line so fleet-sized
@@ -17,7 +17,14 @@
 //!   E12 two-fidelity fleet rollout with parallel shadow shards for the
 //!   left trace and sequentially for the right (default 4096 sites):
 //!   with equal seeds this is the shard-merge determinism witness, with
-//!   different seeds a divergence probe.
+//!   different seeds a divergence probe;
+//! * `trace_compare --ops <seed-a> <seed-b> [incidents]` — run the E13
+//!   synthetic incident-response load twice (default 500 incidents) and
+//!   compare the `Ops*` security traces. Before comparing, the left
+//!   run's store is rebuilt from nothing but its own recorded trace and
+//!   diffed against the live store (`RunStore::first_divergence`) — a
+//!   live-vs-replay divergence fails the run even when the seeds
+//!   differ, making this the self-driving replay witness for CI.
 //!
 //! `--max-events N` (any mode) stops after the first `N` events: a
 //! bounded spot-check that keeps CI diffs of fleet-scale traces cheap.
@@ -36,15 +43,16 @@
 //! Run with: `cargo run --release -p silvasec-bench --bin trace_compare -- --figure1 11 12`
 
 use silvasec::experiments::{
-    figure1_trace, run_fleet_rollout, run_fleet_scale_point, FleetScenario,
+    figure1_trace, run_fleet_rollout, run_fleet_scale_point, run_ops_load, FleetScenario,
 };
+use silvasec::ops::RunStore;
 use silvasec::prelude::*;
 use silvasec::telemetry::first_divergence_jsonl;
 use silvasec_sim::time::SimDuration;
 use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]";
+const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --ops <seed-a> <seed-b> [incidents]";
 
 fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
     match first_divergence_jsonl(left, right) {
@@ -257,6 +265,52 @@ fn main() -> ExitCode {
                 &format!("parallel shards seed {seed_a}"),
                 &left,
                 &format!("sequential shards seed {seed_b}"),
+                &right,
+            )
+        }
+        Some("--ops") => {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let incidents = match args.get(3).map(|s| s.parse::<usize>()) {
+                Some(Ok(n)) => n,
+                None => 500,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (left_engine, left) = run_ops_load(incidents, seed_a);
+            let (_, right) = run_ops_load(incidents, seed_b);
+            // Replay witness on the full (untruncated) left trace: the
+            // store rebuilt from nothing but the recorded events must be
+            // identical to the live one, whatever the seeds.
+            let replayed = match RunStore::replay_from_jsonl(&left) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("error: left ops trace does not replay: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some((line, live, replay)) = left_engine.store().first_divergence(&replayed) {
+                println!("live and replayed run stores diverge at canonical line {line}:");
+                println!("  live:   {live}");
+                println!("  replay: {replay}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "replay: store rebuilt from the recorded trace is identical to the live store \
+                 ({} runs)",
+                left_engine.store().len()
+            );
+            let left = truncated(&left, max_events);
+            let right = truncated(&right, max_events);
+            dump(&left);
+            compare(
+                &format!("ops seed {seed_a}"),
+                &left,
+                &format!("ops seed {seed_b}"),
                 &right,
             )
         }

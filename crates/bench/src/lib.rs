@@ -7,12 +7,92 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use serde::Serialize;
+use serde::{Serialize, Value};
 use silvasec::experiments::standard_config;
 use silvasec::prelude::*;
 use silvasec_channel::{HandshakePolicy, Identity, Initiator, Responder, Session};
 use silvasec_crypto::schnorr::SigningKey;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// Run-identity keys for a `BENCH_*.json` trajectory entry, read from
+/// the environment so no wall clock ever leaks into the simulation:
+/// `SILVASEC_GIT_SHA` (default `unknown`) and `SILVASEC_RUN_TS`
+/// (default `unspecified`).
+#[must_use]
+pub fn run_keys() -> (String, String) {
+    (
+        std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
+        std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+    )
+}
+
+/// Resolves the trajectory output path for one bench binary: the
+/// binary's env override when set, else `default_file` at the
+/// workspace root.
+#[must_use]
+pub fn trajectory_out_path(env_override: &str, default_file: &str) -> PathBuf {
+    std::env::var(env_override).map_or_else(
+        |_| {
+            Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(default_file)
+        },
+        PathBuf::from,
+    )
+}
+
+/// Loads the `runs` array of an existing trajectory file. Missing files
+/// start a fresh trajectory; unparseable ones are reported and start
+/// fresh too. When `legacy_schema` is given, a file holding a single
+/// object of that pre-trajectory schema is migrated in place as the
+/// first run.
+#[must_use]
+pub fn existing_trajectory_runs(path: &Path, legacy_schema: Option<&str>) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::parse(&text) else {
+        eprintln!(
+            "warning: {} is not valid JSON; starting a fresh trajectory",
+            path.display()
+        );
+        return Vec::new();
+    };
+    if let Some(runs) = value.get_field("runs").as_array() {
+        return runs.to_vec();
+    }
+    if let (Some(legacy), Value::String(schema)) = (legacy_schema, value.get_field("schema")) {
+        if schema == legacy {
+            return vec![value];
+        }
+    }
+    Vec::new()
+}
+
+/// Appends one run entry to the trajectory file at `path` under the
+/// given trajectory `schema`, migrating a `legacy_schema` single-object
+/// file if present, and returns the resulting run count. Every
+/// `BENCH_*.json` writer goes through here so the trajectory format
+/// stays uniform across binaries.
+pub fn append_trajectory_run<T: Serialize>(
+    path: &Path,
+    schema: &str,
+    legacy_schema: Option<&str>,
+    entry: &T,
+) -> usize {
+    let mut runs = existing_trajectory_runs(path, legacy_schema);
+    runs.push(entry.serialize());
+    let run_count = runs.len();
+    let trajectory = Value::Object(vec![
+        ("schema".to_string(), Value::String(schema.to_string())),
+        ("runs".to_string(), Value::Array(runs)),
+    ]);
+    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
+    std::fs::write(path, text).expect("write trajectory file");
+    eprintln!("appended run ({run_count} total) to {}", path.display());
+    run_count
+}
 
 /// Builds a two-party PKI and an established session pair, for channel
 /// benchmarks and binaries.

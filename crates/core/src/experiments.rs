@@ -980,6 +980,161 @@ pub fn fleet_decisions(
     (campaigns, risk)
 }
 
+// ---------------------------------------------------------------------
+// E13: incident-response operations (deterministic ops engine)
+// ---------------------------------------------------------------------
+
+/// The standard E13 ops configuration for fleet wiring: the default
+/// engine with a visibility timeout generous enough that a full staged
+/// remediation rollout never outlives its lease (see
+/// [`silvasec_fleet::Fleet::run_ops_remediations`]), and a review
+/// window generous enough that a critical run gated mid-scenario is
+/// still awaiting its reviewer when the free-running phase ends.
+#[must_use]
+pub fn ops_config() -> silvasec_ops::OpsConfig {
+    silvasec_ops::OpsConfig {
+        queue: silvasec_ops::QueueConfig {
+            visibility_timeout_ms: 300_000,
+            ..silvasec_ops::QueueConfig::default()
+        },
+        gate: silvasec_ops::GatePolicy {
+            review_timeout_ms: 600_000,
+            ..silvasec_ops::GatePolicy::default()
+        },
+        ..silvasec_ops::OpsConfig::default()
+    }
+}
+
+/// Runs the E13 fleet incident-response scenario: the E10 fleet with
+/// the ops engine enabled, a sustained fleet-wide deauthentication
+/// flood that correlates into a SIEM campaign, then a free-running
+/// window in which the engine triages, contains (site quarantine /
+/// rollout halt) and gates the resulting incidents. Remediation is
+/// deferred: the caller reviews pending gates and calls
+/// `run_ops_remediations` to push the fix (see `tests/ops_incident.rs`
+/// for the full arc).
+#[must_use]
+pub fn run_fleet_ops_scenario(sites: usize, seed: u64) -> silvasec_fleet::Fleet {
+    let mut config = fleet_config(sites);
+    config.ops = Some(ops_config());
+    let mut fleet = silvasec_fleet::Fleet::new(config, seed);
+    fleet.schedule_fleet_attack(campaign_for(
+        AttackKind::DeauthFlood,
+        SimTime::from_secs(5),
+        SimDuration::from_secs(60),
+    ));
+    fleet.run(SimDuration::from_secs(90));
+    fleet
+}
+
+/// One synthetic E13 load point: drives a bare [`silvasec_ops::OpsEngine`]
+/// (no fleet attached) to idle under `incidents` incidents with a
+/// deterministic arrival schedule, scope/severity mix, scripted command
+/// flakiness and scripted review verdicts. Returns the settled engine
+/// and its security-filtered JSONL trace; callers assert digests,
+/// counters and replay against them. Everything is a pure function of
+/// `(incidents, seed)` — two calls are byte-identical.
+///
+/// # Panics
+///
+/// Panics if the engine fails to settle within the tick budget (a
+/// lost-incident bug by definition).
+#[must_use]
+pub fn run_ops_load(incidents: usize, seed: u64) -> (silvasec_ops::OpsEngine, String) {
+    use silvasec_ids::alert::Severity;
+    use silvasec_ops::{Action, GateDecision, Incident, IncidentScope, OpsConfig, OpsEngine};
+    use silvasec_sim::rng::hash3;
+    use silvasec_telemetry::{EventFilter, Recorder};
+
+    const CLASSES: [&str; 4] = [
+        "jamming",
+        "gnss-spoofing",
+        "auth-failure-storm",
+        "rogue-association",
+    ];
+    let recorder = Recorder::new();
+    let ring = (incidents * 64).max(1 << 16);
+    let sub = recorder.subscribe_filtered("ops-load", ring, EventFilter::security());
+    let mut engine = OpsEngine::new(
+        OpsConfig {
+            seed,
+            ..OpsConfig::default()
+        },
+        recorder.clone(),
+    );
+
+    let mut now_ms = 0u64;
+    let mut issued = 0usize;
+    let mut verdicts = 0u64;
+    // Scripted executor: QuarantineSite flakes on a fixed cadence so the
+    // retry ladder and backoff paths are exercised; everything else
+    // succeeds. MitigateRisk is fire-and-forget.
+    let mut pump = |engine: &mut OpsEngine, mut cmds: Vec<silvasec_ops::OpsCommand>, now: u64| {
+        while let Some(cmd) = cmds.pop() {
+            if matches!(cmd.action, Action::MitigateRisk { .. }) {
+                continue;
+            }
+            verdicts += 1;
+            let ok = !(matches!(cmd.action, Action::QuarantineSite { .. }) && verdicts.is_multiple_of(13));
+            cmds.extend(engine.complete(cmd.id, ok, now));
+        }
+    };
+    let max_ticks = 4 * incidents as u64 + 4_000;
+    for _ in 0..max_ticks {
+        // Arrivals: a batch of up to 64 per 500 ms tick, mixing scopes
+        // and severities deterministically. Every 31st incident repeats
+        // the previous identity to exercise dedup folding.
+        let batch = (incidents - issued).min(64);
+        for i in 0..batch {
+            let k = (issued + i) as u64;
+            let k = if k % 31 == 30 { k - 1 } else { k };
+            let class = CLASSES[(k % 4) as usize];
+            let severity = match k % 5 {
+                0 => Severity::Low,
+                1 | 2 => Severity::Medium,
+                3 => Severity::High,
+                _ => Severity::Critical,
+            };
+            let scope = if k % 7 == 0 {
+                IncidentScope::Fleet {
+                    sites: 3 + (k % 5) as u32,
+                }
+            } else {
+                IncidentScope::Site((k % 97) as u32)
+            };
+            engine.enqueue_incident(
+                &Incident {
+                    class: class.to_string(),
+                    severity,
+                    scope,
+                    detected_at_ms: now_ms,
+                },
+                now_ms,
+            );
+        }
+        issued += batch;
+        // Scripted reviewer: answers every pending gate the tick it
+        // appears, rejecting one in four.
+        for run in engine.pending_reviews() {
+            let decision = if hash3(seed, run, 0xE13).is_multiple_of(4) {
+                GateDecision::Reject
+            } else {
+                GateDecision::Approve
+            };
+            let cmds = engine.review(run, decision, now_ms);
+            pump(&mut engine, cmds, now_ms);
+        }
+        let cmds = engine.tick(now_ms);
+        pump(&mut engine, cmds, now_ms);
+        now_ms += 500;
+        if issued == incidents && engine.idle() {
+            let trace = recorder.export_jsonl(sub);
+            return (engine, trace);
+        }
+    }
+    panic!("ops load of {incidents} incidents not settled after {max_ticks} ticks");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1061,5 +1216,25 @@ mod tests {
         let row = continuous_latency(AttackKind::GnssSpoofing, 11);
         assert!(row.risk_after >= row.risk_before);
         assert!(row.goals_in_doubt > 0);
+    }
+
+    #[test]
+    fn ops_load_settles_conserves_and_replays() {
+        let (engine, trace) = run_ops_load(100, 7);
+        let counters = engine.store().counters();
+        assert!(counters.duplicates_folded > 0, "dedup path exercised");
+        assert_eq!(
+            counters.settled() + counters.duplicates_folded,
+            100,
+            "every incident accounted for: {counters:?}"
+        );
+        assert!(engine.queue_conserves());
+        let replayed = silvasec_ops::RunStore::replay_from_jsonl(&trace).unwrap();
+        assert_eq!(replayed.digest(), engine.store().digest());
+        assert_eq!(engine.store().first_divergence(&replayed), None);
+        // Pure function of (incidents, seed).
+        let (engine2, trace2) = run_ops_load(100, 7);
+        assert_eq!(engine2.store().digest(), engine.store().digest());
+        assert_eq!(trace2, trace);
     }
 }

@@ -30,6 +30,7 @@
 //! | Worksite orchestration | [`silvasec_sos`] |
 //! | Flight recorder & metrics | [`silvasec_telemetry`] |
 //! | Fleet operations & OTA | [`silvasec_fleet`] |
+//! | Incident-response workflows | [`silvasec_ops`] |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@ pub use silvasec_crypto as crypto;
 pub use silvasec_fleet as fleet;
 pub use silvasec_ids as ids;
 pub use silvasec_machines as machines;
+pub use silvasec_ops as ops;
 pub use silvasec_pki as pki;
 pub use silvasec_risk as risk;
 pub use silvasec_secure_boot as secure_boot;

@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 use silvasec_crypto::schnorr::{self, BatchItem, Signature, SigningKey};
-use silvasec_pki::{Certificate, KeyUsage, PkiError, TrustStore};
+use silvasec_pki::{Certificate, CertificateRevocationList, KeyUsage, PkiError, TrustStore};
 use silvasec_secure_boot::SignedImage;
 use std::fmt;
 
@@ -213,7 +213,27 @@ impl UpdateBundle {
         component_id: &str,
         installed_version: u32,
     ) -> Result<(), BundleError> {
-        self.verify_shared(store, now_ms, component_id)?;
+        self.verify_with_crls(store, now_ms, &[], component_id, installed_version)
+    }
+
+    /// [`UpdateBundle::verify`] with revocation checking: the signer
+    /// chain is additionally validated against `crls`, so a bundle
+    /// signed under a revoked certificate — the incident-response
+    /// containment case — is rejected with [`BundleError::Chain`] even
+    /// though its signature still verifies.
+    ///
+    /// # Errors
+    ///
+    /// The first [`BundleError`] encountered.
+    pub fn verify_with_crls(
+        &self,
+        store: &TrustStore,
+        now_ms: u64,
+        crls: &[CertificateRevocationList],
+        component_id: &str,
+        installed_version: u32,
+    ) -> Result<(), BundleError> {
+        self.verify_shared_with_crls(store, now_ms, crls, component_id)?;
         self.check_version(installed_version)
     }
 
@@ -237,8 +257,24 @@ impl UpdateBundle {
         now_ms: u64,
         component_id: &str,
     ) -> Result<(), BundleError> {
+        self.verify_shared_with_crls(store, now_ms, &[], component_id)
+    }
+
+    /// [`UpdateBundle::verify_shared`] with revocation checking against
+    /// `crls` (see [`UpdateBundle::verify_with_crls`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`BundleError`] encountered.
+    pub fn verify_shared_with_crls(
+        &self,
+        store: &TrustStore,
+        now_ms: u64,
+        crls: &[CertificateRevocationList],
+        component_id: &str,
+    ) -> Result<(), BundleError> {
         store
-            .validate_chain_for_usage(&self.signer_chain, now_ms, &[], KeyUsage::FIRMWARE_SIGNING)
+            .validate_chain_for_usage(&self.signer_chain, now_ms, crls, KeyUsage::FIRMWARE_SIGNING)
             .map_err(BundleError::Chain)?;
         let leaf = self.signer_chain.first().ok_or(BundleError::Signature)?;
         let key = leaf.subject_key().map_err(|_| BundleError::Signature)?;

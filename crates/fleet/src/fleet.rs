@@ -11,8 +11,13 @@ use crate::transport::{Delivery, Uplink};
 use serde::Serialize;
 use silvasec_attacks::{AttackCampaign, AttackKind, AttackTarget};
 use silvasec_crypto::schnorr::SigningKey;
+use silvasec_ids::alert::{AlertKind, Severity};
+use silvasec_ops::{
+    Action, GateDecision, Incident, IncidentScope, OpsCommand, OpsConfig, OpsEngine,
+};
 use silvasec_pki::{
-    Certificate, CertificateAuthority, ComponentRole, KeyUsage, Subject, TrustStore, Validity,
+    Certificate, CertificateAuthority, CertificateRevocationList, ComponentRole, KeyUsage, Subject,
+    TrustStore, Validity,
 };
 use silvasec_risk::catalog::worksite_model;
 use silvasec_risk::continuous::{
@@ -24,7 +29,7 @@ use silvasec_sim::rng::SimRng;
 use silvasec_sim::time::{SimDuration, SimTime};
 use silvasec_sos::{Worksite, WorksiteConfig};
 use silvasec_telemetry::{Event, EventFilter, EventKind, Label, Recorder, SubscriberId};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The fleet component every site's update device runs (one machine
 /// model fleet-wide, so one image serves every site).
@@ -62,6 +67,13 @@ pub struct FleetConfig {
     /// default) keeps every site full — byte-identical to the
     /// historical behaviour.
     pub shadow: Option<ShadowConfig>,
+    /// Incident-response mode: when set, an [`OpsEngine`] rides on the
+    /// fleet — site alerts and correlated campaigns open deterministic
+    /// response runs whose containment, remediation and verification
+    /// execute against the real fleet subsystems. `None` (the default)
+    /// keeps incident response off — byte-identical to the historical
+    /// behaviour.
+    pub ops: Option<OpsConfig>,
 }
 
 impl Default for FleetConfig {
@@ -77,6 +89,7 @@ impl Default for FleetConfig {
             image_payload_bytes: 2048,
             max_rollout_ticks: 4_000,
             shadow: None,
+            ops: None,
         }
     }
 }
@@ -91,6 +104,10 @@ pub struct FleetBackend {
     store: TrustStore,
     published: Vec<UpdateBundle>,
     next_update_id: u32,
+    /// CRLs published by revocation drills, oldest first. Sites check
+    /// bundle signer chains against these, so revoking the signer leaf
+    /// actually rejects bundles distributed under the old chain.
+    crls: Vec<CertificateRevocationList>,
 }
 
 impl FleetBackend {
@@ -115,7 +132,36 @@ impl FleetBackend {
             store,
             published: Vec::new(),
             next_update_id: 1,
+            crls: Vec::new(),
         }
+    }
+
+    /// Containment: revokes the current firmware-signing leaf, publishes
+    /// a CRL, and re-issues a fresh leaf for the *same* signing key.
+    ///
+    /// Site devices pin the signing key, not the certificate, so bundles
+    /// published after the rotation still verify and boot — but anything
+    /// distributed under the revoked chain (including the baseline a
+    /// downgrade MITM would replay) is rejected with a chain error.
+    pub fn revoke_signer(&mut self, now_ms: u64) {
+        if let Some(leaf) = self.signer_chain.first() {
+            self.root.revoke(leaf.serial, now_ms);
+        }
+        let crl = self.root.sign_crl(now_ms);
+        self.crls.push(crl);
+        let leaf = self.root.issue_mut(
+            &Subject::new("fleet-fw-signer", ComponentRole::FirmwareSigner),
+            &self.signer.verifying_key(),
+            KeyUsage::FIRMWARE_SIGNING,
+            Validity::new(now_ms, VALIDITY_HORIZON_MS),
+        );
+        self.signer_chain = vec![leaf];
+    }
+
+    /// CRLs published so far (empty until a revocation drill).
+    #[must_use]
+    pub fn crls(&self) -> &[CertificateRevocationList] {
+        &self.crls
     }
 
     /// Builds, signs and records a new update bundle.
@@ -209,6 +255,7 @@ impl FleetSite {
         &mut self,
         bytes: &[u8],
         store: &TrustStore,
+        crls: &[CertificateRevocationList],
         now_ms: u64,
     ) -> (Result<u32, &'static str>, Option<u64>) {
         let bundle = match UpdateBundle::decode(bytes) {
@@ -216,7 +263,8 @@ impl FleetSite {
             Err(e) => return (Err(e.reason()), None),
         };
         let verify_started = std::time::Instant::now();
-        let verified = bundle.verify(store, now_ms, FLEET_COMPONENT, self.installed_version);
+        let verified =
+            bundle.verify_with_crls(store, now_ms, crls, FLEET_COMPONENT, self.installed_version);
         let verify_us = u64::try_from(verify_started.elapsed().as_micros()).unwrap_or(u64::MAX);
         if let Err(e) = verified {
             // Stash the reason tag; the caller tallies it.
@@ -235,6 +283,23 @@ impl FleetSite {
     }
 }
 
+/// The incident-response runtime riding on a fleet: the engine plus
+/// the host-side containment state its commands act on.
+struct OpsRuntime {
+    engine: OpsEngine,
+    /// Sites whose alerts are withheld from the SIEM (containment).
+    quarantined: BTreeSet<u32>,
+    /// Containment has frozen staged rollouts; cleared when an ops
+    /// remediation rollout supersedes the halt.
+    rollouts_halted: bool,
+    /// `OtaRollout` commands awaiting a driver-run remediation rollout
+    /// (a rollout is a synchronous multi-tick loop, so it cannot run
+    /// inside the tick that issued the command).
+    pending_ota: Vec<OpsCommand>,
+    /// IDS alerts withheld because their site was quarantined.
+    withheld_alerts: u64,
+}
+
 /// The deterministic fleet-operations layer.
 pub struct Fleet {
     config: FleetConfig,
@@ -244,12 +309,26 @@ pub struct Fleet {
     shadow_campaigns: Vec<ShadowCampaign>,
     siem: FleetSiem,
     risk: ContinuousAssessment,
+    ops: Option<OpsRuntime>,
     recorder: Recorder,
     trace_sub: SubscriberId,
     campaigns: Vec<AttackCampaign>,
     now: SimTime,
     tick_index: u64,
     rng: SimRng,
+}
+
+/// Builds the site-scope incident for one IDS alert; the severity is
+/// the alert class's IDS default.
+fn site_incident(class: &str, site: u32, at_ms: u64) -> Incident {
+    let severity =
+        AlertKind::from_class(class).map_or(Severity::Medium, AlertKind::default_severity);
+    Incident {
+        class: class.to_string(),
+        severity,
+        scope: IncidentScope::Site(site),
+        detected_at_ms: at_ms,
+    }
 }
 
 impl Fleet {
@@ -312,6 +391,17 @@ impl Fleet {
             });
         }
 
+        // The ops engine records into the same recorder as the rest of
+        // the fleet, so its audit trail lands in the fleet security
+        // trace and the run store replays from that one JSONL stream.
+        let ops = config.ops.map(|oc| OpsRuntime {
+            engine: OpsEngine::new(oc, recorder.clone()),
+            quarantined: BTreeSet::new(),
+            rollouts_halted: false,
+            pending_ota: Vec::new(),
+            withheld_alerts: 0,
+        });
+
         Fleet {
             siem: FleetSiem::new(config.siem),
             config,
@@ -320,6 +410,7 @@ impl Fleet {
             shadows,
             shadow_campaigns: Vec::new(),
             risk,
+            ops,
             recorder,
             trace_sub,
             campaigns: Vec::new(),
@@ -455,12 +546,29 @@ impl Fleet {
             }
         }
 
+        let ops_on = self.ops.is_some();
+        let mut incidents: Vec<Incident> = Vec::new();
+        let mut withheld = 0u64;
         let mut alerts = Vec::new();
         for fs in &mut self.sites {
             fs.site.tick();
+            // Containment: a quarantined site is off the air — its ring
+            // still drains (bounded memory) but nothing reaches the SIEM.
+            let quarantined = self
+                .ops
+                .as_ref()
+                .is_some_and(|o| o.quarantined.contains(&fs.index));
             for record in fs.site.recorder().drain(fs.alerts_sub) {
-                if self.siem.ingest(fs.index, &record).is_some() {
-                    alerts.push((fs.index, record.at.as_millis()));
+                if quarantined {
+                    withheld += 1;
+                    continue;
+                }
+                if let Some(class) = self.siem.ingest(fs.index, &record) {
+                    let at_ms = record.at.as_millis();
+                    alerts.push((fs.index, at_ms));
+                    if ops_on {
+                        incidents.push(site_incident(&class, fs.index, at_ms));
+                    }
                 }
             }
         }
@@ -473,8 +581,19 @@ impl Fleet {
                 prev.as_millis(),
                 self.now.as_millis(),
             ) {
+                if self
+                    .ops
+                    .as_ref()
+                    .is_some_and(|o| o.quarantined.contains(&alert.site))
+                {
+                    withheld += 1;
+                    continue;
+                }
                 self.siem.ingest_alert(alert.site, alert.class, alert.at_ms);
                 alerts.push((alert.site, alert.at_ms));
+                if ops_on {
+                    incidents.push(site_incident(alert.class, alert.site, alert.at_ms));
+                }
             }
         }
 
@@ -491,8 +610,90 @@ impl Fleet {
                 attack_class: alert_class_to_attack_class(&campaign.class).to_string(),
                 at_ms: campaign.at_ms,
             });
+            if ops_on {
+                // A correlated multi-site campaign is always critical:
+                // it passes no auto-approve gate without review.
+                incidents.push(Incident {
+                    class: campaign.class.clone(),
+                    severity: Severity::Critical,
+                    scope: IncidentScope::Fleet {
+                        sites: campaign.sites,
+                    },
+                    detected_at_ms: campaign.at_ms,
+                });
+            }
+        }
+
+        if let Some(ops) = &mut self.ops {
+            ops.withheld_alerts += withheld;
+            for incident in &incidents {
+                ops.engine.enqueue_incident(incident, now_ms);
+            }
+            let cmds = ops.engine.tick(now_ms);
+            self.ops_run_commands(cmds, now_ms);
         }
         alerts
+    }
+
+    /// Pumps the ops command loop: executes each command against the
+    /// fleet subsystems and feeds completions back until the engine
+    /// blocks. Deferred commands (remediation rollouts) accumulate for
+    /// [`Fleet::run_ops_remediations`].
+    fn ops_run_commands(&mut self, mut cmds: Vec<OpsCommand>, now_ms: u64) {
+        while let Some(cmd) = cmds.pop() {
+            match self.ops_execute(&cmd, now_ms) {
+                Some(ok) => {
+                    let ops = self.ops.as_mut().expect("pump runs only with ops on");
+                    cmds.extend(ops.engine.complete(cmd.id, ok, now_ms));
+                }
+                None => {
+                    let ops = self.ops.as_mut().expect("pump runs only with ops on");
+                    ops.pending_ota.push(cmd);
+                }
+            }
+        }
+    }
+
+    /// Executes one ops command against the real subsystems. `None`
+    /// means the command is deferred (it needs the driver), otherwise
+    /// the command's outcome.
+    fn ops_execute(&mut self, cmd: &OpsCommand, now_ms: u64) -> Option<bool> {
+        match &cmd.action {
+            Action::QuarantineSite { site } => {
+                let known = (*site as usize) < self.len();
+                if known {
+                    let ops = self.ops.as_mut().expect("ops on");
+                    ops.quarantined.insert(*site);
+                }
+                Some(known)
+            }
+            Action::QuarantineReporting { class } => {
+                let reporting = self.siem.sites_reporting(class);
+                let ops = self.ops.as_mut().expect("ops on");
+                ops.quarantined.extend(reporting);
+                Some(true)
+            }
+            Action::RevokeSigner => {
+                self.backend.revoke_signer(now_ms);
+                Some(true)
+            }
+            Action::HaltRollout => {
+                let ops = self.ops.as_mut().expect("ops on");
+                ops.rollouts_halted = true;
+                Some(true)
+            }
+            Action::OtaRollout => None,
+            Action::CheckQuiet { class, since_ms } => Some(
+                self.siem
+                    .last_alert_at(class)
+                    .is_none_or(|at| at < *since_ms),
+            ),
+            Action::MitigateRisk { class } => {
+                self.risk
+                    .mitigate(alert_class_to_attack_class(class), now_ms);
+                Some(true)
+            }
+        }
     }
 
     /// Runs the fleet for `duration` with no rollout in progress (attack
@@ -516,6 +717,34 @@ impl Fleet {
     /// firmware-tampering escalation from the continuous assessment
     /// (the fleet has patched; the field evidence is stale).
     pub fn run_rollout(&mut self, version: u32) -> RolloutReport {
+        let mut report = RolloutReport {
+            fleet_size: self.len(),
+            target_version: version,
+            completed: false,
+            halted_at_wave: None,
+            applied_sites: 0,
+            rejected_sites: 0,
+            reject_reasons: BTreeMap::new(),
+            latency_ms: 0,
+            bytes_on_air: 0,
+            frames_sent: 0,
+            detect_to_halt_ms: None,
+            verify_wall_us: 0,
+            verify_wall_us_max: 0,
+            verify_calls: 0,
+            transfer_tampered_sites: 0,
+            batch_verify_calls: 0,
+            batch_verified_sites: 0,
+            individually_verified_sites: 0,
+        };
+        // Containment freeze: an ops HaltRollout stands — nothing is
+        // published or distributed — until a remediation rollout
+        // supersedes it ([`Fleet::run_ops_remediations`] clears the
+        // flag before calling back in here).
+        if self.ops.as_ref().is_some_and(|o| o.rollouts_halted) {
+            report.halted_at_wave = Some(0);
+            return report;
+        }
         let update_id = self.backend.next_update_id;
         let released_at = self.now.as_millis();
         let bundle = self.backend.publish(
@@ -545,26 +774,6 @@ impl Fleet {
         let mut updated_site_alerts = 0u32;
         let mut first_update_alert_ms: Option<u64> = None;
         let mut shadow_resolved_in_wave = 0usize;
-        let mut report = RolloutReport {
-            fleet_size: self.len(),
-            target_version: version,
-            completed: false,
-            halted_at_wave: None,
-            applied_sites: 0,
-            rejected_sites: 0,
-            reject_reasons: BTreeMap::new(),
-            latency_ms: 0,
-            bytes_on_air: 0,
-            frames_sent: 0,
-            detect_to_halt_ms: None,
-            verify_wall_us: 0,
-            verify_wall_us_max: 0,
-            verify_calls: 0,
-            transfer_tampered_sites: 0,
-            batch_verify_calls: 0,
-            batch_verified_sites: 0,
-            individually_verified_sites: 0,
-        };
         self.record_wave(wave, "start");
 
         for _ in 0..self.config.max_rollout_ticks {
@@ -634,8 +843,12 @@ impl Fleet {
                             report.transfer_tampered_sites += 1;
                         }
                         fs.delivery = None;
-                        let (outcome, verify_us) =
-                            fs.apply(&bytes, self.backend.trust_store(), now.as_millis());
+                        let (outcome, verify_us) = fs.apply(
+                            &bytes,
+                            &self.backend.store,
+                            &self.backend.crls,
+                            now.as_millis(),
+                        );
                         if let Some(us) = verify_us {
                             report.verify_wall_us += us;
                             report.verify_wall_us_max = report.verify_wall_us_max.max(us);
@@ -692,7 +905,8 @@ impl Fleet {
                             update_id,
                             encoded: &encoded,
                             old_encoded: old_encoded.as_deref(),
-                            store: self.backend.trust_store(),
+                            store: &self.backend.store,
+                            crls: &self.backend.crls,
                             chunk_bytes: self.config.chunk_bytes,
                             budget,
                             now_ms: now.as_millis(),
@@ -867,6 +1081,95 @@ impl Fleet {
         &self.backend
     }
 
+    /// The incident-response engine, when [`FleetConfig::ops`] is set.
+    #[must_use]
+    pub fn ops(&self) -> Option<&OpsEngine> {
+        self.ops.as_ref().map(|o| &o.engine)
+    }
+
+    /// Runs blocked on an explicit ops review, in run-id order (empty
+    /// with ops off).
+    #[must_use]
+    pub fn ops_pending_reviews(&self) -> Vec<u64> {
+        self.ops
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.engine.pending_reviews())
+    }
+
+    /// Delivers a reviewer verdict for a run awaiting its gate and
+    /// executes the follow-on commands (remediation on approve).
+    pub fn ops_review(&mut self, run: u64, decision: GateDecision) {
+        let now_ms = self.now.as_millis();
+        let Some(ops) = &mut self.ops else {
+            return;
+        };
+        let cmds = ops.engine.review(run, decision, now_ms);
+        self.ops_run_commands(cmds, now_ms);
+    }
+
+    /// Remediation rollouts the ops engine has requested but the driver
+    /// has not yet run.
+    #[must_use]
+    pub fn ops_pending_remediations(&self) -> usize {
+        self.ops.as_ref().map_or(0, |o| o.pending_ota.len())
+    }
+
+    /// Runs every pending ops remediation as a staged rollout of the
+    /// next firmware version and reports each outcome back to the
+    /// engine (success feeds the run into verification).
+    ///
+    /// A rollout spans many ticks of fleet time, so the remediating
+    /// run's queue lease must cover it: configure
+    /// [`silvasec_ops::QueueConfig::visibility_timeout_ms`] above the
+    /// expected rollout duration or the engine will treat the rollout
+    /// as abandoned and redeliver the run mid-remediation.
+    pub fn run_ops_remediations(&mut self) -> Vec<RolloutReport> {
+        let pending = match &mut self.ops {
+            Some(ops) => std::mem::take(&mut ops.pending_ota),
+            None => return Vec::new(),
+        };
+        let mut reports = Vec::new();
+        for cmd in pending {
+            // Remediation supersedes the containment freeze.
+            self.ops.as_mut().expect("ops on").rollouts_halted = false;
+            let version = self
+                .backend
+                .published
+                .iter()
+                .map(|b| b.manifest.version)
+                .max()
+                .unwrap_or(0)
+                + 1;
+            let report = self.run_rollout(version);
+            let now_ms = self.now.as_millis();
+            let ok = report.completed;
+            let more = self
+                .ops
+                .as_mut()
+                .expect("ops on")
+                .engine
+                .complete(cmd.id, ok, now_ms);
+            self.ops_run_commands(more, now_ms);
+            reports.push(report);
+        }
+        reports
+    }
+
+    /// Sites currently quarantined by ops containment, ascending.
+    #[must_use]
+    pub fn quarantined_sites(&self) -> Vec<u32> {
+        self.ops
+            .as_ref()
+            .map_or_else(Vec::new, |o| o.quarantined.iter().copied().collect())
+    }
+
+    /// IDS alerts withheld from the SIEM because their site was
+    /// quarantined at drain time.
+    #[must_use]
+    pub fn ops_withheld_alerts(&self) -> u64 {
+        self.ops.as_ref().map_or(0, |o| o.withheld_alerts)
+    }
+
     /// Number of managed sites, full-fidelity and shadow members both.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -1024,5 +1327,44 @@ mod tests {
         bundle
             .verify(backend.trust_store(), 100, FLEET_COMPONENT, 1)
             .unwrap();
+    }
+
+    #[test]
+    fn revoking_the_signer_rejects_old_chain_but_not_new_bundles() {
+        let mut rng = SimRng::from_seed(7);
+        let mut backend = FleetBackend::commission(&mut rng);
+        let old = backend.publish(2, 256, 0, &mut rng);
+        backend.revoke_signer(500);
+        assert_eq!(backend.crls().len(), 1);
+        // The pre-revocation bundle fails chain validation once the CRL
+        // is consulted...
+        let err = old
+            .verify_with_crls(
+                backend.trust_store(),
+                1_000,
+                backend.crls(),
+                FLEET_COMPONENT,
+                1,
+            )
+            .unwrap_err();
+        assert!(matches!(err, BundleError::Chain(_)));
+        // ...while ignoring CRLs (the historical path) still accepts it.
+        old.verify(backend.trust_store(), 1_000, FLEET_COMPONENT, 1)
+            .unwrap();
+        // A bundle published after rotation carries the fresh leaf for
+        // the same pinned signing key: it verifies under the CRLs and
+        // still boots on a device pinned at commissioning.
+        let fresh = backend.publish(3, 256, 1_500, &mut rng);
+        fresh
+            .verify_with_crls(
+                backend.trust_store(),
+                2_000,
+                backend.crls(),
+                FLEET_COMPONENT,
+                1,
+            )
+            .unwrap();
+        let mut device = Device::new(FLEET_COMPONENT, backend.signer_key());
+        assert!(device.boot(&fresh.images).success);
     }
 }

@@ -41,7 +41,7 @@
 use crate::bundle::{BundleError, UpdateBundle};
 use crate::transport::{chunk_count, chunk_wire_len};
 use silvasec_attacks::AttackKind;
-use silvasec_pki::TrustStore;
+use silvasec_pki::{CertificateRevocationList, TrustStore};
 use silvasec_sim::sweep::par_sweep_mut;
 
 /// Shadow-population tuning. Present on a fleet config = two-fidelity
@@ -158,30 +158,12 @@ impl ShadowLayout {
 // A per-site SimRng (ChaCha20 stream + fork labels) costs hundreds of
 // bytes and a keyed setup per site; a shadow site instead derives every
 // random decision from a splitmix64-style hash of (seed, site, …)
-// counters. Deterministic, order-independent, zero state.
+// counters. The hash primitive itself lives in `sim::rng` (shared with
+// the ops engine's lease/backoff jitter); re-exported here because the
+// shadow draw recipes below are specified in terms of it.
 // ---------------------------------------------------------------------
 
-/// SplitMix64 finalizer: a cheap, well-mixed 64→64 bit hash.
-#[must_use]
-pub fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-/// Hash of three counters, suitable as an independent uniform draw per
-/// `(a, b, c)` tuple.
-#[must_use]
-pub fn hash3(a: u64, b: u64, c: u64) -> u64 {
-    mix64(a ^ mix64(b ^ mix64(c)))
-}
-
-/// Maps a hash to a uniform draw in `[0, 1)` (53 mantissa bits).
-#[must_use]
-pub fn u01(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
+pub use silvasec_sim::rng::{hash3, mix64, u01};
 
 /// Per-site key all of a shadow site's draws are derived from.
 #[must_use]
@@ -338,6 +320,9 @@ pub struct ShadowRolloutCtx<'a> {
     pub old_encoded: Option<&'a [u8]>,
     /// Trust store bundles are verified against.
     pub store: &'a TrustStore,
+    /// CRLs the signer chain is checked against (empty outside
+    /// incident-response revocation drills).
+    pub crls: &'a [CertificateRevocationList],
     /// OTA chunk payload size, bytes.
     pub chunk_bytes: usize,
     /// Chunk transmissions per site per tick.
@@ -683,8 +668,12 @@ impl ShadowShard {
         out.batch_verify_calls += 1;
         let shared = match UpdateBundle::decode(bytes) {
             Err(e) => Err(reject_code(e.reason())),
-            Ok(bundle) => match bundle.verify_shared(ctx.store, ctx.now_ms, crate::FLEET_COMPONENT)
-            {
+            Ok(bundle) => match bundle.verify_shared_with_crls(
+                ctx.store,
+                ctx.now_ms,
+                ctx.crls,
+                crate::FLEET_COMPONENT,
+            ) {
                 Ok(()) => Ok(bundle.manifest.version),
                 Err(e) => Err(reject_code(match e {
                     BundleError::Chain(_) => "chain",
@@ -722,7 +711,12 @@ impl ShadowShard {
         match UpdateBundle::decode(&copy) {
             Err(e) => Err(reject_code(e.reason())),
             Ok(bundle) => {
-                match bundle.verify_shared(ctx.store, ctx.now_ms, crate::FLEET_COMPONENT) {
+                match bundle.verify_shared_with_crls(
+                    ctx.store,
+                    ctx.now_ms,
+                    ctx.crls,
+                    crate::FLEET_COMPONENT,
+                ) {
                     Ok(()) => Ok(bundle.manifest.version),
                     Err(e) => Err(reject_code(match e {
                         BundleError::Chain(_) => "chain",

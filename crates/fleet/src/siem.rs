@@ -205,6 +205,30 @@ impl FleetSiem {
     pub fn observations_held(&self) -> usize {
         self.windows.values().map(|w| w.ring.len()).sum()
     }
+
+    /// Distinct sites with a `class` observation still held in the
+    /// class window, ascending — the blast radius incident-response
+    /// containment quarantines when a campaign class must be isolated.
+    #[must_use]
+    pub fn sites_reporting(&self, class: &str) -> Vec<u32> {
+        let Some(window) = self.windows.get(class) else {
+            return Vec::new();
+        };
+        let mut sites: Vec<u32> = window.ring.iter().map(|&(site, _)| site).collect();
+        sites.sort_unstable();
+        sites.dedup();
+        sites
+    }
+
+    /// The newest `class` observation still held in its window, if any —
+    /// incident-response verification asks this to decide whether the
+    /// trouble actually stopped after remediation.
+    #[must_use]
+    pub fn last_alert_at(&self, class: &str) -> Option<u64> {
+        self.windows
+            .get(class)
+            .and_then(|w| w.ring.iter().map(|&(_, at)| at).max())
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +337,27 @@ mod tests {
         // ...and reports only the sites the bounded window retained.
         assert_eq!(fired[0].sites, 4);
         assert_eq!(siem.window_drops_by_class(), vec![("jamming".into(), 4)]);
+    }
+
+    #[test]
+    fn reporting_and_last_seen_queries_track_the_window() {
+        let mut siem = FleetSiem::new(SiemConfig {
+            window_ms: 5_000,
+            k_sites: 2,
+            ..SiemConfig::default()
+        });
+        assert!(siem.sites_reporting("jamming").is_empty());
+        assert_eq!(siem.last_alert_at("jamming"), None);
+        siem.ingest_alert(3, "jamming", 1_000);
+        siem.ingest_alert(1, "jamming", 2_000);
+        siem.ingest_alert(3, "jamming", 2_500);
+        assert_eq!(siem.sites_reporting("jamming"), vec![1, 3]);
+        assert_eq!(siem.last_alert_at("jamming"), Some(2_500));
+        // Ageing happens at correlation time: once the window passes,
+        // both queries see an empty window again.
+        siem.correlate(10_000);
+        assert!(siem.sites_reporting("jamming").is_empty());
+        assert_eq!(siem.last_alert_at("jamming"), None);
     }
 
     #[test]

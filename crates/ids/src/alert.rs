@@ -47,6 +47,23 @@ impl AlertKind {
         }
     }
 
+    /// Parses the stable class name produced by [`AlertKind::as_str`]
+    /// back into the kind. Returns `None` for classes this IDS does not
+    /// raise (fleet-synthesised classes pass through ops as strings).
+    #[must_use]
+    pub fn from_class(class: &str) -> Option<Self> {
+        match class {
+            "deauth-flood" => Some(AlertKind::DeauthFlood),
+            "jamming" => Some(AlertKind::Jamming),
+            "gnss-spoofing" => Some(AlertKind::GnssSpoofing),
+            "gnss-jamming" => Some(AlertKind::GnssJamming),
+            "sensor-blinding" => Some(AlertKind::SensorBlinding),
+            "auth-failure-storm" => Some(AlertKind::AuthFailureStorm),
+            "rogue-association" => Some(AlertKind::RogueAssociation),
+            _ => None,
+        }
+    }
+
     /// The default severity of this alert kind, reflecting how directly
     /// it can compromise a safety function.
     #[must_use]
@@ -82,6 +99,20 @@ impl Severity {
             Severity::Medium => "medium",
             Severity::High => "high",
             Severity::Critical => "critical",
+        }
+    }
+
+    /// Parses the stable name produced by [`Severity::as_str`]. Unknown
+    /// names map to `None` so callers choose their own conservative
+    /// default rather than inheriting one silently.
+    #[must_use]
+    pub fn from_str_name(name: &str) -> Option<Self> {
+        match name {
+            "low" => Some(Severity::Low),
+            "medium" => Some(Severity::Medium),
+            "high" => Some(Severity::High),
+            "critical" => Some(Severity::Critical),
+            _ => None,
         }
     }
 }
@@ -141,6 +172,31 @@ mod tests {
     fn display_names() {
         assert_eq!(AlertKind::DeauthFlood.to_string(), "deauth-flood");
         assert_eq!(AlertKind::Jamming.to_string(), "jamming");
+    }
+
+    #[test]
+    fn class_and_severity_names_roundtrip() {
+        for kind in [
+            AlertKind::DeauthFlood,
+            AlertKind::Jamming,
+            AlertKind::GnssSpoofing,
+            AlertKind::GnssJamming,
+            AlertKind::SensorBlinding,
+            AlertKind::AuthFailureStorm,
+            AlertKind::RogueAssociation,
+        ] {
+            assert_eq!(AlertKind::from_class(kind.as_str()), Some(kind));
+        }
+        assert_eq!(AlertKind::from_class("not-a-class"), None);
+        for sev in [
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+            Severity::Critical,
+        ] {
+            assert_eq!(Severity::from_str_name(sev.as_str()), Some(sev));
+        }
+        assert_eq!(Severity::from_str_name("catastrophic"), None);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Review gates between containment and remediation.
+//!
+//! Containment is cheap to undo (un-quarantine a site); remediation —
+//! pushing firmware at the whole fleet — is not. The gate is where a
+//! human (or an auto-approve policy standing in for one) confirms the
+//! blast radius before the engine proceeds. A gate that nobody answers
+//! does not stall the incident forever: after
+//! [`GatePolicy::review_timeout_ms`] the run escalates, which is the
+//! honest outcome — "no reviewer was available" is itself a finding.
+
+use silvasec_ids::alert::Severity;
+
+/// A gate verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDecision {
+    /// Proceed to remediation.
+    Approve,
+    /// Do not remediate automatically; escalate to a human.
+    Reject,
+}
+
+impl GateDecision {
+    /// Short stable name, used as a telemetry label.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            GateDecision::Approve => "approve",
+            GateDecision::Reject => "reject",
+        }
+    }
+}
+
+/// When the gate may decide on its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatePolicy {
+    /// Incidents at or below this severity are approved automatically;
+    /// `None` means every run needs an explicit review.
+    pub auto_approve_max: Option<Severity>,
+    /// How long a pending review may wait before the run escalates.
+    pub review_timeout_ms: u64,
+}
+
+impl Default for GatePolicy {
+    fn default() -> Self {
+        GatePolicy {
+            auto_approve_max: Some(Severity::High),
+            review_timeout_ms: 60_000,
+        }
+    }
+}
+
+impl GatePolicy {
+    /// The policy's automatic verdict for `severity`, or `None` when an
+    /// explicit review is required.
+    #[must_use]
+    pub fn auto_decision(&self, severity: Severity) -> Option<GateDecision> {
+        match self.auto_approve_max {
+            Some(max) if severity <= max => Some(GateDecision::Approve),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_approves_up_to_threshold() {
+        let p = GatePolicy::default();
+        assert_eq!(p.auto_decision(Severity::Low), Some(GateDecision::Approve));
+        assert_eq!(p.auto_decision(Severity::High), Some(GateDecision::Approve));
+        assert_eq!(p.auto_decision(Severity::Critical), None);
+    }
+
+    #[test]
+    fn manual_only_policy_never_auto_decides() {
+        let p = GatePolicy {
+            auto_approve_max: None,
+            review_timeout_ms: 1_000,
+        };
+        for sev in [
+            Severity::Low,
+            Severity::Medium,
+            Severity::High,
+            Severity::Critical,
+        ] {
+            assert_eq!(p.auto_decision(sev), None);
+        }
+    }
+
+    #[test]
+    fn decision_names() {
+        assert_eq!(GateDecision::Approve.as_str(), "approve");
+        assert_eq!(GateDecision::Reject.as_str(), "reject");
+    }
+}

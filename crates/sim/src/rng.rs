@@ -168,6 +168,38 @@ impl SimRng {
     }
 }
 
+// ---------------------------------------------------------------------
+// Stateless counter-based randomness.
+//
+// A full SimRng (ChaCha20 stream + fork labels) costs hundreds of bytes
+// and a keyed setup per consumer; components that need one independent
+// uniform draw per *counter tuple* — shadow fleet sites, ops queue
+// backoff jitter — instead derive it from a splitmix64-style hash of
+// (seed, id, …). Deterministic, order-independent, zero state.
+// ---------------------------------------------------------------------
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64→64 bit hash.
+#[must_use]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash of three counters, suitable as an independent uniform draw per
+/// `(a, b, c)` tuple.
+#[must_use]
+pub fn hash3(a: u64, b: u64, c: u64) -> u64 {
+    mix64(a ^ mix64(b ^ mix64(c)))
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)` (53 mantissa bits).
+#[must_use]
+pub fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +270,21 @@ mod tests {
         let many = [1u32, 2, 3];
         for _ in 0..20 {
             assert!(many.contains(rng.choose(&many).unwrap()));
+        }
+    }
+
+    #[test]
+    fn stateless_hash_is_deterministic_and_uniform() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        assert_eq!(u01(hash3(1, 2, 3)), u01(hash3(1, 2, 3)));
+        assert_ne!(u01(hash3(1, 2, 3)), u01(hash3(1, 2, 4)));
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| u01(mix64(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        for i in 0..1_000u64 {
+            let v = u01(mix64(i));
+            assert!((0.0..1.0).contains(&v));
         }
     }
 

@@ -248,6 +248,66 @@ pub enum Event {
         /// Shadow sites in the shard that rejected the bundle this tick.
         rejected: u32,
     },
+    /// An incident was accepted into the ops engine's durable queue.
+    OpsEnqueue {
+        /// Deterministic run id (canonical incident hash ⊕ occurrence).
+        run: u64,
+        /// Incident alert class.
+        class: Label,
+        /// Incident severity ("low", ..., "critical").
+        severity: Label,
+        /// Affected site index; `u32::MAX` means fleet scope.
+        site: u32,
+        /// Distinct sites involved (1 for site scope).
+        sites: u32,
+    },
+    /// An enqueue was recognised as a duplicate of an open run and
+    /// folded into it instead of opening a second run.
+    OpsDedup {
+        /// Run id the duplicate folded into.
+        run: u64,
+        /// Total duplicates folded into the run so far.
+        duplicates: u32,
+    },
+    /// The queue leased an incident to the workflow engine.
+    OpsLease {
+        /// Run id of the leased incident.
+        run: u64,
+        /// 1-based delivery attempt (2+ = redelivery after lease expiry
+        /// or an explicit nack).
+        delivery: u32,
+    },
+    /// A workflow step transition was committed to the run store.
+    OpsStep {
+        /// Run id the transition belongs to.
+        run: u64,
+        /// Step transitioned from ("triage", "contain", ...).
+        from: Label,
+        /// Step transitioned to.
+        to: Label,
+        /// 1-based attempt number of the `from` step (Silas ladder:
+        /// 1..=retries are retries, then consult, re-plan, escalate).
+        attempt: u32,
+        /// Whether the `from` step's action succeeded.
+        ok: bool,
+    },
+    /// A review gate decided between containment and remediation.
+    OpsGate {
+        /// Run id the gate belongs to.
+        run: u64,
+        /// Decision tag ("approve", "reject").
+        decision: Label,
+        /// `true` when an auto-approve policy decided, `false` for an
+        /// explicit reviewer verdict.
+        auto: bool,
+    },
+    /// An incident exhausted its delivery budget and was dead-lettered.
+    OpsDeadLetter {
+        /// Run id of the dead-lettered incident.
+        run: u64,
+        /// Deliveries consumed before giving up.
+        deliveries: u32,
+    },
 }
 
 /// The kind tag of an [`Event`], used for subscriber filtering.
@@ -292,6 +352,18 @@ pub enum EventKind {
     Custom,
     /// [`Event::ShadowWave`].
     ShadowWave,
+    /// [`Event::OpsEnqueue`].
+    OpsEnqueue,
+    /// [`Event::OpsDedup`].
+    OpsDedup,
+    /// [`Event::OpsLease`].
+    OpsLease,
+    /// [`Event::OpsStep`].
+    OpsStep,
+    /// [`Event::OpsGate`].
+    OpsGate,
+    /// [`Event::OpsDeadLetter`].
+    OpsDeadLetter,
 }
 
 impl EventKind {
@@ -326,6 +398,12 @@ impl Event {
             Event::CampaignAlert { .. } => EventKind::CampaignAlert,
             Event::Custom { .. } => EventKind::Custom,
             Event::ShadowWave { .. } => EventKind::ShadowWave,
+            Event::OpsEnqueue { .. } => EventKind::OpsEnqueue,
+            Event::OpsDedup { .. } => EventKind::OpsDedup,
+            Event::OpsLease { .. } => EventKind::OpsLease,
+            Event::OpsStep { .. } => EventKind::OpsStep,
+            Event::OpsGate { .. } => EventKind::OpsGate,
+            Event::OpsDeadLetter { .. } => EventKind::OpsDeadLetter,
         }
     }
 }
@@ -370,7 +448,13 @@ impl EventFilter {
                 | EventKind::UpdateApply.bit()
                 | EventKind::RolloutWave.bit()
                 | EventKind::CampaignAlert.bit()
-                | EventKind::ShadowWave.bit(),
+                | EventKind::ShadowWave.bit()
+                | EventKind::OpsEnqueue.bit()
+                | EventKind::OpsDedup.bit()
+                | EventKind::OpsLease.bit()
+                | EventKind::OpsStep.bit()
+                | EventKind::OpsGate.bit()
+                | EventKind::OpsDeadLetter.bit(),
         )
     }
 
@@ -452,6 +536,10 @@ mod tests {
         assert!(s.allows(EventKind::RolloutWave));
         assert!(s.allows(EventKind::CampaignAlert));
         assert!(s.allows(EventKind::ShadowWave));
+        assert!(s.allows(EventKind::OpsEnqueue));
+        assert!(s.allows(EventKind::OpsStep));
+        assert!(s.allows(EventKind::OpsGate));
+        assert!(s.allows(EventKind::OpsDeadLetter));
         assert!(!s.allows(EventKind::FrameTx));
         assert!(!s.allows(EventKind::SensorReading));
     }

@@ -1,0 +1,133 @@
+//! End-to-end incident response over the real fleet: a sustained
+//! fleet-wide deauthentication flood correlates into a SIEM campaign,
+//! the ops engine contains it (site quarantine, rollout halt), the
+//! critical campaign run waits at its review gate, an approve drives
+//! the deferred OTA remediation through the staged rollout machinery,
+//! SIEM-quiet verification passes, and every run closes — with the
+//! whole audit trail replaying byte-identically from the fleet's
+//! security trace.
+
+use silvasec::experiments::run_fleet_ops_scenario;
+use silvasec::ops::{GateDecision, RunStore, Step, FLEET_SITE};
+use silvasec::sim::time::SimDuration;
+
+#[test]
+fn campaign_is_contained_reviewed_remediated_and_verified_closed() {
+    let mut fleet = run_fleet_ops_scenario(4, 11);
+
+    // The flood correlated into a coordinated campaign...
+    assert!(
+        !fleet.siem().campaigns().is_empty(),
+        "deauth flood must correlate into a campaign"
+    );
+    // ...whose reporting sites containment quarantined, so their
+    // subsequent alerts were withheld from the SIEM.
+    assert!(
+        !fleet.quarantined_sites().is_empty(),
+        "containment quarantines the reporting sites"
+    );
+    assert!(
+        fleet.ops_withheld_alerts() > 0,
+        "quarantined sites stop feeding the SIEM"
+    );
+
+    // The critical campaign run is blocked at its review gate; the
+    // High-severity per-site runs auto-approved and parked their OTA
+    // remediations for the driver.
+    let reviews = fleet.ops_pending_reviews();
+    assert!(!reviews.is_empty(), "campaign run awaits explicit review");
+    for run in reviews {
+        fleet.ops_review(run, GateDecision::Approve);
+    }
+    assert!(
+        fleet.ops_pending_remediations() > 0,
+        "approved runs queue OTA remediations"
+    );
+
+    // Remediate: every parked rollout runs to completion (clearing the
+    // containment halt first), and verification re-checks the SIEM.
+    let reports = fleet.run_ops_remediations();
+    assert!(!reports.is_empty());
+    assert!(
+        reports.iter().all(|r| r.completed),
+        "remediation rollouts must complete: {reports:?}"
+    );
+    assert!(fleet.installed_version(0) >= 2, "sites took the fix");
+
+    // Drain the tail: runs opened by alerts near the end of the window
+    // (or parked on a backoff redelivery) still need engine ticks, which
+    // the fleet drives from its own clock. Keep the operator loop going
+    // — review, remediate, advance — until the engine is idle.
+    for _ in 0..20 {
+        if fleet.ops().expect("ops enabled").idle() {
+            break;
+        }
+        fleet.run(SimDuration::from_secs(10));
+        for run in fleet.ops_pending_reviews() {
+            fleet.ops_review(run, GateDecision::Approve);
+        }
+        if fleet.ops_pending_remediations() > 0 {
+            fleet.run_ops_remediations();
+        }
+    }
+
+    // Every opened run settled; the campaign run took the full arc
+    // through containment, review, remediation and verification.
+    let engine = fleet.ops().expect("ops enabled");
+    let counters = engine.store().counters();
+    assert!(counters.closed > 0, "verified closes: {counters:?}");
+    assert_eq!(
+        counters.settled(),
+        counters.opened,
+        "no runs left open: {counters:?}"
+    );
+    assert!(engine.idle());
+    assert!(engine.queue_conserves());
+    let campaign_run = engine
+        .store()
+        .runs()
+        .find(|r| r.site == FLEET_SITE)
+        .expect("fleet-scope campaign run recorded");
+    assert_eq!(campaign_run.state, Step::Close);
+    assert_eq!(
+        campaign_run.gate,
+        Some(("approve".to_string(), false)),
+        "campaign gate decided by the explicit reviewer, not auto-policy"
+    );
+    assert!(
+        campaign_run
+            .transitions
+            .iter()
+            .any(|t| t.from == Step::Remediate && t.to == Step::Verify && t.ok),
+        "remediation verified before close"
+    );
+
+    // The audit trail lands in the same fleet security trace as the
+    // IDS/SIEM events, and rebuilds the run store byte-identically.
+    let replayed = RunStore::replay_from_jsonl(&fleet.export_trace_jsonl()).expect("trace replays");
+    assert_eq!(replayed.digest(), engine.store().digest());
+    assert_eq!(engine.store().first_divergence(&replayed), None);
+}
+
+#[test]
+fn rejected_review_escalates_instead_of_remediating() {
+    let mut fleet = run_fleet_ops_scenario(4, 17);
+    let reviews = fleet.ops_pending_reviews();
+    assert!(!reviews.is_empty(), "campaign run awaits explicit review");
+    let before = fleet.ops_pending_remediations();
+    for run in &reviews {
+        fleet.ops_review(*run, GateDecision::Reject);
+    }
+    assert_eq!(
+        fleet.ops_pending_remediations(),
+        before,
+        "a rejected run must not queue remediation"
+    );
+    let engine = fleet.ops().expect("ops enabled");
+    for run in reviews {
+        let record = engine.store().run(run).expect("reviewed run recorded");
+        assert_eq!(record.state, Step::Escalate);
+        assert_eq!(record.gate, Some(("reject".to_string(), false)));
+    }
+    assert!(engine.store().counters().escalated >= 1);
+}
