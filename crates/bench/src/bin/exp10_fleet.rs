@@ -34,10 +34,11 @@
 //! (pass `--sites-max 4` for a CI-sized smoke run, `--seed N` to vary
 //! the fleet seed).
 
-use serde::{Serialize, Value};
+use serde::Serialize;
 use silvasec::experiments::{run_fleet_rollout, FleetScenario};
 use silvasec::fleet::RolloutReport;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
+use silvasec_bench::{append_trajectory_run, run_keys, trajectory_out_path};
 
 const FLEET_SIZES: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 const DEFAULT_SEED: u64 = 11;
@@ -105,25 +106,6 @@ struct RunEntry {
     bundle_verify_max_us: u64,
     /// Per-size clean rows (latency/bandwidth scaling).
     clean_rows: Vec<SizeRow>,
-}
-
-/// Loads the existing trajectory file and returns its `runs` array.
-fn existing_runs(path: &std::path::Path) -> Vec<Value> {
-    let Ok(text) = std::fs::read_to_string(path) else {
-        return Vec::new();
-    };
-    let Ok(value) = serde_json::parse(&text) else {
-        eprintln!(
-            "warning: {} is not valid JSON; starting a fresh trajectory",
-            path.display()
-        );
-        return Vec::new();
-    };
-    value
-        .get_field("runs")
-        .as_array()
-        .map(<[Value]>::to_vec)
-        .unwrap_or_default()
 }
 
 fn parse_args() -> (usize, u64) {
@@ -275,9 +257,10 @@ fn main() {
         .map(|(i, _)| results[i].0.applied_sites)
         .sum();
     let last_clean = clean_rows.last().expect("non-empty");
+    let (git_sha, run_ts) = run_keys();
     let entry = RunEntry {
-        git_sha: std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
-        run_ts: std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
+        git_sha,
+        run_ts,
         seed,
         workers: stats.workers,
         fleet_sizes: sizes.clone(),
@@ -335,21 +318,6 @@ fn main() {
     );
     println!("deterministic: same-seed traces at {max_sites} sites byte-identical");
 
-    let out_path = std::env::var("SILVASEC_FLEET_OUT").map_or_else(
-        |_| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exp10_fleet.json"),
-        std::path::PathBuf::from,
-    );
-    let mut runs = existing_runs(&out_path);
-    runs.push(entry.serialize());
-    let run_count = runs.len();
-    let trajectory = Value::Object(vec![
-        (
-            "schema".to_string(),
-            Value::String("silvasec-fleet-trajectory/1".to_string()),
-        ),
-        ("runs".to_string(), Value::Array(runs)),
-    ]);
-    let text = serde_json::to_string_pretty(&trajectory).expect("trajectory serializes");
-    std::fs::write(&out_path, text).expect("write trajectory file");
-    eprintln!("appended run ({run_count} total) to {}", out_path.display());
+    let out_path = trajectory_out_path("SILVASEC_FLEET_OUT", "BENCH_exp10_fleet.json");
+    append_trajectory_run(&out_path, "silvasec-fleet-trajectory/1", None, &entry);
 }

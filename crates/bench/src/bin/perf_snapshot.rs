@@ -91,6 +91,43 @@ struct RunEntry {
     /// see `exp13_ops` / `BENCH_ops.json` for the full 10 → 10k sweep
     /// with the determinism, replay and accounting proofs).
     ops: OpsHeadline,
+    /// Generative TARA headline (one 10⁵-scenario enumeration — see
+    /// `exp11_tara` / `BENCH_tara.json` for the full 10² → 10⁶ sweep
+    /// with the determinism, dedup and oracle proofs).
+    tara: TaraHeadline,
+}
+
+/// Generative TARA enumeration throughput at one mid-size point.
+#[derive(Debug, Serialize)]
+struct TaraHeadline {
+    /// Scenario cells enumerated, deduped and scored.
+    scenarios: u64,
+    /// Enumerated scenarios per wall-clock second.
+    scenarios_per_s: f64,
+    /// Scenarios kept in the deterministic ranking.
+    top_k: usize,
+}
+
+fn tara_headline() -> TaraHeadline {
+    use silvasec::risk::catalog::worksite_model;
+    use silvasec::tara::{ScenarioSpace, TaraCatalog};
+    const TARGET: u64 = 100_000;
+    const TOP_K: usize = 64;
+    let catalog = TaraCatalog::from_model(&worksite_model());
+    let variants = ScenarioSpace::variants_for(&catalog, TARGET);
+    let space = ScenarioSpace::new(&catalog, 11, variants, TOP_K);
+    let t0 = Instant::now();
+    let report = space.enumerate_parallel();
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        report.enumerated >= TARGET && report.top.len() <= TOP_K,
+        "tara headline enumeration must cover the target: {report:?}"
+    );
+    TaraHeadline {
+        scenarios: report.enumerated,
+        scenarios_per_s: report.enumerated as f64 / wall_s.max(1e-9),
+        top_k: report.top.len(),
+    }
 }
 
 /// Incident-response workflow throughput at one mid-size load point.
@@ -325,6 +362,9 @@ fn main() {
     // Incident-response ops headline throughput.
     let ops = ops_headline();
 
+    // Generative TARA enumeration headline throughput.
+    let tara = tara_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -348,6 +388,7 @@ fn main() {
         session,
         fleet_scale,
         ops,
+        tara,
     };
 
     assert!(

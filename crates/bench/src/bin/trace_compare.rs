@@ -24,7 +24,14 @@
 //!   run's store is rebuilt from nothing but its own recorded trace and
 //!   diffed against the live store (`RunStore::first_divergence`) — a
 //!   live-vs-replay divergence fails the run even when the seeds
-//!   differ, making this the self-driving replay witness for CI.
+//!   differ, making this the self-driving replay witness for CI;
+//! * `trace_compare --tara <seed-a> <seed-b> [sites]` — run the E11
+//!   live-hypothesis fleet scenario twice (default 4 sites) and compare
+//!   the security traces. Before comparing, the left run's TARA
+//!   hypothesis set is rebuilt from nothing but the recorded
+//!   `TaraHypothesis` events (`HypothesisSet::replay_from_jsonl`) and
+//!   diffed against the live set — a live-vs-replay divergence fails
+//!   the run even when the seeds differ.
 //!
 //! `--max-events N` (any mode) stops after the first `N` events: a
 //! bounded spot-check that keeps CI diffs of fleet-scale traces cheap.
@@ -43,16 +50,18 @@
 //! Run with: `cargo run --release -p silvasec-bench --bin trace_compare -- --figure1 11 12`
 
 use silvasec::experiments::{
-    figure1_trace, run_fleet_rollout, run_fleet_scale_point, run_ops_load, FleetScenario,
+    figure1_trace, run_fleet_rollout, run_fleet_scale_point, run_ops_load, run_tara_hypotheses,
+    tara_ranking, FleetScenario,
 };
 use silvasec::ops::RunStore;
 use silvasec::prelude::*;
+use silvasec::tara::HypothesisSet;
 use silvasec::telemetry::first_divergence_jsonl;
 use silvasec_sim::time::SimDuration;
 use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --ops <seed-a> <seed-b> [incidents]";
+const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --ops <seed-a> <seed-b> [incidents]\n       trace_compare [--max-events N] --tara <seed-a> <seed-b> [sites]";
 
 fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
     match first_divergence_jsonl(left, right) {
@@ -311,6 +320,54 @@ fn main() -> ExitCode {
                 &format!("ops seed {seed_a}"),
                 &left,
                 &format!("ops seed {seed_b}"),
+                &right,
+            )
+        }
+        Some("--tara") => {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let sites = match args.get(3).map(|s| s.parse::<usize>()) {
+                Some(Ok(s)) => s,
+                None => 4,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let left_fleet = run_tara_hypotheses(sites, seed_a);
+            let right_fleet = run_tara_hypotheses(sites, seed_b);
+            let left = left_fleet.export_trace_jsonl();
+            // Replay witness on the full (untruncated) left trace: the
+            // hypothesis set rebuilt from nothing but the recorded
+            // `TaraHypothesis` events must be identical to the live one,
+            // whatever the seeds.
+            let live = left_fleet.tara().expect("tara knob is on in E11");
+            let replayed = match HypothesisSet::replay_from_jsonl(tara_ranking(seed_a), &left) {
+                Ok(set) => set,
+                Err(e) => {
+                    eprintln!("error: left tara trace does not replay: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(div) = replayed.first_divergence(live) {
+                println!("live and replayed hypothesis sets diverge:");
+                println!("  {div}");
+                return ExitCode::FAILURE;
+            }
+            let (open, confirmed, retired) = live.counts();
+            println!(
+                "replay: hypothesis set rebuilt from the recorded trace is identical to the \
+                 live set ({open} open, {confirmed} confirmed, {retired} retired)"
+            );
+            let left = truncated(&left, max_events);
+            let right = truncated(&right_fleet.export_trace_jsonl(), max_events);
+            dump(&left);
+            compare(
+                &format!("tara seed {seed_a}"),
+                &left,
+                &format!("tara seed {seed_b}"),
                 &right,
             )
         }

@@ -1075,7 +1075,8 @@ pub fn run_ops_load(incidents: usize, seed: u64) -> (silvasec_ops::OpsEngine, St
                 continue;
             }
             verdicts += 1;
-            let ok = !(matches!(cmd.action, Action::QuarantineSite { .. }) && verdicts.is_multiple_of(13));
+            let ok = !(matches!(cmd.action, Action::QuarantineSite { .. })
+                && verdicts.is_multiple_of(13));
             cmds.extend(engine.complete(cmd.id, ok, now));
         }
     };
@@ -1133,6 +1134,56 @@ pub fn run_ops_load(incidents: usize, seed: u64) -> (silvasec_ops::OpsEngine, St
         }
     }
     panic!("ops load of {incidents} incidents not settled after {max_ticks} ticks");
+}
+
+// ---------------------------------------------------------------------
+// E11: generative TARA (scenario enumeration and live hypotheses)
+// ---------------------------------------------------------------------
+
+/// The standard E11 TARA knob for fleet wiring: a ranking wide enough
+/// that every distinct scenario of the two-variant space (4 000) becomes
+/// a live hypothesis, so campaign evidence of *any* attack class finds
+/// hypotheses to confirm and the rollout mitigation finds the
+/// firmware-tampering ones to retire.
+#[must_use]
+pub fn tara_config() -> silvasec_fleet::TaraConfig {
+    silvasec_fleet::TaraConfig {
+        variants: 2,
+        top_k: 4_096,
+    }
+}
+
+/// The exact ranking a fleet commissioned with `seed` under
+/// [`tara_config`] carries — what `trace_compare --tara` replays the
+/// hypothesis trace against.
+#[must_use]
+pub fn tara_ranking(seed: u64) -> Vec<silvasec_tara::ScoredScenario> {
+    let tc = tara_config();
+    let catalog = silvasec_tara::TaraCatalog::from_model(&catalog::worksite_model());
+    silvasec_tara::ScenarioSpace::new(&catalog, seed, tc.variants, tc.top_k)
+        .enumerate()
+        .top
+}
+
+/// Runs the E11 live-hypothesis scenario: the E10 fleet with the
+/// generative TARA on, a sustained fleet-wide deauthentication flood
+/// that correlates into a SIEM campaign (confirming the matching
+/// hypotheses), then a completed version-2 rollout whose mitigation
+/// retires the firmware-tampering hypotheses. Probe the result through
+/// [`silvasec_fleet::Fleet::tara`] and the fleet trace.
+#[must_use]
+pub fn run_tara_hypotheses(sites: usize, seed: u64) -> silvasec_fleet::Fleet {
+    let mut config = fleet_config(sites);
+    config.tara = Some(tara_config());
+    let mut fleet = silvasec_fleet::Fleet::new(config, seed);
+    fleet.schedule_fleet_attack(campaign_for(
+        AttackKind::DeauthFlood,
+        SimTime::from_secs(5),
+        SimDuration::from_secs(60),
+    ));
+    fleet.run(SimDuration::from_secs(90));
+    let _ = fleet.run_rollout(2);
+    fleet
 }
 
 #[cfg(test)]
@@ -1236,5 +1287,32 @@ mod tests {
         let (engine2, trace2) = run_ops_load(100, 7);
         assert_eq!(engine2.store().digest(), engine.store().digest());
         assert_eq!(trace2, trace);
+    }
+
+    #[test]
+    fn tara_hypotheses_confirm_retire_and_replay_from_the_trace() {
+        use silvasec_tara::{HypothesisSet, HypothesisStatus};
+
+        let fleet = run_tara_hypotheses(4, 11);
+        let tara = fleet.tara().expect("tara knob on");
+        let (_, confirmed, retired) = tara.counts();
+        assert!(confirmed > 0, "campaign evidence must confirm hypotheses");
+        assert!(retired > 0, "rollout mitigation must retire hypotheses");
+        assert!(tara
+            .hypotheses()
+            .iter()
+            .filter(|h| h.status == HypothesisStatus::Retired)
+            .all(|h| h.scenario.attack_class == "firmware-tampering"));
+
+        // The hypothesis state is a pure function of the trace: rebuild
+        // it from the JSONL alone and compare.
+        let replayed =
+            HypothesisSet::replay_from_jsonl(tara_ranking(11), &fleet.export_trace_jsonl())
+                .unwrap();
+        assert_eq!(replayed.first_divergence(tara), None);
+
+        // And the scenario itself is deterministic.
+        let fleet2 = run_tara_hypotheses(4, 11);
+        assert_eq!(fleet2.export_trace_jsonl(), fleet.export_trace_jsonl());
     }
 }

@@ -31,6 +31,7 @@
 //! | Flight recorder & metrics | [`silvasec_telemetry`] |
 //! | Fleet operations & OTA | [`silvasec_fleet`] |
 //! | Incident-response workflows | [`silvasec_ops`] |
+//! | Generative TARA engine | [`silvasec_tara`] |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub use silvasec_risk as risk;
 pub use silvasec_secure_boot as secure_boot;
 pub use silvasec_sim as sim;
 pub use silvasec_sos as sos;
+pub use silvasec_tara as tara;
 pub use silvasec_telemetry as telemetry;
 
 /// Convenient glob import across the whole toolkit.
@@ -87,5 +89,6 @@ pub mod prelude {
     pub use silvasec_secure_boot::prelude::*;
     pub use silvasec_sim::prelude::*;
     pub use silvasec_sos::prelude::*;
+    pub use silvasec_tara::prelude::*;
     pub use silvasec_telemetry::prelude::*;
 }

@@ -28,6 +28,7 @@ use silvasec_sim::geom::Vec2;
 use silvasec_sim::rng::SimRng;
 use silvasec_sim::time::{SimDuration, SimTime};
 use silvasec_sos::{Worksite, WorksiteConfig};
+use silvasec_tara::{HypothesisSet, ScenarioSpace, TaraCatalog};
 use silvasec_telemetry::{Event, EventFilter, EventKind, Label, Recorder, SubscriberId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -74,6 +75,33 @@ pub struct FleetConfig {
     /// keeps incident response off — byte-identical to the historical
     /// behaviour.
     pub ops: Option<OpsConfig>,
+    /// Generative-TARA mode: when set, the fleet enumerates and ranks
+    /// threat scenarios at commissioning and carries the top-k as live
+    /// hypotheses — SIEM-correlated campaigns confirm them, completed
+    /// mitigations retire them, every transition a `TaraHypothesis`
+    /// trace event. `None` (the default) keeps the generative TARA
+    /// off — byte-identical to the historical behaviour.
+    pub tara: Option<TaraConfig>,
+}
+
+/// Generative-TARA tuning for the fleet's live hypotheses.
+#[derive(Debug, Clone, Copy)]
+pub struct TaraConfig {
+    /// Attack-path variants enumerated per canonical scenario cell
+    /// (variant 0 is the unperturbed baseline).
+    pub variants: u32,
+    /// Ranking capacity: how many top-risk scenarios become live
+    /// hypotheses.
+    pub top_k: usize,
+}
+
+impl Default for TaraConfig {
+    fn default() -> Self {
+        TaraConfig {
+            variants: 2,
+            top_k: 64,
+        }
+    }
 }
 
 impl Default for FleetConfig {
@@ -90,6 +118,7 @@ impl Default for FleetConfig {
             max_rollout_ticks: 4_000,
             shadow: None,
             ops: None,
+            tara: None,
         }
     }
 }
@@ -309,6 +338,7 @@ pub struct Fleet {
     shadow_campaigns: Vec<ShadowCampaign>,
     siem: FleetSiem,
     risk: ContinuousAssessment,
+    tara: Option<HypothesisSet>,
     ops: Option<OpsRuntime>,
     recorder: Recorder,
     trace_sub: SubscriberId,
@@ -351,6 +381,19 @@ impl Fleet {
         let trace_sub = recorder.subscribe_filtered("fleet", 65_536, EventFilter::security());
         let mut risk = ContinuousAssessment::new(worksite_model());
         risk.set_recorder(recorder.clone());
+
+        // Generative TARA: enumerate and rank once at commissioning
+        // (the model is static), then carry the top-k as live
+        // hypotheses wired into the same trace recorder.
+        let tara = config.tara.map(|tc| {
+            let catalog = TaraCatalog::from_model(&worksite_model());
+            let top = ScenarioSpace::new(&catalog, seed, tc.variants, tc.top_k)
+                .enumerate()
+                .top;
+            let mut set = HypothesisSet::from_ranking(top);
+            set.set_recorder(recorder.clone());
+            set
+        });
 
         // Two-fidelity split: with a shadow config, only the sampled
         // subset is commissioned as a full worksite (keyed by its
@@ -410,6 +453,7 @@ impl Fleet {
             shadows,
             shadow_campaigns: Vec::new(),
             risk,
+            tara,
             ops,
             recorder,
             trace_sub,
@@ -610,6 +654,15 @@ impl Fleet {
                 attack_class: alert_class_to_attack_class(&campaign.class).to_string(),
                 at_ms: campaign.at_ms,
             });
+            if let Some(tara) = &mut self.tara {
+                // Correlated multi-site evidence confirms every open
+                // hypothesis of the campaign's attack class.
+                tara.confirm(
+                    alert_class_to_attack_class(&campaign.class),
+                    campaign.sites,
+                    campaign.at_ms,
+                );
+            }
             if ops_on {
                 // A correlated multi-site campaign is always critical:
                 // it passes no auto-approve gate without review.
@@ -689,8 +742,11 @@ impl Fleet {
                     .is_none_or(|at| at < *since_ms),
             ),
             Action::MitigateRisk { class } => {
-                self.risk
-                    .mitigate(alert_class_to_attack_class(class), now_ms);
+                let attack_class = alert_class_to_attack_class(class);
+                self.risk.mitigate(attack_class, now_ms);
+                if let Some(tara) = &mut self.tara {
+                    tara.retire(attack_class, now_ms);
+                }
                 Some(true)
             }
         }
@@ -988,6 +1044,9 @@ impl Fleet {
                 // escalation that motivated the rollout.
                 self.risk
                     .mitigate("firmware-tampering", self.now.as_millis());
+                if let Some(tara) = &mut self.tara {
+                    tara.retire("firmware-tampering", self.now.as_millis());
+                }
                 break;
             }
         }
@@ -1085,6 +1144,12 @@ impl Fleet {
     #[must_use]
     pub fn ops(&self) -> Option<&OpsEngine> {
         self.ops.as_ref().map(|o| &o.engine)
+    }
+
+    /// The live TARA hypotheses, when [`FleetConfig::tara`] is set.
+    #[must_use]
+    pub fn tara(&self) -> Option<&HypothesisSet> {
+        self.tara.as_ref()
     }
 
     /// Runs blocked on an explicit ops review, in run-id order (empty
@@ -1291,6 +1356,7 @@ pub struct FleetSecuritySnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use silvasec_tara::HypothesisStatus;
 
     fn small_config(sites: usize) -> FleetConfig {
         FleetConfig {
@@ -1317,6 +1383,49 @@ mod tests {
         for site in 0..fleet.len() {
             assert_eq!(fleet.installed_version(site), 2);
         }
+    }
+
+    #[test]
+    fn tara_knob_carries_hypotheses_and_rollout_retires_firmware_tampering() {
+        // Rank wide enough that every distinct scenario (2000 per
+        // variant) becomes a hypothesis, so the firmware-tampering
+        // retirement below is observable.
+        let tc = TaraConfig {
+            variants: 1,
+            top_k: 2_048,
+        };
+        let config = FleetConfig {
+            tara: Some(tc),
+            ..small_config(3)
+        };
+        let mut fleet = Fleet::new(config, 42);
+        let tara = fleet.tara().expect("tara knob on");
+        assert_eq!(tara.hypotheses().len(), 2_000);
+        let (open, confirmed, retired) = tara.counts();
+        assert_eq!((confirmed, retired), (0, 0));
+        assert!(open > 0);
+
+        // A completed rollout mitigates firmware-tampering: the matching
+        // hypotheses retire and the transitions land in the fleet trace.
+        let report = fleet.run_rollout(2);
+        assert!(report.completed);
+        let tara = fleet.tara().expect("tara knob on");
+        let retired_classes: Vec<&str> = tara
+            .hypotheses()
+            .iter()
+            .filter(|h| h.status == HypothesisStatus::Retired)
+            .map(|h| h.scenario.attack_class.as_str())
+            .collect();
+        assert!(!retired_classes.is_empty());
+        assert!(retired_classes.iter().all(|c| *c == "firmware-tampering"));
+        let trace = fleet.export_trace_jsonl();
+        assert!(trace.contains("TaraHypothesis"), "transitions are traced");
+
+        // With the knob off (the default), nothing TARA-shaped exists.
+        let mut off = Fleet::new(small_config(3), 42);
+        assert!(off.tara().is_none());
+        let _ = off.run_rollout(2);
+        assert!(!off.export_trace_jsonl().contains("TaraHypothesis"));
     }
 
     #[test]

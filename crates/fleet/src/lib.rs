@@ -27,6 +27,12 @@
 //!   order-preserving merge and one Fiat–Shamir batched bundle
 //!   verification per shard, so a million-site control plane stays
 //!   tractable and byte-identical to a sequential reference.
+//! * **Live TARA hypotheses** — with [`FleetConfig::tara`] set, the
+//!   generative TARA of `silvasec-tara` ranks the worksite's threat
+//!   scenarios at commissioning and the fleet carries the top-k as
+//!   live hypotheses: SIEM-correlated campaigns confirm them,
+//!   completed mitigations retire them, and every transition lands in
+//!   the fleet trace as a `TaraHypothesis` event.
 //!
 //! [`Worksite`]: silvasec_sos::Worksite
 //!
@@ -53,7 +59,9 @@ pub mod siem;
 pub mod transport;
 
 pub use bundle::{BundleError, UpdateBundle, UpdateManifest};
-pub use fleet::{Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, FLEET_COMPONENT};
+pub use fleet::{
+    Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, TaraConfig, FLEET_COMPONENT,
+};
 pub use rollout::{RolloutPhase, RolloutPolicy, RolloutReport};
 pub use shadow::{ShadowConfig, ShadowLayout, ShadowPopulation, SiteSlot};
 pub use siem::{CorrelatedCampaign, FleetSiem, SiemConfig};
@@ -63,7 +71,7 @@ pub use transport::{chunk_payloads, ChunkHeader, Delivery, Reassembly, Uplink};
 pub mod prelude {
     pub use crate::bundle::{BundleError, UpdateBundle, UpdateManifest};
     pub use crate::fleet::{
-        Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, FLEET_COMPONENT,
+        Fleet, FleetBackend, FleetConfig, FleetSecuritySnapshot, TaraConfig, FLEET_COMPONENT,
     };
     pub use crate::rollout::{RolloutPolicy, RolloutReport};
     pub use crate::shadow::{ShadowConfig, ShadowLayout, ShadowPopulation, SiteSlot};

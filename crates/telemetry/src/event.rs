@@ -308,6 +308,21 @@ pub enum Event {
         /// Deliveries consumed before giving up.
         deliveries: u32,
     },
+    /// A generative-TARA live hypothesis changed state: fleet SIEM
+    /// evidence confirmed it, or a completed mitigation retired it.
+    TaraHypothesis {
+        /// Canonical scenario hash of the hypothesis.
+        scenario: u64,
+        /// Attack-class tag of the hypothesised scenario.
+        class: Label,
+        /// Transition tag ("confirm", "retire").
+        phase: Label,
+        /// Risk value (1..=5) the scenario was ranked with.
+        risk: u8,
+        /// Distinct sites behind the evidence (0 for a retirement not
+        /// driven by site evidence).
+        sites: u32,
+    },
 }
 
 /// The kind tag of an [`Event`], used for subscriber filtering.
@@ -364,6 +379,8 @@ pub enum EventKind {
     OpsGate,
     /// [`Event::OpsDeadLetter`].
     OpsDeadLetter,
+    /// [`Event::TaraHypothesis`].
+    TaraHypothesis,
 }
 
 impl EventKind {
@@ -404,6 +421,7 @@ impl Event {
             Event::OpsStep { .. } => EventKind::OpsStep,
             Event::OpsGate { .. } => EventKind::OpsGate,
             Event::OpsDeadLetter { .. } => EventKind::OpsDeadLetter,
+            Event::TaraHypothesis { .. } => EventKind::TaraHypothesis,
         }
     }
 }
@@ -454,7 +472,8 @@ impl EventFilter {
                 | EventKind::OpsLease.bit()
                 | EventKind::OpsStep.bit()
                 | EventKind::OpsGate.bit()
-                | EventKind::OpsDeadLetter.bit(),
+                | EventKind::OpsDeadLetter.bit()
+                | EventKind::TaraHypothesis.bit(),
         )
     }
 
@@ -540,6 +559,7 @@ mod tests {
         assert!(s.allows(EventKind::OpsStep));
         assert!(s.allows(EventKind::OpsGate));
         assert!(s.allows(EventKind::OpsDeadLetter));
+        assert!(s.allows(EventKind::TaraHypothesis));
         assert!(!s.allows(EventKind::FrameTx));
         assert!(!s.allows(EventKind::SensorReading));
     }
