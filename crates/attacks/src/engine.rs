@@ -83,6 +83,20 @@ impl AttackEngine {
         AttackEngine::default()
     }
 
+    /// Resets the engine to the idle state [`AttackEngine::new`]
+    /// produces, keeping the campaign, capture and event-log
+    /// allocations warm. The attacker node and recorder must be
+    /// re-attached by the caller, exactly as for a fresh engine —
+    /// the episode-reset fast path.
+    pub fn reset(&mut self) {
+        self.campaigns.clear();
+        self.attacker_node = None;
+        self.captured.clear();
+        self.events.clear();
+        self.seq = 0;
+        self.recorder = Recorder::disabled();
+    }
+
     /// Schedules a campaign; returns its index.
     pub fn add_campaign(&mut self, campaign: AttackCampaign) -> usize {
         self.campaigns.push(CampaignState {

@@ -131,6 +131,10 @@ struct RunEntry {
     run_ts: String,
     /// Iterations per timed scalar-mul pair.
     iters: usize,
+    /// Width of the static basepoint NAF window the verification-side
+    /// Straus path ran with — tags each entry so sign/verify deltas
+    /// across revisions are attributable to table-width changes.
+    basepoint_naf_window: u32,
     /// SHA-256 over every cross-checked point encoding — identical for
     /// two runs of the same code, so entries are comparable modulo the
     /// timing fields.
@@ -307,6 +311,7 @@ fn main() {
         git_sha,
         run_ts,
         iters,
+        basepoint_naf_window: silvasec::crypto::edwards::BASEPOINT_NAF_WINDOW,
         check_digest,
         scalar_mul_basepoint_per_s: bp_fast,
         scalar_mul_basepoint_naive_per_s: bp_naive,

@@ -23,8 +23,8 @@
 use serde::Serialize;
 use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::experiments::{
-    occlusion_point, occlusion_sweep, run_fleet_scale_point, run_ops_load, run_worksite,
-    FleetScenario, OcclusionRow,
+    occlusion_point, occlusion_sweep, run_episode_pooled, run_fleet_scale_point, run_ops_load,
+    run_worksite, EpisodeRunner, EpisodeSpec, FleetScenario, OcclusionRow,
 };
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
@@ -33,7 +33,37 @@ use silvasec_bench::{
     RecorderOverhead,
 };
 use silvasec_sim::time::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// System allocator wrapped with an allocation counter, so the episode
+/// headline can report steady-state reset allocations by observation
+/// (same hook as `data_plane_bench` and `exp14_episodes`).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic
+// with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// Reference sweep: 8 densities × 4 seeds at 15 m relief.
 const DENSITIES: [f64; 8] = [0.0, 100.0, 300.0, 500.0, 700.0, 900.0, 1200.0, 1500.0];
@@ -95,6 +125,79 @@ struct RunEntry {
     /// `exp11_tara` / `BENCH_tara.json` for the full 10² → 10⁶ sweep
     /// with the determinism, dedup and oracle proofs).
     tara: TaraHeadline,
+    /// Pooled episode-engine headline (one mid-size batch — see
+    /// `exp14_episodes` / `BENCH_episodes.json` for the full 10 → 10k
+    /// sweep with the oracle, parallel and zero-alloc proofs).
+    episodes: EpisodeHeadline,
+}
+
+/// Pooled episode-engine throughput at one mid-size batch.
+#[derive(Debug, Serialize)]
+struct EpisodeHeadline {
+    /// Episodes in the measured batch.
+    episodes: usize,
+    /// Pooled episodes per wall-clock second.
+    episodes_per_s: f64,
+    /// Mean `reset_for_episode` wall time, microseconds per episode.
+    setup_us_per_episode: f64,
+    /// Heap allocations per episode in the steady-state reset window
+    /// (reset + campaign arming, after warmup — must be 0).
+    steady_reset_allocs_per_episode: u64,
+}
+
+fn episode_headline() -> EpisodeHeadline {
+    const EPISODES: usize = 500;
+    const ATTACKS: [Option<AttackKind>; 4] = [
+        None,
+        Some(AttackKind::RfJamming),
+        Some(AttackKind::DeauthFlood),
+        Some(AttackKind::Replay),
+    ];
+    let specs: Vec<EpisodeSpec> = (0..EPISODES)
+        .map(|i| {
+            EpisodeSpec::compact(
+                SecurityPosture::secure(),
+                ATTACKS[i % ATTACKS.len()],
+                11,
+                SimDuration::from_secs(2),
+            )
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let outcomes = EpisodeRunner::with_workers(1).run(&specs);
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert_eq!(outcomes.len(), EPISODES);
+
+    // Steady-state reset window: warm one episode per attack class,
+    // then count allocations and time across the reset + arm calls.
+    let mut slot: Option<Worksite> = None;
+    for spec in specs.iter().take(ATTACKS.len()) {
+        let _ = run_episode_pooled(&mut slot, spec);
+    }
+    let site = slot.as_mut().expect("warmup populated the pool slot");
+    const RESETS: usize = 64;
+    let mut allocs = 0u64;
+    let t0 = Instant::now();
+    for spec in specs.iter().cycle().take(RESETS) {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        site.reset_for_episode(&spec.config, spec.seed);
+        spec.arm(site);
+        allocs += ALLOCATIONS.load(Ordering::Relaxed) - before;
+    }
+    let setup_us = t0.elapsed().as_secs_f64() / RESETS as f64 * 1e6;
+    let steady = allocs / RESETS as u64;
+    assert_eq!(
+        steady, 0,
+        "steady-state episode reset must not allocate ({steady} allocs/episode)"
+    );
+
+    EpisodeHeadline {
+        episodes: EPISODES,
+        episodes_per_s: EPISODES as f64 / wall_s.max(1e-9),
+        setup_us_per_episode: setup_us,
+        steady_reset_allocs_per_episode: steady,
+    }
 }
 
 /// Generative TARA enumeration throughput at one mid-size point.
@@ -365,6 +468,9 @@ fn main() {
     // Generative TARA enumeration headline throughput.
     let tara = tara_headline();
 
+    // Pooled episode-engine headline throughput.
+    let episodes = episode_headline();
+
     let sweep_points = DENSITIES.len() * SEEDS.len();
     let detected_cores =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -389,6 +495,7 @@ fn main() {
         fleet_scale,
         ops,
         tara,
+        episodes,
     };
 
     assert!(

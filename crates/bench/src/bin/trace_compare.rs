@@ -25,6 +25,14 @@
 //!   diffed against the live store (`RunStore::first_divergence`) — a
 //!   live-vs-replay divergence fails the run even when the seeds
 //!   differ, making this the self-driving replay witness for CI;
+//! * `trace_compare --episodes <seed-a> <seed-b> [sim-secs]` — run one
+//!   standard jamming episode per seed (default 240 simulated seconds),
+//!   the left on a **pooled** worksite (dirtied by a preceding episode
+//!   on an unrelated seed, then `reset_for_episode` onto the probed
+//!   one), the right on a **fresh** build, and compare the security
+//!   traces: with equal seeds this is the reset-equals-fresh
+//!   byte-identity witness for CI, with different seeds a divergence
+//!   probe;
 //! * `trace_compare --tara <seed-a> <seed-b> [sites]` — run the E11
 //!   live-hypothesis fleet scenario twice (default 4 sites) and compare
 //!   the security traces. Before comparing, the left run's TARA
@@ -61,7 +69,7 @@ use silvasec_sim::time::SimDuration;
 use std::io::BufRead;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --ops <seed-a> <seed-b> [incidents]\n       trace_compare [--max-events N] --tara <seed-a> <seed-b> [sites]";
+const USAGE: &str = "usage: trace_compare [--max-events N] <left.jsonl> <right.jsonl>\n       trace_compare [--max-events N] --figure1 <seed-a> <seed-b> [sim-secs]\n       trace_compare [--max-events N] --fleet <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --fleet-scale <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --ops <seed-a> <seed-b> [incidents]\n       trace_compare [--max-events N] --tara <seed-a> <seed-b> [sites]\n       trace_compare [--max-events N] --episodes <seed-a> <seed-b> [sim-secs]";
 
 fn compare(left_name: &str, left: &str, right_name: &str, right: &str) -> ExitCode {
     match first_divergence_jsonl(left, right) {
@@ -320,6 +328,57 @@ fn main() -> ExitCode {
                 &format!("ops seed {seed_a}"),
                 &left,
                 &format!("ops seed {seed_b}"),
+                &right,
+            )
+        }
+        Some("--episodes") => {
+            let Some((seed_a, seed_b)) = parse_seeds(&args) else {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            };
+            let secs = match args.get(3).map(|s| s.parse::<u64>()) {
+                Some(Ok(s)) => s,
+                None => 240,
+                Some(Err(_)) => {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            use silvasec::experiments::EpisodeSpec;
+            let spec_for = |seed: u64| {
+                EpisodeSpec::standard(
+                    SecurityPosture::secure(),
+                    Some(AttackKind::RfJamming),
+                    seed,
+                    SimDuration::from_secs(secs),
+                )
+            };
+
+            // Left: the pooled reset path. Dirty the worksite with a
+            // full episode on an unrelated seed first, so the reset has
+            // real state to erase.
+            let left_spec = spec_for(seed_a);
+            let dirty_spec = spec_for(seed_a.wrapping_add(0x9e37));
+            let mut pooled = Worksite::new(&dirty_spec.config, dirty_spec.seed);
+            dirty_spec.arm(&mut pooled);
+            pooled.run(dirty_spec.duration);
+            pooled.reset_for_episode(&left_spec.config, left_spec.seed);
+            left_spec.arm(&mut pooled);
+            pooled.run(left_spec.duration);
+
+            // Right: the same spec on a fresh build.
+            let right_spec = spec_for(seed_b);
+            let mut fresh = Worksite::new(&right_spec.config, right_spec.seed);
+            right_spec.arm(&mut fresh);
+            fresh.run(right_spec.duration);
+
+            let left = truncated(&pooled.export_security_jsonl(), max_events);
+            let right = truncated(&fresh.export_security_jsonl(), max_events);
+            dump(&left);
+            compare(
+                &format!("pooled-reset seed {seed_a}"),
+                &left,
+                &format!("fresh-build seed {seed_b}"),
                 &right,
             )
         }

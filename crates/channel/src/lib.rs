@@ -66,12 +66,12 @@ pub mod session;
 
 pub use error::ChannelError;
 pub use handshake::{HandshakePolicy, Identity, Initiator, Responder};
-pub use session::Session;
+pub use session::{Session, SessionKeys};
 
 /// Convenient glob import of the crate's primary types.
 pub mod prelude {
     pub use crate::error::ChannelError;
     pub use crate::handshake::{HandshakePolicy, Identity, Initiator, Responder};
     pub use crate::replay::ReplayWindow;
-    pub use crate::session::Session;
+    pub use crate::session::{Session, SessionKeys};
 }

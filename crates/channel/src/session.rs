@@ -13,7 +13,7 @@ pub const RECORD_HEADER_LEN: usize = 8;
 pub const RECORD_OVERHEAD: usize = RECORD_HEADER_LEN + 16;
 
 /// Directional keys derived by the handshake.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionKeys {
     /// Key for records this side sends.
     pub send_key: [u8; 32],
@@ -65,6 +65,32 @@ impl Session {
     #[must_use]
     pub fn peer_id(&self) -> &str {
         &self.peer_id
+    }
+
+    /// The directional keys currently in use (the handshake-derived
+    /// epoch-0 keys for a session that has never rekeyed). An amortized
+    /// provisioning layer snapshots these right after the handshake so
+    /// later episodes can rebuild the session without re-running it.
+    #[must_use]
+    pub fn keys(&self) -> &SessionKeys {
+        &self.keys
+    }
+
+    /// Reinitializes this session in place to exactly the state
+    /// [`Session::new`]`(keys, peer_id)` would produce: epoch 0,
+    /// sequence 0, fresh replay window, recorder detached. The peer-id
+    /// string buffer is reused, so resetting to the same peer allocates
+    /// nothing — the episode-reset fast path.
+    pub fn reinit(&mut self, keys: &SessionKeys, peer_id: &str) {
+        self.send = ChaCha20Poly1305::new(&keys.send_key);
+        self.recv = ChaCha20Poly1305::new(&keys.recv_key);
+        self.keys = keys.clone();
+        self.send_seq = 0;
+        self.replay = ReplayWindow::new();
+        self.peer_id.clear();
+        self.peer_id.push_str(peer_id);
+        self.epoch = 0;
+        self.recorder = Recorder::disabled();
     }
 
     /// The current rekey epoch.
@@ -360,6 +386,33 @@ mod tests {
             Err(ChannelError::Crypto(_))
         ));
         assert!(plain.is_empty());
+    }
+
+    #[test]
+    fn reinit_matches_fresh_session() {
+        let (mut a, mut b) = pair();
+        // Dirty the session: send traffic, rekey, receive.
+        for _ in 0..5 {
+            let r = a.seal(b"traffic").unwrap();
+            b.open(&r).unwrap();
+        }
+        a.rekey();
+        b.rekey();
+        let keys = SessionKeys {
+            send_key: [1u8; 32],
+            recv_key: [2u8; 32],
+        };
+        a.reinit(&keys, "b");
+        let mut fresh = Session::new(keys, "b".into());
+        assert_eq!(a.peer_id(), fresh.peer_id());
+        assert_eq!(a.epoch(), 0);
+        assert_eq!(a.records_sent(), 0);
+        // Identical records and replay behaviour after reinit.
+        for i in 0..4 {
+            let ra = a.seal(b"post-reset").unwrap();
+            let rf = fresh.seal(b"post-reset").unwrap();
+            assert_eq!(ra, rf, "record {i}");
+        }
     }
 
     #[test]

@@ -44,6 +44,14 @@ impl AssociationTable {
         }
     }
 
+    /// Resets the table to the state [`AssociationTable::new`] would
+    /// produce, keeping the map allocation (episode-reset fast path).
+    pub fn reset(&mut self, mfp_enabled: bool, reassoc_delay_ms: u64) {
+        self.states.clear();
+        self.mfp_enabled = mfp_enabled;
+        self.reassoc_delay_ms = reassoc_delay_ms;
+    }
+
     /// Registers `node` as associated.
     pub fn associate(&mut self, node: NodeId) {
         self.states.insert(node, AssocState::Associated);

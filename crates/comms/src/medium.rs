@@ -121,11 +121,37 @@ impl Medium {
         self.recorder = recorder;
     }
 
+    /// Resets the medium to the state [`Medium::new`]`(config, rng)`
+    /// would produce, keeping the node, inbox, stats and association
+    /// allocations warm. Nodes must be re-registered by the caller (ids
+    /// restart at 0) and the recorder re-attached, exactly as for a
+    /// fresh medium — the episode-reset fast path.
+    pub fn reset(&mut self, config: MediumConfig, rng: SimRng) {
+        self.assoc
+            .reset(config.mfp_enabled, config.reassoc_delay_ms);
+        self.config = config;
+        self.nodes.clear();
+        self.interferers.clear();
+        self.next_interferer = 0;
+        // Inbox slots are kept (contents cleared) so re-registered nodes
+        // inherit warm buffers; `inboxes.len() >= nodes.len()` always.
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.node_stats.clear();
+        self.link_stats.clear();
+        self.channel_busy_ms = 0.0;
+        self.rng = rng;
+        self.recorder = Recorder::disabled();
+    }
+
     /// Registers a radio node at `position` and returns its id.
     pub fn add_node(&mut self, position: Vec3) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(RadioNode { position });
-        self.inboxes.push(Vec::new());
+        if self.inboxes.len() < self.nodes.len() {
+            self.inboxes.push(Vec::new());
+        }
         self.node_stats.push(NodeStats::default());
         id
     }

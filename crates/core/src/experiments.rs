@@ -282,6 +282,34 @@ pub fn standard_config(posture: SecurityPosture) -> WorksiteConfig {
     }
 }
 
+/// A compact worksite configuration for episode sweeps: the full
+/// security machinery (PKI, handshakes, drone link) over a small stand,
+/// so per-episode *setup* dominates and huge batches of short probing
+/// episodes stay cheap — the regime the pooled episode engine (E14) and
+/// the generative Ag-ODD sweeps run in.
+#[must_use]
+pub fn compact_config(posture: SecurityPosture) -> WorksiteConfig {
+    WorksiteConfig {
+        world: WorldConfig {
+            terrain: TerrainConfig {
+                size_m: 150.0,
+                relief_m: 4.0,
+                ..TerrainConfig::default()
+            },
+            stand: StandConfig {
+                trees_per_hectare: 200.0,
+                ..StandConfig::default()
+            },
+            human_count: 2,
+            work_area: Vec2::new(120.0, 120.0),
+            landing_area: Vec2::new(30.0, 30.0),
+            ..WorldConfig::default()
+        },
+        security: posture,
+        ..WorksiteConfig::default()
+    }
+}
+
 /// Builds the attack campaign for one attack class against the standard
 /// worksite (starting at `start`, for `duration`).
 #[must_use]
@@ -1186,6 +1214,199 @@ pub fn run_tara_hypotheses(sites: usize, seed: u64) -> silvasec_fleet::Fleet {
     fleet
 }
 
+// ---------------------------------------------------------------------
+// E14: episode-throughput engine (scenario sweeps over pooled worksites)
+// ---------------------------------------------------------------------
+
+/// One scenario point of an episode sweep: everything needed to run one
+/// worksite episode from nothing.
+#[derive(Debug, Clone)]
+pub struct EpisodeSpec {
+    /// The worksite configuration (world, posture, telemetry shape).
+    pub config: WorksiteConfig,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Attack class launched with the standard campaign timing, if any.
+    pub attack: Option<AttackKind>,
+    /// Episode length.
+    pub duration: SimDuration,
+}
+
+impl EpisodeSpec {
+    /// An episode on the standard attack-experiment worksite.
+    #[must_use]
+    pub fn standard(
+        posture: SecurityPosture,
+        attack: Option<AttackKind>,
+        seed: u64,
+        duration: SimDuration,
+    ) -> Self {
+        EpisodeSpec {
+            config: standard_config(posture),
+            seed,
+            attack,
+            duration,
+        }
+    }
+
+    /// An episode on the compact episode-sweep worksite
+    /// ([`compact_config`]).
+    #[must_use]
+    pub fn compact(
+        posture: SecurityPosture,
+        attack: Option<AttackKind>,
+        seed: u64,
+        duration: SimDuration,
+    ) -> Self {
+        EpisodeSpec {
+            config: compact_config(posture),
+            seed,
+            attack,
+            duration,
+        }
+    }
+
+    /// Schedules this spec's campaign on `site`, scaled to the episode
+    /// length: onset a quarter in, lasting half the episode (matching
+    /// [`run_worksite`]'s 60 s / half-run shape at its 240 s horizon,
+    /// while still firing inside arbitrarily short probing episodes).
+    pub fn arm(&self, site: &mut Worksite) {
+        if let Some(kind) = self.attack {
+            let secs = self.duration.as_secs_f64() as u64;
+            let start = SimTime::from_secs(secs / 4);
+            let dur = SimDuration::from_secs((secs / 2).max(1));
+            site.attack_engine_mut()
+                .add_campaign(campaign_for(kind, start, dur));
+        }
+    }
+}
+
+/// Scalar outcome of one episode, plus a digest of its security trace —
+/// the cheap cross-run (parallel vs sequential, pooled vs naive)
+/// equality witness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeOutcome {
+    /// Scenario seed the episode ran under.
+    pub seed: u64,
+    /// Simulation ticks executed.
+    pub ticks: u64,
+    /// Messages delivered end-to-end.
+    pub messages_delivered: u64,
+    /// Forwarder distance, metres (bit-exact carrier: compare via
+    /// `to_bits`).
+    pub distance_m: f64,
+    /// Ticks with a worker inside the danger zone.
+    pub danger_zone_ticks: u64,
+    /// Forged or replayed messages accepted.
+    pub forged_accepted: u64,
+    /// Total IDS alerts across kinds.
+    pub alerts: u64,
+    /// FNV-1a digest of the security-trace JSONL export.
+    pub trace_digest: u64,
+}
+
+/// FNV-1a (64-bit) digest of a trace export.
+#[must_use]
+pub fn trace_digest(trace: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in trace.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn episode_outcome(site: &Worksite, seed: u64) -> EpisodeOutcome {
+    let m = site.metrics();
+    EpisodeOutcome {
+        seed,
+        ticks: m.ticks,
+        messages_delivered: m.messages_delivered,
+        distance_m: m.distance_m,
+        danger_zone_ticks: m.danger_zone_ticks,
+        forged_accepted: m.forged_accepted,
+        alerts: m.alerts.values().sum(),
+        trace_digest: trace_digest(&site.export_security_jsonl()),
+    }
+}
+
+/// Runs one episode the naive way: build a fresh [`Worksite`] from
+/// nothing (full PKI commissioning, world generation, all allocations),
+/// run it, read the outcome.
+///
+/// This is the **frozen oracle** of the episode-throughput overhaul:
+/// the pooled path must reproduce its outcomes bit-for-bit, and the
+/// `exp14_episodes` bench measures its speedup against it. Do not
+/// optimize this function.
+#[must_use]
+pub fn run_episode_naive(spec: &EpisodeSpec) -> EpisodeOutcome {
+    let mut site = Worksite::new(&spec.config, spec.seed);
+    spec.arm(&mut site);
+    site.run(spec.duration);
+    episode_outcome(&site, spec.seed)
+}
+
+/// Runs one episode on a pooled worksite slot: the first episode builds
+/// the worksite, every later one resets it in place
+/// ([`Worksite::reset_for_episode`]) — reusing terrain grids, telemetry
+/// rings, radio buffers and the amortized PKI template.
+pub fn run_episode_pooled(slot: &mut Option<Worksite>, spec: &EpisodeSpec) -> EpisodeOutcome {
+    match slot {
+        Some(site) => site.reset_for_episode(&spec.config, spec.seed),
+        None => *slot = Some(Worksite::new(&spec.config, spec.seed)),
+    }
+    let site = slot.as_mut().expect("slot populated above");
+    spec.arm(site);
+    site.run(spec.duration);
+    episode_outcome(site, spec.seed)
+}
+
+/// The episode-throughput engine: drives a batch of scenario points
+/// through a pool of reusable worksites on the parallel sweep engine —
+/// one long-lived worksite per worker, reset per episode.
+///
+/// Results come back in input order and are bit-identical to the
+/// sequential single-worksite loop for any worker count (the
+/// `par_sweep` determinism contract plus the reset-equals-fresh
+/// property). This is the substrate for generative Ag-ODD scenario
+/// sweeps: enumerate specs, hand them here, get trajectory-grade
+/// outcomes back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpisodeRunner {
+    workers: Option<usize>,
+}
+
+impl EpisodeRunner {
+    /// A runner using the hardware worker count.
+    #[must_use]
+    pub fn new() -> Self {
+        EpisodeRunner::default()
+    }
+
+    /// A runner with an explicit worker count (1 = the sequential
+    /// reference).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        EpisodeRunner {
+            workers: Some(workers),
+        }
+    }
+
+    /// Runs every episode, returning outcomes in input order.
+    #[must_use]
+    pub fn run(&self, episodes: &[EpisodeSpec]) -> Vec<EpisodeOutcome> {
+        let workers = self
+            .workers
+            .unwrap_or_else(|| crate::sweep::worker_count(episodes.len()));
+        crate::sweep::par_sweep_scoped_workers(
+            episodes,
+            workers,
+            || None::<Worksite>,
+            |slot, spec, _| run_episode_pooled(slot, spec),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1314,5 +1535,46 @@ mod tests {
         // And the scenario itself is deterministic.
         let fleet2 = run_tara_hypotheses(4, 11);
         assert_eq!(fleet2.export_trace_jsonl(), fleet.export_trace_jsonl());
+    }
+
+    fn episode_batch() -> Vec<EpisodeSpec> {
+        let attacks = [
+            None,
+            Some(AttackKind::RfJamming),
+            Some(AttackKind::DeauthFlood),
+            Some(AttackKind::Replay),
+        ];
+        (0..8u64)
+            .map(|i| {
+                EpisodeSpec::standard(
+                    SecurityPosture::secure(),
+                    attacks[i as usize % attacks.len()],
+                    11 + i % 3,
+                    SimDuration::from_secs(150),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pooled_episodes_match_the_naive_oracle() {
+        let specs = episode_batch();
+        let naive: Vec<EpisodeOutcome> = specs.iter().map(run_episode_naive).collect();
+        let pooled = EpisodeRunner::with_workers(1).run(&specs);
+        assert_eq!(naive, pooled, "pooled runner diverged from naive oracle");
+    }
+
+    #[test]
+    fn episode_runner_is_order_preserving_across_worker_counts() {
+        let specs = episode_batch();
+        let reference = EpisodeRunner::with_workers(1).run(&specs);
+        assert_eq!(reference.len(), specs.len());
+        for (spec, out) in specs.iter().zip(&reference) {
+            assert_eq!(spec.seed, out.seed, "outcomes must come back in order");
+        }
+        for workers in [2usize, 3] {
+            let out = EpisodeRunner::with_workers(workers).run(&specs);
+            assert_eq!(out, reference, "diverged at {workers} workers");
+        }
     }
 }

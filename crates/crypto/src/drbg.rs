@@ -45,16 +45,35 @@ impl ChaChaDrbg {
     ///
     /// Children with different labels produce independent streams; the
     /// parent's state is unaffected.
+    ///
+    /// Short labels (all the simulation's subsystem labels) are hashed
+    /// through a stack buffer so forking is allocation-free — the
+    /// episode-reset fast path forks a dozen streams per episode and
+    /// must stay at zero allocations. The hashed bytes are identical to
+    /// the original heap-built layout, so every fork stream is unchanged.
     #[must_use]
     pub fn fork(&self, label: &[u8]) -> Self {
-        let mut seed = Vec::with_capacity(16 + label.len());
-        seed.extend_from_slice(&self.counter.to_le_bytes());
-        seed.extend_from_slice(b"/fork/");
-        seed.extend_from_slice(label);
+        const PREFIX: usize = 8 + 6; // counter ‖ b"/fork/"
+        const STACK_LABEL_MAX: usize = 42;
         // Mix in a block of our keystream so forks of forks differ.
         let nonce = self.nonce_for(self.counter);
-        seed.extend_from_slice(&self.cipher.block(&nonce, u32::MAX));
-        ChaChaDrbg::from_seed(&seed)
+        let block = self.cipher.block(&nonce, u32::MAX);
+        if label.len() <= STACK_LABEL_MAX {
+            let mut seed = [0u8; PREFIX + STACK_LABEL_MAX + BLOCK_LEN];
+            seed[..8].copy_from_slice(&self.counter.to_le_bytes());
+            seed[8..PREFIX].copy_from_slice(b"/fork/");
+            seed[PREFIX..PREFIX + label.len()].copy_from_slice(label);
+            let end = PREFIX + label.len() + BLOCK_LEN;
+            seed[PREFIX + label.len()..end].copy_from_slice(&block);
+            ChaChaDrbg::from_seed(&seed[..end])
+        } else {
+            let mut seed = Vec::with_capacity(PREFIX + label.len() + BLOCK_LEN);
+            seed.extend_from_slice(&self.counter.to_le_bytes());
+            seed.extend_from_slice(b"/fork/");
+            seed.extend_from_slice(label);
+            seed.extend_from_slice(&block);
+            ChaChaDrbg::from_seed(&seed)
+        }
     }
 
     fn nonce_for(&self, counter: u64) -> [u8; 12] {

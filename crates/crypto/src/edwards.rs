@@ -24,10 +24,11 @@
 //!   lookup + 1 addition per digit.
 //! * **Straus/Shamir, variable-time** ([`EdwardsPoint::double_scalar_mul`]
 //!   and the batch-verification multiscalar): width-5 NAF for dynamic
-//!   points, width-8 NAF against a static affine table of odd basepoint
-//!   multiples, one shared doubling chain for all scalars. This path is
-//!   **not** constant-time and must only see public inputs — it backs
-//!   signature *verification*, never signing.
+//!   points, width-9 NAF (`i16` digits, [`BASEPOINT_NAF_WINDOW`])
+//!   against a static affine table of 128 odd basepoint multiples, one
+//!   shared doubling chain for all scalars. This path is **not**
+//!   constant-time and must only see public inputs — it backs signature
+//!   *verification*, never signing.
 
 use crate::ct;
 use crate::error::CryptoError;
@@ -229,13 +230,26 @@ impl OddMultiples {
     }
 }
 
+/// Window width of the static basepoint NAF table: width-9 digits
+/// (odd, up to ±255) against 128 precomputed affine odd multiples.
+/// Widening from the original width-8 drops the expected basepoint
+/// additions per verification from ~253/9 to ~253/10 at the price of a
+/// one-off table twice the size — a trade that pays for itself because
+/// the table is shared, lazily built once per process, while the NAF
+/// walk runs on every signature verified.
+pub const BASEPOINT_NAF_WINDOW: u32 = 9;
+
+/// Entries in the static basepoint NAF table: odd multiples
+/// [B, 3B, …, (2^(w−1) − 1)·B] for w = [`BASEPOINT_NAF_WINDOW`].
+const BASEPOINT_WNAF_ENTRIES: usize = 1 << (BASEPOINT_NAF_WINDOW - 2);
+
 /// The lazily-built shared basepoint tables: 64 windowed rows for the
 /// constant-time fixed-base path (row i holds multiples of 16^i·B) and
-/// 64 affine odd multiples [B, 3B, …, 127B] for width-8 NAF on the
+/// 128 affine odd multiples [B, 3B, …, 255B] for width-9 NAF on the
 /// verification side.
 struct BasepointTables {
     window: Box<[WindowTable; 64]>,
-    wnaf: [AffineNielsPoint; 64],
+    wnaf: [AffineNielsPoint; BASEPOINT_WNAF_ENTRIES],
 }
 
 static BASEPOINT_TABLES: OnceLock<BasepointTables> = OnceLock::new();
@@ -573,22 +587,24 @@ impl EdwardsPoint {
 
     /// Variable-time Straus multiscalar: Σ sᵢ·Pᵢ (+ s_B·B when
     /// `base_scalar` is given). Dynamic points use width-5 NAF with
-    /// on-the-fly odd-multiple tables; the basepoint share uses width-8
-    /// NAF against the static affine table. One doubling chain is
-    /// shared by every scalar; doublings that feed another doubling
-    /// skip the T output.
+    /// on-the-fly odd-multiple tables; the basepoint share uses
+    /// width-[`BASEPOINT_NAF_WINDOW`] NAF (`i16` digits) against the
+    /// static affine table. One doubling chain is shared by every
+    /// scalar; doublings that feed another doubling skip the T output.
     pub(crate) fn vartime_multiscalar_mul(
         pairs: &[(EdwardsPoint, Scalar)],
         base_scalar: Option<&Scalar>,
     ) -> Self {
         let nafs: Vec<[i8; 256]> = pairs.iter().map(|(_, s)| s.non_adjacent_form(5)).collect();
         let tables: Vec<OddMultiples> = pairs.iter().map(|(p, _)| OddMultiples::new(p)).collect();
-        let base_naf = base_scalar.map(|s| s.non_adjacent_form(8));
+        let base_naf = base_scalar.map(|s| s.non_adjacent_form_i16(BASEPOINT_NAF_WINDOW));
 
-        let top_nonzero = |naf: &[i8; 256]| naf.iter().rposition(|&d| d != 0);
         let mut top = None;
-        for naf in nafs.iter().chain(base_naf.iter()) {
-            top = top.max(top_nonzero(naf));
+        for naf in &nafs {
+            top = top.max(naf.iter().rposition(|&d| d != 0));
+        }
+        if let Some(naf) = &base_naf {
+            top = top.max(naf.iter().rposition(|&d| d != 0));
         }
         let Some(top) = top else {
             return Self::identity();
@@ -915,6 +931,24 @@ mod tests {
             .is_identity());
         assert_eq!(b.double_scalar_mul(&s, &p, &Scalar::ZERO), b.scalar_mul(&s));
         assert_eq!(b.double_scalar_mul(&Scalar::ZERO, &p, &s), p.scalar_mul(&s));
+    }
+
+    #[test]
+    fn wide_basepoint_naf_hits_table_extremes() {
+        // Width-9 NAF digits reach ±255 (wnaf entry 127, the widened
+        // table's last row). 255 recodes as a single digit; 257 as
+        // [+1, 0…0, −255] — both must agree with the naive ladder.
+        let b = EdwardsPoint::basepoint();
+        let p = b.scalar_mul_naive(&test_scalar(7));
+        let c = Scalar::from_u64(3);
+        for k in [255u64, 257, 511, 0xffff_ffff] {
+            let s = Scalar::from_u64(k);
+            assert_eq!(
+                b.double_scalar_mul(&s, &p, &c).encode(),
+                b.double_scalar_mul_naive(&s, &p, &c).encode(),
+                "k = {k}"
+            );
+        }
     }
 
     #[test]

@@ -301,6 +301,60 @@ impl Scalar {
         }
         naf
     }
+
+    /// Width-`w` non-adjacent form with `i16` digits, for windows past
+    /// the `i8` limit of [`Self::non_adjacent_form`] (`w` in `2..=12`;
+    /// nonzero digits are odd and in `(-2^(w-1), 2^(w-1))`).
+    ///
+    /// Same recoding, wider digit carrier: width-9 digits reach ±255,
+    /// which overflows `i8`. This feeds the static basepoint table in
+    /// [`crate::edwards`], where the one-off precomputation cost of the
+    /// bigger window is shared by every verification.
+    ///
+    /// Variable-time — public scalars only, like the `i8` form.
+    #[must_use]
+    pub(crate) fn non_adjacent_form_i16(&self, w: u32) -> [i16; 256] {
+        debug_assert!((2..=12).contains(&w));
+        let mut naf = [0i16; 256];
+        let mut x = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let width = 1u64 << w;
+        let mut pos = 0usize;
+        while x != [0; 5] {
+            debug_assert!(pos < 256);
+            if x[0] & 1 == 1 {
+                let mut digit = (x[0] % width) as i64;
+                if digit >= (width as i64) / 2 {
+                    digit -= width as i64;
+                    let mut carry = digit.unsigned_abs();
+                    for limb in x.iter_mut() {
+                        let (sum, overflow) = limb.overflowing_add(carry);
+                        *limb = sum;
+                        carry = u64::from(overflow);
+                        if carry == 0 {
+                            break;
+                        }
+                    }
+                } else {
+                    let mut borrow = digit as u64;
+                    for limb in x.iter_mut() {
+                        let (diff, underflow) = limb.overflowing_sub(borrow);
+                        *limb = diff;
+                        borrow = u64::from(underflow);
+                        if borrow == 0 {
+                            break;
+                        }
+                    }
+                }
+                naf[pos] = digit as i16;
+            }
+            for i in 0..4 {
+                x[i] = (x[i] >> 1) | (x[i + 1] << 63);
+            }
+            x[4] >>= 1;
+            pos += 1;
+        }
+        naf
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +506,50 @@ mod tests {
                             if i + k < 256 {
                                 assert_eq!(naf[i + k], 0, "w={w} adjacency at {i}");
                             }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn naf_i16_matches_i8_and_extends_past_it() {
+        let samples = [
+            Scalar::ZERO,
+            Scalar::ONE,
+            Scalar::from_u64(0x1234_5678_9abc_def0),
+            Scalar::from_bytes_mod_order(&[0x5c; 32]),
+            Scalar::from_u64(1).neg(),
+        ];
+        // In the shared range the i16 recoding is digit-for-digit the
+        // i8 one.
+        for w in [5u32, 8] {
+            for s in samples {
+                let narrow = s.non_adjacent_form(w);
+                let wide = s.non_adjacent_form_i16(w);
+                for i in 0..256 {
+                    assert_eq!(i16::from(narrow[i]), wide[i], "w={w} pos={i} {s:?}");
+                }
+            }
+        }
+        // Width 9 (beyond i8): recompose and check shape.
+        for s in samples {
+            let naf = s.non_adjacent_form_i16(9);
+            let two = Scalar::from_u64(2);
+            let mut acc = Scalar::ZERO;
+            for &d in naf.iter().rev() {
+                acc = acc.mul(&two);
+                let mag = Scalar::from_u64(d.unsigned_abs().into());
+                acc = if d < 0 { acc.sub(&mag) } else { acc.add(&mag) };
+            }
+            assert_eq!(acc, s, "{s:?}");
+            for (i, &d) in naf.iter().enumerate() {
+                if d != 0 {
+                    assert!(d % 2 != 0 && d.abs() < 256, "digit {d} at {i}");
+                    for k in 1..9usize {
+                        if i + k < 256 {
+                            assert_eq!(naf[i + k], 0, "adjacency at {i}");
                         }
                     }
                 }

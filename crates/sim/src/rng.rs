@@ -29,11 +29,15 @@ pub struct SimRng {
 
 impl SimRng {
     /// Creates a generator from a numeric seed.
+    ///
+    /// Allocation-free (the seed material is assembled on the stack):
+    /// the episode-reset fast path re-seeds generators per episode and
+    /// must stay at zero allocations.
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
-        let mut material = Vec::with_capacity(24);
-        material.extend_from_slice(b"silvasec-sim-rng");
-        material.extend_from_slice(&seed.to_le_bytes());
+        let mut material = [0u8; 24];
+        material[..16].copy_from_slice(b"silvasec-sim-rng");
+        material[16..].copy_from_slice(&seed.to_le_bytes());
         SimRng {
             inner: ChaChaDrbg::from_seed(&material),
             gauss_spare: None,

@@ -238,6 +238,103 @@ where
     out
 }
 
+/// Maps `f` over `points` with one lazily-created **per-worker scratch
+/// value**, returning results in input order.
+///
+/// The scratch sibling of [`par_sweep`], built for *reusable episode
+/// state*: an episode sweep wants each worker to own one long-lived
+/// `Worksite` (terrain grids, telemetry rings, session buffers) and
+/// reset it per point instead of rebuilding it. The scratch is created
+/// by `init()` **inside** the worker thread, so `S` needs no `Send`
+/// bound — `Rc`-backed recorders are fine. `f` receives
+/// `(&mut scratch, point, input_index)`.
+///
+/// Determinism contract: results are scattered back by input index, so
+/// the output order matches the sequential map for any worker count and
+/// scheduling — but the *values* only match when `f` fully re-derives
+/// its output from the point (e.g. via `Worksite::reset_for_episode`),
+/// never from scratch state a previous point left behind. That
+/// point-independence is what the episode property tests enforce.
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn par_sweep_scoped<P, S, R, I, F>(points: &[P], init: I, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &P, usize) -> R + Sync,
+{
+    par_sweep_scoped_workers(points, worker_count(points.len()), init, f)
+}
+
+/// [`par_sweep_scoped`] with an explicit worker count (still capped by
+/// the number of points). `workers <= 1` runs sequentially with a
+/// single scratch — the reference the property tests compare against.
+///
+/// # Panics
+///
+/// Propagates panics from `init` and `f`.
+pub fn par_sweep_scoped_workers<P, S, R, I, F>(
+    points: &[P],
+    workers: usize,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &P, usize) -> R + Sync,
+{
+    let workers = workers.min(points.len()).max(1);
+    if workers <= 1 {
+        let mut scratch = init();
+        return points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| f(&mut scratch, p, i))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (next, init, f) = (&next, &init, &f);
+    let gathered: Vec<Vec<(usize, R)>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut scratch = init();
+                    let mut local = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= points.len() {
+                            break;
+                        }
+                        local.push((idx, f(&mut scratch, &points[idx], idx)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked");
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(points.len());
+    slots.resize_with(points.len(), || None);
+    for (idx, r) in gathered.into_iter().flatten() {
+        slots[idx] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep index is claimed exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +450,45 @@ mod tests {
             vec![42]
         );
         assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn scoped_sweep_matches_sequential_for_any_worker_count() {
+        // Per-worker scratch must not leak across points: f re-derives
+        // everything from the point, so any worker count agrees with
+        // the single-scratch sequential reference.
+        let points: Vec<u64> = (0..61).map(|i| i * 13 + 5).collect();
+        let eval = |scratch: &mut Vec<u64>, &p: &u64, i: usize| {
+            scratch.clear(); // episode reset
+            scratch.extend((0..8).map(|k| p.wrapping_mul(k ^ i as u64)));
+            scratch
+                .iter()
+                .fold(0u64, |a, &x| a.wrapping_add(x).rotate_left(7))
+        };
+        let reference = par_sweep_scoped_workers(&points, 1, Vec::new, eval);
+        for workers in [2usize, 3, 4] {
+            let out = par_sweep_scoped_workers(&points, workers, Vec::new, eval);
+            assert_eq!(out, reference, "diverged at {workers} workers");
+        }
+        assert_eq!(par_sweep_scoped(&points, Vec::new, eval), reference);
+    }
+
+    #[test]
+    fn scoped_sweep_scratch_is_not_send_constrained() {
+        // Rc is !Send: the scratch is created inside each worker, so
+        // this must compile and run.
+        use std::rc::Rc;
+        let points: Vec<u32> = (0..17).collect();
+        let out = par_sweep_scoped_workers(&points, 3, || Rc::new(7u32), |rc, &p, _| p + **rc);
+        assert_eq!(out, points.iter().map(|p| p + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scoped_sweep_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_sweep_scoped(&empty, || 0u32, |_, &p, _| p).is_empty());
+        let out = par_sweep_scoped_workers(&[9u32], 8, || 1u32, |s, &p, i| p + *s + i as u32);
+        assert_eq!(out, vec![10]);
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct Terrain {
     cells: usize, // grid points per side
     cell_m: f64,
     size_m: f64,
+    /// Per-octave lattice values, kept between regenerations so the
+    /// episode-reset fast path redraws terrain without allocating.
+    lattice_scratch: Vec<f64>,
 }
 
 impl Terrain {
@@ -65,6 +68,29 @@ impl Terrain {
     /// be degenerate.
     #[must_use]
     pub fn generate(config: &TerrainConfig, rng: &mut SimRng) -> Self {
+        let mut terrain = Terrain {
+            heights: Vec::new(),
+            cells: 2,
+            cell_m: config.cell_m,
+            size_m: config.size_m,
+            lattice_scratch: Vec::new(),
+        };
+        terrain.regenerate(config, rng);
+        terrain
+    }
+
+    /// Redraws this terrain in place from `config` and `rng`, reusing the
+    /// height grid and lattice scratch allocations. The RNG draw order
+    /// and every computed height are identical to [`Terrain::generate`],
+    /// so a regenerated terrain is indistinguishable from a fresh one —
+    /// zero allocations once the buffers have warmed to the largest
+    /// episode shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_m` or `cell_m` is not positive, or the grid would
+    /// be degenerate.
+    pub fn regenerate(&mut self, config: &TerrainConfig, rng: &mut SimRng) {
         assert!(
             config.size_m > 0.0 && config.cell_m > 0.0,
             "terrain dimensions must be positive"
@@ -72,15 +98,19 @@ impl Terrain {
         let cells = (config.size_m / config.cell_m).ceil() as usize + 1;
         assert!(cells >= 2, "terrain grid too small");
 
-        let mut heights = vec![0.0f64; cells * cells];
+        self.heights.clear();
+        self.heights.resize(cells * cells, 0.0);
+        let heights = &mut self.heights;
         let mut amplitude = config.relief_m / 2.0;
         // Base lattice ~8 features per side at octave 0.
         let mut lattice_n = 8usize;
+        let mut lattice = std::mem::take(&mut self.lattice_scratch);
 
         for _octave in 0..config.octaves.max(1) {
             // Random lattice values for this octave.
             let ln = lattice_n + 1;
-            let lattice: Vec<f64> = (0..ln * ln).map(|_| rng.uniform_range(-1.0, 1.0)).collect();
+            lattice.clear();
+            lattice.extend((0..ln * ln).map(|_| rng.uniform_range(-1.0, 1.0)));
 
             for gy in 0..cells {
                 for gx in 0..cells {
@@ -102,13 +132,11 @@ impl Terrain {
             amplitude *= config.persistence;
             lattice_n *= 2;
         }
+        self.lattice_scratch = lattice;
 
-        Terrain {
-            heights,
-            cells,
-            cell_m: config.cell_m,
-            size_m: config.size_m,
-        }
+        self.cells = cells;
+        self.cell_m = config.cell_m;
+        self.size_m = config.size_m;
     }
 
     /// Builds perfectly flat terrain (baseline for occlusion experiments).
@@ -124,6 +152,7 @@ impl Terrain {
             cells,
             cell_m,
             size_m,
+            lattice_scratch: Vec::new(),
         }
     }
 

@@ -64,6 +64,27 @@ impl TreeStand {
     /// Panics if `size_m` is not positive or the density is negative.
     #[must_use]
     pub fn generate(config: &StandConfig, size_m: f64, rng: &mut SimRng) -> Self {
+        let mut stand = TreeStand {
+            trees: Vec::new(),
+            size_m,
+            grid: Vec::new(),
+            grid_cells: 1,
+            grid_cell_m: 20.0,
+        };
+        stand.regenerate(config, size_m, rng);
+        stand
+    }
+
+    /// Redraws this stand in place from `config` and `rng`, reusing the
+    /// tree list and grid-index allocations. The RNG draw order and every
+    /// generated tree are identical to [`TreeStand::generate`], so a
+    /// regenerated stand is indistinguishable from a fresh one — zero
+    /// allocations once the buffers have warmed to the episode shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_m` is not positive or the density is negative.
+    pub fn regenerate(&mut self, config: &StandConfig, size_m: f64, rng: &mut SimRng) {
         assert!(size_m > 0.0, "stand area must be positive");
         assert!(
             config.trees_per_hectare >= 0.0,
@@ -71,7 +92,8 @@ impl TreeStand {
         );
         let hectares = (size_m * size_m) / 10_000.0;
         let count = (config.trees_per_hectare * hectares).round() as usize;
-        let mut trees = Vec::with_capacity(count);
+        self.trees.clear();
+        self.trees.reserve(count);
         for _ in 0..count {
             let height = rng
                 .normal(config.mean_height_m, config.height_std_m)
@@ -79,7 +101,7 @@ impl TreeStand {
             // Allometry: trunk radius and canopy scale with height.
             let trunk_radius = (0.010 * height).clamp(0.05, 0.5);
             let canopy_radius = (0.14 * height).clamp(0.5, 5.0);
-            trees.push(Tree {
+            self.trees.push(Tree {
                 position: Vec2::new(
                     rng.uniform_range(0.0, size_m),
                     rng.uniform_range(0.0, size_m),
@@ -89,7 +111,8 @@ impl TreeStand {
                 canopy_radius_m: canopy_radius,
             });
         }
-        Self::from_trees(trees, size_m)
+        self.size_m = size_m;
+        self.rebuild_grid();
     }
 
     /// Builds a stand from an explicit tree list.
@@ -100,33 +123,41 @@ impl TreeStand {
     #[must_use]
     pub fn from_trees(trees: Vec<Tree>, size_m: f64) -> Self {
         assert!(size_m > 0.0, "stand area must be positive");
-        let grid_cell_m = 20.0;
-        let grid_cells = (size_m / grid_cell_m).ceil().max(1.0) as usize;
-        let mut grid = vec![Vec::new(); grid_cells * grid_cells];
-        for (i, tree) in trees.iter().enumerate() {
-            let gx = ((tree.position.x / grid_cell_m) as usize).min(grid_cells - 1);
-            let gy = ((tree.position.y / grid_cell_m) as usize).min(grid_cells - 1);
-            grid[gy * grid_cells + gx].push(i as u32);
-        }
-        TreeStand {
+        let mut stand = TreeStand {
             trees,
             size_m,
-            grid,
-            grid_cells,
-            grid_cell_m,
-        }
+            grid: Vec::new(),
+            grid_cells: 1,
+            grid_cell_m: 20.0,
+        };
+        stand.rebuild_grid();
+        stand
     }
 
     /// Removes all trees within `radius` of `center` (clearing a landing
-    /// area or trail).
+    /// area or trail). In place: the tree list and grid index keep their
+    /// allocations.
     pub fn clear_disc(&mut self, center: Vec2, radius: f64) {
-        let trees: Vec<Tree> = self
-            .trees
-            .iter()
-            .copied()
-            .filter(|t| t.position.distance(center) > radius)
-            .collect();
-        *self = Self::from_trees(trees, self.size_m);
+        self.trees.retain(|t| t.position.distance(center) > radius);
+        self.rebuild_grid();
+    }
+
+    /// Recomputes the coarse grid index from the current tree list,
+    /// reusing cell allocations where the grid shape allows.
+    fn rebuild_grid(&mut self) {
+        let grid_cell_m = 20.0;
+        let grid_cells = (self.size_m / grid_cell_m).ceil().max(1.0) as usize;
+        for cell in &mut self.grid {
+            cell.clear();
+        }
+        self.grid.resize_with(grid_cells * grid_cells, Vec::new);
+        self.grid_cells = grid_cells;
+        self.grid_cell_m = grid_cell_m;
+        for (i, tree) in self.trees.iter().enumerate() {
+            let gx = ((tree.position.x / grid_cell_m) as usize).min(grid_cells - 1);
+            let gy = ((tree.position.y / grid_cell_m) as usize).min(grid_cells - 1);
+            self.grid[gy * grid_cells + gx].push(i as u32);
+        }
     }
 
     /// All trees.

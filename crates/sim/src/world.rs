@@ -79,39 +79,54 @@ impl World {
     /// the number of humans does not perturb weather.
     #[must_use]
     pub fn generate(config: &WorldConfig, rng: SimRng) -> Self {
+        let mut world = World {
+            weather: WeatherModel::new(config.initial_weather, config.weather_change_prob),
+            terrain: Terrain::flat(1.0, 1.0),
+            stand: TreeStand::from_trees(Vec::new(), 1.0),
+            humans: Vec::new(),
+            now: SimTime::ZERO,
+            last_weather_step: SimTime::ZERO,
+            rng_humans: rng.fork("humans"),
+            rng_weather: rng.fork("weather"),
+            config: config.clone(),
+        };
+        world.regenerate(config, &rng);
+        world
+    }
+
+    /// Regenerates this world in place from `config` and `rng`, reusing
+    /// the terrain grid, tree stand and human list allocations. Fork
+    /// labels and RNG draw order match [`World::generate`] exactly, so a
+    /// regenerated world is indistinguishable from a freshly generated
+    /// one for the same `(config, seed)` — this is the episode-reset
+    /// fast path.
+    pub fn regenerate(&mut self, config: &WorldConfig, rng: &SimRng) {
         let mut rng_terrain = rng.fork("terrain");
         let mut rng_stand = rng.fork("stand");
         let mut rng_spawn = rng.fork("human-spawn");
-        let rng_humans = rng.fork("humans");
-        let rng_weather = rng.fork("weather");
+        self.rng_humans = rng.fork("humans");
+        self.rng_weather = rng.fork("weather");
 
-        let terrain = Terrain::generate(&config.terrain, &mut rng_terrain);
-        let mut stand = TreeStand::generate(&config.stand, config.terrain.size_m, &mut rng_stand);
+        self.terrain.regenerate(&config.terrain, &mut rng_terrain);
+        self.stand
+            .regenerate(&config.stand, config.terrain.size_m, &mut rng_stand);
         // Clear the landing area and the work-area machine pocket.
-        stand.clear_disc(config.landing_area, 25.0);
-        stand.clear_disc(config.work_area, 12.0);
+        self.stand.clear_disc(config.landing_area, 25.0);
+        self.stand.clear_disc(config.work_area, 12.0);
 
-        let humans = (0..config.human_count)
-            .map(|i| {
-                let pos = Vec2::new(
-                    rng_spawn.uniform_range(0.0, config.terrain.size_m),
-                    rng_spawn.uniform_range(0.0, config.terrain.size_m),
-                );
-                Human::new(HumanId(i), pos, config.human)
-            })
-            .collect();
+        self.humans.clear();
+        self.humans.extend((0..config.human_count).map(|i| {
+            let pos = Vec2::new(
+                rng_spawn.uniform_range(0.0, config.terrain.size_m),
+                rng_spawn.uniform_range(0.0, config.terrain.size_m),
+            );
+            Human::new(HumanId(i), pos, config.human)
+        }));
 
-        World {
-            weather: WeatherModel::new(config.initial_weather, config.weather_change_prob),
-            terrain,
-            stand,
-            humans,
-            now: SimTime::ZERO,
-            last_weather_step: SimTime::ZERO,
-            rng_humans,
-            rng_weather,
-            config: config.clone(),
-        }
+        self.weather = WeatherModel::new(config.initial_weather, config.weather_change_prob);
+        self.now = SimTime::ZERO;
+        self.last_weather_step = SimTime::ZERO;
+        self.config.clone_from(config);
     }
 
     /// Current simulation time.

@@ -39,10 +39,12 @@
 pub mod config;
 pub mod metrics;
 pub mod pki_setup;
+pub mod pki_template;
 pub mod site;
 
 pub use config::{SecurityPosture, TelemetryConfig, WorksiteConfig};
 pub use metrics::WorksiteMetrics;
+pub use pki_template::SitePkiTemplate;
 pub use site::Worksite;
 
 /// Convenient glob import of the crate's primary types.
@@ -50,5 +52,6 @@ pub mod prelude {
     pub use crate::config::{SecurityPosture, TelemetryConfig, WorksiteConfig};
     pub use crate::metrics::WorksiteMetrics;
     pub use crate::pki_setup::WorksitePki;
+    pub use crate::pki_template::SitePkiTemplate;
     pub use crate::site::Worksite;
 }

@@ -11,6 +11,7 @@ use silvasec_crypto::schnorr::SigningKey;
 use silvasec_pki::prelude::*;
 use silvasec_secure_boot::prelude::*;
 use silvasec_sim::rng::SimRng;
+use std::sync::Arc;
 
 /// The commissioned worksite PKI and per-machine credentials.
 #[derive(Debug)]
@@ -30,8 +31,11 @@ pub struct MachineCredentials {
     pub identity: Identity,
     /// The machine's boot controller.
     pub device: Device,
-    /// The firmware chain currently installed.
-    pub firmware: Vec<SignedImage>,
+    /// The firmware chain currently installed. Shared by `Arc`: the
+    /// 4 KiB + 64 KiB payloads are built once per commissioning and
+    /// every consumer (PKI templates, re-boots, episode resets) holds a
+    /// reference instead of re-allocating the images.
+    pub firmware: Arc<Vec<SignedImage>>,
     /// Outcome of the commissioning boot.
     pub boot_report: BootReport,
 }
@@ -73,7 +77,7 @@ impl WorksitePki {
         );
         let identity = Identity::new(vec![cert], key);
 
-        let firmware = vec![
+        let firmware = Arc::new(vec![
             FirmwareImage::new(id, FirmwareStage::Bootloader, firmware_version, {
                 let mut payload = vec![0u8; 4096];
                 rng.fill_bytes(&mut payload);
@@ -86,7 +90,7 @@ impl WorksitePki {
                 payload
             })
             .sign(&self.firmware_signer),
-        ];
+        ]);
         let mut device = Device::new(id, self.firmware_signer.verifying_key());
         let boot_report = device.boot(&firmware);
         MachineCredentials {
@@ -131,8 +135,10 @@ mod tests {
             &mut rng,
             Validity::new(0, 500_000),
         );
-        creds.firmware[1].image.payload[0] ^= 0xff;
-        let report = creds.device.boot(&creds.firmware);
+        // The chain is shared by `Arc`; tampering needs a private copy.
+        let mut tampered = creds.firmware.as_ref().clone();
+        tampered[1].image.payload[0] ^= 0xff;
+        let report = creds.device.boot(&tampered);
         assert!(!report.success);
     }
 

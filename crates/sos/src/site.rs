@@ -3,6 +3,7 @@
 use crate::config::WorksiteConfig;
 use crate::metrics::{SafetyIncident, WorksiteMetrics};
 use crate::pki_setup::{MachineCredentials, WorksitePki};
+use crate::pki_template::SitePkiTemplate;
 use silvasec_attacks::{AttackEngine, SideEffect};
 use silvasec_channel::{HandshakePolicy, Initiator, Responder, Session};
 use silvasec_comms::{Frame, Medium, MediumConfig, NodeId};
@@ -18,6 +19,7 @@ use silvasec_sim::world::World;
 use silvasec_telemetry::{
     CounterId, Event, EventFilter, Label, MetricsSnapshot, Record, Recorder, SubscriberId,
 };
+use std::rc::Rc;
 
 /// Danger radius: a worker this close to a moving forwarder is a safety
 /// incident.
@@ -57,6 +59,10 @@ pub struct Worksite {
     links: Option<SecureLinks>,
     #[allow(dead_code)]
     credentials: Option<(MachineCredentials, MachineCredentials)>,
+    /// Cached amortized provisioning, reused by
+    /// [`Worksite::reset_for_episode`] while `(seed, drone profile)`
+    /// match; shareable across a worksite pool.
+    pki_template: Option<Rc<SitePkiTemplate>>,
 
     ids: Option<WorksiteIds>,
     correlator: AlertCorrelator,
@@ -99,6 +105,32 @@ impl Worksite {
     /// bug, not a runtime condition.
     #[must_use]
     pub fn new(config: &WorksiteConfig, seed: u64) -> Self {
+        Self::build(config, seed, None)
+    }
+
+    /// Builds a worksite from a pre-commissioned [`SitePkiTemplate`],
+    /// skipping the per-episode CA, firmware-signing, verified-boot and
+    /// handshake work. Observable behaviour is identical to
+    /// [`Worksite::new`] for the same `(config, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `template` was commissioned for a different
+    /// `(seed, drone profile)`.
+    #[must_use]
+    pub fn with_template(
+        config: &WorksiteConfig,
+        seed: u64,
+        template: Rc<SitePkiTemplate>,
+    ) -> Self {
+        assert!(
+            template.matches(seed, config.drone_enabled),
+            "PKI template was commissioned for a different (seed, drone profile)"
+        );
+        Self::build(config, seed, Some(template))
+    }
+
+    fn build(config: &WorksiteConfig, seed: u64, template: Option<Rc<SitePkiTemplate>>) -> Self {
         let root_rng = SimRng::from_seed(seed);
         let world = World::generate(&config.world, root_rng.fork("world"));
         let rng = root_rng.fork("site");
@@ -161,87 +193,97 @@ impl Worksite {
         attack_engine.set_attacker_node(node_attacker);
         attack_engine.set_recorder(recorder.clone());
 
-        // Secure commissioning.
+        // Secure commissioning: either replayed from an amortized
+        // template, or run in-line — the frozen naive path that the
+        // template must reproduce byte-for-byte.
         let (links, credentials) = if config.security.secure_channel {
-            let mut pki_rng = root_rng.fork("pki");
-            let mut pki = WorksitePki::commission(&mut pki_rng, u64::MAX / 2);
-            let horizon = Validity::new(0, u64::MAX / 2);
-            let fw_creds = pki.commission_machine(
-                "forwarder-01",
-                ComponentRole::Forwarder,
-                1,
-                &mut pki_rng,
-                horizon,
-            );
-            let bs_creds = pki.commission_machine(
-                "base-01",
-                ComponentRole::BaseStation,
-                1,
-                &mut pki_rng,
-                horizon,
-            );
-            assert!(fw_creds.boot_report.success && bs_creds.boot_report.success);
-            let policy = HandshakePolicy::new(pki.store.clone(), 0).with_recorder(recorder.clone());
-
-            let (init, hello) = Initiator::start(
-                fw_creds.identity.clone(),
-                pki_rng.next_seed(),
-                pki_rng.next_seed(),
-            );
-            let (resp, reply) = Responder::respond(
-                bs_creds.identity.clone(),
-                &policy,
-                &hello,
-                pki_rng.next_seed(),
-                pki_rng.next_seed(),
-            )
-            .expect("commissioning handshake");
-            let (mut fw_session, finished) =
-                init.finish(&policy, &reply).expect("handshake finish");
-            let mut bs_session = resp.complete(&finished).expect("handshake complete");
-            fw_session.set_recorder(recorder.clone());
-            bs_session.set_recorder(recorder.clone());
-
-            let (drone_session, fw_drone_session) = if config.drone_enabled {
-                let drone_creds = pki.commission_machine(
-                    "drone-01",
-                    ComponentRole::Drone,
+            if let Some(t) = template.as_deref() {
+                t.replay_commissioning_telemetry(&recorder);
+                let mut links = Self::links_from_template(t, config.drone_enabled);
+                Self::attach_link_recorders(&mut links, &recorder);
+                (Some(links), None)
+            } else {
+                let mut pki_rng = root_rng.fork("pki");
+                let mut pki = WorksitePki::commission(&mut pki_rng, u64::MAX / 2);
+                let horizon = Validity::new(0, u64::MAX / 2);
+                let fw_creds = pki.commission_machine(
+                    "forwarder-01",
+                    ComponentRole::Forwarder,
                     1,
                     &mut pki_rng,
                     horizon,
                 );
-                assert!(drone_creds.boot_report.success);
+                let bs_creds = pki.commission_machine(
+                    "base-01",
+                    ComponentRole::BaseStation,
+                    1,
+                    &mut pki_rng,
+                    horizon,
+                );
+                assert!(fw_creds.boot_report.success && bs_creds.boot_report.success);
+                let policy =
+                    HandshakePolicy::new(pki.store.clone(), 0).with_recorder(recorder.clone());
+
                 let (init, hello) = Initiator::start(
-                    drone_creds.identity.clone(),
+                    fw_creds.identity.clone(),
                     pki_rng.next_seed(),
                     pki_rng.next_seed(),
                 );
                 let (resp, reply) = Responder::respond(
-                    fw_creds.identity.clone(),
+                    bs_creds.identity.clone(),
                     &policy,
                     &hello,
                     pki_rng.next_seed(),
                     pki_rng.next_seed(),
                 )
-                .expect("drone handshake");
-                let (mut ds, finished) = init.finish(&policy, &reply).expect("drone finish");
-                let mut fs = resp.complete(&finished).expect("drone complete");
-                ds.set_recorder(recorder.clone());
-                fs.set_recorder(recorder.clone());
-                (Some(ds), Some(fs))
-            } else {
-                (None, None)
-            };
+                .expect("commissioning handshake");
+                let (mut fw_session, finished) =
+                    init.finish(&policy, &reply).expect("handshake finish");
+                let mut bs_session = resp.complete(&finished).expect("handshake complete");
+                fw_session.set_recorder(recorder.clone());
+                bs_session.set_recorder(recorder.clone());
 
-            (
-                Some(SecureLinks {
-                    fw: fw_session,
-                    bs_fw: bs_session,
-                    drone: drone_session,
-                    fw_drone: fw_drone_session,
-                }),
-                Some((fw_creds, bs_creds)),
-            )
+                let (drone_session, fw_drone_session) = if config.drone_enabled {
+                    let drone_creds = pki.commission_machine(
+                        "drone-01",
+                        ComponentRole::Drone,
+                        1,
+                        &mut pki_rng,
+                        horizon,
+                    );
+                    assert!(drone_creds.boot_report.success);
+                    let (init, hello) = Initiator::start(
+                        drone_creds.identity.clone(),
+                        pki_rng.next_seed(),
+                        pki_rng.next_seed(),
+                    );
+                    let (resp, reply) = Responder::respond(
+                        fw_creds.identity.clone(),
+                        &policy,
+                        &hello,
+                        pki_rng.next_seed(),
+                        pki_rng.next_seed(),
+                    )
+                    .expect("drone handshake");
+                    let (mut ds, finished) = init.finish(&policy, &reply).expect("drone finish");
+                    let mut fs = resp.complete(&finished).expect("drone complete");
+                    ds.set_recorder(recorder.clone());
+                    fs.set_recorder(recorder.clone());
+                    (Some(ds), Some(fs))
+                } else {
+                    (None, None)
+                };
+
+                (
+                    Some(SecureLinks {
+                        fw: fw_session,
+                        bs_fw: bs_session,
+                        drone: drone_session,
+                        fw_drone: fw_drone_session,
+                    }),
+                    Some((fw_creds, bs_creds)),
+                )
+            }
         } else {
             (None, None)
         };
@@ -263,6 +305,7 @@ impl Worksite {
             node_drone,
             links,
             credentials,
+            pki_template: template,
             ids: config.security.ids.then(|| {
                 let mut ids = WorksiteIds::new(config.ids.clone());
                 ids.set_recorder(recorder.clone());
@@ -295,6 +338,232 @@ impl Worksite {
             attack_engine,
             config: config.clone(),
         }
+    }
+
+    /// Builds both sessions of every secure link from frozen template
+    /// keys, exactly as the in-line handshakes would have.
+    fn links_from_template(t: &SitePkiTemplate, drone_enabled: bool) -> SecureLinks {
+        let fw = Session::new(
+            t.fw_bs.initiator_keys.clone(),
+            t.fw_bs.initiator_peer.clone(),
+        );
+        let bs_fw = Session::new(
+            t.fw_bs.responder_keys.clone(),
+            t.fw_bs.responder_peer.clone(),
+        );
+        let (drone, fw_drone) = if drone_enabled {
+            let l = t.drone_fw.as_ref().expect("template has a drone link");
+            (
+                Some(Session::new(
+                    l.initiator_keys.clone(),
+                    l.initiator_peer.clone(),
+                )),
+                Some(Session::new(
+                    l.responder_keys.clone(),
+                    l.responder_peer.clone(),
+                )),
+            )
+        } else {
+            (None, None)
+        };
+        SecureLinks {
+            fw,
+            bs_fw,
+            drone,
+            fw_drone,
+        }
+    }
+
+    fn attach_link_recorders(links: &mut SecureLinks, recorder: &Recorder) {
+        links.fw.set_recorder(recorder.clone());
+        links.bs_fw.set_recorder(recorder.clone());
+        if let Some(s) = &mut links.drone {
+            s.set_recorder(recorder.clone());
+        }
+        if let Some(s) = &mut links.fw_drone {
+            s.set_recorder(recorder.clone());
+        }
+    }
+
+    /// The cached PKI template, for sharing across a worksite pool.
+    #[must_use]
+    pub fn pki_template(&self) -> Option<&Rc<SitePkiTemplate>> {
+        self.pki_template.as_ref()
+    }
+
+    /// Installs a shared PKI template; the next matching
+    /// [`Worksite::reset_for_episode`] provisions from it instead of
+    /// re-commissioning.
+    pub fn set_pki_template(&mut self, template: Rc<SitePkiTemplate>) {
+        self.pki_template = Some(template);
+    }
+
+    /// Resets this worksite in place to the state [`Worksite::new`]
+    /// would produce for `(config, seed)`, reusing every long-lived
+    /// allocation: terrain grids, tree stands, telemetry rings, radio
+    /// inboxes, session key schedules and scratch buffers. Secure
+    /// provisioning comes from the cached [`SitePkiTemplate`], rebuilt
+    /// only when `(seed, drone profile)` changes.
+    ///
+    /// Observable behaviour — metrics, security/flight telemetry
+    /// exports — is byte-identical to a fresh build for the same
+    /// `(config, seed)` (property-tested). In steady state (unchanged
+    /// telemetry shape, warm template) the reset performs no heap
+    /// allocation.
+    pub fn reset_for_episode(&mut self, config: &WorksiteConfig, seed: u64) {
+        let root_rng = SimRng::from_seed(seed);
+        self.world
+            .regenerate(&config.world, &root_rng.fork("world"));
+        self.rng = root_rng.fork("site");
+
+        // Telemetry: reuse the recorder core when the subscriber shape
+        // is unchanged, otherwise rebuild exactly as a fresh build would.
+        if config.telemetry == self.config.telemetry {
+            self.recorder.reset();
+        } else {
+            let recorder = if config.telemetry.enabled {
+                Recorder::new()
+            } else {
+                Recorder::disabled()
+            };
+            self.flight_sub = recorder.subscribe("flight", config.telemetry.flight_capacity);
+            self.security_sub = recorder.subscribe_filtered(
+                "security",
+                config.telemetry.security_capacity,
+                EventFilter::security(),
+            );
+            self.recorder = recorder;
+        }
+        self.tick_counter = self.recorder.counter("worksite_ticks");
+
+        let propagation = silvasec_comms::propagation::PropagationConfig {
+            exponent: 2.6,
+            per_tree_db: 0.3,
+            ..silvasec_comms::propagation::PropagationConfig::default()
+        };
+        let medium_config = MediumConfig {
+            mfp_enabled: config.security.mfp,
+            tx_power_dbm: 27.0,
+            propagation,
+            ..MediumConfig::default()
+        };
+        self.medium.reset(medium_config, root_rng.fork("medium"));
+        self.medium.set_recorder(self.recorder.clone());
+
+        let landing = config.world.landing_area;
+        let work = config.world.work_area;
+        let bs_pos = landing.with_z(self.world.ground_at(landing) + 6.0);
+        self.node_bs = self.medium.add_node(bs_pos);
+        let fw_start = landing;
+        self.node_fw = self
+            .medium
+            .add_node(fw_start.with_z(self.world.ground_at(fw_start) + 3.0));
+        self.node_drone = if config.drone_enabled {
+            Some(
+                self.medium
+                    .add_node(fw_start.with_z(self.world.ground_at(fw_start) + 50.0)),
+            )
+        } else {
+            None
+        };
+        self.medium.associate(self.node_bs);
+        self.medium.associate(self.node_fw);
+        if let Some(n) = self.node_drone {
+            self.medium.associate(n);
+        }
+        let attacker_pos = Vec2::new(config.world.terrain.size_m * 0.5, 5.0);
+        let node_attacker = self
+            .medium
+            .add_node(attacker_pos.with_z(self.world.ground_at(attacker_pos) + 2.0));
+        self.attack_engine.reset();
+        self.attack_engine.set_attacker_node(node_attacker);
+        self.attack_engine.set_recorder(self.recorder.clone());
+
+        if config.security.secure_channel {
+            let template = match self.pki_template.take() {
+                Some(t) if t.matches(seed, config.drone_enabled) => t,
+                _ => Rc::new(SitePkiTemplate::build(seed, config.drone_enabled)),
+            };
+            template.replay_commissioning_telemetry(&self.recorder);
+            let shape_matches = self
+                .links
+                .as_ref()
+                .is_some_and(|l| l.drone.is_some() == config.drone_enabled);
+            if shape_matches {
+                // Fast path: rebuild the sessions inside their existing
+                // allocations.
+                let links = self.links.as_mut().expect("shape checked");
+                links.fw.reinit(
+                    &template.fw_bs.initiator_keys,
+                    &template.fw_bs.initiator_peer,
+                );
+                links.bs_fw.reinit(
+                    &template.fw_bs.responder_keys,
+                    &template.fw_bs.responder_peer,
+                );
+                if config.drone_enabled {
+                    let l = template
+                        .drone_fw
+                        .as_ref()
+                        .expect("template has a drone link");
+                    links
+                        .drone
+                        .as_mut()
+                        .expect("shape checked")
+                        .reinit(&l.initiator_keys, &l.initiator_peer);
+                    links
+                        .fw_drone
+                        .as_mut()
+                        .expect("shape checked")
+                        .reinit(&l.responder_keys, &l.responder_peer);
+                }
+            } else {
+                self.links = Some(Self::links_from_template(&template, config.drone_enabled));
+            }
+            let links = self.links.as_mut().expect("secure links installed");
+            Self::attach_link_recorders(links, &self.recorder);
+            self.pki_template = Some(template);
+        } else {
+            self.links = None;
+        }
+        self.credentials = None;
+
+        self.forwarder = Forwarder::new(fw_start, config.forwarder);
+        self.camera = PeopleSensor::new(SensorKind::Camera, 2.8);
+        self.lidar = PeopleSensor::new(SensorKind::Lidar, 3.2);
+        self.gnss_rx = GnssReceiver::default();
+        self.supervisor = SafetySupervisor::new(config.safety);
+        self.drone = if config.drone_enabled {
+            Some(Drone::new(fw_start, config.drone, &self.world))
+        } else {
+            None
+        };
+        self.harvester = Harvester::new(work, SimDuration::from_secs(300));
+        self.ids = if config.security.ids {
+            let mut ids = WorksiteIds::new(config.ids.clone());
+            ids.set_recorder(self.recorder.clone());
+            Some(ids)
+        } else {
+            None
+        };
+        self.correlator = AlertCorrelator::new(SimDuration::from_secs(60));
+        self.response = ResponsePolicy::default();
+        self.security_stop_until = None;
+        self.degraded_until = None;
+        self.prev_deauth_rx = 0;
+        self.prev_bs_assoc_rx = 0;
+        self.prev_link_attempted = 0;
+        self.prev_link_delivered = 0;
+        self.auth_failures_tick = 0;
+        self.last_drone_feed.clear();
+        self.open_scratch.clear();
+        self.danger_in_progress = false;
+        self.seq = 0;
+        self.metrics = WorksiteMetrics::default();
+        self.seen_at_fw.clear();
+        self.seen_at_bs.clear();
+        self.gnss_field = GnssField::new();
+        self.config.clone_from(config);
     }
 
     /// The attack engine, for scheduling campaigns.
@@ -1024,5 +1293,85 @@ mod tests {
             secure_auth_failures > 0,
             "replays should surface as auth failures"
         );
+    }
+
+    fn jam_campaign() -> AttackCampaign {
+        AttackCampaign {
+            kind: AttackKind::RfJamming,
+            target: AttackTarget::Area {
+                center: Vec2::new(150.0, 150.0),
+                radius_m: 300.0,
+            },
+            start: SimTime::from_secs(30),
+            duration: SimDuration::from_secs(60),
+            intensity: 1.0,
+        }
+    }
+
+    /// Scalar + trace fingerprint of a finished run; byte-equal
+    /// fingerprints mean observably identical episodes.
+    fn fingerprint(site: &Worksite) -> (u64, u64, u64, u64, String, String) {
+        let m = site.metrics();
+        (
+            m.ticks,
+            m.messages_delivered,
+            m.distance_m.to_bits(),
+            m.danger_zone_ticks,
+            site.export_security_jsonl(),
+            site.export_flight_jsonl(),
+        )
+    }
+
+    #[test]
+    fn template_build_matches_naive_build() {
+        let config = small_config(SecurityPosture::secure());
+        let template = Rc::new(SitePkiTemplate::build(11, config.drone_enabled));
+        let mut naive = Worksite::new(&config, 11);
+        let mut fast = Worksite::with_template(&config, 11, template);
+        naive.attack_engine_mut().add_campaign(jam_campaign());
+        fast.attack_engine_mut().add_campaign(jam_campaign());
+        naive.run(SimDuration::from_secs(120));
+        fast.run(SimDuration::from_secs(120));
+        assert_eq!(fingerprint(&naive), fingerprint(&fast));
+    }
+
+    #[test]
+    fn reset_for_episode_matches_fresh_build() {
+        let config = small_config(SecurityPosture::secure());
+        // Dirty the reused site with a different episode first.
+        let mut reused = Worksite::new(&config, 4);
+        reused.attack_engine_mut().add_campaign(jam_campaign());
+        reused.run(SimDuration::from_secs(90));
+        for seed in [4u64, 9] {
+            reused.reset_for_episode(&config, seed);
+            reused.attack_engine_mut().add_campaign(jam_campaign());
+            reused.run(SimDuration::from_secs(120));
+            let mut fresh = Worksite::new(&config, seed);
+            fresh.attack_engine_mut().add_campaign(jam_campaign());
+            fresh.run(SimDuration::from_secs(120));
+            assert_eq!(
+                fingerprint(&fresh),
+                fingerprint(&reused),
+                "reset diverged from fresh at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_crosses_security_postures_and_telemetry_shapes() {
+        let secure = small_config(SecurityPosture::secure());
+        let insecure = small_config(SecurityPosture::insecure());
+        let mut quiet = small_config(SecurityPosture::secure());
+        quiet.telemetry.enabled = false;
+
+        let mut reused = Worksite::new(&secure, 6);
+        reused.run(SimDuration::from_secs(60));
+        for (config, seed) in [(&insecure, 8u64), (&secure, 8), (&quiet, 6), (&secure, 6)] {
+            reused.reset_for_episode(config, seed);
+            reused.run(SimDuration::from_secs(90));
+            let mut fresh = Worksite::new(config, seed);
+            fresh.run(SimDuration::from_secs(90));
+            assert_eq!(fingerprint(&fresh), fingerprint(&reused));
+        }
     }
 }

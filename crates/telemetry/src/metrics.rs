@@ -132,6 +132,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Zeroes every registered metric in place, keeping names, handles
+    /// and allocations: a component that re-registers a name after a
+    /// reset gets the id it had before, with a fresh value. This is the
+    /// episode-reset fast path — re-interning metric names every episode
+    /// would allocate a `String` per metric.
+    pub fn reset_values(&mut self) {
+        for (_, v) in &mut self.counters {
+            *v = 0;
+        }
+        for (_, v) in &mut self.gauges {
+            *v = 0.0;
+        }
+        for (_, h) in &mut self.histograms {
+            for c in &mut h.counts {
+                *c = 0;
+            }
+            h.count = 0;
+            h.sum = 0.0;
+        }
+    }
+
     /// Current value of a counter (0 for an invalid handle).
     #[must_use]
     pub fn counter_value(&self, id: CounterId) -> u64 {

@@ -112,6 +112,24 @@ impl Recorder {
         }
     }
 
+    /// Resets the shared core for a new episode: clock and sequence
+    /// number to zero, every subscriber ring emptied with its counters
+    /// zeroed, every metric value zeroed. Subscriber ids, names, filters,
+    /// capacities and all allocations are preserved, so instrumented
+    /// components keep their handles across episodes. No-op when
+    /// disabled.
+    pub fn reset(&self) {
+        if let Some(core) = &self.core {
+            let mut c = core.borrow_mut();
+            c.now = SimTime::ZERO;
+            c.seq = 0;
+            for sub in &mut c.subscribers {
+                sub.ring.reset();
+            }
+            c.metrics.reset_values();
+        }
+    }
+
     /// Advances the recorder's clock; subsequent [`Recorder::record`]
     /// calls are stamped with `now`.
     pub fn advance(&self, now: SimTime) {

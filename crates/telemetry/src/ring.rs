@@ -90,6 +90,19 @@ impl RingBuffer {
         self.iter().copied().collect()
     }
 
+    /// Resets the ring to its freshly-created state — empty, with
+    /// `pushed`/`dropped` zeroed — keeping the buffer allocation. Unlike
+    /// [`RingBuffer::drain`], which preserves the accounting, this is the
+    /// episode-reset path: the next episode's counters must start from
+    /// zero exactly as a new ring's would.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.pushed = 0;
+        self.dropped = 0;
+    }
+
     /// Removes and returns all held records, oldest first. Counters are
     /// preserved.
     pub fn drain(&mut self) -> Vec<Record> {

@@ -138,9 +138,11 @@ fn firmware_tampering_blocked_at_boot() {
     );
     assert!(creds.boot_report.success);
 
-    // Supply-chain attack: swap the application payload.
-    creds.firmware[1].image.payload[100] ^= 0x5a;
-    let report = creds.device.boot(&creds.firmware);
+    // Supply-chain attack: swap the application payload. The installed
+    // chain is `Arc`-shared, so the attacker works on a private copy.
+    let mut tampered = creds.firmware.as_ref().clone();
+    tampered[1].image.payload[100] ^= 0x5a;
+    let report = creds.device.boot(&tampered);
     assert!(!report.success, "tampered image must not boot");
 
     // Rollback attack: ship an old (validly signed) version.

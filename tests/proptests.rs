@@ -594,3 +594,105 @@ proptest! {
         prop_assert!(store.validate_chain(&chain, validate_t, &[]).is_ok());
     }
 }
+
+// ---------------- episode engine (pooled worksite reuse) ----------------
+
+/// A compact worksite for the episode-engine properties (the shared
+/// episode-sweep configuration), so each case stays debug-CI friendly.
+fn episode_test_config(secure: bool) -> WorksiteConfig {
+    silvasec::experiments::compact_config(if secure {
+        SecurityPosture::secure()
+    } else {
+        SecurityPosture::insecure()
+    })
+}
+
+/// The attack rotation used by the episode properties (allocation-free
+/// campaign targets only, matching the exp14 sweep).
+const EPISODE_ATTACKS: [Option<AttackKind>; 4] = [
+    None,
+    Some(AttackKind::RfJamming),
+    Some(AttackKind::DeauthFlood),
+    Some(AttackKind::Replay),
+];
+
+proptest! {
+    // Each case runs several full worksite episodes (PKI, worldgen,
+    // simulation); keep the case count debug-CI friendly.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn worksite_reset_is_byte_identical_to_fresh_build(
+        dirty_seed in 0u64..50,
+        seed in 0u64..50,
+        dirty_attack_i in 0usize..4,
+        attack_i in 0usize..4,
+        dirty_secure in any::<bool>(),
+        secure in any::<bool>(),
+    ) {
+        use silvasec::experiments::EpisodeSpec;
+
+        let dirty_spec = EpisodeSpec {
+            config: episode_test_config(dirty_secure),
+            seed: dirty_seed,
+            attack: EPISODE_ATTACKS[dirty_attack_i],
+            duration: SimDuration::from_secs(40),
+        };
+        let spec = EpisodeSpec {
+            config: episode_test_config(secure),
+            seed,
+            attack: EPISODE_ATTACKS[attack_i],
+            duration: SimDuration::from_secs(40),
+        };
+
+        // Dirty the pooled worksite with an arbitrary first episode,
+        // then reset it onto the probed spec...
+        let mut pooled = Worksite::new(&dirty_spec.config, dirty_spec.seed);
+        dirty_spec.arm(&mut pooled);
+        pooled.run(dirty_spec.duration);
+        pooled.reset_for_episode(&spec.config, spec.seed);
+        spec.arm(&mut pooled);
+        pooled.run(spec.duration);
+
+        // ...and run the same spec on a fresh build. Every exported
+        // trace must be byte-identical — same seed, same bytes.
+        let mut fresh = Worksite::new(&spec.config, spec.seed);
+        spec.arm(&mut fresh);
+        fresh.run(spec.duration);
+
+        prop_assert_eq!(pooled.export_security_jsonl(), fresh.export_security_jsonl());
+        prop_assert_eq!(pooled.export_flight_jsonl(), fresh.export_flight_jsonl());
+        prop_assert_eq!(pooled.metrics().ticks, fresh.metrics().ticks);
+        prop_assert_eq!(
+            pooled.metrics().distance_m.to_bits(),
+            fresh.metrics().distance_m.to_bits()
+        );
+    }
+
+    #[test]
+    fn episode_runner_parallel_matches_sequential(
+        seeds in proptest::collection::vec(0u64..40, 2..5),
+        workers in 2usize..5,
+    ) {
+        use silvasec::experiments::{EpisodeRunner, EpisodeSpec};
+
+        let episodes: Vec<EpisodeSpec> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| EpisodeSpec {
+                config: episode_test_config(true),
+                seed,
+                attack: EPISODE_ATTACKS[i % EPISODE_ATTACKS.len()],
+                duration: SimDuration::from_secs(30),
+            })
+            .collect();
+
+        let sequential = EpisodeRunner::with_workers(1).run(&episodes);
+        let parallel = EpisodeRunner::with_workers(workers).run(&episodes);
+        prop_assert_eq!(&parallel, &sequential, "workers = {}", workers);
+        // Input order is preserved regardless of completion order.
+        for (outcome, spec) in sequential.iter().zip(&episodes) {
+            prop_assert_eq!(outcome.seed, spec.seed);
+        }
+    }
+}
