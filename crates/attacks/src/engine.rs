@@ -137,6 +137,18 @@ impl AttackEngine {
             .any(|c| c.active && c.campaign.kind == kind)
     }
 
+    /// Whether any scheduled campaign (active or not) ever consumes
+    /// captured frames. Only replay campaigns read the capture buffer,
+    /// so when this is `false` the orchestrator can skip sniffing
+    /// (cloning frames into [`AttackEngine::capture`]) entirely with no
+    /// observable difference.
+    #[must_use]
+    pub fn wants_captures(&self) -> bool {
+        self.campaigns
+            .iter()
+            .any(|c| c.campaign.kind == AttackKind::Replay)
+    }
+
     /// Ground-truth event log.
     #[must_use]
     pub fn events(&self) -> &[AttackEvent] {

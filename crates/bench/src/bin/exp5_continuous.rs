@@ -39,15 +39,19 @@ fn main() {
     println!("the continuous layer escalates within one detection latency of onset and");
     println!("immediately marks the affected assurance claims as in doubt.");
 
-    let oh = measure_recorder_overhead(11, 300);
+    let oh = measure_recorder_overhead(11, 300, 3);
     println!("\nflight-recorder cost of driving that chain (300 s secure episode):");
     println!(
         "  {} events recorded ({:.0} events/s, {:.1} bytes/event JSONL)",
         oh.events, oh.events_per_s, oh.bytes_per_event
     );
     println!(
-        "  wall-time overhead {:+.1}% vs disabled recorder, ring drop rate {:.2}%",
+        "  wall-time overhead {:.1}% (raw {:+.1}%, noise floor ±{:.1}%; \
+         median of {} interleaved rounds), ring drop rate {:.2}%",
         oh.overhead_frac * 100.0,
+        oh.raw_overhead_frac * 100.0,
+        oh.noise_floor_frac * 100.0,
+        oh.rounds,
         oh.drop_rate * 100.0
     );
 }

@@ -24,13 +24,13 @@ use serde::Serialize;
 use silvasec::crypto::schnorr::{self, BatchItem, SigningKey};
 use silvasec::experiments::{
     occlusion_point, occlusion_sweep, run_episode_pooled, run_fleet_scale_point, run_ops_load,
-    run_worksite, EpisodeRunner, EpisodeSpec, FleetScenario, OcclusionRow,
+    run_worksite, standard_config, EpisodeRunner, EpisodeSpec, FleetScenario, OcclusionRow,
 };
 use silvasec::prelude::*;
 use silvasec::sweep::{par_sweep_with_stats, worker_count};
 use silvasec_bench::{
-    append_trajectory_run, measure_recorder_overhead, run_keys, session_pair, trajectory_out_path,
-    RecorderOverhead,
+    append_trajectory_run, measure_recorder_overhead, median, run_keys, session_pair,
+    trajectory_out_path, RecorderOverhead,
 };
 use silvasec_sim::time::SimDuration;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -104,6 +104,10 @@ struct RunEntry {
     worksite_sim_rate: f64,
     /// Flight-recorder overhead (instrumented vs disabled episode).
     telemetry: RecorderOverhead,
+    /// Steady-state tick hot-path headline (optimized vs frozen
+    /// reference tick — see `exp15_tick` / `BENCH_tick.json` for the
+    /// full suite with the zero-alloc assertion and speedup floor).
+    tick: TickHeadline,
     /// Crypto hot-path headline numbers (fast paths only — see
     /// `crypto_bench` for the full suite with frozen naive baselines,
     /// cross-check digests, and acceptance floors).
@@ -129,6 +133,76 @@ struct RunEntry {
     /// `exp14_episodes` / `BENCH_episodes.json` for the full 10 → 10k
     /// sweep with the oracle, parallel and zero-alloc proofs).
     episodes: EpisodeHeadline,
+}
+
+/// Steady-state tick hot path: the optimized [`Worksite::tick`] vs the
+/// frozen pre-optimization [`Worksite::tick_reference`] on the standard
+/// secure episode, timed as interleaved median-of-rounds, plus the
+/// observed heap allocations per warm steady-state tick.
+#[derive(Debug, Serialize)]
+struct TickHeadline {
+    /// Simulated seconds per timing round.
+    sim_secs: u64,
+    /// Interleaved rounds per arm (medians reported).
+    rounds: u32,
+    /// Median wall-clock of the frozen reference tick loop, seconds.
+    reference_wall_s: f64,
+    /// Median wall-clock of the optimized tick loop, seconds.
+    optimized_wall_s: f64,
+    /// reference / optimized.
+    speedup: f64,
+    /// Simulated seconds per wall-clock second, optimized loop.
+    worksite_sim_rate: f64,
+    /// Heap allocations per tick over a warm steady-state window
+    /// (0 on the quiet secure episode; asserted hard by `exp15_tick`).
+    steady_tick_allocs: u64,
+}
+
+fn tick_headline() -> TickHeadline {
+    const SIM_SECS: u64 = 120;
+    const ROUNDS: usize = 3;
+    let config = standard_config(SecurityPosture::secure());
+    let time = |reference: bool| {
+        let mut site = Worksite::new(&config, 7);
+        let t0 = Instant::now();
+        if reference {
+            site.run_reference(SimDuration::from_secs(SIM_SECS));
+        } else {
+            site.run(SimDuration::from_secs(SIM_SECS));
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    let _ = (time(true), time(false)); // untimed warm-up pair
+    let mut reference_times = Vec::with_capacity(ROUNDS);
+    let mut optimized_times = Vec::with_capacity(ROUNDS);
+    for _ in 0..ROUNDS {
+        reference_times.push(time(true));
+        optimized_times.push(time(false));
+    }
+    let reference_wall_s = median(&reference_times);
+    let optimized_wall_s = median(&optimized_times);
+
+    // Zero-alloc witness: run the site long enough for every ring,
+    // table and scratch buffer to reach steady state, then count heap
+    // allocations across a window of quiet ticks.
+    let mut site = Worksite::new(&config, 7);
+    site.run(SimDuration::from_secs(SIM_SECS));
+    const WINDOW: u64 = 256;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..WINDOW {
+        site.tick();
+    }
+    let steady_tick_allocs = (ALLOCATIONS.load(Ordering::Relaxed) - before) / WINDOW;
+
+    TickHeadline {
+        sim_secs: SIM_SECS,
+        rounds: ROUNDS as u32,
+        reference_wall_s,
+        optimized_wall_s,
+        speedup: reference_wall_s / optimized_wall_s.max(1e-9),
+        worksite_sim_rate: SIM_SECS as f64 / optimized_wall_s.max(1e-9),
+        steady_tick_allocs,
+    }
 }
 
 /// Pooled episode-engine throughput at one mid-size batch.
@@ -450,8 +524,12 @@ fn main() {
     );
     let worksite_episode_wall_s = t2.elapsed().as_secs_f64();
 
-    // Flight-recorder overhead on the same episode class.
-    let telemetry = measure_recorder_overhead(3, episode_secs);
+    // Flight-recorder overhead on the same episode class (interleaved
+    // median-of-rounds so frequency ramps cannot make it negative).
+    let telemetry = measure_recorder_overhead(3, episode_secs, 3);
+
+    // Steady-state tick hot-path headline.
+    let tick = tick_headline();
 
     // Crypto hot-path headline throughput.
     let crypto = crypto_headline();
@@ -490,6 +568,7 @@ fn main() {
         worksite_episode_wall_s,
         worksite_sim_rate: episode_secs as f64 / worksite_episode_wall_s.max(1e-9),
         telemetry,
+        tick,
         crypto,
         session,
         fleet_scale,

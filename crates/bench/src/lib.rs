@@ -17,14 +17,33 @@ use std::time::Instant;
 
 /// Run-identity keys for a `BENCH_*.json` trajectory entry, read from
 /// the environment so no wall clock ever leaks into the simulation:
-/// `SILVASEC_GIT_SHA` (default `unknown`) and `SILVASEC_RUN_TS`
-/// (default `unspecified`).
+/// `SILVASEC_GIT_SHA` (falling back to `git rev-parse HEAD`, then
+/// `unknown`) and `SILVASEC_RUN_TS` (default `unspecified`).
 #[must_use]
 pub fn run_keys() -> (String, String) {
+    let sha = std::env::var("SILVASEC_GIT_SHA")
+        .ok()
+        .or_else(git_head_sha)
+        .unwrap_or_else(|| "unknown".into());
     (
-        std::env::var("SILVASEC_GIT_SHA").unwrap_or_else(|_| "unknown".into()),
+        sha,
         std::env::var("SILVASEC_RUN_TS").unwrap_or_else(|_| "unspecified".into()),
     )
+}
+
+/// Best-effort `git rev-parse HEAD` of the workspace checkout; `None`
+/// when git is unavailable or the output is not a commit hash.
+fn git_head_sha() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let sha = String::from_utf8(out.stdout).ok()?.trim().to_string();
+    (sha.len() == 40 && sha.bytes().all(|b| b.is_ascii_hexdigit())).then_some(sha)
 }
 
 /// Resolves the trajectory output path for one bench binary: the
@@ -143,20 +162,43 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
-/// Flight-recorder overhead measured on one standard worksite episode
-/// run twice — once with full instrumentation, once with the recorder
-/// disabled.
+/// Returns the median of a sample (mean of the middle two for even
+/// sizes). Panics on an empty slice.
+#[must_use]
+pub fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Flight-recorder overhead measured on the standard worksite episode
+/// with interleaved enabled/disabled rounds (median of each arm), so a
+/// frequency ramp or background load during the measurement biases
+/// both arms equally instead of making the overhead look negative.
 #[derive(Debug, Clone, Serialize)]
 pub struct RecorderOverhead {
     /// Simulated episode length, seconds.
     pub sim_secs: u64,
-    /// Wall-clock with the recorder enabled, seconds.
+    /// Interleaved measurement rounds per arm.
+    pub rounds: u32,
+    /// Median wall-clock with the recorder enabled, seconds.
     pub enabled_wall_s: f64,
-    /// Wall-clock with the recorder disabled, seconds.
+    /// Median wall-clock with the recorder disabled, seconds.
     pub disabled_wall_s: f64,
-    /// Fractional wall-time overhead of recording
-    /// (`enabled / disabled - 1`; negative values are measurement noise).
+    /// Fractional wall-time overhead of recording, clamped at zero
+    /// (`max(0, enabled / disabled - 1)`).
     pub overhead_frac: f64,
+    /// Unclamped overhead; may dip below zero within the noise floor.
+    pub raw_overhead_frac: f64,
+    /// Measurement noise floor: relative half-spread of the disabled
+    /// arm's round times. `raw_overhead_frac` within ±this of zero is
+    /// indistinguishable from noise.
+    pub noise_floor_frac: f64,
     /// Events recorded during the instrumented run.
     pub events: u64,
     /// Events recorded per wall-clock second.
@@ -167,9 +209,11 @@ pub struct RecorderOverhead {
     pub drop_rate: f64,
 }
 
-/// Measures recorder overhead on the standard secure worksite.
+/// Measures recorder overhead on the standard secure worksite with
+/// `rounds` interleaved enabled/disabled pairs.
 #[must_use]
-pub fn measure_recorder_overhead(seed: u64, sim_secs: u64) -> RecorderOverhead {
+pub fn measure_recorder_overhead(seed: u64, sim_secs: u64, rounds: u32) -> RecorderOverhead {
+    let rounds = rounds.max(1);
     let run = |enabled: bool| {
         let mut config = standard_config(SecurityPosture::secure());
         config.telemetry.enabled = enabled;
@@ -178,9 +222,29 @@ pub fn measure_recorder_overhead(seed: u64, sim_secs: u64) -> RecorderOverhead {
         site.run(SimDuration::from_secs(sim_secs));
         (t.elapsed().as_secs_f64(), site)
     };
-    let (enabled_wall_s, site) = run(true);
-    let (disabled_wall_s, _) = run(false);
+    // Warm-up pair (untimed): page in code and allocator state.
+    let _ = run(true);
+    let _ = run(false);
+    let mut enabled_times = Vec::with_capacity(rounds as usize);
+    let mut disabled_times = Vec::with_capacity(rounds as usize);
+    let mut last_site = None;
+    for _ in 0..rounds {
+        let (t_on, site) = run(true);
+        enabled_times.push(t_on);
+        last_site = Some(site);
+        let (t_off, _) = run(false);
+        disabled_times.push(t_off);
+    }
+    let enabled_wall_s = median(&enabled_times);
+    let disabled_wall_s = median(&disabled_times);
+    let raw_overhead_frac = enabled_wall_s / disabled_wall_s.max(1e-9) - 1.0;
+    let spread = disabled_times
+        .iter()
+        .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+        - disabled_times.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+    let noise_floor_frac = spread / 2.0 / disabled_wall_s.max(1e-9);
 
+    let site = last_site.expect("at least one round");
     let events = site.recorder().events_recorded();
     let jsonl = site.export_flight_jsonl();
     let lines = jsonl.lines().count();
@@ -188,9 +252,12 @@ pub fn measure_recorder_overhead(seed: u64, sim_secs: u64) -> RecorderOverhead {
     let pushed = snapshot.total_pushed();
     RecorderOverhead {
         sim_secs,
+        rounds,
         enabled_wall_s,
         disabled_wall_s,
-        overhead_frac: enabled_wall_s / disabled_wall_s.max(1e-9) - 1.0,
+        overhead_frac: raw_overhead_frac.max(0.0),
+        raw_overhead_frac,
+        noise_floor_frac,
         events,
         events_per_s: events as f64 / enabled_wall_s.max(1e-9),
         bytes_per_event: jsonl.len() as f64 / lines.max(1) as f64,

@@ -38,7 +38,7 @@ pub mod medium;
 pub mod propagation;
 pub mod stats;
 
-pub use frame::{Frame, FrameKind, NodeId, FRAME_OVERHEAD_BYTES};
+pub use frame::{Frame, FrameKind, NodeId, ReceivedFrame, FRAME_OVERHEAD_BYTES};
 pub use medium::{Medium, MediumConfig, TransmitOutcome};
 
 /// Convenient glob import of the crate's primary types.

@@ -90,8 +90,24 @@ pub struct Medium {
     assoc: AssociationTable,
     channel_busy_ms: f64,
     rng: SimRng,
-    empty_stand: TreeStand,
     recorder: Recorder,
+    /// When set, deliveries run through the frozen pre-optimization
+    /// propagation path (identical values and RNG draws, pre-PR cost) —
+    /// used by the benchmark's reference arm.
+    reference_physics: bool,
+}
+
+/// Per-transmission delivery accumulators shared between the unicast
+/// and broadcast arms of [`Medium::transmit_env`].
+struct DeliveryState {
+    any_delivered: bool,
+    last_rssi: f64,
+    last_sinr: f64,
+    last_per: f64,
+    /// Inbox delivery is deferred one recipient so the final one
+    /// receives the frame by move: a unicast frame (the common case) is
+    /// never cloned, and a broadcast clones once per *extra* recipient.
+    pending: Option<(NodeId, f64, f64)>,
 }
 
 impl Medium {
@@ -110,9 +126,18 @@ impl Medium {
             assoc,
             channel_busy_ms: 0.0,
             rng,
-            empty_stand: TreeStand::from_trees(Vec::new(), 1.0),
             recorder: Recorder::disabled(),
+            reference_physics: false,
         }
+    }
+
+    /// Selects the frozen pre-optimization propagation path for
+    /// subsequent deliveries. Observable behaviour (values, RNG stream)
+    /// is identical either way — only the per-delivery cost differs —
+    /// so benchmark reference arms can reproduce pre-optimization
+    /// timing without forking the medium.
+    pub fn set_reference_physics(&mut self, on: bool) {
+        self.reference_physics = on;
     }
 
     /// Attaches a telemetry recorder; the medium then emits
@@ -254,8 +279,11 @@ impl Medium {
     ///
     /// Panics if `true_src` or the frame's destination is unregistered.
     pub fn transmit(&mut self, true_src: NodeId, frame: Frame, now: SimTime) -> TransmitOutcome {
-        let stand = self.empty_stand.clone();
-        self.transmit_env(&stand, Weather::Clear, true_src, frame, now)
+        // A process-wide empty stand sidesteps the borrow conflict with
+        // `&mut self` without cloning a stand per call.
+        static EMPTY_STAND: std::sync::OnceLock<TreeStand> = std::sync::OnceLock::new();
+        let stand = EMPTY_STAND.get_or_init(|| TreeStand::from_trees(Vec::new(), 1.0));
+        self.transmit_env(stand, Weather::Clear, true_src, frame, now)
     }
 
     /// Transmits `frame` from `true_src` through the given environment.
@@ -275,6 +303,26 @@ impl Medium {
         frame: Frame,
         now: SimTime,
     ) -> TransmitOutcome {
+        self.transmit_env_reclaiming(stand, weather, true_src, frame, now)
+            .0
+    }
+
+    /// Like [`Medium::transmit_env`], but when the frame ends up in no
+    /// inbox (lost, or blocked by association) its payload buffer is
+    /// handed back so callers can pool it instead of re-allocating —
+    /// physics, stats, telemetry and RNG stream are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_src` or the frame's destination is unregistered.
+    pub fn transmit_env_reclaiming(
+        &mut self,
+        stand: &TreeStand,
+        weather: Weather,
+        true_src: NodeId,
+        frame: Frame,
+        now: SimTime,
+    ) -> (TransmitOutcome, Option<Vec<u8>>) {
         let now_ms = now.as_millis();
         self.assoc.tick(now_ms);
 
@@ -300,28 +348,98 @@ impl Medium {
             },
         );
 
-        let src_pos = self.nodes[true_src.0 as usize].position;
-        let targets: Vec<NodeId> = match frame.dst {
-            Some(d) => vec![d],
-            None => (0..self.nodes.len() as u32)
-                .map(NodeId)
-                .filter(|n| *n != true_src)
-                .collect(),
+        let mut state = DeliveryState {
+            any_delivered: false,
+            last_rssi: f64::NEG_INFINITY,
+            last_sinr: f64::NEG_INFINITY,
+            last_per: 1.0,
+            pending: None,
         };
 
-        let mut any_delivered = false;
-        let mut last_rssi = f64::NEG_INFINITY;
-        let mut last_sinr = f64::NEG_INFINITY;
-        let mut last_per = 1.0;
-        // Inbox delivery is deferred one step so the final recipient
-        // receives the frame by move: a unicast frame (the common case)
-        // is never cloned, and a broadcast clones once per extra
-        // recipient instead of once per recipient.
-        let mut pending: Option<(NodeId, f64, f64)> = None;
+        // The unicast arm needs no target list at all (the old code
+        // built a one-element `Vec` per call); the broadcast arm walks
+        // node ids directly. RNG draw order matches the former
+        // collected-targets loop exactly.
+        match frame.dst {
+            Some(d) => {
+                self.attempt_delivery(
+                    stand,
+                    weather,
+                    &frame,
+                    true_src,
+                    d,
+                    now,
+                    blocked_by_assoc,
+                    &mut state,
+                );
+            }
+            None => {
+                for n in 0..self.nodes.len() as u32 {
+                    let dst = NodeId(n);
+                    if dst == true_src {
+                        continue;
+                    }
+                    self.attempt_delivery(
+                        stand,
+                        weather,
+                        &frame,
+                        true_src,
+                        dst,
+                        now,
+                        blocked_by_assoc,
+                        &mut state,
+                    );
+                }
+            }
+        }
 
-        for dst in targets {
-            let dst_pos = self.nodes[dst.0 as usize].position;
-            let rssi = propagation::received_power_dbm(
+        let reclaimed = if let Some((dst, rssi, sinr)) = state.pending {
+            self.inboxes[dst.0 as usize].push(ReceivedFrame {
+                frame,
+                rssi_dbm: rssi,
+                sinr_db: sinr,
+                at_ms: now_ms,
+            });
+            None
+        } else {
+            Some(frame.payload)
+        };
+
+        self.node_stats[true_src.0 as usize].tx_frames += 1;
+
+        (
+            TransmitOutcome {
+                delivered: state.any_delivered,
+                rssi_dbm: state.last_rssi,
+                sinr_db: state.last_sinr,
+                per: state.last_per,
+                airtime_ms,
+                blocked_by_assoc,
+            },
+            reclaimed,
+        )
+    }
+
+    /// One channel realization towards `dst`: path loss + fading, SINR,
+    /// packet-error draw, stats, management handling, deferred inbox
+    /// delivery.
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_delivery(
+        &mut self,
+        stand: &TreeStand,
+        weather: Weather,
+        frame: &Frame,
+        true_src: NodeId,
+        dst: NodeId,
+        now: SimTime,
+        blocked_by_assoc: bool,
+        state: &mut DeliveryState,
+    ) {
+        let now_ms = now.as_millis();
+        let src_pos = self.nodes[true_src.0 as usize].position;
+        let dst_pos = self.nodes[dst.0 as usize].position;
+        let rssi = if self.reference_physics {
+            propagation::received_power_dbm_reference(
                 &self.config.propagation,
                 self.config.tx_power_dbm,
                 stand,
@@ -329,83 +447,74 @@ impl Medium {
                 src_pos,
                 dst_pos,
                 &mut self.rng,
-            );
-            let interference = self.interference_at(dst_pos);
-            let sinr = propagation::sinr_db(&self.config.propagation, rssi, interference);
-            let per = propagation::packet_error_rate(&self.config.propagation, sinr);
+            )
+        } else {
+            propagation::received_power_dbm(
+                &self.config.propagation,
+                self.config.tx_power_dbm,
+                stand,
+                weather,
+                src_pos,
+                dst_pos,
+                &mut self.rng,
+            )
+        };
+        let interference = self.interference_at(dst_pos);
+        let sinr = propagation::sinr_db(&self.config.propagation, rssi, interference);
+        let per = propagation::packet_error_rate(&self.config.propagation, sinr);
 
-            // Receiver's noise-floor observation (updated whether or not
-            // the frame survives — carrier sensing sees the energy).
-            let noise_dbm = interference.map_or(self.config.propagation.noise_floor_dbm, |i| {
-                propagation::mw_to_dbm(
-                    propagation::dbm_to_mw(i)
-                        + propagation::dbm_to_mw(self.config.propagation.noise_floor_dbm),
-                )
-            });
-            self.node_stats[dst.0 as usize].record_noise(noise_dbm);
+        // Receiver's noise-floor observation (updated whether or not
+        // the frame survives — carrier sensing sees the energy).
+        let noise_dbm = interference.map_or(self.config.propagation.noise_floor_dbm, |i| {
+            propagation::mw_to_dbm(
+                propagation::dbm_to_mw(i)
+                    + propagation::dbm_to_mw(self.config.propagation.noise_floor_dbm),
+            )
+        });
+        self.node_stats[dst.0 as usize].record_noise(noise_dbm);
 
-            let channel_ok = !self.rng.chance(per);
-            let delivered = channel_ok && !blocked_by_assoc;
+        let channel_ok = !self.rng.chance(per);
+        let delivered = channel_ok && !blocked_by_assoc;
 
-            let link = self.link_stats.entry((true_src, dst)).or_default();
-            link.attempted += 1;
+        let link = self.link_stats.entry((true_src, dst)).or_default();
+        link.attempted += 1;
 
-            if delivered {
-                link.delivered += 1;
-                any_delivered = true;
-                self.node_stats[dst.0 as usize].record_delivery(frame.kind, rssi, sinr);
-                self.handle_management(dst, &frame, true_src, now_ms);
-                if let Some((prev_dst, prev_rssi, prev_sinr)) = pending.replace((dst, rssi, sinr)) {
-                    self.inboxes[prev_dst.0 as usize].push(ReceivedFrame {
-                        frame: frame.clone(),
-                        rssi_dbm: prev_rssi,
-                        sinr_db: prev_sinr,
-                        at_ms: now_ms,
-                    });
-                }
-                self.recorder.record_at(
-                    now,
-                    Event::FrameRx {
-                        src: true_src.0,
-                        dst: dst.0,
-                        rssi_dbm: rssi,
-                        sinr_db: sinr,
-                    },
-                );
-            } else {
-                self.node_stats[dst.0 as usize].record_loss();
-                self.recorder.record_at(
-                    now,
-                    Event::FrameLost {
-                        src: true_src.0,
-                        dst: dst.0,
-                    },
-                );
+        if delivered {
+            link.delivered += 1;
+            state.any_delivered = true;
+            self.node_stats[dst.0 as usize].record_delivery(frame.kind, rssi, sinr);
+            self.handle_management(dst, frame, true_src, now_ms);
+            if let Some((prev_dst, prev_rssi, prev_sinr)) = state.pending.replace((dst, rssi, sinr))
+            {
+                self.inboxes[prev_dst.0 as usize].push(ReceivedFrame {
+                    frame: frame.clone(),
+                    rssi_dbm: prev_rssi,
+                    sinr_db: prev_sinr,
+                    at_ms: now_ms,
+                });
             }
-            last_rssi = rssi;
-            last_sinr = sinr;
-            last_per = per;
+            self.recorder.record_at(
+                now,
+                Event::FrameRx {
+                    src: true_src.0,
+                    dst: dst.0,
+                    rssi_dbm: rssi,
+                    sinr_db: sinr,
+                },
+            );
+        } else {
+            self.node_stats[dst.0 as usize].record_loss();
+            self.recorder.record_at(
+                now,
+                Event::FrameLost {
+                    src: true_src.0,
+                    dst: dst.0,
+                },
+            );
         }
-
-        if let Some((dst, rssi, sinr)) = pending {
-            self.inboxes[dst.0 as usize].push(ReceivedFrame {
-                frame,
-                rssi_dbm: rssi,
-                sinr_db: sinr,
-                at_ms: now_ms,
-            });
-        }
-
-        self.node_stats[true_src.0 as usize].tx_frames += 1;
-
-        TransmitOutcome {
-            delivered: any_delivered,
-            rssi_dbm: last_rssi,
-            sinr_db: last_sinr,
-            per: last_per,
-            airtime_ms,
-            blocked_by_assoc,
-        }
+        state.last_rssi = rssi;
+        state.last_sinr = sinr;
+        state.last_per = per;
     }
 
     fn handle_management(
@@ -434,6 +543,19 @@ impl Medium {
     /// Panics if `node` was not registered on this medium.
     pub fn drain_inbox(&mut self, node: NodeId) -> Vec<ReceivedFrame> {
         std::mem::take(&mut self.inboxes[node.0 as usize])
+    }
+
+    /// Drains all frames delivered to `node` into `into` (cleared
+    /// first), swapping buffers so capacity ping-pongs between the
+    /// caller's scratch and the inbox — the zero-alloc form of
+    /// [`Medium::drain_inbox`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was not registered on this medium.
+    pub fn drain_inbox_into(&mut self, node: NodeId, into: &mut Vec<ReceivedFrame>) {
+        into.clear();
+        std::mem::swap(into, &mut self.inboxes[node.0 as usize]);
     }
 
     /// Telemetry for `node`.
@@ -596,6 +718,26 @@ mod tests {
         let link = m.link_stats(a, b).unwrap();
         assert_eq!(link.attempted, 20);
         assert!(m.channel_busy_ms() > 0.0);
+    }
+
+    #[test]
+    fn drain_inbox_into_swaps_and_clears() {
+        let mut m = medium();
+        let a = m.add_node(Vec3::new(0.0, 0.0, 2.0));
+        let b = m.add_node(Vec3::new(10.0, 0.0, 2.0));
+        for i in 0..20 {
+            let _ = m.transmit(
+                a,
+                Frame::data(a, b, vec![i as u8]).with_seq(i),
+                SimTime::ZERO,
+            );
+        }
+        let mut scratch = vec![];
+        m.drain_inbox_into(b, &mut scratch);
+        assert!(!scratch.is_empty());
+        assert!(m.drain_inbox(b).is_empty(), "inbox must be drained");
+        m.drain_inbox_into(b, &mut scratch);
+        assert!(scratch.is_empty(), "second drain clears the scratch");
     }
 
     #[test]

@@ -59,16 +59,50 @@ pub fn path_loss_db(config: &PropagationConfig, from: Vec3, to: Vec3) -> f64 {
 pub fn foliage_loss_db(config: &PropagationConfig, stand: &TreeStand, from: Vec3, to: Vec3) -> f64 {
     let a2 = from.xy();
     let b2 = to.xy();
+    // Only trees tall enough to reach the link height matter.
+    let link_z = from.z.min(to.z);
     let mut crossing_count = 0usize;
-    for tree in stand.trees_near_segment(a2, b2, 1.5) {
-        if tree.position.distance_to_segment(a2, b2) <= 1.5 {
-            // Only trees tall enough to reach the link height matter.
-            let link_z = from.z.min(to.z);
-            if tree.height_m >= link_z {
-                crossing_count += 1;
+    // Visitor form: same trees in the same order as the collecting
+    // `trees_near_segment`, without the per-call `Vec` — this runs once
+    // per delivery attempt on the radio hot path. The visitor reuses
+    // the distance the grid filter already computed, and stops as soon
+    // as the crossing count saturates `max_foliage_db` — further
+    // crossings cannot change the capped loss.
+    stand.for_trees_near_segment_dist(a2, b2, 1.5, |tree, dist| {
+        if dist <= 1.5 && tree.height_m >= link_z {
+            crossing_count += 1;
+            if config.per_tree_db > 0.0
+                && crossing_count as f64 * config.per_tree_db >= config.max_foliage_db
+            {
+                return false;
             }
         }
-    }
+        true
+    });
+    (crossing_count as f64 * config.per_tree_db).min(config.max_foliage_db)
+}
+
+/// FROZEN pre-optimization foliage loss: same value as
+/// [`foliage_loss_db`], computed the way the pre-optimization code did —
+/// collecting the candidate trees into a per-call `Vec` via the
+/// full-rectangle grid scan. Used only by the benchmark's reference arm
+/// (see [`crate::Medium::set_reference_physics`]) so that arm pays the
+/// pre-optimization per-delivery cost. Do not optimize.
+#[must_use]
+pub fn foliage_loss_db_reference(
+    config: &PropagationConfig,
+    stand: &TreeStand,
+    from: Vec3,
+    to: Vec3,
+) -> f64 {
+    let a2 = from.xy();
+    let b2 = to.xy();
+    let link_z = from.z.min(to.z);
+    let crossing_count = stand
+        .trees_near_segment_reference(a2, b2, 1.5)
+        .iter()
+        .filter(|tree| tree.position.distance_to_segment(a2, b2) <= 1.5 && tree.height_m >= link_z)
+        .count();
     (crossing_count as f64 * config.per_tree_db).min(config.max_foliage_db)
 }
 
@@ -87,6 +121,29 @@ pub fn received_power_dbm(
     tx_power_dbm
         - path_loss_db(config, from, to)
         - foliage_loss_db(config, stand, from, to)
+        - weather.radio_attenuation_db()
+        - shadowing
+}
+
+/// FROZEN pre-optimization received power: identical value and RNG
+/// draws to [`received_power_dbm`], but through
+/// [`foliage_loss_db_reference`] so the benchmark's reference arm pays
+/// the pre-optimization foliage cost. Do not optimize.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn received_power_dbm_reference(
+    config: &PropagationConfig,
+    tx_power_dbm: f64,
+    stand: &TreeStand,
+    weather: Weather,
+    from: Vec3,
+    to: Vec3,
+    rng: &mut SimRng,
+) -> f64 {
+    let shadowing = rng.normal(0.0, config.shadowing_std_db);
+    tx_power_dbm
+        - path_loss_db(config, from, to)
+        - foliage_loss_db_reference(config, stand, from, to)
         - weather.radio_attenuation_db()
         - shadowing
 }

@@ -72,12 +72,16 @@ pub struct IdsConfig {
 }
 
 /// The worksite IDS: per-entity detector instances behind one facade.
+///
+/// Detector maps are keyed by [`Label`] (fixed-capacity, `Copy`), so
+/// routing an observation to its detector on the steady-state tick path
+/// never allocates.
 #[derive(Debug, Default)]
 pub struct WorksiteIds {
     config: IdsConfig,
-    radio: HashMap<String, RadioDetectors>,
-    nav: HashMap<String, NavConsistencyMonitor>,
-    sensor: HashMap<String, SensorHealthMonitor>,
+    radio: HashMap<Label, RadioDetectors>,
+    nav: HashMap<Label, NavConsistencyMonitor>,
+    sensor: HashMap<Label, SensorHealthMonitor>,
     alerts_raised: u64,
     recorder: Recorder,
 }
@@ -102,7 +106,7 @@ impl WorksiteIds {
     pub fn observe_radio(&mut self, obs: &RadioObservation) -> Vec<Alert> {
         let detector = self
             .radio
-            .entry(obs.node_label.clone())
+            .entry(obs.node_label)
             .or_insert_with(|| RadioDetectors::new(self.config.radio.clone()));
         let alerts = detector.observe(obs);
         self.account(&alerts);
@@ -113,7 +117,7 @@ impl WorksiteIds {
     pub fn observe_nav(&mut self, obs: &NavObservation) -> Vec<Alert> {
         let monitor = self
             .nav
-            .entry(obs.machine_label.clone())
+            .entry(obs.machine_label)
             .or_insert_with(|| NavConsistencyMonitor::new(self.config.nav.clone()));
         let alerts = monitor.observe(obs);
         self.account(&alerts);
@@ -124,7 +128,7 @@ impl WorksiteIds {
     pub fn observe_sensor(&mut self, obs: &SensorObservation) -> Vec<Alert> {
         let monitor = self
             .sensor
-            .entry(obs.sensor_label.clone())
+            .entry(obs.sensor_label)
             .or_insert_with(|| SensorHealthMonitor::new(self.config.sensor.clone()));
         let alerts = monitor.observe(obs);
         self.account(&alerts);

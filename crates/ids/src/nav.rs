@@ -9,12 +9,14 @@
 use crate::alert::{Alert, AlertKind};
 use silvasec_sim::geom::Vec2;
 use silvasec_sim::time::{SimDuration, SimTime};
+use silvasec_telemetry::Label;
 
 /// One navigation cross-check sample for one machine.
 #[derive(Debug, Clone)]
 pub struct NavObservation {
-    /// The machine's label.
-    pub machine_label: String,
+    /// The machine's label (a fixed-capacity [`Label`], so building an
+    /// observation per tick never allocates).
+    pub machine_label: Label,
     /// Sample time.
     pub at: SimTime,
     /// The GNSS fix, if the receiver produced one.
@@ -86,7 +88,7 @@ impl NavConsistencyMonitor {
             return None;
         }
         self.last_alert.insert(kind, obs.at);
-        Some(Alert::new(kind, obs.machine_label.clone(), obs.at, detail))
+        Some(Alert::new(kind, obs.machine_label.as_str(), obs.at, detail))
     }
 
     /// Feeds a sample; returns any new alerts.

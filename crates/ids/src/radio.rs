@@ -2,13 +2,15 @@
 
 use crate::alert::{Alert, AlertKind};
 use silvasec_sim::time::{SimDuration, SimTime};
+use silvasec_telemetry::Label;
 use std::collections::VecDeque;
 
 /// One radio telemetry sample for one node.
 #[derive(Debug, Clone)]
 pub struct RadioObservation {
-    /// The observed node's label.
-    pub node_label: String,
+    /// The observed node's label (a fixed-capacity [`Label`], so
+    /// building an observation per tick never allocates).
+    pub node_label: Label,
     /// Sample time.
     pub at: SimTime,
     /// Observed noise+interference floor, dBm (None = no measurement).
@@ -97,7 +99,7 @@ impl RadioDetectors {
             return None;
         }
         self.last_alert.insert(kind, obs.at);
-        Some(Alert::new(kind, obs.node_label.clone(), obs.at, detail))
+        Some(Alert::new(kind, obs.node_label.as_str(), obs.at, detail))
     }
 
     /// Feeds a sample; returns any new alerts.

@@ -9,13 +9,16 @@
 
 use crate::alert::{Alert, AlertKind};
 use silvasec_sim::time::{SimDuration, SimTime};
+use silvasec_telemetry::Label;
 use std::collections::VecDeque;
 
 /// One sensor-health sample.
 #[derive(Debug, Clone)]
 pub struct SensorObservation {
-    /// The sensor's label (e.g. `"forwarder-01/camera"`).
-    pub sensor_label: String,
+    /// The sensor's label (e.g. `"forwarder-01/camera"`; a
+    /// fixed-capacity [`Label`], so building an observation per tick
+    /// never allocates).
+    pub sensor_label: Label,
     /// Sample time.
     pub at: SimTime,
     /// Features (detections, trunks, landmarks) the sensor reported in
@@ -109,7 +112,7 @@ impl SensorHealthMonitor {
                 self.last_alert = Some(obs.at);
                 return vec![Alert::new(
                     AlertKind::SensorBlinding,
-                    obs.sensor_label.clone(),
+                    obs.sensor_label.as_str(),
                     obs.at,
                     format!(
                         "feature rate {recent_mean:.1} collapsed below {:.0}% of baseline {baseline:.1}",

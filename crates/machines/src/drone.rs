@@ -74,10 +74,28 @@ impl Drone {
 
     /// Samples the drone's people detections (gimballed camera:
     /// omnidirectional in azimuth).
+    ///
+    /// Allocating form; the hot path uses [`Drone::detect_into`], with
+    /// this as its parity oracle.
     #[must_use]
     pub fn detect(&self, world: &World, rng: &mut SimRng) -> Vec<Detection> {
         self.sensor
             .detect_from(world, self.body.position, None, rng)
+    }
+
+    /// Zero-alloc, grid-culled form of [`Drone::detect`]: writes
+    /// detections into caller-owned `out` (cleared first), using
+    /// `candidates` as index scratch. Bit-identical output and RNG
+    /// stream — see [`crate::sensors::PeopleSensor::detect_from_into`].
+    pub fn detect_into(
+        &self,
+        world: &World,
+        rng: &mut SimRng,
+        candidates: &mut Vec<u32>,
+        out: &mut Vec<Detection>,
+    ) {
+        self.sensor
+            .detect_from_into(world, self.body.position, None, rng, candidates, out);
     }
 }
 

@@ -6,7 +6,7 @@
 //! (logs delivered) is the headline mission metric attacks degrade.
 
 use crate::kinematics::GroundVehicle;
-use crate::planner::{plan_path, PlannerConfig};
+use crate::planner::{plan_path_into, PlannerConfig, PlannerScratch};
 use crate::safety::SpeedLimit;
 use serde::{Deserialize, Serialize};
 use silvasec_sim::geom::Vec2;
@@ -68,6 +68,7 @@ pub struct Forwarder {
     loads_delivered: u64,
     distance_travelled: f64,
     stopped_time: SimDuration,
+    scratch: PlannerScratch,
 }
 
 impl Forwarder {
@@ -81,6 +82,7 @@ impl Forwarder {
             loads_delivered: 0,
             distance_travelled: 0.0,
             stopped_time: SimDuration::ZERO,
+            scratch: PlannerScratch::default(),
         }
     }
 
@@ -135,7 +137,7 @@ impl Forwarder {
             }
             ForwarderPhase::Loading { until_ms } => {
                 if now.as_millis() >= until_ms {
-                    self.vehicle.set_path(Vec::new());
+                    self.vehicle.clear_path();
                     self.phase = ForwarderPhase::ToUnloading;
                 }
             }
@@ -150,7 +152,7 @@ impl Forwarder {
             ForwarderPhase::Unloading { until_ms } => {
                 if now.as_millis() >= until_ms {
                     self.loads_delivered += 1;
-                    self.vehicle.set_path(Vec::new());
+                    self.vehicle.clear_path();
                     self.phase = ForwarderPhase::ToLoading;
                 }
             }
@@ -160,17 +162,21 @@ impl Forwarder {
 
     fn drive_towards(&mut self, world: &World, goal: Vec2, dt: SimDuration) {
         if self.vehicle.path_complete() && self.vehicle.position.distance(goal) >= 15.0 {
-            match plan_path(
+            let start = self.vehicle.position;
+            // Replan into the vehicle's own path buffer via reusable
+            // scratch: steady-state replans touch no heap. On failure
+            // the path stays empty (still complete, as before).
+            let planned = plan_path_into(
                 world.terrain(),
                 &self.config.planner,
-                self.vehicle.position,
+                start,
                 goal,
-            ) {
-                Some(path) => self.vehicle.set_path(path),
-                None => {
-                    self.phase = ForwarderPhase::Stranded;
-                    return;
-                }
+                &mut self.scratch,
+                self.vehicle.begin_path(),
+            );
+            if !planned {
+                self.phase = ForwarderPhase::Stranded;
+                return;
             }
         }
         self.distance_travelled += self.vehicle.step(world.terrain(), dt);

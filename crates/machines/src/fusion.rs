@@ -11,7 +11,9 @@ use std::collections::HashMap;
 
 /// Fuses detection lists from multiple sources.
 ///
-/// Output is sorted by worker id for determinism.
+/// Output is sorted by worker id for determinism. Allocating form; the
+/// hot path uses [`fuse_detections_into`], with this as its parity
+/// oracle.
 #[must_use]
 pub fn fuse_detections(sources: &[Vec<Detection>]) -> Vec<Detection> {
     let mut best: HashMap<HumanId, Detection> = HashMap::new();
@@ -29,6 +31,32 @@ pub fn fuse_detections(sources: &[Vec<Detection>]) -> Vec<Detection> {
     let mut out: Vec<Detection> = best.into_values().collect();
     out.sort_by_key(|d| d.human_id);
     out
+}
+
+/// Zero-alloc form of [`fuse_detections`]: writes the fused list into
+/// caller-owned `out` (cleared first). With warm capacity no heap
+/// allocation occurs.
+///
+/// A handful of detections per tick makes a linear merge cheaper than
+/// hashing; it applies the identical rule (per worker, keep the first
+/// report and replace it only on strictly greater confidence), and with
+/// one entry per worker after the merge the unstable sort by id yields
+/// exactly the oracle's order.
+pub fn fuse_detections_into(sources: &[&[Detection]], out: &mut Vec<Detection>) {
+    out.clear();
+    for source in sources {
+        for d in *source {
+            match out.iter_mut().find(|cur| cur.human_id == d.human_id) {
+                Some(cur) => {
+                    if d.confidence > cur.confidence {
+                        *cur = *d;
+                    }
+                }
+                None => out.push(*d),
+            }
+        }
+    }
+    out.sort_unstable_by_key(|d| d.human_id);
 }
 
 #[cfg(test)]
@@ -71,5 +99,37 @@ mod tests {
         let a = fuse_detections(&[vec![det(3, 0.1), det(1, 0.2)], vec![det(2, 0.3)]]);
         let ids: Vec<u32> = a.iter().map(|d| d.human_id.0).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn into_variant_matches_oracle() {
+        let cases: Vec<Vec<Vec<Detection>>> = vec![
+            vec![],
+            vec![vec![], vec![]],
+            vec![vec![det(1, 0.5)], vec![det(2, 0.6)]],
+            vec![vec![det(1, 0.5)], vec![det(1, 0.9)], vec![det(1, 0.2)]],
+            // Tie on confidence: the first-seen report must win in both
+            // (the reports differ in distance, so a wrong winner shows).
+            vec![
+                vec![Detection {
+                    distance_m: 1.0,
+                    ..det(4, 0.5)
+                }],
+                vec![Detection {
+                    distance_m: 9.0,
+                    ..det(4, 0.5)
+                }],
+            ],
+            vec![
+                vec![det(3, 0.1), det(1, 0.2), det(3, 0.3)],
+                vec![det(2, 0.3), det(1, 0.1)],
+            ],
+        ];
+        let mut out = Vec::new();
+        for sources in cases {
+            let slices: Vec<&[Detection]> = sources.iter().map(Vec::as_slice).collect();
+            fuse_detections_into(&slices, &mut out);
+            assert_eq!(out, fuse_detections(&sources));
+        }
     }
 }

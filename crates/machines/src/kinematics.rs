@@ -43,6 +43,23 @@ impl GroundVehicle {
         self.path_index = 0;
     }
 
+    /// Clears the path in place and resets progress, keeping the
+    /// buffer's capacity — the zero-alloc form of
+    /// `set_path(Vec::new())`.
+    pub fn clear_path(&mut self) {
+        self.path.clear();
+        self.path_index = 0;
+    }
+
+    /// Clears the path, resets progress and hands back the backing
+    /// buffer for in-place refilling (planner output), keeping its
+    /// capacity across replans.
+    pub fn begin_path(&mut self) -> &mut Vec<Vec2> {
+        self.path.clear();
+        self.path_index = 0;
+        &mut self.path
+    }
+
     /// Whether all waypoints have been reached.
     #[must_use]
     pub fn path_complete(&self) -> bool {

@@ -70,7 +70,7 @@ impl std::fmt::Display for MachineId {
 pub mod prelude {
     pub use crate::drone::Drone;
     pub use crate::forwarder::{Forwarder, ForwarderPhase};
-    pub use crate::fusion::fuse_detections;
+    pub use crate::fusion::{fuse_detections, fuse_detections_into};
     pub use crate::gnss::{GnssField, GnssFix, GnssReceiver};
     pub use crate::harvester::Harvester;
     pub use crate::kinematics::{DroneBody, GroundVehicle};

@@ -56,8 +56,129 @@ impl PartialOrd for OpenEntry {
     }
 }
 
+/// Reusable planner allocations (scores, frontier, raw path) so replans
+/// in the steady-state tick never touch the heap once warm. Owned by
+/// the machine that replans (the forwarder).
+#[derive(Debug, Clone, Default)]
+pub struct PlannerScratch {
+    g_score: Vec<f64>,
+    came_from: Vec<Option<(i32, i32)>>,
+    open: BinaryHeap<OpenEntry>,
+    raw: Vec<Vec2>,
+}
+
+/// Zero-alloc form of [`plan_path`]: writes the waypoints into
+/// caller-owned `out` and returns whether a path exists. `out` is
+/// cleared first; on `false` (unreachable goal) it stays empty. With
+/// warm scratch and output capacities no heap allocation occurs.
+/// Identical search, costs, tie-breaking and simplification as the
+/// allocating oracle — asserted by `into_variant_matches_oracle`.
+pub fn plan_path_into(
+    terrain: &Terrain,
+    config: &PlannerConfig,
+    start: Vec2,
+    goal: Vec2,
+    scratch: &mut PlannerScratch,
+    out: &mut Vec<Vec2>,
+) -> bool {
+    out.clear();
+    let cells = (terrain.size_m() / config.grid_m).floor() as i32 + 1;
+    let to_cell = |p: Vec2| -> (i32, i32) {
+        (
+            ((p.x / config.grid_m).round() as i32).clamp(0, cells - 1),
+            ((p.y / config.grid_m).round() as i32).clamp(0, cells - 1),
+        )
+    };
+    let to_point = |c: (i32, i32)| -> Vec2 {
+        Vec2::new(c.0 as f64 * config.grid_m, c.1 as f64 * config.grid_m)
+    };
+    let passable = |c: (i32, i32)| -> bool { terrain.slope_at(to_point(c)) <= config.max_slope };
+
+    let start_cell = to_cell(start);
+    let goal_cell = to_cell(goal);
+    if !passable(goal_cell) || !passable(start_cell) {
+        return false;
+    }
+    if start_cell == goal_cell {
+        out.push(goal);
+        return true;
+    }
+
+    let idx = |c: (i32, i32)| (c.1 * cells + c.0) as usize;
+    scratch.g_score.clear();
+    scratch
+        .g_score
+        .resize((cells * cells) as usize, f64::INFINITY);
+    scratch.came_from.clear();
+    scratch.came_from.resize((cells * cells) as usize, None);
+    scratch.open.clear();
+    scratch.g_score[idx(start_cell)] = 0.0;
+    scratch.open.push(OpenEntry {
+        f: 0.0,
+        cell: start_cell,
+    });
+
+    let heuristic = |c: (i32, i32)| {
+        let dx = (c.0 - goal_cell.0) as f64;
+        let dy = (c.1 - goal_cell.1) as f64;
+        dx.hypot(dy) * config.grid_m
+    };
+
+    const DIRS: [(i32, i32); 8] = [
+        (1, 0),
+        (-1, 0),
+        (0, 1),
+        (0, -1),
+        (1, 1),
+        (1, -1),
+        (-1, 1),
+        (-1, -1),
+    ];
+
+    while let Some(OpenEntry { cell, .. }) = scratch.open.pop() {
+        if cell == goal_cell {
+            scratch.raw.clear();
+            scratch.raw.push(goal);
+            let mut cur = cell;
+            while let Some(prev) = scratch.came_from[idx(cur)] {
+                scratch.raw.push(to_point(cur));
+                cur = prev;
+            }
+            scratch.raw.reverse();
+            simplify_into(&scratch.raw, out);
+            return true;
+        }
+        let g_here = scratch.g_score[idx(cell)];
+        for (dx, dy) in DIRS {
+            let next = (cell.0 + dx, cell.1 + dy);
+            if next.0 < 0 || next.1 < 0 || next.0 >= cells || next.1 >= cells {
+                continue;
+            }
+            if !passable(next) {
+                continue;
+            }
+            let step = ((dx * dx + dy * dy) as f64).sqrt() * config.grid_m;
+            let slope = terrain.slope_at(to_point(next));
+            let cost = step * (1.0 + config.slope_cost * slope);
+            let tentative = g_here + cost;
+            if tentative < scratch.g_score[idx(next)] {
+                scratch.g_score[idx(next)] = tentative;
+                scratch.came_from[idx(next)] = Some(cell);
+                scratch.open.push(OpenEntry {
+                    f: tentative + heuristic(next),
+                    cell: next,
+                });
+            }
+        }
+    }
+    false
+}
+
 /// Plans a path from `start` to `goal`. Returns waypoints including the
 /// goal, or `None` when the goal is unreachable under the slope limit.
+///
+/// Allocating form; the hot path uses [`plan_path_into`], with this as
+/// its parity oracle.
 #[must_use]
 pub fn plan_path(
     terrain: &Terrain,
@@ -173,6 +294,27 @@ fn simplify(path: Vec<Vec2>) -> Vec<Vec2> {
     out
 }
 
+/// [`simplify`] writing into caller-owned `out` (cleared first).
+fn simplify_into(path: &[Vec2], out: &mut Vec<Vec2>) {
+    out.clear();
+    if path.len() <= 2 {
+        out.extend_from_slice(path);
+        return;
+    }
+    out.push(path[0]);
+    for i in 1..path.len() - 1 {
+        let a = *out.last().expect("non-empty");
+        let b = path[i];
+        let c = path[i + 1];
+        let ab = (b - a).normalized();
+        let bc = (c - b).normalized();
+        if ab.dot(bc) < 0.9999 {
+            out.push(b);
+        }
+    }
+    out.push(*path.last().expect("non-empty"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +413,48 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn into_variant_matches_oracle() {
+        let terrain = Terrain::generate(
+            &TerrainConfig {
+                relief_m: 25.0,
+                ..TerrainConfig::default()
+            },
+            &mut SimRng::from_seed(5),
+        );
+        let mut scratch = PlannerScratch::default();
+        let mut out = Vec::new();
+        let mut rng = SimRng::from_seed(6);
+        for cfg in [
+            PlannerConfig::default(),
+            PlannerConfig {
+                max_slope: 0.0,
+                ..PlannerConfig::default()
+            },
+            PlannerConfig {
+                slope_cost: 30.0,
+                ..PlannerConfig::default()
+            },
+        ] {
+            for _ in 0..12 {
+                let start = Vec2::new(rng.uniform_range(0.0, 500.0), rng.uniform_range(0.0, 500.0));
+                let goal = Vec2::new(rng.uniform_range(0.0, 500.0), rng.uniform_range(0.0, 500.0));
+                let oracle = plan_path(&terrain, &cfg, start, goal);
+                let found = plan_path_into(&terrain, &cfg, start, goal, &mut scratch, &mut out);
+                match oracle {
+                    Some(path) => {
+                        assert!(found);
+                        assert_eq!(out, path);
+                    }
+                    None => {
+                        assert!(!found);
+                        assert!(out.is_empty());
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 use silvasec_sim::geom::{Vec2, Vec3};
-use silvasec_sim::humans::HumanId;
+use silvasec_sim::humans::{Human, HumanId};
 use silvasec_sim::rng::SimRng;
+use silvasec_sim::weather::Weather;
 use silvasec_sim::world::World;
 
 /// The sensor technology.
@@ -108,7 +109,83 @@ impl PeopleSensor {
         self.health = health.clamp(0.0, 1.0);
     }
 
+    /// The effective detection range under `weather`, metres.
+    fn effective_range(&self, weather: Weather) -> f64 {
+        self.kind.base_range_m()
+            * if self.kind.weather_sensitive() {
+                weather.optical_range_factor()
+            } else {
+                1.0
+            }
+    }
+
+    /// Samples one human: applies the range / field-of-view / occlusion
+    /// filters (no RNG draws), then — only for a passing target — draws
+    /// the detection chance and position noise. Shared verbatim by the
+    /// allocating linear-scan oracles and the grid-culled `_into`
+    /// variants so their RNG streams and outputs are bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_human(
+        &self,
+        world: &World,
+        sensor_pos: Vec3,
+        heading: Option<f64>,
+        weather: Weather,
+        range: f64,
+        human: &Human,
+        rng: &mut SimRng,
+        out: &mut Vec<Detection>,
+    ) {
+        let target = world.human_target_point(human);
+        let dist = sensor_pos.distance(target);
+        if dist > range {
+            return;
+        }
+        // Field-of-view check against the 2-D bearing.
+        if let Some(h) = heading {
+            let bearing = (human.position - sensor_pos.xy()).heading();
+            let mut diff = (bearing - h).abs() % std::f64::consts::TAU;
+            if diff > std::f64::consts::PI {
+                diff = std::f64::consts::TAU - diff;
+            }
+            if diff > self.kind.fov_rad() / 2.0 {
+                return;
+            }
+        }
+        let visibility = world.visibility(sensor_pos, target);
+        if visibility.is_blocked() {
+            return;
+        }
+        let weather_conf = if self.kind.weather_sensitive() {
+            weather.detection_confidence_factor()
+        } else {
+            1.0
+        };
+        let range_falloff = 1.0 - 0.3 * (dist / range);
+        let p = self.kind.base_detection_prob()
+            * visibility.factor
+            * weather_conf
+            * range_falloff
+            * self.health;
+        if rng.chance(p) {
+            let sigma = 0.2 + 0.02 * dist;
+            let estimate = Vec2::new(
+                human.position.x + rng.normal(0.0, sigma),
+                human.position.y + rng.normal(0.0, sigma),
+            );
+            out.push(Detection {
+                human_id: human.id,
+                position: estimate,
+                confidence: p.clamp(0.0, 1.0),
+                distance_m: dist,
+            });
+        }
+    }
+
     /// Samples detections from a ground pose (`position`, `heading`).
+    ///
+    /// Allocating linear-scan form; the hot path uses
+    /// [`PeopleSensor::detect_into`], with this as its parity oracle.
     #[must_use]
     pub fn detect(
         &self,
@@ -123,6 +200,10 @@ impl PeopleSensor {
 
     /// Samples detections from an arbitrary 3-D pose (aerial use). A
     /// `heading` of `None` means omnidirectional (gimballed camera).
+    ///
+    /// Allocating linear-scan form; the hot path uses
+    /// [`PeopleSensor::detect_from_into`], with this as its parity
+    /// oracle.
     #[must_use]
     pub fn detect_from(
         &self,
@@ -132,61 +213,237 @@ impl PeopleSensor {
         rng: &mut SimRng,
     ) -> Vec<Detection> {
         let weather = world.weather();
-        let range = self.kind.base_range_m()
-            * if self.kind.weather_sensitive() {
-                weather.optical_range_factor()
-            } else {
-                1.0
-            };
-
+        let range = self.effective_range(weather);
         let mut out = Vec::new();
         for human in world.humans() {
-            let target = world.human_target_point(human);
-            let dist = sensor_pos.distance(target);
-            if dist > range {
-                continue;
-            }
-            // Field-of-view check against the 2-D bearing.
-            if let Some(h) = heading {
-                let bearing = (human.position - sensor_pos.xy()).heading();
-                let mut diff = (bearing - h).abs() % std::f64::consts::TAU;
-                if diff > std::f64::consts::PI {
-                    diff = std::f64::consts::TAU - diff;
-                }
-                if diff > self.kind.fov_rad() / 2.0 {
-                    continue;
-                }
-            }
-            let visibility = world.visibility(sensor_pos, target);
-            if visibility.is_blocked() {
-                continue;
-            }
-            let weather_conf = if self.kind.weather_sensitive() {
-                weather.detection_confidence_factor()
-            } else {
-                1.0
-            };
-            let range_falloff = 1.0 - 0.3 * (dist / range);
-            let p = self.kind.base_detection_prob()
-                * visibility.factor
-                * weather_conf
-                * range_falloff
-                * self.health;
-            if rng.chance(p) {
-                let sigma = 0.2 + 0.02 * dist;
-                let estimate = Vec2::new(
-                    human.position.x + rng.normal(0.0, sigma),
-                    human.position.y + rng.normal(0.0, sigma),
-                );
-                out.push(Detection {
-                    human_id: human.id,
-                    position: estimate,
-                    confidence: p.clamp(0.0, 1.0),
-                    distance_m: dist,
-                });
-            }
+            self.sample_human(
+                world, sensor_pos, heading, weather, range, human, rng, &mut out,
+            );
         }
         out
+    }
+
+    /// Zero-alloc, grid-culled form of [`PeopleSensor::detect`]: writes
+    /// detections into caller-owned `out` (cleared first), using
+    /// `candidates` as index scratch. With warm capacities no heap
+    /// allocation occurs. Output and RNG stream are bit-identical to
+    /// `detect` — see [`silvasec_sim::grid::EntityGrid`] for the culling
+    /// equivalence argument.
+    pub fn detect_into(
+        &self,
+        world: &World,
+        position: Vec2,
+        heading: f64,
+        rng: &mut SimRng,
+        candidates: &mut Vec<u32>,
+        out: &mut Vec<Detection>,
+    ) {
+        let sensor_pos = position.with_z(world.ground_at(position) + self.mount_height_m);
+        self.detect_from_into(world, sensor_pos, Some(heading), rng, candidates, out);
+    }
+
+    /// Zero-alloc, grid-culled form of [`PeopleSensor::detect_from`].
+    ///
+    /// The grid query is 2-D with the full weather-adjusted range as
+    /// radius; since planar distance never exceeds the 3-D sensor-target
+    /// distance the candidate set is a superset of every human passing
+    /// the range filter, and candidates arrive index-sorted, so
+    /// re-applying the exact per-human filters visits the same accepted
+    /// humans in the same order as the linear scan.
+    pub fn detect_from_into(
+        &self,
+        world: &World,
+        sensor_pos: Vec3,
+        heading: Option<f64>,
+        rng: &mut SimRng,
+        candidates: &mut Vec<u32>,
+        out: &mut Vec<Detection>,
+    ) {
+        out.clear();
+        let weather = world.weather();
+        let range = self.effective_range(weather);
+        world
+            .human_grid()
+            .fill_candidates(sensor_pos.xy(), range, candidates);
+        for &i in candidates.iter() {
+            let human = &world.humans()[i as usize];
+            self.sample_human(world, sensor_pos, heading, weather, range, human, rng, out);
+        }
+    }
+}
+
+/// Serializes a detection feed into `out` (cleared first), byte-for-byte
+/// identical to `serde_json::to_vec(&detections)`: objects keep field
+/// declaration order, the printer is compact, floats use the shortest
+/// round-trip `Display` form and non-finite floats render as `null` —
+/// exactly the vendored serializer's rules. Byte identity is load-bearing:
+/// the payload length feeds the radio frame's airtime and loss draws, so
+/// a single divergent digit would shift the RNG stream.
+///
+/// Allocation-free once `out` is warm.
+pub fn detections_to_json(detections: &[Detection], out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    fn write_f64(out: &mut Vec<u8>, f: f64) {
+        if f.is_finite() {
+            let _ = write!(out, "{f}");
+        } else {
+            out.extend_from_slice(b"null");
+        }
+    }
+    out.clear();
+    if detections.is_empty() {
+        out.extend_from_slice(b"[]");
+        return;
+    }
+    out.push(b'[');
+    for (i, d) in detections.iter().enumerate() {
+        if i > 0 {
+            out.push(b',');
+        }
+        out.extend_from_slice(b"{\"human_id\":");
+        let _ = write!(out, "{}", d.human_id.0);
+        out.extend_from_slice(b",\"position\":{\"x\":");
+        write_f64(out, d.position.x);
+        out.extend_from_slice(b",\"y\":");
+        write_f64(out, d.position.y);
+        out.extend_from_slice(b"},\"confidence\":");
+        write_f64(out, d.confidence);
+        out.extend_from_slice(b",\"distance_m\":");
+        write_f64(out, d.distance_m);
+        out.push(b'}');
+    }
+    out.push(b']');
+}
+
+/// Parses a detection feed into `out` (cleared first); returns whether a
+/// feed was decoded, matching `serde_json::from_slice::<Vec<Detection>>`
+/// exactly in both acceptance and values.
+///
+/// The fast path is a strict scanner for the canonical grammar
+/// [`detections_to_json`] emits and allocates nothing; any deviation
+/// (whitespace, reordered keys, escapes — e.g. a forged payload) falls
+/// back to the full `serde_json` parser, so hostile input behaves
+/// exactly as it always did. Number equivalence: the fallback parses an
+/// integral token as `u64` and widens with `as f64`, which rounds to the
+/// same value `str::parse::<f64>` produces for the same token.
+pub fn detections_from_json(bytes: &[u8], out: &mut Vec<Detection>) -> bool {
+    out.clear();
+    if parse_feed_fast(bytes, out) {
+        return true;
+    }
+    out.clear();
+    match serde_json::from_slice::<Vec<Detection>>(bytes) {
+        Ok(v) => {
+            out.extend_from_slice(&v);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn eat(bytes: &[u8], p: &mut usize, tok: &[u8]) -> bool {
+    if bytes[*p..].starts_with(tok) {
+        *p += tok.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn scan_u32(bytes: &[u8], p: &mut usize) -> Option<u32> {
+    let start = *p;
+    while *p < bytes.len() && bytes[*p].is_ascii_digit() {
+        *p += 1;
+    }
+    if *p == start {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*p]).ok()?.parse().ok()
+}
+
+/// Scans one JSON number token (the same token boundary the fallback
+/// parser uses) and parses it as `f64`.
+fn scan_f64(bytes: &[u8], p: &mut usize) -> Option<f64> {
+    let start = *p;
+    if *p < bytes.len() && bytes[*p] == b'-' {
+        *p += 1;
+    }
+    while *p < bytes.len() && bytes[*p].is_ascii_digit() {
+        *p += 1;
+    }
+    if *p < bytes.len() && bytes[*p] == b'.' {
+        *p += 1;
+        while *p < bytes.len() && bytes[*p].is_ascii_digit() {
+            *p += 1;
+        }
+    }
+    if *p < bytes.len() && matches!(bytes[*p], b'e' | b'E') {
+        *p += 1;
+        if *p < bytes.len() && matches!(bytes[*p], b'+' | b'-') {
+            *p += 1;
+        }
+        while *p < bytes.len() && bytes[*p].is_ascii_digit() {
+            *p += 1;
+        }
+    }
+    if *p == start {
+        return None;
+    }
+    std::str::from_utf8(&bytes[start..*p]).ok()?.parse().ok()
+}
+
+fn parse_feed_fast(bytes: &[u8], out: &mut Vec<Detection>) -> bool {
+    let mut p = 0usize;
+    if !eat(bytes, &mut p, b"[") {
+        return false;
+    }
+    if eat(bytes, &mut p, b"]") {
+        return p == bytes.len();
+    }
+    loop {
+        if !eat(bytes, &mut p, b"{\"human_id\":") {
+            return false;
+        }
+        let Some(id) = scan_u32(bytes, &mut p) else {
+            return false;
+        };
+        if !eat(bytes, &mut p, b",\"position\":{\"x\":") {
+            return false;
+        }
+        let Some(x) = scan_f64(bytes, &mut p) else {
+            return false;
+        };
+        if !eat(bytes, &mut p, b",\"y\":") {
+            return false;
+        }
+        let Some(y) = scan_f64(bytes, &mut p) else {
+            return false;
+        };
+        if !eat(bytes, &mut p, b"},\"confidence\":") {
+            return false;
+        }
+        let Some(confidence) = scan_f64(bytes, &mut p) else {
+            return false;
+        };
+        if !eat(bytes, &mut p, b",\"distance_m\":") {
+            return false;
+        }
+        let Some(distance_m) = scan_f64(bytes, &mut p) else {
+            return false;
+        };
+        if !eat(bytes, &mut p, b"}") {
+            return false;
+        }
+        out.push(Detection {
+            human_id: HumanId(id),
+            position: Vec2::new(x, y),
+            confidence,
+            distance_m,
+        });
+        if eat(bytes, &mut p, b",") {
+            continue;
+        }
+        return eat(bytes, &mut p, b"]") && p == bytes.len();
     }
 }
 
@@ -351,6 +608,76 @@ mod tests {
             far > near,
             "noise at 35 m ({far}) should exceed 5 m ({near})"
         );
+    }
+
+    fn feed_cases() -> Vec<Vec<Detection>> {
+        let det = |id: u32, x: f64, y: f64, c: f64, d: f64| Detection {
+            human_id: HumanId(id),
+            position: Vec2::new(x, y),
+            confidence: c,
+            distance_m: d,
+        };
+        vec![
+            vec![],
+            vec![det(0, 0.0, -0.0, 1.0, 0.1)],
+            vec![
+                det(7, 123.456789012345, -98.7, 0.8315450011223344, 41.0),
+                det(u32::MAX, 1e-12, 2.5e300, 0.0, 1.0 / 3.0),
+            ],
+            vec![det(3, std::f64::consts::PI * 1e5, -1234.0, 0.25, 60.0)],
+        ]
+    }
+
+    #[test]
+    fn feed_writer_matches_serde_bytes() {
+        let mut buf = Vec::new();
+        for feed in feed_cases() {
+            detections_to_json(&feed, &mut buf);
+            let oracle = serde_json::to_vec(&feed).unwrap();
+            assert_eq!(buf, oracle, "writer diverged for {feed:?}");
+        }
+    }
+
+    #[test]
+    fn feed_parser_round_trips_and_matches_serde() {
+        let mut buf = Vec::new();
+        let mut parsed = Vec::new();
+        for feed in feed_cases() {
+            detections_to_json(&feed, &mut buf);
+            assert!(detections_from_json(&buf, &mut parsed));
+            assert_eq!(parsed, feed);
+        }
+    }
+
+    #[test]
+    fn feed_parser_fallback_agrees_with_serde_on_hostile_input() {
+        let mut parsed = Vec::new();
+        let cases: &[&[u8]] = &[
+            b"",
+            b"not json",
+            b"[",
+            b"[{\"human_id\":1}]",
+            b"{\"human_id\":1}",
+            // Whitespace and reordered keys: serde accepts, fast path
+            // cannot — the fallback must still decode them.
+            b"[ {\"position\":{\"x\":1.0,\"y\":2.0},\"human_id\":4,\"confidence\":0.5,\"distance_m\":3.0} ]",
+            // Float where an integer id is expected.
+            b"[{\"human_id\":1.5,\"position\":{\"x\":0,\"y\":0},\"confidence\":0,\"distance_m\":0}]",
+        ];
+        for &bytes in cases {
+            let ok = detections_from_json(bytes, &mut parsed);
+            let oracle = serde_json::from_slice::<Vec<Detection>>(bytes);
+            assert_eq!(ok, oracle.is_ok(), "acceptance diverged for {bytes:?}");
+            if let Ok(o) = oracle {
+                // Compare re-serialized bytes: missing fields decode to
+                // NaN, which is unequal to itself under `PartialEq`.
+                assert_eq!(
+                    serde_json::to_vec(&parsed).unwrap(),
+                    serde_json::to_vec(&o).unwrap(),
+                    "values diverged for {bytes:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod event;
 pub mod geom;
+pub mod grid;
 pub mod humans;
 pub mod los;
 pub mod rng;

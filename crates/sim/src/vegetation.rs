@@ -52,6 +52,9 @@ pub struct TreeStand {
     grid: Vec<Vec<u32>>,
     grid_cells: usize,
     grid_cell_m: f64,
+    // Largest per-tree reach (canopy or trunk radius) in the stand —
+    // the sound cell-skip bound for segment queries.
+    max_reach_m: f64,
 }
 
 impl TreeStand {
@@ -70,6 +73,7 @@ impl TreeStand {
             grid: Vec::new(),
             grid_cells: 1,
             grid_cell_m: 20.0,
+            max_reach_m: 0.0,
         };
         stand.regenerate(config, size_m, rng);
         stand
@@ -129,6 +133,7 @@ impl TreeStand {
             grid: Vec::new(),
             grid_cells: 1,
             grid_cell_m: 20.0,
+            max_reach_m: 0.0,
         };
         stand.rebuild_grid();
         stand
@@ -153,11 +158,44 @@ impl TreeStand {
         self.grid.resize_with(grid_cells * grid_cells, Vec::new);
         self.grid_cells = grid_cells;
         self.grid_cell_m = grid_cell_m;
+        let mut max_reach = 0.0f64;
         for (i, tree) in self.trees.iter().enumerate() {
             let gx = ((tree.position.x / grid_cell_m) as usize).min(grid_cells - 1);
             let gy = ((tree.position.y / grid_cell_m) as usize).min(grid_cells - 1);
             self.grid[gy * grid_cells + gx].push(i as u32);
+            max_reach = max_reach.max(tree.canopy_radius_m.max(tree.trunk_radius_m));
         }
+        self.max_reach_m = max_reach;
+    }
+
+    /// Whether segment `a`–`b` intersects the axis-aligned rectangle
+    /// `[min, max]` (Liang–Barsky slab clipping).
+    fn segment_intersects_rect(a: Vec2, b: Vec2, min: Vec2, max: Vec2) -> bool {
+        let d = Vec2::new(b.x - a.x, b.y - a.y);
+        let mut t0 = 0.0f64;
+        let mut t1 = 1.0f64;
+        for (p, q_min, q_max) in [
+            (d.x, min.x - a.x, max.x - a.x),
+            (d.y, min.y - a.y, max.y - a.y),
+        ] {
+            if p.abs() < 1e-12 {
+                // Segment parallel to this slab: inside or fully out.
+                if q_min > 0.0 || q_max < 0.0 {
+                    return false;
+                }
+            } else {
+                let (mut ta, mut tb) = (q_min / p, q_max / p);
+                if ta > tb {
+                    std::mem::swap(&mut ta, &mut tb);
+                }
+                t0 = t0.max(ta);
+                t1 = t1.min(tb);
+                if t0 > t1 {
+                    return false;
+                }
+            }
+        }
+        true
     }
 
     /// All trees.
@@ -197,6 +235,17 @@ impl TreeStand {
     where
         F: FnMut(&'s Tree) -> bool,
     {
+        self.for_trees_near_segment_dist(a, b, margin, |tree, _| visit(tree));
+    }
+
+    /// [`TreeStand::for_trees_near_segment`], but the visitor also
+    /// receives the tree's 2-D distance to the segment — the filter
+    /// already computes it, so callers that need it (foliage crossing
+    /// tests) avoid recomputing `distance_to_segment` per tree.
+    pub fn for_trees_near_segment_dist<'s, F>(&'s self, a: Vec2, b: Vec2, margin: f64, mut visit: F)
+    where
+        F: FnMut(&'s Tree, f64) -> bool,
+    {
         let pad = margin + self.grid_cell_m;
         let min_x = (a.x.min(b.x) - pad).max(0.0);
         let max_x = (a.x.max(b.x) + pad).min(self.size_m);
@@ -207,19 +256,77 @@ impl TreeStand {
         let gy0 = ((min_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
         let gy1 = ((max_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
 
+        // Cell-level cull inside the bounding rectangle: a cell whose
+        // rect, inflated by `margin + max_reach_m` (axis inflation is a
+        // superset of the Euclidean one, so this is conservative), does
+        // not intersect the segment cannot contain a tree passing the
+        // per-tree distance filter below — every tree in it sits at
+        // least that far from the segment. Skipping such cells removes
+        // the O(length²) cell scan on long diagonal queries (the radio
+        // links) while visiting the surviving trees in the exact same
+        // row-major order.
+        let reach = margin + self.max_reach_m;
         for gy in gy0..=gy1 {
+            let cy0 = gy as f64 * self.grid_cell_m;
             for gx in gx0..=gx1 {
-                for &i in &self.grid[gy * self.grid_cells + gx] {
+                let cell = &self.grid[gy * self.grid_cells + gx];
+                if cell.is_empty() {
+                    continue;
+                }
+                let cx0 = gx as f64 * self.grid_cell_m;
+                let cell_min = Vec2::new(cx0 - reach, cy0 - reach);
+                let cell_max = Vec2::new(
+                    cx0 + self.grid_cell_m + reach,
+                    cy0 + self.grid_cell_m + reach,
+                );
+                if !Self::segment_intersects_rect(a, b, cell_min, cell_max) {
+                    continue;
+                }
+                for &i in cell {
                     let tree = &self.trees[i as usize];
-                    if tree.position.distance_to_segment(a, b)
-                        <= margin + tree.canopy_radius_m.max(tree.trunk_radius_m)
-                        && !visit(tree)
+                    let dist = tree.position.distance_to_segment(a, b);
+                    if dist <= margin + tree.canopy_radius_m.max(tree.trunk_radius_m)
+                        && !visit(tree, dist)
                     {
                         return;
                     }
                 }
             }
         }
+    }
+
+    /// FROZEN pre-optimization segment query: collects matching trees
+    /// into a fresh `Vec` after scanning *every* grid cell in the
+    /// segment's bounding rectangle (no cell-level cull). Returns the
+    /// same trees in the same order as [`TreeStand::trees_near_segment`];
+    /// only the cost differs. Kept verbatim so the benchmark's "old"
+    /// arm reproduces the pre-optimization per-query cost — do not
+    /// optimize.
+    #[must_use]
+    pub fn trees_near_segment_reference(&self, a: Vec2, b: Vec2, margin: f64) -> Vec<&Tree> {
+        let pad = margin + self.grid_cell_m;
+        let min_x = (a.x.min(b.x) - pad).max(0.0);
+        let max_x = (a.x.max(b.x) + pad).min(self.size_m);
+        let min_y = (a.y.min(b.y) - pad).max(0.0);
+        let max_y = (a.y.max(b.y) + pad).min(self.size_m);
+        let gx0 = ((min_x / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gx1 = ((max_x / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gy0 = ((min_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let gy1 = ((max_y / self.grid_cell_m) as usize).min(self.grid_cells - 1);
+        let mut out = Vec::new();
+        for gy in gy0..=gy1 {
+            for gx in gx0..=gx1 {
+                for &i in &self.grid[gy * self.grid_cells + gx] {
+                    let tree = &self.trees[i as usize];
+                    if tree.position.distance_to_segment(a, b)
+                        <= margin + tree.canopy_radius_m.max(tree.trunk_radius_m)
+                    {
+                        out.push(tree);
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Collects the trees [`TreeStand::for_trees_near_segment`] visits.
@@ -232,6 +339,20 @@ impl TreeStand {
             true
         });
         out
+    }
+
+    /// Counts the trees [`TreeStand::for_trees_near_segment`] visits
+    /// without allocating — the hot-path form of
+    /// `trees_near_segment(..).len()` (the worksite's per-tick
+    /// sensor-health feature count).
+    #[must_use]
+    pub fn count_trees_near_segment(&self, a: Vec2, b: Vec2, margin: f64) -> usize {
+        let mut count = 0;
+        self.for_trees_near_segment(a, b, margin, |_| {
+            count += 1;
+            true
+        });
+        count
     }
 }
 
@@ -324,6 +445,11 @@ mod tests {
                 t.position
             );
         }
+        assert_eq!(
+            s.count_trees_near_segment(a, b, margin),
+            collected.len(),
+            "count form disagrees with the collector"
+        );
 
         // The allocation-free visitor sees exactly the collected set, in
         // the same order — `line_of_sight` relies on this equivalence.

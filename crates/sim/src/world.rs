@@ -1,6 +1,7 @@
 //! The composed worksite world: terrain, trees, weather, humans and time.
 
 use crate::geom::{Vec2, Vec3};
+use crate::grid::EntityGrid;
 use crate::humans::{Human, HumanConfig, HumanId};
 use crate::los::{self, Visibility};
 use crate::rng::SimRng;
@@ -66,6 +67,7 @@ pub struct World {
     stand: TreeStand,
     weather: WeatherModel,
     humans: Vec<Human>,
+    human_grid: EntityGrid,
     now: SimTime,
     last_weather_step: SimTime,
     rng_humans: SimRng,
@@ -84,6 +86,7 @@ impl World {
             terrain: Terrain::flat(1.0, 1.0),
             stand: TreeStand::from_trees(Vec::new(), 1.0),
             humans: Vec::new(),
+            human_grid: EntityGrid::new(),
             now: SimTime::ZERO,
             last_weather_step: SimTime::ZERO,
             rng_humans: rng.fork("humans"),
@@ -122,6 +125,10 @@ impl World {
             );
             Human::new(HumanId(i), pos, config.human)
         }));
+        self.human_grid.rebuild(
+            config.terrain.size_m,
+            self.humans.iter().map(|h| h.position),
+        );
 
         self.weather = WeatherModel::new(config.initial_weather, config.weather_change_prob);
         self.now = SimTime::ZERO;
@@ -164,6 +171,15 @@ impl World {
         &self.humans
     }
 
+    /// The spatial index over the ground workers, kept in sync with
+    /// their positions by [`World::step`]. Range queries return a
+    /// conservative, index-sorted candidate superset — see
+    /// [`EntityGrid::fill_candidates`] for the equivalence contract.
+    #[must_use]
+    pub fn human_grid(&self) -> &EntityGrid {
+        &self.human_grid
+    }
+
     /// The scenario configuration.
     #[must_use]
     pub fn config(&self) -> &WorldConfig {
@@ -196,8 +212,9 @@ impl World {
         self.now += dt;
         let size = self.config.terrain.size_m;
         let work_area = self.config.work_area;
-        for human in &mut self.humans {
+        for (i, human) in self.humans.iter_mut().enumerate() {
             human.step(dt, size, work_area, &mut self.rng_humans);
+            self.human_grid.update(i, human.position);
         }
         while self.now.since(self.last_weather_step) >= SimDuration::from_secs(60) {
             self.last_weather_step += SimDuration::from_secs(60);
@@ -287,6 +304,25 @@ mod tests {
         let human = &w.humans()[0];
         let p = w.human_target_point(human);
         assert!(p.z > w.ground_at(human.position));
+    }
+
+    #[test]
+    fn human_grid_stays_in_sync_while_stepping() {
+        let mut w = World::generate(&small_config(), SimRng::from_seed(8));
+        let mut cands = Vec::new();
+        for _ in 0..300 {
+            w.step(SimDuration::from_millis(500));
+            w.human_grid()
+                .fill_candidates(Vec2::new(100.0, 100.0), 1e6, &mut cands);
+            assert_eq!(cands, (0..w.humans().len() as u32).collect::<Vec<_>>());
+            let center = w.humans()[0].position;
+            w.human_grid().fill_candidates(center, 30.0, &mut cands);
+            for (i, h) in w.humans().iter().enumerate() {
+                if h.position.distance(center) <= 30.0 {
+                    assert!(cands.binary_search(&(i as u32)).is_ok());
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,11 +6,11 @@ use crate::pki_setup::{MachineCredentials, WorksitePki};
 use crate::pki_template::SitePkiTemplate;
 use silvasec_attacks::{AttackEngine, SideEffect};
 use silvasec_channel::{HandshakePolicy, Initiator, Responder, Session};
-use silvasec_comms::{Frame, Medium, MediumConfig, NodeId};
+use silvasec_comms::{Frame, Medium, MediumConfig, NodeId, ReceivedFrame};
 use silvasec_ids::prelude::*;
 use silvasec_machines::harvester::Harvester;
 use silvasec_machines::prelude::*;
-use silvasec_machines::sensors::Detection;
+use silvasec_machines::sensors::{detections_from_json, detections_to_json, Detection};
 use silvasec_pki::{ComponentRole, Validity};
 use silvasec_sim::geom::Vec2;
 use silvasec_sim::rng::SimRng;
@@ -24,6 +24,20 @@ use std::rc::Rc;
 /// Danger radius: a worker this close to a moving forwarder is a safety
 /// incident.
 pub const DANGER_RADIUS_M: f64 = 3.5;
+
+/// How many recovered frame-payload buffers the worksite keeps pooled
+/// for reuse by the next seal/send.
+const PAYLOAD_POOL_CAP: usize = 8;
+
+// Hot-path labels, hoisted once: `Label` is a fixed-capacity inline
+// `Copy` type and `from_static` is `const`, so recording with these
+// costs nothing per tick (and produces the same bytes `Label::new`
+// would).
+const LABEL_FW_CAMERA: Label = Label::from_static("forwarder-01/camera");
+const LABEL_FW_LIDAR: Label = Label::from_static("forwarder-01/lidar");
+const LABEL_DRONE_CAMERA: Label = Label::from_static("drone-01/camera");
+const LABEL_FW: Label = Label::from_static("forwarder-01");
+const LABEL_BS: Label = Label::from_static("base-01");
 
 struct SecureLinks {
     /// Forwarder-side session with the base station.
@@ -93,6 +107,30 @@ pub struct Worksite {
     /// sequence numbers already accepted at each receiver.
     seen_at_fw: std::collections::HashSet<u64>,
     seen_at_bs: std::collections::HashSet<u64>,
+
+    // --- steady-state tick scratch (performance only; reusing these
+    // buffers is never observable in metrics or telemetry) ---
+    /// Camera detections for the current tick.
+    cam_scratch: Vec<Detection>,
+    /// LiDAR detections for the current tick.
+    lidar_scratch: Vec<Detection>,
+    /// Drone detections for the current tick (sender side).
+    drone_scratch: Vec<Detection>,
+    /// Fused people picture for the current tick.
+    fused_scratch: Vec<Detection>,
+    /// Decoded drone-feed staging; committed to `last_drone_feed` only
+    /// on a successful decode, preserving decode-failure semantics.
+    feed_parse_scratch: Vec<Detection>,
+    /// Spatial-grid query index scratch shared by every culled sweep.
+    candidates_scratch: Vec<u32>,
+    /// Inbox-drain scratch; capacity ping-pongs with the medium's inbox.
+    rx_scratch: Vec<ReceivedFrame>,
+    /// Recovered frame-payload buffers, reused by the next seal/send.
+    payload_pool: Vec<Vec<u8>>,
+    /// Serialized drone-feed JSON for the current tick.
+    feed_buf: Vec<u8>,
+    /// Telemetry-uplink report text for the current tick.
+    report_buf: String,
 }
 
 impl Worksite {
@@ -292,6 +330,15 @@ impl Worksite {
             .drone_enabled
             .then(|| Drone::new(fw_start, config.drone, &world));
 
+        // Scratch capacities sized to their worst case up front, so no
+        // "largest feed yet" high-water growth ever allocates inside a
+        // measured steady-state window. Detections are people
+        // detections, so every per-detection buffer is bounded by the
+        // worksite roster; a serialized detection is well under 192
+        // JSON bytes even at full f64 round-trip precision.
+        let human_cap = world.humans().len().max(1);
+        let feed_bytes_cap = 16 + 192 * human_cap;
+
         Worksite {
             forwarder: Forwarder::new(fw_start, config.forwarder),
             camera: PeopleSensor::new(SensorKind::Camera, 2.8),
@@ -320,8 +367,8 @@ impl Worksite {
             prev_link_attempted: 0,
             prev_link_delivered: 0,
             auth_failures_tick: 0,
-            last_drone_feed: Vec::new(),
-            open_scratch: Vec::new(),
+            last_drone_feed: Vec::with_capacity(human_cap),
+            open_scratch: Vec::with_capacity(feed_bytes_cap + 64),
             danger_in_progress: false,
             seq: 0,
             rng,
@@ -330,8 +377,25 @@ impl Worksite {
             flight_sub,
             security_sub,
             tick_counter,
-            seen_at_fw: std::collections::HashSet::new(),
-            seen_at_bs: std::collections::HashSet::new(),
+            // Pre-sized so the plaintext-posture replay log never
+            // rehashes inside a measured steady-state window.
+            seen_at_fw: std::collections::HashSet::with_capacity(8192),
+            seen_at_bs: std::collections::HashSet::with_capacity(8192),
+            cam_scratch: Vec::with_capacity(human_cap),
+            lidar_scratch: Vec::with_capacity(human_cap),
+            drone_scratch: Vec::with_capacity(human_cap),
+            fused_scratch: Vec::with_capacity(3 * human_cap),
+            feed_parse_scratch: Vec::with_capacity(human_cap),
+            candidates_scratch: Vec::with_capacity(human_cap),
+            rx_scratch: Vec::with_capacity(8),
+            // Pool buffers start at worst-case record size so a
+            // later-than-ever-seen largest drone feed never reallocs
+            // mid-window.
+            payload_pool: (0..PAYLOAD_POOL_CAP)
+                .map(|_| Vec::with_capacity(feed_bytes_cap + 64))
+                .collect(),
+            feed_buf: Vec::with_capacity(feed_bytes_cap),
+            report_buf: String::with_capacity(64),
             world,
             medium,
             gnss_field: GnssField::new(),
@@ -562,6 +626,17 @@ impl Worksite {
         self.metrics = WorksiteMetrics::default();
         self.seen_at_fw.clear();
         self.seen_at_bs.clear();
+        self.cam_scratch.clear();
+        self.lidar_scratch.clear();
+        self.drone_scratch.clear();
+        self.fused_scratch.clear();
+        self.feed_parse_scratch.clear();
+        self.candidates_scratch.clear();
+        self.rx_scratch.clear();
+        self.feed_buf.clear();
+        self.report_buf.clear();
+        // `payload_pool` is deliberately retained: pooled buffers carry
+        // no episode state (always cleared before reuse).
         self.gnss_field = GnssField::new();
         self.config.clone_from(config);
     }
@@ -628,13 +703,40 @@ impl Worksite {
 
     /// Runs the simulation for `duration`.
     pub fn run(&mut self, duration: SimDuration) {
+        self.medium.set_reference_physics(false);
         let end = self.world.now() + duration;
         while self.world.now() < end {
             self.tick();
         }
     }
 
+    /// Runs the simulation for `duration` through the frozen
+    /// pre-optimization tick body ([`Worksite::tick_reference`]) — the
+    /// parity oracle and the bench's "old" timing arm. Also selects the
+    /// frozen pre-optimization radio propagation path (identical values
+    /// and RNG draws, pre-optimization cost) so the arm's timing
+    /// reflects the pre-optimization worksite end to end.
+    pub fn run_reference(&mut self, duration: SimDuration) {
+        self.medium.set_reference_physics(true);
+        let end = self.world.now() + duration;
+        while self.world.now() < end {
+            self.tick_reference();
+        }
+        self.medium.set_reference_physics(false);
+    }
+
     /// Executes one simulation tick.
+    ///
+    /// This is the steady-state hot path: perception runs through the
+    /// grid-culled `_into` variants writing into worksite-owned scratch
+    /// buffers, the drone feed is serialized by the canonical byte-exact
+    /// writer into a reused buffer, comms payloads come from the
+    /// recovered-buffer pool, and safety supervision range-tests only
+    /// grid-culled candidates. With warm buffers a quiet steady-state
+    /// tick performs **zero heap allocations** (asserted by the
+    /// `exp15_tick` bench under a counting allocator). Observable
+    /// behaviour — metrics, telemetry bytes, RNG stream — is
+    /// bit-identical to [`Worksite::tick_reference`] (tested).
     pub fn tick(&mut self) {
         let tick = self.config.tick;
         self.world.step(tick);
@@ -647,6 +749,127 @@ impl Worksite {
         let effects = self
             .attack_engine
             .step(now, &mut self.medium, &mut self.gnss_field);
+        self.apply_attack_effects(effects);
+
+        // --- GNSS-coupled navigation error ---
+        self.apply_gnss_spoof_drift(now, tick);
+
+        // --- perception (scratch buffers + grid culling) ---
+        let fw_pos = self.forwarder.position();
+        let heading = self.forwarder.vehicle.heading;
+        self.camera.detect_into(
+            &self.world,
+            fw_pos,
+            heading,
+            &mut self.rng,
+            &mut self.candidates_scratch,
+            &mut self.cam_scratch,
+        );
+        self.lidar.detect_into(
+            &self.world,
+            fw_pos,
+            heading,
+            &mut self.rng,
+            &mut self.candidates_scratch,
+            &mut self.lidar_scratch,
+        );
+        self.recorder.record(Event::SensorReading {
+            sensor: LABEL_FW_CAMERA,
+            detections: self.cam_scratch.len() as u32,
+        });
+        self.recorder.record(Event::SensorReading {
+            sensor: LABEL_FW_LIDAR,
+            detections: self.lidar_scratch.len() as u32,
+        });
+
+        // Drone flies escort and streams detections over the radio.
+        self.drone_feed(now, fw_pos);
+
+        fuse_detections_into(
+            &[
+                self.cam_scratch.as_slice(),
+                self.lidar_scratch.as_slice(),
+                self.last_drone_feed.as_slice(),
+            ],
+            &mut self.fused_scratch,
+        );
+
+        // --- safety supervision (with security response override) ---
+        let limit = self.supervisor.update(now, fw_pos, &self.fused_scratch);
+        let limit = self.resolve_security_limit(now, limit);
+
+        // --- machine motion and work ---
+        let fw_pos = self.step_machines(now, tick, limit);
+
+        // --- telemetry uplink fw → bs ---
+        self.telemetry_uplink(now, fw_pos);
+
+        // --- intrusion detection ---
+        self.observe_ids(now, fw_pos);
+
+        // --- safety accounting ---
+        self.account_safety(now, fw_pos, limit);
+        self.finish_tick();
+    }
+
+    /// Executes one simulation tick through the frozen pre-optimization
+    /// path: allocating linear-scan perception, `fuse_detections` over
+    /// cloned inputs, per-tick serde serialization, fresh inbox vectors
+    /// and a full-roster safety scan.
+    ///
+    /// FROZEN parity oracle and the bench's "old" timing arm — do not
+    /// optimize this body. [`Worksite::tick`] must stay observably
+    /// bit-identical to it.
+    pub fn tick_reference(&mut self) {
+        let tick = self.config.tick;
+        self.world.step(tick);
+        let now = self.world.now();
+        self.recorder.advance(now);
+        self.recorder.inc(self.tick_counter, 1);
+        self.auth_failures_tick = 0;
+
+        let effects = self
+            .attack_engine
+            .step(now, &mut self.medium, &mut self.gnss_field);
+        self.apply_attack_effects(effects);
+
+        self.apply_gnss_spoof_drift(now, tick);
+
+        let fw_pos = self.forwarder.position();
+        let heading = self.forwarder.vehicle.heading;
+        let cam = self
+            .camera
+            .detect(&self.world, fw_pos, heading, &mut self.rng);
+        let lidar = self
+            .lidar
+            .detect(&self.world, fw_pos, heading, &mut self.rng);
+        self.recorder.record(Event::SensorReading {
+            sensor: Label::new("forwarder-01/camera"),
+            detections: cam.len() as u32,
+        });
+        self.recorder.record(Event::SensorReading {
+            sensor: Label::new("forwarder-01/lidar"),
+            detections: lidar.len() as u32,
+        });
+
+        self.drone_feed_reference(now, fw_pos);
+
+        let fused = fuse_detections(&[cam, lidar, self.last_drone_feed.clone()]);
+
+        let limit = self.supervisor.update(now, fw_pos, &fused);
+        let limit = self.resolve_security_limit(now, limit);
+
+        let fw_pos = self.step_machines(now, tick, limit);
+
+        self.telemetry_uplink_reference(now, fw_pos);
+        self.observe_ids(now, fw_pos);
+        self.account_safety_reference(now, fw_pos, limit);
+        self.finish_tick();
+    }
+
+    /// Applies attack side effects to the sensors. Shared verbatim by
+    /// both tick bodies.
+    fn apply_attack_effects(&mut self, effects: Vec<SideEffect>) {
         for effect in effects {
             match effect {
                 SideEffect::BlindSensor {
@@ -682,35 +905,12 @@ impl Worksite {
                 _ => {}
             }
         }
+    }
 
-        // --- GNSS-coupled navigation error ---
-        self.apply_gnss_spoof_drift(now, tick);
-
-        // --- perception ---
-        let fw_pos = self.forwarder.position();
-        let heading = self.forwarder.vehicle.heading;
-        let cam = self
-            .camera
-            .detect(&self.world, fw_pos, heading, &mut self.rng);
-        let lidar = self
-            .lidar
-            .detect(&self.world, fw_pos, heading, &mut self.rng);
-        self.recorder.record(Event::SensorReading {
-            sensor: Label::new("forwarder-01/camera"),
-            detections: cam.len() as u32,
-        });
-        self.recorder.record(Event::SensorReading {
-            sensor: Label::new("forwarder-01/lidar"),
-            detections: lidar.len() as u32,
-        });
-
-        // Drone flies escort and streams detections over the radio.
-        self.drone_feed(now, fw_pos);
-
-        let fused = fuse_detections(&[cam, lidar, self.last_drone_feed.clone()]);
-
-        // --- safety supervision (with security response override) ---
-        let mut limit = self.supervisor.update(now, fw_pos, &fused);
+    /// Applies the security-response overrides (degraded mode, safe
+    /// stop) on top of the supervisor's limit. Shared by both tick
+    /// bodies.
+    fn resolve_security_limit(&mut self, now: SimTime, mut limit: SpeedLimit) -> SpeedLimit {
         if let Some(until) = self.degraded_until {
             if now < until {
                 // Degraded mode: never faster than Slow.
@@ -728,8 +928,12 @@ impl Worksite {
                 self.security_stop_until = None;
             }
         }
+        limit
+    }
 
-        // --- machine motion and work ---
+    /// Steps the machines and the radio node positions; returns the
+    /// forwarder's post-step position. Shared by both tick bodies.
+    fn step_machines(&mut self, now: SimTime, tick: SimDuration, limit: SpeedLimit) -> Vec2 {
         let before_loads = self.forwarder.loads_delivered();
         self.forwarder.step(&self.world, limit, tick);
         self.metrics.loads_delivered += self.forwarder.loads_delivered() - before_loads;
@@ -746,18 +950,22 @@ impl Worksite {
         if let (Some(node), Some(d)) = (self.node_drone, &self.drone) {
             self.medium.set_position(node, d.body.position);
         }
+        fw_pos
+    }
 
-        // --- telemetry uplink fw → bs ---
-        self.telemetry_uplink(now, fw_pos);
-
-        // --- intrusion detection ---
-        self.observe_ids(now, fw_pos);
-
-        // --- safety accounting ---
-        self.account_safety(now, fw_pos, limit);
+    /// Per-tick metric roll-up. Shared by both tick bodies.
+    fn finish_tick(&mut self) {
         self.metrics.stop_events = self.supervisor.stop_events();
         self.metrics.distance_m = self.forwarder.distance_travelled();
         self.metrics.ticks += 1;
+    }
+
+    /// Returns a payload buffer to the pool (bounded, cleared).
+    fn pool_push(pool: &mut Vec<Vec<u8>>, mut buf: Vec<u8>) {
+        if pool.len() < PAYLOAD_POOL_CAP {
+            buf.clear();
+            pool.push(buf);
+        }
     }
 
     /// A GNSS-guided machine corrects its trajectory against its fix; a
@@ -786,7 +994,124 @@ impl Worksite {
         }
     }
 
+    /// Zero-alloc drone feed: grid-culled `detect_into`, the canonical
+    /// byte-exact JSON writer into a reused buffer, pooled comms
+    /// payloads (recovered both from drained frames and from lost
+    /// frames via [`Medium::transmit_env_reclaiming`]), and an
+    /// attacker-capture gated on whether any replay campaign actually
+    /// consumes captures. Byte-identical on the wire to
+    /// [`Worksite::drone_feed_reference`].
     fn drone_feed(&mut self, now: SimTime, fw_pos: Vec2) {
+        self.last_drone_feed.clear();
+        let Some(drone) = &mut self.drone else {
+            return;
+        };
+        let Some(node_drone) = self.node_drone else {
+            return;
+        };
+        drone.step(&self.world, fw_pos, self.config.tick);
+        drone.detect_into(
+            &self.world,
+            &mut self.rng,
+            &mut self.candidates_scratch,
+            &mut self.drone_scratch,
+        );
+        self.recorder.record_at(
+            now,
+            Event::SensorReading {
+                sensor: LABEL_DRONE_CAMERA,
+                detections: self.drone_scratch.len() as u32,
+            },
+        );
+
+        detections_to_json(&self.drone_scratch, &mut self.feed_buf);
+        let mut payload = self.payload_pool.pop().unwrap_or_default();
+        if let Some(links) = &mut self.links {
+            match links
+                .drone
+                .as_mut()
+                .map(|s| s.seal_into(&self.feed_buf, &mut payload))
+            {
+                Some(Ok(())) => {}
+                _ => {
+                    Self::pool_push(&mut self.payload_pool, payload);
+                    return;
+                }
+            }
+        } else {
+            payload.clear();
+            payload.extend_from_slice(&self.feed_buf);
+        }
+
+        self.seq += 1;
+        let frame = Frame::data(node_drone, self.node_fw, payload).with_seq(self.seq);
+        self.metrics.drone_feed_sent += 1;
+        // The attacker passively sniffs a fraction of the traffic for
+        // later replay (it is in radio range of the whole stand).
+        // Captures are only ever consumed by a replay campaign, so when
+        // none is scheduled the clone is unobservable and skipped.
+        if self.seq.is_multiple_of(5) && self.attack_engine.wants_captures() {
+            self.attack_engine.capture(frame.clone());
+        }
+        let (_, reclaimed) = self.medium.transmit_env_reclaiming(
+            self.world.stand(),
+            self.world.weather(),
+            node_drone,
+            frame,
+            now,
+        );
+        if let Some(buf) = reclaimed {
+            Self::pool_push(&mut self.payload_pool, buf);
+        }
+
+        // Forwarder drains its inbox and decodes the feed.
+        let mut rxs = std::mem::take(&mut self.rx_scratch);
+        self.medium.drain_inbox_into(self.node_fw, &mut rxs);
+        for rx in rxs.drain(..) {
+            let frame = rx.frame;
+            // `fresh` = a first-time, genuinely-sourced feed frame.
+            // Secure links enforce this cryptographically (replays fail
+            // to open); the plaintext path only *measures* it via the
+            // ground-truth sequence log.
+            let (body, fresh): (&[u8], bool) = if let Some(links) = &mut self.links {
+                let Some(session) = links.fw_drone.as_mut() else {
+                    Self::pool_push(&mut self.payload_pool, frame.payload);
+                    continue;
+                };
+                match session.open_into(&frame.payload, &mut self.open_scratch) {
+                    Ok(()) => (&self.open_scratch, true),
+                    Err(_) => {
+                        self.auth_failures_tick += 1;
+                        self.metrics.auth_failures += 1;
+                        Self::pool_push(&mut self.payload_pool, frame.payload);
+                        continue;
+                    }
+                }
+            } else {
+                let fresh = frame.claimed_src == node_drone && self.seen_at_fw.insert(frame.seq);
+                if !fresh {
+                    self.metrics.forged_accepted += 1;
+                }
+                (&frame.payload, fresh)
+            };
+            if detections_from_json(body, &mut self.feed_parse_scratch) {
+                // Stale replayed feeds still overwrite the forwarder's
+                // picture (the attack's harm) but only fresh frames count
+                // towards availability.
+                std::mem::swap(&mut self.last_drone_feed, &mut self.feed_parse_scratch);
+                if fresh {
+                    self.metrics.drone_feed_delivered += 1;
+                }
+            }
+            Self::pool_push(&mut self.payload_pool, frame.payload);
+        }
+        self.rx_scratch = rxs;
+    }
+
+    /// FROZEN pre-optimization drone feed (parity oracle / bench "old"
+    /// arm): per-tick serde allocation, cloned stand, fresh inbox
+    /// vectors, unconditional capture sampling. Do not optimize.
+    fn drone_feed_reference(&mut self, now: SimTime, fw_pos: Vec2) {
         self.last_drone_feed.clear();
         let Some(drone) = &mut self.drone else {
             return;
@@ -866,7 +1191,82 @@ impl Worksite {
         }
     }
 
+    /// Zero-alloc telemetry uplink: the report is formatted into a
+    /// reused `String`, sealed into a pooled payload buffer, and lost
+    /// or drained frames hand their buffers back to the pool.
+    /// Byte-identical on the wire to
+    /// [`Worksite::telemetry_uplink_reference`].
     fn telemetry_uplink(&mut self, now: SimTime, fw_pos: Vec2) {
+        use std::fmt::Write as _;
+        self.report_buf.clear();
+        let _ = write!(
+            self.report_buf,
+            "pos={:.1},{:.1};loads={}",
+            fw_pos.x,
+            fw_pos.y,
+            self.forwarder.loads_delivered()
+        );
+        let mut payload = self.payload_pool.pop().unwrap_or_default();
+        if let Some(links) = &mut self.links {
+            match links.fw.seal_into(self.report_buf.as_bytes(), &mut payload) {
+                Ok(()) => {}
+                Err(_) => {
+                    Self::pool_push(&mut self.payload_pool, payload);
+                    return;
+                }
+            }
+        } else {
+            payload.clear();
+            payload.extend_from_slice(self.report_buf.as_bytes());
+        }
+        self.seq += 1;
+        let frame = Frame::data(self.node_fw, self.node_bs, payload).with_seq(self.seq);
+        self.metrics.messages_sent += 1;
+        if self.seq.is_multiple_of(5) && self.attack_engine.wants_captures() {
+            self.attack_engine.capture(frame.clone());
+        }
+        let (_, reclaimed) = self.medium.transmit_env_reclaiming(
+            self.world.stand(),
+            self.world.weather(),
+            self.node_fw,
+            frame,
+            now,
+        );
+        if let Some(buf) = reclaimed {
+            Self::pool_push(&mut self.payload_pool, buf);
+        }
+
+        let mut rxs = std::mem::take(&mut self.rx_scratch);
+        self.medium.drain_inbox_into(self.node_bs, &mut rxs);
+        for rx in rxs.drain(..) {
+            let frame = rx.frame;
+            if let Some(links) = &mut self.links {
+                match links
+                    .bs_fw
+                    .open_into(&frame.payload, &mut self.open_scratch)
+                {
+                    Ok(()) => self.metrics.messages_delivered += 1,
+                    Err(_) => {
+                        self.auth_failures_tick += 1;
+                        self.metrics.auth_failures += 1;
+                    }
+                }
+            } else if frame.claimed_src != self.node_fw || !self.seen_at_bs.insert(frame.seq) {
+                // Forged source or replayed sequence — accepted by the
+                // plaintext receiver (the harm), but not counted as a
+                // legitimate delivery.
+                self.metrics.forged_accepted += 1;
+            } else {
+                self.metrics.messages_delivered += 1;
+            }
+            Self::pool_push(&mut self.payload_pool, frame.payload);
+        }
+        self.rx_scratch = rxs;
+    }
+
+    /// FROZEN pre-optimization telemetry uplink (parity oracle / bench
+    /// "old" arm). Do not optimize.
+    fn telemetry_uplink_reference(&mut self, now: SimTime, fw_pos: Vec2) {
         let report = format!(
             "pos={:.1},{:.1};loads={}",
             fw_pos.x,
@@ -946,7 +1346,7 @@ impl Worksite {
         let unknown_assoc_delta = bs_assoc - self.prev_bs_assoc_rx;
         self.prev_bs_assoc_rx = bs_assoc;
         alerts.extend(ids.observe_radio(&RadioObservation {
-            node_label: "base-01".into(),
+            node_label: LABEL_BS,
             at: now,
             noise_dbm: None,
             delivery_ratio: 1.0,
@@ -956,7 +1356,7 @@ impl Worksite {
         }));
 
         alerts.extend(ids.observe_radio(&RadioObservation {
-            node_label: "forwarder-01".into(),
+            node_label: LABEL_FW,
             at: now,
             noise_dbm: stats.noise_ewma.get(),
             delivery_ratio,
@@ -975,7 +1375,7 @@ impl Worksite {
             fw_pos.y + self.rng.normal(0.0, 0.4),
         );
         alerts.extend(ids.observe_nav(&NavObservation {
-            machine_label: "forwarder-01".into(),
+            machine_label: LABEL_FW,
             at: now,
             gnss_fix: fix,
             dead_reckoned,
@@ -984,11 +1384,12 @@ impl Worksite {
 
         // Sensor health: nearby trunks + detections are the feature
         // stream; blinding collapses it.
-        let nearby_trees = self
-            .world
-            .stand()
-            .trees_near_segment(fw_pos, fw_pos + Vec2::new(0.1, 0.0), 25.0)
-            .len();
+        // Counting variant: same set as `trees_near_segment` without
+        // materializing the index vector.
+        let nearby_trees =
+            self.world
+                .stand()
+                .count_trees_near_segment(fw_pos, fw_pos + Vec2::new(0.1, 0.0), 25.0);
         let mut features = 0u32;
         for _ in 0..nearby_trees.min(60) {
             if self.rng.chance(0.85 * self.camera.health) {
@@ -996,7 +1397,7 @@ impl Worksite {
             }
         }
         alerts.extend(ids.observe_sensor(&SensorObservation {
-            sensor_label: "forwarder-01/camera".into(),
+            sensor_label: LABEL_FW_CAMERA,
             at: now,
             feature_count: features,
         }));
@@ -1028,11 +1429,43 @@ impl Worksite {
         }
     }
 
+    /// Grid-culled danger-zone accounting: only humans within
+    /// `DANGER_RADIUS_M` of the forwarder (a conservative 2-D grid
+    /// superset of the full roster restricted to that radius) are
+    /// range-tested.
+    ///
+    /// Equivalence with the linear scan
+    /// ([`Worksite::account_safety_reference`]): the culled candidate
+    /// set is a subset of all humans, so its min distance is ≥ the true
+    /// min; and whenever the true min is ≤ `DANGER_RADIUS_M` the argmin
+    /// human is inside the query radius and therefore in the candidate
+    /// set, so the two minima coincide exactly on every tick where the
+    /// danger branch is taken. The branch predicate (and the recorded
+    /// `distance_m`) is thus identical in both variants.
     fn account_safety(&mut self, now: SimTime, fw_pos: Vec2, limit: SpeedLimit) {
+        self.world.human_grid().fill_candidates(
+            fw_pos,
+            DANGER_RADIUS_M,
+            &mut self.candidates_scratch,
+        );
+        let mut nearest = f64::INFINITY;
+        for &i in &self.candidates_scratch {
+            nearest = nearest.min(self.world.humans()[i as usize].position.distance(fw_pos));
+        }
+        self.account_danger(now, nearest, limit);
+    }
+
+    /// FROZEN pre-optimization full-roster safety scan (parity oracle /
+    /// bench "old" arm). Do not optimize.
+    fn account_safety_reference(&mut self, now: SimTime, fw_pos: Vec2, limit: SpeedLimit) {
         let mut nearest = f64::INFINITY;
         for human in self.world.humans() {
             nearest = nearest.min(human.position.distance(fw_pos));
         }
+        self.account_danger(now, nearest, limit);
+    }
+
+    fn account_danger(&mut self, now: SimTime, nearest: f64, limit: SpeedLimit) {
         if nearest <= DANGER_RADIUS_M {
             self.metrics.danger_zone_ticks += 1;
             let moving = limit != SpeedLimit::Stop
@@ -1354,6 +1787,58 @@ mod tests {
                 fingerprint(&reused),
                 "reset diverged from fresh at seed {seed}"
             );
+        }
+    }
+
+    /// The optimized tick must be observably bit-identical to the
+    /// frozen reference tick across postures, seeds, and a jamming
+    /// campaign (which exercises frame loss, hence payload
+    /// reclamation).
+    #[test]
+    fn tick_matches_reference_oracle() {
+        for posture in [SecurityPosture::secure(), SecurityPosture::insecure()] {
+            for seed in [3u64, 11] {
+                for jam in [false, true] {
+                    let config = small_config(posture.clone());
+                    let mut fast = Worksite::new(&config, seed);
+                    let mut reference = Worksite::new(&config, seed);
+                    if jam {
+                        fast.attack_engine_mut().add_campaign(jam_campaign());
+                        reference.attack_engine_mut().add_campaign(jam_campaign());
+                    }
+                    fast.run(SimDuration::from_secs(150));
+                    reference.run_reference(SimDuration::from_secs(150));
+                    assert_eq!(
+                        fingerprint(&fast),
+                        fingerprint(&reference),
+                        "tick diverged from reference (seed {seed}, jam {jam})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Replay campaigns consume captured frames, so the capture gate in
+    /// the optimized path must still feed them; this pins parity on the
+    /// one scenario where captures are observable.
+    #[test]
+    fn tick_matches_reference_under_replay() {
+        for posture in [SecurityPosture::secure(), SecurityPosture::insecure()] {
+            let config = small_config(posture);
+            let replay = AttackCampaign {
+                kind: AttackKind::Replay,
+                target: AttackTarget::Network,
+                start: SimTime::from_secs(30),
+                duration: SimDuration::from_secs(120),
+                intensity: 1.0,
+            };
+            let mut fast = Worksite::new(&config, 4);
+            let mut reference = Worksite::new(&config, 4);
+            fast.attack_engine_mut().add_campaign(replay.clone());
+            reference.attack_engine_mut().add_campaign(replay);
+            fast.run(SimDuration::from_secs(240));
+            reference.run_reference(SimDuration::from_secs(240));
+            assert_eq!(fingerprint(&fast), fingerprint(&reference));
         }
     }
 

@@ -45,6 +45,36 @@ impl Label {
         }
     }
 
+    /// `const` form of [`Label::new`] for hoisting fixed labels out of
+    /// hot loops (e.g. the per-tick sensor labels in the worksite).
+    ///
+    /// Identical truncation semantics: cut to [`LABEL_CAPACITY`] bytes
+    /// at a UTF-8 character boundary (a continuation byte has the bit
+    /// pattern `10xxxxxx`, so backing off past them lands on a
+    /// boundary).
+    #[must_use]
+    pub const fn from_static(s: &str) -> Self {
+        let src = s.as_bytes();
+        let mut end = if src.len() < LABEL_CAPACITY {
+            src.len()
+        } else {
+            LABEL_CAPACITY
+        };
+        while end > 0 && end < src.len() && (src[end] & 0xC0) == 0x80 {
+            end -= 1;
+        }
+        let mut bytes = [0u8; LABEL_CAPACITY];
+        let mut i = 0;
+        while i < end {
+            bytes[i] = src[i];
+            i += 1;
+        }
+        Label {
+            len: end as u8,
+            bytes,
+        }
+    }
+
     /// Returns the label as a string slice.
     #[must_use]
     pub fn as_str(&self) -> &str {
@@ -521,6 +551,22 @@ mod tests {
         let multi = Label::new("ääääääääääääää"); // 2 bytes per char
         assert!(multi.as_str().chars().all(|c| c == 'ä'));
         assert!(Label::new("").is_empty());
+    }
+
+    #[test]
+    fn const_constructor_matches_runtime_constructor() {
+        const HOISTED: Label = Label::from_static("forwarder-01/camera");
+        assert_eq!(HOISTED, Label::new("forwarder-01/camera"));
+        for s in [
+            "",
+            "x",
+            "forwarder-01/lidar",
+            "a-very-long-label-that-exceeds-capacity",
+            "ääääääääääääää",
+            "ääääääääääää-and-more-tail",
+        ] {
+            assert_eq!(Label::from_static(s), Label::new(s), "input {s:?}");
+        }
     }
 
     #[test]

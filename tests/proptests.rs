@@ -696,3 +696,171 @@ proptest! {
         }
     }
 }
+
+// ---------------- tick hot path (zero-alloc perception + culling) ----------------
+
+/// A generated compact world for the perception/culling parity
+/// properties (forest stand + worker roster + entity grid).
+fn hotpath_world(seed: u64) -> World {
+    let config = silvasec::experiments::compact_config(SecurityPosture::secure());
+    World::generate(&config.world, SimRng::from_seed(seed))
+}
+
+/// Decodes one fuzzed detection from 64 raw bits (the vendored proptest
+/// has integer strategies only; floats are derived in-test).
+fn detection_from_bits(bits: u64) -> Detection {
+    Detection {
+        human_id: silvasec::sim::humans::HumanId((bits & 7) as u32),
+        position: Vec2::new(
+            ((bits >> 3) % 1000) as f64 / 10.0 - 50.0,
+            ((bits >> 13) % 1000) as f64 / 10.0 - 50.0,
+        ),
+        confidence: ((bits >> 23) % 1001) as f64 / 1000.0,
+        distance_m: 0.5 + ((bits >> 33) % 400) as f64 / 10.0,
+    }
+}
+
+proptest! {
+    // Each case generates a world (stand + roster); keep the count
+    // debug-CI friendly.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn detect_into_matches_detect(
+        seed in 0u64..500,
+        kind_i in 0usize..2,
+        xi in 0u32..1500,
+        yi in 0u32..1500,
+        heading_i in 0u32..628,
+        steps in 0u32..40,
+    ) {
+        let mut world = hotpath_world(seed);
+        for _ in 0..steps {
+            world.step(SimDuration::from_millis(500));
+        }
+        let kind = [SensorKind::Camera, SensorKind::Lidar][kind_i];
+        let sensor = PeopleSensor::new(kind, 2.8);
+        let pos = Vec2::new(f64::from(xi) / 10.0, f64::from(yi) / 10.0);
+        let heading = f64::from(heading_i) / 100.0;
+        let mut oracle_rng = SimRng::from_seed(seed ^ 0x9e37_79b9);
+        let mut hot_rng = oracle_rng.clone();
+        let oracle = sensor.detect(&world, pos, heading, &mut oracle_rng);
+        let (mut candidates, mut out) = (Vec::new(), Vec::new());
+        sensor.detect_into(&world, pos, heading, &mut hot_rng, &mut candidates, &mut out);
+        prop_assert_eq!(&out, &oracle);
+        // Both forms must consume the exact same RNG draws, or every
+        // later draw in a tick would diverge.
+        prop_assert_eq!(
+            oracle_rng.uniform_range(0.0, 1.0).to_bits(),
+            hot_rng.uniform_range(0.0, 1.0).to_bits()
+        );
+    }
+
+    #[test]
+    fn fuse_into_matches_fuse(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..8),
+            0..4,
+        ),
+    ) {
+        let sources: Vec<Vec<Detection>> = raw
+            .iter()
+            .map(|l| l.iter().copied().map(detection_from_bits).collect())
+            .collect();
+        let oracle = fuse_detections(&sources);
+        let views: Vec<&[Detection]> = sources.iter().map(Vec::as_slice).collect();
+        let mut out = Vec::new();
+        fuse_detections_into(&views, &mut out);
+        prop_assert_eq!(out, oracle);
+    }
+
+    #[test]
+    fn grid_candidates_match_linear_scan(
+        seed in 0u64..500,
+        steps in 0u32..40,
+        xi in 0u32..1500,
+        yi in 0u32..1500,
+        radius_i in 1u32..800,
+    ) {
+        let mut world = hotpath_world(seed);
+        for _ in 0..steps {
+            world.step(SimDuration::from_millis(500));
+        }
+        let center = Vec2::new(f64::from(xi) / 10.0, f64::from(yi) / 10.0);
+        let radius = f64::from(radius_i) / 10.0;
+        let mut candidates = Vec::new();
+        world.human_grid().fill_candidates(center, radius, &mut candidates);
+        prop_assert!(candidates.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped");
+        let linear: Vec<u32> = world
+            .humans()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.position.distance(center) <= radius)
+            .map(|(i, _)| i as u32)
+            .collect();
+        // Conservative superset of everyone in range...
+        for i in &linear {
+            prop_assert!(candidates.binary_search(i).is_ok(), "missing index {}", i);
+        }
+        // ...and exactly the linear scan once the true range filter
+        // re-applies (same members, same ascending order).
+        let culled: Vec<u32> = candidates
+            .iter()
+            .copied()
+            .filter(|&i| world.humans()[i as usize].position.distance(center) <= radius)
+            .collect();
+        prop_assert_eq!(culled, linear);
+    }
+
+    #[test]
+    fn culled_segment_query_matches_frozen_reference(
+        seed in 0u64..500,
+        axi in 0u32..1500,
+        ayi in 0u32..1500,
+        bxi in 0u32..1500,
+        byi in 0u32..1500,
+        margin_i in 1u32..300,
+    ) {
+        let world = hotpath_world(seed);
+        let stand = world.stand();
+        let a = Vec2::new(f64::from(axi) / 10.0, f64::from(ayi) / 10.0);
+        let b = Vec2::new(f64::from(bxi) / 10.0, f64::from(byi) / 10.0);
+        let margin = f64::from(margin_i) / 10.0;
+        let oracle = stand.trees_near_segment_reference(a, b, margin);
+        let culled = stand.trees_near_segment(a, b, margin);
+        // Same trees (by identity) in the same order as the frozen
+        // full-rectangle scan — the cell cull may only skip cells that
+        // contain no matching tree.
+        prop_assert_eq!(culled.len(), oracle.len());
+        for (c, o) in culled.iter().zip(&oracle) {
+            prop_assert!(std::ptr::eq(*c, *o));
+        }
+        prop_assert_eq!(stand.count_trees_near_segment(a, b, margin), oracle.len());
+    }
+
+    #[test]
+    fn foliage_loss_matches_frozen_reference(
+        seed in 0u64..500,
+        axi in 0u32..1500,
+        ayi in 0u32..1500,
+        azi in 10u32..600,
+        bxi in 0u32..1500,
+        byi in 0u32..1500,
+        bzi in 10u32..600,
+    ) {
+        use silvasec::comms::propagation::{
+            foliage_loss_db, foliage_loss_db_reference, PropagationConfig,
+        };
+        use silvasec::sim::geom::Vec3;
+        let world = hotpath_world(seed);
+        let config = PropagationConfig::default();
+        let from = Vec3::new(f64::from(axi) / 10.0, f64::from(ayi) / 10.0, f64::from(azi) / 10.0);
+        let to = Vec3::new(f64::from(bxi) / 10.0, f64::from(byi) / 10.0, f64::from(bzi) / 10.0);
+        // The capped early-exit and distance reuse must not move the
+        // loss by a single bit.
+        prop_assert_eq!(
+            foliage_loss_db(&config, world.stand(), from, to).to_bits(),
+            foliage_loss_db_reference(&config, world.stand(), from, to).to_bits()
+        );
+    }
+}
